@@ -1,0 +1,203 @@
+//! Theorem 6: composing schedulers over disjoint processing sets.
+//!
+//! With a *disjoint* family (any two sets equal or disjoint), the
+//! instance splits into independent subinstances — one per distinct set —
+//! and any `f(m)`-competitive algorithm for `P | online-rᵢ | Fmax`
+//! applied per subcluster yields a `max f(|Mᵤ|)`-competitive algorithm
+//! for the whole problem. Corollary 1 instantiates this with FIFO/EFT
+//! (`f(m) = 3 − 2/m`).
+//!
+//! [`compose_disjoint`] implements the construction generically: it
+//! splits, delegates each subinstance to a caller-provided scheduler
+//! (which sees a *dense* subcluster, machines renumbered `0..|Mᵤ|`), and
+//! stitches the schedules back together.
+
+use flowsched_core::error::CoreError;
+use flowsched_core::instance::{Instance, InstanceBuilder};
+use flowsched_core::machine::MachineId;
+use flowsched_core::procset::ProcSet;
+use flowsched_core::schedule::{Assignment, Schedule};
+use flowsched_core::structure::is_disjoint_family;
+
+/// Splits a disjoint-family instance, schedules each group with
+/// `scheduler`, and merges. The scheduler receives each subinstance over
+/// a dense machine range `0..|Mᵤ|` (unrestricted: every subinstance set
+/// is its full subcluster).
+///
+/// # Errors
+/// Returns an error if the family is not disjoint.
+///
+/// # Panics
+/// Panics if `scheduler` returns a schedule of the wrong length or with
+/// machines outside the subcluster.
+pub fn compose_disjoint<F>(inst: &Instance, mut scheduler: F) -> Result<Schedule, CoreError>
+where
+    F: FnMut(&Instance) -> Schedule,
+{
+    if !is_disjoint_family(inst.sets()) {
+        // Reuse the closest existing error kind: the family constraint is
+        // an input-domain violation, reported on the first offending task.
+        for (i, s) in inst.sets().iter().enumerate() {
+            for s2 in inst.sets().iter().skip(i + 1) {
+                if s != s2 && !s.is_disjoint_from(s2) {
+                    return Err(CoreError::OutsideProcessingSet {
+                        task: flowsched_core::TaskId(i),
+                        machine: MachineId(s.intersection(s2).min().unwrap_or(0)),
+                    });
+                }
+            }
+        }
+        unreachable!("non-disjoint family must contain an overlapping pair");
+    }
+
+    // Group tasks by distinct set, preserving release order.
+    let mut groups: Vec<(ProcSet, Vec<usize>)> = Vec::new();
+    for (id, _, set) in inst.iter() {
+        match groups.iter_mut().find(|(g, _)| g == set) {
+            Some((_, tasks)) => tasks.push(id.0),
+            None => groups.push((set.clone(), vec![id.0])),
+        }
+    }
+
+    let mut assignments: Vec<Option<Assignment>> = vec![None; inst.len()];
+    for (set, task_ids) in &groups {
+        // Dense subinstance on |set| machines.
+        let sub_m = set.len();
+        let mut b = InstanceBuilder::new(sub_m);
+        for &i in task_ids {
+            b.push_unrestricted(inst.tasks()[i]);
+        }
+        let sub = b.build().expect("subinstance inherits validity");
+        let sub_schedule = scheduler(&sub);
+        assert_eq!(
+            sub_schedule.len(),
+            task_ids.len(),
+            "scheduler must schedule every subinstance task"
+        );
+        // Map dense machine indices back to the real ones. The builder's
+        // stable sort preserves our release-ordered push order 1:1.
+        let machines = set.as_slice();
+        for (slot, &i) in task_ids.iter().enumerate() {
+            let a = sub_schedule.assignment(flowsched_core::TaskId(slot));
+            assert!(
+                a.machine.index() < sub_m,
+                "scheduler used a machine outside the subcluster"
+            );
+            assignments[i] = Some(Assignment::new(
+                MachineId(machines[a.machine.index()]),
+                a.start,
+            ));
+        }
+    }
+
+    Ok(Schedule::new(
+        assignments
+            .into_iter()
+            .map(|a| a.expect("every task belongs to exactly one group"))
+            .collect(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eft::eft;
+    use crate::fifo::fifo;
+    use crate::tiebreak::TieBreak;
+    use flowsched_core::task::Task;
+
+    fn disjoint_instance() -> Instance {
+        // Blocks {M1,M2} and {M3,M4,M5}; interleaved releases.
+        let a = ProcSet::interval(0, 1);
+        let b = ProcSet::interval(2, 4);
+        let mut builder = InstanceBuilder::new(5);
+        for t in 0..6 {
+            builder.push(Task::new(t as f64 * 0.5, 1.0), a.clone());
+            builder.push(Task::new(t as f64 * 0.5, 0.5), b.clone());
+            builder.push(Task::new(t as f64 * 0.5, 0.75), b.clone());
+        }
+        builder.build().unwrap()
+    }
+
+    #[test]
+    fn composition_is_feasible_and_matches_eft() {
+        // Composing EFT per block equals running restricted EFT directly:
+        // EFT's decisions never look outside a task's processing set.
+        let inst = disjoint_instance();
+        let composed = compose_disjoint(&inst, |sub| eft(sub, TieBreak::Min)).unwrap();
+        composed.validate(&inst).unwrap();
+        let direct = eft(&inst, TieBreak::Min);
+        assert_eq!(composed, direct);
+    }
+
+    #[test]
+    fn composition_with_fifo_is_corollary_1() {
+        // FIFO per block — the literal construction of Theorem 6 — and by
+        // Proposition 1 it again equals restricted EFT.
+        let inst = disjoint_instance();
+        let composed = compose_disjoint(&inst, |sub| fifo(sub, TieBreak::Min)).unwrap();
+        composed.validate(&inst).unwrap();
+        assert_eq!(composed, eft(&inst, TieBreak::Min));
+    }
+
+    #[test]
+    fn ratio_bounded_by_max_block_guarantee() {
+        // Corollary 1 quantitatively: composed FIFO is (3 − 2/max|Mu|)-
+        // competitive; check on instances small enough for brute force.
+        use crate::offline::brute_force_fmax;
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(91);
+        for _ in 0..20 {
+            let mut b = InstanceBuilder::new(4);
+            let blocks = [ProcSet::interval(0, 1), ProcSet::interval(2, 3)];
+            for _ in 0..8 {
+                let r = rng.random_range(0..3) as f64;
+                let p = 0.5 * rng.random_range(1..=4) as f64;
+                let blk = blocks[rng.random_range(0..2)].clone();
+                b.push(Task::new(r, p), blk);
+            }
+            let inst = b.build().unwrap();
+            let composed = compose_disjoint(&inst, |sub| fifo(sub, TieBreak::Min)).unwrap();
+            let opt = brute_force_fmax(&inst);
+            let bound = 3.0 - 2.0 / 2.0; // max block size 2
+            assert!(
+                composed.fmax(&inst) <= bound * opt + 1e-9,
+                "composed {c} vs {bound} × OPT {opt}",
+                c = composed.fmax(&inst)
+            );
+        }
+    }
+
+    #[test]
+    fn repeated_sets_share_a_group() {
+        let mut b = InstanceBuilder::new(2);
+        for _ in 0..4 {
+            b.push_unit(0.0, ProcSet::full(2));
+        }
+        let inst = b.build().unwrap();
+        let mut calls = 0usize;
+        let s = compose_disjoint(&inst, |sub| {
+            calls += 1;
+            eft(sub, TieBreak::Min)
+        })
+        .unwrap();
+        s.validate(&inst).unwrap();
+        assert_eq!(calls, 1, "identical sets form one group");
+    }
+
+    #[test]
+    fn non_disjoint_family_rejected() {
+        let mut b = InstanceBuilder::new(3);
+        b.push_unit(0.0, ProcSet::interval(0, 1));
+        b.push_unit(0.0, ProcSet::interval(1, 2));
+        let inst = b.build().unwrap();
+        assert!(compose_disjoint(&inst, |sub| eft(sub, TieBreak::Min)).is_err());
+    }
+
+    #[test]
+    fn empty_instance_composes_trivially() {
+        let inst = Instance::unrestricted(2, vec![]).unwrap();
+        let s = compose_disjoint(&inst, |sub| eft(sub, TieBreak::Min)).unwrap();
+        assert!(s.is_empty());
+    }
+}

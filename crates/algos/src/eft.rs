@@ -1,0 +1,271 @@
+//! EFT — Earliest Finish Time scheduling (paper Algorithm 2).
+//!
+//! EFT is an *immediate dispatch* algorithm: each task is irrevocably
+//! assigned to a machine the instant it is released. The chosen machine
+//! is one that can finish the task the earliest; among machines tied for
+//! the earliest start (`U'ᵢ` of Equation (2)), a [`TieBreak`] policy
+//! decides. With identical machines and no restrictions this is
+//! equivalent to FIFO (Proposition 1) and therefore `(3 − 2/m)`-
+//! competitive; with size-`k` disjoint processing sets it is
+//! `(3 − 2/k)`-competitive (Corollary 1); with size-`k` overlapping
+//! intervals its competitive ratio degrades to at least `m − k + 1`
+//! (Theorems 8–10).
+
+use flowsched_core::instance::Instance;
+use flowsched_core::machine::MachineId;
+use flowsched_core::procset::ProcSet;
+use flowsched_core::schedule::{Assignment, Schedule};
+use flowsched_core::task::Task;
+use flowsched_core::time::Time;
+
+use crate::tiebreak::{Breaker, TieBreak};
+
+/// Incremental EFT state: per-machine completion times plus the tie-break
+/// policy. Dispatch tasks in release order; the state is what a real
+/// immediate-dispatch load balancer would keep.
+#[derive(Debug)]
+pub struct EftState {
+    completions: Vec<Time>,
+    breaker: Breaker,
+    /// Scratch buffer for the tie set, reused across dispatches.
+    ties: Vec<usize>,
+}
+
+impl EftState {
+    /// Fresh state for `m` idle machines.
+    pub fn new(m: usize, policy: TieBreak) -> Self {
+        assert!(m > 0, "need at least one machine");
+        EftState { completions: vec![0.0; m], breaker: policy.breaker(), ties: Vec::new() }
+    }
+
+    /// Number of machines.
+    pub fn machines(&self) -> usize {
+        self.completions.len()
+    }
+
+    /// Current completion time `C_{j,i−1}` of each machine.
+    pub fn completions(&self) -> &[Time] {
+        &self.completions
+    }
+
+    /// Dispatches one task (Equation (2)): computes
+    /// `t'min = max(rᵢ, min_{j∈Mᵢ} C_j)`, collects the tie set
+    /// `U'ᵢ = {j ∈ Mᵢ : C_j ≤ t'min}`, picks a machine, and commits.
+    ///
+    /// Tasks must be dispatched in non-decreasing release order for the
+    /// schedule to be meaningful (this mirrors the online arrival order).
+    ///
+    /// # Panics
+    /// Panics if the processing set is empty or references a machine out
+    /// of range.
+    pub fn dispatch(&mut self, task: Task, set: &ProcSet) -> Assignment {
+        assert!(!set.is_empty(), "task has an empty processing set");
+        let min_completion = set
+            .as_slice()
+            .iter()
+            .map(|&j| self.completions[j])
+            .fold(f64::INFINITY, f64::min);
+        let t_min = task.release.max(min_completion);
+
+        self.ties.clear();
+        for &j in set.as_slice() {
+            if self.completions[j] <= t_min {
+                self.ties.push(j);
+            }
+        }
+        let u = self.breaker.pick(&self.ties);
+        let start = task.release.max(self.completions[u]);
+        self.completions[u] = start + task.ptime;
+        Assignment::new(MachineId(u), start)
+    }
+
+    /// The machines' waiting work at time `t` (`w_t` when sampled just
+    /// before the next batch): `max(0, C_j − t)` per machine.
+    pub fn backlog_at(&self, t: Time) -> Vec<Time> {
+        self.completions.iter().map(|&c| (c - t).max(0.0)).collect()
+    }
+}
+
+/// Abstraction over immediate-dispatch online schedulers: a task arrives,
+/// an assignment is irrevocably returned. The paper's adaptive adversaries
+/// (Theorems 3–5, 7, 10) are written against this trait so they can drive
+/// any immediate-dispatch algorithm, not just EFT.
+pub trait ImmediateDispatcher {
+    /// Number of machines.
+    fn machine_count(&self) -> usize;
+    /// Irrevocably dispatches one released task.
+    fn dispatch_task(&mut self, task: Task, set: &ProcSet) -> Assignment;
+    /// Current completion time of each machine under the commitments made
+    /// so far (what an adaptive adversary may observe).
+    fn machine_completions(&self) -> &[Time];
+}
+
+impl ImmediateDispatcher for EftState {
+    fn machine_count(&self) -> usize {
+        self.machines()
+    }
+
+    fn dispatch_task(&mut self, task: Task, set: &ProcSet) -> Assignment {
+        self.dispatch(task, set)
+    }
+
+    fn machine_completions(&self) -> &[Time] {
+        self.completions()
+    }
+}
+
+/// Runs EFT over a complete instance, returning the schedule.
+///
+/// ```
+/// use flowsched_algos::{TieBreak, eft};
+/// use flowsched_core::prelude::*;
+///
+/// let mut b = InstanceBuilder::new(2);
+/// b.push_unit(0.0, ProcSet::full(2));
+/// b.push_unit(0.0, ProcSet::full(2));
+/// b.push_unit(0.0, ProcSet::singleton(0)); // must queue behind a task on M1
+/// let inst = b.build().unwrap();
+///
+/// let schedule = eft(&inst, TieBreak::Min);
+/// schedule.validate(&inst).unwrap();
+/// assert_eq!(schedule.fmax(&inst), 2.0);
+/// ```
+pub fn eft(inst: &Instance, policy: TieBreak) -> Schedule {
+    let mut state = EftState::new(inst.machines(), policy);
+    let assignments = inst
+        .iter()
+        .map(|(_, task, set)| state.dispatch(task, set))
+        .collect();
+    Schedule::new(assignments)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowsched_core::instance::InstanceBuilder;
+    use flowsched_core::task::TaskId;
+
+    #[test]
+    fn unrestricted_tasks_balance_across_machines() {
+        // 4 simultaneous unit tasks on 4 machines: one each, Fmax = 1.
+        let mut b = InstanceBuilder::new(4);
+        for _ in 0..4 {
+            b.push_unit(0.0, ProcSet::full(4));
+        }
+        let inst = b.build().unwrap();
+        let s = eft(&inst, TieBreak::Min);
+        s.validate(&inst).unwrap();
+        assert_eq!(s.fmax(&inst), 1.0);
+        let mut machines: Vec<usize> =
+            (0..4).map(|i| s.machine(TaskId(i)).index()).collect();
+        machines.sort_unstable();
+        assert_eq!(machines, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn min_and_max_pick_opposite_ends() {
+        let mut b = InstanceBuilder::new(3);
+        b.push_unit(0.0, ProcSet::full(3));
+        let inst = b.build().unwrap();
+        let smin = eft(&inst, TieBreak::Min);
+        let smax = eft(&inst, TieBreak::Max);
+        assert_eq!(smin.machine(TaskId(0)), MachineId(0));
+        assert_eq!(smax.machine(TaskId(0)), MachineId(2));
+    }
+
+    #[test]
+    fn respects_processing_sets() {
+        // Machine 0 is heavily loaded but the restricted task may only use
+        // machine 0, so it must wait there.
+        let mut b = InstanceBuilder::new(2);
+        b.push(Task::new(0.0, 5.0), ProcSet::singleton(0));
+        b.push(Task::new(0.0, 1.0), ProcSet::singleton(0));
+        let inst = b.build().unwrap();
+        let s = eft(&inst, TieBreak::Min);
+        s.validate(&inst).unwrap();
+        assert_eq!(s.machine(TaskId(1)), MachineId(0));
+        assert_eq!(s.start(TaskId(1)), 5.0);
+        assert_eq!(s.fmax(&inst), 6.0);
+    }
+
+    #[test]
+    fn eft_prefers_earliest_finishing_machine() {
+        // M1 busy until 3, M2 until 1; new task goes to M2.
+        let mut b = InstanceBuilder::new(2);
+        b.push(Task::new(0.0, 3.0), ProcSet::singleton(0));
+        b.push(Task::new(0.0, 1.0), ProcSet::singleton(1));
+        b.push(Task::new(0.5, 1.0), ProcSet::full(2));
+        let inst = b.build().unwrap();
+        let s = eft(&inst, TieBreak::Min);
+        assert_eq!(s.machine(TaskId(2)), MachineId(1));
+        assert_eq!(s.start(TaskId(2)), 1.0);
+    }
+
+    #[test]
+    fn tie_set_requires_c_le_tmin() {
+        // M1 free at 2, M2 free at 0; task released at 2: both are in the
+        // tie set (C_j ≤ 2) → Min picks M1.
+        let mut b = InstanceBuilder::new(2);
+        b.push(Task::new(0.0, 2.0), ProcSet::singleton(0));
+        b.push(Task::new(2.0, 1.0), ProcSet::full(2));
+        let inst = b.build().unwrap();
+        let s = eft(&inst, TieBreak::Min);
+        assert_eq!(s.machine(TaskId(1)), MachineId(0));
+        assert_eq!(s.start(TaskId(1)), 2.0);
+    }
+
+    #[test]
+    fn immediate_dispatch_starts_at_release_when_idle() {
+        let mut b = InstanceBuilder::new(3);
+        b.push(Task::new(1.5, 2.0), ProcSet::full(3));
+        let inst = b.build().unwrap();
+        let s = eft(&inst, TieBreak::Max);
+        assert_eq!(s.start(TaskId(0)), 1.5);
+    }
+
+    #[test]
+    fn state_backlog_reports_waiting_work() {
+        let mut st = EftState::new(2, TieBreak::Min);
+        st.dispatch(Task::new(0.0, 3.0), &ProcSet::full(2));
+        st.dispatch(Task::new(0.0, 1.0), &ProcSet::full(2));
+        assert_eq!(st.backlog_at(0.5), vec![2.5, 0.5]);
+        assert_eq!(st.backlog_at(10.0), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn rand_policy_produces_valid_schedules() {
+        let mut b = InstanceBuilder::new(4);
+        for i in 0..40 {
+            b.push_unit(i as f64 * 0.25, ProcSet::interval(i % 3, (i % 3) + 1));
+        }
+        let inst = b.build().unwrap();
+        let s = eft(&inst, TieBreak::Rand { seed: 11 });
+        s.validate(&inst).unwrap();
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut b = InstanceBuilder::new(5);
+        for i in 0..30 {
+            b.push_unit((i / 5) as f64, ProcSet::full(5));
+        }
+        let inst = b.build().unwrap();
+        let a = eft(&inst, TieBreak::Rand { seed: 4 });
+        let c = eft(&inst, TieBreak::Rand { seed: 4 });
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn work_conserving_on_single_machine() {
+        // On one machine EFT is FIFO and leaves no unforced idle.
+        let mut b = InstanceBuilder::new(1);
+        b.push(Task::new(0.0, 1.0), ProcSet::full(1));
+        b.push(Task::new(0.5, 1.0), ProcSet::full(1));
+        b.push(Task::new(3.0, 1.0), ProcSet::full(1));
+        let inst = b.build().unwrap();
+        let s = eft(&inst, TieBreak::Min);
+        assert_eq!(s.start(TaskId(0)), 0.0);
+        assert_eq!(s.start(TaskId(1)), 1.0);
+        assert_eq!(s.start(TaskId(2)), 3.0); // idle 2→3 is forced
+    }
+}

@@ -1,0 +1,226 @@
+//! FIFO — centralized-queue scheduling (paper Algorithm 1).
+//!
+//! A single global FIFO queue holds released tasks; whenever machines are
+//! idle, the earliest queued task is pulled by one of them (the tie-break
+//! policy selects which idle machine runs first). Unlike EFT, FIFO is
+//! *not* an immediate-dispatch algorithm — a task may wait in the central
+//! queue — and the paper notes it does not extend naturally to processing
+//! set restrictions, so this implementation requires an unrestricted
+//! instance.
+//!
+//! The implementation is a faithful discrete-event simulation (arrival
+//! and machine-free events), deliberately *not* sharing code with
+//! [`crate::eft()`], so the equivalence of Proposition 1 is validated by
+//! running two independent engines.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use flowsched_core::instance::Instance;
+use flowsched_core::machine::MachineId;
+use flowsched_core::schedule::{Assignment, Schedule};
+use flowsched_core::time::Time;
+
+use crate::tiebreak::TieBreak;
+
+/// Event kinds, ordered so that at equal times machine-free events are
+/// handled before arrivals (either order yields the same schedule; fixing
+/// one keeps the simulation deterministic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum EventKind {
+    MachineFree(usize),
+    Arrival(usize),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Event {
+    time: Time,
+    kind: EventKind,
+}
+
+impl Eq for Event {}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time
+            .partial_cmp(&other.time)
+            .expect("event times are never NaN")
+            .then_with(|| self.kind.cmp(&other.kind))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Runs FIFO (Algorithm 1) over an unrestricted instance.
+///
+/// ```
+/// use flowsched_algos::{TieBreak, eft, fifo};
+/// use flowsched_core::prelude::*;
+///
+/// let inst = Instance::unrestricted(
+///     3,
+///     vec![Task::new(0.0, 2.0), Task::new(0.5, 1.0), Task::new(0.5, 1.0)],
+/// ).unwrap();
+/// // Proposition 1: FIFO and EFT produce the same schedule.
+/// assert_eq!(fifo(&inst, TieBreak::Min), eft(&inst, TieBreak::Min));
+/// ```
+///
+/// # Panics
+/// Panics if any task carries a real processing-set restriction — FIFO's
+/// central queue has no notion of eligibility (see module docs).
+pub fn fifo(inst: &Instance, policy: TieBreak) -> Schedule {
+    assert!(
+        inst.is_unrestricted(),
+        "FIFO requires an unrestricted instance (P | online-ri | Fmax); \
+         use EFT for processing set restrictions"
+    );
+    let m = inst.machines();
+    let mut breaker = policy.breaker();
+    let mut events: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
+    for (id, task, _) in inst.iter() {
+        events.push(Reverse(Event { time: task.release, kind: EventKind::Arrival(id.0) }));
+    }
+    let mut idle: Vec<bool> = vec![true; m];
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    let mut assignments: Vec<Option<Assignment>> = vec![None; inst.len()];
+
+    while let Some(&Reverse(first)) = events.peek() {
+        // Apply every event at this timestamp before dispatching, so that
+        // machines freeing simultaneously form one tie set (as in the
+        // paper, where ties are "broken when at least 2 machines are idle
+        // at the same time").
+        let now = first.time;
+        while let Some(&Reverse(ev)) = events.peek() {
+            if ev.time != now {
+                break;
+            }
+            events.pop();
+            match ev.kind {
+                EventKind::Arrival(i) => queue.push_back(i),
+                EventKind::MachineFree(j) => idle[j] = true,
+            }
+        }
+        // Dispatch loop: idle machines pull from the queue head.
+        loop {
+            if queue.is_empty() {
+                break;
+            }
+            let idle_set: Vec<usize> =
+                (0..m).filter(|&j| idle[j]).collect();
+            if idle_set.is_empty() {
+                break;
+            }
+            let u = breaker.pick(&idle_set);
+            let i = queue.pop_front().unwrap();
+            idle[u] = false;
+            assignments[i] = Some(Assignment::new(MachineId(u), now));
+            let completion = now + inst.tasks()[i].ptime;
+            events.push(Reverse(Event { time: completion, kind: EventKind::MachineFree(u) }));
+        }
+    }
+
+    Schedule::new(
+        assignments
+            .into_iter()
+            .map(|a| a.expect("every task is eventually dispatched"))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eft::eft;
+    use flowsched_core::instance::InstanceBuilder;
+    use flowsched_core::procset::ProcSet;
+    use flowsched_core::task::{Task, TaskId};
+
+    #[test]
+    fn single_machine_fifo_is_release_order() {
+        let mut b = InstanceBuilder::new(1);
+        b.push_unrestricted(Task::new(0.0, 2.0));
+        b.push_unrestricted(Task::new(0.5, 1.0));
+        b.push_unrestricted(Task::new(1.0, 1.0));
+        let inst = b.build().unwrap();
+        let s = fifo(&inst, TieBreak::Min);
+        s.validate(&inst).unwrap();
+        assert_eq!(s.start(TaskId(0)), 0.0);
+        assert_eq!(s.start(TaskId(1)), 2.0);
+        assert_eq!(s.start(TaskId(2)), 3.0);
+    }
+
+    #[test]
+    fn tasks_wait_in_central_queue() {
+        // 3 simultaneous tasks, 2 machines: third waits for first finisher.
+        let mut b = InstanceBuilder::new(2);
+        b.push_unrestricted(Task::new(0.0, 2.0));
+        b.push_unrestricted(Task::new(0.0, 1.0));
+        b.push_unrestricted(Task::new(0.0, 1.0));
+        let inst = b.build().unwrap();
+        let s = fifo(&inst, TieBreak::Min);
+        s.validate(&inst).unwrap();
+        // Task 2 (p=1) finishes first at t=1 on M2; task 3 starts there.
+        assert_eq!(s.start(TaskId(2)), 1.0);
+        assert_eq!(s.machine(TaskId(2)), MachineId(1));
+        assert_eq!(s.fmax(&inst), 2.0);
+    }
+
+    #[test]
+    fn proposition_1_fifo_equals_eft_on_deterministic_policies() {
+        // Structure-free instances: FIFO and EFT must produce identical
+        // schedules under the same tie-break (Proposition 1).
+        for seed_shift in 0..5u64 {
+            let mut b = InstanceBuilder::new(4);
+            // A deterministic but irregular stream of tasks.
+            for i in 0..60u64 {
+                let x = flowsched_stats::rng::splitmix64(i + 1000 * seed_shift);
+                let release = (x % 40) as f64 * 0.5;
+                let ptime = 0.5 + ((x >> 8) % 8) as f64 * 0.25;
+                b.push_unrestricted(Task::new(release, ptime));
+            }
+            let inst = b.build().unwrap();
+            for tb in [TieBreak::Min, TieBreak::Max, TieBreak::Rand { seed: 42 }] {
+                let sf = fifo(&inst, tb);
+                let se = eft(&inst, tb);
+                sf.validate(&inst).unwrap();
+                se.validate(&inst).unwrap();
+                assert_eq!(sf, se, "Proposition 1 violated for {tb} (shift {seed_shift})");
+            }
+        }
+    }
+
+    #[test]
+    fn fifo_never_idles_with_waiting_work() {
+        let mut b = InstanceBuilder::new(2);
+        for i in 0..10 {
+            b.push_unrestricted(Task::new(i as f64 * 0.1, 3.0));
+        }
+        let inst = b.build().unwrap();
+        let s = fifo(&inst, TieBreak::Min);
+        s.validate(&inst).unwrap();
+        // 10 tasks × 3.0 on 2 machines: last completion ≥ 15; and no
+        // machine should idle once the queue is saturated, so makespan is
+        // close to the work bound.
+        assert!(s.makespan(&inst) <= 16.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unrestricted")]
+    fn restricted_instance_rejected() {
+        let mut b = InstanceBuilder::new(2);
+        b.push_unit(0.0, ProcSet::singleton(0));
+        let inst = b.build().unwrap();
+        let _ = fifo(&inst, TieBreak::Min);
+    }
+
+    #[test]
+    fn empty_instance_gives_empty_schedule() {
+        let inst = Instance::unrestricted(3, vec![]).unwrap();
+        let s = fifo(&inst, TieBreak::Min);
+        assert!(s.is_empty());
+    }
+}

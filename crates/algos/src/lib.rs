@@ -1,0 +1,52 @@
+//! # flowsched-algos
+//!
+//! The paper's scheduling algorithms and the reference solvers used to
+//! measure them:
+//!
+//! - [`tiebreak`]: the tie-break policies distinguishing EFT-Min
+//!   (Algorithm 3), EFT-Max, and EFT-Rand (Algorithm 4).
+//! - [`eft`](mod@eft): Earliest Finish Time — the immediate-dispatch scheduler of
+//!   Algorithm 2, with processing-set support (Equation (2)), both as a
+//!   whole-instance driver and as an incremental [`eft::EftState`] for
+//!   discrete-event simulation.
+//! - [`fifo`](mod@fifo): the centralized-queue FIFO scheduler of Algorithm 1,
+//!   implemented as a genuine event simulation so that Proposition 1
+//!   (FIFO ≡ EFT on `P | online-rᵢ | Fmax`) is *tested*, not assumed.
+//! - [`offline`]: reference values — the exact offline optimum for
+//!   unit-task instances (binary search on the flow budget with a
+//!   Hopcroft–Karp feasibility oracle), an exhaustive optimum for tiny
+//!   general instances, and polynomial lower bounds on `F*max` used to
+//!   report competitive ratios when the exact optimum is out of reach.
+
+pub mod compose;
+pub mod eft;
+pub mod exact;
+pub mod fifo;
+pub mod localsearch;
+pub mod offline;
+pub mod policies;
+pub mod preemptive;
+pub mod related;
+pub mod tiebreak;
+
+pub use compose::compose_disjoint;
+pub use eft::{EftState, ImmediateDispatcher, eft};
+pub use exact::{ExactResult, approx_fmax, exact_fmax};
+pub use localsearch::{eft_plus_local_search, improve};
+pub use fifo::fifo;
+pub use offline::{brute_force_fmax, fmax_lower_bound, optimal_unit_fmax};
+pub use policies::{DispatchRule, Dispatcher};
+pub use preemptive::optimal_preemptive_fmax;
+pub use related::{RelatedRule, RelatedState, related_dispatch, related_fmax};
+pub use tiebreak::TieBreak;
+
+/// Most used items for downstream crates.
+pub mod prelude {
+    pub use crate::eft::{EftState, ImmediateDispatcher, eft};
+    pub use crate::exact::{ExactResult, exact_fmax};
+    pub use crate::fifo::fifo;
+    pub use crate::offline::{brute_force_fmax, fmax_lower_bound, optimal_unit_fmax};
+    pub use crate::policies::{DispatchRule, Dispatcher};
+    pub use crate::preemptive::optimal_preemptive_fmax;
+    pub use crate::tiebreak::TieBreak;
+}

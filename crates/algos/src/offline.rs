@@ -1,0 +1,361 @@
+//! Offline reference values for competitive-ratio measurements.
+//!
+//! - [`optimal_unit_fmax`]: exact offline optimum for unit-task instances
+//!   with integer releases — `P | rᵢ, pᵢ=1, Mᵢ | Fmax` is polynomial
+//!   (Section 6 of the paper, via Brucker et al.); we binary-search the
+//!   flow budget `F` and decide feasibility by maximum bipartite matching
+//!   between tasks and `(machine, time slot)` pairs.
+//! - [`brute_force_fmax`]: exhaustive optimum for tiny general instances
+//!   (any processing times/sets), used to validate bounds in tests. Relies
+//!   on the exchange argument that, per machine, processing assigned tasks
+//!   in release order minimizes their maximum flow.
+//! - [`fmax_lower_bound`]: polynomial lower bounds on `F*max` — the
+//!   paper's bounds (3) `F* ≥ p_max` and (4) `F* ≥ W/m` generalized to
+//!   release windows and to machine subsets induced by processing sets.
+
+use flowsched_core::instance::Instance;
+use flowsched_core::procset::ProcSet;
+use flowsched_core::time::Time;
+use flowsched_solver::matching::BipartiteMatcher;
+
+/// Exact offline `F*max` for a unit-task instance with integer release
+/// times, via binary search on the integer flow budget with a
+/// Hopcroft–Karp feasibility oracle.
+///
+/// Feasibility of budget `F`: every task `Tᵢ` must occupy one
+/// `(machine ∈ Mᵢ, slot t)` with `rᵢ ≤ t ≤ rᵢ + F − 1`, each slot holding
+/// at most one task — a bipartite matching of size `n`.
+///
+/// ```
+/// use flowsched_algos::offline::optimal_unit_fmax;
+/// use flowsched_core::prelude::*;
+///
+/// // Three simultaneous unit tasks, all pinned to one machine of two.
+/// let mut b = InstanceBuilder::new(2);
+/// for _ in 0..3 { b.push_unit(0.0, ProcSet::singleton(0)); }
+/// let inst = b.build().unwrap();
+/// assert_eq!(optimal_unit_fmax(&inst), 3.0);
+/// ```
+///
+/// # Panics
+/// Panics if the instance is not unit-task or a release is not an
+/// integer.
+pub fn optimal_unit_fmax(inst: &Instance) -> Time {
+    assert!(inst.is_unit(), "optimal_unit_fmax requires unit tasks");
+    assert!(
+        inst.tasks().iter().all(|t| t.release.fract() == 0.0),
+        "optimal_unit_fmax requires integer release times"
+    );
+    if inst.is_empty() {
+        return 0.0;
+    }
+    // Lower bound 1 (a unit task's flow is at least its processing time).
+    // Upper bound: grow geometrically until feasible.
+    let mut hi = 1usize;
+    while !unit_budget_feasible(inst, hi) {
+        hi *= 2;
+        assert!(
+            hi <= 2 * inst.len() + 2,
+            "budget search exceeded the n-task upper bound — oracle bug"
+        );
+    }
+    let mut lo = hi / 2; // infeasible (or 0)
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if unit_budget_feasible(inst, mid) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    hi as Time
+}
+
+/// Matching oracle: can all unit tasks complete with flow ≤ `budget`?
+pub fn unit_budget_feasible(inst: &Instance, budget: usize) -> bool {
+    if budget == 0 {
+        return inst.is_empty();
+    }
+    let n = inst.len();
+    let m = inst.machines();
+    let min_r = inst.tasks().first().map(|t| t.release as i64).unwrap_or(0);
+    let max_r = inst.tasks().last().map(|t| t.release as i64).unwrap_or(0);
+    let horizon = (max_r - min_r) as usize + budget; // slots per machine
+    let slot_id = |machine: usize, t: i64| -> usize {
+        machine * horizon + (t - min_r) as usize
+    };
+    let mut g = BipartiteMatcher::new(n, m * horizon);
+    for (id, task, set) in inst.iter() {
+        let r = task.release as i64;
+        for &j in set.as_slice() {
+            for t in r..r + budget as i64 {
+                g.add_edge(id.0, slot_id(j, t));
+            }
+        }
+    }
+    g.solve().size == n
+}
+
+/// Exhaustive offline optimum for small instances (any processing times
+/// and sets). Exponential in the task count — intended for `n ≲ 10` in
+/// tests. Within one machine, tasks run contiguously in release order,
+/// which is optimal for `Fmax` by a pairwise exchange argument.
+///
+/// # Panics
+/// Panics when the instance has more than [`BRUTE_FORCE_LIMIT`] tasks.
+pub fn brute_force_fmax(inst: &Instance) -> Time {
+    assert!(
+        inst.len() <= BRUTE_FORCE_LIMIT,
+        "brute force limited to {BRUTE_FORCE_LIMIT} tasks"
+    );
+    let mut busy = vec![0.0_f64; inst.machines()];
+    let mut best = f64::INFINITY;
+    search(inst, 0, &mut busy, 0.0, &mut best);
+    best
+}
+
+/// Task-count cap for [`brute_force_fmax`].
+pub const BRUTE_FORCE_LIMIT: usize = 12;
+
+fn search(inst: &Instance, i: usize, busy: &mut [f64], fmax_so_far: f64, best: &mut f64) {
+    if fmax_so_far >= *best {
+        return; // prune
+    }
+    if i == inst.len() {
+        *best = fmax_so_far;
+        return;
+    }
+    let task = inst.tasks()[i];
+    let set = &inst.sets()[i];
+    for &j in set.as_slice() {
+        let start = task.release.max(busy[j]);
+        let completion = start + task.ptime;
+        let saved = busy[j];
+        busy[j] = completion;
+        search(inst, i + 1, busy, fmax_so_far.max(completion - task.release), best);
+        busy[j] = saved;
+    }
+}
+
+/// Polynomial lower bound on the offline optimum `F*max`.
+///
+/// Combines:
+/// 1. `F* ≥ max pᵢ` (paper's bound (3));
+/// 2. for every machine subset `S` appearing as a processing set (plus the
+///    full set), and every release window `[r_a, r_b]`: the tasks released
+///    in the window whose processing set is contained in `S` must all
+///    finish by `r_b + F*` using only `|S|` machines, so
+///    `F* ≥ W/|S| − (r_b − r_a)`. The best window per subset is found with
+///    a Kadane-style sweep in `O(n)` after sorting.
+pub fn fmax_lower_bound(inst: &Instance) -> Time {
+    if inst.is_empty() {
+        return 0.0;
+    }
+    let mut bound = inst.pmax();
+
+    // Candidate subsets: distinct processing sets + the full machine set.
+    let mut subsets: Vec<ProcSet> = vec![ProcSet::full(inst.machines())];
+    for s in inst.sets() {
+        if !subsets.contains(s) {
+            subsets.push(s.clone());
+        }
+    }
+
+    for subset in &subsets {
+        let cap = subset.len() as f64;
+        // Tasks that *must* run inside `subset`.
+        let tasks: Vec<(Time, Time)> = inst
+            .iter()
+            .filter(|(_, _, set)| set.is_subset_of(subset))
+            .map(|(_, t, _)| (t.release, t.ptime))
+            .collect();
+        if tasks.is_empty() {
+            continue;
+        }
+        // Kadane sweep over windows [r_a, r_b]:
+        //   LB = max_{a ≤ b}  (Σ_{i=a..b} pᵢ)/cap + r_a − r_b
+        // Maintain best_a = max over a of (r_a − prefix(a−1)/cap).
+        let mut prefix = 0.0_f64;
+        let mut best_a = f64::NEG_INFINITY;
+        for &(r, p) in &tasks {
+            // Candidate start: window beginning at this task.
+            best_a = best_a.max(r - prefix / cap);
+            prefix += p;
+            bound = bound.max(prefix / cap - r + best_a);
+        }
+    }
+    bound
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eft::eft;
+    use crate::tiebreak::TieBreak;
+    use flowsched_core::instance::InstanceBuilder;
+    use flowsched_core::task::Task;
+
+    #[test]
+    fn unit_opt_simple_cases() {
+        // 3 simultaneous unit tasks, 3 machines → F* = 1.
+        let mut b = InstanceBuilder::new(3);
+        for _ in 0..3 {
+            b.push_unit(0.0, ProcSet::full(3));
+        }
+        let inst = b.build().unwrap();
+        assert_eq!(optimal_unit_fmax(&inst), 1.0);
+
+        // 3 simultaneous unit tasks, 1 machine → F* = 3.
+        let mut b = InstanceBuilder::new(1);
+        for _ in 0..3 {
+            b.push_unit(0.0, ProcSet::full(1));
+        }
+        let inst = b.build().unwrap();
+        assert_eq!(optimal_unit_fmax(&inst), 3.0);
+    }
+
+    #[test]
+    fn unit_opt_with_restrictions() {
+        // Two tasks restricted to M1, one task restricted to M2.
+        let mut b = InstanceBuilder::new(2);
+        b.push_unit(0.0, ProcSet::singleton(0));
+        b.push_unit(0.0, ProcSet::singleton(0));
+        b.push_unit(0.0, ProcSet::singleton(1));
+        let inst = b.build().unwrap();
+        assert_eq!(optimal_unit_fmax(&inst), 2.0);
+    }
+
+    #[test]
+    fn unit_opt_uses_staggered_releases() {
+        // Unit tasks arriving one per step on one machine: F* = 1.
+        let mut b = InstanceBuilder::new(1);
+        for t in 0..5 {
+            b.push_unit(t as f64, ProcSet::full(1));
+        }
+        let inst = b.build().unwrap();
+        assert_eq!(optimal_unit_fmax(&inst), 1.0);
+    }
+
+    #[test]
+    fn unit_opt_matches_brute_force_on_random_instances() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        for trial in 0..60 {
+            let m = rng.random_range(1..=3);
+            let n = rng.random_range(1..=7);
+            let mut b = InstanceBuilder::new(m);
+            for _ in 0..n {
+                let r = rng.random_range(0..4) as f64;
+                let lo = rng.random_range(0..m);
+                let hi = rng.random_range(lo..m);
+                b.push_unit(r, ProcSet::interval(lo, hi));
+            }
+            let inst = b.build().unwrap();
+            let exact = brute_force_fmax(&inst);
+            let matched = optimal_unit_fmax(&inst);
+            assert!(
+                (exact - matched).abs() < 1e-9,
+                "trial {trial}: brute {exact} vs matching {matched}"
+            );
+        }
+    }
+
+    #[test]
+    fn brute_force_handles_processing_sets() {
+        // Long task must go to its only machine; short ones elsewhere.
+        let mut b = InstanceBuilder::new(2);
+        b.push(Task::new(0.0, 4.0), ProcSet::singleton(0));
+        b.push(Task::new(0.0, 1.0), ProcSet::full(2));
+        b.push(Task::new(0.0, 1.0), ProcSet::full(2));
+        let inst = b.build().unwrap();
+        assert_eq!(brute_force_fmax(&inst), 4.0);
+    }
+
+    #[test]
+    fn lower_bound_is_sound_and_useful() {
+        // The bound must never exceed the optimum; on a saturated burst it
+        // should be tight-ish.
+        let mut b = InstanceBuilder::new(2);
+        for _ in 0..6 {
+            b.push_unit(0.0, ProcSet::full(2));
+        }
+        let inst = b.build().unwrap();
+        let lb = fmax_lower_bound(&inst);
+        let opt = brute_force_fmax(&inst);
+        assert!(lb <= opt + 1e-9);
+        // 6 unit tasks / 2 machines, simultaneous: W/m = 3 = OPT.
+        assert_eq!(lb, 3.0);
+        assert_eq!(opt, 3.0);
+    }
+
+    #[test]
+    fn lower_bound_uses_subset_capacity() {
+        // 4 unit tasks at t=0 all restricted to machine M1 of a 4-machine
+        // cluster: the full-set bound gives 1, the subset bound gives 4.
+        let mut b = InstanceBuilder::new(4);
+        for _ in 0..4 {
+            b.push_unit(0.0, ProcSet::singleton(0));
+        }
+        let inst = b.build().unwrap();
+        assert_eq!(fmax_lower_bound(&inst), 4.0);
+    }
+
+    #[test]
+    fn lower_bound_window_beats_naive_total() {
+        // A quiet prefix then a burst: windowed bound sees the burst.
+        let mut b = InstanceBuilder::new(1);
+        b.push_unit(0.0, ProcSet::full(1));
+        for _ in 0..5 {
+            b.push_unit(100.0, ProcSet::full(1));
+        }
+        let inst = b.build().unwrap();
+        // Burst window [100,100]: W=5 on 1 machine → F* ≥ 5.
+        assert_eq!(fmax_lower_bound(&inst), 5.0);
+    }
+
+    #[test]
+    fn lower_bound_never_exceeds_eft_result() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        for _ in 0..40 {
+            let m = rng.random_range(1..=4);
+            let n = rng.random_range(1..=30);
+            let mut b = InstanceBuilder::new(m);
+            for _ in 0..n {
+                let r = rng.random_range(0..10) as f64;
+                let p = 0.25 * rng.random_range(1..=8) as f64;
+                b.push_unrestricted(Task::new(r, p));
+            }
+            let inst = b.build().unwrap();
+            let lb = fmax_lower_bound(&inst);
+            let achieved = eft(&inst, TieBreak::Min).fmax(&inst);
+            assert!(lb <= achieved + 1e-9, "lb {lb} > EFT {achieved}");
+        }
+    }
+
+    #[test]
+    fn empty_instance_bounds() {
+        let inst = Instance::unrestricted(2, vec![]).unwrap();
+        assert_eq!(fmax_lower_bound(&inst), 0.0);
+        assert_eq!(optimal_unit_fmax(&inst), 0.0);
+        assert_eq!(brute_force_fmax(&inst), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unit tasks")]
+    fn unit_opt_rejects_general_tasks() {
+        let inst = Instance::unrestricted(1, vec![Task::new(0.0, 2.0)]).unwrap();
+        let _ = optimal_unit_fmax(&inst);
+    }
+
+    #[test]
+    #[should_panic(expected = "limited to")]
+    fn brute_force_rejects_large_instances() {
+        let mut b = InstanceBuilder::new(2);
+        for _ in 0..20 {
+            b.push_unit(0.0, ProcSet::full(2));
+        }
+        let inst = b.build().unwrap();
+        let _ = brute_force_fmax(&inst);
+    }
+}

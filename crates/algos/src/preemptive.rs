@@ -1,0 +1,289 @@
+//! Exact *preemptive* offline optimum for `P | rᵢ, pmtn, Mᵢ | Fmax`.
+//!
+//! The paper's Table 1 cites Legrand et al.'s optimal offline preemptive
+//! algorithm (via linear programming on unrelated machines). For
+//! identical machines with processing set restrictions the feasibility
+//! question reduces to a max-flow computation, which this module builds
+//! on the workspace's Dinic solver:
+//!
+//! Binary-search the flow budget `F`. For a candidate `F`, every task
+//! must fit in its window `[rᵢ, rᵢ + F]`. Cut the time axis at all
+//! releases and deadlines into intervals `I₁ … I_q` and route work
+//! through the network
+//!
+//! ```text
+//! source ─p_i→ task_i ─|I|→ (task_i, I) ─∞→ (I, machine j ∈ Mᵢ) ─|I|→ sink
+//! ```
+//!
+//! The `(task, I)` node caps a task's work inside `I` at `|I|` (a task
+//! runs on one machine at a time); the `(I, j)` node caps machine `j`'s
+//! capacity in `I`. By the open-shop theorem of Gonzalez & Sahni, any
+//! flow satisfying both cap families is realizable as an actual
+//! preemptive schedule inside each interval, so budget `F` is feasible
+//! iff the max flow equals `Σ pᵢ`.
+//!
+//! The preemptive optimum is a valid lower bound on the non-preemptive
+//! `F*max`, usually far tighter than the combinatorial bounds of
+//! [`crate::offline::fmax_lower_bound`].
+
+use flowsched_core::instance::Instance;
+use flowsched_core::time::Time;
+use flowsched_solver::maxflow::FlowNetwork;
+
+/// Decides whether every task can preemptively complete within flow
+/// budget `f` (see module docs for the network).
+pub fn preemptive_budget_feasible(inst: &Instance, f: Time) -> bool {
+    if inst.is_empty() {
+        return true;
+    }
+    if f < inst.pmax() {
+        return false; // a task cannot finish faster than its length
+    }
+    let n = inst.len();
+    let m = inst.machines();
+
+    // Interval boundaries: releases and deadlines.
+    let mut cuts: Vec<Time> = inst
+        .tasks()
+        .iter()
+        .flat_map(|t| [t.release, t.release + f])
+        .collect();
+    cuts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    cuts.dedup();
+    let intervals: Vec<(Time, Time)> =
+        cuts.windows(2).map(|w| (w[0], w[1])).filter(|(a, b)| b > a).collect();
+    let q = intervals.len();
+
+    // Node layout.
+    let source = 0usize;
+    let task_node = |i: usize| 1 + i;
+    let ti_node = |i: usize, v: usize| 1 + n + i * q + v;
+    let iv_machine_node = |v: usize, j: usize| 1 + n + n * q + v * m + j;
+    let sink = 1 + n + n * q + q * m;
+    let mut g = FlowNetwork::new(sink + 1);
+
+    let mut total_work = 0.0;
+    for (id, task, set) in inst.iter() {
+        let i = id.0;
+        total_work += task.ptime;
+        g.add_edge(source, task_node(i), task.ptime);
+        let deadline = task.release + f;
+        for (v, &(lo, hi)) in intervals.iter().enumerate() {
+            // The interval must lie inside the task's window.
+            if lo >= task.release - 1e-12 && hi <= deadline + 1e-12 {
+                let len = hi - lo;
+                g.add_edge(task_node(i), ti_node(i, v), len);
+                for &j in set.as_slice() {
+                    g.add_edge(ti_node(i, v), iv_machine_node(v, j), f64::MAX / 4.0);
+                }
+            }
+        }
+    }
+    for (v, &(lo, hi)) in intervals.iter().enumerate() {
+        let len = hi - lo;
+        for j in 0..m {
+            g.add_edge(iv_machine_node(v, j), sink, len);
+        }
+    }
+
+    let flow = g.max_flow(source, sink);
+    flow >= total_work - 1e-7 * (1.0 + total_work)
+}
+
+/// Computes the optimal preemptive `Fmax` by binary search to absolute
+/// tolerance `tol`.
+///
+/// ```
+/// use flowsched_algos::preemptive::optimal_preemptive_fmax;
+/// use flowsched_core::prelude::*;
+///
+/// // Three length-2 tasks on 2 machines at t = 0: preemption achieves
+/// // the W/m bound of 3 (McNaughton wrap-around); without preemption
+/// // some machine runs two whole tasks → 4.
+/// let mut b = InstanceBuilder::new(2);
+/// for _ in 0..3 { b.push(Task::new(0.0, 2.0), ProcSet::full(2)); }
+/// let inst = b.build().unwrap();
+/// assert!((optimal_preemptive_fmax(&inst, 1e-6) - 3.0).abs() < 1e-4);
+/// ```
+///
+/// # Panics
+/// Panics if `tol ≤ 0`.
+pub fn optimal_preemptive_fmax(inst: &Instance, tol: Time) -> Time {
+    assert!(tol > 0.0, "tolerance must be positive");
+    if inst.is_empty() {
+        return 0.0;
+    }
+    // Bracket: pmax is a universal lower bound; the bound of the paper's
+    // Equation (4)-style argument gives W/|S| + span as a crude feasible
+    // upper bound — grow geometrically from pmax until feasible instead.
+    let mut lo = inst.pmax();
+    if preemptive_budget_feasible(inst, lo) {
+        return lo;
+    }
+    let mut hi = lo.max(1e-9) * 2.0 + inst.total_work();
+    let mut guard = 0;
+    while !preemptive_budget_feasible(inst, hi) {
+        hi *= 2.0;
+        guard += 1;
+        assert!(guard < 64, "no feasible budget found — oracle bug");
+    }
+    while hi - lo > tol {
+        let mid = 0.5 * (lo + hi);
+        if preemptive_budget_feasible(inst, mid) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    hi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::offline::{brute_force_fmax, fmax_lower_bound, optimal_unit_fmax};
+    use flowsched_core::instance::InstanceBuilder;
+    use flowsched_core::procset::ProcSet;
+    use flowsched_core::task::Task;
+
+    const TOL: f64 = 1e-6;
+
+    #[test]
+    fn single_task_is_its_length() {
+        let mut b = InstanceBuilder::new(2);
+        b.push(Task::new(1.0, 2.5), ProcSet::full(2));
+        let inst = b.build().unwrap();
+        let f = optimal_preemptive_fmax(&inst, TOL);
+        assert!((f - 2.5).abs() < 1e-5, "{f}");
+    }
+
+    #[test]
+    fn simultaneous_burst_on_one_machine() {
+        // 4 unit tasks at t=0 on one machine: some task completes at 4.
+        let mut b = InstanceBuilder::new(1);
+        for _ in 0..4 {
+            b.push_unit(0.0, ProcSet::full(1));
+        }
+        let inst = b.build().unwrap();
+        let f = optimal_preemptive_fmax(&inst, TOL);
+        assert!((f - 4.0).abs() < 1e-5, "{f}");
+    }
+
+    #[test]
+    fn preemption_splits_work_across_machines() {
+        // 3 tasks of length 2 at t=0 on 2 machines: W/m = 3 is achievable
+        // preemptively (e.g. McNaughton wrap-around), not worse.
+        let mut b = InstanceBuilder::new(2);
+        for _ in 0..3 {
+            b.push(Task::new(0.0, 2.0), ProcSet::full(2));
+        }
+        let inst = b.build().unwrap();
+        let f = optimal_preemptive_fmax(&inst, TOL);
+        assert!((f - 3.0).abs() < 1e-5, "{f}");
+        // Non-preemptively 4 is forced (two length-2 tasks in sequence).
+        assert_eq!(brute_force_fmax(&inst), 4.0);
+    }
+
+    #[test]
+    fn respects_processing_sets() {
+        // Two length-2 tasks pinned to M1 while M2 idles: F* = 4 even
+        // preemptively.
+        let mut b = InstanceBuilder::new(2);
+        b.push(Task::new(0.0, 2.0), ProcSet::singleton(0));
+        b.push(Task::new(0.0, 2.0), ProcSet::singleton(0));
+        let inst = b.build().unwrap();
+        let f = optimal_preemptive_fmax(&inst, TOL);
+        assert!((f - 4.0).abs() < 1e-5, "{f}");
+    }
+
+    #[test]
+    fn never_exceeds_nonpreemptive_optimum() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(55);
+        for trial in 0..30 {
+            let m = rng.random_range(1..=3);
+            let n = rng.random_range(1..=6);
+            let mut b = InstanceBuilder::new(m);
+            for _ in 0..n {
+                let r = rng.random_range(0..4) as f64;
+                let p = 0.5 * rng.random_range(1..=6) as f64;
+                let lo = rng.random_range(0..m);
+                let hi = rng.random_range(lo..m);
+                b.push(Task::new(r, p), ProcSet::interval(lo, hi));
+            }
+            let inst = b.build().unwrap();
+            let pre = optimal_preemptive_fmax(&inst, TOL);
+            let non = brute_force_fmax(&inst);
+            assert!(
+                pre <= non + 1e-4,
+                "trial {trial}: preemptive {pre} > non-preemptive {non}"
+            );
+        }
+    }
+
+    #[test]
+    fn dominates_combinatorial_lower_bound() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(56);
+        for _ in 0..20 {
+            let m = rng.random_range(1..=3);
+            let mut b = InstanceBuilder::new(m);
+            for _ in 0..rng.random_range(1..=8) {
+                let r = rng.random_range(0..5) as f64;
+                let p = 0.25 * rng.random_range(1..=8) as f64;
+                b.push(Task::new(r, p), ProcSet::full(m));
+            }
+            let inst = b.build().unwrap();
+            let pre = optimal_preemptive_fmax(&inst, TOL);
+            let lb = fmax_lower_bound(&inst);
+            assert!(pre >= lb - 1e-4, "preemptive {pre} < combinatorial LB {lb}");
+        }
+    }
+
+    #[test]
+    fn matches_unit_optimum_when_preemption_cannot_help() {
+        // Unit tasks at integer releases: preemption gains nothing when
+        // windows are laminar unit slots; on these instances the two
+        // optima coincide.
+        let mut b = InstanceBuilder::new(2);
+        for t in 0..4 {
+            b.push_unit(t as f64, ProcSet::full(2));
+            b.push_unit(t as f64, ProcSet::full(2));
+        }
+        let inst = b.build().unwrap();
+        let unit = optimal_unit_fmax(&inst);
+        let pre = optimal_preemptive_fmax(&inst, TOL);
+        assert!((unit - pre).abs() < 1e-4, "unit {unit} vs preemptive {pre}");
+    }
+
+    #[test]
+    fn staggered_releases_pipeline() {
+        // One unit task per step on one machine: flow 1 preemptively too.
+        let mut b = InstanceBuilder::new(1);
+        for t in 0..6 {
+            b.push_unit(t as f64, ProcSet::full(1));
+        }
+        let inst = b.build().unwrap();
+        let f = optimal_preemptive_fmax(&inst, TOL);
+        assert!((f - 1.0).abs() < 1e-5, "{f}");
+    }
+
+    #[test]
+    fn empty_instance() {
+        let inst = Instance::unrestricted(3, vec![]).unwrap();
+        assert_eq!(optimal_preemptive_fmax(&inst, TOL), 0.0);
+    }
+
+    #[test]
+    fn feasibility_is_monotone_in_budget() {
+        let mut b = InstanceBuilder::new(2);
+        for _ in 0..5 {
+            b.push(Task::new(0.0, 2.0), ProcSet::full(2));
+        }
+        let inst = b.build().unwrap();
+        // W/m = 5 is the optimum here.
+        assert!(!preemptive_budget_feasible(&inst, 4.9));
+        assert!(preemptive_budget_feasible(&inst, 5.0 + 1e-9));
+        assert!(preemptive_budget_feasible(&inst, 8.0));
+    }
+}

@@ -1,0 +1,259 @@
+//! Related machines (`Q` environment): machines with speeds.
+//!
+//! The paper's Table 1 includes the related-machines results of Bansal &
+//! Cloostermans (Slow-Fit ≥ Ω(m), Greedy ≥ Ω(log m), Double-Fit 13.5).
+//! This module provides the *model* — machine speeds, speed-aware EFT
+//! (their "Greedy"), and a Slow-Fit-style rule — so those algorithms can
+//! be exercised; we do not re-prove their bounds (the constructions live
+//! in the cited paper), but the tests demonstrate the qualitative
+//! behaviours: Greedy prefers fast machines, Slow-Fit saturates slow ones
+//! first, and both reduce to plain EFT when all speeds are equal.
+//!
+//! A task of size `p` runs on machine `j` for `p / speed[j]` time units.
+
+use flowsched_core::instance::Instance;
+use flowsched_core::machine::MachineId;
+use flowsched_core::procset::ProcSet;
+use flowsched_core::schedule::{Assignment, Schedule};
+use flowsched_core::task::Task;
+use flowsched_core::time::Time;
+
+/// Speed-aware immediate-dispatch rules.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RelatedRule {
+    /// Greedy / speed-aware EFT: dispatch to the machine finishing the
+    /// task earliest (`max(r, C_j) + p/s_j`), lowest index on ties.
+    Greedy,
+    /// Slow-Fit flavour: among machines that could finish within
+    /// `max(r, C_j) + p/s_j ≤ r + budget`, pick the *slowest* (saving
+    /// fast machines for urgent work); falls back to Greedy when no
+    /// machine meets the budget.
+    SlowFit {
+        /// Flow budget `T` the rule tries to respect.
+        budget: Time,
+    },
+}
+
+/// Incremental scheduler state over related machines.
+#[derive(Debug, Clone)]
+pub struct RelatedState {
+    speeds: Vec<f64>,
+    completions: Vec<Time>,
+    rule: RelatedRule,
+}
+
+impl RelatedState {
+    /// Fresh state; `speeds[j] > 0` is machine `j`'s speed.
+    ///
+    /// # Panics
+    /// Panics on empty or non-positive speeds.
+    pub fn new(speeds: Vec<f64>, rule: RelatedRule) -> Self {
+        assert!(!speeds.is_empty(), "need at least one machine");
+        assert!(
+            speeds.iter().all(|&s| s.is_finite() && s > 0.0),
+            "speeds must be positive"
+        );
+        let m = speeds.len();
+        RelatedState { speeds, completions: vec![0.0; m], rule }
+    }
+
+    /// Number of machines.
+    pub fn machines(&self) -> usize {
+        self.speeds.len()
+    }
+
+    /// Current machine completion times.
+    pub fn completions(&self) -> &[Time] {
+        &self.completions
+    }
+
+    /// Finish time of `task` if dispatched to machine `j` now.
+    fn finish_on(&self, task: Task, j: usize) -> Time {
+        task.release.max(self.completions[j]) + task.ptime / self.speeds[j]
+    }
+
+    /// Dispatches one task under the configured rule; returns the
+    /// assignment (start time is in wall-clock units; the task occupies
+    /// the machine for `p / speed` units).
+    ///
+    /// # Panics
+    /// Panics on an empty processing set.
+    pub fn dispatch(&mut self, task: Task, set: &ProcSet) -> Assignment {
+        assert!(!set.is_empty(), "task has an empty processing set");
+        let pick = match self.rule {
+            RelatedRule::Greedy => self.pick_greedy(task, set),
+            RelatedRule::SlowFit { budget } => {
+                let deadline = task.release + budget;
+                set.as_slice()
+                    .iter()
+                    .copied()
+                    .filter(|&j| self.finish_on(task, j) <= deadline + 1e-12)
+                    .min_by(|&a, &b| {
+                        self.speeds[a]
+                            .partial_cmp(&self.speeds[b])
+                            .unwrap()
+                            .then(a.cmp(&b))
+                    })
+                    .unwrap_or_else(|| self.pick_greedy(task, set))
+            }
+        };
+        let start = task.release.max(self.completions[pick]);
+        self.completions[pick] = start + task.ptime / self.speeds[pick];
+        Assignment::new(MachineId(pick), start)
+    }
+
+    fn pick_greedy(&self, task: Task, set: &ProcSet) -> usize {
+        *set.as_slice()
+            .iter()
+            .min_by(|&&a, &&b| {
+                self.finish_on(task, a)
+                    .partial_cmp(&self.finish_on(task, b))
+                    .unwrap()
+                    .then(a.cmp(&b))
+            })
+            .expect("non-empty set")
+    }
+}
+
+/// Runs a speed-aware rule over a whole instance. Note the returned
+/// schedule's *durations* differ from the instance's processing times
+/// (`p / s_j`), so validate flows with [`related_flow_times`] instead of
+/// `Schedule::flow_time`.
+pub fn related_dispatch(inst: &Instance, speeds: Vec<f64>, rule: RelatedRule) -> Schedule {
+    assert_eq!(speeds.len(), inst.machines(), "one speed per machine");
+    let mut state = RelatedState::new(speeds, rule);
+    Schedule::new(inst.iter().map(|(_, t, s)| state.dispatch(t, s)).collect())
+}
+
+/// Per-task flow times under machine speeds (completion uses `p / s_j`).
+pub fn related_flow_times(schedule: &Schedule, inst: &Instance, speeds: &[f64]) -> Vec<Time> {
+    inst.iter()
+        .map(|(id, task, _)| {
+            let a = schedule.assignment(id);
+            a.start + task.ptime / speeds[a.machine.index()] - task.release
+        })
+        .collect()
+}
+
+/// Maximum flow time under speeds.
+pub fn related_fmax(schedule: &Schedule, inst: &Instance, speeds: &[f64]) -> Time {
+    related_flow_times(schedule, inst, speeds)
+        .into_iter()
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eft::eft;
+    use crate::tiebreak::TieBreak;
+    use flowsched_core::instance::InstanceBuilder;
+    use flowsched_core::task::TaskId;
+
+    fn burst(m: usize, n: usize) -> Instance {
+        let mut b = InstanceBuilder::new(m);
+        for _ in 0..n {
+            b.push_unit(0.0, ProcSet::full(m));
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn equal_speeds_reduce_to_eft_min() {
+        let inst = burst(3, 9);
+        let related = related_dispatch(&inst, vec![1.0; 3], RelatedRule::Greedy);
+        let plain = eft(&inst, TieBreak::Min);
+        assert_eq!(related, plain);
+        assert_eq!(
+            related_fmax(&related, &inst, &[1.0; 3]),
+            plain.fmax(&inst)
+        );
+    }
+
+    #[test]
+    fn greedy_prefers_the_fast_machine() {
+        // Speeds 4 vs 1: a single task must go to the fast machine.
+        let inst = burst(2, 1);
+        let s = related_dispatch(&inst, vec![1.0, 4.0], RelatedRule::Greedy);
+        assert_eq!(s.machine(TaskId(0)).index(), 1);
+        let flows = related_flow_times(&s, &inst, &[1.0, 4.0]);
+        assert!((flows[0] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn greedy_balances_by_finish_time_not_count() {
+        // Speeds (2, 1): the fast machine should absorb about twice the
+        // tasks of the slow one on a long burst.
+        let inst = burst(2, 30);
+        let speeds = vec![2.0, 1.0];
+        let s = related_dispatch(&inst, speeds.clone(), RelatedRule::Greedy);
+        let counts = [0, 1].map(|j| {
+            (0..inst.len())
+                .filter(|&i| s.machine(TaskId(i)).index() == j)
+                .count()
+        });
+        assert!(
+            counts[0] > counts[1],
+            "fast machine got {c0} vs slow {c1}",
+            c0 = counts[0],
+            c1 = counts[1]
+        );
+        // Max flow ≈ n / (s1 + s2) = 10 at the fluid limit.
+        let fmax = related_fmax(&s, &inst, &speeds);
+        assert!((fmax - 10.0).abs() <= 1.0, "fmax {fmax}");
+    }
+
+    #[test]
+    fn slow_fit_parks_work_on_slow_machines() {
+        // Budget generous: Slow-Fit sends everything to the slowest
+        // machine that still meets the budget.
+        let inst = burst(2, 2);
+        let speeds = vec![4.0, 1.0];
+        let s = related_dispatch(
+            &inst,
+            speeds.clone(),
+            RelatedRule::SlowFit { budget: 10.0 },
+        );
+        assert_eq!(s.machine(TaskId(0)).index(), 1, "first task on the slow machine");
+        // Tight budget: it must fall back toward fast machines.
+        let tight = related_dispatch(
+            &inst,
+            speeds.clone(),
+            RelatedRule::SlowFit { budget: 0.3 },
+        );
+        assert_eq!(tight.machine(TaskId(0)).index(), 0);
+    }
+
+    #[test]
+    fn slow_fit_respects_processing_sets() {
+        let mut b = InstanceBuilder::new(3);
+        for _ in 0..6 {
+            b.push_unit(0.0, ProcSet::interval(1, 2));
+        }
+        let inst = b.build().unwrap();
+        let s = related_dispatch(
+            &inst,
+            vec![10.0, 1.0, 2.0],
+            RelatedRule::SlowFit { budget: 5.0 },
+        );
+        for i in 0..inst.len() {
+            assert!(s.machine(TaskId(i)).index() >= 1);
+        }
+    }
+
+    #[test]
+    fn flows_account_for_speed() {
+        // p = 3 on a speed-2 machine: flow 1.5.
+        let mut b = InstanceBuilder::new(1);
+        b.push(Task::new(0.0, 3.0), ProcSet::full(1));
+        let inst = b.build().unwrap();
+        let s = related_dispatch(&inst, vec![2.0], RelatedRule::Greedy);
+        assert_eq!(related_fmax(&s, &inst, &[2.0]), 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_speed_rejected() {
+        let _ = RelatedState::new(vec![1.0, 0.0], RelatedRule::Greedy);
+    }
+}

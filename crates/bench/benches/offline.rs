@@ -1,0 +1,61 @@
+//! Criterion benchmarks: the offline reference solvers (exact B&B,
+//! preemptive max-flow optimum, local search) and the model substrates
+//! (structure classification, Zipf sampling).
+
+use criterion::{Criterion, criterion_group, criterion_main};
+use std::hint::black_box;
+
+use flowsched_algos::exact::exact_fmax;
+use flowsched_algos::localsearch::eft_plus_local_search;
+use flowsched_algos::preemptive::optimal_preemptive_fmax;
+use flowsched_algos::tiebreak::TieBreak;
+use flowsched_core::structure;
+use flowsched_stats::rng::seeded_rng;
+use flowsched_stats::zipf::Zipf;
+use flowsched_workloads::random::{RandomInstanceConfig, StructureKind, random_instance};
+
+fn bench_exact_solvers(c: &mut Criterion) {
+    let inst = random_instance(
+        &RandomInstanceConfig {
+            m: 4,
+            n: 14,
+            structure: StructureKind::IntervalFixed(2),
+            release_span: 3,
+            unit: false,
+            ptime_steps: 6,
+        },
+        7,
+    );
+    let mut g = c.benchmark_group("offline_reference_n14_m4");
+    g.bench_function("exact_branch_and_bound", |b| {
+        b.iter(|| black_box(exact_fmax(black_box(&inst), u64::MAX)))
+    });
+    g.bench_function("preemptive_maxflow_optimum", |b| {
+        b.iter(|| black_box(optimal_preemptive_fmax(black_box(&inst), 1e-4)))
+    });
+    g.bench_function("eft_plus_local_search", |b| {
+        b.iter(|| black_box(eft_plus_local_search(black_box(&inst), TieBreak::Min, 100)))
+    });
+    g.finish();
+}
+
+fn bench_structure_classification(c: &mut Criterion) {
+    let inst = random_instance(
+        &RandomInstanceConfig::unit_tasks(15, 5_000, StructureKind::RingFixed(3)),
+        3,
+    );
+    c.bench_function("classify_5k_sets_m15", |b| {
+        b.iter(|| black_box(structure::classify(black_box(inst.sets()), 15)))
+    });
+}
+
+fn bench_zipf_sampling(c: &mut Criterion) {
+    let z = Zipf::new(15, 1.0);
+    c.bench_function("zipf_sample_m15", |b| {
+        let mut rng = seeded_rng(5);
+        b.iter(|| black_box(z.sample(&mut rng)))
+    });
+}
+
+criterion_group!(benches, bench_exact_solvers, bench_structure_classification, bench_zipf_sampling);
+criterion_main!(benches);

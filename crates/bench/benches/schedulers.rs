@@ -1,0 +1,48 @@
+//! Criterion benchmarks: online scheduler throughput (dispatches/s) on
+//! the workloads the experiments run — EFT with each tie-break, and FIFO
+//! for the Proposition 1 pairing.
+
+use criterion::{Criterion, criterion_group, criterion_main};
+use std::hint::black_box;
+
+use flowsched_algos::tiebreak::TieBreak;
+use flowsched_algos::{eft, fifo};
+use flowsched_workloads::adversary::interval::interval_adversary_instance;
+use flowsched_workloads::random::{RandomInstanceConfig, StructureKind, random_instance};
+
+fn bench_eft_policies(c: &mut Criterion) {
+    let inst = random_instance(
+        &RandomInstanceConfig::unit_tasks(15, 10_000, StructureKind::RingFixed(3)),
+        1,
+    );
+    let mut g = c.benchmark_group("eft_10k_tasks_m15_k3");
+    for tb in [TieBreak::Min, TieBreak::Max, TieBreak::Rand { seed: 1 }] {
+        g.bench_function(format!("{tb}"), |b| {
+            b.iter(|| black_box(eft(black_box(&inst), tb)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_fifo_vs_eft(c: &mut Criterion) {
+    let inst = random_instance(
+        &RandomInstanceConfig::unit_tasks(15, 10_000, StructureKind::Unrestricted),
+        2,
+    );
+    let mut g = c.benchmark_group("fifo_vs_eft_unrestricted_10k");
+    g.bench_function("eft", |b| b.iter(|| black_box(eft(black_box(&inst), TieBreak::Min))));
+    g.bench_function("fifo_event_sim", |b| {
+        b.iter(|| black_box(fifo(black_box(&inst), TieBreak::Min)))
+    });
+    g.finish();
+}
+
+fn bench_adversary_stream(c: &mut Criterion) {
+    let inst = interval_adversary_instance(15, 3, 225);
+    c.bench_function("eft_min_theorem8_stream_m15", |b| {
+        b.iter(|| black_box(eft(black_box(&inst), TieBreak::Min)));
+    });
+}
+
+criterion_group!(benches, bench_eft_policies, bench_fifo_vs_eft, bench_adversary_stream);
+criterion_main!(benches);

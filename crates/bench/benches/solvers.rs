@@ -1,0 +1,65 @@
+//! Criterion benchmarks: the two max-load solvers (DESIGN.md ablation 2)
+//! and the raw substrates (simplex, Dinic, Hopcroft–Karp).
+
+use criterion::{Criterion, criterion_group, criterion_main};
+use std::hint::black_box;
+
+use flowsched_kvstore::replication::ReplicationStrategy;
+use flowsched_solver::loadflow::{max_load_binary_search, max_load_lp};
+use flowsched_solver::matching::BipartiteMatcher;
+use flowsched_stats::rng::seeded_rng;
+use flowsched_stats::zipf::Zipf;
+
+fn fig10_point() -> (Vec<f64>, Vec<Vec<usize>>, Vec<Vec<usize>>) {
+    let m = 15;
+    let mut rng = seeded_rng(42);
+    let w = Zipf::new(m, 1.0).shuffled(&mut rng);
+    (
+        w.probs().to_vec(),
+        ReplicationStrategy::Overlapping.allowed_sets(3, m),
+        ReplicationStrategy::Disjoint.allowed_sets(3, m),
+    )
+}
+
+fn bench_load_solvers(c: &mut Criterion) {
+    let (w, over, disj) = fig10_point();
+    let mut g = c.benchmark_group("max_load_m15_k3_zipf1");
+    g.bench_function("simplex_lp_overlapping", |b| {
+        b.iter(|| black_box(max_load_lp(black_box(&w), black_box(&over))))
+    });
+    g.bench_function("maxflow_bisect_overlapping", |b| {
+        b.iter(|| black_box(max_load_binary_search(black_box(&w), black_box(&over), 1e-6)))
+    });
+    g.bench_function("simplex_lp_disjoint", |b| {
+        b.iter(|| black_box(max_load_lp(black_box(&w), black_box(&disj))))
+    });
+    g.finish();
+}
+
+fn bench_matching(c: &mut Criterion) {
+    // A dense bipartite instance of the size the unit-OPT oracle builds.
+    let (n_tasks, slots) = (600usize, 900usize);
+    c.bench_function("hopcroft_karp_600x900_dense", |b| {
+        b.iter(|| {
+            let mut g = BipartiteMatcher::new(n_tasks, slots);
+            for l in 0..n_tasks {
+                for r in (l % 7)..slots.min(l % 7 + 40) {
+                    g.add_edge(l, r);
+                }
+            }
+            black_box(g.solve().size)
+        })
+    });
+}
+
+fn bench_unit_opt(c: &mut Criterion) {
+    use flowsched_algos::offline::optimal_unit_fmax;
+    use flowsched_workloads::adversary::interval::interval_adversary_instance;
+    let inst = interval_adversary_instance(8, 3, 10);
+    c.bench_function("optimal_unit_fmax_m8_80tasks", |b| {
+        b.iter(|| black_box(optimal_unit_fmax(black_box(&inst))))
+    });
+}
+
+criterion_group!(benches, bench_load_solvers, bench_matching, bench_unit_opt);
+criterion_main!(benches);

@@ -1,0 +1,9 @@
+//! Tie-break × replication-strategy ablation (DESIGN.md ablation 1).
+
+use flowsched_experiments::ablation;
+
+fn main() {
+    let args = flowsched_bench::parse_args();
+    let rows = ablation::run(&args.scale);
+    print!("{}", ablation::render(&rows));
+}

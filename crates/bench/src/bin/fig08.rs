@@ -1,0 +1,9 @@
+//! Regenerates the paper's Figure 8 (load distributions λ·P(E_j)).
+
+use flowsched_experiments::fig08;
+
+fn main() {
+    let args = flowsched_bench::parse_args();
+    let rows = fig08::run(args.scale.seed);
+    print!("{}", fig08::render(&rows));
+}

@@ -1,0 +1,9 @@
+//! Regenerates the paper's Figure 10a (LP max-load sweep).
+
+use flowsched_experiments::fig10;
+
+fn main() {
+    let args = flowsched_bench::parse_args();
+    let out = fig10::run(&args.scale);
+    print!("{}", fig10::render_10a(&out, &args.scale));
+}

@@ -1,0 +1,9 @@
+//! Regenerates the paper's Figure 11 (Fmax vs average load).
+
+use flowsched_experiments::fig11;
+
+fn main() {
+    let args = flowsched_bench::parse_args();
+    let out = fig11::run(&args.scale);
+    print!("{}", fig11::render(&out));
+}

@@ -1,0 +1,11 @@
+//! Open-question exploration: score replication strategies (including the
+//! staggered-blocks candidate) on tolerable load, average flow time and
+//! adversarial exposure.
+
+use flowsched_experiments::openq;
+
+fn main() {
+    let args = flowsched_bench::parse_args();
+    let rows = openq::run(&args.scale);
+    print!("{}", openq::render(&rows));
+}

@@ -1,0 +1,9 @@
+//! Immediate-dispatch rule comparison: adversarial vs average behaviour.
+
+use flowsched_experiments::policies;
+
+fn main() {
+    let args = flowsched_bench::parse_args();
+    let rows = policies::run(&args.scale);
+    print!("{}", policies::render(&rows, &args.scale));
+}

@@ -1,0 +1,10 @@
+//! Service-time sensitivity sweep (extension beyond the paper's unit
+//! tasks).
+
+use flowsched_experiments::service;
+
+fn main() {
+    let args = flowsched_bench::parse_args();
+    let rows = service::run(&args.scale);
+    print!("{}", service::render(&rows));
+}

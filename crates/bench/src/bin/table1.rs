@@ -1,0 +1,9 @@
+//! Regenerates the paper's Table 1 (measured FIFO/EFT competitiveness).
+
+use flowsched_experiments::table1;
+
+fn main() {
+    let args = flowsched_bench::parse_args();
+    let rows = table1::run(&args.scale);
+    print!("{}", table1::render(&rows));
+}

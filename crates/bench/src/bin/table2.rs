@@ -1,0 +1,9 @@
+//! Regenerates the paper's Table 2 (structured-processing-set bounds).
+
+use flowsched_experiments::table2;
+
+fn main() {
+    let args = flowsched_bench::parse_args();
+    let rows = table2::run(&args.scale);
+    print!("{}", table2::render(&rows));
+}

@@ -1,0 +1,103 @@
+//! # flowsched-bench
+//!
+//! Regeneration harness for every table and figure of the paper, plus
+//! Criterion micro-benchmarks of the substrates.
+//!
+//! Each `src/bin/*` binary prints one table/figure:
+//!
+//! ```text
+//! cargo run --release -p flowsched-bench --bin table1
+//! cargo run --release -p flowsched-bench --bin table2
+//! cargo run --release -p flowsched-bench --bin fig01   # structure reduction graph
+//! cargo run --release -p flowsched-bench --bin fig03   # EFT-Min adversary Gantt
+//! cargo run --release -p flowsched-bench --bin fig04   # profile convergence
+//! cargo run --release -p flowsched-bench --bin fig07   # Th. 10 padding
+//! cargo run --release -p flowsched-bench --bin fig08   # load distributions
+//! cargo run --release -p flowsched-bench --bin fig09   # replication strategies
+//! cargo run --release -p flowsched-bench --bin fig10a  # LP max-load sweep
+//! cargo run --release -p flowsched-bench --bin fig10b  # overlapping/disjoint ratio
+//! cargo run --release -p flowsched-bench --bin fig11   # Fmax vs load
+//! cargo run --release -p flowsched-bench --bin ablation
+//! ```
+//!
+//! Every binary accepts `--paper` for the paper's full parameters
+//! (m = 15, 100 permutations, 10 repetitions, 10 000 tasks) and defaults
+//! to a quick scale that finishes in seconds. `--seed <u64>` overrides
+//! the root seed; `--csv` switches tabular output to CSV where supported.
+
+use flowsched_experiments::Scale;
+
+/// Command-line options shared by the harness binaries.
+#[derive(Debug, Clone)]
+pub struct HarnessArgs {
+    /// Selected scale.
+    pub scale: Scale,
+    /// Emit CSV instead of aligned tables (where supported).
+    pub csv: bool,
+}
+
+/// Parses `std::env::args()`: `--paper`, `--seed <u64>`, `--csv`.
+///
+/// # Panics
+/// Panics with a usage message on unknown flags, which is the desired
+/// behaviour for a CLI harness.
+pub fn parse_args() -> HarnessArgs {
+    parse_from(std::env::args().skip(1))
+}
+
+/// Testable parser.
+pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> HarnessArgs {
+    let mut scale = Scale::quick();
+    let mut csv = false;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--paper" => scale = Scale::paper(),
+            "--csv" => csv = true,
+            "--seed" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| panic!("--seed requires a value"));
+                scale.seed = v
+                    .parse()
+                    .unwrap_or_else(|_| panic!("--seed takes a u64, got {v:?}"));
+            }
+            other => panic!(
+                "unknown flag {other:?}; supported: --paper, --seed <u64>, --csv"
+            ),
+        }
+    }
+    HarnessArgs { scale, csv }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_quick() {
+        let a = parse_from(Vec::<String>::new());
+        assert_eq!(a.scale.permutations, Scale::quick().permutations);
+        assert!(!a.csv);
+    }
+
+    #[test]
+    fn paper_flag_switches_scale() {
+        let a = parse_from(vec!["--paper".to_string()]);
+        assert_eq!(a.scale.permutations, 100);
+        assert_eq!(a.scale.tasks, 10_000);
+    }
+
+    #[test]
+    fn seed_and_csv() {
+        let a = parse_from(vec!["--seed".into(), "42".into(), "--csv".into()]);
+        assert_eq!(a.scale.seed, 42);
+        assert!(a.csv);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag")]
+    fn unknown_flag_panics() {
+        let _ = parse_from(vec!["--wat".to_string()]);
+    }
+}

@@ -1,0 +1,164 @@
+//! ASCII Gantt rendering of schedules.
+//!
+//! Used to regenerate the paper's schedule illustrations (Figures 2, 3
+//! and 7) in a terminal. Each machine is a row; time advances to the
+//! right in fixed-width cells.
+
+use crate::instance::Instance;
+use crate::schedule::Schedule;
+use crate::task::TaskId;
+use crate::time::Time;
+
+/// Options controlling Gantt rendering.
+#[derive(Debug, Clone)]
+pub struct GanttOptions {
+    /// Time units per character cell (1.0 works for unit tasks).
+    pub resolution: Time,
+    /// Inclusive end of the rendered window; `None` renders to the
+    /// makespan.
+    pub until: Option<Time>,
+    /// Label cells with the one-based task index modulo 10 instead of `#`.
+    pub numbered: bool,
+}
+
+impl Default for GanttOptions {
+    fn default() -> Self {
+        GanttOptions { resolution: 1.0, until: None, numbered: true }
+    }
+}
+
+/// Renders a schedule as ASCII art, one row per machine.
+///
+/// Cells show the last digit of the occupying task's one-based index
+/// (or `#` when `numbered` is off); idle cells show `.`. A cell is deemed
+/// occupied by the task running at the cell's midpoint, so resolutions
+/// coarser than the shortest task may visually drop tasks — pick
+/// `resolution ≤ min pᵢ` for faithful output.
+pub fn render(schedule: &Schedule, inst: &Instance, opts: &GanttOptions) -> String {
+    let end = opts.until.unwrap_or_else(|| schedule.makespan(inst));
+    let cells = ((end / opts.resolution).ceil() as usize).max(1);
+    let lanes = schedule.machine_timelines(inst);
+    let mut out = String::new();
+
+    // Header ruler: mark every 5th cell.
+    out.push_str("      ");
+    for c in 0..cells {
+        let t = c as Time * opts.resolution;
+        if c % 5 == 0 {
+            out.push_str(&format!("{:<5}", format_time(t)));
+        }
+    }
+    out.push('\n');
+
+    for (j, lane) in lanes.iter().enumerate() {
+        out.push_str(&format!("M{:<4} ", j + 1));
+        let mut row = vec!['.'; cells];
+        for &tid in lane {
+            let start = schedule.start(tid);
+            let finish = schedule.completion(tid, inst);
+            for (c, slot) in row.iter_mut().enumerate() {
+                let mid = (c as Time + 0.5) * opts.resolution;
+                if mid >= start && mid < finish {
+                    *slot = cell_char(tid, opts.numbered);
+                }
+            }
+        }
+        out.extend(row);
+        out.push('\n');
+    }
+    out
+}
+
+fn cell_char(tid: TaskId, numbered: bool) -> char {
+    if numbered {
+        char::from_digit((tid.paper_index() % 10) as u32, 10).unwrap()
+    } else {
+        '#'
+    }
+}
+
+fn format_time(t: Time) -> String {
+    if t.fract() == 0.0 {
+        format!("{}", t as i64)
+    } else {
+        format!("{t:.1}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::MachineId;
+    use crate::schedule::Assignment;
+    use crate::task::Task;
+
+    fn demo() -> (Instance, Schedule) {
+        let inst = Instance::unrestricted(
+            2,
+            vec![Task::new(0.0, 2.0), Task::new(0.0, 1.0), Task::new(1.0, 1.0)],
+        )
+        .unwrap();
+        let s = Schedule::new(vec![
+            Assignment::new(MachineId(0), 0.0),
+            Assignment::new(MachineId(1), 0.0),
+            Assignment::new(MachineId(1), 1.0),
+        ]);
+        (inst, s)
+    }
+
+    #[test]
+    fn renders_rows_per_machine() {
+        let (inst, s) = demo();
+        let art = render(&s, &inst, &GanttOptions::default());
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 3); // ruler + 2 machines
+        assert!(lines[1].starts_with("M1"));
+        assert!(lines[2].starts_with("M2"));
+        // M1 runs T1 for 2 cells; M2 runs T2 then T3.
+        assert!(lines[1].contains("11"));
+        assert!(lines[2].contains("23"));
+    }
+
+    #[test]
+    fn idle_cells_are_dots() {
+        let inst =
+            Instance::unrestricted(1, vec![Task::new(2.0, 1.0)]).unwrap();
+        let s = Schedule::new(vec![Assignment::new(MachineId(0), 2.0)]);
+        let art = render(&s, &inst, &GanttOptions::default());
+        let row = art.lines().nth(1).unwrap();
+        assert!(row.contains(".."), "expected leading idle cells in {row:?}");
+        assert!(row.ends_with('1'));
+    }
+
+    #[test]
+    fn until_extends_window() {
+        let (inst, s) = demo();
+        let art = render(
+            &s,
+            &inst,
+            &GanttOptions { until: Some(4.0), ..Default::default() },
+        );
+        let row = art.lines().nth(1).unwrap();
+        // 4 cells after the label.
+        assert_eq!(row.split_whitespace().last().unwrap().len(), 4);
+    }
+
+    #[test]
+    fn unnumbered_uses_hash() {
+        let (inst, s) = demo();
+        let art = render(
+            &s,
+            &inst,
+            &GanttOptions { numbered: false, ..Default::default() },
+        );
+        assert!(art.contains('#'));
+    }
+
+    #[test]
+    fn empty_schedule_renders_single_idle_cell() {
+        let inst = Instance::unrestricted(1, vec![]).unwrap();
+        let s = Schedule::new(vec![]);
+        let art = render(&s, &inst, &GanttOptions::default());
+        assert!(art.lines().nth(1).unwrap().ends_with('.'));
+    }
+}

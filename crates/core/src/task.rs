@@ -1,0 +1,87 @@
+//! Tasks (requests) and task identifiers.
+
+use std::fmt;
+
+use crate::time::Time;
+
+/// Zero-based task index. `TaskId(0)` is the paper's `T₁`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TaskId(pub usize);
+
+impl TaskId {
+    /// Zero-based index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// One-based index as used in the paper (`T₁ … Tₙ`).
+    #[inline]
+    pub fn paper_index(self) -> usize {
+        self.0 + 1
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.paper_index())
+    }
+}
+
+impl From<usize> for TaskId {
+    fn from(i: usize) -> Self {
+        TaskId(i)
+    }
+}
+
+/// A task: release time `r ≥ 0` and processing time `p > 0`.
+///
+/// The processing set lives alongside the task inside
+/// [`Instance`](crate::Instance) (tasks sharing a key in a key-value store
+/// share the same processing set, so the instance may deduplicate storage
+/// in the future; keeping the set out of `Task` keeps this type `Copy`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Task {
+    /// Release time `rᵢ`: the scheduler learns of the task at this instant.
+    pub release: Time,
+    /// Processing time `pᵢ > 0`.
+    pub ptime: Time,
+}
+
+impl Task {
+    /// Creates a task.
+    pub fn new(release: Time, ptime: Time) -> Self {
+        Task { release, ptime }
+    }
+
+    /// A unit task (`pᵢ = 1`), the workhorse of the paper's adversaries
+    /// and Section 7 simulations.
+    pub fn unit(release: Time) -> Self {
+        Task { release, ptime: 1.0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_display_is_one_based() {
+        assert_eq!(TaskId(0).to_string(), "T1");
+        assert_eq!(TaskId(9).to_string(), "T10");
+    }
+
+    #[test]
+    fn unit_task_has_processing_time_one() {
+        let t = Task::unit(3.5);
+        assert_eq!(t.release, 3.5);
+        assert_eq!(t.ptime, 1.0);
+    }
+
+    #[test]
+    fn from_usize() {
+        assert_eq!(TaskId::from(7), TaskId(7));
+        assert_eq!(TaskId(7).index(), 7);
+        assert_eq!(TaskId(7).paper_index(), 8);
+    }
+}

@@ -1,0 +1,154 @@
+//! Ablation: tie-break policy × replication strategy beyond the pairs the
+//! paper plots, at a fixed operating point (Shuffled case, s = 1,
+//! moderate load). Figure 11's observation is that the *replication
+//! structure* dominates the *tie-break choice*; this ablation quantifies
+//! both axes side by side.
+
+use flowsched_algos::tiebreak::TieBreak;
+use flowsched_kvstore::cluster::{ClusterConfig, KvCluster};
+use flowsched_kvstore::replication::ReplicationStrategy;
+use flowsched_parallel::par_map;
+use flowsched_sim::driver::{SimConfig, simulate};
+use flowsched_stats::descriptive::median;
+use flowsched_stats::rng::derive_rng;
+use flowsched_stats::zipf::BiasCase;
+use serde::Serialize;
+
+use crate::scale::Scale;
+use crate::table::TableBuilder;
+
+/// One ablation cell.
+#[derive(Debug, Clone, Serialize)]
+pub struct AblationRow {
+    /// Strategy label.
+    pub strategy: String,
+    /// Tie-break label.
+    pub policy: String,
+    /// Median `Fmax`.
+    pub fmax_median: f64,
+    /// Median mean flow time.
+    pub mean_flow_median: f64,
+    /// Median 99th-percentile flow (tail latency).
+    pub p99_median: f64,
+}
+
+/// Load fraction (of capacity) at which the ablation operates.
+pub const ABLATION_LOAD: f64 = 0.5;
+
+/// Runs the ablation grid.
+pub fn run(scale: &Scale) -> Vec<AblationRow> {
+    let policies = [
+        TieBreak::Min,
+        TieBreak::Max,
+        TieBreak::Rand { seed: scale.seed ^ 0xAB },
+    ];
+    let mut jobs = Vec::new();
+    for strategy in ReplicationStrategy::all() {
+        for policy in policies {
+            jobs.push((strategy, policy));
+        }
+    }
+    par_map(&jobs, |&(strategy, policy)| {
+        let lambda = ABLATION_LOAD * scale.m as f64;
+        let mut fmaxes = Vec::new();
+        let mut means = Vec::new();
+        let mut p99s = Vec::new();
+        for rep in 0..scale.repetitions {
+            let mut rng = derive_rng(scale.seed, 0xAB1A ^ ((rep as u64) << 4));
+            let cluster = KvCluster::new(
+                ClusterConfig {
+                    m: scale.m,
+                    k: scale.k,
+                    strategy,
+                    s: 1.0,
+                    case: BiasCase::Shuffled,
+                },
+                &mut rng,
+            );
+            let inst = cluster.requests(scale.tasks, lambda, &mut rng);
+            let (_, report) = simulate(&inst, &SimConfig { policy, warmup_fraction: 0.1 });
+            fmaxes.push(report.fmax);
+            means.push(report.mean_flow);
+            p99s.push(report.p99);
+        }
+        AblationRow {
+            strategy: strategy.to_string(),
+            policy: policy.to_string(),
+            fmax_median: median(&fmaxes),
+            mean_flow_median: median(&means),
+            p99_median: median(&p99s),
+        }
+    })
+}
+
+/// Renders the ablation table.
+pub fn render(rows: &[AblationRow]) -> String {
+    let mut t = TableBuilder::new(&["strategy", "tie-break", "Fmax", "mean flow", "p99"]);
+    for r in rows {
+        t.row(vec![
+            r.strategy.clone(),
+            r.policy.clone(),
+            format!("{:.1}", r.fmax_median),
+            format!("{:.2}", r.mean_flow_median),
+            format!("{:.1}", r.p99_median),
+        ]);
+    }
+    format!(
+        "Ablation — tie-break × replication strategy (Shuffled, s = 1, load {:.0}%)\n\n{}",
+        ABLATION_LOAD * 100.0,
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_is_complete() {
+        let rows = run(&Scale::quick());
+        assert_eq!(rows.len(), 6);
+        for strategy in ["Overlapping", "Disjoint"] {
+            for policy in ["EFT-Min", "EFT-Max", "EFT-Rand"] {
+                assert!(
+                    rows.iter().any(|r| r.strategy == strategy && r.policy == policy),
+                    "missing {strategy}/{policy}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn metrics_are_sane() {
+        for r in run(&Scale::quick()) {
+            assert!(r.fmax_median >= 1.0, "{r:?}");
+            assert!(r.mean_flow_median >= 1.0, "{r:?}");
+            assert!(r.p99_median <= r.fmax_median + 1e-9, "{r:?}");
+            assert!(r.mean_flow_median <= r.p99_median + 1e-9, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn structure_dominates_tiebreak() {
+        // The paper's qualitative claim: the gain from a replication
+        // structure outweighs the gain from the tie-break. Compare the
+        // spread across strategies (fixing Min) against the spread across
+        // tie-breaks (fixing Overlapping).
+        let rows = run(&Scale::quick());
+        let get = |st: &str, po: &str| {
+            rows.iter()
+                .find(|r| r.strategy == st && r.policy == po)
+                .unwrap()
+                .fmax_median
+        };
+        let structure_gap = (get("Disjoint", "EFT-Min") - get("Overlapping", "EFT-Min")).abs();
+        let tiebreak_gap =
+            (get("Overlapping", "EFT-Max") - get("Overlapping", "EFT-Min")).abs();
+        // Not a strict theorem — but at 50% load with bias the structure
+        // gap should not be *smaller* by an order of magnitude.
+        assert!(
+            structure_gap * 10.0 >= tiebreak_gap,
+            "structure gap {structure_gap} vs tie-break gap {tiebreak_gap}"
+        );
+    }
+}

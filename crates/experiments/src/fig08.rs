@@ -1,0 +1,102 @@
+//! Figure 8 — example load distributions `λ·P(Eⱼ)` on a cluster of
+//! `m = 6` machines at full offered load (`λ = m`), for the three
+//! popularity cases.
+
+use flowsched_kvstore::popularity::{load_distribution, machine_popularity};
+use flowsched_stats::rng::derive_rng;
+use flowsched_stats::zipf::BiasCase;
+use serde::Serialize;
+
+use crate::table::{TableBuilder, fnum};
+
+/// One bar of Figure 8: the offered load of one machine in one case.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig08Row {
+    /// Popularity case label.
+    pub case: String,
+    /// One-based machine index `j`.
+    pub machine: usize,
+    /// Offered load `λ·P(Eⱼ)` (1.0 = 100%).
+    pub load: f64,
+}
+
+/// Runs the Figure 8 computation (m = 6, λ = m, s = 1 for the biased
+/// cases, matching the paper's example).
+pub fn run(seed: u64) -> Vec<Fig08Row> {
+    let m = 6usize;
+    let lambda = m as f64;
+    let s = 1.0;
+    let mut rows = Vec::new();
+    for (idx, case) in [BiasCase::Uniform, BiasCase::WorstCase, BiasCase::Shuffled]
+        .into_iter()
+        .enumerate()
+    {
+        let mut rng = derive_rng(seed, idx as u64);
+        let pop = machine_popularity(m, s, case, &mut rng);
+        for (j, load) in load_distribution(lambda, &pop).into_iter().enumerate() {
+            rows.push(Fig08Row { case: case.to_string(), machine: j + 1, load });
+        }
+    }
+    rows
+}
+
+/// Renders the figure as one table per case with bar sparklines.
+pub fn render(rows: &[Fig08Row]) -> String {
+    let mut out = String::from("Figure 8 — load distribution λ·P(E_j), m = 6, λ = m, s = 1\n\n");
+    for case in ["Uniform", "Worst-case", "Shuffled"] {
+        let mut t = TableBuilder::new(&["machine", "load", "bar"]);
+        for r in rows.iter().filter(|r| r.case == case) {
+            let bar = "#".repeat((r.load * 20.0).round() as usize);
+            t.row(vec![format!("M{}", r.machine), fnum(r.load), bar]);
+        }
+        out.push_str(&format!("[{case} case]\n{}\n", t.render()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eighteen_rows_total() {
+        let rows = run(1);
+        assert_eq!(rows.len(), 18);
+    }
+
+    #[test]
+    fn uniform_rows_are_all_one() {
+        for r in run(1).iter().filter(|r| r.case == "Uniform") {
+            assert!((r.load - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn each_case_sums_to_lambda() {
+        let rows = run(2);
+        for case in ["Uniform", "Worst-case", "Shuffled"] {
+            let total: f64 = rows.iter().filter(|r| r.case == case).map(|r| r.load).sum();
+            assert!((total - 6.0).abs() < 1e-9, "{case}: {total}");
+        }
+    }
+
+    #[test]
+    fn worst_case_is_decreasing() {
+        let loads: Vec<f64> = run(3)
+            .iter()
+            .filter(|r| r.case == "Worst-case")
+            .map(|r| r.load)
+            .collect();
+        for w in loads.windows(2) {
+            assert!(w[0] > w[1]);
+        }
+    }
+
+    #[test]
+    fn render_contains_all_cases() {
+        let s = render(&run(4));
+        for case in ["Uniform", "Worst-case", "Shuffled"] {
+            assert!(s.contains(case));
+        }
+    }
+}

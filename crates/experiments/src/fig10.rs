@@ -1,0 +1,236 @@
+//! Figure 10 — theoretical maximum load from LP (15).
+//!
+//! Sweeps popularity bias `s ∈ [0, 5]` and interval size `k ∈ 1..=m` for
+//! both replication strategies in the Shuffled case, solving the max-load
+//! LP per configuration and taking the median over permutations
+//! (paper: `m = 15`, 100 permutations, `s` step 0.25).
+//!
+//! Figure 10a reports the median max-load (% of cluster capacity);
+//! Figure 10b the ratio overlapping/disjoint.
+
+use flowsched_kvstore::replication::ReplicationStrategy;
+use flowsched_parallel::par_map;
+use flowsched_solver::loadflow::max_load_lp;
+use flowsched_stats::descriptive::median;
+use flowsched_stats::rng::derive_rng;
+use flowsched_stats::zipf::Zipf;
+use serde::Serialize;
+
+use crate::scale::Scale;
+use crate::table::TableBuilder;
+
+/// One cell of the Figure 10a heatmap.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig10Cell {
+    /// Popularity bias `s`.
+    pub s: f64,
+    /// Interval size `k`.
+    pub k: usize,
+    /// Strategy label.
+    pub strategy: String,
+    /// Median maximum load, in % of cluster capacity (λ*/m × 100).
+    pub max_load_pct: f64,
+}
+
+/// One cell of the Figure 10b ratio map.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig10Ratio {
+    /// Popularity bias `s`.
+    pub s: f64,
+    /// Interval size `k`.
+    pub k: usize,
+    /// Overlapping-over-disjoint median max-load ratio.
+    pub ratio: f64,
+}
+
+/// Output of the sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig10Output {
+    /// Figure 10a cells (both strategies).
+    pub cells: Vec<Fig10Cell>,
+    /// Figure 10b ratios.
+    pub ratios: Vec<Fig10Ratio>,
+}
+
+/// Runs the Figure 10 sweep. Permutations are shared across `k` and the
+/// two strategies (common random numbers), as in the paper where the
+/// ratio compares medians over the same permutation population.
+#[allow(clippy::needless_range_loop)]
+pub fn run(scale: &Scale) -> Fig10Output {
+    let m = scale.m;
+    let grid = scale.bias_grid();
+
+    // Parallel unit: one (s, permutation) pair → max load for every
+    // (k, strategy).
+    let jobs: Vec<(usize, usize)> = (0..grid.len())
+        .flat_map(|si| (0..scale.permutations).map(move |p| (si, p)))
+        .collect();
+    let per_job: Vec<Vec<f64>> = par_map(&jobs, |&(si, p)| {
+        let s = grid[si];
+        let mut rng = derive_rng(scale.seed, (si as u64) << 32 | p as u64);
+        let weights = Zipf::new(m, s).shuffled(&mut rng);
+        let mut out = Vec::with_capacity(2 * m);
+        for strategy in ReplicationStrategy::all() {
+            for k in 1..=m {
+                let allowed = strategy.allowed_sets(k, m);
+                let lambda = max_load_lp(weights.probs(), &allowed);
+                out.push(lambda / m as f64 * 100.0);
+            }
+        }
+        out
+    });
+
+    // Aggregate medians per (s, strategy, k). Indexed loops keep the
+    // (strategy, k) offsets into the per-job vectors legible.
+    let mut cells = Vec::new();
+    let mut ratios = Vec::new();
+    for (si, &s) in grid.iter().enumerate() {
+        let mut medians = [vec![0.0; m + 1], vec![0.0; m + 1]];
+        for (sti, strategy) in ReplicationStrategy::all().into_iter().enumerate() {
+            for k in 1..=m {
+                let samples: Vec<f64> = (0..scale.permutations)
+                    .map(|p| per_job[si * scale.permutations + p][sti * m + (k - 1)])
+                    .collect();
+                let med = median(&samples);
+                medians[sti][k] = med;
+                cells.push(Fig10Cell { s, k, strategy: strategy.to_string(), max_load_pct: med });
+            }
+        }
+        for k in 1..=m {
+            ratios.push(Fig10Ratio { s, k, ratio: medians[0][k] / medians[1][k] });
+        }
+    }
+    Fig10Output { cells, ratios }
+}
+
+/// Renders Figure 10a as one grid per strategy (rows = s, cols = k).
+pub fn render_10a(out: &Fig10Output, scale: &Scale) -> String {
+    let mut text = String::from(
+        "Figure 10a — median max-load (% of capacity) from LP (15), Shuffled case\n\n",
+    );
+    for strategy in ReplicationStrategy::all() {
+        let mut header: Vec<String> = vec!["s \\ k".into()];
+        header.extend((1..=scale.m).map(|k| k.to_string()));
+        let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+        let mut t = TableBuilder::new(&header_refs);
+        for &s in &scale.bias_grid() {
+            let mut row = vec![format!("{s:.2}")];
+            for k in 1..=scale.m {
+                let cell = out
+                    .cells
+                    .iter()
+                    .find(|c| c.s == s && c.k == k && c.strategy == strategy.to_string())
+                    .expect("sweep covers the whole grid");
+                row.push(format!("{:.0}", cell.max_load_pct));
+            }
+            t.row(row);
+        }
+        text.push_str(&format!("[{strategy}]\n{}\n", t.render()));
+    }
+    text
+}
+
+/// Renders Figure 10b (ratio overlapping/disjoint).
+pub fn render_10b(out: &Fig10Output, scale: &Scale) -> String {
+    let mut header: Vec<String> = vec!["s \\ k".into()];
+    header.extend((1..=scale.m).map(|k| k.to_string()));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut t = TableBuilder::new(&header_refs);
+    for &s in &scale.bias_grid() {
+        let mut row = vec![format!("{s:.2}")];
+        for k in 1..=scale.m {
+            let cell = out
+                .ratios
+                .iter()
+                .find(|c| c.s == s && c.k == k)
+                .expect("sweep covers the whole grid");
+            row.push(format!("{:.2}", cell.ratio));
+        }
+        t.row(row);
+    }
+    format!(
+        "Figure 10b — overlapping/disjoint median max-load ratio, Shuffled case\n\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_scale() -> Scale {
+        Scale { m: 6, k: 3, permutations: 5, repetitions: 1, tasks: 100, bias_step: 1.25, seed: 7 }
+    }
+
+    #[test]
+    fn sweep_covers_grid() {
+        let scale = tiny_scale();
+        let out = run(&scale);
+        let grid = scale.bias_grid();
+        assert_eq!(out.cells.len(), grid.len() * scale.m * 2);
+        assert_eq!(out.ratios.len(), grid.len() * scale.m);
+    }
+
+    #[test]
+    fn no_bias_means_full_load_everywhere() {
+        // Paper: "replication strategies exhibit no difference … when no
+        // bias is introduced (s = 0)" — and uniform weights allow 100%.
+        let out = run(&tiny_scale());
+        for c in out.cells.iter().filter(|c| c.s == 0.0) {
+            assert!((c.max_load_pct - 100.0).abs() < 1e-6, "{c:?}");
+        }
+    }
+
+    #[test]
+    fn full_replication_erases_bias() {
+        // Paper: "the popularity bias has obviously no effect when data
+        // are fully replicated (k = m)".
+        let scale = tiny_scale();
+        let out = run(&scale);
+        for c in out.cells.iter().filter(|c| c.k == scale.m) {
+            assert!((c.max_load_pct - 100.0).abs() < 1e-6, "{c:?}");
+        }
+    }
+
+    #[test]
+    fn overlapping_never_loses() {
+        let out = run(&tiny_scale());
+        for r in &out.ratios {
+            assert!(r.ratio >= 1.0 - 1e-9, "ratio below 1 at {r:?}");
+        }
+    }
+
+    #[test]
+    fn bias_hurts_disjoint_more() {
+        // At moderate bias and mid k, the overlapping gain is strict.
+        let scale = Scale { bias_step: 1.25, permutations: 10, ..tiny_scale() };
+        let out = run(&scale);
+        let gain = out
+            .ratios
+            .iter()
+            .filter(|r| r.s == 1.25 && r.k > 1 && r.k < scale.m)
+            .map(|r| r.ratio)
+            .fold(0.0, f64::max);
+        assert!(gain > 1.05, "expected a strict overlapping gain, got {gain}");
+    }
+
+    #[test]
+    fn renders_do_not_panic() {
+        let scale = tiny_scale();
+        let out = run(&scale);
+        let a = render_10a(&out, &scale);
+        let b = render_10b(&out, &scale);
+        assert!(a.contains("Overlapping") && a.contains("Disjoint"));
+        assert!(b.contains("ratio"));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let scale = tiny_scale();
+        let a = run(&scale);
+        let b = run(&scale);
+        for (x, y) in a.cells.iter().zip(&b.cells) {
+            assert_eq!(x.max_load_pct, y.max_load_pct);
+        }
+    }
+}

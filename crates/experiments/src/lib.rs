@@ -1,0 +1,38 @@
+//! # flowsched-experiments
+//!
+//! One runner per table and figure of the paper's evaluation, plus the
+//! ablations called out in `DESIGN.md`. Each module exposes a typed
+//! `run(&Scale)` producing structured rows and a `render` function
+//! producing the terminal table; the `flowsched-bench` binaries are thin
+//! wrappers around these.
+//!
+//! | Module | Reproduces |
+//! |---|---|
+//! | [`table1`] | Table 1 — measured FIFO/EFT competitiveness on `P` |
+//! | [`table2`] | Table 2 — every structured lower/upper bound, measured |
+//! | [`fig08`] | Figure 8 — load distributions `λ·P(Eⱼ)` |
+//! | [`fig10`] | Figure 10 — LP (15) max-load sweep, both strategies |
+//! | [`fig11`] | Figure 11 — `Fmax` vs average load, EFT-Min/Max × strategies |
+//! | [`ablation`] | tie-break × strategy ablation beyond the paper's pairs |
+//! | [`openq`] | the conclusion's open question: a third replication strategy scored on load, average flow and adversarial exposure |
+//!
+//! All experiments are deterministic given a root seed; [`Scale`] selects
+//! quick (CI-friendly) or paper-scale parameters.
+
+pub mod ablation;
+pub mod fig08;
+pub mod fig10;
+pub mod fig11;
+pub mod openq;
+pub mod plot;
+pub mod policies;
+pub mod record;
+pub mod scale;
+pub mod selfcheck;
+pub mod service;
+pub mod table;
+pub mod table1;
+pub mod table2;
+
+pub use scale::Scale;
+pub use table::TableBuilder;

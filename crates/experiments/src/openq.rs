@@ -1,0 +1,238 @@
+//! Open-question exploration (paper conclusion): is there a replication
+//! strategy with *both* good average-case behaviour and good worst-case
+//! guarantees? This experiment scores three strategies — the paper's two
+//! plus this workspace's staggered-blocks candidate — on three axes:
+//!
+//! 1. **Tolerable load**: median LP max-load under Shuffled Zipf(1) bias.
+//! 2. **Average behaviour**: median `Fmax` of EFT-Min at 50% load.
+//! 3. **Worst-case exposure**: worst `Fmax/OPT` over seeded adversarial
+//!    burst streams confined to the strategy's replica sets (OPT exact
+//!    via the unit-task matching solver).
+
+use flowsched_algos::offline::optimal_unit_fmax;
+use flowsched_algos::tiebreak::TieBreak;
+use flowsched_algos::eft;
+use flowsched_core::instance::InstanceBuilder;
+use flowsched_kvstore::cluster::{ClusterConfig, KvCluster};
+use flowsched_kvstore::replication::ReplicationStrategy;
+use flowsched_parallel::par_map;
+use flowsched_sim::driver::{SimConfig, simulate};
+use flowsched_solver::loadflow::max_load_lp;
+use flowsched_stats::descriptive::median;
+use flowsched_stats::rng::derive_rng;
+use flowsched_algos::eft::EftState;
+use flowsched_core::procset::ProcSet;
+use flowsched_stats::zipf::{BiasCase, Zipf};
+use flowsched_workloads::adversary::staircase::run_staircase;
+use rand::Rng;
+use serde::Serialize;
+
+use crate::scale::Scale;
+use crate::table::TableBuilder;
+
+/// One strategy's scores.
+#[derive(Debug, Clone, Serialize)]
+pub struct OpenQRow {
+    /// Strategy label.
+    pub strategy: String,
+    /// Number of distinct replica sets the strategy induces.
+    pub distinct_sets: usize,
+    /// Median LP max-load (% of capacity), Shuffled Zipf(1).
+    pub max_load_pct: f64,
+    /// Median EFT-Min `Fmax` at 50% offered load (Shuffled Zipf(1)).
+    pub fmax_at_half_load: f64,
+    /// Worst `Fmax/OPT` found by the adversarial burst search.
+    pub worst_ratio: f64,
+    /// `Fmax` under the generalized staircase adversary aimed at the
+    /// strategy's own replica-set family (principled worst-case probe;
+    /// per-round work equals capacity, so divergence means the adversary
+    /// found the EFT failure mode).
+    pub staircase_fmax: f64,
+}
+
+/// Runs the comparison.
+pub fn run(scale: &Scale) -> Vec<OpenQRow> {
+    let strategies = ReplicationStrategy::extended();
+    par_map(&strategies, |&strategy| {
+        let (m, k) = (scale.m, scale.k);
+        let allowed = strategy.allowed_sets(k, m);
+
+        let mut distinct: Vec<&Vec<usize>> = Vec::new();
+        for a in &allowed {
+            if !distinct.contains(&a) {
+                distinct.push(a);
+            }
+        }
+
+        // Axis 1: tolerable load.
+        let loads: Vec<f64> = (0..scale.permutations)
+            .map(|p| {
+                let mut rng = derive_rng(scale.seed, 0x09E0 ^ p as u64);
+                let w = Zipf::new(m, 1.0).shuffled(&mut rng);
+                max_load_lp(w.probs(), &allowed) / m as f64 * 100.0
+            })
+            .collect();
+        let max_load_pct = median(&loads);
+
+        // Axis 2: average behaviour at 50% load.
+        let fmaxes: Vec<f64> = (0..scale.repetitions)
+            .map(|rep| {
+                let mut rng = derive_rng(scale.seed, 0x09E1 ^ (rep as u64) << 3);
+                let cluster = KvCluster::new(
+                    ClusterConfig { m, k, strategy, s: 1.0, case: BiasCase::Shuffled },
+                    &mut rng,
+                );
+                let inst = cluster.requests(scale.tasks, 0.5 * m as f64, &mut rng);
+                let (_, report) =
+                    simulate(&inst, &SimConfig { policy: TieBreak::Min, warmup_fraction: 0.1 });
+                report.fmax
+            })
+            .collect();
+        let fmax_at_half_load = median(&fmaxes);
+
+        // Axis 3: adversarial burst search. Each trial floods a random
+        // subsequence of owners' replica sets with synchronized unit
+        // bursts — the pattern behind the Theorem 8 failure mode.
+        let trials = (scale.permutations * 2).max(16);
+        let mut worst: f64 = 1.0;
+        for trial in 0..trials as u64 {
+            let mut rng = derive_rng(scale.seed, 0x09E2 ^ trial);
+            let steps = 3 * m;
+            let mut b = InstanceBuilder::new(m);
+            for t in 0..steps {
+                for _ in 0..m {
+                    let owner = rng.random_range(0..m);
+                    // Bias owners toward a hot prefix to mimic the
+                    // adversary's staircase pressure.
+                    let owner = owner.min(rng.random_range(0..m));
+                    b.push_unit(t as f64, strategy.replica_set(owner, k, m));
+                }
+            }
+            let inst = b.build().expect("valid instance");
+            let s = eft(&inst, TieBreak::Min);
+            let opt = optimal_unit_fmax(&inst);
+            worst = worst.max(s.fmax(&inst) / opt);
+        }
+
+        // Axis 4: the generalized Theorem 8 staircase over the
+        // strategy's *contiguous* replica sets (the adversary, like the
+        // paper's, requests only keys whose replica interval does not
+        // wrap) with k − 1 extra stacking tasks. For the overlapping ring
+        // this is exactly the Theorem 8 stream; strategies with fewer
+        // distinct contiguous sets give the adversary less staircase
+        // material.
+        let fam: Vec<ProcSet> = {
+            let mut out: Vec<ProcSet> = Vec::new();
+            for u in 0..m {
+                let s = strategy.replica_set(u, k, m);
+                if s.as_contiguous_interval().is_some() && !out.contains(&s) {
+                    out.push(s);
+                }
+            }
+            out
+        };
+        let mut eft_algo = EftState::new(m, flowsched_algos::TieBreak::Min);
+        let staircase = run_staircase(&mut eft_algo, &fam, k - 1, m * m);
+
+        OpenQRow {
+            strategy: strategy.to_string(),
+            distinct_sets: distinct.len(),
+            max_load_pct,
+            fmax_at_half_load,
+            worst_ratio: worst,
+            staircase_fmax: staircase.fmax(),
+        }
+    })
+}
+
+/// Renders the comparison table.
+pub fn render(rows: &[OpenQRow]) -> String {
+    let mut t = TableBuilder::new(&[
+        "strategy",
+        "distinct sets",
+        "max load %",
+        "Fmax @50%",
+        "worst burst ratio",
+        "staircase Fmax",
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.strategy.clone(),
+            r.distinct_sets.to_string(),
+            format!("{:.1}", r.max_load_pct),
+            format!("{:.1}", r.fmax_at_half_load),
+            format!("{:.2}", r.worst_ratio),
+            format!("{:.0}", r.staircase_fmax),
+        ]);
+    }
+    format!(
+        "Open question (paper conclusion) — replication strategies scored on\n\
+         tolerable load, average Fmax, and adversarial exposure (m = 15, k = 3):\n\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Scale {
+        Scale { m: 12, k: 4, permutations: 6, repetitions: 2, tasks: 600, bias_step: 1.0, seed: 5 }
+    }
+
+    #[test]
+    fn all_three_strategies_scored() {
+        let rows = run(&tiny());
+        assert_eq!(rows.len(), 3);
+        let names: Vec<&str> = rows.iter().map(|r| r.strategy.as_str()).collect();
+        assert!(names.contains(&"Staggered"));
+    }
+
+    #[test]
+    fn staggered_sits_between_the_extremes_on_load() {
+        let rows = run(&tiny());
+        let get = |n: &str| rows.iter().find(|r| r.strategy == n).unwrap();
+        let over = get("Overlapping").max_load_pct;
+        let disj = get("Disjoint").max_load_pct;
+        let stag = get("Staggered").max_load_pct;
+        assert!(
+            stag >= disj - 1e-6,
+            "staggered {stag} should not be worse than disjoint {disj}"
+        );
+        assert!(
+            stag <= over + 1e-6,
+            "staggered {stag} should not beat overlapping {over}"
+        );
+    }
+
+    #[test]
+    fn distinct_set_counts_are_ordered() {
+        let rows = run(&tiny());
+        let get = |n: &str| rows.iter().find(|r| r.strategy == n).unwrap().distinct_sets;
+        assert!(get("Disjoint") <= get("Staggered"));
+        assert!(get("Staggered") <= get("Overlapping"));
+    }
+
+    #[test]
+    fn staircase_separates_the_extremes() {
+        let rows = run(&tiny());
+        let get = |n: &str| rows.iter().find(|r| r.strategy == n).unwrap().staircase_fmax;
+        assert!(get("Overlapping") >= get("Staggered"));
+        assert!(get("Staggered") >= get("Disjoint"));
+    }
+
+    #[test]
+    fn ratios_are_at_least_one() {
+        for r in run(&tiny()) {
+            assert!(r.worst_ratio >= 1.0 - 1e-9, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn render_contains_every_strategy() {
+        let s = render(&run(&tiny()));
+        for n in ["Overlapping", "Disjoint", "Staggered"] {
+            assert!(s.contains(n));
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! Minimal SVG rendering of the paper's figures — no plotting
+//! dependencies, just well-formed SVG strings: a heatmap for Figure 10
+//! and multi-series line charts with vertical max-load markers for
+//! Figure 11.
+
+use crate::fig10::Fig10Output;
+use crate::fig11::Fig11Output;
+use crate::scale::Scale;
+
+const CELL: f64 = 26.0;
+const MARGIN: f64 = 70.0;
+
+fn svg_header(width: f64, height: f64) -> String {
+    format!(
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width:.0}" height="{height:.0}" viewBox="0 0 {width:.0} {height:.0}" font-family="monospace" font-size="11">"#
+    )
+}
+
+/// Blue→white→red diverging color for a `[0, 1]` value.
+fn heat_color(v: f64) -> String {
+    let v = v.clamp(0.0, 1.0);
+    let (r, g, b) = if v < 0.5 {
+        let t = v * 2.0;
+        (
+            (70.0 + t * 185.0) as u8,
+            (110.0 + t * 145.0) as u8,
+            255u8,
+        )
+    } else {
+        let t = (v - 0.5) * 2.0;
+        (255u8, (255.0 - t * 145.0) as u8, (255.0 - t * 185.0) as u8)
+    };
+    format!("rgb({r},{g},{b})")
+}
+
+/// Renders the Figure 10a heatmaps (one per strategy) as a single SVG.
+pub fn fig10a_svg(out: &Fig10Output, scale: &Scale) -> String {
+    let grid = scale.bias_grid();
+    let strategies = ["Overlapping", "Disjoint"];
+    let block_w = MARGIN + scale.m as f64 * CELL + 30.0;
+    let width = block_w * strategies.len() as f64;
+    let height = MARGIN + grid.len() as f64 * CELL + 40.0;
+    let mut svg = svg_header(width, height);
+
+    for (si, strategy) in strategies.iter().enumerate() {
+        let x0 = MARGIN + si as f64 * block_w;
+        let y0 = MARGIN;
+        svg.push_str(&format!(
+            r#"<text x="{x}" y="30" font-size="14">{strategy} — max load %</text>"#,
+            x = x0
+        ));
+        for (yi, &s) in grid.iter().enumerate() {
+            svg.push_str(&format!(
+                r#"<text x="{x}" y="{y}" text-anchor="end">{s:.2}</text>"#,
+                x = x0 - 6.0,
+                y = y0 + yi as f64 * CELL + CELL * 0.7
+            ));
+            for k in 1..=scale.m {
+                let cell = out
+                    .cells
+                    .iter()
+                    .find(|c| c.s == s && c.k == k && c.strategy == *strategy)
+                    .expect("sweep covers grid");
+                let v = cell.max_load_pct / 100.0;
+                svg.push_str(&format!(
+                    r#"<rect x="{x:.1}" y="{y:.1}" width="{CELL}" height="{CELL}" fill="{fill}"><title>s={s:.2} k={k}: {pct:.0}%</title></rect>"#,
+                    x = x0 + (k - 1) as f64 * CELL,
+                    y = y0 + yi as f64 * CELL,
+                    fill = heat_color(v),
+                    pct = cell.max_load_pct,
+                ));
+            }
+        }
+        for k in 1..=scale.m {
+            svg.push_str(&format!(
+                r#"<text x="{x:.1}" y="{y:.1}" text-anchor="middle">{k}</text>"#,
+                x = x0 + (k - 1) as f64 * CELL + CELL / 2.0,
+                y = y0 + grid.len() as f64 * CELL + 16.0
+            ));
+        }
+    }
+    svg.push_str("</svg>");
+    svg
+}
+
+/// Renders Figure 11 as one line-chart panel per case, with vertical
+/// max-load markers.
+pub fn fig11_svg(out: &Fig11Output) -> String {
+    let cases = ["Uniform", "Shuffled", "Worst-case"];
+    let (panel_w, panel_h) = (320.0, 260.0);
+    let width = panel_w * cases.len() as f64 + MARGIN;
+    let height = panel_h + 2.0 * MARGIN;
+    let mut svg = svg_header(width, height);
+    let colors = [
+        ("Overlapping", "EFT-Min", "#1f77b4"),
+        ("Overlapping", "EFT-Max", "#17becf"),
+        ("Disjoint", "EFT-Min", "#d62728"),
+        ("Disjoint", "EFT-Max", "#ff7f0e"),
+    ];
+
+    for (ci, case) in cases.iter().enumerate() {
+        let x0 = MARGIN / 2.0 + ci as f64 * panel_w + 30.0;
+        let y0 = MARGIN;
+        let plot_w = panel_w - 70.0;
+        let plot_h = panel_h - 40.0;
+        let points: Vec<_> = out.points.iter().filter(|p| p.case == *case).collect();
+        let max_load = points.iter().map(|p| p.load_pct).fold(0.0, f64::max);
+        // Log-ish clamp: saturated runs dwarf the stable region, so cap
+        // the y-axis at the 3rd largest stable value × 2 (min 10).
+        let mut ys: Vec<f64> = points.iter().map(|p| p.fmax_median).collect();
+        ys.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let cap = (ys[ys.len() * 3 / 4] * 2.0).max(10.0);
+
+        svg.push_str(&format!(
+            r#"<text x="{x0}" y="{y}" font-size="14">{case}</text>"#,
+            y = y0 - 12.0
+        ));
+        // Axes.
+        svg.push_str(&format!(
+            r##"<rect x="{x0}" y="{y0}" width="{plot_w}" height="{plot_h}" fill="none" stroke="#888"/>"##
+        ));
+        // Max-load vertical markers.
+        for line in out.max_loads.iter().filter(|l| l.case == *case) {
+            // Clamp markers beyond the swept range to the panel edge so
+            // they remain visible (with the true value in the tooltip).
+            let frac = (line.max_load_pct / max_load).min(1.0);
+            let x = x0 + frac * plot_w;
+            svg.push_str(&format!(
+                r#"<line x1="{x:.1}" y1="{y0}" x2="{x:.1}" y2="{yb:.1}" stroke="red" stroke-dasharray="4 3"><title>{st}: {pct:.0}%</title></line>"#,
+                yb = y0 + plot_h,
+                st = line.strategy,
+                pct = line.max_load_pct,
+            ));
+        }
+        // Series.
+        for &(strategy, policy, color) in &colors {
+            let mut series: Vec<(f64, f64)> = points
+                .iter()
+                .filter(|p| p.strategy == strategy && p.policy == policy)
+                .map(|p| (p.load_pct, p.fmax_median.min(cap)))
+                .collect();
+            series.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            if series.is_empty() {
+                continue;
+            }
+            let path: Vec<String> = series
+                .iter()
+                .map(|&(lx, ly)| {
+                    format!(
+                        "{:.1},{:.1}",
+                        x0 + lx / max_load * plot_w,
+                        y0 + plot_h - ly / cap * plot_h
+                    )
+                })
+                .collect();
+            svg.push_str(&format!(
+                r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="1.6"><title>{strategy}/{policy}</title></polyline>"#,
+                path.join(" ")
+            ));
+        }
+        // Y ticks.
+        for frac in [0.0, 0.5, 1.0] {
+            svg.push_str(&format!(
+                r#"<text x="{x}" y="{y:.1}" text-anchor="end">{v:.0}</text>"#,
+                x = x0 - 4.0,
+                y = y0 + plot_h - frac * plot_h + 4.0,
+                v = frac * cap
+            ));
+        }
+        svg.push_str(&format!(
+            r#"<text x="{x:.1}" y="{y:.1}" text-anchor="middle">load % (0–{max_load:.0})</text>"#,
+            x = x0 + plot_w / 2.0,
+            y = y0 + plot_h + 24.0
+        ));
+    }
+    // Legend.
+    for (i, &(strategy, policy, color)) in colors.iter().enumerate() {
+        let y = height - 18.0;
+        let x = MARGIN / 2.0 + 40.0 + i as f64 * 200.0;
+        svg.push_str(&format!(
+            r#"<line x1="{x}" y1="{y}" x2="{x2}" y2="{y}" stroke="{color}" stroke-width="2"/><text x="{tx}" y="{ty}">{strategy}/{policy}</text>"#,
+            x2 = x + 20.0,
+            tx = x + 26.0,
+            ty = y + 4.0
+        ));
+    }
+    svg.push_str("</svg>");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{fig10, fig11};
+
+    fn tiny() -> Scale {
+        Scale { m: 6, k: 3, permutations: 3, repetitions: 1, tasks: 200, bias_step: 2.5, seed: 1 }
+    }
+
+    #[test]
+    fn fig10a_svg_is_well_formed() {
+        let scale = tiny();
+        let out = fig10::run(&scale);
+        let svg = fig10a_svg(&out, &scale);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        // One rect per cell per strategy.
+        let rects = svg.matches("<rect").count();
+        assert_eq!(rects, 2 * scale.bias_grid().len() * scale.m);
+        assert!(svg.contains("Overlapping"));
+    }
+
+    #[test]
+    fn fig11_svg_has_series_and_markers() {
+        let out = fig11::run(&tiny());
+        let svg = fig11_svg(&out);
+        assert!(svg.starts_with("<svg") && svg.ends_with("</svg>"));
+        assert!(svg.matches("<polyline").count() >= 12); // 4 series × 3 cases
+        assert!(svg.contains("stroke-dasharray")); // max-load markers
+        assert!(svg.contains("Worst-case"));
+    }
+
+    #[test]
+    fn heat_color_endpoints() {
+        assert_eq!(heat_color(0.0), "rgb(70,110,255)");
+        assert_eq!(heat_color(1.0), "rgb(255,110,70)");
+        // Midpoint is white.
+        assert_eq!(heat_color(0.5), "rgb(255,255,255)");
+    }
+}

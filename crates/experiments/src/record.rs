@@ -1,0 +1,105 @@
+//! Machine-readable experiment records (JSON), so EXPERIMENTS.md numbers
+//! are regenerable and diffable run to run.
+
+use serde::Serialize;
+
+/// A complete experiment record: what ran, with which parameters, and
+/// the typed result rows.
+#[derive(Debug, Clone, Serialize)]
+pub struct Record<T: Serialize> {
+    /// Experiment identifier (e.g. `fig10a`, `table2`).
+    pub experiment: String,
+    /// Scale parameters used.
+    pub scale: ScaleRecord,
+    /// Result rows.
+    pub rows: T,
+}
+
+/// Serializable snapshot of a [`crate::Scale`].
+#[derive(Debug, Clone, Serialize)]
+pub struct ScaleRecord {
+    /// Machines.
+    pub m: usize,
+    /// Replication factor.
+    pub k: usize,
+    /// Permutations.
+    pub permutations: usize,
+    /// Repetitions.
+    pub repetitions: usize,
+    /// Tasks per run.
+    pub tasks: usize,
+    /// Root seed.
+    pub seed: u64,
+}
+
+impl From<&crate::Scale> for ScaleRecord {
+    fn from(s: &crate::Scale) -> Self {
+        ScaleRecord {
+            m: s.m,
+            k: s.k,
+            permutations: s.permutations,
+            repetitions: s.repetitions,
+            tasks: s.tasks,
+            seed: s.seed,
+        }
+    }
+}
+
+/// Wraps rows into a [`Record`] and serializes to pretty JSON.
+///
+/// # Panics
+/// Panics if serialization fails (all experiment row types are plain
+/// data; failure indicates a programming error).
+pub fn to_json<T: Serialize>(experiment: &str, scale: &crate::Scale, rows: T) -> String {
+    let record = Record { experiment: experiment.to_string(), scale: scale.into(), rows };
+    serde_json::to_string_pretty(&record).expect("experiment rows serialize")
+}
+
+/// Writes a record to a file, creating parent directories.
+pub fn write_json<T: Serialize>(
+    path: &std::path::Path,
+    experiment: &str,
+    scale: &crate::Scale,
+    rows: T,
+) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, to_json(experiment, scale, rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scale;
+
+    #[test]
+    fn json_round_trips_scale_and_rows() {
+        let scale = Scale::quick();
+        let rows = vec![1.0, 2.5];
+        let json = to_json("demo", &scale, &rows);
+        let value: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(value["experiment"], "demo");
+        assert_eq!(value["scale"]["m"], 15);
+        assert_eq!(value["rows"][1], 2.5);
+    }
+
+    #[test]
+    fn write_creates_directories() {
+        let dir = std::env::temp_dir().join("flowsched-record-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("nested/out.json");
+        write_json(&path, "t", &Scale::quick(), vec![1u32]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"experiment\": \"t\""));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn typed_rows_serialize() {
+        let scale = Scale::quick();
+        let rows = crate::fig08::run(scale.seed);
+        let json = to_json("fig08", &scale, &rows);
+        assert!(json.contains("Uniform"));
+    }
+}

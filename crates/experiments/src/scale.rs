@@ -1,0 +1,89 @@
+//! Experiment scale presets.
+
+/// Knobs shared by all experiment runners: quick settings keep the whole
+/// suite under a few seconds for CI; paper settings match Section 7's
+/// parameters (m = 15, 100 permutations, 10 repetitions, 10 000 tasks).
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Cluster size (paper: 15).
+    pub m: usize,
+    /// Replication factor (paper: 3).
+    pub k: usize,
+    /// Permutations for Shuffled medians (paper: 100).
+    pub permutations: usize,
+    /// Repetitions for simulation medians (paper: 10).
+    pub repetitions: usize,
+    /// Tasks per simulation run (paper: 10 000).
+    pub tasks: usize,
+    /// Zipf-bias grid step for Figure 10 (paper: 0.25 over [0, 5]).
+    pub bias_step: f64,
+    /// Root seed from which every stream is derived.
+    pub seed: u64,
+}
+
+impl Scale {
+    /// Paper-scale parameters (Section 7).
+    pub fn paper() -> Self {
+        Scale {
+            m: 15,
+            k: 3,
+            permutations: 100,
+            repetitions: 10,
+            tasks: 10_000,
+            bias_step: 0.25,
+            seed: 0xF10C,
+        }
+    }
+
+    /// Reduced parameters for tests and smoke runs.
+    pub fn quick() -> Self {
+        Scale {
+            m: 15,
+            k: 3,
+            permutations: 8,
+            repetitions: 3,
+            tasks: 1_500,
+            bias_step: 1.0,
+            seed: 0xF10C,
+        }
+    }
+
+    /// The bias values `s` swept by Figure 10: `0, step, …, 5`.
+    pub fn bias_grid(&self) -> Vec<f64> {
+        let mut out = Vec::new();
+        let mut s: f64 = 0.0;
+        while s <= 5.0 + 1e-9 {
+            out.push((s * 100.0).round() / 100.0);
+            s += self.bias_step;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_matches_section7() {
+        let s = Scale::paper();
+        assert_eq!(s.m, 15);
+        assert_eq!(s.k, 3);
+        assert_eq!(s.permutations, 100);
+        assert_eq!(s.repetitions, 10);
+        assert_eq!(s.tasks, 10_000);
+    }
+
+    #[test]
+    fn bias_grid_covers_zero_to_five() {
+        let grid = Scale::paper().bias_grid();
+        assert_eq!(grid.first(), Some(&0.0));
+        assert_eq!(grid.last(), Some(&5.0));
+        assert_eq!(grid.len(), 21);
+    }
+
+    #[test]
+    fn quick_grid_is_coarser() {
+        assert_eq!(Scale::quick().bias_grid(), vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+}

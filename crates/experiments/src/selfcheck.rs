@@ -1,0 +1,233 @@
+//! One-page reproduction self-check: re-derives the paper's headline
+//! claims at reduced scale and prints a ✓/✗ verdict per claim. This is
+//! the "is the reproduction still intact?" command — a condensed version
+//! of the full test suite, runnable in seconds from the CLI.
+
+use flowsched_algos::eft::EftState;
+use flowsched_algos::offline::optimal_unit_fmax;
+use flowsched_algos::tiebreak::TieBreak;
+use flowsched_algos::{eft, fifo};
+use flowsched_kvstore::replication::ReplicationStrategy;
+use flowsched_solver::loadflow::max_load_lp;
+use flowsched_stats::rng::derive_rng;
+use flowsched_stats::zipf::Zipf;
+use flowsched_workloads::adversary::interval::run_interval_adversary;
+use flowsched_workloads::adversary::padded::padded_interval_adversary;
+use flowsched_workloads::random::{RandomInstanceConfig, StructureKind, random_instance};
+use serde::Serialize;
+
+use crate::scale::Scale;
+use crate::table::TableBuilder;
+
+/// One verified claim.
+#[derive(Debug, Clone, Serialize)]
+pub struct CheckRow {
+    /// Claim label (paper reference).
+    pub claim: String,
+    /// Expected value/condition.
+    pub expected: String,
+    /// Measured value.
+    pub measured: String,
+    /// Verdict.
+    pub pass: bool,
+}
+
+fn check(claim: &str, expected: String, measured: String, pass: bool) -> CheckRow {
+    CheckRow { claim: claim.to_string(), expected, measured, pass }
+}
+
+/// Runs every check.
+pub fn run(scale: &Scale) -> Vec<CheckRow> {
+    let mut rows = Vec::new();
+    let (m, k) = (scale.m, scale.k);
+
+    // Proposition 1: FIFO ≡ EFT on unrestricted instances.
+    {
+        let mut all_equal = true;
+        for seed in 0..10u64 {
+            let inst = random_instance(
+                &RandomInstanceConfig {
+                    m: 4,
+                    n: 50,
+                    structure: StructureKind::Unrestricted,
+                    release_span: 8,
+                    unit: false,
+                    ptime_steps: 6,
+                },
+                scale.seed ^ seed,
+            );
+            all_equal &= fifo(&inst, TieBreak::Min) == eft(&inst, TieBreak::Min);
+        }
+        rows.push(check(
+            "Prop. 1: FIFO ≡ EFT",
+            "identical schedules".into(),
+            if all_equal { "identical on 10/10 instances" } else { "MISMATCH" }.into(),
+            all_equal,
+        ));
+    }
+
+    // Theorem 2: FIFO optimal on unit tasks.
+    {
+        let mut optimal = true;
+        for seed in 0..6u64 {
+            let inst = random_instance(
+                &RandomInstanceConfig {
+                    m: 3,
+                    n: 24,
+                    structure: StructureKind::Unrestricted,
+                    release_span: 4,
+                    unit: true,
+                    ptime_steps: 1,
+                },
+                scale.seed ^ (0xBEE + seed),
+            );
+            optimal &=
+                (fifo(&inst, TieBreak::Min).fmax(&inst) - optimal_unit_fmax(&inst)).abs() < 1e-9;
+        }
+        rows.push(check(
+            "Th. 2: FIFO optimal, unit tasks",
+            "Fmax == OPT".into(),
+            if optimal { "exact on 6/6 instances" } else { "SUBOPTIMAL" }.into(),
+            optimal,
+        ));
+    }
+
+    // Theorem 8: EFT-Min reaches m − k + 1 on the interval stream.
+    {
+        let mut algo = EftState::new(m, TieBreak::Min);
+        let out = run_interval_adversary(&mut algo, k, m * m);
+        let target = (m - k + 1) as f64;
+        rows.push(check(
+            "Th. 8: EFT-Min on interval stream",
+            format!("Fmax ≥ m−k+1 = {target}"),
+            format!("Fmax = {}", out.fmax()),
+            out.fmax() >= target,
+        ));
+    }
+
+    // Theorem 10: padding traps EFT-Max too.
+    {
+        let mut algo = EftState::new(m, TieBreak::Max);
+        let out = padded_interval_adversary(&mut algo, k, m * m);
+        let target = (m - k + 1) as f64;
+        rows.push(check(
+            "Th. 10: padded stream vs EFT-Max",
+            format!("Fmax ≥ {target}"),
+            format!("Fmax = {:.3}", out.fmax()),
+            out.fmax() >= target,
+        ));
+    }
+
+    // Figure 11 red lines (Worst-case): 59% / 36% at m=15, k=3.
+    if (m, k) == (15, 3) {
+        let w = Zipf::new(m, 1.0);
+        let over = max_load_lp(w.probs(), &ReplicationStrategy::Overlapping.allowed_sets(k, m))
+            / m as f64
+            * 100.0;
+        let disj = max_load_lp(w.probs(), &ReplicationStrategy::Disjoint.allowed_sets(k, m))
+            / m as f64
+            * 100.0;
+        rows.push(check(
+            "Fig. 11 max-load lines (Worst-case)",
+            "≈ 59% / 36%".into(),
+            format!("{over:.0}% / {disj:.0}%"),
+            (over - 59.0).abs() < 1.0 && (disj - 36.0).abs() < 1.0,
+        ));
+    }
+
+    // Figure 10b gain ≈ 1.5 at (s=1.25, k=6).
+    if m == 15 {
+        use flowsched_stats::descriptive::median;
+        let mut over = Vec::new();
+        let mut disj = Vec::new();
+        for p in 0..30u64 {
+            let mut rng = derive_rng(scale.seed, 0x5C ^ p);
+            let w = Zipf::new(m, 1.25).shuffled(&mut rng);
+            over.push(max_load_lp(
+                w.probs(),
+                &ReplicationStrategy::Overlapping.allowed_sets(6, m),
+            ));
+            disj.push(max_load_lp(
+                w.probs(),
+                &ReplicationStrategy::Disjoint.allowed_sets(6, m),
+            ));
+        }
+        let gain = median(&over) / median(&disj);
+        rows.push(check(
+            "Fig. 10b gain at (s=1.25, k=6)",
+            "≈ 1.5 (paper: up to 50%)".into(),
+            format!("{gain:.2}"),
+            (1.3..=1.7).contains(&gain),
+        ));
+    }
+
+    // LP vs max-flow agreement spot check.
+    {
+        use flowsched_solver::loadflow::max_load_binary_search;
+        let mut rng = derive_rng(scale.seed, 0xA9);
+        let w = Zipf::new(m, 1.0).shuffled(&mut rng);
+        let allowed = ReplicationStrategy::Overlapping.allowed_sets(k, m);
+        let lp = max_load_lp(w.probs(), &allowed);
+        let bs = max_load_binary_search(w.probs(), &allowed, 1e-8);
+        rows.push(check(
+            "Simplex vs max-flow load solver",
+            "agree to 1e-5".into(),
+            format!("|{lp:.6} − {bs:.6}| = {:.1e}", (lp - bs).abs()),
+            (lp - bs).abs() < 1e-5,
+        ));
+    }
+
+    rows
+}
+
+/// Renders the verdict table.
+pub fn render(rows: &[CheckRow]) -> String {
+    let mut t = TableBuilder::new(&["claim", "expected", "measured", "verdict"]);
+    for r in rows {
+        t.row(vec![
+            r.claim.clone(),
+            r.expected.clone(),
+            r.measured.clone(),
+            if r.pass { "✓".into() } else { "✗ FAIL".into() },
+        ]);
+    }
+    let all = rows.iter().all(|r| r.pass);
+    format!(
+        "Reproduction self-check — headline claims re-derived\n\n{}\n{}\n",
+        t.render(),
+        if all { "all checks passed" } else { "SOME CHECKS FAILED" }
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_check_passes_at_paper_parameters() {
+        let rows = run(&Scale::quick()); // quick() keeps m=15, k=3
+        assert!(!rows.is_empty());
+        for r in &rows {
+            assert!(r.pass, "failed check: {r:?}");
+        }
+        // All seven checks present at (15, 3).
+        assert_eq!(rows.len(), 7);
+    }
+
+    #[test]
+    fn conditional_checks_skip_other_sizes() {
+        let scale = Scale { m: 8, k: 3, ..Scale::quick() };
+        let rows = run(&scale);
+        assert_eq!(rows.len(), 5);
+        for r in &rows {
+            assert!(r.pass, "failed check: {r:?}");
+        }
+    }
+
+    #[test]
+    fn render_reports_success() {
+        let s = render(&run(&Scale::quick()));
+        assert!(s.contains("all checks passed"));
+        assert!(!s.contains("FAIL"));
+    }
+}

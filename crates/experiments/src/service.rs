@@ -1,0 +1,205 @@
+//! Service-time sensitivity: the paper simulates unit tasks only
+//! (Section 7.4); its introduction notes that real requests "vary in
+//! size". This experiment re-runs the Figure 11 comparison with three
+//! service-time distributions of equal mean — deterministic (the paper's
+//! setting), exponential, and a bimodal mice-and-elephants mix — to test
+//! whether the overlapping-replication advantage survives service-time
+//! variability.
+
+use flowsched_algos::tiebreak::TieBreak;
+use flowsched_kvstore::cluster::{ClusterConfig, KvCluster};
+use flowsched_kvstore::replication::ReplicationStrategy;
+use flowsched_parallel::par_map;
+use flowsched_sim::driver::{SimConfig, simulate};
+use flowsched_stats::descriptive::median;
+use flowsched_stats::rng::derive_rng;
+use flowsched_stats::service::ServiceDist;
+use flowsched_stats::zipf::BiasCase;
+use serde::Serialize;
+
+use crate::scale::Scale;
+use crate::table::TableBuilder;
+
+/// One (distribution, strategy, load) measurement.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServiceRow {
+    /// Distribution label.
+    pub dist: String,
+    /// Squared coefficient of variation of the service distribution.
+    pub scv: f64,
+    /// Strategy label.
+    pub strategy: String,
+    /// Offered load (% of capacity).
+    pub load_pct: f64,
+    /// Median maximum flow time.
+    pub fmax_median: f64,
+    /// Median 99th-percentile flow.
+    pub p99_median: f64,
+    /// Median maximum stretch (slowdown).
+    pub max_stretch_median: f64,
+}
+
+fn dists() -> [(&'static str, ServiceDist); 3] {
+    [
+        ("deterministic", ServiceDist::unit()),
+        ("exponential", ServiceDist::exp_unit()),
+        ("bimodal", ServiceDist::mice_and_elephants()),
+    ]
+}
+
+/// Loads swept (% of capacity) — kept below the Shuffled s=1 max-load
+/// knee of the disjoint strategy so curves stay comparable.
+pub const LOADS: [f64; 3] = [25.0, 40.0, 50.0];
+
+/// Runs the sweep (Shuffled case, s = 1, EFT-Min).
+pub fn run(scale: &Scale) -> Vec<ServiceRow> {
+    let mut jobs = Vec::new();
+    for (label, dist) in dists() {
+        for strategy in ReplicationStrategy::all() {
+            for load in LOADS {
+                jobs.push((label, dist, strategy, load));
+            }
+        }
+    }
+    par_map(&jobs, |&(label, dist, strategy, load)| {
+        let lambda = load / 100.0 * scale.m as f64;
+        let mut fmaxes = Vec::new();
+        let mut p99s = Vec::new();
+        let mut stretches = Vec::new();
+        for rep in 0..scale.repetitions {
+            let mut rng = derive_rng(
+                scale.seed,
+                0x5E11 ^ ((rep as u64) << 24) ^ ((load as u64) << 8) ^ label.len() as u64,
+            );
+            let cluster = KvCluster::new(
+                ClusterConfig {
+                    m: scale.m,
+                    k: scale.k,
+                    strategy,
+                    s: 1.0,
+                    case: BiasCase::Shuffled,
+                },
+                &mut rng,
+            );
+            let inst = cluster.requests_with_service(scale.tasks, lambda, dist, &mut rng);
+            let (_, report) =
+                simulate(&inst, &SimConfig { policy: TieBreak::Min, warmup_fraction: 0.1 });
+            fmaxes.push(report.fmax);
+            p99s.push(report.p99);
+            stretches.push(report.max_stretch);
+        }
+        ServiceRow {
+            dist: label.to_string(),
+            scv: dist.scv(),
+            strategy: strategy.to_string(),
+            load_pct: load,
+            fmax_median: median(&fmaxes),
+            p99_median: median(&p99s),
+            max_stretch_median: median(&stretches),
+        }
+    })
+}
+
+/// Renders the sweep.
+pub fn render(rows: &[ServiceRow]) -> String {
+    let mut t = TableBuilder::new(&[
+        "distribution",
+        "scv",
+        "strategy",
+        "load %",
+        "Fmax",
+        "p99",
+        "max stretch",
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.dist.clone(),
+            format!("{:.2}", r.scv),
+            r.strategy.clone(),
+            format!("{:.0}", r.load_pct),
+            format!("{:.1}", r.fmax_median),
+            format!("{:.1}", r.p99_median),
+            format!("{:.1}", r.max_stretch_median),
+        ]);
+    }
+    format!(
+        "Service-time sensitivity — beyond the paper's unit tasks\n\
+         (Shuffled case, s = 1, equal-mean service distributions, EFT-Min):\n\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Scale {
+        Scale { m: 8, k: 3, permutations: 4, repetitions: 2, tasks: 800, bias_step: 1.0, seed: 6 }
+    }
+
+    #[test]
+    fn grid_is_complete() {
+        let rows = run(&tiny());
+        assert_eq!(rows.len(), 3 * 2 * LOADS.len());
+    }
+
+    #[test]
+    fn overlapping_advantage_survives_variability() {
+        // The headline question: at the top load, overlapping must not be
+        // worse than disjoint for any distribution.
+        let rows = run(&tiny());
+        for dist in ["deterministic", "exponential", "bimodal"] {
+            let get = |strategy: &str| {
+                rows.iter()
+                    .find(|r| r.dist == dist && r.strategy == strategy && r.load_pct == 50.0)
+                    .unwrap()
+                    .fmax_median
+            };
+            assert!(
+                get("Overlapping") <= get("Disjoint") * 1.5,
+                "{dist}: overlapping {o} vs disjoint {d}",
+                o = get("Overlapping"),
+                d = get("Disjoint")
+            );
+        }
+    }
+
+    #[test]
+    fn higher_scv_does_not_improve_tails() {
+        // At the same load/strategy, p99 should not get *better* as the
+        // service variability rises (deterministic → bimodal).
+        let rows = run(&tiny());
+        let get = |dist: &str| {
+            rows.iter()
+                .find(|r| {
+                    r.dist == dist && r.strategy == "Overlapping" && r.load_pct == 50.0
+                })
+                .unwrap()
+                .p99_median
+        };
+        assert!(get("bimodal") >= get("deterministic") * 0.8);
+    }
+
+    #[test]
+    fn stretch_exceeds_flow_under_bimodal() {
+        // Mice behind elephants: max stretch far exceeds what unit tasks
+        // would show (where stretch == flow).
+        let rows = run(&tiny());
+        let bimodal = rows
+            .iter()
+            .find(|r| r.dist == "bimodal" && r.strategy == "Overlapping" && r.load_pct == 50.0)
+            .unwrap();
+        assert!(
+            bimodal.max_stretch_median > bimodal.fmax_median / 2.0,
+            "{bimodal:?}"
+        );
+    }
+
+    #[test]
+    fn render_covers_distributions() {
+        let s = render(&run(&tiny()));
+        for d in ["deterministic", "exponential", "bimodal"] {
+            assert!(s.contains(d));
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! An explicit key universe with per-key popularity.
+//!
+//! The paper models popularity directly at the machine level; real stores
+//! have popularity at the *key* level, which the partitioning then
+//! aggregates onto owner machines. This module provides that finer model
+//! — keys hashed onto machines, per-key Zipf popularity — and tests that
+//! the induced machine-level distribution is the aggregation of its keys,
+//! matching the paper's abstraction.
+
+use flowsched_stats::rng::splitmix64;
+use flowsched_stats::zipf::Zipf;
+use rand::Rng;
+
+/// A fixed universe of `num_keys` keys partitioned over `m` machines by
+/// hash, with Zipf(`s`) popularity over key ranks.
+#[derive(Debug, Clone)]
+pub struct Keyspace {
+    num_keys: usize,
+    m: usize,
+    key_popularity: Zipf,
+    owners: Vec<usize>,
+}
+
+impl Keyspace {
+    /// Builds a keyspace: key `x`'s owner is `splitmix64(x) mod m` and its
+    /// popularity rank is its index (key 0 the hottest).
+    ///
+    /// # Panics
+    /// Panics unless `num_keys ≥ 1` and `m ≥ 1`.
+    pub fn new(num_keys: usize, m: usize, s: f64) -> Self {
+        assert!(num_keys >= 1 && m >= 1);
+        let owners: Vec<usize> =
+            (0..num_keys).map(|x| (splitmix64(x as u64) % m as u64) as usize).collect();
+        Keyspace { num_keys, m, key_popularity: Zipf::new(num_keys, s), owners }
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.num_keys
+    }
+
+    /// True when the keyspace has no keys (construction forbids it).
+    pub fn is_empty(&self) -> bool {
+        self.num_keys == 0
+    }
+
+    /// Number of machines.
+    pub fn machines(&self) -> usize {
+        self.m
+    }
+
+    /// The owner machine of a key.
+    pub fn owner(&self, key: usize) -> usize {
+        self.owners[key]
+    }
+
+    /// Samples a key according to its popularity.
+    pub fn sample_key(&self, rng: &mut impl Rng) -> usize {
+        self.key_popularity.sample(rng)
+    }
+
+    /// The machine-level popularity induced by aggregating key
+    /// popularity over owners — the paper's `P(Eⱼ)`.
+    pub fn induced_machine_popularity(&self) -> Vec<f64> {
+        let mut probs = vec![0.0; self.m];
+        for (key, &owner) in self.owners.iter().enumerate() {
+            probs[owner] += self.key_popularity.prob(key);
+        }
+        probs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowsched_stats::rng::seeded_rng;
+
+    #[test]
+    fn induced_popularity_sums_to_one() {
+        let ks = Keyspace::new(1000, 15, 1.0);
+        let probs = ks.induced_machine_popularity();
+        assert_eq!(probs.len(), 15);
+        let total: f64 = probs.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampling_keys_matches_induced_machine_marginal() {
+        let ks = Keyspace::new(200, 5, 1.0);
+        let probs = ks.induced_machine_popularity();
+        let mut rng = seeded_rng(8);
+        let n = 100_000;
+        let mut counts = [0usize; 5];
+        for _ in 0..n {
+            let key = ks.sample_key(&mut rng);
+            counts[ks.owner(key)] += 1;
+        }
+        for j in 0..5 {
+            let emp = counts[j] as f64 / n as f64;
+            assert!(
+                (emp - probs[j]).abs() < 0.01,
+                "machine {j}: empirical {emp} vs induced {p}",
+                p = probs[j]
+            );
+        }
+    }
+
+    #[test]
+    fn owners_are_stable_and_in_range() {
+        let ks = Keyspace::new(100, 7, 0.5);
+        let ks2 = Keyspace::new(100, 7, 0.5);
+        for key in 0..100 {
+            assert!(ks.owner(key) < 7);
+            assert_eq!(ks.owner(key), ks2.owner(key));
+        }
+    }
+
+    #[test]
+    fn uniform_keys_induce_roughly_uniform_machines() {
+        // With s = 0 and many keys, each machine owns ≈ 1/m of the mass.
+        let ks = Keyspace::new(10_000, 4, 0.0);
+        for &p in &ks.induced_machine_popularity() {
+            assert!((p - 0.25).abs() < 0.02, "induced {p}");
+        }
+    }
+
+    #[test]
+    fn hot_key_concentrates_its_owner() {
+        // Extreme bias: key 0 dominates, so its owner dominates.
+        let ks = Keyspace::new(50, 5, 3.0);
+        let probs = ks.induced_machine_popularity();
+        let hot_owner = ks.owner(0);
+        let max = probs.iter().cloned().fold(0.0, f64::max);
+        assert_eq!(probs[hot_owner], max);
+        assert!(max > 0.5);
+    }
+}

@@ -1,0 +1,31 @@
+//! # flowsched-kvstore
+//!
+//! A model of a replicated key-value store, the system motivating the
+//! paper: requests target keys, keys live on owner machines, and
+//! replication widens each request's processing set to an interval of
+//! machines.
+//!
+//! - [`replication`]: the paper's two replication strategies
+//!   (Section 7.2) — *overlapping* ring intervals `I_k(u)` à la
+//!   Dynamo/Cassandra, and *disjoint* blocks of `k` machines.
+//! - [`popularity`]: machine-level popularity `P(Eⱼ)` (Zipf with the
+//!   Uniform / Worst-case / Shuffled bias cases) and the induced load
+//!   distribution `λ·P(Eⱼ)` of Figure 8.
+//! - [`keyspace`]: an explicit key universe with per-key Zipf popularity
+//!   hashed onto owner machines — the mechanism by which "multiple tasks
+//!   may share the same processing time and processing set" (Section 3).
+//! - [`cluster`]: ties it together — a cluster generates a stream of
+//!   unit-task requests (Poisson arrivals, popularity-biased owners,
+//!   replica processing sets) as a scheduling [`Instance`].
+//!
+//! [`Instance`]: flowsched_core::Instance
+
+pub mod cluster;
+pub mod keyspace;
+pub mod popularity;
+pub mod replication;
+
+pub use cluster::{ClusterConfig, KvCluster};
+pub use keyspace::Keyspace;
+pub use popularity::{load_distribution, machine_popularity};
+pub use replication::ReplicationStrategy;

@@ -1,0 +1,190 @@
+//! A persistent worker pool for heterogeneous jobs.
+//!
+//! Built in the style of *Rust Atomics and Locks*: a bounded set of worker
+//! threads pulling boxed closures from a `crossbeam` MPMC channel. The
+//! free functions in the crate root are preferable for homogeneous sweeps;
+//! the pool exists for long-lived pipelines (e.g. an experiment driver
+//! overlapping simulation, LP solving and aggregation).
+
+use std::panic::AssertUnwindSafe;
+use std::sync::Arc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{Receiver, Sender, unbounded};
+use parking_lot::{Condvar, Mutex};
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Shared state used to implement `wait_idle`.
+struct PoolState {
+    pending: AtomicUsize,
+    panicked: AtomicUsize,
+    idle_lock: Mutex<()>,
+    idle_cv: Condvar,
+}
+
+/// A fixed-size thread pool.
+///
+/// Jobs are executed in submission order per the channel's FIFO semantics
+/// (across workers, completion order is arbitrary). Dropping the pool
+/// waits for queued jobs to finish.
+pub struct ThreadPool {
+    tx: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    state: Arc<PoolState>,
+}
+
+impl ThreadPool {
+    /// Spawns a pool with `threads` workers.
+    ///
+    /// # Panics
+    /// Panics if `threads == 0`.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads >= 1, "pool needs at least one worker");
+        let (tx, rx): (Sender<Job>, Receiver<Job>) = unbounded();
+        let state = Arc::new(PoolState {
+            pending: AtomicUsize::new(0),
+            panicked: AtomicUsize::new(0),
+            idle_lock: Mutex::new(()),
+            idle_cv: Condvar::new(),
+        });
+        let workers = (0..threads)
+            .map(|_| {
+                let rx = rx.clone();
+                let state = Arc::clone(&state);
+                std::thread::spawn(move || {
+                    for job in rx.iter() {
+                        let outcome = std::panic::catch_unwind(AssertUnwindSafe(job));
+                        if outcome.is_err() {
+                            state.panicked.fetch_add(1, Ordering::Relaxed);
+                        }
+                        if state.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+                            let _guard = state.idle_lock.lock();
+                            state.idle_cv.notify_all();
+                        }
+                    }
+                })
+            })
+            .collect();
+        ThreadPool { tx: Some(tx), workers, state }
+    }
+
+    /// Pool with one worker per available core.
+    pub fn with_default_threads() -> Self {
+        ThreadPool::new(crate::default_threads())
+    }
+
+    /// Number of workers.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Submits a job.
+    ///
+    /// # Panics
+    /// Panics if called after the pool started shutting down (cannot
+    /// happen through the safe API).
+    pub fn execute<F: FnOnce() + Send + 'static>(&self, job: F) {
+        self.state.pending.fetch_add(1, Ordering::AcqRel);
+        self.tx
+            .as_ref()
+            .expect("pool is alive while the handle exists")
+            .send(Box::new(job))
+            .expect("workers hold the receiver while the pool is alive");
+    }
+
+    /// Number of jobs submitted but not yet finished.
+    pub fn pending(&self) -> usize {
+        self.state.pending.load(Ordering::Acquire)
+    }
+
+    /// Number of jobs that panicked so far.
+    pub fn panicked_jobs(&self) -> usize {
+        self.state.panicked.load(Ordering::Relaxed)
+    }
+
+    /// Blocks until every submitted job has finished.
+    pub fn wait_idle(&self) {
+        let mut guard = self.state.idle_lock.lock();
+        while self.state.pending.load(Ordering::Acquire) > 0 {
+            self.state.idle_cv.wait(&mut guard);
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        // Closing the channel lets workers drain remaining jobs and exit.
+        drop(self.tx.take());
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn executes_all_jobs() {
+        let pool = ThreadPool::new(4);
+        let counter = Arc::new(AtomicU64::new(0));
+        for _ in 0..100 {
+            let c = Arc::clone(&counter);
+            pool.execute(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.wait_idle();
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+        assert_eq!(pool.pending(), 0);
+    }
+
+    #[test]
+    fn drop_drains_queue() {
+        let counter = Arc::new(AtomicU64::new(0));
+        {
+            let pool = ThreadPool::new(2);
+            for _ in 0..50 {
+                let c = Arc::clone(&counter);
+                pool.execute(move || {
+                    std::thread::sleep(std::time::Duration::from_micros(50));
+                    c.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        } // drop waits
+        assert_eq!(counter.load(Ordering::Relaxed), 50);
+    }
+
+    #[test]
+    fn panicking_job_does_not_kill_pool() {
+        let pool = ThreadPool::new(2);
+        let counter = Arc::new(AtomicU64::new(0));
+        pool.execute(|| panic!("job failure"));
+        for _ in 0..10 {
+            let c = Arc::clone(&counter);
+            pool.execute(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.wait_idle();
+        assert_eq!(counter.load(Ordering::Relaxed), 10);
+        assert_eq!(pool.panicked_jobs(), 1);
+    }
+
+    #[test]
+    fn wait_idle_on_empty_pool_returns() {
+        let pool = ThreadPool::new(1);
+        pool.wait_idle();
+        assert_eq!(pool.threads(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_threads_rejected() {
+        let _ = ThreadPool::new(0);
+    }
+}

@@ -1,0 +1,23 @@
+//! # flowsched-sim
+//!
+//! Simulation driver for the paper's Section 7.4 experiments and for the
+//! profile-dynamics illustrations of Theorem 8 (Figures 4–6).
+//!
+//! - [`driver`]: runs an online scheduler over an instance, with optional
+//!   warm-up exclusion, and samples the schedule profile `w_t` over time.
+//! - [`stepped`]: an integer time-stepped fast path for synchronous
+//!   unit-task batch workloads (the adversary streams), pinned to the
+//!   event-driven engine by tests and benchmarked against it.
+//! - [`report`]: flow-time metrics (max, mean, tail percentiles),
+//!   per-machine utilization, and a saturation heuristic (when the
+//!   offered load exceeds the cluster's theoretical max load, flow times
+//!   grow without bound and medians stop being meaningful — the paper's
+//!   Figure 11 curves end at the LP max-load line for the same reason).
+
+pub mod driver;
+pub mod report;
+pub mod stepped;
+
+pub use driver::{SimConfig, profile_trace, simulate};
+pub use report::SimReport;
+pub use stepped::{SteppedOutcome, run_stepped, run_stepped_interval_adversary};

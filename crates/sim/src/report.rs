@@ -1,0 +1,220 @@
+//! Flow-time metrics extracted from simulated schedules.
+
+use flowsched_core::instance::Instance;
+use flowsched_core::schedule::Schedule;
+use flowsched_core::task::TaskId;
+use flowsched_core::time::Time;
+use flowsched_stats::descriptive::{mean, quantile};
+
+/// Aggregated metrics of one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Number of tasks included in the metrics (after warm-up exclusion).
+    pub n_measured: usize,
+    /// Maximum flow time (the paper's objective).
+    pub fmax: Time,
+    /// Mean flow time.
+    pub mean_flow: Time,
+    /// Median flow time.
+    pub p50: Time,
+    /// 95th percentile flow time.
+    pub p95: Time,
+    /// 99th percentile flow time (the "tail latency" of the introduction).
+    pub p99: Time,
+    /// Maximum stretch `max Fᵢ/pᵢ` (slowdown), Bender et al.'s companion
+    /// metric.
+    pub max_stretch: Time,
+    /// Mean stretch.
+    pub mean_stretch: Time,
+    /// Per-machine busy-time fraction of the makespan.
+    pub utilization: Vec<f64>,
+    /// Saturation heuristic: mean flow of the last quarter of tasks
+    /// divided by the mean flow of the first quarter (after warm-up).
+    /// Values ≫ 1 indicate an unstable (overloaded) system where flow
+    /// grows with time.
+    pub drift: f64,
+}
+
+impl SimReport {
+    /// Computes the report from a schedule, ignoring the first
+    /// `warmup_tasks` tasks in the flow statistics (utilization still
+    /// covers the whole run).
+    ///
+    /// # Panics
+    /// Panics if warm-up excludes every task of a non-empty instance.
+    pub fn from_schedule(schedule: &Schedule, inst: &Instance, warmup_tasks: usize) -> Self {
+        let n = inst.len();
+        if n == 0 {
+            return SimReport {
+                n_measured: 0,
+                fmax: 0.0,
+                mean_flow: 0.0,
+                p50: 0.0,
+                p95: 0.0,
+                p99: 0.0,
+                max_stretch: 0.0,
+                mean_stretch: 0.0,
+                utilization: vec![0.0; inst.machines()],
+                drift: 1.0,
+            };
+        }
+        assert!(warmup_tasks < n, "warm-up excludes every task");
+        let flows: Vec<Time> = (warmup_tasks..n)
+            .map(|i| schedule.flow_time(TaskId(i), inst))
+            .collect();
+        let stretches: Vec<Time> = (warmup_tasks..n)
+            .map(|i| schedule.stretch(TaskId(i), inst))
+            .collect();
+
+        let makespan = schedule.makespan(inst);
+        let mut busy = vec![0.0_f64; inst.machines()];
+        for (id, task, _) in inst.iter() {
+            busy[schedule.machine(id).index()] += task.ptime;
+        }
+        let utilization = busy
+            .iter()
+            .map(|&b| if makespan > 0.0 { b / makespan } else { 0.0 })
+            .collect();
+
+        let quarter = (flows.len() / 4).max(1);
+        let head = mean(&flows[..quarter]);
+        let tail = mean(&flows[flows.len() - quarter..]);
+        let drift = if head > 0.0 { tail / head } else { 1.0 };
+
+        SimReport {
+            n_measured: flows.len(),
+            fmax: flows.iter().cloned().fold(0.0, f64::max),
+            mean_flow: mean(&flows),
+            p50: quantile(&flows, 0.5),
+            p95: quantile(&flows, 0.95),
+            p99: quantile(&flows, 0.99),
+            max_stretch: stretches.iter().cloned().fold(0.0, f64::max),
+            mean_stretch: mean(&stretches),
+            utilization,
+            drift,
+        }
+    }
+
+    /// True when the drift heuristic indicates an overloaded system.
+    pub fn looks_saturated(&self) -> bool {
+        self.drift > 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowsched_algos::{TieBreak, eft};
+    use flowsched_core::instance::InstanceBuilder;
+    use flowsched_core::procset::ProcSet;
+
+    fn light_instance() -> Instance {
+        // One task per step on 2 machines: flow 1 for everyone.
+        let mut b = InstanceBuilder::new(2);
+        for t in 0..40 {
+            b.push_unit(t as f64, ProcSet::full(2));
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn light_load_report() {
+        let inst = light_instance();
+        let s = eft(&inst, TieBreak::Min);
+        let r = SimReport::from_schedule(&s, &inst, 0);
+        assert_eq!(r.n_measured, 40);
+        assert_eq!(r.fmax, 1.0);
+        assert_eq!(r.p50, 1.0);
+        assert!((r.drift - 1.0).abs() < 1e-9);
+        assert!(!r.looks_saturated());
+    }
+
+    #[test]
+    fn stretch_matches_flow_for_unit_tasks() {
+        let inst = light_instance();
+        let s = eft(&inst, TieBreak::Min);
+        let r = SimReport::from_schedule(&s, &inst, 0);
+        // Unit tasks: stretch == flow.
+        assert_eq!(r.max_stretch, r.fmax);
+        assert_eq!(r.mean_stretch, r.mean_flow);
+    }
+
+    #[test]
+    fn short_tasks_dominate_stretch() {
+        use flowsched_core::task::Task;
+        // A short task stuck behind a long one has huge stretch but small
+        // flow relative to the long task's.
+        let mut b = InstanceBuilder::new(1);
+        b.push(Task::new(0.0, 10.0), ProcSet::full(1));
+        b.push(Task::new(0.0, 0.25), ProcSet::full(1));
+        let inst = b.build().unwrap();
+        let s = eft(&inst, TieBreak::Min);
+        let r = SimReport::from_schedule(&s, &inst, 0);
+        // Short task completes at 10.25: flow 10.25, stretch 41.
+        assert_eq!(r.max_stretch, 41.0);
+        assert!((r.fmax - 10.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overload_shows_drift() {
+        // 3 tasks per step on 1 machine: backlog grows linearly.
+        let mut b = InstanceBuilder::new(1);
+        for t in 0..30 {
+            for _ in 0..3 {
+                b.push_unit(t as f64, ProcSet::full(1));
+            }
+        }
+        let inst = b.build().unwrap();
+        let s = eft(&inst, TieBreak::Min);
+        let r = SimReport::from_schedule(&s, &inst, 0);
+        assert!(r.drift > 2.0, "drift {d}", d = r.drift);
+        assert!(r.looks_saturated());
+        assert!(r.fmax > 30.0);
+    }
+
+    #[test]
+    fn warmup_excludes_initial_tasks() {
+        // A pathological first task, calm afterwards.
+        let mut b = InstanceBuilder::new(1);
+        for _ in 0..5 {
+            b.push_unit(0.0, ProcSet::full(1));
+        }
+        for t in 10..30 {
+            b.push_unit(t as f64, ProcSet::full(1));
+        }
+        let inst = b.build().unwrap();
+        let s = eft(&inst, TieBreak::Min);
+        let all = SimReport::from_schedule(&s, &inst, 0);
+        let warm = SimReport::from_schedule(&s, &inst, 5);
+        assert!(all.fmax >= 5.0);
+        assert_eq!(warm.fmax, 1.0);
+        assert_eq!(warm.n_measured, 20);
+    }
+
+    #[test]
+    fn utilization_reflects_assignment() {
+        let inst = light_instance();
+        let s = eft(&inst, TieBreak::Min);
+        let r = SimReport::from_schedule(&s, &inst, 0);
+        // All tasks land on M1 (always idle when the next arrives).
+        assert!(r.utilization[0] > 0.9);
+        assert_eq!(r.utilization[1], 0.0);
+    }
+
+    #[test]
+    fn empty_instance_report() {
+        let inst = Instance::unrestricted(2, vec![]).unwrap();
+        let s = eft(&inst, TieBreak::Min);
+        let r = SimReport::from_schedule(&s, &inst, 0);
+        assert_eq!(r.n_measured, 0);
+        assert_eq!(r.fmax, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "warm-up excludes")]
+    fn oversized_warmup_rejected() {
+        let inst = light_instance();
+        let s = eft(&inst, TieBreak::Min);
+        let _ = SimReport::from_schedule(&s, &inst, 40);
+    }
+}

@@ -1,0 +1,168 @@
+//! Time-stepped fast path for synchronous unit-task workloads.
+//!
+//! The adversary streams of Theorems 8–10 (and the saturated regimes of
+//! Figure 11) release batches of unit tasks at integer times. For those,
+//! the general event-driven EFT state is overkill: machine completions
+//! are always `t + w` for an integer backlog `w`, so the whole simulation
+//! can run on a vector of integers — no floats, no per-task `Assignment`
+//! allocation. This module implements that fast path and the tests pin
+//! it to the exact behaviour of [`EftState`](flowsched_algos::eft::EftState);
+//! the Criterion bench
+//! `simulation_stepped` measures the speedup (DESIGN.md ablation 3).
+
+use flowsched_algos::tiebreak::{Breaker, TieBreak};
+use flowsched_core::procset::ProcSet;
+
+/// Outcome of a stepped run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SteppedOutcome {
+    /// Maximum flow time over all tasks (unit tasks → integer flows).
+    pub fmax: u64,
+    /// Backlog profile after the last step (`w` at time `steps`).
+    pub final_profile: Vec<u64>,
+    /// Total tasks dispatched.
+    pub tasks: usize,
+}
+
+/// Runs EFT over `steps` synchronized batches. `batch(t)` yields the
+/// processing sets of the unit tasks released at integer time `t`, in
+/// release order.
+///
+/// # Panics
+/// Panics if a batch contains an empty processing set.
+pub fn run_stepped<F>(
+    m: usize,
+    steps: usize,
+    policy: TieBreak,
+    mut batch: F,
+) -> SteppedOutcome
+where
+    F: FnMut(usize) -> Vec<ProcSet>,
+{
+    assert!(m > 0, "need at least one machine");
+    let mut breaker: Breaker = policy.breaker();
+    // backlog[j] = completion_time(j) − t, always ≥ 0 at batch start.
+    let mut backlog = vec![0u64; m];
+    let mut fmax = 0u64;
+    let mut tasks = 0usize;
+    let mut ties: Vec<usize> = Vec::with_capacity(m);
+
+    for _t in 0..steps {
+        for set in batch(_t) {
+            assert!(!set.is_empty(), "task has an empty processing set");
+            let min_backlog = set
+                .as_slice()
+                .iter()
+                .map(|&j| backlog[j])
+                .min()
+                .expect("non-empty set");
+            ties.clear();
+            for &j in set.as_slice() {
+                if backlog[j] <= min_backlog {
+                    ties.push(j);
+                }
+            }
+            let u = breaker.pick(&ties);
+            backlog[u] += 1;
+            fmax = fmax.max(backlog[u]);
+            tasks += 1;
+        }
+        // Advance one time unit: every machine works off one unit.
+        for w in backlog.iter_mut() {
+            *w = w.saturating_sub(1);
+        }
+    }
+
+    SteppedOutcome { fmax, final_profile: backlog, tasks }
+}
+
+/// Convenience: runs the Theorem 8 adversary stream on the fast path.
+pub fn run_stepped_interval_adversary(
+    m: usize,
+    k: usize,
+    rounds: usize,
+    policy: TieBreak,
+) -> SteppedOutcome {
+    let types = flowsched_workloads::adversary::interval::round_types(m, k);
+    let sets: Vec<ProcSet> = types
+        .iter()
+        .map(|&lambda| ProcSet::interval(lambda - 1, lambda + k - 2))
+        .collect();
+    run_stepped(m, rounds, policy, |_| sets.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowsched_algos::eft::EftState;
+    use flowsched_workloads::adversary::interval::run_interval_adversary;
+
+    #[test]
+    fn matches_event_driven_eft_on_the_adversary() {
+        for (m, k) in [(6usize, 3usize), (8, 2), (10, 4)] {
+            for tb in [TieBreak::Min, TieBreak::Max] {
+                let rounds = m * m;
+                let stepped = run_stepped_interval_adversary(m, k, rounds, tb);
+                let mut algo = EftState::new(m, tb);
+                let event = run_interval_adversary(&mut algo, k, rounds);
+                assert_eq!(
+                    stepped.fmax as f64,
+                    event.fmax(),
+                    "m={m} k={k} {tb}: stepped vs event-driven"
+                );
+                assert_eq!(stepped.tasks, event.instance.len());
+            }
+        }
+    }
+
+    #[test]
+    fn matches_rand_policy_with_same_seed() {
+        // Identical tie sets → identical RNG consumption → identical runs.
+        let (m, k, rounds) = (6, 3, 80);
+        let tb = TieBreak::Rand { seed: 17 };
+        let stepped = run_stepped_interval_adversary(m, k, rounds, tb);
+        let mut algo = EftState::new(m, tb);
+        let event = run_interval_adversary(&mut algo, k, rounds);
+        assert_eq!(stepped.fmax as f64, event.fmax());
+    }
+
+    #[test]
+    fn final_profile_matches_backlog() {
+        let (m, k, rounds) = (6, 3, 40);
+        let stepped = run_stepped_interval_adversary(m, k, rounds, TieBreak::Min);
+        let mut algo = EftState::new(m, TieBreak::Min);
+        let event = run_interval_adversary(&mut algo, k, rounds);
+        let event_profile = flowsched_core::profile::profile_at(
+            &event.schedule,
+            &event.instance,
+            rounds as f64,
+        );
+        let stepped_profile: Vec<f64> =
+            stepped.final_profile.iter().map(|&w| w as f64).collect();
+        assert_eq!(stepped_profile, event_profile);
+    }
+
+    #[test]
+    fn empty_batches_are_fine() {
+        let out = run_stepped(4, 10, TieBreak::Min, |_| Vec::new());
+        assert_eq!(out.fmax, 0);
+        assert_eq!(out.tasks, 0);
+        assert_eq!(out.final_profile, vec![0; 4]);
+    }
+
+    #[test]
+    fn overload_accumulates_backlog() {
+        // Two tasks per step on one machine: backlog grows by 1 per step.
+        let out = run_stepped(1, 10, TieBreak::Min, |_| {
+            vec![ProcSet::full(1), ProcSet::full(1)]
+        });
+        assert_eq!(out.fmax, 11); // 10 steps → backlog reaches 11 at dispatch
+        assert_eq!(out.final_profile, vec![10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty processing set")]
+    fn empty_set_rejected() {
+        let _ = run_stepped(2, 1, TieBreak::Min, |_| vec![ProcSet::empty()]);
+    }
+}

@@ -1,0 +1,29 @@
+//! # flowsched-solver
+//!
+//! Optimization substrate built from scratch for the paper's analyses:
+//!
+//! - [`simplex`]: a dense two-phase simplex LP solver, used to solve the
+//!   paper's Linear Program (15) — maximize the cluster load `λ` subject
+//!   to per-machine capacity and replication-transfer constraints.
+//! - [`maxflow`]: Dinic's maximum-flow algorithm on real-valued
+//!   capacities.
+//! - [`matching`]: Hopcroft–Karp maximum bipartite matching, the engine of
+//!   the exact offline `Fmax` solver for unit tasks (feasibility of
+//!   scheduling all unit tasks within a flow budget `F` is a bipartite
+//!   matching between tasks and machine×time-slot pairs).
+//! - [`loadflow`]: the max-load question solved two independent ways
+//!   (direct LP, and binary search on `λ` with max-flow feasibility);
+//!   agreement of the two is enforced by property tests.
+
+pub mod loadflow;
+pub mod matching;
+pub mod maxflow;
+pub mod simplex;
+
+
+
+
+pub use loadflow::{load_is_feasible, max_load_binary_search, max_load_lp};
+pub use matching::{BipartiteMatcher, Matching};
+pub use maxflow::FlowNetwork;
+pub use simplex::{LinearProgram, LpOutcome, LpSolution, Relation};

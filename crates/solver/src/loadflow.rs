@@ -1,0 +1,294 @@
+//! Theoretical maximum cluster load (the paper's LP (15), Section 7.2).
+//!
+//! Machine `Mⱼ` *originates* a fraction `P(Eⱼ)` of the request stream
+//! (it owns the keys those requests target). Replication lets a request
+//! for `Mⱼ`'s keys be served by any machine in the replication set
+//! `I_k(j)`. The *maximum load* is the largest arrival rate `λ` such
+//! that the work can be spread with no machine exceeding rate 1:
+//!
+//! ```text
+//! maximize    λ
+//! subject to  Σᵢ aᵢⱼ = λ·P(Eⱼ)        for every origin j     (15b)
+//!             Σⱼ aᵢⱼ ≤ 1              for every machine i    (15c)
+//!             aᵢⱼ = 0 when Mᵢ ∉ I_k(j)                       (15d)
+//!             aᵢⱼ ≥ 0, λ ≥ 0                                 (15e,f)
+//! ```
+//!
+//! Two independent solvers are provided: a direct simplex solve of
+//! LP (15), and a binary search on `λ` whose feasibility oracle is a
+//! max-flow computation (`λ` is feasible iff the transportation network
+//! source→origins→machines→sink admits a flow saturating the sources).
+//! The two must agree, which the tests enforce — a strong guard on both
+//! implementations.
+
+use crate::maxflow::FlowNetwork;
+use crate::simplex::{LinearProgram, LpOutcome, Relation};
+
+/// Validates the common inputs: `weights[j]` is origin `j`'s popularity
+/// (non-negative, not all zero), `allowed[j]` lists the machines able to
+/// serve origin `j` (non-empty, indices `< weights.len()`).
+fn validate(weights: &[f64], allowed: &[Vec<usize>]) {
+    let m = weights.len();
+    assert!(m > 0, "need at least one machine");
+    assert_eq!(allowed.len(), m, "one replication set per origin machine");
+    assert!(
+        weights.iter().all(|&w| w.is_finite() && w >= 0.0),
+        "weights must be finite and non-negative"
+    );
+    assert!(weights.iter().sum::<f64>() > 0.0, "total weight must be positive");
+    for (j, a) in allowed.iter().enumerate() {
+        assert!(!a.is_empty(), "origin {j} has an empty replication set");
+        assert!(a.iter().all(|&i| i < m), "replication set of origin {j} out of range");
+    }
+}
+
+/// Solves LP (15) directly with the simplex solver. Returns the maximum
+/// feasible `λ`.
+///
+/// ```
+/// use flowsched_solver::loadflow::max_load_lp;
+///
+/// // Two machines; machine 0 owns 70% of the popularity. Without
+/// // replication λ·0.7 ≤ 1 caps λ at ≈1.43; with full replication the
+/// // cluster reaches λ = 2 (100% of its capacity).
+/// let weights = [0.7, 0.3];
+/// let unreplicated = vec![vec![0], vec![1]];
+/// let full = vec![vec![0, 1], vec![0, 1]];
+/// assert!((max_load_lp(&weights, &unreplicated) - 1.0 / 0.7).abs() < 1e-6);
+/// assert!((max_load_lp(&weights, &full) - 2.0).abs() < 1e-6);
+/// ```
+///
+/// # Panics
+/// Panics on invalid inputs (see module docs) — the LP itself is always
+/// feasible (`λ = 0`) and bounded (`λ ≤ m / Σw`).
+pub fn max_load_lp(weights: &[f64], allowed: &[Vec<usize>]) -> f64 {
+    validate(weights, allowed);
+    let m = weights.len();
+
+    // Variable layout: x[0] = λ, then one a_{ij} per allowed (origin j,
+    // machine i) pair, ordered by origin.
+    let mut pair_index: Vec<Vec<usize>> = Vec::with_capacity(m); // per origin: var ids
+    let mut n_vars = 1usize;
+    for a in allowed {
+        let ids: Vec<usize> = (0..a.len()).map(|t| n_vars + t).collect();
+        n_vars += a.len();
+        pair_index.push(ids);
+    }
+
+    let mut objective = vec![0.0; n_vars];
+    objective[0] = 1.0;
+    let mut lp = LinearProgram::maximize(n_vars, objective);
+
+    // (15b): Σᵢ a_ij − λ·P(E_j) = 0.
+    for j in 0..m {
+        let mut terms: Vec<(usize, f64)> = vec![(0, -weights[j])];
+        for &v in &pair_index[j] {
+            terms.push((v, 1.0));
+        }
+        lp.constraint_sparse(&terms, Relation::Eq, 0.0);
+    }
+    // (15c): Σⱼ a_ij ≤ 1 for each machine i.
+    for i in 0..m {
+        let mut terms: Vec<(usize, f64)> = Vec::new();
+        for j in 0..m {
+            for (t, &srv) in allowed[j].iter().enumerate() {
+                if srv == i {
+                    terms.push((pair_index[j][t], 1.0));
+                }
+            }
+        }
+        if !terms.is_empty() {
+            lp.constraint_sparse(&terms, Relation::Le, 1.0);
+        }
+    }
+
+    match lp.solve() {
+        LpOutcome::Optimal(sol) => sol.objective.max(0.0),
+        other => unreachable!("LP (15) is always feasible and bounded, got {other:?}"),
+    }
+}
+
+/// Max-flow feasibility oracle: can arrival rate `lambda` be served?
+///
+/// Builds source → origin (capacity `λ·P(Eⱼ)`) → machine (unbounded) →
+/// sink (capacity 1) and checks the max flow saturates the sources.
+pub fn load_is_feasible(weights: &[f64], allowed: &[Vec<usize>], lambda: f64) -> bool {
+    validate(weights, allowed);
+    assert!(lambda.is_finite() && lambda >= 0.0);
+    let m = weights.len();
+    // Nodes: 0 = source, 1..=m origins, m+1..=2m machines, 2m+1 sink.
+    let source = 0;
+    let sink = 2 * m + 1;
+    let origin = |j: usize| 1 + j;
+    let machine = |i: usize| 1 + m + i;
+    let mut g = FlowNetwork::new(2 * m + 2);
+    let mut demand = 0.0;
+    for j in 0..m {
+        let cap = lambda * weights[j];
+        demand += cap;
+        g.add_edge(source, origin(j), cap);
+        for &i in &allowed[j] {
+            g.add_edge(origin(j), machine(i), cap);
+        }
+    }
+    for i in 0..m {
+        g.add_edge(machine(i), sink, 1.0);
+    }
+    let flow = g.max_flow(source, sink);
+    flow >= demand - 1e-9 * (1.0 + demand)
+}
+
+/// Computes the maximum feasible load by binary search on `λ` with the
+/// max-flow oracle, to absolute tolerance `tol`.
+pub fn max_load_binary_search(weights: &[f64], allowed: &[Vec<usize>], tol: f64) -> f64 {
+    validate(weights, allowed);
+    assert!(tol > 0.0, "tolerance must be positive");
+    let total: f64 = weights.iter().sum();
+    // Upper bound: even with full replication, m machines of rate 1 serve
+    // at most rate m, so λ·total ≤ m.
+    let mut hi = weights.len() as f64 / total;
+    let mut lo = 0.0;
+    if load_is_feasible(weights, allowed, hi) {
+        return hi;
+    }
+    while hi - lo > tol {
+        let mid = 0.5 * (lo + hi);
+        if load_is_feasible(weights, allowed, mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Disjoint intervals of size k over m machines (paper Section 7.2).
+    fn disjoint_sets(m: usize, k: usize) -> Vec<Vec<usize>> {
+        (0..m)
+            .map(|u| {
+                let base = k * (u / k);
+                (base..(base + k).min(m)).collect()
+            })
+            .collect()
+    }
+
+    /// Overlapping ring intervals of size k (paper Section 7.2).
+    fn ring_sets(m: usize, k: usize) -> Vec<Vec<usize>> {
+        (0..m).map(|u| (0..k).map(|o| (u + o) % m).collect()).collect()
+    }
+
+    #[test]
+    fn no_replication_is_bounded_by_max_weight() {
+        // k=1: λ·max(w) ≤ 1 → λ* = 1/max(w).
+        let w = [0.5, 0.3, 0.2];
+        let allowed: Vec<Vec<usize>> = (0..3).map(|j| vec![j]).collect();
+        let lp = max_load_lp(&w, &allowed);
+        assert!((lp - 2.0).abs() < 1e-6, "expected 2.0, got {lp}");
+        let bs = max_load_binary_search(&w, &allowed, 1e-9);
+        assert!((bs - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn full_replication_reaches_m_over_total() {
+        // Uniform weights summing to 1 on m=4, full sets → λ* = 4.
+        let w = [0.25; 4];
+        let allowed: Vec<Vec<usize>> = (0..4).map(|_| (0..4).collect()).collect();
+        let lp = max_load_lp(&w, &allowed);
+        assert!((lp - 4.0).abs() < 1e-6, "got {lp}");
+        assert!((max_load_binary_search(&w, &allowed, 1e-9) - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn uniform_weights_make_strategies_equal() {
+        // Paper: "replication strategies exhibit no difference on the
+        // tolerable load when no bias is introduced (s = 0)".
+        let m = 6;
+        let w = vec![1.0 / m as f64; m];
+        for k in 1..=m {
+            let over = max_load_lp(&w, &ring_sets(m, k));
+            let disj = max_load_lp(&w, &disjoint_sets(m, k));
+            assert!((over - disj).abs() < 1e-6, "k={k}: {over} vs {disj}");
+            assert!((over - m as f64).abs() < 1e-6, "uniform load should hit 100%");
+        }
+    }
+
+    #[test]
+    fn overlapping_dominates_disjoint_under_bias() {
+        // Zipf-ish decreasing weights; overlapping rings shift load off the
+        // hot prefix in a chain, disjoint blocks cannot.
+        let w = [0.40, 0.25, 0.15, 0.10, 0.06, 0.04];
+        for k in 2..6 {
+            let over = max_load_lp(&w, &ring_sets(6, k));
+            let disj = max_load_lp(&w, &disjoint_sets(6, k));
+            assert!(
+                over >= disj - 1e-9,
+                "k={k}: overlapping {over} should be ≥ disjoint {disj}"
+            );
+        }
+        // Strict for k=2: hot block {0,1} carries 0.65 with capacity 2.
+        let over = max_load_lp(&w, &ring_sets(6, 2));
+        let disj = max_load_lp(&w, &disjoint_sets(6, 2));
+        assert!(over > disj + 0.1, "{over} vs {disj}");
+    }
+
+    #[test]
+    fn disjoint_load_matches_block_formula() {
+        // For disjoint blocks, λ* = min over blocks of |block| / w(block).
+        let w = [0.4, 0.2, 0.2, 0.2];
+        let allowed = disjoint_sets(4, 2);
+        let expected = (2.0 / 0.6_f64).min(2.0 / 0.4);
+        let lp = max_load_lp(&w, &allowed);
+        assert!((lp - expected).abs() < 1e-6, "{lp} vs {expected}");
+    }
+
+    #[test]
+    fn lp_and_flow_agree_on_many_configurations() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2024);
+        for trial in 0..40 {
+            let m = rng.random_range(2..=8);
+            let k = rng.random_range(1..=m);
+            let weights: Vec<f64> = (0..m).map(|_| rng.random_range(0.01..1.0)).collect();
+            let allowed = if trial % 2 == 0 { ring_sets(m, k) } else { disjoint_sets(m, k) };
+            let lp = max_load_lp(&weights, &allowed);
+            let bs = max_load_binary_search(&weights, &allowed, 1e-9);
+            assert!(
+                (lp - bs).abs() < 1e-5,
+                "trial {trial}: m={m} k={k} lp={lp} bs={bs} w={weights:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn feasibility_is_monotone_in_lambda() {
+        let w = [0.5, 0.5];
+        let allowed = vec![vec![0, 1], vec![0, 1]];
+        assert!(load_is_feasible(&w, &allowed, 1.0));
+        assert!(load_is_feasible(&w, &allowed, 2.0));
+        assert!(!load_is_feasible(&w, &allowed, 2.5));
+    }
+
+    #[test]
+    fn zero_weight_origin_is_fine() {
+        let w = [1.0, 0.0];
+        let allowed = vec![vec![0], vec![1]];
+        let lp = max_load_lp(&w, &allowed);
+        assert!((lp - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty replication set")]
+    fn empty_allowed_rejected() {
+        let _ = max_load_lp(&[1.0], &[vec![]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "total weight")]
+    fn all_zero_weights_rejected() {
+        let _ = max_load_lp(&[0.0, 0.0], &[vec![0], vec![1]]);
+    }
+}

@@ -1,0 +1,264 @@
+//! Hopcroft–Karp maximum bipartite matching.
+//!
+//! This is the feasibility engine of the exact offline `Fmax` solver for
+//! unit-task instances: scheduling every unit task within flow budget `F`
+//! is feasible iff a perfect matching exists between tasks and
+//! `(machine, time-slot)` pairs with slot `∈ [rᵢ, rᵢ + F)` and machine
+//! `∈ Mᵢ` (Section 6 of the paper notes the problem is polynomial).
+//! Runs in `O(E·√V)`.
+
+/// Maximum bipartite matcher between `n_left` left vertices and `n_right`
+/// right vertices.
+///
+/// ```
+/// use flowsched_solver::matching::BipartiteMatcher;
+///
+/// let mut g = BipartiteMatcher::new(2, 2);
+/// g.add_edge(0, 0);
+/// g.add_edge(1, 0);
+/// g.add_edge(1, 1);
+/// let m = g.solve();
+/// assert_eq!(m.size, 2); // the augmenting path flips L1 off R0
+/// ```
+#[derive(Debug, Clone)]
+pub struct BipartiteMatcher {
+    n_left: usize,
+    n_right: usize,
+    adj: Vec<Vec<usize>>,
+}
+
+/// The result of a matching computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Matching {
+    /// For each left vertex, the matched right vertex (or `None`).
+    pub left_to_right: Vec<Option<usize>>,
+    /// For each right vertex, the matched left vertex (or `None`).
+    pub right_to_left: Vec<Option<usize>>,
+    /// Number of matched pairs.
+    pub size: usize,
+}
+
+const INF: u32 = u32::MAX;
+
+impl BipartiteMatcher {
+    /// Creates an empty bipartite graph.
+    pub fn new(n_left: usize, n_right: usize) -> Self {
+        BipartiteMatcher { n_left, n_right, adj: vec![Vec::new(); n_left] }
+    }
+
+    /// Adds an edge `left — right`.
+    ///
+    /// # Panics
+    /// Panics on out-of-range vertices.
+    pub fn add_edge(&mut self, left: usize, right: usize) {
+        assert!(left < self.n_left, "left vertex out of range");
+        assert!(right < self.n_right, "right vertex out of range");
+        self.adj[left].push(right);
+    }
+
+    /// Number of left vertices.
+    pub fn n_left(&self) -> usize {
+        self.n_left
+    }
+
+    /// Number of right vertices.
+    pub fn n_right(&self) -> usize {
+        self.n_right
+    }
+
+    /// Computes a maximum matching (Hopcroft–Karp).
+    pub fn solve(&self) -> Matching {
+        let mut match_l: Vec<Option<usize>> = vec![None; self.n_left];
+        let mut match_r: Vec<Option<usize>> = vec![None; self.n_right];
+        let mut dist = vec![INF; self.n_left];
+
+        loop {
+            // BFS from free left vertices, layering by alternating paths.
+            let mut queue = std::collections::VecDeque::new();
+            for l in 0..self.n_left {
+                if match_l[l].is_none() {
+                    dist[l] = 0;
+                    queue.push_back(l);
+                } else {
+                    dist[l] = INF;
+                }
+            }
+            let mut found_augmenting_layer = false;
+            while let Some(l) = queue.pop_front() {
+                for &r in &self.adj[l] {
+                    match match_r[r] {
+                        None => found_augmenting_layer = true,
+                        Some(l2) => {
+                            if dist[l2] == INF {
+                                dist[l2] = dist[l] + 1;
+                                queue.push_back(l2);
+                            }
+                        }
+                    }
+                }
+            }
+            if !found_augmenting_layer {
+                break;
+            }
+            // DFS phase: find a maximal set of vertex-disjoint shortest
+            // augmenting paths.
+            for l in 0..self.n_left {
+                if match_l[l].is_none() {
+                    self.try_augment(l, &mut match_l, &mut match_r, &mut dist);
+                }
+            }
+        }
+
+        let size = match_l.iter().filter(|m| m.is_some()).count();
+        Matching { left_to_right: match_l, right_to_left: match_r, size }
+    }
+
+    fn try_augment(
+        &self,
+        l: usize,
+        match_l: &mut [Option<usize>],
+        match_r: &mut [Option<usize>],
+        dist: &mut [u32],
+    ) -> bool {
+        for &r in &self.adj[l] {
+            let extend = match match_r[r] {
+                None => true,
+                Some(l2) => {
+                    dist[l2] == dist[l] + 1
+                        && self.try_augment(l2, match_l, match_r, dist)
+                }
+            };
+            if extend {
+                match_l[l] = Some(r);
+                match_r[r] = Some(l);
+                return true;
+            }
+        }
+        dist[l] = INF;
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_matching_on_complete_graph() {
+        let mut g = BipartiteMatcher::new(3, 3);
+        for l in 0..3 {
+            for r in 0..3 {
+                g.add_edge(l, r);
+            }
+        }
+        let m = g.solve();
+        assert_eq!(m.size, 3);
+        // Consistency of the two maps.
+        for (l, r) in m.left_to_right.iter().enumerate() {
+            if let Some(r) = r {
+                assert_eq!(m.right_to_left[*r], Some(l));
+            }
+        }
+    }
+
+    #[test]
+    fn starved_left_vertex() {
+        // Two left vertices competing for the same single right vertex.
+        let mut g = BipartiteMatcher::new(2, 1);
+        g.add_edge(0, 0);
+        g.add_edge(1, 0);
+        let m = g.solve();
+        assert_eq!(m.size, 1);
+    }
+
+    #[test]
+    fn requires_augmenting_path_flip() {
+        // L0-{R0}, L1-{R0,R1}: greedy could match L1-R0 first; HK must
+        // still reach size 2.
+        let mut g = BipartiteMatcher::new(2, 2);
+        g.add_edge(1, 0);
+        g.add_edge(1, 1);
+        g.add_edge(0, 0);
+        let m = g.solve();
+        assert_eq!(m.size, 2);
+        assert_eq!(m.left_to_right[0], Some(0));
+        assert_eq!(m.left_to_right[1], Some(1));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = BipartiteMatcher::new(4, 4);
+        assert_eq!(g.solve().size, 0);
+    }
+
+    #[test]
+    fn zero_vertices() {
+        let g = BipartiteMatcher::new(0, 0);
+        assert_eq!(g.solve().size, 0);
+    }
+
+    #[test]
+    fn long_augmenting_chain() {
+        // A path graph forcing a length-5 augmenting path:
+        // L0-R0, L1-{R0,R1}, L2-{R1,R2}, L3-{R2,R3}.
+        let mut g = BipartiteMatcher::new(4, 4);
+        g.add_edge(0, 0);
+        g.add_edge(1, 0);
+        g.add_edge(1, 1);
+        g.add_edge(2, 1);
+        g.add_edge(2, 2);
+        g.add_edge(3, 2);
+        g.add_edge(3, 3);
+        let m = g.solve();
+        assert_eq!(m.size, 4);
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn matches_brute_force_on_random_graphs() {
+        use rand::Rng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        use rand::SeedableRng;
+        for _ in 0..200 {
+            let nl = rng.random_range(1..=6);
+            let nr = rng.random_range(1..=6);
+            let mut g = BipartiteMatcher::new(nl, nr);
+            let mut edges = vec![vec![false; nr]; nl];
+            for l in 0..nl {
+                for r in 0..nr {
+                    if rng.random_bool(0.4) {
+                        g.add_edge(l, r);
+                        edges[l][r] = true;
+                    }
+                }
+            }
+            let hk = g.solve().size;
+            let bf = brute_force(&edges, 0, &mut vec![false; nr]);
+            assert_eq!(hk, bf, "edges: {edges:?}");
+        }
+    }
+
+    /// Exponential exact matcher for cross-validation.
+    fn brute_force(edges: &[Vec<bool>], l: usize, used: &mut Vec<bool>) -> usize {
+        if l == edges.len() {
+            return 0;
+        }
+        // Skip l.
+        let mut best = brute_force(edges, l + 1, used);
+        for r in 0..used.len() {
+            if edges[l][r] && !used[r] {
+                used[r] = true;
+                best = best.max(1 + brute_force(edges, l + 1, used));
+                used[r] = false;
+            }
+        }
+        best
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_rejected() {
+        let mut g = BipartiteMatcher::new(1, 1);
+        g.add_edge(0, 5);
+    }
+}

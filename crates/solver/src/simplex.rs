@@ -1,0 +1,568 @@
+//! Dense two-phase simplex LP solver.
+//!
+//! Solves `maximize c·x subject to A x {≤,=,≥} b, x ≥ 0`. Designed for the
+//! small, dense programs of the paper's Section 7.2 (LP (15) has at most
+//! `m·k + 1 ≤ 226` variables for `m = 15`), so a dense tableau is the
+//! right tool: simple, cache-friendly, and easy to audit.
+//!
+//! Implementation notes:
+//!
+//! - Phase 1 minimizes the sum of artificial variables to find a basic
+//!   feasible solution; phase 2 optimizes the real objective.
+//! - Pivoting uses Dantzig's rule (most negative reduced cost) with an
+//!   automatic switch to Bland's rule after a stall threshold, which
+//!   guarantees termination on degenerate programs.
+//! - The solver is validated against an independent max-flow formulation
+//!   in [`crate::loadflow`]'s tests.
+
+/// Constraint sense.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Relation {
+    /// `Σ aⱼxⱼ ≤ b`
+    Le,
+    /// `Σ aⱼxⱼ = b`
+    Eq,
+    /// `Σ aⱼxⱼ ≥ b`
+    Ge,
+}
+
+/// A linear program `maximize c·x s.t. A x rel b, x ≥ 0`.
+///
+/// ```
+/// use flowsched_solver::simplex::{LinearProgram, Relation};
+///
+/// // maximize 3x + 5y  s.t.  x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18
+/// let mut lp = LinearProgram::maximize(2, vec![3.0, 5.0]);
+/// lp.constraint(vec![1.0, 0.0], Relation::Le, 4.0);
+/// lp.constraint(vec![0.0, 2.0], Relation::Le, 12.0);
+/// lp.constraint(vec![3.0, 2.0], Relation::Le, 18.0);
+/// let sol = lp.solve().expect_optimal();
+/// assert!((sol.objective - 36.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LinearProgram {
+    n_vars: usize,
+    objective: Vec<f64>,
+    rows: Vec<Vec<f64>>,
+    relations: Vec<Relation>,
+    rhs: Vec<f64>,
+}
+
+/// Outcome of a solve.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpOutcome {
+    /// An optimal solution was found.
+    Optimal(LpSolution),
+    /// No point satisfies the constraints.
+    Infeasible,
+    /// The objective is unbounded above on the feasible region.
+    Unbounded,
+}
+
+/// An optimal solution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LpSolution {
+    /// Optimal objective value `c·x*`.
+    pub objective: f64,
+    /// Optimal point `x*` (length = number of variables).
+    pub x: Vec<f64>,
+}
+
+impl LpOutcome {
+    /// Unwraps the optimal solution.
+    ///
+    /// # Panics
+    /// Panics when the program was infeasible or unbounded.
+    pub fn expect_optimal(self) -> LpSolution {
+        match self {
+            LpOutcome::Optimal(s) => s,
+            other => panic!("expected an optimal LP solution, got {other:?}"),
+        }
+    }
+}
+
+const EPS: f64 = 1e-9;
+/// After this many consecutive degenerate (zero-improvement) pivots, the
+/// solver switches from Dantzig's rule to Bland's anti-cycling rule.
+const STALL_LIMIT: usize = 64;
+/// Hard iteration cap — generous for the tiny programs this crate targets.
+const MAX_ITERS: usize = 200_000;
+
+impl LinearProgram {
+    /// Creates a program over `n_vars` non-negative variables maximizing
+    /// `objective · x`.
+    ///
+    /// # Panics
+    /// Panics if the objective length differs from `n_vars`.
+    pub fn maximize(n_vars: usize, objective: Vec<f64>) -> Self {
+        assert_eq!(objective.len(), n_vars, "objective length must match variable count");
+        LinearProgram { n_vars, objective, rows: Vec::new(), relations: Vec::new(), rhs: Vec::new() }
+    }
+
+    /// Creates a minimization program (internally negated).
+    pub fn minimize(n_vars: usize, objective: Vec<f64>) -> Self {
+        let negated = objective.into_iter().map(|c| -c).collect();
+        LinearProgram::maximize(n_vars, negated)
+    }
+
+    /// Adds the constraint `coeffs · x rel rhs`.
+    ///
+    /// # Panics
+    /// Panics if `coeffs.len() != n_vars` or `rhs` is not finite.
+    pub fn constraint(&mut self, coeffs: Vec<f64>, rel: Relation, rhs: f64) -> &mut Self {
+        assert_eq!(coeffs.len(), self.n_vars, "constraint width must match variable count");
+        assert!(rhs.is_finite(), "constraint rhs must be finite");
+        self.rows.push(coeffs);
+        self.relations.push(rel);
+        self.rhs.push(rhs);
+        self
+    }
+
+    /// Adds a sparse constraint given `(var, coeff)` terms.
+    pub fn constraint_sparse(
+        &mut self,
+        terms: &[(usize, f64)],
+        rel: Relation,
+        rhs: f64,
+    ) -> &mut Self {
+        let mut coeffs = vec![0.0; self.n_vars];
+        for &(v, c) in terms {
+            assert!(v < self.n_vars, "variable index out of range");
+            coeffs[v] += c;
+        }
+        self.constraint(coeffs, rel, rhs)
+    }
+
+    /// Number of variables.
+    pub fn n_vars(&self) -> usize {
+        self.n_vars
+    }
+
+    /// Number of constraints.
+    pub fn n_constraints(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Solves the program.
+    pub fn solve(&self) -> LpOutcome {
+        Tableau::build(self).solve(&self.objective)
+    }
+}
+
+/// Dense simplex tableau in canonical form: basic columns form an
+/// identity, `rhs ≥ 0` throughout.
+struct Tableau {
+    /// `rows × (cols + 1)`; last column is the rhs.
+    t: Vec<Vec<f64>>,
+    /// Basic variable (column) of each row.
+    basis: Vec<usize>,
+    n_structural: usize,
+    /// Columns `artificial_start..cols` are artificials.
+    artificial_start: usize,
+    cols: usize,
+}
+
+impl Tableau {
+    fn build(lp: &LinearProgram) -> Self {
+        let m = lp.rows.len();
+        // Count auxiliary columns: one slack per Le, one surplus per Ge,
+        // one artificial per Ge/Eq (and per Le row with negative rhs that
+        // flips to Ge after normalization — handled by normalizing first).
+        let mut rows: Vec<Vec<f64>> = lp.rows.clone();
+        let mut relations = lp.relations.clone();
+        let mut rhs = lp.rhs.clone();
+        for i in 0..m {
+            if rhs[i] < 0.0 {
+                for a in rows[i].iter_mut() {
+                    *a = -*a;
+                }
+                rhs[i] = -rhs[i];
+                relations[i] = match relations[i] {
+                    Relation::Le => Relation::Ge,
+                    Relation::Eq => Relation::Eq,
+                    Relation::Ge => Relation::Le,
+                };
+            }
+        }
+        let n_slack = relations.iter().filter(|r| **r != Relation::Eq).count();
+        let n_art = relations.iter().filter(|r| **r != Relation::Le).count();
+        let n = lp.n_vars;
+        let cols = n + n_slack + n_art;
+        let artificial_start = n + n_slack;
+
+        let mut t = vec![vec![0.0; cols + 1]; m];
+        let mut basis = vec![usize::MAX; m];
+        let mut next_slack = n;
+        let mut next_art = artificial_start;
+        for i in 0..m {
+            t[i][..n].copy_from_slice(&rows[i]);
+            t[i][cols] = rhs[i];
+            match relations[i] {
+                Relation::Le => {
+                    t[i][next_slack] = 1.0;
+                    basis[i] = next_slack;
+                    next_slack += 1;
+                }
+                Relation::Ge => {
+                    t[i][next_slack] = -1.0;
+                    next_slack += 1;
+                    t[i][next_art] = 1.0;
+                    basis[i] = next_art;
+                    next_art += 1;
+                }
+                Relation::Eq => {
+                    t[i][next_art] = 1.0;
+                    basis[i] = next_art;
+                    next_art += 1;
+                }
+            }
+        }
+        Tableau { t, basis, n_structural: n, artificial_start, cols }
+    }
+
+    /// Runs both phases; `objective` is the structural maximization
+    /// objective.
+    fn solve(mut self, objective: &[f64]) -> LpOutcome {
+        // ---- Phase 1: minimize the sum of artificials. ----
+        if self.artificial_start < self.cols {
+            // Max form: maximize -(sum of artificials). Reduced-cost row:
+            // start from cost and eliminate basic columns.
+            let mut cost = vec![0.0; self.cols];
+            for c in cost.iter_mut().skip(self.artificial_start) {
+                *c = -1.0;
+            }
+            let mut z = self.reduced_row(&cost);
+            match self.optimize(&mut z, self.cols) {
+                PivotResult::Optimal => {}
+                PivotResult::Unbounded => {
+                    unreachable!("phase-1 objective is bounded above by 0")
+                }
+            }
+            // z[cols] = −(phase-1 objective) = +(minimal artificial sum).
+            let artificial_sum = z[self.cols];
+            if artificial_sum > 1e-7 {
+                return LpOutcome::Infeasible;
+            }
+            self.evict_artificials();
+        }
+
+        // ---- Phase 2: maximize the real objective. ----
+        let mut z = self.phase2_reduced_row(objective);
+        // Artificial columns are barred from entering in phase 2.
+        match self.optimize(&mut z, self.artificial_start) {
+            PivotResult::Optimal => {}
+            PivotResult::Unbounded => return LpOutcome::Unbounded,
+        }
+
+        let mut x = vec![0.0; self.n_structural];
+        for (row, &b) in self.basis.iter().enumerate() {
+            if b < self.n_structural {
+                x[b] = self.t[row][self.cols];
+            }
+        }
+        let objective_value: f64 =
+            x.iter().zip(objective).map(|(xi, ci)| xi * ci).sum();
+        LpOutcome::Optimal(LpSolution { objective: objective_value, x })
+    }
+
+    /// Computes the reduced-cost row `z` for a (finite) cost vector:
+    /// (indexed loops mirror the textbook tableau notation)
+    /// `z[j] = c[j] − Σᵢ c[basis[i]]·T[i][j]`, with `z[cols]` holding the
+    /// current objective value `Σᵢ c[basis[i]]·rhs[i]` (negated so pivots
+    /// update it uniformly; we store `−value`).
+    #[allow(clippy::needless_range_loop)]
+    fn reduced_row(&self, cost: &[f64]) -> Vec<f64> {
+        let mut z = vec![0.0; self.cols + 1];
+        z[..self.cols].copy_from_slice(cost);
+        for (i, &b) in self.basis.iter().enumerate() {
+            let cb = cost[b];
+            if cb != 0.0 {
+                for j in 0..=self.cols {
+                    z[j] -= cb * self.t[i][j];
+                }
+            }
+        }
+        // Entry z[cols] now equals −(objective value of the current basis).
+        z
+    }
+
+    /// Phase-2 reduced row: the structural objective with zero cost on
+    /// auxiliaries, then the artificial columns barred from re-entering by
+    /// forcing their reduced costs negative (any basic artificial sits at
+    /// value 0 after a successful phase 1, contributing nothing).
+    fn phase2_reduced_row(&self, objective: &[f64]) -> Vec<f64> {
+        let mut finite = vec![0.0; self.cols];
+        finite[..self.n_structural].copy_from_slice(objective);
+        self.reduced_row(&finite)
+    }
+
+    /// Pivots until optimal or unbounded, maintaining the reduced row
+    /// `z`. Only columns `< max_enter_col` may enter the basis.
+    #[allow(clippy::needless_range_loop)]
+    fn optimize(&mut self, z: &mut [f64], max_enter_col: usize) -> PivotResult {
+        let mut stall = 0usize;
+        for _ in 0..MAX_ITERS {
+            let entering = if stall > STALL_LIMIT {
+                // Bland: smallest-index improving column.
+                (0..max_enter_col).find(|&j| z[j] > EPS)
+            } else {
+                // Dantzig: most improving column.
+                let mut best = None;
+                let mut best_val = EPS;
+                for j in 0..max_enter_col {
+                    if z[j] > best_val {
+                        best_val = z[j];
+                        best = Some(j);
+                    }
+                }
+                best
+            };
+            let Some(e) = entering else {
+                return PivotResult::Optimal;
+            };
+
+            // Ratio test.
+            let mut leave: Option<usize> = None;
+            let mut best_ratio = f64::INFINITY;
+            for i in 0..self.t.len() {
+                let a = self.t[i][e];
+                if a > EPS {
+                    let ratio = self.t[i][self.cols] / a;
+                    let better = ratio < best_ratio - EPS
+                        || (ratio < best_ratio + EPS
+                            && leave.is_some_and(|l| self.basis[i] < self.basis[l]));
+                    if better {
+                        best_ratio = ratio;
+                        leave = Some(i);
+                    }
+                }
+            }
+            let Some(l) = leave else {
+                return PivotResult::Unbounded;
+            };
+            if best_ratio < EPS {
+                stall += 1;
+            } else {
+                stall = 0;
+            }
+            self.pivot(l, e, z);
+        }
+        panic!("simplex exceeded {MAX_ITERS} iterations — numerical trouble");
+    }
+
+    /// Performs the pivot: row `l` leaves, column `e` enters.
+    fn pivot(&mut self, l: usize, e: usize, z: &mut [f64]) {
+        let piv = self.t[l][e];
+        debug_assert!(piv > EPS);
+        let inv = 1.0 / piv;
+        for v in self.t[l].iter_mut() {
+            *v *= inv;
+        }
+        let pivot_row = self.t[l].clone();
+        for (i, row) in self.t.iter_mut().enumerate() {
+            if i != l {
+                let factor = row[e];
+                if factor != 0.0 {
+                    for (v, p) in row.iter_mut().zip(&pivot_row) {
+                        *v -= factor * p;
+                    }
+                    row[e] = 0.0; // exact zero for numerical hygiene
+                }
+            }
+        }
+        let factor = z[e];
+        if factor != 0.0 {
+            for (v, p) in z.iter_mut().zip(&pivot_row) {
+                *v -= factor * p;
+            }
+            z[e] = 0.0;
+        }
+        self.basis[l] = e;
+    }
+
+    /// After phase 1, pivots basic artificial variables (at value 0) out
+    /// of the basis where possible; rows that are entirely zero over
+    /// non-artificial columns are redundant and harmless to keep.
+    #[allow(clippy::needless_range_loop)]
+    fn evict_artificials(&mut self) {
+        let mut z_dummy = vec![0.0; self.cols + 1];
+        for row in 0..self.t.len() {
+            if self.basis[row] >= self.artificial_start {
+                let target = (0..self.artificial_start)
+                    .find(|&j| self.t[row][j].abs() > 1e-7);
+                if let Some(j) = target {
+                    // The basic artificial has value 0 (phase 1 succeeded),
+                    // so this degenerate pivot keeps feasibility. Pivot
+                    // element may be negative; that is fine for a zero row.
+                    let piv = self.t[row][j];
+                    let inv = 1.0 / piv;
+                    for v in self.t[row].iter_mut() {
+                        *v *= inv;
+                    }
+                    let pivot_row = self.t[row].clone();
+                    for (i, r) in self.t.iter_mut().enumerate() {
+                        if i != row {
+                            let f = r[j];
+                            if f != 0.0 {
+                                for (v, p) in r.iter_mut().zip(&pivot_row) {
+                                    *v -= f * p;
+                                }
+                                r[j] = 0.0;
+                            }
+                        }
+                    }
+                    self.basis[row] = j;
+                }
+            }
+        }
+        let _ = &mut z_dummy;
+    }
+}
+
+enum PivotResult {
+    Optimal,
+    Unbounded,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} != {b}");
+    }
+
+    #[test]
+    fn textbook_two_variable_max() {
+        // max 3x + 5y, x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → (2, 6), z = 36.
+        let mut lp = LinearProgram::maximize(2, vec![3.0, 5.0]);
+        lp.constraint(vec![1.0, 0.0], Relation::Le, 4.0);
+        lp.constraint(vec![0.0, 2.0], Relation::Le, 12.0);
+        lp.constraint(vec![3.0, 2.0], Relation::Le, 18.0);
+        let sol = lp.solve().expect_optimal();
+        assert_close(sol.objective, 36.0);
+        assert_close(sol.x[0], 2.0);
+        assert_close(sol.x[1], 6.0);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // max x + y s.t. x + y = 5, x ≤ 3 → z = 5.
+        let mut lp = LinearProgram::maximize(2, vec![1.0, 1.0]);
+        lp.constraint(vec![1.0, 1.0], Relation::Eq, 5.0);
+        lp.constraint(vec![1.0, 0.0], Relation::Le, 3.0);
+        let sol = lp.solve().expect_optimal();
+        assert_close(sol.objective, 5.0);
+        assert_close(sol.x[0] + sol.x[1], 5.0);
+    }
+
+    #[test]
+    fn ge_constraints_and_minimization() {
+        // min 2x + 3y s.t. x + y ≥ 4, x ≥ 1 → (4,0) cost 8? x=4,y=0: 8;
+        // x=1,y=3: 11. Optimum 8 at (4, 0).
+        let mut lp = LinearProgram::minimize(2, vec![2.0, 3.0]);
+        lp.constraint(vec![1.0, 1.0], Relation::Ge, 4.0);
+        lp.constraint(vec![1.0, 0.0], Relation::Ge, 1.0);
+        let sol = lp.solve().expect_optimal();
+        // maximize form returns the negated objective.
+        assert_close(sol.objective, -8.0);
+        assert_close(sol.x[0], 4.0);
+        assert_close(sol.x[1], 0.0);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        // x ≤ 1 and x ≥ 2.
+        let mut lp = LinearProgram::maximize(1, vec![1.0]);
+        lp.constraint(vec![1.0], Relation::Le, 1.0);
+        lp.constraint(vec![1.0], Relation::Ge, 2.0);
+        assert_eq!(lp.solve(), LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        // max x with only x ≥ 0 (no upper bound).
+        let mut lp = LinearProgram::maximize(2, vec![1.0, 0.0]);
+        lp.constraint(vec![0.0, 1.0], Relation::Le, 1.0);
+        assert_eq!(lp.solve(), LpOutcome::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_normalized() {
+        // max x s.t. −x ≤ −2 (i.e. x ≥ 2), x ≤ 5 → 5.
+        let mut lp = LinearProgram::maximize(1, vec![1.0]);
+        lp.constraint(vec![-1.0], Relation::Le, -2.0);
+        lp.constraint(vec![1.0], Relation::Le, 5.0);
+        let sol = lp.solve().expect_optimal();
+        assert_close(sol.objective, 5.0);
+    }
+
+    #[test]
+    fn degenerate_program_terminates() {
+        // A classic degenerate LP (multiple constraints active at the
+        // optimum with zero rhs).
+        let mut lp = LinearProgram::maximize(3, vec![0.75, -150.0, 0.02]);
+        lp.constraint(vec![0.25, -60.0, -0.04], Relation::Le, 0.0);
+        lp.constraint(vec![0.5, -90.0, -0.02], Relation::Le, 0.0);
+        lp.constraint(vec![0.0, 0.0, 1.0], Relation::Le, 1.0);
+        let out = lp.solve();
+        // Beale's cycling example (scaled): optimum 0.05 at x = (0.04/0.8...).
+        match out {
+            LpOutcome::Optimal(s) => assert!(s.objective > 0.0),
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sparse_constraint_builder() {
+        let mut lp = LinearProgram::maximize(3, vec![1.0, 1.0, 1.0]);
+        lp.constraint_sparse(&[(0, 1.0), (2, 1.0)], Relation::Le, 2.0);
+        lp.constraint_sparse(&[(1, 1.0)], Relation::Le, 3.0);
+        let sol = lp.solve().expect_optimal();
+        assert_close(sol.objective, 5.0);
+    }
+
+    #[test]
+    fn redundant_equalities_handled() {
+        // x + y = 2 stated twice (redundant rows leave a basic artificial
+        // in a zero row after phase 1).
+        let mut lp = LinearProgram::maximize(2, vec![1.0, 0.0]);
+        lp.constraint(vec![1.0, 1.0], Relation::Eq, 2.0);
+        lp.constraint(vec![1.0, 1.0], Relation::Eq, 2.0);
+        let sol = lp.solve().expect_optimal();
+        assert_close(sol.objective, 2.0);
+    }
+
+    #[test]
+    fn transportation_toy() {
+        // Two origins (supply 1, 2), two destinations (demand ≤ 2, ≤ 2),
+        // maximize shipped amount. Variables x00,x01,x10,x11.
+        let mut lp = LinearProgram::maximize(4, vec![1.0; 4]);
+        lp.constraint(vec![1.0, 1.0, 0.0, 0.0], Relation::Le, 1.0);
+        lp.constraint(vec![0.0, 0.0, 1.0, 1.0], Relation::Le, 2.0);
+        lp.constraint(vec![1.0, 0.0, 1.0, 0.0], Relation::Le, 2.0);
+        lp.constraint(vec![0.0, 1.0, 0.0, 1.0], Relation::Le, 2.0);
+        let sol = lp.solve().expect_optimal();
+        assert_close(sol.objective, 3.0);
+    }
+
+    #[test]
+    fn solution_satisfies_constraints() {
+        let mut lp = LinearProgram::maximize(3, vec![2.0, 1.0, 3.0]);
+        lp.constraint(vec![1.0, 1.0, 1.0], Relation::Le, 10.0);
+        lp.constraint(vec![1.0, 0.0, 2.0], Relation::Le, 8.0);
+        lp.constraint(vec![0.0, 1.0, 0.0], Relation::Ge, 1.0);
+        let sol = lp.solve().expect_optimal();
+        let x = &sol.x;
+        assert!(x.iter().all(|&v| v >= -1e-9));
+        assert!(x[0] + x[1] + x[2] <= 10.0 + 1e-7);
+        assert!(x[0] + 2.0 * x[2] <= 8.0 + 1e-7);
+        assert!(x[1] >= 1.0 - 1e-7);
+    }
+
+    #[test]
+    #[should_panic(expected = "objective length")]
+    fn wrong_objective_len_rejected() {
+        let _ = LinearProgram::maximize(2, vec![1.0]);
+    }
+}

@@ -1,0 +1,160 @@
+//! Descriptive statistics. The paper aggregates runs with medians
+//! (Fig. 10: median over 100 permutations; Fig. 11: median over 10
+//! repetitions); quantiles use the common linear-interpolation estimator.
+
+/// Arithmetic mean; 0 for empty input.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Unbiased sample variance (n−1 denominator); 0 for fewer than two
+/// samples.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|&x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Sample standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Quantile `q ∈ [0,1]` with linear interpolation between order
+/// statistics (type-7 estimator, the default of R and NumPy).
+///
+/// # Panics
+/// Panics on empty input or `q` outside `[0,1]`.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    assert!(!xs.is_empty(), "quantile of empty slice");
+    assert!((0.0..=1.0).contains(&q), "quantile level must be in [0,1]");
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let h = q * (sorted.len() - 1) as f64;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        sorted[lo] + (h - lo as f64) * (sorted[hi] - sorted[lo])
+    }
+}
+
+/// Median (`quantile(xs, 0.5)`).
+pub fn median(xs: &[f64]) -> f64 {
+    quantile(xs, 0.5)
+}
+
+/// Five-point summary plus mean/std of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Minimum.
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub std_dev: f64,
+}
+
+impl Summary {
+    /// Computes the summary.
+    ///
+    /// # Panics
+    /// Panics on empty input.
+    pub fn of(xs: &[f64]) -> Self {
+        assert!(!xs.is_empty(), "summary of empty sample");
+        Summary {
+            n: xs.len(),
+            min: quantile(xs, 0.0),
+            q1: quantile(xs, 0.25),
+            median: quantile(xs, 0.5),
+            q3: quantile(xs, 0.75),
+            max: quantile(xs, 1.0),
+            mean: mean(xs),
+            std_dev: std_dev(xs),
+        }
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} min={:.3} q1={:.3} med={:.3} q3={:.3} max={:.3} mean={:.3}±{:.3}",
+            self.n, self.min, self.q1, self.median, self.q3, self.max, self.mean, self.std_dev
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn variance_matches_hand_computation() {
+        // var([1,2,3,4]) with n-1 = ((−1.5)²+(−0.5)²+0.5²+1.5²)/3 = 5/3
+        assert!((variance(&[1.0, 2.0, 3.0, 4.0]) - 5.0 / 3.0).abs() < 1e-12);
+        assert_eq!(variance(&[5.0]), 0.0);
+    }
+
+    #[test]
+    fn median_odd_and_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]), 2.5);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 4.0);
+        assert!((quantile(&xs, 0.25) - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_is_consistent() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let s = Summary::of(&xs);
+        assert_eq!(s.n, 8);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert_eq!(s.mean, 5.0);
+        // known sample std dev of this classic dataset: sqrt(32/7)
+        assert!((s.std_dev - (32.0_f64 / 7.0).sqrt()).abs() < 1e-12);
+        let shown = s.to_string();
+        assert!(shown.contains("n=8"));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn quantile_rejects_empty() {
+        let _ = quantile(&[], 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "in [0,1]")]
+    fn quantile_rejects_out_of_range() {
+        let _ = quantile(&[1.0], 1.5);
+    }
+}

@@ -1,0 +1,147 @@
+//! Fixed-bin histograms for flow-time distributions and experiment
+//! diagnostics.
+
+/// A histogram over `[lo, hi)` with equal-width bins. Values outside the
+//  range are counted in saturating edge bins.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi)` with `bins` equal bins.
+    ///
+    /// # Panics
+    /// Panics unless `lo < hi` and `bins ≥ 1`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(lo < hi, "histogram range must be non-empty");
+        assert!(bins >= 1, "histogram needs at least one bin");
+        Histogram { lo, hi, counts: vec![0; bins], total: 0, underflow: 0, overflow: 0 }
+    }
+
+    /// Records a value.
+    pub fn record(&mut self, x: f64) {
+        self.total += 1;
+        if x < self.lo {
+            self.underflow += 1;
+            return;
+        }
+        if x >= self.hi {
+            self.overflow += 1;
+            return;
+        }
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        let idx = (((x - self.lo) / width) as usize).min(self.counts.len() - 1);
+        self.counts[idx] += 1;
+    }
+
+    /// Records many values.
+    pub fn record_all(&mut self, xs: &[f64]) {
+        for &x in xs {
+            self.record(x);
+        }
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total recorded values (including out-of-range).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Count of values below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Count of values at or above the range end.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// `(low_edge, high_edge)` of bin `i`.
+    pub fn bin_edges(&self, i: usize) -> (f64, f64) {
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        (self.lo + i as f64 * width, self.lo + (i + 1) as f64 * width)
+    }
+
+    /// A terminal sparkline of the histogram (one char per bin).
+    pub fn sparkline(&self) -> String {
+        const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+        let max = self.counts.iter().copied().max().unwrap_or(0);
+        if max == 0 {
+            return " ".repeat(self.counts.len());
+        }
+        self.counts
+            .iter()
+            .map(|&c| {
+                let lvl = ((c as f64 / max as f64) * (LEVELS.len() - 1) as f64).round() as usize;
+                LEVELS[lvl]
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_into_correct_bins() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.record(0.5); // bin 0
+        h.record(9.99); // bin 9
+        h.record(5.0); // bin 5
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[9], 1);
+        assert_eq!(h.counts()[5], 1);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn out_of_range_saturates() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.record(-5.0);
+        h.record(99.0);
+        h.record(1.0); // hi edge counts as overflow
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.counts().iter().sum::<u64>(), 0);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn bin_edges_partition_range() {
+        let h = Histogram::new(0.0, 10.0, 5);
+        assert_eq!(h.bin_edges(0), (0.0, 2.0));
+        assert_eq!(h.bin_edges(4), (8.0, 10.0));
+    }
+
+    #[test]
+    fn sparkline_has_one_char_per_bin() {
+        let mut h = Histogram::new(0.0, 3.0, 3);
+        h.record_all(&[0.5, 0.6, 2.5]);
+        let s = h.sparkline();
+        assert_eq!(s.chars().count(), 3);
+    }
+
+    #[test]
+    fn empty_sparkline_is_blank() {
+        let h = Histogram::new(0.0, 1.0, 4);
+        assert_eq!(h.sparkline(), "    ");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn inverted_range_rejected() {
+        let _ = Histogram::new(1.0, 0.0, 3);
+    }
+}

@@ -1,0 +1,37 @@
+//! # flowsched-stats
+//!
+//! Statistics and random-process substrate for the paper's Section 7
+//! experiments:
+//!
+//! - [`zipf`]: the Zipf popularity distribution `P(Eⱼ) = 1/(jˢ·H_{m,s})`
+//!   over machines, with the paper's three bias cases (Uniform,
+//!   Worst-case, Shuffled).
+//! - [`poisson`]: Poisson arrival process with rate `λ` (tasks per time
+//!   unit), via exponential inter-arrival sampling.
+//! - [`descriptive`]: means, medians, quantiles — the paper reports
+//!   medians over repetitions.
+//! - [`permutation`]: uniform random permutations (Shuffled case) and
+//!   permutation algebra.
+//! - [`service`]: service-time distributions (deterministic /
+//!   exponential / bimodal) extending the paper's unit tasks.
+//! - [`queueing`]: M/M/1, M/D/1 and M/M/c (Erlang C) closed forms used to
+//!   validate the simulator end-to-end.
+//! - [`rng`]: deterministic seed derivation so every experiment is
+//!   reproducible from a single root seed.
+
+pub mod descriptive;
+pub mod histogram;
+pub mod permutation;
+pub mod poisson;
+pub mod queueing;
+pub mod rng;
+pub mod service;
+pub mod zipf;
+
+pub use descriptive::{Summary, mean, median, quantile, std_dev, variance};
+pub use permutation::{apply_permutation, invert_permutation, random_permutation};
+pub use poisson::PoissonProcess;
+pub use queueing::{erlang_c, md1_mean_response, mm1_mean_response, mmc_mean_response};
+pub use rng::{derive_rng, seeded_rng};
+pub use service::ServiceDist;
+pub use zipf::{BiasCase, Zipf, harmonic_generalized};

@@ -1,0 +1,110 @@
+//! Random permutations (Fisher–Yates) and permutation algebra, used by
+//! the Shuffled popularity case and by the nested→interval machine
+//! reordering.
+
+use rand::Rng;
+
+/// Uniformly random permutation of `0..n` (Fisher–Yates).
+pub fn random_permutation(n: usize, rng: &mut impl Rng) -> Vec<usize> {
+    let mut p: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.random_range(0..=i);
+        p.swap(i, j);
+    }
+    p
+}
+
+/// Applies `perm` to a slice: output position `perm[i]` receives
+/// `values[i]`.
+///
+/// # Panics
+/// Panics if lengths differ or `perm` is not a permutation (debug builds
+/// assert bijectivity).
+pub fn apply_permutation<T: Clone>(values: &[T], perm: &[usize]) -> Vec<T> {
+    assert_eq!(values.len(), perm.len());
+    debug_assert!(is_permutation(perm));
+    let mut out: Vec<Option<T>> = vec![None; values.len()];
+    for (i, &p) in perm.iter().enumerate() {
+        out[p] = Some(values[i].clone());
+    }
+    out.into_iter().map(|x| x.expect("perm must be bijective")).collect()
+}
+
+/// Inverse permutation: `invert(p)[p[i]] == i`.
+pub fn invert_permutation(perm: &[usize]) -> Vec<usize> {
+    debug_assert!(is_permutation(perm));
+    let mut inv = vec![0usize; perm.len()];
+    for (i, &p) in perm.iter().enumerate() {
+        inv[p] = i;
+    }
+    inv
+}
+
+/// Checks that a slice is a permutation of `0..n`.
+pub fn is_permutation(perm: &[usize]) -> bool {
+    let mut seen = vec![false; perm.len()];
+    for &p in perm {
+        if p >= perm.len() || seen[p] {
+            return false;
+        }
+        seen[p] = true;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+
+    #[test]
+    fn random_permutation_is_bijective() {
+        let mut rng = seeded_rng(1);
+        for n in [0, 1, 2, 10, 100] {
+            let p = random_permutation(n, &mut rng);
+            assert!(is_permutation(&p), "not a permutation for n={n}: {p:?}");
+        }
+    }
+
+    #[test]
+    fn random_permutation_is_roughly_uniform() {
+        // Over 6000 draws of S_3, each of the 6 permutations should appear
+        // about 1000 times.
+        let mut rng = seeded_rng(2);
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..6000 {
+            let p = random_permutation(3, &mut rng);
+            *counts.entry(p).or_insert(0usize) += 1;
+        }
+        assert_eq!(counts.len(), 6);
+        for (&_, &c) in counts.iter() {
+            assert!((800..1200).contains(&c), "skewed count {c}");
+        }
+    }
+
+    #[test]
+    fn apply_moves_values() {
+        let vals = ['a', 'b', 'c'];
+        let perm = [2usize, 0, 1];
+        assert_eq!(apply_permutation(&vals, &perm), vec!['b', 'c', 'a']);
+    }
+
+    #[test]
+    fn invert_round_trips() {
+        let mut rng = seeded_rng(3);
+        let p = random_permutation(20, &mut rng);
+        let inv = invert_permutation(&p);
+        let vals: Vec<usize> = (0..20).collect();
+        let shuffled = apply_permutation(&vals, &p);
+        let restored = apply_permutation(&shuffled, &inv);
+        assert_eq!(restored, vals);
+    }
+
+    #[test]
+    fn is_permutation_detects_problems() {
+        assert!(is_permutation(&[0, 1, 2]));
+        assert!(!is_permutation(&[0, 0, 2]));
+        assert!(!is_permutation(&[0, 3, 1]));
+        assert!(is_permutation(&[]));
+    }
+}

@@ -1,0 +1,133 @@
+//! Poisson arrival process (Section 7.1: "tasks are released according to
+//! a Poisson process with parameter λ").
+//!
+//! Inter-arrival gaps are exponential with mean `1/λ`, sampled by inverse
+//! transform: `−ln(U)/λ` with `U ~ Uniform(0,1]`.
+
+use rand::Rng;
+
+/// A Poisson process generator producing an increasing stream of arrival
+/// times.
+#[derive(Debug, Clone)]
+pub struct PoissonProcess {
+    rate: f64,
+    now: f64,
+}
+
+impl PoissonProcess {
+    /// Creates a process with rate `λ > 0` starting at time 0.
+    ///
+    /// # Panics
+    /// Panics unless `rate` is finite and strictly positive.
+    pub fn new(rate: f64) -> Self {
+        assert!(rate.is_finite() && rate > 0.0, "Poisson rate must be > 0");
+        PoissonProcess { rate, now: 0.0 }
+    }
+
+    /// The process rate `λ`.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Current time (last emitted arrival, or 0 initially).
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Samples one exponential inter-arrival gap without advancing.
+    pub fn sample_gap(&self, rng: &mut impl Rng) -> f64 {
+        // rng.random::<f64>() ∈ [0,1); use 1−u ∈ (0,1] so ln never sees 0.
+        let u: f64 = rng.random();
+        -(1.0 - u).ln() / self.rate
+    }
+
+    /// Advances to and returns the next arrival time.
+    pub fn next_arrival(&mut self, rng: &mut impl Rng) -> f64 {
+        self.now += self.sample_gap(rng);
+        self.now
+    }
+
+    /// Generates the first `n` arrival times from the current instant.
+    pub fn take(&mut self, n: usize, rng: &mut impl Rng) -> Vec<f64> {
+        (0..n).map(|_| self.next_arrival(rng)).collect()
+    }
+
+    /// Generates all arrivals up to (and excluding) `horizon`.
+    pub fn until(&mut self, horizon: f64, rng: &mut impl Rng) -> Vec<f64> {
+        let mut out = Vec::new();
+        loop {
+            let gap = self.sample_gap(rng);
+            if self.now + gap >= horizon {
+                return out;
+            }
+            self.now += gap;
+            out.push(self.now);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptive::mean;
+    use crate::rng::seeded_rng;
+
+    #[test]
+    fn arrivals_are_increasing() {
+        let mut p = PoissonProcess::new(2.0);
+        let mut rng = seeded_rng(1);
+        let xs = p.take(1000, &mut rng);
+        for w in xs.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn mean_gap_matches_rate() {
+        let mut p = PoissonProcess::new(4.0);
+        let mut rng = seeded_rng(2);
+        let xs = p.take(100_000, &mut rng);
+        let gaps: Vec<f64> = std::iter::once(xs[0])
+            .chain(xs.windows(2).map(|w| w[1] - w[0]))
+            .collect();
+        let g = mean(&gaps);
+        assert!((g - 0.25).abs() < 0.01, "mean gap {g} vs 0.25");
+    }
+
+    #[test]
+    fn count_in_unit_time_is_about_lambda() {
+        let mut rng = seeded_rng(3);
+        let mut total = 0usize;
+        let reps = 2000;
+        for _ in 0..reps {
+            let mut p = PoissonProcess::new(15.0);
+            total += p.until(1.0, &mut rng).len();
+        }
+        let avg = total as f64 / reps as f64;
+        assert!((avg - 15.0).abs() < 0.5, "avg count {avg} vs λ=15");
+    }
+
+    #[test]
+    fn until_respects_horizon() {
+        let mut p = PoissonProcess::new(10.0);
+        let mut rng = seeded_rng(4);
+        let xs = p.until(5.0, &mut rng);
+        assert!(xs.iter().all(|&t| t < 5.0));
+        assert!(!xs.is_empty());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut p1 = PoissonProcess::new(1.0);
+        let mut p2 = PoissonProcess::new(1.0);
+        let mut r1 = seeded_rng(5);
+        let mut r2 = seeded_rng(5);
+        assert_eq!(p1.take(10, &mut r1), p2.take(10, &mut r2));
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be > 0")]
+    fn zero_rate_rejected() {
+        let _ = PoissonProcess::new(0.0);
+    }
+}

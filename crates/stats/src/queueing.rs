@@ -1,0 +1,140 @@
+//! Closed-form queueing formulas (M/M/1, M/M/c via Erlang C).
+//!
+//! FIFO on identical machines with a central queue *is* an M/M/c queue
+//! when arrivals are Poisson and service exponential — and by the paper's
+//! Proposition 1, EFT produces the very same schedule. These formulas
+//! therefore validate the entire simulation stack end-to-end: a
+//! simulated unrestricted cluster's mean flow time must match the
+//! analytic mean response time (enforced in `tests/queueing_validation.rs`).
+
+/// Erlang C: the probability that an arriving job waits in an M/M/c
+/// queue with offered load `a = λ/μ` and `c` servers (requires `a < c`
+/// for stability).
+///
+/// # Panics
+/// Panics unless `c ≥ 1` and `0 ≤ a < c`.
+pub fn erlang_c(c: usize, a: f64) -> f64 {
+    assert!(c >= 1, "need at least one server");
+    assert!(a >= 0.0 && a < c as f64, "offered load must satisfy 0 <= a < c");
+    if a == 0.0 {
+        return 0.0;
+    }
+    // Numerically stable iterative form of the Erlang B recursion, then
+    // the standard B→C conversion.
+    let mut b = 1.0; // Erlang B with 0 servers
+    for j in 1..=c {
+        b = a * b / (j as f64 + a * b);
+    }
+    let rho = a / c as f64;
+    b / (1.0 - rho + rho * b)
+}
+
+/// Mean response (sojourn) time of an M/M/c queue with arrival rate
+/// `lambda` and per-server service rate `mu`.
+///
+/// ```
+/// use flowsched_stats::queueing::{mm1_mean_response, mmc_mean_response};
+///
+/// // One server at 50% load: response = 1/(μ−λ) = 2.
+/// assert_eq!(mm1_mean_response(0.5, 1.0), 2.0);
+/// // More servers at the same per-server load respond faster.
+/// assert!(mmc_mean_response(2.0, 1.0, 4) < mmc_mean_response(0.5, 1.0, 1));
+/// ```
+///
+/// # Panics
+/// Panics unless the queue is stable (`λ < c·μ`).
+pub fn mmc_mean_response(lambda: f64, mu: f64, c: usize) -> f64 {
+    assert!(lambda >= 0.0 && mu > 0.0);
+    let a = lambda / mu;
+    assert!(a < c as f64, "unstable queue: λ/μ = {a} ≥ c = {c}");
+    let wait = erlang_c(c, a) / (c as f64 * mu - lambda);
+    wait + 1.0 / mu
+}
+
+/// Mean response time of an M/M/1 queue (`1/(μ − λ)`).
+///
+/// # Panics
+/// Panics unless `λ < μ`.
+pub fn mm1_mean_response(lambda: f64, mu: f64) -> f64 {
+    assert!(lambda < mu, "unstable queue");
+    1.0 / (mu - lambda)
+}
+
+/// Mean response time of an M/D/1 queue (Pollaczek–Khinchine with
+/// deterministic service of length `1/μ`).
+///
+/// # Panics
+/// Panics unless `λ < μ`.
+pub fn md1_mean_response(lambda: f64, mu: f64) -> f64 {
+    assert!(lambda < mu, "unstable queue");
+    let rho = lambda / mu;
+    // W = ρ/(2μ(1−ρ)); response = W + 1/μ.
+    rho / (2.0 * mu * (1.0 - rho)) + 1.0 / mu
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erlang_c_single_server_is_rho() {
+        // For c = 1, P(wait) = ρ.
+        for rho in [0.1, 0.5, 0.9] {
+            assert!((erlang_c(1, rho) - rho).abs() < 1e-12, "rho={rho}");
+        }
+    }
+
+    #[test]
+    fn erlang_c_known_value() {
+        // Classic table value: c = 2, a = 1 → C = 1/3.
+        assert!((erlang_c(2, 1.0) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mm1_and_mmc_agree_for_one_server() {
+        let (lambda, mu) = (0.6, 1.0);
+        assert!((mm1_mean_response(lambda, mu) - mmc_mean_response(lambda, mu, 1)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mm1_closed_form() {
+        assert_eq!(mm1_mean_response(0.5, 1.0), 2.0);
+    }
+
+    #[test]
+    fn mmc_decreases_with_servers() {
+        let lambda = 1.5;
+        let mu = 1.0;
+        let r2 = mmc_mean_response(lambda, mu, 2);
+        let r4 = mmc_mean_response(lambda, mu, 4);
+        let r8 = mmc_mean_response(lambda, mu, 8);
+        assert!(r2 > r4 && r4 > r8);
+        // With many servers, response approaches pure service time 1/μ.
+        assert!((r8 - 1.0).abs() < 0.05, "{r8}");
+    }
+
+    #[test]
+    fn md1_is_better_than_mm1() {
+        // Deterministic service halves the waiting term.
+        let (lambda, mu) = (0.8, 1.0);
+        let md1 = md1_mean_response(lambda, mu);
+        let mm1 = mm1_mean_response(lambda, mu);
+        assert!(md1 < mm1);
+        // W_MD1 = W_MM1/2: response relationship.
+        let w_mm1 = mm1 - 1.0;
+        let w_md1 = md1 - 1.0;
+        assert!((w_md1 - w_mm1 / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_load_is_pure_service() {
+        assert_eq!(mmc_mean_response(0.0, 2.0, 3), 0.5);
+        assert_eq!(erlang_c(3, 0.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unstable")]
+    fn unstable_mmc_rejected() {
+        let _ = mmc_mean_response(3.0, 1.0, 2);
+    }
+}

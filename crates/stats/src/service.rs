@@ -1,0 +1,188 @@
+//! Service-time (processing-time) distributions.
+//!
+//! The paper's simulations use unit tasks; real key-value stores serve
+//! requests with variable service times (the "requests vary in size" of
+//! the introduction). These distributions extend the workload model; the
+//! exponential case additionally unlocks closed-form M/M/c validation of
+//! the simulator (see [`crate::queueing`]).
+
+use rand::Rng;
+
+/// A service-time distribution with unit mean by default, scalable via
+/// [`ServiceDist::scaled`].
+///
+/// ```
+/// use flowsched_stats::service::ServiceDist;
+///
+/// let mix = ServiceDist::mice_and_elephants();
+/// assert!((mix.mean() - 1.0).abs() < 1e-12);  // same mean as unit tasks
+/// assert!(mix.scv() > 2.0);                   // far more variable
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ServiceDist {
+    /// Constant service time (the paper's unit tasks, generalized).
+    Deterministic(f64),
+    /// Exponential with the given mean (memoryless — M/M/c territory).
+    Exponential {
+        /// Mean service time (`1/μ`).
+        mean: f64,
+    },
+    /// Two-point mixture: `short` with probability `1 − p_long`, `long`
+    /// with probability `p_long` — the classic "mice and elephants" mix
+    /// behind tail-latency pathologies.
+    Bimodal {
+        /// Short service time.
+        short: f64,
+        /// Long service time.
+        long: f64,
+        /// Probability of drawing `long`.
+        p_long: f64,
+    },
+}
+
+impl ServiceDist {
+    /// Unit-mean deterministic service (the paper's default).
+    pub fn unit() -> Self {
+        ServiceDist::Deterministic(1.0)
+    }
+
+    /// Unit-mean exponential service.
+    pub fn exp_unit() -> Self {
+        ServiceDist::Exponential { mean: 1.0 }
+    }
+
+    /// A unit-mean mice-and-elephants mix: 90% × 0.5, 10% × 5.5.
+    pub fn mice_and_elephants() -> Self {
+        ServiceDist::Bimodal { short: 0.5, long: 5.5, p_long: 0.1 }
+    }
+
+    /// The distribution's mean.
+    pub fn mean(&self) -> f64 {
+        match *self {
+            ServiceDist::Deterministic(p) => p,
+            ServiceDist::Exponential { mean } => mean,
+            ServiceDist::Bimodal { short, long, p_long } => {
+                short * (1.0 - p_long) + long * p_long
+            }
+        }
+    }
+
+    /// The squared coefficient of variation (variance / mean²) — 0 for
+    /// deterministic, 1 for exponential; drives tail behaviour.
+    pub fn scv(&self) -> f64 {
+        match *self {
+            ServiceDist::Deterministic(_) => 0.0,
+            ServiceDist::Exponential { .. } => 1.0,
+            ServiceDist::Bimodal { short, long, p_long } => {
+                let m = self.mean();
+                let ex2 = short * short * (1.0 - p_long) + long * long * p_long;
+                (ex2 - m * m) / (m * m)
+            }
+        }
+    }
+
+    /// The same shape with the mean multiplied by `factor`.
+    ///
+    /// # Panics
+    /// Panics unless `factor > 0`.
+    pub fn scaled(&self, factor: f64) -> Self {
+        assert!(factor > 0.0, "scale factor must be positive");
+        match *self {
+            ServiceDist::Deterministic(p) => ServiceDist::Deterministic(p * factor),
+            ServiceDist::Exponential { mean } => {
+                ServiceDist::Exponential { mean: mean * factor }
+            }
+            ServiceDist::Bimodal { short, long, p_long } => ServiceDist::Bimodal {
+                short: short * factor,
+                long: long * factor,
+                p_long,
+            },
+        }
+    }
+
+    /// Samples one service time (strictly positive).
+    pub fn sample(&self, rng: &mut impl Rng) -> f64 {
+        match *self {
+            ServiceDist::Deterministic(p) => p,
+            ServiceDist::Exponential { mean } => {
+                let u: f64 = rng.random();
+                -(1.0 - u).ln() * mean
+            }
+            ServiceDist::Bimodal { short, long, p_long } => {
+                if rng.random::<f64>() < p_long { long } else { short }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptive::mean;
+    use crate::rng::seeded_rng;
+
+    fn empirical_mean(dist: ServiceDist, n: usize, seed: u64) -> f64 {
+        let mut rng = seeded_rng(seed);
+        let xs: Vec<f64> = (0..n).map(|_| dist.sample(&mut rng)).collect();
+        mean(&xs)
+    }
+
+    #[test]
+    fn deterministic_is_constant() {
+        let mut rng = seeded_rng(1);
+        let d = ServiceDist::Deterministic(2.5);
+        for _ in 0..100 {
+            assert_eq!(d.sample(&mut rng), 2.5);
+        }
+        assert_eq!(d.mean(), 2.5);
+        assert_eq!(d.scv(), 0.0);
+    }
+
+    #[test]
+    fn exponential_mean_matches() {
+        let d = ServiceDist::Exponential { mean: 0.5 };
+        let m = empirical_mean(d, 200_000, 2);
+        assert!((m - 0.5).abs() < 0.01, "{m}");
+        assert_eq!(d.scv(), 1.0);
+    }
+
+    #[test]
+    fn bimodal_mean_and_scv() {
+        let d = ServiceDist::mice_and_elephants();
+        assert!((d.mean() - 1.0).abs() < 1e-12);
+        // E[X²] = 0.9·0.25 + 0.1·30.25 = 3.25 → scv = 2.25.
+        assert!((d.scv() - 2.25).abs() < 1e-12);
+        let m = empirical_mean(d, 200_000, 3);
+        assert!((m - 1.0).abs() < 0.02, "{m}");
+    }
+
+    #[test]
+    fn scaled_scales_the_mean_only() {
+        let d = ServiceDist::exp_unit().scaled(3.0);
+        assert_eq!(d.mean(), 3.0);
+        assert_eq!(d.scv(), 1.0);
+        let b = ServiceDist::mice_and_elephants().scaled(2.0);
+        assert!((b.mean() - 2.0).abs() < 1e-12);
+        assert!((b.scv() - 2.25).abs() < 1e-12, "scv invariant under scaling");
+    }
+
+    #[test]
+    fn samples_are_positive() {
+        let mut rng = seeded_rng(4);
+        for d in [
+            ServiceDist::unit(),
+            ServiceDist::exp_unit(),
+            ServiceDist::mice_and_elephants(),
+        ] {
+            for _ in 0..1000 {
+                assert!(d.sample(&mut rng) > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_scale_rejected() {
+        let _ = ServiceDist::unit().scaled(0.0);
+    }
+}

@@ -1,0 +1,265 @@
+//! Zipf popularity distribution over machines (Section 7.1 of the paper).
+//!
+//! With `m` machines and shape `s ≥ 0`, machine `Mⱼ` (one-based `j`) is
+//! requested with probability `P(Eⱼ) = 1/(jˢ · H_{m,s})`, where `H_{m,s}`
+//! is the m-th generalized harmonic number of order `s`. `s = 0`
+//! degenerates to the uniform distribution; `s > 0` yields a monotonically
+//! decreasing load over machine indices (the paper's *Worst-case*), and a
+//! uniformly random permutation of the weights models realistic clusters
+//! (*Shuffled case*).
+
+use rand::Rng;
+
+use crate::permutation::random_permutation;
+
+/// Generalized harmonic number `H_{m,s} = Σ_{j=1..m} j^{-s}`.
+pub fn harmonic_generalized(m: usize, s: f64) -> f64 {
+    (1..=m).map(|j| (j as f64).powf(-s)).sum()
+}
+
+/// The paper's three popularity-bias cases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BiasCase {
+    /// `s = 0`: all machines equally popular.
+    Uniform,
+    /// `s > 0` with weights in natural order: `M₁` most popular.
+    WorstCase,
+    /// `s > 0` with weights randomly permuted.
+    Shuffled,
+}
+
+impl std::fmt::Display for BiasCase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            BiasCase::Uniform => "Uniform",
+            BiasCase::WorstCase => "Worst-case",
+            BiasCase::Shuffled => "Shuffled",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A Zipf distribution over `m` machines with precomputed CDF for `O(log m)`
+/// sampling.
+///
+/// ```
+/// use flowsched_stats::zipf::Zipf;
+///
+/// let z = Zipf::new(3, 1.0); // weights ∝ 1, 1/2, 1/3
+/// let h = 1.0 + 0.5 + 1.0 / 3.0;
+/// assert!((z.prob(0) - 1.0 / h).abs() < 1e-12);
+/// assert!((z.probs().iter().sum::<f64>() - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    probs: Vec<f64>,
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the distribution in natural (worst-case) order: machine 0
+    /// (the paper's `M₁`) gets the largest weight.
+    ///
+    /// # Panics
+    /// Panics if `m == 0` or `s < 0` or `s` is not finite.
+    pub fn new(m: usize, s: f64) -> Self {
+        assert!(m > 0, "Zipf needs at least one machine");
+        assert!(s >= 0.0 && s.is_finite(), "shape must be finite and >= 0");
+        let h = harmonic_generalized(m, s);
+        let probs: Vec<f64> = (1..=m).map(|j| (j as f64).powf(-s) / h).collect();
+        Self::from_probs(probs)
+    }
+
+    /// Builds a distribution from explicit probabilities (they are
+    /// normalized defensively).
+    pub fn from_probs(mut probs: Vec<f64>) -> Self {
+        assert!(!probs.is_empty());
+        let total: f64 = probs.iter().sum();
+        assert!(total > 0.0, "probabilities must sum to a positive value");
+        for p in &mut probs {
+            *p /= total;
+        }
+        let mut cdf = Vec::with_capacity(probs.len());
+        let mut acc = 0.0;
+        for &p in &probs {
+            acc += p;
+            cdf.push(acc);
+        }
+        // Clamp the last entry so sampling never falls off the end.
+        *cdf.last_mut().unwrap() = 1.0;
+        Zipf { probs, cdf }
+    }
+
+    /// Builds one of the paper's three bias cases. `Shuffled` consumes
+    /// randomness from `rng` to pick the permutation; the other cases
+    /// leave `rng` untouched.
+    pub fn bias_case(m: usize, s: f64, case: BiasCase, rng: &mut impl Rng) -> Self {
+        match case {
+            BiasCase::Uniform => Zipf::new(m, 0.0),
+            BiasCase::WorstCase => Zipf::new(m, s),
+            BiasCase::Shuffled => Zipf::new(m, s).shuffled(rng),
+        }
+    }
+
+    /// Returns the same weights under a uniformly random machine
+    /// permutation (the paper's Shuffled case).
+    pub fn shuffled(&self, rng: &mut impl Rng) -> Self {
+        let perm = random_permutation(self.probs.len(), rng);
+        self.permuted(&perm)
+    }
+
+    /// Applies an explicit permutation: machine `perm[j]` receives the
+    /// weight previously held by machine `j`.
+    pub fn permuted(&self, perm: &[usize]) -> Self {
+        assert_eq!(perm.len(), self.probs.len());
+        let mut probs = vec![0.0; self.probs.len()];
+        for (j, &p) in self.probs.iter().enumerate() {
+            probs[perm[j]] = p;
+        }
+        Zipf::from_probs(probs)
+    }
+
+    /// Number of machines.
+    pub fn len(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// True when the distribution is over zero machines (never —
+    /// construction forbids it; provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.probs.is_empty()
+    }
+
+    /// Probability `P(Eⱼ)` of machine index `j` (zero-based).
+    pub fn prob(&self, j: usize) -> f64 {
+        self.probs[j]
+    }
+
+    /// All probabilities, zero-based machine order.
+    pub fn probs(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// Largest single-machine probability — the no-replication load bound
+    /// is `λ ≤ 1 / maxⱼ P(Eⱼ)` (Section 7.2).
+    pub fn max_prob(&self) -> f64 {
+        self.probs.iter().cloned().fold(0.0, f64::max)
+    }
+
+    /// Samples a machine index (zero-based) by inverse CDF.
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let u: f64 = rng.random();
+        // partition_point returns the first index with cdf > u.
+        self.cdf.partition_point(|&c| c <= u).min(self.probs.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+
+    #[test]
+    fn harmonic_matches_known_values() {
+        assert!((harmonic_generalized(1, 2.0) - 1.0).abs() < 1e-12);
+        // H_{3,1} = 1 + 1/2 + 1/3
+        assert!((harmonic_generalized(3, 1.0) - (1.0 + 0.5 + 1.0 / 3.0)).abs() < 1e-12);
+        // s = 0 → H = m
+        assert_eq!(harmonic_generalized(5, 0.0), 5.0);
+    }
+
+    #[test]
+    fn zero_shape_is_uniform() {
+        let z = Zipf::new(4, 0.0);
+        for j in 0..4 {
+            assert!((z.prob(j) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn probabilities_sum_to_one_and_decrease() {
+        let z = Zipf::new(10, 1.3);
+        let total: f64 = z.probs().iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        for w in z.probs().windows(2) {
+            assert!(w[0] > w[1], "worst-case order must be decreasing");
+        }
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn sampling_matches_probabilities() {
+        let z = Zipf::new(5, 1.0);
+        let mut rng = seeded_rng(123);
+        let n = 200_000;
+        let mut counts = [0usize; 5];
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for j in 0..5 {
+            let emp = counts[j] as f64 / n as f64;
+            assert!(
+                (emp - z.prob(j)).abs() < 0.01,
+                "machine {j}: empirical {emp} vs {p}",
+                p = z.prob(j)
+            );
+        }
+    }
+
+    #[test]
+    fn shuffled_preserves_multiset() {
+        let z = Zipf::new(6, 1.0);
+        let mut rng = seeded_rng(7);
+        let sh = z.shuffled(&mut rng);
+        let mut a: Vec<f64> = z.probs().to_vec();
+        let mut b: Vec<f64> = sh.probs().to_vec();
+        a.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        b.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn permuted_moves_weights() {
+        let z = Zipf::new(3, 1.0);
+        // perm sends 0→2, 1→0, 2→1.
+        let p = z.permuted(&[2, 0, 1]);
+        assert!((p.prob(2) - z.prob(0)).abs() < 1e-12);
+        assert!((p.prob(0) - z.prob(1)).abs() < 1e-12);
+        assert!((p.prob(1) - z.prob(2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bias_cases() {
+        let mut rng = seeded_rng(9);
+        let u = Zipf::bias_case(4, 1.0, BiasCase::Uniform, &mut rng);
+        assert!((u.prob(0) - 0.25).abs() < 1e-12);
+        let w = Zipf::bias_case(4, 1.0, BiasCase::WorstCase, &mut rng);
+        assert!(w.prob(0) > w.prob(3));
+        let s = Zipf::bias_case(4, 1.0, BiasCase::Shuffled, &mut rng);
+        let total: f64 = s.probs().iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_prob_is_first_in_worst_case() {
+        let z = Zipf::new(8, 0.8);
+        assert!((z.max_prob() - z.prob(0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn sample_is_always_in_range() {
+        let z = Zipf::new(3, 5.0); // extreme bias
+        let mut rng = seeded_rng(11);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one machine")]
+    fn zero_machines_rejected() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,24 @@
+//! The paper's lower-bound adversaries, one module per theorem.
+//!
+//! Each adversary returns an [`AdversaryOutcome`](crate::AdversaryOutcome)
+//! carrying the constructed instance, the schedule the attacked algorithm
+//! produced, and the offline optimum established by the paper's proof, so
+//! the achieved competitive ratio is directly measurable.
+//!
+//! | Module | Theorem | Structure | Attacks | Bound |
+//! |---|---|---|---|---|
+//! | [`inclusive`] | Th. 3 | inclusive | immediate dispatch | `⌊log₂ m + 1⌋` |
+//! | [`fixed_size`] | Th. 4 | size-k sets | immediate dispatch | `⌊log_k m⌋` |
+//! | [`nested`] | Th. 5 | nested | any online | `⅓⌊log₂ m + 2⌋` |
+//! | [`theorem7`] | Th. 7 | size-k intervals | any online | `2` |
+//! | [`interval`] | Th. 8/9 | size-k intervals | EFT-Min / EFT-Rand | `m − k + 1` |
+//! | [`padded`] | Th. 10 | size-k intervals | EFT, any tie-break | `m − k + 1` |
+
+pub mod fixed_size;
+pub mod inclusive;
+pub mod interval;
+pub mod nested;
+pub mod padded;
+pub mod search;
+pub mod staircase;
+pub mod theorem7;

@@ -1,0 +1,43 @@
+//! # flowsched-workloads
+//!
+//! Workload generators: the paper's lower-bound adversaries and random
+//! instance families.
+//!
+//! - [`adversary`]: one module per theorem —
+//!   - Theorem 3 (inclusive sets, immediate dispatch, `≥ ⌊log₂ m + 1⌋`),
+//!   - Theorem 4 (size-`k` sets, immediate dispatch, `≥ ⌊log_k m⌋`),
+//!   - Theorem 5 (nested sets, any online, `≥ ⅓⌊log₂ m + 2⌋`),
+//!   - Theorem 7 (size-`k` intervals, any online, `≥ 2`),
+//!   - Theorem 8/9 (size-`k` intervals, EFT-Min / EFT-Rand,
+//!     `≥ m − k + 1`),
+//!   - Theorem 10 (the `δ/ε` small-task padding extending Theorem 8 to
+//!     every tie-break policy).
+//!
+//!   Adaptive adversaries drive any
+//!   [`ImmediateDispatcher`](flowsched_algos::ImmediateDispatcher) and
+//!   return an [`AdversaryOutcome`] pairing the constructed instance, the
+//!   schedule the algorithm produced, and the offline optimum the paper
+//!   states for that construction.
+//!
+//! - [`random`]: seeded random instances over every structure class, for
+//!   property tests and benchmarks.
+//! - [`trace`]: key-level request traces (explicit keyspace, per-key Zipf
+//!   popularity, replication by strategy) — the fine-grained model whose
+//!   aggregation is the paper's machine-level popularity.
+
+pub mod adversary;
+pub mod outcome;
+pub mod random;
+pub mod trace;
+
+pub use adversary::fixed_size::fixed_size_adversary;
+pub use adversary::inclusive::inclusive_adversary;
+pub use adversary::interval::{interval_adversary_instance, run_interval_adversary};
+pub use adversary::nested::nested_adversary;
+pub use adversary::padded::padded_interval_adversary;
+pub use adversary::search::{exhaustive_worst_ratio, greedy_adversary_stream, interval_types};
+pub use adversary::staircase::{run_staircase, run_staircase_with_exact_opt, staircase_round};
+pub use adversary::theorem7::theorem7_adversary;
+pub use outcome::AdversaryOutcome;
+pub use random::{RandomInstanceConfig, StructureKind, random_instance};
+pub use trace::{Trace, TraceConfig, generate_trace};

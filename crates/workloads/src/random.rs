@@ -1,0 +1,258 @@
+//! Seeded random instance generation over every structure class, for
+//! property tests and benchmarks.
+
+use flowsched_core::instance::{Instance, InstanceBuilder};
+use flowsched_core::procset::ProcSet;
+use flowsched_core::task::Task;
+use flowsched_stats::rng::derive_rng;
+use rand::Rng;
+
+/// Which processing-set structure the generated family follows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StructureKind {
+    /// Every task may run anywhere (`P | online-rᵢ | Fmax`).
+    Unrestricted,
+    /// Contiguous intervals of size `k` at random positions.
+    IntervalFixed(usize),
+    /// Ring (wrap-around) intervals of size `k` at random positions — the
+    /// key-value-store replication shape.
+    RingFixed(usize),
+    /// The cluster split into fixed disjoint blocks of size `k`; each task
+    /// picks one block.
+    DisjointBlocks(usize),
+    /// A random chain `S₁ ⊆ S₂ ⊆ … ⊆ M`; each task picks a chain element.
+    InclusiveChain,
+    /// A random laminar family; each task picks one node.
+    NestedLaminar,
+    /// Arbitrary random non-empty subsets.
+    General,
+}
+
+/// Configuration for [`random_instance`].
+#[derive(Debug, Clone)]
+pub struct RandomInstanceConfig {
+    /// Machine count.
+    pub m: usize,
+    /// Task count.
+    pub n: usize,
+    /// Structure family.
+    pub structure: StructureKind,
+    /// Releases are uniform integers in `[0, release_span]`.
+    pub release_span: u64,
+    /// `true` → all processing times are 1; otherwise uniform in
+    /// `{0.25, 0.5, …, ptime_steps/4}`.
+    pub unit: bool,
+    /// Number of quarter-unit steps for non-unit processing times.
+    pub ptime_steps: u32,
+}
+
+impl RandomInstanceConfig {
+    /// A reasonable default: unit tasks, releases over `2n/m` steps
+    /// (load ≈ m/2).
+    pub fn unit_tasks(m: usize, n: usize, structure: StructureKind) -> Self {
+        RandomInstanceConfig {
+            m,
+            n,
+            structure,
+            release_span: (2 * n as u64 / m.max(1) as u64).max(1),
+            unit: true,
+            ptime_steps: 4,
+        }
+    }
+}
+
+/// Generates a random instance; identical `(config, seed)` pairs produce
+/// identical instances.
+///
+/// # Panics
+/// Panics on degenerate configurations (zero machines/tasks, `k` out of
+/// `1..=m`).
+pub fn random_instance(config: &RandomInstanceConfig, seed: u64) -> Instance {
+    assert!(config.m >= 1 && config.n >= 1, "need machines and tasks");
+    let m = config.m;
+    let mut rng = derive_rng(seed, 0x5EED);
+
+    // Pre-build the structured family skeleton where applicable.
+    let chain: Vec<ProcSet> = match config.structure {
+        StructureKind::InclusiveChain => {
+            // Random nested prefix sizes 1 ≤ s₁ < s₂ < … ≤ m over a random
+            // machine order.
+            let order = flowsched_stats::permutation::random_permutation(m, &mut rng);
+            let mut sizes: Vec<usize> = (1..=m).collect();
+            // Keep a random subset of sizes, always including m.
+            sizes.retain(|&s| s == m || rng.random_bool(0.5));
+            sizes
+                .iter()
+                .map(|&s| ProcSet::new(order[..s].to_vec()))
+                .collect()
+        }
+        StructureKind::NestedLaminar => laminar_family(m, &mut rng),
+        _ => Vec::new(),
+    };
+
+    let mut b = InstanceBuilder::new(m);
+    for _ in 0..config.n {
+        let release = rng.random_range(0..=config.release_span) as f64;
+        let ptime = if config.unit {
+            1.0
+        } else {
+            0.25 * rng.random_range(1..=config.ptime_steps.max(1)) as f64
+        };
+        let set = match config.structure {
+            StructureKind::Unrestricted => ProcSet::full(m),
+            StructureKind::IntervalFixed(k) => {
+                assert!((1..=m).contains(&k), "interval size out of range");
+                let lo = rng.random_range(0..=m - k);
+                ProcSet::interval(lo, lo + k - 1)
+            }
+            StructureKind::RingFixed(k) => {
+                assert!((1..=m).contains(&k), "ring size out of range");
+                let start = rng.random_range(0..m);
+                ProcSet::ring_interval(start, k, m)
+            }
+            StructureKind::DisjointBlocks(k) => {
+                assert!((1..=m).contains(&k), "block size out of range");
+                let blocks = m.div_ceil(k);
+                let blk = rng.random_range(0..blocks);
+                let lo = blk * k;
+                ProcSet::interval(lo, (lo + k - 1).min(m - 1))
+            }
+            StructureKind::InclusiveChain | StructureKind::NestedLaminar => {
+                chain[rng.random_range(0..chain.len())].clone()
+            }
+            StructureKind::General => {
+                let mut members: Vec<usize> =
+                    (0..m).filter(|_| rng.random_bool(0.5)).collect();
+                if members.is_empty() {
+                    members.push(rng.random_range(0..m));
+                }
+                ProcSet::new(members)
+            }
+        };
+        b.push(Task::new(release, ptime), set);
+    }
+    b.build().expect("random instances are valid by construction")
+}
+
+/// A random laminar family over `m` machines: recursively split the
+/// machine range, keeping each node with probability 1/2 (the root is
+/// always kept so the family is non-empty).
+fn laminar_family(m: usize, rng: &mut impl Rng) -> Vec<ProcSet> {
+    let mut fam = vec![ProcSet::full(m)];
+    split(0, m, rng, &mut fam);
+    fam
+}
+
+fn split(lo: usize, hi: usize, rng: &mut impl Rng, fam: &mut Vec<ProcSet>) {
+    if hi - lo <= 1 {
+        return;
+    }
+    let mid = rng.random_range(lo + 1..hi);
+    for (a, b) in [(lo, mid), (mid, hi)] {
+        if rng.random_bool(0.6) {
+            fam.push(ProcSet::interval(a, b - 1));
+        }
+        split(a, b, rng, fam);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowsched_core::structure;
+
+    fn gen(kind: StructureKind, seed: u64) -> Instance {
+        random_instance(&RandomInstanceConfig::unit_tasks(8, 60, kind), seed)
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = gen(StructureKind::General, 5);
+        let b = gen(StructureKind::General, 5);
+        assert_eq!(a, b);
+        let c = gen(StructureKind::General, 6);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn interval_structure_holds() {
+        for seed in 0..10 {
+            let inst = gen(StructureKind::IntervalFixed(3), seed);
+            assert!(structure::is_interval_family(inst.sets()));
+            assert_eq!(structure::fixed_size(inst.sets()), Some(3));
+        }
+    }
+
+    #[test]
+    fn ring_structure_holds() {
+        for seed in 0..10 {
+            let inst = gen(StructureKind::RingFixed(3), seed);
+            assert!(structure::is_ring_interval_family(inst.sets(), 8));
+        }
+    }
+
+    #[test]
+    fn disjoint_structure_holds() {
+        for seed in 0..10 {
+            let inst = gen(StructureKind::DisjointBlocks(4), seed);
+            assert!(structure::is_disjoint_family(inst.sets()));
+        }
+    }
+
+    #[test]
+    fn inclusive_structure_holds() {
+        for seed in 0..10 {
+            let inst = gen(StructureKind::InclusiveChain, seed);
+            assert!(structure::is_inclusive(inst.sets()), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn nested_structure_holds() {
+        for seed in 0..10 {
+            let inst = gen(StructureKind::NestedLaminar, seed);
+            assert!(structure::is_nested(inst.sets()), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn unrestricted_is_full_sets() {
+        let inst = gen(StructureKind::Unrestricted, 1);
+        assert!(inst.is_unrestricted());
+    }
+
+    #[test]
+    fn non_unit_ptimes_are_quarter_steps() {
+        let cfg = RandomInstanceConfig {
+            m: 4,
+            n: 50,
+            structure: StructureKind::Unrestricted,
+            release_span: 10,
+            unit: false,
+            ptime_steps: 8,
+        };
+        let inst = random_instance(&cfg, 3);
+        for t in inst.tasks() {
+            assert!(t.ptime > 0.0 && t.ptime <= 2.0);
+            assert_eq!((t.ptime * 4.0).fract(), 0.0);
+        }
+    }
+
+    #[test]
+    fn instances_are_schedulable_by_eft() {
+        use flowsched_algos::{TieBreak, eft};
+        for kind in [
+            StructureKind::Unrestricted,
+            StructureKind::IntervalFixed(2),
+            StructureKind::RingFixed(3),
+            StructureKind::DisjointBlocks(2),
+            StructureKind::InclusiveChain,
+            StructureKind::NestedLaminar,
+            StructureKind::General,
+        ] {
+            let inst = gen(kind, 9);
+            let s = eft(&inst, TieBreak::Min);
+            s.validate(&inst).unwrap();
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Key-level request traces.
+//!
+//! The paper's Section 3 notes that "requests indicate which file to
+//! retrieve based on a key that can be used multiple times", implying
+//! many tasks share a processing set. This module generates traces at
+//! that granularity: an explicit [`Keyspace`] with per-key Zipf
+//! popularity, hashed onto owner machines, replicated by a
+//! [`ReplicationStrategy`]. The machine-level model of
+//! [`flowsched_kvstore::cluster`] is the aggregation of this one.
+
+use flowsched_core::instance::{Instance, InstanceBuilder};
+use flowsched_core::task::Task;
+use flowsched_kvstore::keyspace::Keyspace;
+use flowsched_kvstore::replication::ReplicationStrategy;
+use flowsched_stats::poisson::PoissonProcess;
+use flowsched_stats::service::ServiceDist;
+use rand::Rng;
+
+/// Configuration of a key-level trace.
+#[derive(Debug, Clone)]
+pub struct TraceConfig {
+    /// Cluster size.
+    pub m: usize,
+    /// Replication factor.
+    pub k: usize,
+    /// Replication strategy.
+    pub strategy: ReplicationStrategy,
+    /// Number of distinct keys.
+    pub num_keys: usize,
+    /// Zipf shape over key ranks.
+    pub key_bias: f64,
+    /// Arrival rate λ.
+    pub lambda: f64,
+    /// Service-time distribution.
+    pub service: ServiceDist,
+}
+
+/// A generated trace: the scheduling instance plus the key behind each
+/// task (aligned with task indices).
+#[derive(Debug, Clone)]
+pub struct Trace {
+    /// The scheduling instance.
+    pub instance: Instance,
+    /// Requested key per task.
+    pub keys: Vec<usize>,
+    /// The keyspace used.
+    pub keyspace: Keyspace,
+}
+
+/// Generates `n` requests.
+///
+/// # Panics
+/// Panics on degenerate configurations (zero keys, `k ∉ 1..=m`).
+pub fn generate_trace(config: &TraceConfig, n: usize, rng: &mut impl Rng) -> Trace {
+    assert!(config.k >= 1 && config.k <= config.m, "k must be in 1..=m");
+    let keyspace = Keyspace::new(config.num_keys, config.m, config.key_bias);
+    let mut arrivals = PoissonProcess::new(config.lambda);
+    let mut b = InstanceBuilder::new(config.m);
+    let mut keys = Vec::with_capacity(n);
+    for _ in 0..n {
+        let t = arrivals.next_arrival(rng);
+        let key = keyspace.sample_key(rng);
+        let owner = keyspace.owner(key);
+        let set = config.strategy.replica_set(owner, config.k, config.m);
+        b.push(Task::new(t, config.service.sample(rng)), set);
+        keys.push(key);
+    }
+    Trace {
+        instance: b.build().expect("traces are valid instances"),
+        keys,
+        keyspace,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowsched_stats::rng::seeded_rng;
+
+    fn config() -> TraceConfig {
+        TraceConfig {
+            m: 9,
+            k: 3,
+            strategy: ReplicationStrategy::Overlapping,
+            num_keys: 300,
+            key_bias: 1.0,
+            lambda: 4.0,
+            service: ServiceDist::unit(),
+        }
+    }
+
+    #[test]
+    fn tasks_align_with_keys_and_owners() {
+        let mut rng = seeded_rng(1);
+        let trace = generate_trace(&config(), 500, &mut rng);
+        assert_eq!(trace.instance.len(), 500);
+        assert_eq!(trace.keys.len(), 500);
+        for (i, &key) in trace.keys.iter().enumerate() {
+            let owner = trace.keyspace.owner(key);
+            let set = trace.instance.set(flowsched_core::TaskId(i));
+            assert!(set.contains(owner), "task {i}: owner {owner} not in {set}");
+            assert_eq!(set.len(), 3);
+        }
+    }
+
+    #[test]
+    fn repeated_keys_share_processing_sets() {
+        // The Section 3 observation: tasks for the same key have the same
+        // processing set.
+        let mut rng = seeded_rng(2);
+        let trace = generate_trace(&config(), 2000, &mut rng);
+        use std::collections::HashMap;
+        let mut by_key: HashMap<usize, &flowsched_core::ProcSet> = HashMap::new();
+        for (i, &key) in trace.keys.iter().enumerate() {
+            let set = trace.instance.set(flowsched_core::TaskId(i));
+            if let Some(prev) = by_key.get(&key) {
+                assert_eq!(*prev, set, "key {key} changed sets");
+            }
+            by_key.insert(key, set);
+        }
+        // Popular keys repeat a lot under Zipf(1) over 300 keys.
+        assert!(by_key.len() < 2000);
+    }
+
+    #[test]
+    fn key_bias_induces_machine_bias() {
+        // Strong key bias concentrates the induced machine load.
+        let mut rng = seeded_rng(3);
+        let hot = TraceConfig { key_bias: 2.5, ..config() };
+        let trace = generate_trace(&hot, 5000, &mut rng);
+        let mut owner_counts = vec![0usize; 9];
+        for &key in &trace.keys {
+            owner_counts[trace.keyspace.owner(key)] += 1;
+        }
+        let max = *owner_counts.iter().max().unwrap() as f64;
+        let expected_uniform = 5000.0 / 9.0;
+        assert!(max > 2.0 * expected_uniform, "no concentration: {owner_counts:?}");
+    }
+
+    #[test]
+    fn trace_is_schedulable() {
+        use flowsched_algos::{TieBreak, eft};
+        let mut rng = seeded_rng(4);
+        let trace = generate_trace(&config(), 800, &mut rng);
+        let s = eft(&trace.instance, TieBreak::Min);
+        s.validate(&trace.instance).unwrap();
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut r1 = seeded_rng(5);
+        let mut r2 = seeded_rng(5);
+        let a = generate_trace(&config(), 100, &mut r1);
+        let b = generate_trace(&config(), 100, &mut r2);
+        assert_eq!(a.instance, b.instance);
+        assert_eq!(a.keys, b.keys);
+    }
+}

@@ -1,0 +1,62 @@
+//! Key-value store scenario: compare the two replication strategies of
+//! the paper (overlapping ring intervals vs disjoint blocks) under a
+//! popularity bias, as a small version of the paper's Figure 11.
+//!
+//! ```text
+//! cargo run --release --example kvstore_replication
+//! ```
+
+use flowsched::kvstore::cluster::{ClusterConfig, KvCluster};
+use flowsched::kvstore::replication::ReplicationStrategy;
+use flowsched::prelude::*;
+use flowsched::sim::driver::{SimConfig, simulate};
+use flowsched::solver::loadflow::max_load_lp;
+use flowsched::stats::rng::derive_rng;
+use flowsched::stats::zipf::BiasCase;
+
+fn main() {
+    let (m, k, s) = (15usize, 3usize, 1.0);
+    let n_requests = 5_000;
+    let seed = 2024u64;
+
+    println!("Replicated key-value store, m = {m}, k = {k}, Zipf bias s = {s} (Shuffled)\n");
+
+    for strategy in ReplicationStrategy::all() {
+        // Build the cluster (the Shuffled case randomly permutes which
+        // machines are hot).
+        let mut rng = derive_rng(seed, 1);
+        let cluster = KvCluster::new(
+            ClusterConfig { m, k, strategy, s, case: BiasCase::Shuffled },
+            &mut rng,
+        );
+
+        // What load can this replication structure theoretically absorb?
+        let max_load =
+            max_load_lp(cluster.popularity().probs(), &cluster.allowed_sets()) / m as f64;
+        println!("[{strategy}] theoretical max load: {:.0}%", max_load * 100.0);
+
+        // Simulate EFT at increasing offered loads.
+        println!("  load%   Fmax(EFT-Min)  mean flow   p99");
+        for load_pct in [30.0, 45.0, 60.0, 75.0] {
+            let lambda = load_pct / 100.0 * m as f64;
+            let mut rng = derive_rng(seed, 100 + load_pct as u64);
+            let inst = cluster.requests(n_requests, lambda, &mut rng);
+            let (_, report) = simulate(
+                &inst,
+                &SimConfig { policy: TieBreak::Min, warmup_fraction: 0.1 },
+            );
+            let saturated = if report.looks_saturated() { "  (saturated)" } else { "" };
+            println!(
+                "  {load_pct:>4.0}    {:>8.1}      {:>6.2}   {:>6.1}{saturated}",
+                report.fmax, report.mean_flow, report.p99
+            );
+        }
+        println!();
+    }
+
+    println!(
+        "Expected shape (paper, Section 7.4): overlapping rings tolerate a higher\n\
+         load before flow times blow up — even though their worst-case competitive\n\
+         ratio (m − k + 1) is far worse than the disjoint guarantee (3 − 2/k)."
+    );
+}

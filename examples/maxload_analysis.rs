@@ -1,0 +1,45 @@
+//! Max-load analysis (the paper's LP (15)): how much offered load a
+//! replication structure can absorb under increasing popularity bias,
+//! solved two independent ways (simplex LP and max-flow bisection).
+//!
+//! ```text
+//! cargo run --release --example maxload_analysis
+//! ```
+
+use flowsched::kvstore::replication::ReplicationStrategy;
+use flowsched::solver::loadflow::{max_load_binary_search, max_load_lp};
+use flowsched::stats::zipf::Zipf;
+
+fn main() {
+    let (m, k) = (15usize, 3usize);
+    println!("Theoretical max cluster load, m = {m}, k = {k}, Worst-case bias\n");
+    println!("{:>5}  {:>12}  {:>12}  {:>7}  {:>10}", "s", "overlapping", "disjoint", "gain", "LP=flow?");
+
+    for s10 in 0..=20 {
+        let s = s10 as f64 * 0.25;
+        let weights = Zipf::new(m, s);
+        let mut pct = [0.0f64; 2];
+        let mut agree = true;
+        for (i, strategy) in ReplicationStrategy::all().into_iter().enumerate() {
+            let allowed = strategy.allowed_sets(k, m);
+            let lp = max_load_lp(weights.probs(), &allowed);
+            let flow = max_load_binary_search(weights.probs(), &allowed, 1e-7);
+            agree &= (lp - flow).abs() < 1e-4;
+            pct[i] = lp / m as f64 * 100.0;
+        }
+        println!(
+            "{s:>5.2}  {:>11.1}%  {:>11.1}%  {:>6.2}x  {:>10}",
+            pct[0],
+            pct[1],
+            pct[0] / pct[1],
+            if agree { "yes" } else { "NO" }
+        );
+    }
+
+    println!(
+        "\nExpected shape (paper, Fig. 10): identical at s = 0, overlapping\n\
+         dominating by up to ~1.5x at moderate bias, converging again as the\n\
+         bias gets extreme (a single machine owns almost everything and k−1\n\
+         neighbours are the only help either way)."
+    );
+}

@@ -1,0 +1,70 @@
+//! Tour of the processing-set structure zoo (the paper's Figure 1) and
+//! how EFT's guarantee changes across it — run each structure against the
+//! same bursty workload and compare achieved ratios to the exact optimum.
+//!
+//! ```text
+//! cargo run --release --example structure_zoo
+//! ```
+
+use flowsched::algos::offline::optimal_unit_fmax;
+use flowsched::core::structure;
+use flowsched::prelude::*;
+use flowsched::workloads::random::{RandomInstanceConfig, StructureKind, random_instance};
+
+fn main() {
+    let m = 8;
+    println!("EFT-Min across processing-set structures (m = {m}, bursty unit tasks)\n");
+    println!(
+        "{:<22} {:>9} {:>6} {:>6} {:>7}   guarantee",
+        "structure", "class", "Fmax", "OPT", "ratio"
+    );
+
+    let zoo: Vec<(&str, StructureKind, &str)> = vec![
+        ("unrestricted", StructureKind::Unrestricted, "3 − 2/m (Th. 1)"),
+        ("disjoint blocks k=4", StructureKind::DisjointBlocks(4), "3 − 2/k (Cor. 1)"),
+        ("intervals k=4", StructureKind::IntervalFixed(4), "≥ m − k + 1 worst case (Th. 8)"),
+        ("ring intervals k=4", StructureKind::RingFixed(4), "≥ m − k + 1 worst case (Th. 8)"),
+        ("inclusive chain", StructureKind::InclusiveChain, "≥ ⌊log2 m + 1⌋ worst case (Th. 3)"),
+        ("nested laminar", StructureKind::NestedLaminar, "≥ ⅓⌊log2 m + 2⌋ worst case (Th. 5)"),
+        ("general", StructureKind::General, "≥ Ω(m) worst case [Anand et al.]"),
+    ];
+
+    for (label, kind, guarantee) in zoo {
+        // Aggregate over a few seeds: the worst ratio seen.
+        let mut worst = (0.0f64, 0.0f64, 1.0f64);
+        for seed in 0..6u64 {
+            let cfg = RandomInstanceConfig {
+                m,
+                n: 6 * m,
+                structure: kind,
+                release_span: 5,
+                unit: true,
+                ptime_steps: 4,
+            };
+            let inst = random_instance(&cfg, seed);
+            let schedule = eft(&inst, TieBreak::Min);
+            schedule.validate(&inst).expect("feasible");
+            let fmax = schedule.fmax(&inst);
+            let opt = optimal_unit_fmax(&inst);
+            if fmax / opt > worst.2 || worst.0 == 0.0 {
+                worst = (fmax, opt, fmax / opt);
+            }
+        }
+        // Classify the first instance's family for display.
+        let inst = random_instance(
+            &RandomInstanceConfig { m, n: 6 * m, structure: kind, release_span: 5, unit: true, ptime_steps: 4 },
+            0,
+        );
+        let class = structure::classify(inst.sets(), m).most_specific();
+        println!(
+            "{label:<22} {class:>9} {:>6.1} {:>6.1} {:>7.2}   {guarantee}",
+            worst.0, worst.1, worst.2
+        );
+    }
+
+    println!(
+        "\nTakeaway: on *random* workloads EFT stays close to optimal everywhere —\n\
+         the separations in the guarantees column only bite under adversarial\n\
+         streams (see the adversary_lower_bound example)."
+    );
+}

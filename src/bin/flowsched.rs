@@ -1,0 +1,192 @@
+//! `flowsched` — command-line entry point for the whole reproduction.
+//!
+//! ```text
+//! flowsched list                          # available experiments
+//! flowsched run fig10a --paper            # one experiment, paper scale
+//! flowsched run table2 --json out.json    # machine-readable record
+//! flowsched all --out results/            # everything, JSON per experiment
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use flowsched::experiments::{Scale, ablation, fig08, fig10, fig11, openq, policies, selfcheck, service, table1, table2};
+use flowsched::experiments::record::write_json;
+
+const EXPERIMENTS: &[(&str, &str)] = &[
+    ("table1", "FIFO/EFT competitiveness on P | online-ri | Fmax (paper Table 1)"),
+    ("table2", "structured-processing-set bounds, theory vs measured (paper Table 2)"),
+    ("fig08", "load distributions λ·P(E_j) (paper Figure 8)"),
+    ("fig10a", "LP (15) max-load sweep (paper Figure 10a)"),
+    ("fig10b", "overlapping/disjoint max-load ratio (paper Figure 10b)"),
+    ("fig11", "Fmax vs average load simulation (paper Figure 11)"),
+    ("ablation", "tie-break × replication strategy ablation"),
+    ("openq", "open question: staggered replication scored on three axes"),
+    ("service", "service-time sensitivity beyond unit tasks"),
+    ("policies", "immediate-dispatch rules: adversarial vs average behaviour"),
+    ("selfcheck", "re-derive the headline claims and print a verdict per claim"),
+];
+
+struct Cli {
+    command: String,
+    target: Option<String>,
+    scale: Scale,
+    json: Option<PathBuf>,
+    out_dir: PathBuf,
+}
+
+fn usage() -> String {
+    let mut s = String::from(
+        "usage: flowsched <list|run <experiment>|all> [--paper] [--seed <u64>] \
+         [--json <file>] [--out <dir>]\n\nexperiments:\n",
+    );
+    for (name, desc) in EXPERIMENTS {
+        s.push_str(&format!("  {name:<10} {desc}\n"));
+    }
+    s
+}
+
+fn parse(args: &[String]) -> Result<Cli, String> {
+    let mut it = args.iter().peekable();
+    let command = it.next().cloned().ok_or_else(usage)?;
+    let target = if command == "run" {
+        Some(it.next().cloned().ok_or("run requires an experiment name")?)
+    } else {
+        None
+    };
+    let mut scale = Scale::quick();
+    let mut json = None;
+    let mut out_dir = PathBuf::from("results");
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--paper" => scale = Scale::paper(),
+            "--seed" => {
+                let v = it.next().ok_or("--seed requires a value")?;
+                scale.seed = v.parse().map_err(|_| format!("bad seed {v:?}"))?;
+            }
+            "--json" => {
+                json = Some(PathBuf::from(it.next().ok_or("--json requires a path")?));
+            }
+            "--out" => {
+                out_dir = PathBuf::from(it.next().ok_or("--out requires a path")?);
+            }
+            other => return Err(format!("unknown flag {other:?}\n\n{}", usage())),
+        }
+    }
+    Ok(Cli { command, target, scale, json, out_dir })
+}
+
+/// Runs one experiment: prints the table, optionally writes JSON.
+fn run_one(name: &str, scale: &Scale, json: Option<&Path>) -> Result<(), String> {
+    let maybe_write = |text: String, write: &dyn Fn(&Path) -> std::io::Result<()>| {
+        print!("{text}");
+        if let Some(path) = json {
+            write(path).map_err(|e| format!("writing {}: {e}", path.display()))?;
+            eprintln!("wrote {}", path.display());
+        }
+        Ok(())
+    };
+    match name {
+        "table1" => {
+            let rows = table1::run(scale);
+            maybe_write(table1::render(&rows), &|p| write_json(p, name, scale, &rows))
+        }
+        "table2" => {
+            let rows = table2::run(scale);
+            maybe_write(table2::render(&rows), &|p| write_json(p, name, scale, &rows))
+        }
+        "fig08" => {
+            let rows = fig08::run(scale.seed);
+            maybe_write(fig08::render(&rows), &|p| write_json(p, name, scale, &rows))
+        }
+        "fig10a" => {
+            let out = fig10::run(scale);
+            maybe_write(fig10::render_10a(&out, scale), &|p| {
+                std::fs::write(
+                    p.with_extension("svg"),
+                    flowsched::experiments::plot::fig10a_svg(&out, scale),
+                )?;
+                write_json(p, name, scale, &out)
+            })
+        }
+        "fig10b" => {
+            let out = fig10::run(scale);
+            maybe_write(fig10::render_10b(&out, scale), &|p| write_json(p, name, scale, &out))
+        }
+        "fig11" => {
+            let out = fig11::run(scale);
+            maybe_write(fig11::render(&out), &|p| {
+                std::fs::write(
+                    p.with_extension("svg"),
+                    flowsched::experiments::plot::fig11_svg(&out),
+                )?;
+                write_json(p, name, scale, &out)
+            })
+        }
+        "ablation" => {
+            let rows = ablation::run(scale);
+            maybe_write(ablation::render(&rows), &|p| write_json(p, name, scale, &rows))
+        }
+        "openq" => {
+            let rows = openq::run(scale);
+            maybe_write(openq::render(&rows), &|p| write_json(p, name, scale, &rows))
+        }
+        "service" => {
+            let rows = service::run(scale);
+            maybe_write(service::render(&rows), &|p| write_json(p, name, scale, &rows))
+        }
+        "policies" => {
+            let rows = policies::run(scale);
+            maybe_write(policies::render(&rows, scale), &|p| write_json(p, name, scale, &rows))
+        }
+        "selfcheck" => {
+            let rows = selfcheck::run(scale);
+            let all_pass = rows.iter().all(|r| r.pass);
+            maybe_write(selfcheck::render(&rows), &|p| write_json(p, name, scale, &rows))?;
+            if !all_pass {
+                return Err("self-check failed".into());
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown experiment {other:?}\n\n{}", usage())),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cli.command.as_str() {
+        "list" => {
+            print!("{}", usage());
+            Ok(())
+        }
+        "run" => run_one(cli.target.as_deref().unwrap(), &cli.scale, cli.json.as_deref()),
+        "all" => {
+            let mut err = Ok(());
+            for (name, _) in EXPERIMENTS {
+                println!("==> {name}");
+                let json = cli.out_dir.join(format!("{name}.json"));
+                if let e @ Err(_) = run_one(name, &cli.scale, Some(&json)) {
+                    err = e;
+                    break;
+                }
+                println!();
+            }
+            err
+        }
+        other => Err(format!("unknown command {other:?}\n\n{}", usage())),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! # flowsched — facade crate
+//!
+//! Single entry point re-exporting the whole workspace: the model
+//! ([`core`]), online schedulers ([`algos`]), adversarial and stochastic
+//! workloads ([`workloads`]), the key-value-store replication model
+//! ([`kvstore`]), the discrete-event simulator ([`sim`]), LP/flow solvers
+//! ([`solver`]), statistics ([`stats`]), parallel sweep utilities
+//! ([`parallel`]) and paper experiment runners ([`experiments`]).
+//!
+//! This workspace reproduces Canon, Dugois & Marchal, *"Bounding the Flow
+//! Time in Online Scheduling with Structured Processing Sets"* (INRIA
+//! RR-9446 / IPDPS 2022). See `DESIGN.md` for the experiment index and
+//! `EXPERIMENTS.md` for paper-vs-measured results.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use flowsched::prelude::*;
+//!
+//! // Three unit tasks on two machines, the middle one restricted to M2.
+//! let mut b = InstanceBuilder::new(2);
+//! b.push_unit(0.0, ProcSet::full(2));
+//! b.push_unit(0.0, ProcSet::singleton(1));
+//! b.push_unit(0.5, ProcSet::full(2));
+//! let inst = b.build().unwrap();
+//!
+//! let schedule = eft(&inst, TieBreak::Min);
+//! schedule.validate(&inst).unwrap();
+//! assert!(schedule.fmax(&inst) <= 2.0);
+//! ```
+
+pub use flowsched_algos as algos;
+pub use flowsched_core as core;
+pub use flowsched_experiments as experiments;
+pub use flowsched_kvstore as kvstore;
+pub use flowsched_parallel as parallel;
+pub use flowsched_sim as sim;
+pub use flowsched_solver as solver;
+pub use flowsched_stats as stats;
+pub use flowsched_workloads as workloads;
+
+/// One-stop prelude for examples and downstream users.
+pub mod prelude {
+    pub use flowsched_algos::prelude::*;
+    pub use flowsched_core::prelude::*;
+}

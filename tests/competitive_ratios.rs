@@ -1,0 +1,127 @@
+//! Competitive-ratio guarantees verified end-to-end against exact
+//! optima: Theorem 1 (`3 − 2/m`), Theorem 2 (unit-task optimality) and
+//! Corollary 1 (`3 − 2/k` on disjoint sets).
+
+use proptest::prelude::*;
+
+use flowsched::algos::offline::{brute_force_fmax, optimal_unit_fmax};
+use flowsched::prelude::*;
+use flowsched::workloads::random::{RandomInstanceConfig, StructureKind, random_instance};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(100))]
+
+    #[test]
+    fn theorem1_fifo_is_3_minus_2_over_m_competitive(
+        m in 2usize..5,
+        raw in prop::collection::vec((0u32..6, 1u32..9), 2..9),
+    ) {
+        // General processing times, exact optimum by exhaustive search.
+        let mut b = InstanceBuilder::new(m);
+        for (r, p) in raw {
+            b.push_unrestricted(Task::new(r as f64, p as f64 * 0.5));
+        }
+        let inst = b.build().unwrap();
+        let achieved = fifo(&inst, TieBreak::Min).fmax(&inst);
+        let opt = brute_force_fmax(&inst);
+        let bound = 3.0 - 2.0 / m as f64;
+        prop_assert!(
+            achieved <= bound * opt + 1e-9,
+            "FIFO {achieved} vs bound {bound} × OPT {opt}"
+        );
+    }
+
+    #[test]
+    fn theorem2_fifo_is_optimal_on_unit_tasks(
+        m in 1usize..5,
+        raw in prop::collection::vec(0u32..8, 1..40),
+    ) {
+        let mut b = InstanceBuilder::new(m);
+        for r in raw {
+            b.push_unrestricted(Task::unit(r as f64));
+        }
+        let inst = b.build().unwrap();
+        let achieved = fifo(&inst, TieBreak::Min).fmax(&inst);
+        let opt = optimal_unit_fmax(&inst);
+        prop_assert!(
+            (achieved - opt).abs() < 1e-9,
+            "FIFO {achieved} must equal OPT {opt} on unit tasks"
+        );
+    }
+
+    #[test]
+    fn corollary1_eft_on_disjoint_sets(
+        k in 2usize..4,
+        seed in any::<u64>(),
+        tb_max in any::<bool>(),
+    ) {
+        // EFT is (3 − 2/k)-competitive on disjoint size-k families.
+        let m = 2 * k;
+        let cfg = RandomInstanceConfig {
+            m,
+            n: 5 * m,
+            structure: StructureKind::DisjointBlocks(k),
+            release_span: 5,
+            unit: true,
+            ptime_steps: 4,
+        };
+        let inst = random_instance(&cfg, seed);
+        let tb = if tb_max { TieBreak::Max } else { TieBreak::Min };
+        let achieved = eft(&inst, tb).fmax(&inst);
+        let opt = optimal_unit_fmax(&inst);
+        let bound = 3.0 - 2.0 / k as f64;
+        prop_assert!(
+            achieved <= bound * opt + 1e-9,
+            "EFT {achieved} vs ({bound}) × OPT {opt}"
+        );
+    }
+
+    #[test]
+    fn unit_disjoint_eft_is_even_optimal(
+        k in 2usize..4,
+        seed in any::<u64>(),
+    ) {
+        // Stronger than Corollary 1 on unit tasks: EFT = FIFO per block
+        // and FIFO is optimal for unit tasks (Th. 2 + Th. 6 composition).
+        let m = 2 * k;
+        let cfg = RandomInstanceConfig {
+            m,
+            n: 4 * m,
+            structure: StructureKind::DisjointBlocks(k),
+            release_span: 6,
+            unit: true,
+            ptime_steps: 4,
+        };
+        let inst = random_instance(&cfg, seed);
+        let achieved = eft(&inst, TieBreak::Min).fmax(&inst);
+        let opt = optimal_unit_fmax(&inst);
+        prop_assert!((achieved - opt).abs() < 1e-9, "EFT {achieved} vs OPT {opt}");
+    }
+}
+
+/// Deterministic large-scale sanity check of Theorem 1 using the
+/// polynomial lower bound instead of brute force (LB ≤ OPT, so the bound
+/// check is conservative and cannot false-fail).
+#[test]
+fn theorem1_holds_at_scale_with_lower_bound() {
+    for m in [4usize, 8, 16] {
+        for seed in 0..5u64 {
+            let cfg = RandomInstanceConfig {
+                m,
+                n: 30 * m,
+                structure: StructureKind::Unrestricted,
+                release_span: 10,
+                unit: false,
+                ptime_steps: 8,
+            };
+            let inst = random_instance(&cfg, seed);
+            let achieved = fifo(&inst, TieBreak::Min).fmax(&inst);
+            let lb = flowsched::algos::offline::fmax_lower_bound(&inst);
+            let bound = 3.0 - 2.0 / m as f64;
+            assert!(
+                achieved <= bound * lb.max(inst.pmax()) + 1e-9,
+                "m={m} seed={seed}: FIFO {achieved} vs bound {bound} × LB {lb}"
+            );
+        }
+    }
+}

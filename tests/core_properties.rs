@@ -1,0 +1,133 @@
+//! Property tests on the core data structures: processing-set algebra,
+//! structure-predicate consistency with the Figure 1 reduction graph,
+//! Gantt rendering robustness, and machine-remapping invariance.
+
+use proptest::prelude::*;
+
+use flowsched::core::gantt::{GanttOptions, render};
+use flowsched::core::structure;
+use flowsched::prelude::*;
+
+fn procsets(m: usize) -> impl Strategy<Value = ProcSet> {
+    prop::collection::vec(0usize..m, 1..=m).prop_map(ProcSet::new)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(250))]
+
+    #[test]
+    fn set_algebra_laws(a in procsets(8), b in procsets(8), c in procsets(8)) {
+        // Commutativity and associativity of union/intersection.
+        prop_assert_eq!(a.union(&b), b.union(&a));
+        prop_assert_eq!(a.intersection(&b), b.intersection(&a));
+        prop_assert_eq!(a.union(&b).union(&c), a.union(&b.union(&c)));
+        prop_assert_eq!(
+            a.intersection(&b).intersection(&c),
+            a.intersection(&b.intersection(&c))
+        );
+        // Absorption.
+        prop_assert_eq!(a.union(&a.intersection(&b)), a.clone());
+        prop_assert_eq!(a.intersection(&a.union(&b)), a.clone());
+        // Difference partitions.
+        let inter = a.intersection(&b);
+        let diff = a.difference(&b);
+        prop_assert!(inter.is_disjoint_from(&diff));
+        prop_assert_eq!(inter.union(&diff), a.clone());
+    }
+
+    #[test]
+    fn subset_iff_intersection_is_self(a in procsets(8), b in procsets(8)) {
+        prop_assert_eq!(a.is_subset_of(&b), a.intersection(&b) == a);
+        prop_assert_eq!(a.is_disjoint_from(&b), a.intersection(&b).is_empty());
+    }
+
+    #[test]
+    fn reduction_graph_edges_hold(
+        fam in prop::collection::vec(procsets(6), 1..8),
+    ) {
+        // Figure 1: inclusive ⇒ nested, disjoint ⇒ nested. And nested
+        // families admit an interval-izing machine permutation.
+        let rep = structure::classify(&fam, 6);
+        if rep.inclusive {
+            prop_assert!(rep.nested, "inclusive family not nested: {fam:?}");
+        }
+        if rep.disjoint {
+            prop_assert!(rep.nested, "disjoint family not nested: {fam:?}");
+        }
+        if rep.nested {
+            let perm = structure::nested_to_interval_order(&fam, 6)
+                .expect("nested families admit the ordering");
+            let renamed = structure::apply_machine_permutation(&fam, &perm);
+            prop_assert!(
+                structure::is_interval_family(&renamed),
+                "renamed family not intervals: {renamed:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn ring_interval_round_trips(start in 0usize..12, len in 1usize..=12) {
+        let m = 12;
+        let set = ProcSet::ring_interval(start, len, m);
+        prop_assert_eq!(set.len(), len);
+        let (s2, l2) = set.as_ring_interval(m).expect("ring intervals detect");
+        // Full sets canonicalize to start 0; otherwise the segment round-trips.
+        if len == m {
+            prop_assert_eq!(l2, m);
+        } else {
+            prop_assert_eq!((s2, l2), (start, len));
+        }
+    }
+
+    #[test]
+    fn gantt_renders_every_machine_row(
+        m in 1usize..6,
+        raw in prop::collection::vec((0u32..8, 1u32..5), 1..20),
+        numbered in any::<bool>(),
+    ) {
+        let mut b = InstanceBuilder::new(m);
+        for (r, p) in raw {
+            b.push_unrestricted(Task::new(r as f64, p as f64 * 0.5));
+        }
+        let inst = b.build().unwrap();
+        let schedule = eft(&inst, TieBreak::Min);
+        let art = render(
+            &schedule,
+            &inst,
+            &GanttOptions { resolution: 0.5, until: None, numbered },
+        );
+        let lines: Vec<&str> = art.lines().collect();
+        prop_assert_eq!(lines.len(), m + 1, "ruler + one row per machine");
+        // Every machine label appears and rows share a common width.
+        for (j, line) in lines.iter().skip(1).enumerate() {
+            let label = format!("M{}", j + 1);
+            prop_assert!(line.starts_with(&label), "row {j} missing label");
+        }
+        let widths: Vec<usize> = lines.iter().skip(1).map(|l| l.chars().count()).collect();
+        prop_assert!(widths.windows(2).all(|w| w[0] == w[1]), "ragged rows: {widths:?}");
+    }
+
+    #[test]
+    fn remap_preserves_schedulability_and_fmax_distribution(
+        perm_seed in any::<u64>(),
+    ) {
+        use flowsched::stats::permutation::random_permutation;
+        use flowsched::stats::rng::derive_rng;
+        // Machine renaming is a symmetry of the problem: the EFT schedule
+        // of the renamed instance is feasible and the *optimal* value is
+        // invariant (checked via the exact solver on a tiny instance).
+        let mut b = InstanceBuilder::new(4);
+        b.push_unit(0.0, ProcSet::new(vec![0, 2]));
+        b.push_unit(0.0, ProcSet::new(vec![1, 3]));
+        b.push_unit(0.0, ProcSet::new(vec![0, 1]));
+        b.push_unit(1.0, ProcSet::new(vec![2]));
+        let inst = b.build().unwrap();
+        let mut rng = derive_rng(perm_seed, 1);
+        let perm = random_permutation(4, &mut rng);
+        let renamed = inst.remap_machines(&perm);
+        eft(&renamed, TieBreak::Min).validate(&renamed).unwrap();
+        let a = flowsched::algos::offline::brute_force_fmax(&inst);
+        let b2 = flowsched::algos::offline::brute_force_fmax(&renamed);
+        prop_assert!((a - b2).abs() < 1e-9, "OPT changed under renaming: {a} vs {b2}");
+    }
+}

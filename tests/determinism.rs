@@ -1,0 +1,95 @@
+//! Reproducibility: every stochastic component of the workspace is
+//! bit-deterministic given the root seed — the property that makes
+//! EXPERIMENTS.md numbers regenerable.
+
+use flowsched::experiments::{Scale, ablation, fig08, fig10, fig11, table1, table2};
+use flowsched::kvstore::cluster::{ClusterConfig, KvCluster};
+use flowsched::kvstore::replication::ReplicationStrategy;
+use flowsched::prelude::*;
+use flowsched::stats::rng::seeded_rng;
+use flowsched::stats::zipf::BiasCase;
+
+fn tiny() -> Scale {
+    Scale { m: 6, k: 3, permutations: 3, repetitions: 2, tasks: 300, bias_step: 2.5, seed: 99 }
+}
+
+#[test]
+fn fig08_is_deterministic() {
+    let a = fig08::run(7);
+    let b = fig08::run(7);
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.load, y.load);
+    }
+    let c = fig08::run(8);
+    assert!(a.iter().zip(&c).any(|(x, y)| x.load != y.load));
+}
+
+#[test]
+fn fig10_is_deterministic() {
+    let a = fig10::run(&tiny());
+    let b = fig10::run(&tiny());
+    for (x, y) in a.cells.iter().zip(&b.cells) {
+        assert_eq!(x.max_load_pct, y.max_load_pct);
+    }
+}
+
+#[test]
+fn fig11_is_deterministic() {
+    let a = fig11::run(&tiny());
+    let b = fig11::run(&tiny());
+    for (x, y) in a.points.iter().zip(&b.points) {
+        assert_eq!(x.fmax_median, y.fmax_median, "{}/{}", x.strategy, x.load_pct);
+    }
+}
+
+#[test]
+fn tables_and_ablation_are_deterministic() {
+    let s = tiny();
+    let t1a = table1::run(&s);
+    let t1b = table1::run(&s);
+    for (x, y) in t1a.iter().zip(&t1b) {
+        assert_eq!(x.worst_ratio, y.worst_ratio);
+    }
+    let t2a = table2::run(&s);
+    let t2b = table2::run(&s);
+    for (x, y) in t2a.iter().zip(&t2b) {
+        assert_eq!(x.measured, y.measured, "{}", x.reference);
+    }
+    let aba = ablation::run(&s);
+    let abb = ablation::run(&s);
+    for (x, y) in aba.iter().zip(&abb) {
+        assert_eq!(x.fmax_median, y.fmax_median);
+    }
+}
+
+#[test]
+fn seed_changes_propagate() {
+    let mut s2 = tiny();
+    s2.seed = 100;
+    let a = fig11::run(&tiny());
+    let b = fig11::run(&s2);
+    assert!(
+        a.points.iter().zip(&b.points).any(|(x, y)| x.fmax_median != y.fmax_median),
+        "different seeds must change stochastic outputs"
+    );
+}
+
+#[test]
+fn cluster_requests_are_reproducible_end_to_end() {
+    let make = |seed: u64| {
+        let mut rng = seeded_rng(seed);
+        let cluster = KvCluster::new(
+            ClusterConfig {
+                m: 9,
+                k: 3,
+                strategy: ReplicationStrategy::Overlapping,
+                s: 1.0,
+                case: BiasCase::Shuffled,
+            },
+            &mut rng,
+        );
+        let inst = cluster.requests(500, 4.0, &mut rng);
+        eft(&inst, TieBreak::Rand { seed: 5 }).fmax(&inst)
+    };
+    assert_eq!(make(1), make(1));
+}

@@ -1,0 +1,67 @@
+//! Property-based verification of Proposition 1: on `P | online-rᵢ | Fmax`
+//! (no processing-set restrictions), the centralized-queue FIFO event
+//! simulation and the immediate-dispatch EFT scheduler produce the *same
+//! schedule* — machine by machine, start time by start time — under any
+//! common tie-break policy.
+
+use proptest::prelude::*;
+
+use flowsched::prelude::*;
+
+/// Random unrestricted instances with dyadic releases/durations so FIFO's
+/// event simulation sees exact time comparisons.
+fn unrestricted_instances() -> impl Strategy<Value = Instance> {
+    (1usize..6, prop::collection::vec((0u32..32, 1u32..12), 1..60)).prop_map(|(m, raw)| {
+        let mut b = InstanceBuilder::new(m);
+        for (r4, p4) in raw {
+            b.push_unrestricted(Task::new(r4 as f64 * 0.25, p4 as f64 * 0.25));
+        }
+        b.build().expect("valid random instance")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn fifo_equals_eft_min(inst in unrestricted_instances()) {
+        let sf = fifo(&inst, TieBreak::Min);
+        let se = eft(&inst, TieBreak::Min);
+        prop_assert_eq!(sf, se);
+    }
+
+    #[test]
+    fn fifo_equals_eft_max(inst in unrestricted_instances()) {
+        let sf = fifo(&inst, TieBreak::Max);
+        let se = eft(&inst, TieBreak::Max);
+        prop_assert_eq!(sf, se);
+    }
+
+    #[test]
+    fn fifo_equals_eft_rand_same_seed(inst in unrestricted_instances(), seed in any::<u64>()) {
+        // Proposition 1 extends to randomized policies when both engines
+        // consume the same random stream over identical tie sets.
+        let tb = TieBreak::Rand { seed };
+        let sf = fifo(&inst, tb);
+        let se = eft(&inst, tb);
+        prop_assert_eq!(sf, se);
+    }
+
+    #[test]
+    fn both_schedules_are_always_feasible(inst in unrestricted_instances()) {
+        fifo(&inst, TieBreak::Min).validate(&inst).unwrap();
+        eft(&inst, TieBreak::Min).validate(&inst).unwrap();
+    }
+
+    #[test]
+    fn fifo_dispatches_in_release_order_per_machine(inst in unrestricted_instances()) {
+        // Within a machine, FIFO never inverts release order (the queue is
+        // FIFO and arrivals are sorted).
+        let s = fifo(&inst, TieBreak::Min);
+        for lane in s.machine_timelines(&inst) {
+            for w in lane.windows(2) {
+                prop_assert!(inst.task(w[0]).release <= inst.task(w[1]).release);
+            }
+        }
+    }
+}

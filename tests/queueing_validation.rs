@@ -1,0 +1,112 @@
+//! End-to-end validation of the simulation stack against queueing
+//! theory: with Poisson arrivals, exponential service, and no processing
+//! set restrictions, FIFO (= EFT by Proposition 1) on `c` identical
+//! machines *is* an M/M/c queue, so the simulated mean flow time must
+//! match the Erlang-C mean response time. Deterministic service likewise
+//! matches M/D/1 on one machine.
+
+use flowsched::kvstore::cluster::{ClusterConfig, KvCluster};
+use flowsched::kvstore::replication::ReplicationStrategy;
+use flowsched::prelude::*;
+use flowsched::sim::driver::{SimConfig, simulate};
+use flowsched::stats::queueing::{md1_mean_response, mm1_mean_response, mmc_mean_response};
+use flowsched::stats::rng::derive_rng;
+use flowsched::stats::service::ServiceDist;
+use flowsched::stats::zipf::BiasCase;
+
+/// Simulated mean flow on `m` unrestricted machines (full replication
+/// makes every request eligible everywhere).
+fn simulated_mean_flow(m: usize, lambda: f64, dist: ServiceDist, seed: u64) -> f64 {
+    let mut acc = 0.0;
+    let reps = 5;
+    for rep in 0..reps {
+        let mut rng = derive_rng(seed, rep);
+        let cluster = KvCluster::new(
+            ClusterConfig {
+                m,
+                k: m, // full replication = no restriction
+                strategy: ReplicationStrategy::Overlapping,
+                s: 0.0,
+                case: BiasCase::Uniform,
+            },
+            &mut rng,
+        );
+        let inst = cluster.requests_with_service(40_000, lambda, dist, &mut rng);
+        let (_, report) =
+            simulate(&inst, &SimConfig { policy: TieBreak::Min, warmup_fraction: 0.1 });
+        acc += report.mean_flow;
+    }
+    acc / reps as f64
+}
+
+#[test]
+fn mm1_mean_response_matches_simulation() {
+    // λ = 0.5, μ = 1, one machine → mean response 2.0.
+    let sim = simulated_mean_flow(1, 0.5, ServiceDist::exp_unit(), 11);
+    let theory = mm1_mean_response(0.5, 1.0);
+    assert!(
+        (sim - theory).abs() / theory < 0.06,
+        "simulated {sim} vs M/M/1 {theory}"
+    );
+}
+
+#[test]
+fn mmc_mean_response_matches_simulation() {
+    // 4 machines at 70% load.
+    let (m, rho) = (4usize, 0.7);
+    let lambda = rho * m as f64;
+    let sim = simulated_mean_flow(m, lambda, ServiceDist::exp_unit(), 12);
+    let theory = mmc_mean_response(lambda, 1.0, m);
+    assert!(
+        (sim - theory).abs() / theory < 0.06,
+        "simulated {sim} vs M/M/{m} {theory}"
+    );
+}
+
+#[test]
+fn md1_mean_response_matches_simulation() {
+    // Unit (deterministic) service on one machine at 60% load.
+    let sim = simulated_mean_flow(1, 0.6, ServiceDist::unit(), 13);
+    let theory = md1_mean_response(0.6, 1.0);
+    assert!(
+        (sim - theory).abs() / theory < 0.06,
+        "simulated {sim} vs M/D/1 {theory}"
+    );
+}
+
+#[test]
+fn deterministic_service_beats_exponential_at_equal_load() {
+    // SCV ordering: D < M at the same utilization (PK formula direction).
+    let det = simulated_mean_flow(2, 1.4, ServiceDist::unit(), 14);
+    let exp = simulated_mean_flow(2, 1.4, ServiceDist::exp_unit(), 14);
+    assert!(det < exp, "deterministic {det} should beat exponential {exp}");
+}
+
+#[test]
+fn bimodal_service_has_the_worst_tail() {
+    // Higher SCV (2.25) → worse tail latency than exponential (1.0) at
+    // the same mean and load, on the p99 metric.
+    let p99 = |dist: ServiceDist| {
+        let mut rng = derive_rng(15, 0);
+        let cluster = KvCluster::new(
+            ClusterConfig {
+                m: 4,
+                k: 4,
+                strategy: ReplicationStrategy::Overlapping,
+                s: 0.0,
+                case: BiasCase::Uniform,
+            },
+            &mut rng,
+        );
+        let inst = cluster.requests_with_service(40_000, 2.8, dist, &mut rng);
+        let (_, report) =
+            simulate(&inst, &SimConfig { policy: TieBreak::Min, warmup_fraction: 0.1 });
+        report.p99
+    };
+    let bimodal = p99(ServiceDist::mice_and_elephants());
+    let exponential = p99(ServiceDist::exp_unit());
+    assert!(
+        bimodal > exponential,
+        "bimodal p99 {bimodal} should exceed exponential p99 {exponential}"
+    );
+}

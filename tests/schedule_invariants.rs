@@ -1,0 +1,148 @@
+//! Property tests for schedule feasibility and immediate-dispatch
+//! invariants across every structure class.
+
+use proptest::prelude::*;
+
+use flowsched::core::time::TIME_EPS;
+use flowsched::prelude::*;
+use flowsched::workloads::random::{RandomInstanceConfig, StructureKind, random_instance};
+
+fn any_structure() -> impl Strategy<Value = StructureKind> {
+    prop_oneof![
+        Just(StructureKind::Unrestricted),
+        (1usize..=6).prop_map(StructureKind::IntervalFixed),
+        (1usize..=6).prop_map(StructureKind::RingFixed),
+        (1usize..=6).prop_map(StructureKind::DisjointBlocks),
+        Just(StructureKind::InclusiveChain),
+        Just(StructureKind::NestedLaminar),
+        Just(StructureKind::General),
+    ]
+}
+
+fn any_tiebreak() -> impl Strategy<Value = TieBreak> {
+    prop_oneof![
+        Just(TieBreak::Min),
+        Just(TieBreak::Max),
+        any::<u64>().prop_map(|seed| TieBreak::Rand { seed }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(150))]
+
+    #[test]
+    fn eft_is_always_feasible(
+        kind in any_structure(),
+        tb in any_tiebreak(),
+        n in 1usize..80,
+        unit in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let cfg = RandomInstanceConfig {
+            m: 6,
+            n,
+            structure: kind,
+            release_span: 12,
+            unit,
+            ptime_steps: 6,
+        };
+        let inst = random_instance(&cfg, seed);
+        let s = eft(&inst, tb);
+        prop_assert!(s.validate(&inst).is_ok(), "{:?}", s.validate(&inst));
+    }
+
+    #[test]
+    fn flow_time_at_least_processing_time(
+        kind in any_structure(),
+        seed in any::<u64>(),
+    ) {
+        let cfg = RandomInstanceConfig {
+            m: 6, n: 40, structure: kind, release_span: 8, unit: false, ptime_steps: 8,
+        };
+        let inst = random_instance(&cfg, seed);
+        let s = eft(&inst, TieBreak::Min);
+        for (id, task, _) in inst.iter() {
+            prop_assert!(s.flow_time(id, &inst) >= task.ptime - TIME_EPS);
+        }
+    }
+
+    #[test]
+    fn eft_never_idles_an_eligible_machine(
+        kind in any_structure(),
+        seed in any::<u64>(),
+    ) {
+        // Immediate-dispatch work conservation: when a task starts later
+        // than its release, every machine of its processing set must be
+        // busy at the release (completion beyond r).
+        let cfg = RandomInstanceConfig {
+            m: 6, n: 50, structure: kind, release_span: 10, unit: true, ptime_steps: 4,
+        };
+        let inst = random_instance(&cfg, seed);
+        let s = eft(&inst, TieBreak::Min);
+
+        // Recompute machine completions incrementally alongside dispatch.
+        let mut completions = vec![0.0_f64; inst.machines()];
+        for (id, task, set) in inst.iter() {
+            let a = s.assignment(id);
+            if a.start > task.release + TIME_EPS {
+                for &j in set.as_slice() {
+                    prop_assert!(
+                        completions[j] > task.release + TIME_EPS,
+                        "{id}: started {} > release {} but {j} was free at {}",
+                        a.start, task.release, completions[j]
+                    );
+                }
+            }
+            // EFT starts exactly when its machine frees (or at release).
+            prop_assert!(
+                (a.start - task.release.max(completions[a.machine.index()])).abs() <= TIME_EPS
+            );
+            completions[a.machine.index()] = a.start + task.ptime;
+        }
+    }
+
+    #[test]
+    fn eft_picks_an_earliest_finishing_machine(
+        seed in any::<u64>(),
+    ) {
+        // For unit tasks, the chosen machine must attain the minimal
+        // completion max(r, C_j) over the processing set.
+        let cfg = RandomInstanceConfig {
+            m: 6, n: 50, structure: StructureKind::RingFixed(3),
+            release_span: 10, unit: true, ptime_steps: 4,
+        };
+        let inst = random_instance(&cfg, seed);
+        let s = eft(&inst, TieBreak::Min);
+        let mut completions = vec![0.0_f64; inst.machines()];
+        for (id, task, set) in inst.iter() {
+            let a = s.assignment(id);
+            let best = set
+                .as_slice()
+                .iter()
+                .map(|&j| task.release.max(completions[j]))
+                .fold(f64::INFINITY, f64::min);
+            prop_assert!(
+                (a.start - best).abs() <= TIME_EPS,
+                "{id}: started {} but earliest possible was {best}",
+                a.start
+            );
+            completions[a.machine.index()] = a.start + task.ptime;
+        }
+    }
+
+    #[test]
+    fn fmax_lower_bound_is_sound(
+        kind in any_structure(),
+        seed in any::<u64>(),
+    ) {
+        // The polynomial lower bound never exceeds what EFT achieves
+        // (EFT is feasible, so OPT ≤ EFT, so LB ≤ OPT ≤ EFT).
+        let cfg = RandomInstanceConfig {
+            m: 6, n: 30, structure: kind, release_span: 6, unit: false, ptime_steps: 6,
+        };
+        let inst = random_instance(&cfg, seed);
+        let lb = flowsched::algos::offline::fmax_lower_bound(&inst);
+        let achieved = eft(&inst, TieBreak::Min).fmax(&inst);
+        prop_assert!(lb <= achieved + 1e-9, "LB {lb} > EFT {achieved}");
+    }
+}

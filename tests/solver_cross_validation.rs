@@ -1,0 +1,121 @@
+//! Cross-validation of the optimization substrates: the simplex LP, the
+//! max-flow bisection, the Hopcroft–Karp matcher and the exhaustive
+//! schedulers must all agree wherever their domains overlap.
+
+use proptest::prelude::*;
+
+use flowsched::prelude::*;
+use flowsched::solver::loadflow::{load_is_feasible, max_load_binary_search, max_load_lp};
+use flowsched::solver::simplex::{LinearProgram, LpOutcome, Relation};
+
+/// Random replication-like configurations: weights + one allowed set per
+/// origin that always contains the origin.
+fn load_configs() -> impl Strategy<Value = (Vec<f64>, Vec<Vec<usize>>)> {
+    (2usize..7).prop_flat_map(|m| {
+        let weights = prop::collection::vec(1u32..100, m..=m)
+            .prop_map(|v| v.into_iter().map(|x| x as f64 / 100.0).collect::<Vec<_>>());
+        let masks = prop::collection::vec(0u32..(1 << m), m..=m).prop_map(move |ms| {
+            ms.into_iter()
+                .enumerate()
+                .map(|(j, mask)| {
+                    let mut set: Vec<usize> =
+                        (0..m).filter(|i| mask & (1 << i) != 0).collect();
+                    if !set.contains(&j) {
+                        set.push(j);
+                        set.sort_unstable();
+                    }
+                    set
+                })
+                .collect::<Vec<_>>()
+        });
+        (weights, masks)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(120))]
+
+    #[test]
+    fn lp_and_maxflow_agree_on_max_load((weights, allowed) in load_configs()) {
+        let lp = max_load_lp(&weights, &allowed);
+        let bs = max_load_binary_search(&weights, &allowed, 1e-8);
+        prop_assert!((lp - bs).abs() < 1e-5, "lp {lp} vs bisect {bs}");
+    }
+
+    #[test]
+    fn max_load_is_tight((weights, allowed) in load_configs()) {
+        // Feasible exactly at the optimum, infeasible just above it.
+        let lp = max_load_lp(&weights, &allowed);
+        prop_assert!(load_is_feasible(&weights, &allowed, lp * (1.0 - 1e-6)));
+        let m = weights.len() as f64;
+        let total: f64 = weights.iter().sum();
+        if lp < m / total - 1e-6 {
+            prop_assert!(!load_is_feasible(&weights, &allowed, lp * (1.0 + 1e-3) + 1e-6));
+        }
+    }
+
+    #[test]
+    fn widening_sets_never_decreases_max_load((weights, allowed) in load_configs()) {
+        // Monotonicity: replication only helps.
+        let base = max_load_lp(&weights, &allowed);
+        let full: Vec<Vec<usize>> =
+            (0..weights.len()).map(|_| (0..weights.len()).collect()).collect();
+        let best = max_load_lp(&weights, &full);
+        prop_assert!(best >= base - 1e-7, "full {best} < restricted {base}");
+    }
+
+    #[test]
+    fn simplex_solution_is_feasible_and_bland_safe(
+        n in 1usize..5,
+        rows in prop::collection::vec(
+            (prop::collection::vec(-5i32..6, 4), 0u8..3, -10i32..20),
+            1..6,
+        ),
+    ) {
+        // Random small LPs: whatever the outcome, an Optimal solution must
+        // satisfy every constraint and be non-negative.
+        let mut lp = LinearProgram::maximize(n, vec![1.0; n]);
+        let mut cons = Vec::new();
+        for (coeffs, rel, rhs) in rows {
+            let c: Vec<f64> = coeffs.into_iter().take(n).chain(std::iter::repeat(0)).take(n)
+                .map(|x| x as f64).collect();
+            let rel = match rel { 0 => Relation::Le, 1 => Relation::Ge, _ => Relation::Eq };
+            lp.constraint(c.clone(), rel, rhs as f64);
+            cons.push((c, rel, rhs as f64));
+        }
+        if let LpOutcome::Optimal(sol) = lp.solve() {
+            for &x in &sol.x {
+                prop_assert!(x >= -1e-7, "negative variable {x}");
+            }
+            for (c, rel, rhs) in cons {
+                let lhs: f64 = c.iter().zip(&sol.x).map(|(a, x)| a * x).sum();
+                match rel {
+                    Relation::Le => prop_assert!(lhs <= rhs + 1e-6, "{lhs} !<= {rhs}"),
+                    Relation::Ge => prop_assert!(lhs >= rhs - 1e-6, "{lhs} !>= {rhs}"),
+                    Relation::Eq => prop_assert!((lhs - rhs).abs() <= 1e-6, "{lhs} != {rhs}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unit_opt_matches_exhaustive_search(
+        m in 1usize..4,
+        raw in prop::collection::vec((0u32..4, 0u32..15), 1..8),
+        seed in any::<u64>(),
+    ) {
+        // The matching-based optimum equals brute force on tiny unit
+        // instances with random interval sets.
+        let _ = seed;
+        let mut b = InstanceBuilder::new(m);
+        for (r, bits) in raw {
+            let lo = bits as usize % m;
+            let hi = lo + (bits as usize / m) % (m - lo).max(1);
+            b.push_unit(r as f64, ProcSet::interval(lo, hi.min(m - 1)));
+        }
+        let inst = b.build().unwrap();
+        let exact = flowsched::algos::offline::brute_force_fmax(&inst);
+        let matched = flowsched::algos::offline::optimal_unit_fmax(&inst);
+        prop_assert!((exact - matched).abs() < 1e-9, "brute {exact} vs matching {matched}");
+    }
+}

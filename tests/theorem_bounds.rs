@@ -1,0 +1,153 @@
+//! End-to-end verification of every lower-bound theorem at parameters
+//! different from the unit tests (guarding against constructions that
+//! only work at one size).
+
+use flowsched::prelude::*;
+use flowsched::workloads::adversary::fixed_size::fixed_size_adversary;
+use flowsched::workloads::adversary::inclusive::inclusive_adversary;
+use flowsched::workloads::adversary::interval::run_interval_adversary;
+use flowsched::workloads::adversary::nested::nested_adversary;
+use flowsched::workloads::adversary::padded::padded_interval_adversary;
+use flowsched::workloads::adversary::theorem7::theorem7_adversary;
+
+#[test]
+fn theorem3_scales_with_m() {
+    // Bound ⌊log2 m + 1⌋ at m ∈ {4, 8, 16, 32}.
+    for (m, bound) in [(4usize, 3.0), (8, 4.0), (16, 5.0), (32, 6.0)] {
+        let p = 10_000.0;
+        let mut algo = EftState::new(m, TieBreak::Min);
+        let out = inclusive_adversary(&mut algo, p);
+        out.validate().unwrap();
+        let expected_fmax = bound * p - (bound - 1.0);
+        assert!(
+            out.fmax() >= expected_fmax - 1e-6,
+            "m={m}: Fmax {} < {expected_fmax}",
+            out.fmax()
+        );
+    }
+}
+
+#[test]
+fn theorem4_scales_with_k() {
+    // Bound ⌊log_k m⌋ at (m, k) ∈ {(16,2) → 4, (16,4) → 2, (27,3) → 3}.
+    for (m, k, bound) in [(16usize, 2usize, 4.0), (16, 4, 2.0), (27, 3, 3.0)] {
+        let p = 10_000.0;
+        let mut algo = EftState::new(m, TieBreak::Min);
+        let out = fixed_size_adversary(&mut algo, k, p);
+        out.validate().unwrap();
+        assert!(
+            out.ratio() >= bound - 0.01,
+            "m={m} k={k}: ratio {} < {bound}",
+            out.ratio()
+        );
+    }
+}
+
+#[test]
+fn theorem5_nested_bound_across_sizes() {
+    for (m, min_fmax) in [(4usize, 4.0), (8, 5.0), (16, 6.0), (64, 8.0)] {
+        let mut algo = EftState::new(m, TieBreak::Min);
+        let out = nested_adversary(&mut algo);
+        out.validate().unwrap();
+        assert!(
+            out.fmax() >= min_fmax,
+            "m={m}: Fmax {} < log2(m)+2 = {min_fmax}",
+            out.fmax()
+        );
+    }
+}
+
+#[test]
+fn theorem7_ratio_2_for_all_policies() {
+    for tb in [TieBreak::Min, TieBreak::Max, TieBreak::Rand { seed: 31 }] {
+        let mut algo = EftState::new(6, tb);
+        let out = theorem7_adversary(&mut algo, 500.0);
+        out.validate().unwrap();
+        assert!(out.ratio() >= 2.0 - 0.01, "{tb}: ratio {}", out.ratio());
+    }
+}
+
+#[test]
+fn theorem8_exact_bound_across_m_and_k() {
+    for (m, k) in [(4usize, 2usize), (6, 3), (9, 4), (12, 2), (15, 3)] {
+        let mut algo = EftState::new(m, TieBreak::Min);
+        let out = run_interval_adversary(&mut algo, k, m * m);
+        out.validate().unwrap();
+        assert!(
+            out.fmax() >= (m - k + 1) as f64,
+            "m={m} k={k}: Fmax {} < m-k+1",
+            out.fmax()
+        );
+    }
+}
+
+#[test]
+fn theorem9_randomized_bound_with_multiple_seeds() {
+    let (m, k) = (6, 3);
+    for seed in [1u64, 2, 3] {
+        let mut algo = EftState::new(m, TieBreak::Rand { seed });
+        let out = run_interval_adversary(&mut algo, k, 600);
+        assert!(
+            out.fmax() >= (m - k + 1) as f64,
+            "seed {seed}: Fmax {}",
+            out.fmax()
+        );
+    }
+}
+
+#[test]
+fn theorem10_padding_defeats_every_policy_at_scale() {
+    let (m, k) = (12usize, 4usize);
+    for tb in [TieBreak::Max, TieBreak::Rand { seed: 8 }] {
+        let mut algo = EftState::new(m, tb);
+        let out = padded_interval_adversary(&mut algo, k, m * m);
+        out.validate().unwrap();
+        assert!(
+            out.fmax() >= (m - k + 1) as f64,
+            "{tb}: Fmax {} < {}",
+            out.fmax(),
+            m - k + 1
+        );
+    }
+}
+
+#[test]
+fn adversary_instances_have_the_claimed_structures() {
+    use flowsched::core::structure;
+
+    let mut algo = EftState::new(16, TieBreak::Min);
+    let inc = inclusive_adversary(&mut algo, 100.0);
+    assert!(structure::is_inclusive(inc.instance.sets()));
+
+    let mut algo = EftState::new(16, TieBreak::Min);
+    let fixed = fixed_size_adversary(&mut algo, 2, 100.0);
+    assert_eq!(structure::fixed_size(fixed.instance.sets()), Some(2));
+
+    let mut algo = EftState::new(16, TieBreak::Min);
+    let nested = nested_adversary(&mut algo);
+    assert!(structure::is_nested(nested.instance.sets()));
+
+    let mut algo = EftState::new(8, TieBreak::Min);
+    let interval = run_interval_adversary(&mut algo, 3, 10);
+    assert!(structure::is_interval_family(interval.instance.sets()));
+    assert_eq!(structure::fixed_size(interval.instance.sets()), Some(3));
+}
+
+#[test]
+fn optimal_values_match_paper_claims_on_small_instances() {
+    // The per-construction OPT values the paper states, cross-checked
+    // with the exact solvers where tractable.
+    use flowsched::algos::offline::{brute_force_fmax, optimal_unit_fmax};
+
+    let mut algo = EftState::new(4, TieBreak::Min);
+    let inc = inclusive_adversary(&mut algo, 3.0);
+    assert_eq!(brute_force_fmax(&inc.instance), 3.0);
+
+    let mut algo = EftState::new(4, TieBreak::Max);
+    let fixed = fixed_size_adversary(&mut algo, 2, 3.0);
+    assert_eq!(brute_force_fmax(&fixed.instance), 3.0);
+
+    let interval =
+        flowsched::workloads::adversary::interval::interval_adversary_instance(6, 3, 3);
+    assert_eq!(optimal_unit_fmax(&interval), 1.0);
+}
