@@ -82,7 +82,17 @@ impl EftState {
     /// The machines' waiting work at time `t` (`w_t` when sampled just
     /// before the next batch): `max(0, C_j − t)` per machine.
     pub fn backlog_at(&self, t: Time) -> Vec<Time> {
-        self.completions.iter().map(|&c| (c - t).max(0.0)).collect()
+        let mut out = Vec::with_capacity(self.completions.len());
+        self.backlog_into(t, &mut out);
+        out
+    }
+
+    /// [`backlog_at`](Self::backlog_at) into a caller-provided buffer
+    /// (cleared first). Trace loops that sample the backlog repeatedly
+    /// keep one buffer instead of allocating a fresh `Vec` per sample.
+    pub fn backlog_into(&self, t: Time, out: &mut Vec<Time>) {
+        out.clear();
+        out.extend(self.completions.iter().map(|&c| (c - t).max(0.0)));
     }
 }
 
@@ -221,6 +231,18 @@ mod tests {
         let inst = b.build().unwrap();
         let s = eft(&inst, TieBreak::Max);
         assert_eq!(s.start(TaskId(0)), 1.5);
+    }
+
+    #[test]
+    fn backlog_into_reuses_buffer_and_matches_backlog_at() {
+        let mut st = EftState::new(3, TieBreak::Min);
+        st.dispatch(Task::new(0.0, 2.0), &ProcSet::full(3));
+        st.dispatch(Task::new(0.0, 1.0), &ProcSet::full(3));
+        let mut buf = vec![99.0; 7]; // stale contents must be cleared
+        for t in [0.0, 0.5, 1.5, 10.0] {
+            st.backlog_into(t, &mut buf);
+            assert_eq!(buf, st.backlog_at(t), "t = {t}");
+        }
     }
 
     #[test]

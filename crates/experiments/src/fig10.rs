@@ -10,7 +10,8 @@
 
 use flowsched_kvstore::replication::ReplicationStrategy;
 use flowsched_parallel::par_map;
-use flowsched_solver::loadflow::max_load_lp;
+use flowsched_solver::loadflow::max_load_lp_with;
+use flowsched_solver::simplex::SimplexScratch;
 use flowsched_stats::descriptive::median;
 use flowsched_stats::rng::derive_rng;
 use flowsched_stats::zipf::Zipf;
@@ -70,10 +71,12 @@ pub fn run(scale: &Scale) -> Fig10Output {
         let mut rng = derive_rng(scale.seed, (si as u64) << 32 | p as u64);
         let weights = Zipf::new(m, s).shuffled(&mut rng);
         let mut out = Vec::with_capacity(2 * m);
+        // One tableau arena for all 2·m LP solves of this job.
+        let mut scratch = SimplexScratch::new();
         for strategy in ReplicationStrategy::all() {
             for k in 1..=m {
                 let allowed = strategy.allowed_sets(k, m);
-                let lambda = max_load_lp(weights.probs(), &allowed);
+                let lambda = max_load_lp_with(weights.probs(), &allowed, &mut scratch);
                 out.push(lambda / m as f64 * 100.0);
             }
         }

@@ -11,7 +11,8 @@ use flowsched_algos::tiebreak::TieBreak;
 use flowsched_kvstore::cluster::{ClusterConfig, KvCluster};
 use flowsched_kvstore::replication::ReplicationStrategy;
 use flowsched_parallel::par_map;
-use flowsched_solver::loadflow::max_load_lp;
+use flowsched_solver::loadflow::max_load_lp_with;
+use flowsched_solver::simplex::SimplexScratch;
 use flowsched_sim::driver::{SimConfig, simulate};
 use flowsched_stats::descriptive::median;
 use flowsched_stats::rng::derive_rng;
@@ -130,7 +131,9 @@ pub fn run(scale: &Scale) -> Fig11Output {
     });
 
     // Red lines: LP max load per (case, strategy); Shuffled takes the
-    // median over the permutation population.
+    // median over the permutation population. One tableau arena serves
+    // every LP solve in this sequential sweep.
+    let mut scratch = SimplexScratch::new();
     let mut max_loads = Vec::new();
     for case in cases {
         for strategy in ReplicationStrategy::all() {
@@ -138,18 +141,20 @@ pub fn run(scale: &Scale) -> Fig11Output {
             let pct = match case {
                 BiasCase::Uniform => {
                     let w = Zipf::new(scale.m, 0.0);
-                    max_load_lp(w.probs(), &allowed) / scale.m as f64 * 100.0
+                    max_load_lp_with(w.probs(), &allowed, &mut scratch) / scale.m as f64 * 100.0
                 }
                 BiasCase::WorstCase => {
                     let w = Zipf::new(scale.m, 1.0);
-                    max_load_lp(w.probs(), &allowed) / scale.m as f64 * 100.0
+                    max_load_lp_with(w.probs(), &allowed, &mut scratch) / scale.m as f64 * 100.0
                 }
                 BiasCase::Shuffled => {
                     let samples: Vec<f64> = (0..scale.permutations)
                         .map(|p| {
                             let mut rng = derive_rng(scale.seed, 0xF11 << 32 | p as u64);
                             let w = Zipf::new(scale.m, 1.0).shuffled(&mut rng);
-                            max_load_lp(w.probs(), &allowed) / scale.m as f64 * 100.0
+                            max_load_lp_with(w.probs(), &allowed, &mut scratch)
+                                / scale.m as f64
+                                * 100.0
                         })
                         .collect();
                     median(&samples)

@@ -17,7 +17,8 @@ use flowsched_kvstore::cluster::{ClusterConfig, KvCluster};
 use flowsched_kvstore::replication::ReplicationStrategy;
 use flowsched_parallel::par_map;
 use flowsched_sim::driver::{SimConfig, simulate};
-use flowsched_solver::loadflow::max_load_lp;
+use flowsched_solver::loadflow::max_load_lp_with;
+use flowsched_solver::simplex::SimplexScratch;
 use flowsched_stats::descriptive::median;
 use flowsched_stats::rng::derive_rng;
 use flowsched_algos::eft::EftState;
@@ -64,12 +65,13 @@ pub fn run(scale: &Scale) -> Vec<OpenQRow> {
             }
         }
 
-        // Axis 1: tolerable load.
+        // Axis 1: tolerable load (one tableau arena for the whole sweep).
+        let mut scratch = SimplexScratch::new();
         let loads: Vec<f64> = (0..scale.permutations)
             .map(|p| {
                 let mut rng = derive_rng(scale.seed, 0x09E0 ^ p as u64);
                 let w = Zipf::new(m, 1.0).shuffled(&mut rng);
-                max_load_lp(w.probs(), &allowed) / m as f64 * 100.0
+                max_load_lp_with(w.probs(), &allowed, &mut scratch) / m as f64 * 100.0
             })
             .collect();
         let max_load_pct = median(&loads);

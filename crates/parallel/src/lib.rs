@@ -4,10 +4,10 @@
 //!
 //! The paper's Figure 10 sweep alone solves ~63 000 LPs (2 strategies ×
 //! 21 biases × 15 interval sizes × 100 permutations); runs are independent,
-//! so an embarrassingly-parallel `par_map` is all we need. `rayon` is not
-//! part of this workspace's allowed dependency set, so this crate provides
-//! the few primitives we use, built on `std::thread::scope` and
-//! `crossbeam` channels in the style of *Rust Atomics and Locks*:
+//! so an embarrassingly-parallel `par_map` is all we need. The build
+//! environment is offline, so this crate provides the few primitives we
+//! use built purely on `std::thread::scope`, `std::sync::mpsc`, and the
+//! `std` lock types, in the style of *Rust Atomics and Locks*:
 //!
 //! - [`par_map`]: order-preserving parallel map with atomic work stealing.
 //! - [`par_for_each`]: parallel side-effecting iteration.
@@ -78,7 +78,7 @@ where
 
     // Results travel back over a channel keyed by index; the receiver
     // fills the ordered slots, so no unsafe slice splitting is needed.
-    let (tx, rx) = crossbeam::channel::unbounded::<(usize, R)>();
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, R)>();
     std::thread::scope(|s| {
         for _ in 0..threads {
             let tx = tx.clone();

@@ -1,23 +1,31 @@
 //! A persistent worker pool for heterogeneous jobs.
 //!
-//! Built in the style of *Rust Atomics and Locks*: a bounded set of worker
-//! threads pulling boxed closures from a `crossbeam` MPMC channel. The
-//! free functions in the crate root are preferable for homogeneous sweeps;
+//! Built in the style of *Rust Atomics and Locks*: a bounded set of
+//! worker threads pulling boxed closures from a shared `Mutex<VecDeque>`
+//! queue with a `Condvar` for wake-ups (`std` only — the build
+//! environment is offline, so no external channel crates). The free
+//! functions in the crate root are preferable for homogeneous sweeps;
 //! the pool exists for long-lived pipelines (e.g. an experiment driver
 //! overlapping simulation, LP solving and aggregation).
 
+use std::collections::VecDeque;
 use std::panic::AssertUnwindSafe;
-use std::sync::Arc;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-
-use crossbeam::channel::{Receiver, Sender, unbounded};
-use parking_lot::{Condvar, Mutex};
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
-/// Shared state used to implement `wait_idle`.
+/// The job queue proper, guarded by one mutex.
+struct Queue {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+/// Shared state between the pool handle and its workers.
 struct PoolState {
+    queue: Mutex<Queue>,
+    job_cv: Condvar,
     pending: AtomicUsize,
     panicked: AtomicUsize,
     idle_lock: Mutex<()>,
@@ -26,11 +34,10 @@ struct PoolState {
 
 /// A fixed-size thread pool.
 ///
-/// Jobs are executed in submission order per the channel's FIFO semantics
-/// (across workers, completion order is arbitrary). Dropping the pool
-/// waits for queued jobs to finish.
+/// Jobs start in submission order (FIFO queue; across workers,
+/// completion order is arbitrary). Dropping the pool waits for queued
+/// jobs to finish.
 pub struct ThreadPool {
-    tx: Option<Sender<Job>>,
     workers: Vec<JoinHandle<()>>,
     state: Arc<PoolState>,
 }
@@ -42,8 +49,9 @@ impl ThreadPool {
     /// Panics if `threads == 0`.
     pub fn new(threads: usize) -> Self {
         assert!(threads >= 1, "pool needs at least one worker");
-        let (tx, rx): (Sender<Job>, Receiver<Job>) = unbounded();
         let state = Arc::new(PoolState {
+            queue: Mutex::new(Queue { jobs: VecDeque::new(), shutdown: false }),
+            job_cv: Condvar::new(),
             pending: AtomicUsize::new(0),
             panicked: AtomicUsize::new(0),
             idle_lock: Mutex::new(()),
@@ -51,23 +59,11 @@ impl ThreadPool {
         });
         let workers = (0..threads)
             .map(|_| {
-                let rx = rx.clone();
                 let state = Arc::clone(&state);
-                std::thread::spawn(move || {
-                    for job in rx.iter() {
-                        let outcome = std::panic::catch_unwind(AssertUnwindSafe(job));
-                        if outcome.is_err() {
-                            state.panicked.fetch_add(1, Ordering::Relaxed);
-                        }
-                        if state.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
-                            let _guard = state.idle_lock.lock();
-                            state.idle_cv.notify_all();
-                        }
-                    }
-                })
+                std::thread::spawn(move || worker_loop(&state))
             })
             .collect();
-        ThreadPool { tx: Some(tx), workers, state }
+        ThreadPool { workers, state }
     }
 
     /// Pool with one worker per available core.
@@ -81,17 +77,12 @@ impl ThreadPool {
     }
 
     /// Submits a job.
-    ///
-    /// # Panics
-    /// Panics if called after the pool started shutting down (cannot
-    /// happen through the safe API).
     pub fn execute<F: FnOnce() + Send + 'static>(&self, job: F) {
         self.state.pending.fetch_add(1, Ordering::AcqRel);
-        self.tx
-            .as_ref()
-            .expect("pool is alive while the handle exists")
-            .send(Box::new(job))
-            .expect("workers hold the receiver while the pool is alive");
+        let mut queue = self.state.queue.lock().expect("pool queue poisoned");
+        queue.jobs.push_back(Box::new(job));
+        drop(queue);
+        self.state.job_cv.notify_one();
     }
 
     /// Number of jobs submitted but not yet finished.
@@ -106,17 +97,51 @@ impl ThreadPool {
 
     /// Blocks until every submitted job has finished.
     pub fn wait_idle(&self) {
-        let mut guard = self.state.idle_lock.lock();
+        let mut guard = self.state.idle_lock.lock().expect("idle lock poisoned");
         while self.state.pending.load(Ordering::Acquire) > 0 {
-            self.state.idle_cv.wait(&mut guard);
+            guard = self
+                .state
+                .idle_cv
+                .wait(guard)
+                .expect("idle lock poisoned");
+        }
+    }
+}
+
+fn worker_loop(state: &PoolState) {
+    loop {
+        let job = {
+            let mut queue = state.queue.lock().expect("pool queue poisoned");
+            loop {
+                if let Some(job) = queue.jobs.pop_front() {
+                    break job;
+                }
+                if queue.shutdown {
+                    return;
+                }
+                queue = state.job_cv.wait(queue).expect("pool queue poisoned");
+            }
+        };
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(job));
+        if outcome.is_err() {
+            state.panicked.fetch_add(1, Ordering::Relaxed);
+        }
+        if state.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let _guard = state.idle_lock.lock().expect("idle lock poisoned");
+            state.idle_cv.notify_all();
         }
     }
 }
 
 impl Drop for ThreadPool {
     fn drop(&mut self) {
-        // Closing the channel lets workers drain remaining jobs and exit.
-        drop(self.tx.take());
+        // Raising the shutdown flag lets workers drain remaining jobs
+        // and exit once the queue is empty.
+        {
+            let mut queue = self.state.queue.lock().expect("pool queue poisoned");
+            queue.shutdown = true;
+        }
+        self.state.job_cv.notify_all();
         for w in self.workers.drain(..) {
             let _ = w.join();
         }

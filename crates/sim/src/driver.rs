@@ -57,15 +57,22 @@ pub fn profile_trace(
     let mut state = EftState::new(inst.machines(), policy);
     let mut snapshots = Vec::with_capacity(sample_times.len());
     let mut next_sample = 0usize;
+    // Snapshots are filled through `backlog_into` so each output row is
+    // allocated exactly once at machine-count capacity.
+    let take_snapshot = |state: &EftState, t: Time, out: &mut Vec<Vec<Time>>| {
+        let mut snap = Vec::with_capacity(state.machines());
+        state.backlog_into(t, &mut snap);
+        out.push(snap);
+    };
     for (_, task, set) in inst.iter() {
         while next_sample < sample_times.len() && sample_times[next_sample] <= task.release {
-            snapshots.push(state.backlog_at(sample_times[next_sample]));
+            take_snapshot(&state, sample_times[next_sample], &mut snapshots);
             next_sample += 1;
         }
         state.dispatch(task, set);
     }
     while next_sample < sample_times.len() {
-        snapshots.push(state.backlog_at(sample_times[next_sample]));
+        take_snapshot(&state, sample_times[next_sample], &mut snapshots);
         next_sample += 1;
     }
     snapshots

@@ -18,12 +18,15 @@
 pub mod loadflow;
 pub mod matching;
 pub mod maxflow;
+pub mod reference;
 pub mod simplex;
 
 
 
 
-pub use loadflow::{load_is_feasible, max_load_binary_search, max_load_lp};
+pub use loadflow::{
+    MaxLoadProber, load_is_feasible, max_load_binary_search, max_load_lp, max_load_lp_with,
+};
 pub use matching::{BipartiteMatcher, Matching};
 pub use maxflow::FlowNetwork;
-pub use simplex::{LinearProgram, LpOutcome, LpSolution, Relation};
+pub use simplex::{LinearProgram, LpOutcome, LpSolution, Relation, SimplexScratch};

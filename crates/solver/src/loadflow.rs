@@ -21,8 +21,8 @@
 //! The two must agree, which the tests enforce — a strong guard on both
 //! implementations.
 
-use crate::maxflow::FlowNetwork;
-use crate::simplex::{LinearProgram, LpOutcome, Relation};
+use crate::maxflow::{EdgeHandle, FlowNetwork};
+use crate::simplex::{LinearProgram, LpOutcome, Relation, SimplexScratch};
 
 /// Validates the common inputs: `weights[j]` is origin `j`'s popularity
 /// (non-negative, not all zero), `allowed[j]` lists the machines able to
@@ -62,6 +62,99 @@ fn validate(weights: &[f64], allowed: &[Vec<usize>]) {
 /// Panics on invalid inputs (see module docs) — the LP itself is always
 /// feasible (`λ = 0`) and bounded (`λ ≤ m / Σw`).
 pub fn max_load_lp(weights: &[f64], allowed: &[Vec<usize>]) -> f64 {
+    max_load_lp_with(weights, allowed, &mut SimplexScratch::new())
+}
+
+/// [`max_load_lp`] with caller-provided simplex working storage. Sweep
+/// jobs that solve LP (15) for many `(weights, allowed)` configurations
+/// (Figure 10 solves one per grid cell × permutation) hold a single
+/// [`SimplexScratch`] so tableau storage is recycled across solves.
+///
+/// LP (15)'s structure is known up front, so the tableau is assembled
+/// straight into the scratch arena — identical (including row, column,
+/// and auxiliary-variable order, hence pivot-for-pivot) to what solving
+/// [`build_load_lp`]'s program would produce, but without materializing
+/// the dense `LinearProgram` rows on the hot path. The generic program
+/// object still exists for validation and the seed baseline
+/// ([`crate::reference::max_load_lp`] solves exactly that).
+pub fn max_load_lp_with(
+    weights: &[f64],
+    allowed: &[Vec<usize>],
+    scratch: &mut SimplexScratch,
+) -> f64 {
+    validate(weights, allowed);
+    let m = weights.len();
+    let n_pairs: usize = allowed.iter().map(|a| a.len()).sum();
+    // Variable layout: x[0] = λ, then one a_{ij} per allowed (origin j,
+    // machine i) pair, ordered by origin (matches `build_load_lp`).
+    let n_vars = 1 + n_pairs;
+
+    // Row layout: the m equality rows (15b) first, then one ≤ row (15c)
+    // per *served* machine in ascending machine order (machines no origin
+    // may use get no row, exactly as `build_load_lp` skips them).
+    let mut le_row = vec![usize::MAX; m];
+    for a in allowed {
+        for &i in a {
+            le_row[i] = 0; // mark served; row ids assigned below
+        }
+    }
+    let mut n_served = 0usize;
+    for r in le_row.iter_mut() {
+        if *r == 0 {
+            *r = m + n_served;
+            n_served += 1;
+        }
+    }
+    let rows = m + n_served;
+    let (n_slack, n_art) = (n_served, m);
+
+    let (t, basis) = scratch.assemble(rows, n_vars, n_slack, n_art);
+    let cols = n_vars + n_slack + n_art;
+    let stride = cols + 1;
+    let artificial_start = n_vars + n_slack;
+
+    // (15b): Σᵢ a_ij − λ·P(E_j) = 0; artificial basic, rhs 0.
+    let mut var = 1usize;
+    for j in 0..m {
+        let row = &mut t[j * stride..(j + 1) * stride];
+        row[0] = -weights[j];
+        for _ in 0..allowed[j].len() {
+            row[var] = 1.0;
+            var += 1;
+        }
+        row[artificial_start + j] = 1.0;
+        basis[j] = artificial_start + j;
+    }
+    // (15c): Σⱼ a_ij ≤ 1; slack basic (slacks in row order), rhs 1.
+    for r in m..rows {
+        let row = &mut t[r * stride..(r + 1) * stride];
+        row[n_vars + (r - m)] = 1.0;
+        row[cols] = 1.0;
+        basis[r] = n_vars + (r - m);
+    }
+    let mut var = 1usize;
+    for a in allowed {
+        for &i in a {
+            t[le_row[i] * stride + var] += 1.0;
+            var += 1;
+        }
+    }
+
+    let mut objective = vec![0.0; n_vars];
+    objective[0] = 1.0;
+    match crate::simplex::solve_assembled(scratch, rows, n_vars, n_slack, n_art, &objective) {
+        LpOutcome::Optimal(sol) => sol.objective.max(0.0),
+        other => unreachable!("LP (15) is always feasible and bounded, got {other:?}"),
+    }
+}
+
+/// Builds LP (15) for a configuration (shared by the optimized path and
+/// the seed baseline in [`crate::reference`], which differ only in how
+/// they *solve* the program).
+///
+/// # Panics
+/// Panics on invalid inputs (see module docs).
+pub fn build_load_lp(weights: &[f64], allowed: &[Vec<usize>]) -> LinearProgram {
     validate(weights, allowed);
     let m = weights.len();
 
@@ -102,64 +195,116 @@ pub fn max_load_lp(weights: &[f64], allowed: &[Vec<usize>]) -> f64 {
         }
     }
 
-    match lp.solve() {
-        LpOutcome::Optimal(sol) => sol.objective.max(0.0),
-        other => unreachable!("LP (15) is always feasible and bounded, got {other:?}"),
+    lp
+}
+
+/// Persistent max-flow feasibility oracle for one `(weights, allowed)`
+/// configuration, probed at many arrival rates `λ`.
+///
+/// The transportation network source → origin → machine → sink is built
+/// once. Only the `m` source edges carry `λ`-dependent capacities
+/// (`λ·P(Eⱼ)`); origin→machine edges get the `λ`-independent bound `m`
+/// (flow through origin `j` is already capped by its source edge, and
+/// total service rate by `m`), so a probe just rescales the sources,
+/// resets residuals in place, and re-runs Dinic — no allocation in the
+/// probe loop. A binary search to tolerance `1e-9` runs ~60 probes on
+/// one graph where the seed implementation built ~60 graphs.
+#[derive(Debug, Clone)]
+pub struct MaxLoadProber {
+    weights: Vec<f64>,
+    net: FlowNetwork,
+    /// One per origin: source → origin, capacity `λ·P(Eⱼ)` per probe.
+    source_edges: Vec<EdgeHandle>,
+    /// λ-independent edges (origin→machine, machine→sink), reset per probe.
+    fixed_edges: Vec<EdgeHandle>,
+    sink: usize,
+}
+
+impl MaxLoadProber {
+    /// Builds the probe network for a configuration.
+    ///
+    /// # Panics
+    /// Panics on invalid inputs (see module docs).
+    pub fn new(weights: &[f64], allowed: &[Vec<usize>]) -> Self {
+        validate(weights, allowed);
+        let m = weights.len();
+        // Nodes: 0 = source, 1..=m origins, m+1..=2m machines, 2m+1 sink.
+        let sink = 2 * m + 1;
+        let origin = |j: usize| 1 + j;
+        let machine = |i: usize| 1 + m + i;
+        let mut net = FlowNetwork::new(2 * m + 2);
+        let mut source_edges = Vec::with_capacity(m);
+        let mut fixed_edges = Vec::new();
+        for j in 0..m {
+            source_edges.push(net.add_edge(0, origin(j), 0.0));
+            for &i in &allowed[j] {
+                fixed_edges.push(net.add_edge(origin(j), machine(i), m as f64));
+            }
+        }
+        for i in 0..m {
+            fixed_edges.push(net.add_edge(machine(i), sink, 1.0));
+        }
+        MaxLoadProber { weights: weights.to_vec(), net, source_edges, fixed_edges, sink }
+    }
+
+    /// Can arrival rate `lambda` be served? (Max flow saturates the
+    /// sources.) Reuses the persistent network; callable any number of
+    /// times in any order of `lambda`.
+    pub fn is_feasible(&mut self, lambda: f64) -> bool {
+        assert!(lambda.is_finite() && lambda >= 0.0);
+        for h in &self.fixed_edges {
+            self.net.reset_edge(h);
+        }
+        let mut demand = 0.0;
+        for (j, h) in self.source_edges.iter_mut().enumerate() {
+            let cap = lambda * self.weights[j];
+            demand += cap;
+            self.net.set_capacity(h, cap);
+        }
+        let flow = self.net.max_flow(0, self.sink);
+        flow >= demand - 1e-9 * (1.0 + demand)
+    }
+
+    /// Maximum feasible load by binary search on `λ` to absolute
+    /// tolerance `tol`, probing this persistent network.
+    ///
+    /// # Panics
+    /// Panics unless `tol > 0`.
+    pub fn max_load(&mut self, tol: f64) -> f64 {
+        assert!(tol > 0.0, "tolerance must be positive");
+        let total: f64 = self.weights.iter().sum();
+        // Upper bound: even with full replication, m machines of rate 1
+        // serve at most rate m, so λ·total ≤ m.
+        let mut hi = self.weights.len() as f64 / total;
+        let mut lo = 0.0;
+        if self.is_feasible(hi) {
+            return hi;
+        }
+        while hi - lo > tol {
+            let mid = 0.5 * (lo + hi);
+            if self.is_feasible(mid) {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
     }
 }
 
 /// Max-flow feasibility oracle: can arrival rate `lambda` be served?
 ///
-/// Builds source → origin (capacity `λ·P(Eⱼ)`) → machine (unbounded) →
-/// sink (capacity 1) and checks the max flow saturates the sources.
+/// One-shot convenience over [`MaxLoadProber`]; probing many `λ` on a
+/// fixed configuration should construct the prober once instead.
 pub fn load_is_feasible(weights: &[f64], allowed: &[Vec<usize>], lambda: f64) -> bool {
-    validate(weights, allowed);
-    assert!(lambda.is_finite() && lambda >= 0.0);
-    let m = weights.len();
-    // Nodes: 0 = source, 1..=m origins, m+1..=2m machines, 2m+1 sink.
-    let source = 0;
-    let sink = 2 * m + 1;
-    let origin = |j: usize| 1 + j;
-    let machine = |i: usize| 1 + m + i;
-    let mut g = FlowNetwork::new(2 * m + 2);
-    let mut demand = 0.0;
-    for j in 0..m {
-        let cap = lambda * weights[j];
-        demand += cap;
-        g.add_edge(source, origin(j), cap);
-        for &i in &allowed[j] {
-            g.add_edge(origin(j), machine(i), cap);
-        }
-    }
-    for i in 0..m {
-        g.add_edge(machine(i), sink, 1.0);
-    }
-    let flow = g.max_flow(source, sink);
-    flow >= demand - 1e-9 * (1.0 + demand)
+    MaxLoadProber::new(weights, allowed).is_feasible(lambda)
 }
 
 /// Computes the maximum feasible load by binary search on `λ` with the
-/// max-flow oracle, to absolute tolerance `tol`.
+/// max-flow oracle, to absolute tolerance `tol`. Builds one persistent
+/// [`MaxLoadProber`] and rescales it across all probes.
 pub fn max_load_binary_search(weights: &[f64], allowed: &[Vec<usize>], tol: f64) -> f64 {
-    validate(weights, allowed);
-    assert!(tol > 0.0, "tolerance must be positive");
-    let total: f64 = weights.iter().sum();
-    // Upper bound: even with full replication, m machines of rate 1 serve
-    // at most rate m, so λ·total ≤ m.
-    let mut hi = weights.len() as f64 / total;
-    let mut lo = 0.0;
-    if load_is_feasible(weights, allowed, hi) {
-        return hi;
-    }
-    while hi - lo > tol {
-        let mid = 0.5 * (lo + hi);
-        if load_is_feasible(weights, allowed, mid) {
-            lo = mid;
-        } else {
-            hi = mid;
-        }
-    }
-    lo
+    MaxLoadProber::new(weights, allowed).max_load(tol)
 }
 
 #[cfg(test)]
@@ -270,6 +415,40 @@ mod tests {
         assert!(load_is_feasible(&w, &allowed, 1.0));
         assert!(load_is_feasible(&w, &allowed, 2.0));
         assert!(!load_is_feasible(&w, &allowed, 2.5));
+    }
+
+    #[test]
+    fn persistent_prober_matches_one_shot_probes_in_any_order() {
+        let w = [0.4, 0.25, 0.15, 0.10, 0.06, 0.04];
+        let allowed = ring_sets(6, 3);
+        let mut prober = MaxLoadProber::new(&w, &allowed);
+        // Deliberately non-monotone probe order: residual state from a
+        // saturating probe must not leak into the next one.
+        for lambda in [3.0, 0.5, 6.0, 2.0, 6.0, 0.0, 4.5] {
+            assert_eq!(
+                prober.is_feasible(lambda),
+                load_is_feasible(&w, &allowed, lambda),
+                "λ = {lambda}"
+            );
+        }
+        // And the searches agree.
+        let persistent = prober.max_load(1e-9);
+        let one_shot = max_load_binary_search(&w, &allowed, 1e-9);
+        assert!((persistent - one_shot).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shared_lp_scratch_matches_fresh_solves() {
+        let mut scratch = crate::simplex::SimplexScratch::new();
+        let w = [0.40, 0.25, 0.15, 0.10, 0.06, 0.04];
+        for k in 1..=6 {
+            let fresh = max_load_lp(&w, &ring_sets(6, k));
+            let reused = max_load_lp_with(&w, &ring_sets(6, k), &mut scratch);
+            assert_eq!(fresh, reused, "k={k}");
+            let fresh_d = max_load_lp(&w, &disjoint_sets(6, k));
+            let reused_d = max_load_lp_with(&w, &disjoint_sets(6, k), &mut scratch);
+            assert_eq!(fresh_d, reused_d, "k={k} disjoint");
+        }
     }
 
     #[test]

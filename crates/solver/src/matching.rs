@@ -139,6 +139,129 @@ impl BipartiteMatcher {
     }
 }
 
+/// Hopcroft–Karp matcher that *persists its matching across solves* and
+/// accepts new edges between solves.
+///
+/// Hopcroft–Karp is correct started from any valid partial matching, so
+/// when the edge set only grows — the warm-start structure of the offline
+/// `Fmax` budget search, where raising the flow budget adds time slots
+/// and never removes them — each [`solve`](Self::solve) call merely
+/// augments the carried matching instead of rebuilding it from empty.
+/// Matched pairs stay matched (an augmenting path only rewires, never
+/// unmatches), so the total number of augmenting paths over a whole
+/// monotone search is at most `n_left`. BFS/DFS working buffers are
+/// owned and reused; the solve loop performs no allocation once
+/// capacities are established.
+#[derive(Debug, Clone)]
+pub struct IncrementalMatcher {
+    n_left: usize,
+    n_right: usize,
+    adj: Vec<Vec<usize>>,
+    match_l: Vec<Option<usize>>,
+    match_r: Vec<Option<usize>>,
+    dist: Vec<u32>,
+    /// Reusable BFS frontier (each left vertex enters at most once per
+    /// phase, so a head cursor over a Vec replaces a VecDeque).
+    queue: Vec<usize>,
+}
+
+impl IncrementalMatcher {
+    /// Creates an empty incremental matcher.
+    pub fn new(n_left: usize, n_right: usize) -> Self {
+        IncrementalMatcher {
+            n_left,
+            n_right,
+            adj: vec![Vec::new(); n_left],
+            match_l: vec![None; n_left],
+            match_r: vec![None; n_right],
+            dist: vec![INF; n_left],
+            queue: Vec::with_capacity(n_left),
+        }
+    }
+
+    /// Adds an edge `left — right`. May be called between solves; the
+    /// carried matching stays valid because edges are only ever added.
+    ///
+    /// # Panics
+    /// Panics on out-of-range vertices.
+    pub fn add_edge(&mut self, left: usize, right: usize) {
+        assert!(left < self.n_left, "left vertex out of range");
+        assert!(right < self.n_right, "right vertex out of range");
+        self.adj[left].push(right);
+    }
+
+    /// Current matching size (valid after any number of solves).
+    pub fn matching_size(&self) -> usize {
+        self.match_l.iter().filter(|m| m.is_some()).count()
+    }
+
+    /// For each left vertex, the currently matched right vertex.
+    pub fn left_to_right(&self) -> &[Option<usize>] {
+        &self.match_l
+    }
+
+    /// Augments the carried matching to maximum over the current edge
+    /// set (Hopcroft–Karp phases) and returns its size.
+    pub fn solve(&mut self) -> usize {
+        loop {
+            // BFS from free left vertices, layering alternating paths.
+            self.queue.clear();
+            for l in 0..self.n_left {
+                if self.match_l[l].is_none() {
+                    self.dist[l] = 0;
+                    self.queue.push(l);
+                } else {
+                    self.dist[l] = INF;
+                }
+            }
+            let mut head = 0;
+            let mut found_augmenting_layer = false;
+            while head < self.queue.len() {
+                let l = self.queue[head];
+                head += 1;
+                for &r in &self.adj[l] {
+                    match self.match_r[r] {
+                        None => found_augmenting_layer = true,
+                        Some(l2) => {
+                            if self.dist[l2] == INF {
+                                self.dist[l2] = self.dist[l] + 1;
+                                self.queue.push(l2);
+                            }
+                        }
+                    }
+                }
+            }
+            if !found_augmenting_layer {
+                break;
+            }
+            // DFS phase: maximal set of vertex-disjoint shortest paths.
+            for l in 0..self.n_left {
+                if self.match_l[l].is_none() {
+                    self.try_augment(l);
+                }
+            }
+        }
+        self.matching_size()
+    }
+
+    fn try_augment(&mut self, l: usize) -> bool {
+        for idx in 0..self.adj[l].len() {
+            let r = self.adj[l][idx];
+            let extend = match self.match_r[r] {
+                None => true,
+                Some(l2) => self.dist[l2] == self.dist[l] + 1 && self.try_augment(l2),
+            };
+            if extend {
+                self.match_l[l] = Some(r);
+                self.match_r[r] = Some(l);
+                return true;
+            }
+        }
+        self.dist[l] = INF;
+        false
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -260,5 +383,52 @@ mod tests {
     fn out_of_range_edge_rejected() {
         let mut g = BipartiteMatcher::new(1, 1);
         g.add_edge(0, 5);
+    }
+
+    #[test]
+    fn incremental_matcher_agrees_with_batch_solves_as_edges_arrive() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(412);
+        for _ in 0..50 {
+            let nl = rng.random_range(1..=7);
+            let nr = rng.random_range(1..=7);
+            let mut inc = IncrementalMatcher::new(nl, nr);
+            let mut batch = BipartiteMatcher::new(nl, nr);
+            // Grow the edge set in waves; after each wave the warm-started
+            // matching must have the same size as a from-scratch solve.
+            for _ in 0..4 {
+                for l in 0..nl {
+                    for r in 0..nr {
+                        if rng.random_bool(0.15) {
+                            inc.add_edge(l, r);
+                            batch.add_edge(l, r);
+                        }
+                    }
+                }
+                let warm = inc.solve();
+                let cold = batch.solve().size;
+                assert_eq!(warm, cold);
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_matching_is_monotone_and_consistent() {
+        let mut inc = IncrementalMatcher::new(3, 3);
+        inc.add_edge(0, 0);
+        assert_eq!(inc.solve(), 1);
+        let before = inc.matching_size();
+        inc.add_edge(1, 0);
+        inc.add_edge(1, 1);
+        inc.add_edge(2, 1);
+        inc.add_edge(2, 2);
+        assert_eq!(inc.solve(), 3);
+        assert!(inc.matching_size() >= before, "matched pairs never drop");
+        // The two maps stay mutually consistent.
+        for (l, r) in inc.left_to_right().iter().enumerate() {
+            if let Some(r) = r {
+                assert_eq!(inc.match_r[*r], Some(l));
+            }
+        }
     }
 }

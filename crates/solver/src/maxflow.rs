@@ -37,12 +37,20 @@ pub struct FlowNetwork {
     graph: Vec<Vec<Edge>>,
     level: Vec<i32>,
     iter: Vec<usize>,
+    /// Reusable BFS queue (plain ring over a Vec) so repeated
+    /// [`max_flow`](Self::max_flow) calls allocate nothing.
+    queue: Vec<usize>,
 }
 
 impl FlowNetwork {
     /// Creates an empty network with `n` nodes.
     pub fn new(n: usize) -> Self {
-        FlowNetwork { graph: vec![Vec::new(); n], level: vec![0; n], iter: vec![0; n] }
+        FlowNetwork {
+            graph: vec![Vec::new(); n],
+            level: vec![0; n],
+            iter: vec![0; n],
+            queue: Vec::with_capacity(n),
+        }
     }
 
     /// Number of nodes.
@@ -98,16 +106,50 @@ impl FlowNetwork {
         (handle.original_cap - e.cap).max(0.0)
     }
 
+    /// Restores an edge to its unsaturated state (forward residual =
+    /// original capacity, reverse residual = 0), discarding any flow a
+    /// previous [`max_flow`](Self::max_flow) routed over it. Resetting
+    /// every edge returns the whole network to its pre-solve state
+    /// without rebuilding it.
+    pub fn reset_edge(&mut self, handle: &EdgeHandle) {
+        let (to, rev) = {
+            let e = &self.graph[handle.from][handle.index];
+            (e.to, e.rev)
+        };
+        self.graph[handle.from][handle.index].cap = handle.original_cap;
+        self.graph[to][rev].cap = 0.0;
+    }
+
+    /// Re-capacitates an edge in place (and clears any flow on it),
+    /// updating the handle so [`flow_on`](Self::flow_on) stays correct.
+    /// Together with [`reset_edge`](Self::reset_edge) this lets a probe
+    /// loop reuse one network across many parameterized solves with no
+    /// allocation.
+    ///
+    /// # Panics
+    /// Panics on negative/non-finite capacity.
+    pub fn set_capacity(&mut self, handle: &mut EdgeHandle, cap: f64) {
+        assert!(cap.is_finite() && cap >= 0.0, "capacity must be finite and non-negative");
+        handle.original_cap = cap;
+        self.reset_edge(handle);
+    }
+
     fn bfs_levels(&mut self, source: usize, sink: usize) -> bool {
         self.level.iter_mut().for_each(|l| *l = -1);
-        let mut queue = std::collections::VecDeque::new();
+        // A monotone frontier: each node enters the queue at most once,
+        // so a head cursor over the reused Vec suffices (no VecDeque,
+        // no per-call allocation once capacity is established).
+        self.queue.clear();
         self.level[source] = 0;
-        queue.push_back(source);
-        while let Some(v) = queue.pop_front() {
+        self.queue.push(source);
+        let mut head = 0;
+        while head < self.queue.len() {
+            let v = self.queue[head];
+            head += 1;
             for e in &self.graph[v] {
                 if e.cap > FLOW_EPS && self.level[e.to] < 0 {
                     self.level[e.to] = self.level[v] + 1;
-                    queue.push_back(e.to);
+                    self.queue.push(e.to);
                 }
             }
         }
@@ -263,6 +305,38 @@ mod tests {
     fn negative_capacity_rejected() {
         let mut g = FlowNetwork::new(2);
         g.add_edge(0, 1, -1.0);
+    }
+
+    #[test]
+    fn reset_edges_makes_network_reusable() {
+        let mut g = FlowNetwork::new(4);
+        let handles = vec![
+            g.add_edge(0, 1, 3.0),
+            g.add_edge(0, 2, 2.0),
+            g.add_edge(1, 3, 2.0),
+            g.add_edge(2, 3, 3.0),
+        ];
+        let first = g.max_flow(0, 3);
+        assert!((first - 4.0).abs() < 1e-12);
+        // Saturated: immediately re-running finds no augmenting path.
+        assert_eq!(g.max_flow(0, 3), 0.0);
+        for h in &handles {
+            g.reset_edge(h);
+        }
+        let again = g.max_flow(0, 3);
+        assert!((again - 4.0).abs() < 1e-12, "after reset: {again}");
+    }
+
+    #[test]
+    fn set_capacity_rescales_a_probe_network() {
+        let mut g = FlowNetwork::new(3);
+        let mut src = g.add_edge(0, 1, 1.0);
+        let out = g.add_edge(1, 2, 10.0);
+        assert!((g.max_flow(0, 2) - 1.0).abs() < 1e-12);
+        g.set_capacity(&mut src, 4.0);
+        g.reset_edge(&out);
+        assert!((g.max_flow(0, 2) - 4.0).abs() < 1e-12);
+        assert!((g.flow_on(&src) - 4.0).abs() < 1e-12);
     }
 
     #[test]

@@ -1,0 +1,362 @@
+//! Seed ("reference") solver kernels, kept verbatim for validation.
+//!
+//! The optimized kernels in [`crate::simplex`] and [`crate::loadflow`]
+//! replaced these implementations for speed: the reference simplex
+//! stores the tableau as `Vec<Vec<f64>>` and clones the pivot row on
+//! every pivot; the reference feasibility oracle rebuilds a fresh
+//! [`FlowNetwork`] for every `λ` probe. They remain here as the
+//! *semantic baseline*:
+//!
+//! - randomized property tests (see `tests/solver_cross_validation.rs`
+//!   and `tests/kernel_equivalence.rs`) assert the optimized kernels
+//!   agree with these to 1e-6 across hundreds of configurations,
+//!   including scratch-reuse and warm-start paths;
+//! - the benchmark suite measures these to establish the pre-optimization
+//!   baseline that `BENCH_PR1.json` speedups are judged against.
+//!
+//! Nothing in the hot paths calls into this module.
+
+use crate::maxflow::FlowNetwork;
+use crate::simplex::{LinearProgram, LpOutcome, LpSolution, Relation};
+
+const EPS: f64 = 1e-9;
+const STALL_LIMIT: usize = 64;
+const MAX_ITERS: usize = 200_000;
+
+/// Solves `lp` with the seed row-of-rows simplex. Semantically identical
+/// to [`LinearProgram::solve`] (same pivot rules, tolerances, and
+/// tie-breaking), differing only in storage layout and allocation
+/// behaviour.
+pub fn solve_lp(lp: &LinearProgram) -> LpOutcome {
+    Tableau::build(lp).solve(&lp.objective)
+}
+
+/// Dense simplex tableau in canonical form (seed layout: one heap row
+/// per constraint).
+struct Tableau {
+    /// `t[i]` is constraint row i over `cols + 1` entries (last = rhs).
+    t: Vec<Vec<f64>>,
+    basis: Vec<usize>,
+    n_structural: usize,
+    artificial_start: usize,
+    cols: usize,
+}
+
+enum PivotResult {
+    Optimal,
+    Unbounded,
+}
+
+impl Tableau {
+    fn build(lp: &LinearProgram) -> Self {
+        let m = lp.rows.len();
+        let n = lp.n_vars;
+
+        // Normalize to non-negative rhs (negating flips Le↔Ge).
+        let mut rows = lp.rows.clone();
+        let mut relations = lp.relations.clone();
+        let mut rhs = lp.rhs.clone();
+        for i in 0..m {
+            if rhs[i] < 0.0 {
+                for a in &mut rows[i] {
+                    *a = -*a;
+                }
+                rhs[i] = -rhs[i];
+                relations[i] = match relations[i] {
+                    Relation::Le => Relation::Ge,
+                    Relation::Eq => Relation::Eq,
+                    Relation::Ge => Relation::Le,
+                };
+            }
+        }
+
+        let n_slack = relations.iter().filter(|r| !matches!(r, Relation::Eq)).count();
+        let n_art = relations.iter().filter(|r| !matches!(r, Relation::Le)).count();
+        let cols = n + n_slack + n_art;
+        let artificial_start = n + n_slack;
+
+        let mut t = vec![vec![0.0; cols + 1]; m];
+        let mut basis = vec![usize::MAX; m];
+        let mut next_slack = n;
+        let mut next_art = artificial_start;
+        for i in 0..m {
+            t[i][..n].copy_from_slice(&rows[i]);
+            t[i][cols] = rhs[i];
+            match relations[i] {
+                Relation::Le => {
+                    t[i][next_slack] = 1.0;
+                    basis[i] = next_slack;
+                    next_slack += 1;
+                }
+                Relation::Ge => {
+                    t[i][next_slack] = -1.0;
+                    next_slack += 1;
+                    t[i][next_art] = 1.0;
+                    basis[i] = next_art;
+                    next_art += 1;
+                }
+                Relation::Eq => {
+                    t[i][next_art] = 1.0;
+                    basis[i] = next_art;
+                    next_art += 1;
+                }
+            }
+        }
+        Tableau { t, basis, n_structural: n, artificial_start, cols }
+    }
+
+    fn solve(&mut self, objective: &[f64]) -> LpOutcome {
+        // Phase 1: drive artificials to zero.
+        if self.artificial_start < self.cols {
+            let mut cost = vec![0.0; self.cols];
+            for c in cost.iter_mut().skip(self.artificial_start) {
+                *c = -1.0;
+            }
+            let mut z = self.reduced_row(&cost);
+            match self.optimize(&mut z, self.cols) {
+                PivotResult::Optimal => {}
+                PivotResult::Unbounded => {
+                    unreachable!("phase-1 objective is bounded above by 0")
+                }
+            }
+            let artificial_sum = z[self.cols];
+            if artificial_sum > 1e-7 {
+                return LpOutcome::Infeasible;
+            }
+            self.evict_artificials();
+        }
+
+        // Phase 2: the real objective, artificials barred from entering.
+        let mut cost = vec![0.0; self.cols];
+        cost[..self.n_structural].copy_from_slice(objective);
+        let mut z = self.reduced_row(&cost);
+        match self.optimize(&mut z, self.artificial_start) {
+            PivotResult::Optimal => {}
+            PivotResult::Unbounded => return LpOutcome::Unbounded,
+        }
+
+        let mut x = vec![0.0; self.n_structural];
+        for (row, &b) in self.basis.iter().enumerate() {
+            if b < self.n_structural {
+                x[b] = self.t[row][self.cols];
+            }
+        }
+        let objective_value: f64 = x.iter().zip(objective).map(|(xi, ci)| xi * ci).sum();
+        LpOutcome::Optimal(LpSolution { objective: objective_value, x })
+    }
+
+    fn reduced_row(&self, cost: &[f64]) -> Vec<f64> {
+        let mut z = vec![0.0; self.cols + 1];
+        z[..self.cols].copy_from_slice(cost);
+        for (i, &b) in self.basis.iter().enumerate() {
+            let cb = cost[b];
+            if cb != 0.0 {
+                for j in 0..=self.cols {
+                    z[j] -= cb * self.t[i][j];
+                }
+            }
+        }
+        z
+    }
+
+    fn optimize(&mut self, z: &mut [f64], max_enter_col: usize) -> PivotResult {
+        let mut stall = 0usize;
+        for _ in 0..MAX_ITERS {
+            let entering = if stall > STALL_LIMIT {
+                z[..max_enter_col].iter().position(|&zj| zj > EPS)
+            } else {
+                let mut best = None;
+                let mut best_val = EPS;
+                for (j, &zj) in z[..max_enter_col].iter().enumerate() {
+                    if zj > best_val {
+                        best_val = zj;
+                        best = Some(j);
+                    }
+                }
+                best
+            };
+            let Some(e) = entering else {
+                return PivotResult::Optimal;
+            };
+
+            let mut leave: Option<usize> = None;
+            let mut best_ratio = f64::INFINITY;
+            for i in 0..self.t.len() {
+                let a = self.t[i][e];
+                if a > EPS {
+                    let ratio = self.t[i][self.cols] / a;
+                    let better = ratio < best_ratio - EPS
+                        || (ratio < best_ratio + EPS
+                            && leave.is_some_and(|l| self.basis[i] < self.basis[l]));
+                    if better {
+                        best_ratio = ratio;
+                        leave = Some(i);
+                    }
+                }
+            }
+            let Some(l) = leave else {
+                return PivotResult::Unbounded;
+            };
+            if best_ratio < EPS {
+                stall += 1;
+            } else {
+                stall = 0;
+            }
+            self.pivot(l, e, z);
+        }
+        panic!("simplex exceeded {MAX_ITERS} iterations — numerical trouble");
+    }
+
+    /// Seed pivot: clones the pivot row before eliminating, one heap
+    /// allocation per pivot (the cost the flat-arena kernel removes).
+    fn pivot(&mut self, l: usize, e: usize, z: &mut [f64]) {
+        let piv = self.t[l][e];
+        let inv = 1.0 / piv;
+        for v in &mut self.t[l] {
+            *v *= inv;
+        }
+        let pivot_row = self.t[l].clone();
+        for (i, row) in self.t.iter_mut().enumerate() {
+            if i != l {
+                let factor = row[e];
+                if factor != 0.0 {
+                    for (v, p) in row.iter_mut().zip(&pivot_row) {
+                        *v -= factor * p;
+                    }
+                    row[e] = 0.0;
+                }
+            }
+        }
+        let factor = z[e];
+        if factor != 0.0 {
+            for (v, p) in z.iter_mut().zip(&pivot_row) {
+                *v -= factor * p;
+            }
+            z[e] = 0.0;
+        }
+        self.basis[l] = e;
+    }
+
+    fn evict_artificials(&mut self) {
+        for row in 0..self.t.len() {
+            if self.basis[row] >= self.artificial_start {
+                let target =
+                    (0..self.artificial_start).find(|&j| self.t[row][j].abs() > 1e-7);
+                if let Some(j) = target {
+                    let piv = self.t[row][j];
+                    let inv = 1.0 / piv;
+                    for v in &mut self.t[row] {
+                        *v *= inv;
+                    }
+                    let pivot_row = self.t[row].clone();
+                    for (i, r) in self.t.iter_mut().enumerate() {
+                        if i != row {
+                            let f = r[j];
+                            if f != 0.0 {
+                                for (v, p) in r.iter_mut().zip(&pivot_row) {
+                                    *v -= f * p;
+                                }
+                                r[j] = 0.0;
+                            }
+                        }
+                    }
+                    self.basis[row] = j;
+                }
+            }
+        }
+    }
+}
+
+/// LP (15) solved with the seed simplex: same program construction as
+/// [`crate::loadflow::max_load_lp`], seed storage layout underneath.
+pub fn max_load_lp(weights: &[f64], allowed: &[Vec<usize>]) -> f64 {
+    let lp = crate::loadflow::build_load_lp(weights, allowed);
+    match solve_lp(&lp) {
+        LpOutcome::Optimal(sol) => sol.objective.max(0.0),
+        other => unreachable!("LP (15) is always feasible and bounded, got {other:?}"),
+    }
+}
+
+/// Seed feasibility oracle: rebuilds the transportation network from
+/// scratch for every probe (the per-probe allocation the persistent
+/// prober in [`crate::loadflow`] removes). Semantics are identical to
+/// [`crate::loadflow::load_is_feasible`].
+pub fn load_is_feasible(weights: &[f64], allowed: &[Vec<usize>], lambda: f64) -> bool {
+    assert!(lambda.is_finite() && lambda >= 0.0);
+    let m = weights.len();
+    let source = 0;
+    let sink = 2 * m + 1;
+    let origin = |j: usize| 1 + j;
+    let machine = |i: usize| 1 + m + i;
+    let mut g = FlowNetwork::new(2 * m + 2);
+    let mut demand = 0.0;
+    for j in 0..m {
+        let cap = lambda * weights[j];
+        demand += cap;
+        g.add_edge(source, origin(j), cap);
+        for &i in &allowed[j] {
+            g.add_edge(origin(j), machine(i), cap);
+        }
+    }
+    for i in 0..m {
+        g.add_edge(machine(i), sink, 1.0);
+    }
+    let flow = g.max_flow(source, sink);
+    flow >= demand - 1e-9 * (1.0 + demand)
+}
+
+/// Seed binary search on `λ` over the per-probe-rebuild oracle.
+pub fn max_load_binary_search(weights: &[f64], allowed: &[Vec<usize>], tol: f64) -> f64 {
+    assert!(tol > 0.0, "tolerance must be positive");
+    let total: f64 = weights.iter().sum();
+    let mut hi = weights.len() as f64 / total;
+    let mut lo = 0.0;
+    if load_is_feasible(weights, allowed, hi) {
+        return hi;
+    }
+    while hi - lo > tol {
+        let mid = 0.5 * (lo + hi);
+        if load_is_feasible(weights, allowed, mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simplex::Relation;
+
+    #[test]
+    fn reference_simplex_solves_textbook_program() {
+        let mut lp = LinearProgram::maximize(2, vec![3.0, 5.0]);
+        lp.constraint(vec![1.0, 0.0], Relation::Le, 4.0);
+        lp.constraint(vec![0.0, 2.0], Relation::Le, 12.0);
+        lp.constraint(vec![3.0, 2.0], Relation::Le, 18.0);
+        let sol = solve_lp(&lp).expect_optimal();
+        assert!((sol.objective - 36.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reference_simplex_detects_infeasible_and_unbounded() {
+        let mut inf = LinearProgram::maximize(1, vec![1.0]);
+        inf.constraint(vec![1.0], Relation::Le, 1.0);
+        inf.constraint(vec![1.0], Relation::Ge, 2.0);
+        assert_eq!(solve_lp(&inf), LpOutcome::Infeasible);
+
+        let mut unb = LinearProgram::maximize(2, vec![1.0, 0.0]);
+        unb.constraint(vec![0.0, 1.0], Relation::Le, 1.0);
+        assert_eq!(solve_lp(&unb), LpOutcome::Unbounded);
+    }
+
+    #[test]
+    fn reference_binary_search_matches_known_load() {
+        let w = [0.5, 0.3, 0.2];
+        let allowed: Vec<Vec<usize>> = (0..3).map(|j| vec![j]).collect();
+        let bs = max_load_binary_search(&w, &allowed, 1e-9);
+        assert!((bs - 2.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Snapshot solver-kernel benchmark medians into a JSON baseline.
+#
+# Runs the workspace bench binaries (default: solvers) with
+# FLOWSCHED_BENCH_JSON pointed at the output file; the vendored criterion
+# harness merges {bench_name: median_ns} into it after every benchmark,
+# so repeated/partial runs accumulate into one document.
+#
+# Usage:
+#   scripts/bench_baseline.sh            # -> BENCH_PR1.json; solver, scheduler,
+#                                        #    and simulation bench binaries
+#   scripts/bench_baseline.sh out.json   # custom output file
+#   scripts/bench_baseline.sh out.json solvers offline   # pick bench binaries
+#
+# The seed_* entries measure the pre-optimization kernels preserved in
+# flowsched_solver::reference; compare them against their unprefixed
+# counterparts to judge the flat-tableau / persistent-probe speedups.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_PR1.json}"
+shift || true
+if [ "$#" -gt 0 ]; then
+  BENCHES=("$@")
+else
+  BENCHES=(solvers schedulers simulation)
+fi
+
+case "$OUT" in
+  /*) JSON_PATH="$OUT" ;;
+  *) JSON_PATH="$PWD/$OUT" ;;
+esac
+
+echo "recording medians into $JSON_PATH"
+for bench in "${BENCHES[@]}"; do
+  FLOWSCHED_BENCH_JSON="$JSON_PATH" \
+    cargo bench -q -p flowsched-bench --bench "$bench"
+done
+
+echo
+echo "== $JSON_PATH =="
+cat "$JSON_PATH"
+echo

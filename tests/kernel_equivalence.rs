@@ -1,0 +1,228 @@
+//! Equivalence of the optimized solver kernels with the seed
+//! implementations preserved in `flowsched::solver::reference`.
+//!
+//! The flat-tableau simplex (with and without a shared
+//! [`SimplexScratch`]), the persistent-network max-flow prober, and the
+//! warm-started offline `Fmax` search replaced allocation-heavy seed
+//! kernels. These tests pin the optimized and seed paths together to
+//! 1e-6 over hundreds of randomized `(weights, allowed-sets)` and LP
+//! configurations — explicitly exercising the reuse/warm-start paths
+//! (one scratch, one prober, one matcher carried across many solves).
+
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+use rand::{Rng, SeedableRng};
+
+use flowsched::prelude::*;
+use flowsched::solver::loadflow::{MaxLoadProber, max_load_lp, max_load_lp_with};
+use flowsched::solver::reference;
+use flowsched::solver::simplex::{LinearProgram, LpOutcome, Relation, SimplexScratch};
+
+/// Random replication-like configurations: weights + one allowed set per
+/// origin that always contains the origin.
+fn load_configs() -> impl Strategy<Value = (Vec<f64>, Vec<Vec<usize>>)> {
+    (2usize..8).prop_flat_map(|m| {
+        let weights = prop::collection::vec(1u32..100, m..=m)
+            .prop_map(|v| v.into_iter().map(|x| x as f64 / 100.0).collect::<Vec<_>>());
+        let masks = prop::collection::vec(0u32..(1 << m), m..=m).prop_map(move |ms| {
+            ms.into_iter()
+                .enumerate()
+                .map(|(j, mask)| {
+                    let mut set: Vec<usize> =
+                        (0..m).filter(|i| mask & (1 << i) != 0).collect();
+                    if !set.contains(&j) {
+                        set.push(j);
+                        set.sort_unstable();
+                    }
+                    set
+                })
+                .collect::<Vec<_>>()
+        });
+        (weights, masks)
+    })
+}
+
+/// Random small LPs over up to 5 variables and 6 constraints.
+fn random_lps() -> impl Strategy<
+    Value = (usize, Vec<i32>, Vec<(Vec<i32>, u8, i32)>),
+> {
+    (
+        1usize..6,
+        prop::collection::vec(-4i32..6, 5..=5),
+        prop::collection::vec((prop::collection::vec(-5i32..6, 5), 0u8..3, -10i32..20), 1..7),
+    )
+}
+
+fn build_lp(n: usize, obj: &[i32], rows: &[(Vec<i32>, u8, i32)]) -> LinearProgram {
+    let objective: Vec<f64> = obj.iter().take(n).map(|&c| c as f64).collect();
+    let mut lp = LinearProgram::maximize(n, objective);
+    for (coeffs, rel, rhs) in rows {
+        let c: Vec<f64> = coeffs.iter().take(n).map(|&x| x as f64).collect();
+        let rel = match rel {
+            0 => Relation::Le,
+            1 => Relation::Ge,
+            _ => Relation::Eq,
+        };
+        lp.constraint(c, rel, *rhs as f64);
+    }
+    lp
+}
+
+/// Outcome agreement to 1e-6 (objective and point for Optimal, same
+/// variant otherwise).
+fn assert_outcomes_agree(opt: &LpOutcome, seed: &LpOutcome) -> Result<(), TestCaseError> {
+    match (opt, seed) {
+        (LpOutcome::Optimal(a), LpOutcome::Optimal(b)) => {
+            prop_assert!(
+                (a.objective - b.objective).abs() < 1e-6,
+                "objective {a_obj} vs seed {b_obj}",
+                a_obj = a.objective,
+                b_obj = b.objective
+            );
+            prop_assert_eq!(a.x.len(), b.x.len());
+            for (i, (xa, xb)) in a.x.iter().zip(&b.x).enumerate() {
+                prop_assert!((xa - xb).abs() < 1e-6, "x[{i}]: {xa} vs seed {xb}");
+            }
+        }
+        (a, b) => prop_assert_eq!(
+            std::mem::discriminant(a),
+            std::mem::discriminant(b),
+            "outcome kind diverged: {a:?} vs seed {b:?}",
+            a = a,
+            b = b
+        ),
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(120))]
+
+    #[test]
+    fn flat_simplex_matches_seed_simplex((n, obj, rows) in random_lps()) {
+        let lp = build_lp(n, &obj, &rows);
+        let optimized = lp.solve();
+        let seed = reference::solve_lp(&lp);
+        assert_outcomes_agree(&optimized, &seed)?;
+        // The scratch-reuse path must not change the result either: solve
+        // an unrelated program first so the arena arrives dirty and
+        // differently shaped.
+        let mut scratch = SimplexScratch::new();
+        let mut decoy = LinearProgram::maximize(2, vec![1.0, 2.0]);
+        decoy.constraint(vec![1.0, 1.0], Relation::Le, 3.0);
+        let _ = decoy.solve_with(&mut scratch);
+        assert_outcomes_agree(&lp.solve_with(&mut scratch), &seed)?;
+    }
+
+    #[test]
+    fn persistent_prober_matches_seed_feasibility((weights, allowed) in load_configs()) {
+        // One persistent network probed at many λ (including repeats and
+        // reversals) versus the seed's rebuild-per-probe oracle.
+        let mut prober = MaxLoadProber::new(&weights, &allowed);
+        let total: f64 = weights.iter().sum();
+        let hi = weights.len() as f64 / total;
+        for frac in [0.0, 0.9, 0.3, 1.0, 0.6, 0.3, 1.1, 0.99] {
+            let lambda = hi * frac;
+            prop_assert_eq!(
+                prober.is_feasible(lambda),
+                reference::load_is_feasible(&weights, &allowed, lambda),
+                "λ = {lambda}",
+                lambda = lambda
+            );
+        }
+    }
+
+    #[test]
+    fn optimized_max_load_matches_seed_search((weights, allowed) in load_configs()) {
+        // LP (15) through the flat simplex vs the seed rebuild-per-probe
+        // bisection, and the persistent-prober bisection vs the same.
+        let lp = max_load_lp(&weights, &allowed);
+        let seed_bs = reference::max_load_binary_search(&weights, &allowed, 1e-9);
+        prop_assert!((lp - seed_bs).abs() < 1e-6, "lp {lp} vs seed bisect {seed_bs}");
+        let warm_bs = MaxLoadProber::new(&weights, &allowed).max_load(1e-9);
+        prop_assert!(
+            (warm_bs - seed_bs).abs() < 1e-6,
+            "persistent bisect {warm_bs} vs seed bisect {seed_bs}"
+        );
+    }
+}
+
+/// 240 configurations sharing ONE simplex scratch across the entire
+/// sweep (the Figure 10 job shape): results must be identical to
+/// fresh-storage solves and within 1e-6 of the seed flow search.
+#[test]
+fn shared_scratch_sweep_agrees_with_seed_kernels_on_240_configs() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xF1A7);
+    let mut scratch = SimplexScratch::new();
+    for trial in 0..240 {
+        let m: usize = rng.random_range(2..=8);
+        let weights: Vec<f64> = (0..m).map(|_| rng.random_range(0.01..1.0)).collect();
+        let allowed: Vec<Vec<usize>> = (0..m)
+            .map(|j| {
+                let mut set: Vec<usize> =
+                    (0..m).filter(|_| rng.random_bool(0.4)).collect();
+                if !set.contains(&j) {
+                    set.push(j);
+                    set.sort_unstable();
+                }
+                set
+            })
+            .collect();
+        let reused = max_load_lp_with(&weights, &allowed, &mut scratch);
+        let fresh = max_load_lp(&weights, &allowed);
+        assert_eq!(reused, fresh, "trial {trial}: scratch reuse changed the result");
+        let seed = reference::max_load_binary_search(&weights, &allowed, 1e-9);
+        assert!(
+            (reused - seed).abs() < 1e-6,
+            "trial {trial}: optimized {reused} vs seed {seed}"
+        );
+    }
+}
+
+/// 200 random unit instances: the warm-started incremental budget search
+/// must return exactly the seed's binary-search optimum (budgets are
+/// integers, so agreement is exact, well within 1e-6).
+#[test]
+fn warm_started_unit_fmax_matches_seed_binary_search_on_200_instances() {
+    use flowsched::algos::offline::{optimal_unit_fmax, unit_budget_feasible};
+
+    /// The seed search: geometric doubling + bisection, one from-scratch
+    /// Hopcroft–Karp per probe via `unit_budget_feasible`.
+    fn seed_optimal_unit_fmax(inst: &Instance) -> f64 {
+        if inst.is_empty() {
+            return 0.0;
+        }
+        let mut hi = 1usize;
+        while !unit_budget_feasible(inst, hi) {
+            hi *= 2;
+            assert!(hi <= 2 * inst.len() + 2, "oracle bug");
+        }
+        let mut lo = hi / 2;
+        while hi - lo > 1 {
+            let mid = lo + (hi - lo) / 2;
+            if unit_budget_feasible(inst, mid) {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        hi as f64
+    }
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x0F7A);
+    for trial in 0..200 {
+        let m: usize = rng.random_range(1..=5);
+        let n: usize = rng.random_range(1..=25);
+        let mut b = InstanceBuilder::new(m);
+        for _ in 0..n {
+            let r = rng.random_range(0..12) as f64;
+            let lo = rng.random_range(0..m);
+            let hi = rng.random_range(lo..m);
+            b.push_unit(r, ProcSet::interval(lo, hi));
+        }
+        let inst = b.build().unwrap();
+        let warm = optimal_unit_fmax(&inst);
+        let seed = seed_optimal_unit_fmax(&inst);
+        assert_eq!(warm, seed, "trial {trial}: warm {warm} vs seed {seed}");
+    }
+}

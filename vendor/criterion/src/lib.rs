@@ -1,0 +1,219 @@
+//! Offline stand-in for `criterion` (the subset this workspace uses):
+//! `Criterion::{bench_function, benchmark_group}`, `Bencher::iter`, and
+//! the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Methodology (simplified from upstream, same spirit):
+//!
+//! 1. **Warm-up** — the routine runs repeatedly (growing the iteration
+//!    count geometrically) until ~40 ms have elapsed, which also yields
+//!    a per-iteration estimate.
+//! 2. **Sampling** — 11 timed batches, each sized from the estimate to
+//!    take ~15 ms, produce 11 per-iteration figures.
+//! 3. **Report** — the median is printed; outliers and plots are out of
+//!    scope.
+//!
+//! When the `FLOWSCHED_BENCH_JSON` environment variable names a file,
+//! every completed benchmark also merges `{name: median_ns}` into that
+//! file (read-modify-write, so results from the workspace's several
+//! bench binaries accumulate into one document). `scripts/bench_baseline.sh`
+//! uses this to snapshot baselines like `BENCH_PR1.json`.
+
+use std::time::{Duration, Instant};
+
+const WARMUP: Duration = Duration::from_millis(40);
+const SAMPLES: usize = 11;
+const TARGET_SAMPLE: Duration = Duration::from_millis(15);
+
+/// Runs one benchmark's timed section.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it as many times as the measurement
+    /// plan asks for. Return values are dropped after the clock stops,
+    /// which is enough to keep the call from being optimized out when
+    /// paired with `std::hint::black_box` at the call site.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Benchmark driver (a stand-in for `criterion::Criterion`).
+pub struct Criterion {
+    json_path: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            json_path: std::env::var("FLOWSCHED_BENCH_JSON").ok(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Measures one named routine and reports its median ns/iteration.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, f: F) {
+        let id = id.into();
+        let median_ns = run_measurement(f);
+        println!("{id:<56} median {median_ns:>14.1} ns/iter");
+        if let Some(path) = &self.json_path {
+            merge_into_json(path, &id, median_ns);
+        }
+    }
+
+    /// Opens a named group; member benchmarks report as `group/member`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Measures one member routine.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, f: F) {
+        let full = format!("{}/{}", self.name, id.into());
+        self.criterion.bench_function(full, f);
+    }
+
+    /// Ends the group (accepted for API compatibility; dropping the
+    /// group does the same).
+    pub fn finish(self) {}
+}
+
+/// Warm-up then sample; returns the median ns/iteration.
+fn run_measurement<F: FnMut(&mut Bencher)>(mut f: F) -> f64 {
+    // Warm-up: grow the iteration count until the routine has run for
+    // WARMUP total, yielding a per-iteration estimate.
+    let mut iters: u64 = 1;
+    let mut spent = Duration::ZERO;
+    let mut per_iter_ns = f64::MAX;
+    while spent < WARMUP {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        spent += b.elapsed;
+        if b.elapsed > Duration::ZERO {
+            per_iter_ns = b.elapsed.as_nanos() as f64 / iters as f64;
+        }
+        iters = iters.saturating_mul(2);
+    }
+    if per_iter_ns == f64::MAX {
+        per_iter_ns = 1.0; // sub-nanosecond routine; sample sizing below still works
+    }
+
+    // Sampling: size each batch to roughly TARGET_SAMPLE.
+    let batch = ((TARGET_SAMPLE.as_nanos() as f64 / per_iter_ns).ceil() as u64).max(1);
+    let mut samples: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let mut b = Bencher { iters: batch, elapsed: Duration::ZERO };
+            f(&mut b);
+            b.elapsed.as_nanos() as f64 / batch as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+/// Merges `{id: median_ns}` into the JSON document at `path`.
+fn merge_into_json(path: &str, id: &str, median_ns: f64) {
+    use serde_json::Value;
+    let mut doc = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|text| serde_json::from_str::<Value>(&text).ok())
+        .unwrap_or(Value::Object(Vec::new()));
+    if !matches!(doc, Value::Object(_)) {
+        eprintln!("criterion: {path} is not a JSON object; overwriting");
+        doc = Value::Object(Vec::new());
+    }
+    if let Value::Object(fields) = &mut doc {
+        match fields.iter_mut().find(|(k, _)| k == id) {
+            Some((_, v)) => *v = Value::Number(median_ns),
+            None => fields.push((id.to_string(), Value::Number(median_ns))),
+        }
+    }
+    write_doc(path, &doc);
+}
+
+fn write_doc(path: &str, doc: &serde_json::Value) {
+    match serde_json::to_string_pretty(doc) {
+        Ok(text) => {
+            if let Err(e) = std::fs::write(path, text + "\n") {
+                eprintln!("criterion: cannot write {path}: {e}");
+            }
+        }
+        Err(e) => eprintln!("criterion: cannot serialize results: {e}"),
+    }
+}
+
+/// Bundles benchmark functions into one callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` for a bench binary (ignores harness CLI flags such
+/// as the `--bench` cargo passes).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_a_cheap_routine() {
+        let median = run_measurement(|b| b.iter(|| std::hint::black_box(3u64.wrapping_mul(7))));
+        assert!(median.is_finite() && median >= 0.0);
+    }
+
+    #[test]
+    fn group_names_are_prefixed_and_json_merges() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("flowsched_criterion_shim_test.json");
+        let path_str = path.to_str().unwrap().to_string();
+        let _ = std::fs::remove_file(&path);
+
+        let mut c = Criterion { json_path: Some(path_str.clone()) };
+        {
+            let mut g = c.benchmark_group("grp");
+            g.bench_function("fast", |b| b.iter(|| std::hint::black_box(1 + 1)));
+            g.finish();
+        }
+        c.bench_function("solo", |b| b.iter(|| std::hint::black_box(2 + 2)));
+        // Second write to the same id must replace, not duplicate.
+        c.bench_function("solo", |b| b.iter(|| std::hint::black_box(2 + 2)));
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        let doc: serde_json::Value = serde_json::from_str(&text).unwrap();
+        assert!(doc["grp/fast"].as_f64().is_some());
+        assert!(doc["solo"].as_f64().is_some());
+        let serde_json::Value::Object(fields) = &doc else { panic!() };
+        assert_eq!(fields.iter().filter(|(k, _)| k == "solo").count(), 1);
+        let _ = std::fs::remove_file(&path);
+    }
+}

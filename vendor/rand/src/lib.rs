@@ -1,0 +1,313 @@
+//! Offline stand-in for the `rand` crate (0.9 API subset).
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the small slice of `rand` it actually uses:
+//!
+//! - [`rngs::StdRng`] — a deterministic generator (xoshiro256\*\*,
+//!   seeded through SplitMix64). Stream values differ from upstream
+//!   `rand`'s StdRng, which is fine: every consumer in this workspace
+//!   treats the RNG as an opaque deterministic stream and asserts
+//!   statistical properties, never exact upstream values.
+//! - [`SeedableRng::seed_from_u64`].
+//! - [`Rng::random`], [`Rng::random_range`], [`Rng::random_bool`] over
+//!   the primitive types and range shapes the workspace samples.
+//!
+//! The generator passes the usual smoke checks (equidistribution over
+//! small ranges, avalanche on seeds) in this crate's tests; it is not a
+//! cryptographic RNG and does not try to be.
+
+/// Types whose values can be drawn uniformly by [`Rng::random`].
+pub trait StandardUniform: Sized {
+    /// Draws one value from `rng`'s stream.
+    fn draw<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardUniform for u64 {
+    fn draw<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardUniform for u32 {
+    fn draw<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl StandardUniform for bool {
+    fn draw<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl StandardUniform for f64 {
+    fn draw<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits → [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardUniform for f32 {
+    fn draw<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Range shapes accepted by [`Rng::random_range`].
+///
+/// The produced type `T` is a trait *parameter* (not an associated
+/// type) so inference can flow backwards from the call site — e.g.
+/// `vec[rng.random_range(0..2)]` types the literal range as
+/// `Range<usize>`, matching upstream `rand` 0.9.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Element types rangeable by [`Rng::random_range`]. A single generic
+/// `SampleRange` impl per range shape (rather than one impl per
+/// element type) keeps `Range<{integer}>` unambiguous during
+/// inference, again matching upstream.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform draw from `[lo, hi)`.
+    fn sample_half_open<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+    /// Uniform draw from `[lo, hi]`.
+    fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample empty range");
+        T::sample_inclusive(rng, lo, hi)
+    }
+}
+
+/// Uniform `u64` in `[0, span)` by widening multiply (tiny, ignorable
+/// bias for the spans this workspace uses).
+#[inline]
+fn sample_below<R: Rng + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    (((rng.next_u64() as u128) * (span as u128)) >> 64) as u64
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: Rng + ?Sized>(rng: &mut R, lo: $t, hi: $t) -> $t {
+                let span = (hi as i128 - lo as i128) as u64;
+                lo.wrapping_add(sample_below(rng, span) as $t)
+            }
+            fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, lo: $t, hi: $t) -> $t {
+                let span = (hi as i128 - lo as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(sample_below(rng, span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl SampleUniform for f64 {
+    fn sample_half_open<R: Rng + ?Sized>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+        let u: f64 = StandardUniform::draw(rng);
+        lo + u * (hi - lo)
+    }
+    fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+        let u: f64 = StandardUniform::draw(rng);
+        lo + u * (hi - lo)
+    }
+}
+
+/// The slice of `rand::Rng` this workspace calls.
+pub trait Rng {
+    /// Next raw 64-bit output of the generator.
+    fn next_u64(&mut self) -> u64;
+
+    /// Draws a value of an inferred primitive type.
+    fn random<T: StandardUniform>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::draw(self)
+    }
+
+    /// Draws uniformly from a half-open or inclusive range.
+    fn random_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Bernoulli draw with success probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+        let u: f64 = StandardUniform::draw(self);
+        u < p
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Construction of a generator from seed material.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    #[inline]
+    fn splitmix64(mut z: u64) -> u64 {
+        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Deterministic xoshiro256\*\* generator (the workspace's standard
+    /// RNG; not upstream-compatible, see the crate docs).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // Expand the seed with SplitMix64, as xoshiro's authors
+            // recommend; reject the (probability ~2^-256) all-zero state.
+            let mut s = [0u64; 4];
+            let mut z = seed;
+            for w in &mut s {
+                z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                *w = splitmix64(z);
+            }
+            if s == [0; 4] {
+                s[0] = 1;
+            }
+            StdRng { s }
+        }
+    }
+
+    impl Rng for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn reproducible_for_same_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let u: f64 = rng.random();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn ranges_hit_all_values() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut seen = [false; 6];
+        for _ in 0..1_000 {
+            seen[rng.random_range(0usize..6)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+        let mut seen_incl = [false; 4];
+        for _ in 0..1_000 {
+            seen_incl[rng.random_range(1usize..=4) - 1] = true;
+        }
+        assert!(seen_incl.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn range_respects_bounds_for_signed_and_float() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..1_000 {
+            let v = rng.random_range(-5i32..5);
+            assert!((-5..5).contains(&v));
+            let f = rng.random_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn random_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let hits = (0..20_000).filter(|_| rng.random_bool(0.3)).count();
+        let rate = hits as f64 / 20_000.0;
+        assert!((rate - 0.3).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn trait_object_through_mut_ref() {
+        // `&mut StdRng` must itself satisfy `Rng` (generic call sites
+        // pass re-borrowed generators down the stack).
+        fn takes_rng(mut rng: impl Rng) -> u64 {
+            rng.next_u64()
+        }
+        let mut rng = StdRng::seed_from_u64(9);
+        let _ = takes_rng(&mut rng);
+        let _ = rng.next_u64();
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_rejected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = rng.random_range(3usize..3);
+    }
+}

@@ -1,0 +1,362 @@
+//! Offline stand-in for `serde` (the subset this workspace uses).
+//!
+//! The build environment has no crates.io access, so serialization goes
+//! through a single in-memory JSON document model, [`Value`]:
+//!
+//! - [`Serialize`] renders a type into a [`Value`];
+//! - [`Deserialize`] rebuilds a type from a [`Value`];
+//! - the derive macros (re-exported from `serde_derive`) implement both
+//!   for plain structs with named fields, which is all the workspace
+//!   derives them on.
+//!
+//! `serde_json` (also vendored) adds the text encoding/decoding on top.
+//! This is not a general serde: no zero-copy, no custom attributes, no
+//! enum representations — by design, just enough for the experiment
+//! records and instance/schedule files, kept small and auditable.
+
+// Let the derive macros' generated `::serde::...` paths resolve even
+// inside this crate's own tests.
+extern crate self as serde;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// In-memory JSON document.
+///
+/// Object fields keep insertion order (a `Vec`, not a map) so emitted
+/// records are stable and diffable run to run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number (stored as `f64`; integers up to 2^53 are exact,
+    /// which covers every count and seed the workspace records).
+    Number(f64),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up an object field.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Looks up an array element.
+    pub fn get_index(&self, index: usize) -> Option<&Value> {
+        match self {
+            Value::Array(items) => items.get(index),
+            _ => None,
+        }
+    }
+
+    /// The number payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+static NULL: Value = Value::Null;
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, index: usize) -> &Value {
+        self.get_index(index).unwrap_or(&NULL)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<f64> for Value {
+    fn eq(&self, other: &f64) -> bool {
+        self.as_f64() == Some(*other)
+    }
+}
+
+macro_rules! impl_value_int_eq {
+    ($($t:ty),*) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                self.as_f64() == Some(*other as f64)
+            }
+        }
+    )*};
+}
+
+impl_value_int_eq!(i32, i64, u32, u64, usize);
+
+/// Types renderable into a [`Value`].
+pub trait Serialize {
+    /// Renders `self` as a JSON document.
+    fn to_value(&self) -> Value;
+}
+
+/// Error raised when a [`Value`] does not match the target type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types rebuildable from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Rebuilds the type, reporting a mismatch as an error (never a
+    /// panic — malformed input files surface as `Err`).
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Fetches and converts one object field (used by derived impls; the
+/// field's type drives inference).
+pub fn from_field<T: Deserialize>(v: &Value, name: &str) -> Result<T, DeError> {
+    match v.get(name) {
+        Some(field) => T::from_value(field),
+        None => Err(DeError(format!("missing field `{name}`"))),
+    }
+}
+
+// ---- Serialize impls for the primitives the workspace records. ----
+
+macro_rules! impl_ser_number {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n = v
+                    .as_f64()
+                    .ok_or_else(|| DeError(format!("expected number, got {v:?}")))?;
+                let cast = n as $t;
+                if (cast as f64 - n).abs() > 1e-9 {
+                    return Err(DeError(format!(
+                        "number {n} does not fit {}",
+                        stringify!($t)
+                    )));
+                }
+                Ok(cast)
+            }
+        }
+    )*};
+}
+
+impl_ser_number!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| DeError(format!("expected string, got {v:?}")))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(t) => t.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+)),+) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Array(items) if items.len() == [$($n),+].len() => {
+                        Ok(($($t::from_value(&items[$n])?,)+))
+                    }
+                    other => Err(DeError(format!("expected tuple array, got {other:?}"))),
+                }
+            }
+        }
+    )+};
+}
+
+impl_tuple!((0 A), (0 A, 1 B), (0 A, 1 B, 2 C), (0 A, 1 B, 2 C, 3 D));
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u32::from_value(&42u32.to_value()).unwrap(), 42);
+        assert_eq!(f64::from_value(&2.5f64.to_value()).unwrap(), 2.5);
+        assert_eq!(bool::from_value(&true.to_value()).unwrap(), true);
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+    }
+
+    #[test]
+    fn vec_and_tuple_round_trip() {
+        let v = vec![(1usize, 2.5f64), (3, 4.5)];
+        let back: Vec<(usize, f64)> = Deserialize::from_value(&v.to_value()).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn indexing_and_comparisons() {
+        let v = Value::Object(vec![
+            ("name".into(), Value::String("demo".into())),
+            ("xs".into(), Value::Array(vec![Value::Number(1.0), Value::Number(2.5)])),
+        ]);
+        assert_eq!(v["name"], "demo");
+        assert_eq!(v["xs"][1], 2.5);
+        assert_eq!(v["xs"][0], 1);
+        assert_eq!(v["missing"], Value::Null);
+    }
+
+    #[test]
+    fn type_mismatch_is_an_error() {
+        assert!(u32::from_value(&Value::String("x".into())).is_err());
+        assert!(bool::from_value(&Value::Number(1.0)).is_err());
+        assert!(<Vec<u32>>::from_value(&Value::Bool(false)).is_err());
+        assert!(u32::from_value(&Value::Number(1.5)).is_err());
+    }
+
+    #[test]
+    fn derive_serialize_and_deserialize_work() {
+        #[derive(Debug, PartialEq, Serialize, Deserialize)]
+        struct Point {
+            x: f64,
+            label: String,
+            tags: Vec<u32>,
+        }
+        let p = Point { x: 1.5, label: "a".into(), tags: vec![1, 2] };
+        let v = p.to_value();
+        assert_eq!(v["x"], 1.5);
+        assert_eq!(v["label"], "a");
+        let back = Point::from_value(&v).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn derive_handles_generic_bounds() {
+        #[derive(Serialize)]
+        struct Wrap<T: Serialize> {
+            inner: T,
+        }
+        let v = Wrap { inner: vec![1u32, 2] }.to_value();
+        assert_eq!(v["inner"][0], 1);
+    }
+}

@@ -1,0 +1,265 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for
+//! the only shape this workspace derives them on: structs with named
+//! fields (optionally generic, e.g. `Record<T: Serialize>`). The input
+//! token stream is parsed by hand — no `syn`/`quote`, since the build
+//! environment cannot download them — and the generated impl is built
+//! as a string, then re-parsed into a `TokenStream`.
+//!
+//! Unsupported inputs (enums, tuple structs, `#[serde(...)]`
+//! attributes) panic at expansion time with a clear message rather
+//! than silently producing wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::str::FromStr;
+
+/// The pieces of a struct declaration the derives need.
+struct StructShape {
+    name: String,
+    /// Full generics as written, e.g. `<T: Serialize>` (empty if none).
+    generics_decl: String,
+    /// Just the parameter names, e.g. `<T>` (empty if none).
+    generics_args: String,
+    fields: Vec<String>,
+}
+
+/// Skips `#[...]` attributes and doc comments at the cursor.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => match &tokens[i + 1] {
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Bracket => i += 2,
+                _ => break,
+            },
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skips a `pub` / `pub(...)` visibility prefix at the cursor.
+fn skip_visibility(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+fn parse_struct(input: TokenStream, derive_name: &str) -> StructShape {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs(&tokens, 0);
+    i = skip_visibility(&tokens, i);
+
+    match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => i += 1,
+        other => panic!(
+            "#[derive({derive_name})] (vendored stand-in) only supports structs \
+             with named fields, found {other:?}"
+        ),
+    }
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => {
+            i += 1;
+            id.to_string()
+        }
+        other => panic!("#[derive({derive_name})]: expected struct name, found {other:?}"),
+    };
+
+    // Generics: everything between a balanced `<` ... `>` pair.
+    let mut generics_decl = String::new();
+    let mut generic_params: Vec<String> = Vec::new();
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            let mut depth = 0usize;
+            let start = i;
+            loop {
+                match tokens.get(i) {
+                    Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+                    Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            i += 1;
+                            break;
+                        }
+                    }
+                    Some(_) => {}
+                    None => panic!("#[derive({derive_name})]: unclosed generics on {name}"),
+                }
+                i += 1;
+            }
+            let decl_tokens: TokenStream = tokens[start..i].iter().cloned().collect();
+            generics_decl = decl_tokens.to_string();
+            generic_params = extract_generic_params(&tokens[start + 1..i - 1]);
+        }
+    }
+    let generics_args = if generic_params.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", generic_params.join(", "))
+    };
+
+    // Named fields live in the brace group; a `;` here means a unit or
+    // tuple struct, which the stand-in does not support.
+    let fields_group = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.clone(),
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => panic!(
+                "#[derive({derive_name})] (vendored stand-in) requires named fields; \
+                 {name} is a unit or tuple struct"
+            ),
+            Some(_) => i += 1, // where-clauses etc. (unused in this workspace)
+            None => panic!("#[derive({derive_name})]: no field block found on {name}"),
+        }
+    };
+
+    StructShape {
+        name,
+        generics_decl,
+        generics_args,
+        fields: parse_field_names(fields_group.stream(), derive_name),
+    }
+}
+
+/// Pulls the parameter names out of the tokens between `<` and `>`:
+/// for `T: Serialize, U` this yields `["T", "U"]`.
+fn extract_generic_params(inner: &[TokenTree]) -> Vec<String> {
+    let mut params = Vec::new();
+    let mut depth = 0usize;
+    let mut at_param_start = true;
+    for tok in inner {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => at_param_start = true,
+            TokenTree::Ident(id) if depth == 0 && at_param_start => {
+                let text = id.to_string();
+                // `const N: usize` parameters: the name follows `const`.
+                if text != "const" {
+                    params.push(text);
+                    at_param_start = false;
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == '\'' && depth == 0 && at_param_start => {
+                // Lifetime parameter: the following ident is its name.
+                // (Unused in this workspace but cheap to tolerate.)
+            }
+            _ => {
+                if depth == 0 {
+                    at_param_start = false;
+                }
+            }
+        }
+    }
+    params
+}
+
+/// Collects field names from the contents of the struct's brace group.
+fn parse_field_names(stream: TokenStream, derive_name: &str) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        i = skip_attrs(&tokens, i);
+        i = skip_visibility(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let field = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("#[derive({derive_name})]: expected field name, found {other:?}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!(
+                "#[derive({derive_name})]: expected `:` after field `{field}`, found {other:?}"
+            ),
+        }
+        fields.push(field);
+        // Skip the type: advance to the next top-level comma. Angle
+        // brackets need explicit depth tracking (`Vec<(usize, Time)>`).
+        let mut angle_depth = 0usize;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    angle_depth = angle_depth.saturating_sub(1)
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_struct(input, "Serialize");
+    let mut body = String::new();
+    for field in &shape.fields {
+        body.push_str(&format!(
+            "__fields.push((::std::string::String::from(\"{field}\"), \
+             ::serde::Serialize::to_value(&self.{field})));\n"
+        ));
+    }
+    let code = format!(
+        "impl{decl} ::serde::Serialize for {name}{args} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                     ::std::vec::Vec::with_capacity({n});\n\
+                 {body}\
+                 ::serde::Value::Object(__fields)\n\
+             }}\n\
+         }}",
+        decl = shape.generics_decl,
+        name = shape.name,
+        args = shape.generics_args,
+        n = shape.fields.len(),
+        body = body,
+    );
+    TokenStream::from_str(&code).expect("derive(Serialize): generated impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_struct(input, "Deserialize");
+    let mut body = String::new();
+    for field in &shape.fields {
+        body.push_str(&format!(
+            "{field}: ::serde::from_field(__v, \"{field}\")?,\n"
+        ));
+    }
+    let code = format!(
+        "impl{decl} ::serde::Deserialize for {name}{args} {{\n\
+             fn from_value(__v: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 if !matches!(__v, ::serde::Value::Object(_)) {{\n\
+                     return ::std::result::Result::Err(::serde::DeError(\
+                         ::std::format!(\"expected object for {name}, got {{__v:?}}\")));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name} {{\n\
+                     {body}\
+                 }})\n\
+             }}\n\
+         }}",
+        decl = shape.generics_decl,
+        name = shape.name,
+        args = shape.generics_args,
+        body = body,
+    );
+    TokenStream::from_str(&code).expect("derive(Deserialize): generated impl failed to parse")
+}
