@@ -17,6 +17,7 @@ use flowsched_core::procset::ProcSet;
 use flowsched_core::schedule::{Assignment, Schedule};
 use flowsched_core::task::Task;
 use flowsched_core::time::Time;
+use flowsched_obs::{NoopRecorder, Recorder};
 
 use crate::tiebreak::{Breaker, TieBreak};
 
@@ -29,13 +30,16 @@ pub struct EftState {
     breaker: Breaker,
     /// Scratch buffer for the tie set, reused across dispatches.
     ties: Vec<usize>,
+    /// Tasks dispatched so far (the trace sequence number; equals the
+    /// instance `TaskId` when tasks are fed in release order).
+    seq: u64,
 }
 
 impl EftState {
     /// Fresh state for `m` idle machines.
     pub fn new(m: usize, policy: TieBreak) -> Self {
         assert!(m > 0, "need at least one machine");
-        EftState { completions: vec![0.0; m], breaker: policy.breaker(), ties: Vec::new() }
+        EftState { completions: vec![0.0; m], breaker: policy.breaker(), ties: Vec::new(), seq: 0 }
     }
 
     /// Number of machines.
@@ -59,6 +63,31 @@ impl EftState {
     /// Panics if the processing set is empty or references a machine out
     /// of range.
     pub fn dispatch(&mut self, task: Task, set: &ProcSet) -> Assignment {
+        self.dispatch_recorded(task, set, &mut NoopRecorder)
+    }
+
+    /// [`dispatch`](Self::dispatch) with instrumentation hooks: emits the
+    /// task arrival, the dispatch (with its projected completion), and
+    /// the machine's idle/busy transitions into `rec`. With
+    /// [`NoopRecorder`] this monomorphizes to exactly the uninstrumented
+    /// dispatch — the hooks and their argument computation compile away
+    /// behind `R::ENABLED`, and recording never influences tie-breaking.
+    ///
+    /// Transition convention (pinned by `tests/obs_invariants.rs`): per
+    /// machine, busy/idle events strictly alternate starting with busy;
+    /// the idle transition at a machine's previous completion is emitted
+    /// lazily, once the idle gap's end is known, and the trailing idle
+    /// after the final completion is never emitted.
+    ///
+    /// # Panics
+    /// Panics if the processing set is empty or references a machine out
+    /// of range.
+    pub fn dispatch_recorded<R: Recorder>(
+        &mut self,
+        task: Task,
+        set: &ProcSet,
+        rec: &mut R,
+    ) -> Assignment {
         assert!(!set.is_empty(), "task has an empty processing set");
         let min_completion = set
             .as_slice()
@@ -74,7 +103,24 @@ impl EftState {
             }
         }
         let u = self.breaker.pick(&self.ties);
-        let start = task.release.max(self.completions[u]);
+        let prev = self.completions[u];
+        let start = task.release.max(prev);
+        if R::ENABLED {
+            rec.task_arrival(self.seq, task.release);
+            if start > prev {
+                // The gap [prev, start) was idle; a machine that never
+                // ran (prev == 0) is idle implicitly, not via an event.
+                if prev > 0.0 {
+                    rec.machine_idle(u as u32, prev);
+                }
+                rec.machine_busy(u as u32, start);
+            } else if prev == 0.0 {
+                // First task of the machine, starting at t = 0.
+                rec.machine_busy(u as u32, start);
+            }
+            rec.task_dispatch(self.seq, u as u32, task.release, start, task.ptime);
+        }
+        self.seq += 1;
         self.completions[u] = start + task.ptime;
         Assignment::new(MachineId(u), start)
     }
@@ -141,10 +187,18 @@ impl ImmediateDispatcher for EftState {
 /// assert_eq!(schedule.fmax(&inst), 2.0);
 /// ```
 pub fn eft(inst: &Instance, policy: TieBreak) -> Schedule {
+    eft_recorded(inst, policy, &mut NoopRecorder)
+}
+
+/// [`eft`] with instrumentation: every dispatch goes through
+/// [`EftState::dispatch_recorded`], so `rec` sees arrivals, dispatches,
+/// projected completions, and machine transitions for the whole run.
+/// With [`NoopRecorder`] this is exactly [`eft`].
+pub fn eft_recorded<R: Recorder>(inst: &Instance, policy: TieBreak, rec: &mut R) -> Schedule {
     let mut state = EftState::new(inst.machines(), policy);
     let assignments = inst
         .iter()
-        .map(|(_, task, set)| state.dispatch(task, set))
+        .map(|(_, task, set)| state.dispatch_recorded(task, set, &mut *rec))
         .collect();
     Schedule::new(assignments)
 }
@@ -275,6 +329,50 @@ mod tests {
         let a = eft(&inst, TieBreak::Rand { seed: 4 });
         let c = eft(&inst, TieBreak::Rand { seed: 4 });
         assert_eq!(a, c);
+    }
+
+    #[test]
+    fn recorded_dispatch_matches_plain_dispatch_and_traces_transitions() {
+        use flowsched_obs::{Counter, Event, MemoryRecorder};
+        let mut b = InstanceBuilder::new(2);
+        b.push(Task::new(0.0, 2.0), ProcSet::singleton(0)); // M1 busy [0,2)
+        b.push(Task::new(3.0, 1.0), ProcSet::singleton(0)); // idle gap [2,3)
+        b.push(Task::new(4.0, 1.0), ProcSet::singleton(0)); // contiguous at 4
+        let inst = b.build().unwrap();
+        let mut rec = MemoryRecorder::with_defaults(2);
+        let recorded = eft_recorded(&inst, TieBreak::Min, &mut rec);
+        assert_eq!(recorded, eft(&inst, TieBreak::Min), "recording must not alter schedules");
+        assert_eq!(rec.counters().get(Counter::TasksDispatched), 3);
+        // M1: busy@0, idle@2, busy@3 — then 4.0 == completion, contiguous.
+        let transitions: Vec<Event> = rec
+            .trace()
+            .iter()
+            .filter(|e| matches!(e, Event::MachineBusy { .. } | Event::MachineIdle { .. }))
+            .copied()
+            .collect();
+        assert_eq!(
+            transitions,
+            vec![
+                Event::MachineBusy { machine: 0, at: 0.0 },
+                Event::MachineIdle { machine: 0, at: 2.0 },
+                Event::MachineBusy { machine: 0, at: 3.0 },
+            ]
+        );
+        assert_eq!(rec.busy_time(), &[4.0, 0.0]);
+        assert_eq!(rec.makespan_seen(), 5.0);
+    }
+
+    #[test]
+    fn recording_does_not_perturb_the_rand_policy() {
+        use flowsched_obs::MemoryRecorder;
+        let mut b = InstanceBuilder::new(5);
+        for i in 0..40 {
+            b.push_unit((i / 5) as f64, ProcSet::full(5));
+        }
+        let inst = b.build().unwrap();
+        let tb = TieBreak::Rand { seed: 9 };
+        let mut rec = MemoryRecorder::with_defaults(5);
+        assert_eq!(eft_recorded(&inst, tb, &mut rec), eft(&inst, tb));
     }
 
     #[test]

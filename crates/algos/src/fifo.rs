@@ -20,6 +20,7 @@ use flowsched_core::instance::Instance;
 use flowsched_core::machine::MachineId;
 use flowsched_core::schedule::{Assignment, Schedule};
 use flowsched_core::time::Time;
+use flowsched_obs::{NoopRecorder, Recorder};
 
 use crate::tiebreak::TieBreak;
 
@@ -73,6 +74,21 @@ impl PartialOrd for Event {
 /// Panics if any task carries a real processing-set restriction — FIFO's
 /// central queue has no notion of eligibility (see module docs).
 pub fn fifo(inst: &Instance, policy: TieBreak) -> Schedule {
+    fifo_recorded(inst, policy, &mut NoopRecorder)
+}
+
+/// [`fifo`] with instrumentation hooks. Unlike the immediate-dispatch
+/// EFT trace, the FIFO event loop knows transition times exactly, so
+/// `rec` sees *actual* busy/idle transitions: a machine goes busy when
+/// it pulls a task and idle at every completion (even when it re-fills
+/// in the same instant — the pair shares a timestamp and still
+/// alternates). Task sequence numbers are instance `TaskId`s. With
+/// [`NoopRecorder`] this is exactly [`fifo`].
+///
+/// # Panics
+/// Panics if any task carries a real processing-set restriction — FIFO's
+/// central queue has no notion of eligibility (see module docs).
+pub fn fifo_recorded<R: Recorder>(inst: &Instance, policy: TieBreak, rec: &mut R) -> Schedule {
     assert!(
         inst.is_unrestricted(),
         "FIFO requires an unrestricted instance (P | online-ri | Fmax); \
@@ -100,8 +116,18 @@ pub fn fifo(inst: &Instance, policy: TieBreak) -> Schedule {
             }
             events.pop();
             match ev.kind {
-                EventKind::Arrival(i) => queue.push_back(i),
-                EventKind::MachineFree(j) => idle[j] = true,
+                EventKind::Arrival(i) => {
+                    if R::ENABLED {
+                        rec.task_arrival(i as u64, now);
+                    }
+                    queue.push_back(i);
+                }
+                EventKind::MachineFree(j) => {
+                    if R::ENABLED {
+                        rec.machine_idle(j as u32, now);
+                    }
+                    idle[j] = true;
+                }
             }
         }
         // Dispatch loop: idle machines pull from the queue head.
@@ -119,6 +145,16 @@ pub fn fifo(inst: &Instance, policy: TieBreak) -> Schedule {
             idle[u] = false;
             assignments[i] = Some(Assignment::new(MachineId(u), now));
             let completion = now + inst.tasks()[i].ptime;
+            if R::ENABLED {
+                rec.machine_busy(u as u32, now);
+                rec.task_dispatch(
+                    i as u64,
+                    u as u32,
+                    inst.tasks()[i].release,
+                    now,
+                    inst.tasks()[i].ptime,
+                );
+            }
             events.push(Reverse(Event { time: completion, kind: EventKind::MachineFree(u) }));
         }
     }
@@ -215,6 +251,25 @@ mod tests {
         b.push_unit(0.0, ProcSet::singleton(0));
         let inst = b.build().unwrap();
         let _ = fifo(&inst, TieBreak::Min);
+    }
+
+    #[test]
+    fn recorded_fifo_matches_plain_fifo_and_counts_real_transitions() {
+        use flowsched_obs::{Counter, MemoryRecorder};
+        let mut b = InstanceBuilder::new(2);
+        b.push_unrestricted(Task::new(0.0, 2.0));
+        b.push_unrestricted(Task::new(0.0, 1.0));
+        b.push_unrestricted(Task::new(0.0, 1.0));
+        let inst = b.build().unwrap();
+        let mut rec = MemoryRecorder::with_defaults(2);
+        let recorded = fifo_recorded(&inst, TieBreak::Min, &mut rec);
+        assert_eq!(recorded, fifo(&inst, TieBreak::Min));
+        assert_eq!(rec.counters().get(Counter::TasksArrived), 3);
+        assert_eq!(rec.counters().get(Counter::TasksDispatched), 3);
+        // FIFO emits every actual completion as a busy→idle transition.
+        assert_eq!(rec.counters().get(Counter::MachineIdleTransitions), 3);
+        assert_eq!(rec.counters().get(Counter::MachineBusyTransitions), 3);
+        assert_eq!(rec.makespan_seen(), 2.0);
     }
 
     #[test]

@@ -30,10 +30,10 @@ pub mod related;
 pub mod tiebreak;
 
 pub use compose::compose_disjoint;
-pub use eft::{EftState, ImmediateDispatcher, eft};
+pub use eft::{EftState, ImmediateDispatcher, eft, eft_recorded};
 pub use exact::{ExactResult, approx_fmax, exact_fmax};
 pub use localsearch::{eft_plus_local_search, improve};
-pub use fifo::fifo;
+pub use fifo::{fifo, fifo_recorded};
 pub use offline::{brute_force_fmax, fmax_lower_bound, optimal_unit_fmax};
 pub use policies::{DispatchRule, Dispatcher};
 pub use preemptive::optimal_preemptive_fmax;

@@ -1,0 +1,68 @@
+//! # flowsched-obs — observability for the scheduling engine
+//!
+//! An always-available, zero-cost-when-disabled instrumentation layer
+//! in the spirit of dslab's event-trace recorders: the paper's claims
+//! (tail flow time, backlog growth, per-machine load — Figures 10/11,
+//! Theorems 1/6) are all distributional, so a run needs a window beyond
+//! the post-hoc `SimReport`.
+//!
+//! The layer has three pieces:
+//!
+//! - **[`Recorder`]** — the hook trait instrumented engines are generic
+//!   over. [`NoopRecorder`] has empty bodies and a compile-time
+//!   `ENABLED = false`, so uninstrumented call sites monomorphize to the
+//!   exact pre-instrumentation code: no calls, no argument preparation,
+//!   no allocation.
+//! - **[`MemoryRecorder`]** — the real implementation: monotonic
+//!   [`Counters`], a flow-time [`Histogram`](flowsched_stats::histogram::Histogram)
+//!   (via the snapshot), per-machine busy time, per-kind solver-probe
+//!   aggregates, and a ring-buffered structured [`Event`] trace
+//!   ([`EventRing`]) where the newest events win.
+//! - **Snapshots** — [`ObsSnapshot`] freezes the aggregates into a
+//!   serde-serializable record ([`ObsSnapshot::to_json`]);
+//!   [`trace_to_json`] exports the raw event trace;
+//!   [`render_summary`] prints the terminal summary that
+//!   `flowsched-bench --bin obs` shows next to `SimReport`.
+//!
+//! ## Hook sites
+//!
+//! - `flowsched_algos::eft::EftState::dispatch_recorded` — arrivals,
+//!   dispatches, projected completions, machine busy/idle transitions.
+//! - `flowsched_algos::fifo::fifo_recorded` — the same events with
+//!   *actual* transition times from the event loop.
+//! - `flowsched_sim::driver::simulate_recorded` and
+//!   `flowsched_sim::stepped::run_stepped_recorded` — whole-run tracing.
+//! - `flowsched_solver::loadflow` (λ-probes and LP solves) and
+//!   `flowsched_solver::matching::BipartiteMatcher::solve_recorded` —
+//!   solver probe events with iteration counts.
+//!
+//! ## Event-trace conventions
+//!
+//! Immediate-dispatch engines emit `TaskCompletion` and `MachineIdle`
+//! events *projected* at dispatch time, so the trace is ordered by
+//! record (dispatch) order; **per-machine** timestamps are monotone and
+//! busy/idle events strictly alternate starting with busy, which
+//! `tests/obs_invariants.rs` pins as an invariant. The trailing idle
+//! transition after a machine's final completion is never emitted.
+
+#![warn(missing_docs)]
+
+pub mod counters;
+pub mod event;
+pub mod memory;
+pub mod recorder;
+pub mod snapshot;
+
+pub use counters::{Counter, Counters};
+pub use event::{Event, EventRing, ProbeKind};
+pub use memory::{MemoryRecorder, ObsConfig};
+pub use recorder::{NoopRecorder, Recorder};
+pub use snapshot::{render_summary, trace_to_json, ObsSnapshot};
+
+/// Convenience re-exports for instrumented engines and tests.
+pub mod prelude {
+    pub use crate::counters::Counter;
+    pub use crate::event::{Event, ProbeKind};
+    pub use crate::memory::{MemoryRecorder, ObsConfig};
+    pub use crate::recorder::{NoopRecorder, Recorder};
+}

@@ -1,0 +1,310 @@
+//! The in-memory recorder: counters + flow histogram + event ring.
+
+use flowsched_stats::histogram::Histogram;
+
+use crate::counters::{Counter, Counters};
+use crate::event::{Event, EventRing, ProbeKind};
+use crate::recorder::Recorder;
+use crate::snapshot::{CounterSnapshot, HistogramSnapshot, ObsSnapshot, ProbeSnapshot};
+
+/// Construction parameters for a [`MemoryRecorder`].
+#[derive(Debug, Clone)]
+pub struct ObsConfig {
+    /// Machines the run uses (sizes the per-machine busy-time bank).
+    pub machines: usize,
+    /// Events the trace ring retains (newest win).
+    pub trace_capacity: usize,
+    /// Flow-time histogram lower edge.
+    pub hist_lo: f64,
+    /// Flow-time histogram upper edge (larger flows land in the
+    /// saturating overflow bin, so mass is never lost).
+    pub hist_hi: f64,
+    /// Flow-time histogram bin count.
+    pub hist_bins: usize,
+}
+
+impl ObsConfig {
+    /// Sensible defaults: 4096-event ring, 64 bins over `[0, 64)`.
+    pub fn defaults(machines: usize) -> Self {
+        ObsConfig { machines, trace_capacity: 4096, hist_lo: 0.0, hist_hi: 64.0, hist_bins: 64 }
+    }
+}
+
+/// Per-kind probe aggregation.
+#[derive(Debug, Clone, Copy, Default)]
+struct ProbeStats {
+    count: u64,
+    total_iterations: u64,
+    last_value: f64,
+    max_value: f64,
+}
+
+/// A recorder that keeps everything in memory: monotonic [`Counters`],
+/// a flow-time [`Histogram`], per-machine busy time, per-kind probe
+/// aggregates, and a ring-buffered structured [`Event`] trace.
+///
+/// All storage is allocated at construction; the hook bodies only index,
+/// add, and overwrite — recording does not allocate, so an instrumented
+/// run's allocation profile matches the uninstrumented one.
+#[derive(Debug, Clone)]
+pub struct MemoryRecorder {
+    counters: Counters,
+    trace: EventRing,
+    flow_hist: Histogram,
+    busy_time: Vec<f64>,
+    probes: [ProbeStats; ProbeKind::ALL.len()],
+    /// Largest completion timestamp seen (projected makespan).
+    max_completion: f64,
+}
+
+impl MemoryRecorder {
+    /// Builds a recorder from an explicit configuration.
+    ///
+    /// # Panics
+    /// Panics on a zero trace capacity, an empty histogram range, or
+    /// zero bins (forwarded from the underlying types).
+    pub fn new(config: &ObsConfig) -> Self {
+        MemoryRecorder {
+            counters: Counters::new(),
+            trace: EventRing::new(config.trace_capacity),
+            flow_hist: Histogram::new(config.hist_lo, config.hist_hi, config.hist_bins),
+            busy_time: vec![0.0; config.machines],
+            probes: [ProbeStats::default(); ProbeKind::ALL.len()],
+            max_completion: 0.0,
+        }
+    }
+
+    /// Builds a recorder with [`ObsConfig::defaults`].
+    pub fn with_defaults(machines: usize) -> Self {
+        MemoryRecorder::new(&ObsConfig::defaults(machines))
+    }
+
+    /// The counter bank.
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// The event trace (oldest retained → newest).
+    pub fn trace(&self) -> &EventRing {
+        &self.trace
+    }
+
+    /// The flow-time histogram; its `total()` equals the number of
+    /// dispatched tasks (mass conservation, pinned by the property
+    /// tests).
+    pub fn flow_histogram(&self) -> &Histogram {
+        &self.flow_hist
+    }
+
+    /// Accumulated busy time per machine.
+    pub fn busy_time(&self) -> &[f64] {
+        &self.busy_time
+    }
+
+    /// Largest completion timestamp recorded (the projected makespan of
+    /// the traced run; 0 when no task was dispatched).
+    pub fn makespan_seen(&self) -> f64 {
+        self.max_completion
+    }
+
+    /// Per-machine utilization against the recorded makespan (all zeros
+    /// when nothing ran).
+    pub fn utilization(&self) -> Vec<f64> {
+        self.busy_time
+            .iter()
+            .map(|&b| if self.max_completion > 0.0 { b / self.max_completion } else { 0.0 })
+            .collect()
+    }
+
+    /// `(count, total_iterations, last_value, max_value)` for one probe
+    /// kind.
+    pub fn probe_stats(&self, kind: ProbeKind) -> (u64, u64, f64, f64) {
+        let idx = ProbeKind::ALL.iter().position(|&k| k == kind).expect("kind in ALL");
+        let p = &self.probes[idx];
+        (p.count, p.total_iterations, p.last_value, p.max_value)
+    }
+
+    /// Freezes the recorder's state into a serializable snapshot.
+    pub fn snapshot(&self) -> ObsSnapshot {
+        ObsSnapshot {
+            counters: self
+                .counters
+                .iter_nonzero()
+                .map(|(c, v)| CounterSnapshot { name: c.name().to_string(), value: v })
+                .collect(),
+            flow_histogram: HistogramSnapshot {
+                lo: self.flow_hist_range().0,
+                hi: self.flow_hist_range().1,
+                counts: self.flow_hist.counts().to_vec(),
+                underflow: self.flow_hist.underflow(),
+                overflow: self.flow_hist.overflow(),
+                total: self.flow_hist.total(),
+            },
+            probes: ProbeKind::ALL
+                .iter()
+                .zip(&self.probes)
+                .filter(|(_, p)| p.count > 0)
+                .map(|(&k, p)| ProbeSnapshot {
+                    kind: k.name().to_string(),
+                    count: p.count,
+                    total_iterations: p.total_iterations,
+                    last_value: p.last_value,
+                    max_value: p.max_value,
+                })
+                .collect(),
+            busy_time: self.busy_time.clone(),
+            utilization: self.utilization(),
+            makespan: self.max_completion,
+            trace_len: self.trace.len(),
+            trace_dropped: self.trace.dropped(),
+        }
+    }
+
+    fn flow_hist_range(&self) -> (f64, f64) {
+        let bins = self.flow_hist.counts().len();
+        let (lo, _) = self.flow_hist.bin_edges(0);
+        let (_, hi) = self.flow_hist.bin_edges(bins - 1);
+        (lo, hi)
+    }
+}
+
+impl Recorder for MemoryRecorder {
+    #[inline]
+    fn task_arrival(&mut self, task: u64, at: f64) {
+        self.counters.add(Counter::TasksArrived, 1);
+        self.trace.push(Event::TaskArrival { task, at });
+    }
+
+    #[inline]
+    fn task_dispatch(&mut self, task: u64, machine: u32, release: f64, start: f64, ptime: f64) {
+        let completion = start + ptime;
+        let flow = completion - release;
+        self.counters.add(Counter::TasksDispatched, 1);
+        self.counters.add(Counter::TasksCompleted, 1);
+        self.flow_hist.record(flow);
+        if let Some(b) = self.busy_time.get_mut(machine as usize) {
+            *b += ptime;
+        }
+        if completion > self.max_completion {
+            self.max_completion = completion;
+        }
+        self.trace.push(Event::TaskDispatch { task, machine, start, ptime });
+        self.trace.push(Event::TaskCompletion { task, machine, at: completion, flow });
+    }
+
+    #[inline]
+    fn machine_busy(&mut self, machine: u32, at: f64) {
+        self.counters.add(Counter::MachineBusyTransitions, 1);
+        self.trace.push(Event::MachineBusy { machine, at });
+    }
+
+    #[inline]
+    fn machine_idle(&mut self, machine: u32, at: f64) {
+        self.counters.add(Counter::MachineIdleTransitions, 1);
+        self.trace.push(Event::MachineIdle { machine, at });
+    }
+
+    #[inline]
+    fn probe(&mut self, kind: ProbeKind, iterations: u64, value: f64) {
+        let counter = match kind {
+            ProbeKind::LoadFeasibility => Counter::FlowAugmentations,
+            ProbeKind::SimplexSolve => Counter::SimplexPivots,
+            ProbeKind::MatchingSolve => Counter::MatchingPhases,
+        };
+        match kind {
+            ProbeKind::LoadFeasibility => self.counters.add(Counter::LoadProbes, 1),
+            ProbeKind::SimplexSolve | ProbeKind::MatchingSolve => {}
+        }
+        self.counters.add(counter, iterations);
+        let idx = ProbeKind::ALL.iter().position(|&k| k == kind).expect("kind in ALL");
+        let p = &mut self.probes[idx];
+        p.count += 1;
+        p.total_iterations += iterations;
+        p.last_value = value;
+        if p.count == 1 || value > p.max_value {
+            p.max_value = value;
+        }
+        self.trace.push(Event::SolverProbe { kind, iterations, value });
+    }
+
+    #[inline]
+    fn add(&mut self, c: Counter, delta: u64) {
+        self.counters.add(c, delta);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispatch_synthesizes_completion_and_flow() {
+        let mut r = MemoryRecorder::with_defaults(2);
+        r.task_arrival(0, 1.0);
+        r.task_dispatch(0, 1, 1.0, 2.5, 2.0);
+        assert_eq!(r.counters().get(Counter::TasksArrived), 1);
+        assert_eq!(r.counters().get(Counter::TasksDispatched), 1);
+        assert_eq!(r.counters().get(Counter::TasksCompleted), 1);
+        assert_eq!(r.flow_histogram().total(), 1);
+        assert_eq!(r.busy_time(), &[0.0, 2.0]);
+        assert_eq!(r.makespan_seen(), 4.5);
+        let events = r.trace().to_vec();
+        assert_eq!(events.len(), 3);
+        assert_eq!(
+            events[2],
+            Event::TaskCompletion { task: 0, machine: 1, at: 4.5, flow: 3.5 }
+        );
+    }
+
+    #[test]
+    fn probe_aggregation_tracks_count_iterations_and_max() {
+        let mut r = MemoryRecorder::with_defaults(1);
+        r.probe(ProbeKind::LoadFeasibility, 4, 2.0);
+        r.probe(ProbeKind::LoadFeasibility, 6, 1.5);
+        let (count, iters, last, max) = r.probe_stats(ProbeKind::LoadFeasibility);
+        assert_eq!((count, iters), (2, 10));
+        assert_eq!(last, 1.5);
+        assert_eq!(max, 2.0);
+        assert_eq!(r.counters().get(Counter::LoadProbes), 2);
+        assert_eq!(r.counters().get(Counter::FlowAugmentations), 10);
+    }
+
+    #[test]
+    fn negative_probe_values_do_not_fake_a_maximum() {
+        let mut r = MemoryRecorder::with_defaults(1);
+        r.probe(ProbeKind::SimplexSolve, 1, -3.0);
+        let (_, _, last, max) = r.probe_stats(ProbeKind::SimplexSolve);
+        assert_eq!(last, -3.0);
+        assert_eq!(max, -3.0, "first value is the maximum, not the 0 default");
+    }
+
+    #[test]
+    fn utilization_is_busy_over_makespan() {
+        let mut r = MemoryRecorder::with_defaults(2);
+        r.task_dispatch(0, 0, 0.0, 0.0, 2.0);
+        r.task_dispatch(1, 1, 0.0, 0.0, 1.0);
+        assert_eq!(r.utilization(), vec![1.0, 0.5]);
+    }
+
+    #[test]
+    fn empty_recorder_snapshot_is_well_formed() {
+        let r = MemoryRecorder::with_defaults(3);
+        let s = r.snapshot();
+        assert!(s.counters.is_empty());
+        assert!(s.probes.is_empty());
+        assert_eq!(s.makespan, 0.0);
+        assert_eq!(s.utilization, vec![0.0; 3]);
+        assert_eq!(s.flow_histogram.total, 0);
+    }
+
+    #[test]
+    fn out_of_range_machine_is_ignored_not_fatal() {
+        // A recorder sized for the simulation can still be fed solver
+        // hooks that mention no machine; an engine bug mentioning a bogus
+        // machine must not panic the observer.
+        let mut r = MemoryRecorder::with_defaults(1);
+        r.task_dispatch(0, 9, 0.0, 0.0, 1.0);
+        assert_eq!(r.busy_time(), &[0.0]);
+        assert_eq!(r.counters().get(Counter::TasksDispatched), 1);
+    }
+}

@@ -5,6 +5,7 @@ use flowsched_algos::tiebreak::TieBreak;
 use flowsched_core::instance::Instance;
 use flowsched_core::schedule::Schedule;
 use flowsched_core::time::Time;
+use flowsched_obs::{NoopRecorder, Recorder};
 
 use crate::report::SimReport;
 
@@ -30,11 +31,30 @@ impl Default for SimConfig {
 /// # Panics
 /// Panics if `warmup_fraction` is outside `[0, 1)`.
 pub fn simulate(inst: &Instance, config: &SimConfig) -> (Schedule, SimReport) {
+    simulate_recorded(inst, config, &mut NoopRecorder)
+}
+
+/// [`simulate`] with the run traced into `rec`: every task arrival,
+/// dispatch, projected completion, and machine transition flows through
+/// the recorder (see `flowsched_obs`), alongside the usual
+/// `(Schedule, SimReport)` result. With [`NoopRecorder`] this is
+/// exactly [`simulate`] — the hooks compile away, which
+/// `tests/obs_invariants.rs` pins by comparing schedules and
+/// `tests/report_consistency.rs` exploits to cross-check `SimReport`
+/// against trace-derived aggregates.
+///
+/// # Panics
+/// Panics if `warmup_fraction` is outside `[0, 1)`.
+pub fn simulate_recorded<R: Recorder>(
+    inst: &Instance,
+    config: &SimConfig,
+    rec: &mut R,
+) -> (Schedule, SimReport) {
     assert!(
         (0.0..1.0).contains(&config.warmup_fraction),
         "warmup fraction must be in [0, 1)"
     );
-    let schedule = flowsched_algos::eft::eft(inst, config.policy);
+    let schedule = flowsched_algos::eft::eft_recorded(inst, config.policy, rec);
     let warmup = (inst.len() as f64 * config.warmup_fraction) as usize;
     let report = SimReport::from_schedule(&schedule, inst, warmup.min(inst.len().saturating_sub(1)));
     (schedule, report)

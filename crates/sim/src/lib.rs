@@ -18,6 +18,8 @@ pub mod driver;
 pub mod report;
 pub mod stepped;
 
-pub use driver::{SimConfig, profile_trace, simulate};
+pub use driver::{SimConfig, profile_trace, simulate, simulate_recorded};
 pub use report::SimReport;
-pub use stepped::{SteppedOutcome, run_stepped, run_stepped_interval_adversary};
+pub use stepped::{
+    SteppedOutcome, run_stepped, run_stepped_interval_adversary, run_stepped_recorded,
+};

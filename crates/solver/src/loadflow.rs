@@ -23,6 +23,7 @@
 
 use crate::maxflow::{EdgeHandle, FlowNetwork};
 use crate::simplex::{LinearProgram, LpOutcome, Relation, SimplexScratch};
+use flowsched_obs::{NoopRecorder, ProbeKind, Recorder};
 
 /// Validates the common inputs: `weights[j]` is origin `j`'s popularity
 /// (non-negative, not all zero), `allowed[j]` lists the machines able to
@@ -148,6 +149,22 @@ pub fn max_load_lp_with(
     }
 }
 
+/// [`max_load_lp_with`] plus observability: emits one `SimplexSolve`
+/// probe per call carrying the solve's pivot count and the optimal `λ*`.
+/// With [`NoopRecorder`] this is exactly [`max_load_lp_with`].
+pub fn max_load_lp_recorded<R: Recorder>(
+    weights: &[f64],
+    allowed: &[Vec<usize>],
+    scratch: &mut SimplexScratch,
+    rec: &mut R,
+) -> f64 {
+    let lambda = max_load_lp_with(weights, allowed, scratch);
+    if R::ENABLED {
+        rec.probe(ProbeKind::SimplexSolve, scratch.last_pivots(), lambda);
+    }
+    lambda
+}
+
 /// Builds LP (15) for a configuration (shared by the optimized path and
 /// the seed baseline in [`crate::reference`], which differ only in how
 /// they *solve* the program).
@@ -235,9 +252,9 @@ impl MaxLoadProber {
         let mut net = FlowNetwork::new(2 * m + 2);
         let mut source_edges = Vec::with_capacity(m);
         let mut fixed_edges = Vec::new();
-        for j in 0..m {
+        for (j, a) in allowed.iter().enumerate() {
             source_edges.push(net.add_edge(0, origin(j), 0.0));
-            for &i in &allowed[j] {
+            for &i in a {
                 fixed_edges.push(net.add_edge(origin(j), machine(i), m as f64));
             }
         }
@@ -251,6 +268,14 @@ impl MaxLoadProber {
     /// sources.) Reuses the persistent network; callable any number of
     /// times in any order of `lambda`.
     pub fn is_feasible(&mut self, lambda: f64) -> bool {
+        self.is_feasible_recorded(lambda, &mut NoopRecorder)
+    }
+
+    /// [`is_feasible`](Self::is_feasible) plus observability: emits one
+    /// `LoadFeasibility` probe per call carrying the Dinic augmentation
+    /// count and the probed `λ`. With [`NoopRecorder`] this is exactly
+    /// [`is_feasible`](Self::is_feasible).
+    pub fn is_feasible_recorded<R: Recorder>(&mut self, lambda: f64, rec: &mut R) -> bool {
         assert!(lambda.is_finite() && lambda >= 0.0);
         for h in &self.fixed_edges {
             self.net.reset_edge(h);
@@ -262,6 +287,9 @@ impl MaxLoadProber {
             self.net.set_capacity(h, cap);
         }
         let flow = self.net.max_flow(0, self.sink);
+        if R::ENABLED {
+            rec.probe(ProbeKind::LoadFeasibility, self.net.last_augmentations(), lambda);
+        }
         flow >= demand - 1e-9 * (1.0 + demand)
     }
 
@@ -271,18 +299,29 @@ impl MaxLoadProber {
     /// # Panics
     /// Panics unless `tol > 0`.
     pub fn max_load(&mut self, tol: f64) -> f64 {
+        self.max_load_recorded(tol, &mut NoopRecorder)
+    }
+
+    /// [`max_load`](Self::max_load) with every binary-search probe
+    /// traced through `rec` (one `LoadFeasibility` probe per feasibility
+    /// query — a ~60-probe search emits ~60 events). With
+    /// [`NoopRecorder`] this is exactly [`max_load`](Self::max_load).
+    ///
+    /// # Panics
+    /// Panics unless `tol > 0`.
+    pub fn max_load_recorded<R: Recorder>(&mut self, tol: f64, rec: &mut R) -> f64 {
         assert!(tol > 0.0, "tolerance must be positive");
         let total: f64 = self.weights.iter().sum();
         // Upper bound: even with full replication, m machines of rate 1
         // serve at most rate m, so λ·total ≤ m.
         let mut hi = self.weights.len() as f64 / total;
         let mut lo = 0.0;
-        if self.is_feasible(hi) {
+        if self.is_feasible_recorded(hi, rec) {
             return hi;
         }
         while hi - lo > tol {
             let mid = 0.5 * (lo + hi);
-            if self.is_feasible(mid) {
+            if self.is_feasible_recorded(mid, rec) {
                 lo = mid;
             } else {
                 hi = mid;
@@ -449,6 +488,37 @@ mod tests {
             let reused_d = max_load_lp_with(&w, &disjoint_sets(6, k), &mut scratch);
             assert_eq!(fresh_d, reused_d, "k={k} disjoint");
         }
+    }
+
+    #[test]
+    fn recorded_solvers_match_plain_and_emit_probes() {
+        use flowsched_obs::{Counter, MemoryRecorder, ProbeKind};
+        let w = [0.40, 0.25, 0.15, 0.10, 0.06, 0.04];
+        let allowed = ring_sets(6, 3);
+
+        let mut scratch = SimplexScratch::new();
+        let mut rec = MemoryRecorder::with_defaults(6);
+        let lp = max_load_lp_recorded(&w, &allowed, &mut scratch, &mut rec);
+        assert_eq!(lp, max_load_lp(&w, &allowed));
+        let (count, iters, last, _) = rec.probe_stats(ProbeKind::SimplexSolve);
+        assert_eq!(count, 1);
+        assert_eq!(iters, scratch.last_pivots());
+        assert_eq!(last, lp);
+        assert_eq!(rec.counters().get(Counter::SimplexPivots), iters);
+
+        // Biased disjoint blocks: λ* = 2/0.65 < m, so the search cannot
+        // early-return at the capacity bound and must actually bisect.
+        let allowed = disjoint_sets(6, 2);
+        let mut rec = MemoryRecorder::with_defaults(6);
+        let mut prober = MaxLoadProber::new(&w, &allowed);
+        let bs = prober.max_load_recorded(1e-9, &mut rec);
+        assert_eq!(bs, max_load_binary_search(&w, &allowed, 1e-9));
+        let probes = rec.counters().get(Counter::LoadProbes);
+        assert!(probes >= 30, "a 1e-9 search probes ~60 times, saw {probes}");
+        let (count, iters, _, _) = rec.probe_stats(ProbeKind::LoadFeasibility);
+        assert_eq!(count, probes);
+        assert_eq!(rec.counters().get(Counter::FlowAugmentations), iters);
+        assert!(iters > 0, "feasible probes push at least one path");
     }
 
     #[test]

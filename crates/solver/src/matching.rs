@@ -7,6 +7,8 @@
 //! `∈ Mᵢ` (Section 6 of the paper notes the problem is polynomial).
 //! Runs in `O(E·√V)`.
 
+use flowsched_obs::{Counter, NoopRecorder, ProbeKind, Recorder};
+
 /// Maximum bipartite matcher between `n_left` left vertices and `n_right`
 /// right vertices.
 ///
@@ -68,9 +70,20 @@ impl BipartiteMatcher {
 
     /// Computes a maximum matching (Hopcroft–Karp).
     pub fn solve(&self) -> Matching {
+        self.solve_recorded(&mut NoopRecorder)
+    }
+
+    /// [`solve`](Self::solve) plus observability: emits one
+    /// `MatchingSolve` probe carrying the number of Hopcroft–Karp BFS
+    /// phases and the final matching size, and bumps the
+    /// `matching_augmentations` counter once per augmenting path. With
+    /// [`NoopRecorder`] this is exactly [`solve`](Self::solve).
+    pub fn solve_recorded<R: Recorder>(&self, rec: &mut R) -> Matching {
         let mut match_l: Vec<Option<usize>> = vec![None; self.n_left];
         let mut match_r: Vec<Option<usize>> = vec![None; self.n_right];
         let mut dist = vec![INF; self.n_left];
+        let mut phases = 0u64;
+        let mut augmentations = 0u64;
 
         loop {
             // BFS from free left vertices, layering by alternating paths.
@@ -100,16 +113,23 @@ impl BipartiteMatcher {
             if !found_augmenting_layer {
                 break;
             }
+            phases += 1;
             // DFS phase: find a maximal set of vertex-disjoint shortest
             // augmenting paths.
             for l in 0..self.n_left {
-                if match_l[l].is_none() {
-                    self.try_augment(l, &mut match_l, &mut match_r, &mut dist);
+                if match_l[l].is_none()
+                    && self.try_augment(l, &mut match_l, &mut match_r, &mut dist)
+                {
+                    augmentations += 1;
                 }
             }
         }
 
         let size = match_l.iter().filter(|m| m.is_some()).count();
+        if R::ENABLED {
+            rec.probe(ProbeKind::MatchingSolve, phases, size as f64);
+            rec.add(Counter::MatchingAugmentations, augmentations);
+        }
         Matching { left_to_right: match_l, right_to_left: match_r, size }
     }
 
@@ -203,6 +223,17 @@ impl IncrementalMatcher {
     /// Augments the carried matching to maximum over the current edge
     /// set (Hopcroft–Karp phases) and returns its size.
     pub fn solve(&mut self) -> usize {
+        self.solve_recorded(&mut NoopRecorder)
+    }
+
+    /// [`solve`](Self::solve) plus observability, mirroring
+    /// [`BipartiteMatcher::solve_recorded`]: one `MatchingSolve` probe
+    /// per call (phases of *this* call only — a warm-started call that
+    /// finds nothing to augment reports 0 phases) and one
+    /// `matching_augmentations` bump per new augmenting path.
+    pub fn solve_recorded<R: Recorder>(&mut self, rec: &mut R) -> usize {
+        let mut phases = 0u64;
+        let mut augmentations = 0u64;
         loop {
             // BFS from free left vertices, layering alternating paths.
             self.queue.clear();
@@ -234,14 +265,20 @@ impl IncrementalMatcher {
             if !found_augmenting_layer {
                 break;
             }
+            phases += 1;
             // DFS phase: maximal set of vertex-disjoint shortest paths.
             for l in 0..self.n_left {
-                if self.match_l[l].is_none() {
-                    self.try_augment(l);
+                if self.match_l[l].is_none() && self.try_augment(l) {
+                    augmentations += 1;
                 }
             }
         }
-        self.matching_size()
+        let size = self.matching_size();
+        if R::ENABLED {
+            rec.probe(ProbeKind::MatchingSolve, phases, size as f64);
+            rec.add(Counter::MatchingAugmentations, augmentations);
+        }
+        size
     }
 
     fn try_augment(&mut self, l: usize) -> bool {
@@ -410,6 +447,39 @@ mod tests {
                 assert_eq!(warm, cold);
             }
         }
+    }
+
+    #[test]
+    fn recorded_solves_match_plain_and_count_phases() {
+        use flowsched_obs::{MemoryRecorder, ProbeKind};
+        let mut g = BipartiteMatcher::new(4, 4);
+        g.add_edge(0, 0);
+        g.add_edge(1, 0);
+        g.add_edge(1, 1);
+        g.add_edge(2, 1);
+        g.add_edge(2, 2);
+        g.add_edge(3, 2);
+        g.add_edge(3, 3);
+        let mut rec = MemoryRecorder::with_defaults(0);
+        let m = g.solve_recorded(&mut rec);
+        assert_eq!(m, g.solve());
+        let (count, phases, size, _) = rec.probe_stats(ProbeKind::MatchingSolve);
+        assert_eq!(count, 1);
+        assert!(phases >= 1);
+        assert_eq!(size, m.size as f64);
+        // A cold solve gains one matched pair per augmenting path.
+        assert_eq!(rec.counters().get(Counter::MatchingAugmentations), m.size as u64);
+
+        // Warm-started incremental solve with nothing new: zero phases.
+        let mut inc = IncrementalMatcher::new(2, 2);
+        inc.add_edge(0, 0);
+        inc.add_edge(1, 1);
+        assert_eq!(inc.solve(), 2);
+        let mut rec = MemoryRecorder::with_defaults(0);
+        assert_eq!(inc.solve_recorded(&mut rec), 2);
+        let (count, phases, _, _) = rec.probe_stats(ProbeKind::MatchingSolve);
+        assert_eq!((count, phases), (1, 0));
+        assert_eq!(rec.counters().get(Counter::MatchingAugmentations), 0);
     }
 
     #[test]

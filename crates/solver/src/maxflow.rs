@@ -40,6 +40,9 @@ pub struct FlowNetwork {
     /// Reusable BFS queue (plain ring over a Vec) so repeated
     /// [`max_flow`](Self::max_flow) calls allocate nothing.
     queue: Vec<usize>,
+    /// Augmenting paths pushed by the most recent
+    /// [`max_flow`](Self::max_flow) call.
+    augmentations: u64,
 }
 
 impl FlowNetwork {
@@ -50,7 +53,15 @@ impl FlowNetwork {
             level: vec![0; n],
             iter: vec![0; n],
             queue: Vec::with_capacity(n),
+            augmentations: 0,
         }
+    }
+
+    /// Number of augmenting paths the most recent
+    /// [`max_flow`](Self::max_flow) call pushed — the "iterations"
+    /// payload of a `LoadFeasibility` observability probe.
+    pub fn last_augmentations(&self) -> u64 {
+        self.augmentations
     }
 
     /// Number of nodes.
@@ -86,6 +97,7 @@ impl FlowNetwork {
     pub fn max_flow(&mut self, source: usize, sink: usize) -> f64 {
         assert_ne!(source, sink, "source and sink must differ");
         let mut flow = 0.0;
+        self.augmentations = 0;
         while self.bfs_levels(source, sink) {
             self.iter.iter_mut().for_each(|i| *i = 0);
             loop {
@@ -94,6 +106,7 @@ impl FlowNetwork {
                     break;
                 }
                 flow += pushed;
+                self.augmentations += 1;
             }
         }
         flow
@@ -337,6 +350,30 @@ mod tests {
         g.reset_edge(&out);
         assert!((g.max_flow(0, 2) - 4.0).abs() < 1e-12);
         assert!((g.flow_on(&src) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn augmentation_counter_tracks_paths_per_call() {
+        let mut g = FlowNetwork::new(4);
+        let (s, a, b, t) = (0, 1, 2, 3);
+        let handles = vec![
+            g.add_edge(s, a, 3.0),
+            g.add_edge(s, b, 2.0),
+            g.add_edge(a, t, 2.0),
+            g.add_edge(b, t, 3.0),
+            g.add_edge(a, b, 1.0),
+        ];
+        let _ = g.max_flow(s, t);
+        let first = g.last_augmentations();
+        assert!(first >= 2, "flow 5 over unit-free paths needs ≥ 2 pushes");
+        // A saturated re-run finds no path and resets the count.
+        assert_eq!(g.max_flow(s, t), 0.0);
+        assert_eq!(g.last_augmentations(), 0);
+        for h in &handles {
+            g.reset_edge(h);
+        }
+        let _ = g.max_flow(s, t);
+        assert_eq!(g.last_augmentations(), first, "deterministic re-solve");
     }
 
     #[test]

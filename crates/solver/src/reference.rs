@@ -151,8 +151,8 @@ impl Tableau {
         for (i, &b) in self.basis.iter().enumerate() {
             let cb = cost[b];
             if cb != 0.0 {
-                for j in 0..=self.cols {
-                    z[j] -= cb * self.t[i][j];
+                for (zj, tij) in z.iter_mut().zip(&self.t[i]) {
+                    *zj -= cb * tij;
                 }
             }
         }

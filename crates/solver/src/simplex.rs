@@ -110,12 +110,22 @@ pub struct SimplexScratch {
     z: Vec<f64>,
     /// Cost vector buffer for building reduced rows.
     cost: Vec<f64>,
+    /// Pivots performed by the most recent solve (both phases; the
+    /// post-phase-1 artificial eviction sweep is bookkeeping, not an
+    /// optimizing pivot, and is not counted).
+    pivots: u64,
 }
 
 impl SimplexScratch {
     /// Creates an empty scratch; buffers are sized on first use.
     pub fn new() -> Self {
         SimplexScratch::default()
+    }
+
+    /// Pivot count of the most recent solve through this scratch — the
+    /// "iterations" payload of a `SimplexSolve` observability probe.
+    pub fn last_pivots(&self) -> u64 {
+        self.pivots
     }
 
     /// Clears and sizes the arena for direct tableau assembly: `rows`
@@ -168,6 +178,7 @@ pub(crate) fn solve_assembled(
         basis: &mut scratch.basis,
         z: &mut scratch.z,
         cost: &mut scratch.cost,
+        pivots: &mut scratch.pivots,
         rows,
         stride: cols + 1,
         n_structural,
@@ -270,6 +281,8 @@ struct Tableau<'s> {
     basis: &'s mut Vec<usize>,
     z: &'s mut Vec<f64>,
     cost: &'s mut Vec<f64>,
+    /// Running pivot count, persisted in the scratch after the solve.
+    pivots: &'s mut u64,
     rows: usize,
     stride: usize,
     n_structural: usize,
@@ -346,6 +359,7 @@ impl<'s> Tableau<'s> {
             basis: &mut scratch.basis,
             z: &mut scratch.z,
             cost: &mut scratch.cost,
+            pivots: &mut scratch.pivots,
             rows: m,
             stride,
             n_structural: n,
@@ -357,6 +371,7 @@ impl<'s> Tableau<'s> {
     /// Runs both phases; `objective` is the structural maximization
     /// objective.
     fn solve(&mut self, objective: &[f64]) -> LpOutcome {
+        *self.pivots = 0;
         // ---- Phase 1: minimize the sum of artificials. ----
         if self.artificial_start < self.cols {
             // Max form: maximize -(sum of artificials). Reduced-cost row:
@@ -493,6 +508,7 @@ impl<'s> Tableau<'s> {
     ///   columns are barred from entering and the solution is extracted
     ///   from `basis` + rhs alone, so they are dead after phase 1.
     fn pivot(&mut self, l: usize, e: usize, active_cols: usize) {
+        *self.pivots += 1;
         let stride = self.stride;
         let piv = self.t[l * stride + e];
         debug_assert!(piv > EPS);
@@ -765,6 +781,26 @@ mod tests {
             }
             assert_eq!(lp.solve(), lp.solve_with(&mut scratch));
         }
+    }
+
+    #[test]
+    fn pivot_counter_resets_per_solve_and_counts_work() {
+        let mut scratch = SimplexScratch::new();
+        let mut lp = LinearProgram::maximize(2, vec![3.0, 5.0]);
+        lp.constraint(vec![1.0, 0.0], Relation::Le, 4.0);
+        lp.constraint(vec![0.0, 2.0], Relation::Le, 12.0);
+        lp.constraint(vec![3.0, 2.0], Relation::Le, 18.0);
+        let _ = lp.solve_with(&mut scratch);
+        let first = scratch.last_pivots();
+        assert!(first > 0, "a non-trivial solve must pivot at least once");
+        // The counter resets per solve: same program → same count.
+        let _ = lp.solve_with(&mut scratch);
+        assert_eq!(scratch.last_pivots(), first);
+        // An already-optimal origin (maximize −x ≤ …) pivots zero times.
+        let mut trivial = LinearProgram::maximize(1, vec![-1.0]);
+        trivial.constraint(vec![1.0], Relation::Le, 1.0);
+        let _ = trivial.solve_with(&mut scratch);
+        assert_eq!(scratch.last_pivots(), 0);
     }
 
     #[test]

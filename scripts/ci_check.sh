@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything that must stay green on every PR.
+#
+#   1. release build of the whole workspace
+#   2. the full test suite (unit + integration + doc tests), which
+#      includes the observability hardening suites
+#      (tests/obs_invariants.rs, tests/report_consistency.rs)
+#   3. clippy with warnings promoted to errors
+#
+# Usage:
+#   scripts/ci_check.sh            # all three stages
+#   scripts/ci_check.sh --no-clippy   # skip the lint stage (e.g. when the
+#                                     # toolchain lacks clippy)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+RUN_CLIPPY=1
+if [ "${1:-}" = "--no-clippy" ]; then
+  RUN_CLIPPY=0
+fi
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo
+echo "== cargo test -q =="
+cargo test -q
+
+if [ "$RUN_CLIPPY" = 1 ]; then
+  echo
+  echo "== cargo clippy --all-targets -- -D warnings =="
+  cargo clippy --all-targets -- -D warnings
+fi
+
+echo
+echo "ci_check: all stages passed"

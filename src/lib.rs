@@ -4,8 +4,9 @@
 //! ([`core`]), online schedulers ([`algos`]), adversarial and stochastic
 //! workloads ([`workloads`]), the key-value-store replication model
 //! ([`kvstore`]), the discrete-event simulator ([`sim`]), LP/flow solvers
-//! ([`solver`]), statistics ([`stats`]), parallel sweep utilities
-//! ([`parallel`]) and paper experiment runners ([`experiments`]).
+//! ([`solver`]), the observability layer ([`obs`]), statistics
+//! ([`stats`]), parallel sweep utilities ([`parallel`]) and paper
+//! experiment runners ([`experiments`]).
 //!
 //! This workspace reproduces Canon, Dugois & Marchal, *"Bounding the Flow
 //! Time in Online Scheduling with Structured Processing Sets"* (INRIA
@@ -33,6 +34,7 @@ pub use flowsched_algos as algos;
 pub use flowsched_core as core;
 pub use flowsched_experiments as experiments;
 pub use flowsched_kvstore as kvstore;
+pub use flowsched_obs as obs;
 pub use flowsched_parallel as parallel;
 pub use flowsched_sim as sim;
 pub use flowsched_solver as solver;

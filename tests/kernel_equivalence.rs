@@ -42,10 +42,11 @@ fn load_configs() -> impl Strategy<Value = (Vec<f64>, Vec<Vec<usize>>)> {
     })
 }
 
+/// `(coefficients, relation, rhs)` rows of a randomly drawn program.
+type LpRows = Vec<(Vec<i32>, u8, i32)>;
+
 /// Random small LPs over up to 5 variables and 6 constraints.
-fn random_lps() -> impl Strategy<
-    Value = (usize, Vec<i32>, Vec<(Vec<i32>, u8, i32)>),
-> {
+fn random_lps() -> impl Strategy<Value = (usize, Vec<i32>, LpRows)> {
     (
         1usize..6,
         prop::collection::vec(-4i32..6, 5..=5),

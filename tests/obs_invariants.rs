@@ -1,0 +1,185 @@
+//! Property tests for the observability layer: no-op transparency
+//! (recording hooks never change a schedule), counter monotonicity,
+//! histogram mass conservation, and trace-ordering invariants.
+
+use proptest::prelude::*;
+
+use flowsched::algos::eft::{EftState, eft, eft_recorded};
+use flowsched::algos::fifo::{fifo, fifo_recorded};
+use flowsched::algos::tiebreak::TieBreak;
+use flowsched::core::task::TaskId;
+use flowsched::obs::{Counter, Event, MemoryRecorder, NoopRecorder, ObsConfig};
+use flowsched::sim::driver::{SimConfig, simulate, simulate_recorded};
+use flowsched::workloads::random::{RandomInstanceConfig, StructureKind, random_instance};
+
+fn any_structure() -> impl Strategy<Value = StructureKind> {
+    prop_oneof![
+        Just(StructureKind::Unrestricted),
+        (1usize..=6).prop_map(StructureKind::IntervalFixed),
+        (1usize..=6).prop_map(StructureKind::RingFixed),
+        (1usize..=6).prop_map(StructureKind::DisjointBlocks),
+        Just(StructureKind::InclusiveChain),
+        Just(StructureKind::NestedLaminar),
+        Just(StructureKind::General),
+    ]
+}
+
+fn any_tiebreak() -> impl Strategy<Value = TieBreak> {
+    prop_oneof![
+        Just(TieBreak::Min),
+        Just(TieBreak::Max),
+        any::<u64>().prop_map(|seed| TieBreak::Rand { seed }),
+    ]
+}
+
+/// A recorder big enough to retain every event of an `n`-task run (a
+/// dispatch emits at most 4 events: arrival, busy/idle, dispatch,
+/// completion).
+fn lossless_recorder(m: usize, n: usize) -> MemoryRecorder {
+    MemoryRecorder::new(&ObsConfig { trace_capacity: 8 * n.max(1), ..ObsConfig::defaults(m) })
+}
+
+fn instance_of(kind: StructureKind, n: usize, unit: bool, seed: u64) -> flowsched::core::instance::Instance {
+    let cfg = RandomInstanceConfig {
+        m: 6,
+        n,
+        structure: kind,
+        release_span: 12,
+        unit,
+        ptime_steps: 6,
+    };
+    random_instance(&cfg, seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(120))]
+
+    /// Neither the no-op recorder nor a real in-memory recorder may
+    /// perturb the schedule — including under the `Rand` tie-break,
+    /// where an extra RNG draw in the hook path would diverge.
+    #[test]
+    fn recording_never_changes_the_schedule(
+        kind in any_structure(),
+        tb in any_tiebreak(),
+        n in 1usize..80,
+        unit in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let inst = instance_of(kind, n, unit, seed);
+        let plain = eft(&inst, tb);
+        prop_assert_eq!(&plain, &eft_recorded(&inst, tb, &mut NoopRecorder));
+        let mut rec = lossless_recorder(inst.machines(), inst.len());
+        prop_assert_eq!(&plain, &eft_recorded(&inst, tb, &mut rec));
+        let (sim_plain, report_plain) = simulate(&inst, &SimConfig::default());
+        let mut rec = lossless_recorder(inst.machines(), inst.len());
+        let (sim_rec, report_rec) = simulate_recorded(&inst, &SimConfig::default(), &mut rec);
+        prop_assert_eq!(&sim_plain, &sim_rec);
+        prop_assert_eq!(report_plain, report_rec);
+    }
+
+    /// FIFO's recorded engine is likewise transparent (unrestricted
+    /// instances only — FIFO rejects processing-set restrictions).
+    #[test]
+    fn recording_never_changes_fifo(
+        tb in any_tiebreak(),
+        n in 1usize..60,
+        seed in any::<u64>(),
+    ) {
+        let inst = instance_of(StructureKind::Unrestricted, n, false, seed);
+        let plain = fifo(&inst, tb);
+        prop_assert_eq!(&plain, &fifo_recorded(&inst, tb, &mut NoopRecorder));
+        let mut rec = lossless_recorder(inst.machines(), inst.len());
+        prop_assert_eq!(&plain, &fifo_recorded(&inst, tb, &mut rec));
+    }
+
+    /// Counters are monotone over the run: snapshotting the bank after
+    /// every dispatch must never show any counter decreasing.
+    #[test]
+    fn counters_are_monotone(
+        kind in any_structure(),
+        tb in any_tiebreak(),
+        seed in any::<u64>(),
+    ) {
+        let inst = instance_of(kind, 50, true, seed);
+        let mut state = EftState::new(inst.machines(), tb);
+        let mut rec = lossless_recorder(inst.machines(), inst.len());
+        let mut prev = vec![0u64; Counter::ALL.len()];
+        for (_, task, set) in inst.iter() {
+            state.dispatch_recorded(task, set, &mut rec);
+            for (slot, &c) in prev.iter_mut().zip(Counter::ALL.iter()) {
+                let now = rec.counters().get(c);
+                prop_assert!(now >= *slot, "{} decreased: {} -> {now}", c.name(), *slot);
+                *slot = now;
+            }
+        }
+        prop_assert_eq!(rec.counters().get(Counter::TasksDispatched), inst.len() as u64);
+    }
+
+    /// Histogram mass conservation: every dispatched task contributes
+    /// exactly one observation (bins + underflow + overflow).
+    #[test]
+    fn histogram_mass_equals_observation_count(
+        kind in any_structure(),
+        tb in any_tiebreak(),
+        n in 1usize..80,
+        unit in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let inst = instance_of(kind, n, unit, seed);
+        let mut rec = lossless_recorder(inst.machines(), inst.len());
+        let _ = eft_recorded(&inst, tb, &mut rec);
+        prop_assert_eq!(rec.flow_histogram().total(), inst.len() as u64);
+        prop_assert_eq!(
+            rec.counters().get(Counter::TasksDispatched),
+            rec.flow_histogram().total()
+        );
+    }
+
+    /// Trace-ordering invariants of the immediate-dispatch trace:
+    /// dispatch events appear in task order with the schedule's exact
+    /// start times; per machine, busy/idle transitions strictly
+    /// alternate starting with busy, at non-decreasing timestamps.
+    #[test]
+    fn trace_is_consistent_with_the_schedule(
+        kind in any_structure(),
+        tb in any_tiebreak(),
+        n in 1usize..80,
+        seed in any::<u64>(),
+    ) {
+        let inst = instance_of(kind, n, true, seed);
+        let mut rec = lossless_recorder(inst.machines(), inst.len());
+        let schedule = eft_recorded(&inst, tb, &mut rec);
+        prop_assert_eq!(rec.trace().dropped(), 0, "lossless ring must not drop");
+
+        let mut next_task = 0usize;
+        let mut machine_state: Vec<(Option<bool>, f64)> =
+            vec![(None, 0.0); inst.machines()]; // (last transition, its time)
+        for ev in rec.trace().iter() {
+            match *ev {
+                Event::TaskDispatch { task, machine, start, ptime } => {
+                    // EFT feeds tasks in release order: seq == TaskId.
+                    prop_assert_eq!(task, next_task as u64);
+                    let id = TaskId(next_task);
+                    prop_assert_eq!(start, schedule.start(id));
+                    prop_assert_eq!(machine as usize, schedule.machine(id).index());
+                    prop_assert_eq!(ptime, inst.tasks()[next_task].ptime);
+                    next_task += 1;
+                }
+                Event::MachineBusy { machine, at } => {
+                    let (last, t) = machine_state[machine as usize];
+                    prop_assert!(last != Some(true), "machine {machine}: busy twice");
+                    prop_assert!(at >= t, "machine {machine}: time went backwards");
+                    machine_state[machine as usize] = (Some(true), at);
+                }
+                Event::MachineIdle { machine, at } => {
+                    let (last, t) = machine_state[machine as usize];
+                    prop_assert_eq!(last, Some(true), "idle without a preceding busy");
+                    prop_assert!(at >= t, "machine {machine}: time went backwards");
+                    machine_state[machine as usize] = (Some(false), at);
+                }
+                _ => {}
+            }
+        }
+        prop_assert_eq!(next_task, inst.len());
+    }
+}

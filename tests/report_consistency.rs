@@ -1,0 +1,133 @@
+//! `SimReport` aggregates must agree with recomputation from the
+//! recorded event trace: the report is derived from the schedule, the
+//! trace from the dispatch hooks, and any drift between the two means
+//! one of the pipelines is lying.
+
+use flowsched::algos::tiebreak::TieBreak;
+use flowsched::obs::{Counter, Event, MemoryRecorder, ObsConfig};
+use flowsched::sim::driver::{SimConfig, simulate_recorded};
+use flowsched::workloads::random::{RandomInstanceConfig, StructureKind, random_instance};
+
+const STRUCTURES: [StructureKind; 6] = [
+    StructureKind::Unrestricted,
+    StructureKind::IntervalFixed(3),
+    StructureKind::RingFixed(3),
+    StructureKind::DisjointBlocks(2),
+    StructureKind::InclusiveChain,
+    StructureKind::General,
+];
+
+const POLICIES: [TieBreak; 3] =
+    [TieBreak::Min, TieBreak::Max, TieBreak::Rand { seed: 7 }];
+
+/// Flows, per-machine busy time, and the projected makespan, recomputed
+/// from the event trace alone.
+fn recompute(rec: &MemoryRecorder, m: usize) -> (Vec<f64>, Vec<f64>, f64) {
+    let mut flows = Vec::new();
+    let mut busy = vec![0.0f64; m];
+    let mut makespan = 0.0f64;
+    for ev in rec.trace().iter() {
+        match *ev {
+            Event::TaskCompletion { at, flow, .. } => {
+                flows.push(flow);
+                makespan = makespan.max(at);
+            }
+            Event::TaskDispatch { machine, ptime, .. } => {
+                busy[machine as usize] += ptime;
+            }
+            _ => {}
+        }
+    }
+    (flows, busy, makespan)
+}
+
+#[test]
+fn report_aggregates_match_the_event_trace_on_randomized_instances() {
+    let mut runs = 0usize;
+    for (i, &structure) in STRUCTURES.iter().enumerate() {
+        for (j, &policy) in POLICIES.iter().enumerate() {
+            for rep in 0..7u64 {
+                let seed = 1000 * i as u64 + 100 * j as u64 + rep;
+                let n = 30 + (seed % 50) as usize;
+                let cfg = RandomInstanceConfig {
+                    m: 6,
+                    n,
+                    structure,
+                    release_span: 10,
+                    unit: rep % 2 == 0,
+                    ptime_steps: 6,
+                };
+                let inst = random_instance(&cfg, seed);
+                let mut rec = MemoryRecorder::new(&ObsConfig {
+                    trace_capacity: 8 * n,
+                    ..ObsConfig::defaults(6)
+                });
+                let (_, report) =
+                    simulate_recorded(&inst, &SimConfig { policy, ..Default::default() }, &mut rec);
+
+                assert_eq!(rec.trace().dropped(), 0, "ring sized to be lossless");
+                let (flows, busy, makespan) = recompute(&rec, 6);
+                assert_eq!(flows.len(), n, "one completion event per task");
+                assert_eq!(report.n_measured, n);
+
+                // fmax and mean flow from the trace.
+                let fmax = flows.iter().cloned().fold(0.0, f64::max);
+                assert!(
+                    (report.fmax - fmax).abs() < 1e-9,
+                    "seed {seed}: report fmax {} vs trace {fmax}",
+                    report.fmax
+                );
+                let mean = flows.iter().sum::<f64>() / flows.len() as f64;
+                assert!(
+                    (report.mean_flow - mean).abs() < 1e-9,
+                    "seed {seed}: report mean {} vs trace {mean}",
+                    report.mean_flow
+                );
+
+                // Utilization: both sides are busy / makespan, with the
+                // projected trace makespan equal to the schedule's.
+                for (u_report, b) in report.utilization.iter().zip(&busy) {
+                    let u_trace = if makespan > 0.0 { b / makespan } else { 0.0 };
+                    assert!(
+                        (u_report - u_trace).abs() < 1e-9,
+                        "seed {seed}: utilization {u_report} vs trace {u_trace}"
+                    );
+                }
+                // The recorder's own aggregates agree too.
+                assert_eq!(rec.counters().get(Counter::TasksCompleted), n as u64);
+                assert!((rec.makespan_seen() - makespan).abs() < 1e-12);
+                runs += 1;
+            }
+        }
+    }
+    assert!(runs >= 100, "coverage floor: {runs} randomized instances");
+}
+
+#[test]
+fn warmup_trimmed_report_still_matches_trace_tail() {
+    // With a warm-up fraction, the report covers a suffix of the trace's
+    // completions (trace order == dispatch order == release order).
+    let cfg = RandomInstanceConfig {
+        m: 6,
+        n: 80,
+        structure: StructureKind::RingFixed(3),
+        release_span: 12,
+        unit: true,
+        ptime_steps: 4,
+    };
+    let inst = random_instance(&cfg, 99);
+    let mut rec =
+        MemoryRecorder::new(&ObsConfig { trace_capacity: 8 * 80, ..ObsConfig::defaults(6) });
+    let (_, report) = simulate_recorded(
+        &inst,
+        &SimConfig { policy: TieBreak::Min, warmup_fraction: 0.25 },
+        &mut rec,
+    );
+    let (flows, _, _) = recompute(&rec, 6);
+    let warm = inst.len() - report.n_measured;
+    let tail = &flows[warm..];
+    let fmax = tail.iter().cloned().fold(0.0, f64::max);
+    assert!((report.fmax - fmax).abs() < 1e-9);
+    let mean = tail.iter().sum::<f64>() / tail.len() as f64;
+    assert!((report.mean_flow - mean).abs() < 1e-9);
+}

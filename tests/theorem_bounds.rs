@@ -134,6 +134,104 @@ fn adversary_instances_have_the_claimed_structures() {
 }
 
 #[test]
+fn theorem6_disjoint_cluster_loads_match_loadflow_probes() {
+    // Theorem 6 composes schedulers over disjoint processing sets; its
+    // premise is that work never leaks between clusters. Cross-check
+    // that premise through the observability layer: the per-cluster
+    // busy time a recorder accumulates under EFT must equal the
+    // cluster's total work, and feeding the observed per-cluster load
+    // back into LP (15) must reproduce the disjoint-family closed form
+    // λ* = min over blocks |block| / w(block) — via both the simplex
+    // and the max-flow solver, with their probes landing in the same
+    // recorder.
+    use flowsched::algos::eft::eft_recorded;
+    use flowsched::obs::{MemoryRecorder, ProbeKind};
+    use flowsched::solver::loadflow::{MaxLoadProber, max_load_lp_recorded};
+    use flowsched::solver::simplex::SimplexScratch;
+    use flowsched::workloads::random::{RandomInstanceConfig, StructureKind, random_instance};
+
+    let (m, k) = (6usize, 2usize);
+    let blocks = m / k;
+    let cfg = RandomInstanceConfig {
+        m,
+        n: 180,
+        structure: StructureKind::DisjointBlocks(k),
+        release_span: 20,
+        unit: false,
+        ptime_steps: 5,
+    };
+    let inst = random_instance(&cfg, 42);
+
+    let mut rec = MemoryRecorder::with_defaults(m);
+    let schedule = eft_recorded(&inst, TieBreak::Min, &mut rec);
+    schedule.validate(&inst).unwrap();
+
+    // Ground truth per-cluster work from the instance itself.
+    let mut block_work = vec![0.0f64; blocks];
+    for (_, task, set) in inst.iter() {
+        assert_eq!(set.len(), k, "disjoint generator must emit full blocks");
+        let b = set.min().unwrap() / k;
+        assert_eq!(set.max().unwrap(), b * k + k - 1);
+        block_work[b] += task.ptime;
+    }
+
+    // EFT never schedules outside the processing set, so each cluster's
+    // recorded busy time is exactly its work.
+    for (b, &work) in block_work.iter().enumerate() {
+        let busy: f64 = rec.busy_time()[b * k..(b + 1) * k].iter().sum();
+        assert!(
+            (busy - work).abs() < 1e-9,
+            "block {b}: recorded busy {busy} vs instance work {work}"
+        );
+    }
+
+    // Per-origin weights derived from the *recorder* (not the instance):
+    // a machine's popularity is its cluster's observed share of the
+    // total busy time, split evenly inside the cluster.
+    let total: f64 = rec.busy_time().iter().sum();
+    assert!(total > 0.0);
+    let weights: Vec<f64> = (0..m)
+        .map(|i| {
+            let b: f64 = rec.busy_time()[k * (i / k)..k * (i / k) + k].iter().sum();
+            b / (k as f64 * total)
+        })
+        .collect();
+    let allowed: Vec<Vec<usize>> = (0..m)
+        .map(|i| {
+            let lo = k * (i / k);
+            (lo..lo + k).collect()
+        })
+        .collect();
+
+    // Disjoint-family closed form (empty clusters impose no cap).
+    let closed = block_work
+        .iter()
+        .filter(|&&w| w > 0.0)
+        .map(|&w| k as f64 / (w / total))
+        .fold(f64::INFINITY, f64::min);
+
+    let mut scratch = SimplexScratch::new();
+    let lp = max_load_lp_recorded(&weights, &allowed, &mut scratch, &mut rec);
+    let mut prober = MaxLoadProber::new(&weights, &allowed);
+    let flow = prober.max_load_recorded(1e-9, &mut rec);
+
+    assert!((lp - closed).abs() < 1e-6, "simplex λ* {lp} vs closed form {closed}");
+    assert!((flow - closed).abs() < 1e-7, "max-flow λ* {flow} vs closed form {closed}");
+
+    // Both solver paths reported their probes into the recorder, and the
+    // simplex probe carries the λ* it returned.
+    let (lp_solves, lp_pivots, lp_last, _) = rec.probe_stats(ProbeKind::SimplexSolve);
+    assert_eq!(lp_solves, 1);
+    assert!(lp_pivots > 0, "a non-trivial LP (15) pivots at least once");
+    assert_eq!(lp_last, lp);
+    let (flow_probes, augmentations, _, flow_max) = rec.probe_stats(ProbeKind::LoadFeasibility);
+    assert!(flow_probes >= 1, "the binary search must log its feasibility probes");
+    assert!(augmentations > 0);
+    // Probed λ values stay inside the search bracket [0, m / Σw].
+    assert!(flow_max <= m as f64 + 1e-9);
+}
+
+#[test]
 fn optimal_values_match_paper_claims_on_small_instances() {
     // The per-construction OPT values the paper states, cross-checked
     // with the exact solvers where tractable.

@@ -94,7 +94,7 @@ fn write_seq<I, F>(
     for (i, item) in items.enumerate() {
         if let Some(width) = indent {
             out.push('\n');
-            out.extend(std::iter::repeat(' ').take(width * (depth + 1)));
+            out.extend(std::iter::repeat_n(' ', width * (depth + 1)));
         }
         write_item(item, out, depth + 1);
         if i + 1 < n {
@@ -104,7 +104,7 @@ fn write_seq<I, F>(
     if n > 0 {
         if let Some(width) = indent {
             out.push('\n');
-            out.extend(std::iter::repeat(' ').take(width * depth));
+            out.extend(std::iter::repeat_n(' ', width * depth));
         }
     }
     out.push(brackets.1);
