@@ -15,10 +15,12 @@ use flowsched_core::instance::Instance;
 use flowsched_core::machine::MachineId;
 use flowsched_core::procset::ProcSet;
 use flowsched_core::schedule::{Assignment, Schedule};
+use flowsched_core::stream::{ArrivalStream, InstanceStream};
 use flowsched_core::task::Task;
 use flowsched_core::time::Time;
 use flowsched_obs::{NoopRecorder, Recorder};
 
+use crate::engine;
 use crate::tiebreak::{Breaker, TieBreak};
 
 /// Incremental EFT state: per-machine completion times plus the tie-break
@@ -39,7 +41,12 @@ impl EftState {
     /// Fresh state for `m` idle machines.
     pub fn new(m: usize, policy: TieBreak) -> Self {
         assert!(m > 0, "need at least one machine");
-        EftState { completions: vec![0.0; m], breaker: policy.breaker(), ties: Vec::new(), seq: 0 }
+        EftState {
+            completions: vec![0.0; m],
+            breaker: policy.breaker(),
+            ties: Vec::new(),
+            seq: 0,
+        }
     }
 
     /// Number of machines.
@@ -187,20 +194,33 @@ impl ImmediateDispatcher for EftState {
 /// assert_eq!(schedule.fmax(&inst), 2.0);
 /// ```
 pub fn eft(inst: &Instance, policy: TieBreak) -> Schedule {
-    eft_recorded(inst, policy, &mut NoopRecorder)
+    eft_stream(InstanceStream::new(inst), policy, &mut NoopRecorder)
 }
 
-/// [`eft`] with instrumentation: every dispatch goes through
-/// [`EftState::dispatch_recorded`], so `rec` sees arrivals, dispatches,
-/// projected completions, and machine transitions for the whole run.
-/// With [`NoopRecorder`] this is exactly [`eft`].
+/// Runs EFT over an arbitrary [`ArrivalStream`] — the canonical entry
+/// point. The shared engine ([`engine::run_immediate`]) pulls arrivals
+/// lazily, so memory stays O(machines) regardless of stream length, and
+/// `rec` sees arrivals, dispatches, and machine transitions for the
+/// whole run (with [`NoopRecorder`] the hooks compile away). Feeding an
+/// [`InstanceStream`] reproduces the batch [`eft`] schedule exactly.
+pub fn eft_stream<S: ArrivalStream, R: Recorder>(
+    stream: S,
+    policy: TieBreak,
+    rec: &mut R,
+) -> Schedule {
+    let mut state = EftState::new(stream.machines(), policy);
+    engine::immediate_schedule(stream, &mut state, rec)
+}
+
+/// [`eft`] with instrumentation.
+#[deprecated(
+    since = "0.3.0",
+    note = "use `eft_stream(InstanceStream::new(inst), policy, rec)` or \
+            `engine::run_immediate`; the plain/`*_recorded` twins were \
+            collapsed into the streaming engine"
+)]
 pub fn eft_recorded<R: Recorder>(inst: &Instance, policy: TieBreak, rec: &mut R) -> Schedule {
-    let mut state = EftState::new(inst.machines(), policy);
-    let assignments = inst
-        .iter()
-        .map(|(_, task, set)| state.dispatch_recorded(task, set, &mut *rec))
-        .collect();
-    Schedule::new(assignments)
+    eft_stream(InstanceStream::new(inst), policy, rec)
 }
 
 #[cfg(test)]
@@ -220,8 +240,7 @@ mod tests {
         let s = eft(&inst, TieBreak::Min);
         s.validate(&inst).unwrap();
         assert_eq!(s.fmax(&inst), 1.0);
-        let mut machines: Vec<usize> =
-            (0..4).map(|i| s.machine(TaskId(i)).index()).collect();
+        let mut machines: Vec<usize> = (0..4).map(|i| s.machine(TaskId(i)).index()).collect();
         machines.sort_unstable();
         assert_eq!(machines, vec![0, 1, 2, 3]);
     }
@@ -340,8 +359,12 @@ mod tests {
         b.push(Task::new(4.0, 1.0), ProcSet::singleton(0)); // contiguous at 4
         let inst = b.build().unwrap();
         let mut rec = MemoryRecorder::with_defaults(2);
-        let recorded = eft_recorded(&inst, TieBreak::Min, &mut rec);
-        assert_eq!(recorded, eft(&inst, TieBreak::Min), "recording must not alter schedules");
+        let recorded = eft_stream(InstanceStream::new(&inst), TieBreak::Min, &mut rec);
+        assert_eq!(
+            recorded,
+            eft(&inst, TieBreak::Min),
+            "recording must not alter schedules"
+        );
         assert_eq!(rec.counters().get(Counter::TasksDispatched), 3);
         // M1: busy@0, idle@2, busy@3 — then 4.0 == completion, contiguous.
         let transitions: Vec<Event> = rec
@@ -353,9 +376,18 @@ mod tests {
         assert_eq!(
             transitions,
             vec![
-                Event::MachineBusy { machine: 0, at: 0.0 },
-                Event::MachineIdle { machine: 0, at: 2.0 },
-                Event::MachineBusy { machine: 0, at: 3.0 },
+                Event::MachineBusy {
+                    machine: 0,
+                    at: 0.0
+                },
+                Event::MachineIdle {
+                    machine: 0,
+                    at: 2.0
+                },
+                Event::MachineBusy {
+                    machine: 0,
+                    at: 3.0
+                },
             ]
         );
         assert_eq!(rec.busy_time(), &[4.0, 0.0]);
@@ -372,7 +404,24 @@ mod tests {
         let inst = b.build().unwrap();
         let tb = TieBreak::Rand { seed: 9 };
         let mut rec = MemoryRecorder::with_defaults(5);
-        assert_eq!(eft_recorded(&inst, tb, &mut rec), eft(&inst, tb));
+        assert_eq!(
+            eft_stream(InstanceStream::new(&inst), tb, &mut rec),
+            eft(&inst, tb)
+        );
+    }
+
+    #[test]
+    fn deprecated_recorded_wrapper_still_matches() {
+        use flowsched_obs::MemoryRecorder;
+        let mut b = InstanceBuilder::new(3);
+        for i in 0..12 {
+            b.push_unit(i as f64 * 0.5, ProcSet::full(3));
+        }
+        let inst = b.build().unwrap();
+        let mut rec = MemoryRecorder::with_defaults(3);
+        #[allow(deprecated)]
+        let s = eft_recorded(&inst, TieBreak::Min, &mut rec);
+        assert_eq!(s, eft(&inst, TieBreak::Min));
     }
 
     #[test]

@@ -1,0 +1,392 @@
+//! The streaming scheduler core: two discrete-event engines over one
+//! [`ArrivalStream`].
+//!
+//! Everything that schedules in this workspace now funnels through this
+//! module. [`run_immediate`] drives any [`ImmediateDispatcher`] (EFT
+//! under every tie-break, random, power-of-d-choices, round-robin) one
+//! arrival at a time; [`run_fifo`] drives the paper's Algorithm 1
+//! central queue. Both are generic over
+//!
+//! - the **stream** (`S:` [`ArrivalStream`]) — a materialized
+//!   [`Instance`](flowsched_core::Instance) via
+//!   [`InstanceStream`](flowsched_core::InstanceStream), or a lazy
+//!   generator from `flowsched-workloads` that never holds more than one
+//!   arrival;
+//! - the **recorder** (`R:` [`Recorder`]) — instrumentation hooks that
+//!   fold away entirely under [`NoopRecorder`];
+//! - the **sink** (`K:` [`DispatchSink`]) — what to do with each
+//!   committed assignment: collect a [`Schedule`], or fold it into a
+//!   streaming report without materializing anything.
+//!
+//! This collapses the old plain/`*_recorded` twin entry points into one
+//! generic function per engine, and bounds engine memory by the number
+//! of machines plus the live queue — a million-task Poisson stream runs
+//! in constant memory.
+//!
+//! The two engines stay deliberately independent — [`run_fifo`] is a
+//! real event-heap simulation, not a wrapper over [`run_immediate`] —
+//! so Proposition 1 (FIFO ≡ EFT on unrestricted instances) is still
+//! validated by two separate mechanisms consuming the same stream.
+//!
+//! # Transition convention
+//!
+//! [`run_immediate`] emits the busy/idle transitions itself, from the
+//! per-machine previous completion it tracks: per machine, busy/idle
+//! strictly alternate starting with busy; the idle at a machine's
+//! previous completion is emitted lazily once the gap's end is known;
+//! the trailing idle is never emitted. Because the engine — not the
+//! dispatcher — owns this, the convention now holds uniformly for every
+//! immediate-dispatch rule, including the stepped integer fast path
+//! (`flowsched_sim::stepped`). [`run_fifo`] knows transition times
+//! exactly and emits *actual* transitions: idle at every completion,
+//! busy at every pull, equal timestamps allowed.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use flowsched_core::machine::MachineId;
+use flowsched_core::schedule::{Assignment, Schedule};
+use flowsched_core::stream::ArrivalStream;
+use flowsched_core::task::Task;
+use flowsched_core::time::Time;
+use flowsched_obs::Recorder;
+
+use crate::eft::ImmediateDispatcher;
+use crate::tiebreak::TieBreak;
+
+/// Consumer of committed assignments, called in task (sequence) order.
+///
+/// `seq` is the arrival sequence number (== instance `TaskId` when the
+/// stream replays an instance). Implementations either materialize
+/// (`Vec<Assignment>`) or fold (`flowsched_sim::ReportBuilder`).
+pub trait DispatchSink {
+    /// One task has been irrevocably placed.
+    fn accept(&mut self, seq: u64, task: Task, assignment: Assignment);
+}
+
+/// Materializing sink: collects assignments in task order.
+impl DispatchSink for Vec<Assignment> {
+    fn accept(&mut self, seq: u64, _task: Task, assignment: Assignment) {
+        debug_assert_eq!(
+            self.len() as u64,
+            seq,
+            "assignments arrive in sequence order"
+        );
+        self.push(assignment);
+    }
+}
+
+/// Discarding sink, for runs measured purely through a [`Recorder`] or
+/// through dispatcher state inspected afterwards.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl DispatchSink for NullSink {
+    fn accept(&mut self, _seq: u64, _task: Task, _assignment: Assignment) {}
+}
+
+/// Drives an immediate-dispatch scheduler over an arrival stream.
+///
+/// Pulls arrivals one at a time (asserting non-decreasing releases),
+/// lets `disp` commit each task, emits the observability events for the
+/// commitment, and hands the assignment to `sink`. Memory: O(m) on top
+/// of whatever the stream and dispatcher hold — nothing per task.
+///
+/// # Panics
+/// Panics if the stream and dispatcher disagree on the machine count,
+/// if releases ever decrease, or if a processing set is empty or out of
+/// range (propagated from the dispatcher).
+pub fn run_immediate<S, D, R, K>(mut stream: S, disp: &mut D, rec: &mut R, sink: &mut K)
+where
+    S: ArrivalStream,
+    D: ImmediateDispatcher + ?Sized,
+    R: Recorder,
+    K: DispatchSink,
+{
+    let m = stream.machines();
+    assert_eq!(
+        m,
+        disp.machine_count(),
+        "stream and dispatcher disagree on machine count"
+    );
+    // Per-machine completion before the current dispatch — only needed
+    // to reconstruct idle gaps for the trace.
+    let mut prev_done: Vec<Time> = if R::ENABLED { vec![0.0; m] } else { Vec::new() };
+    let mut last_release = f64::NEG_INFINITY;
+    let mut seq: u64 = 0;
+    while let Some((task, set)) = stream.next_arrival() {
+        assert!(
+            task.release >= last_release,
+            "arrival stream must be in non-decreasing release order \
+             ({} after {last_release})",
+            task.release
+        );
+        last_release = task.release;
+        let a = disp.dispatch_task(task, set);
+        let u = a.machine.index();
+        if R::ENABLED {
+            rec.task_arrival(seq, task.release);
+            let prev = prev_done[u];
+            if a.start > prev {
+                // The gap [prev, start) was idle; a machine that never
+                // ran (prev == 0) is idle implicitly, not via an event.
+                if prev > 0.0 {
+                    rec.machine_idle(u as u32, prev);
+                }
+                rec.machine_busy(u as u32, a.start);
+            } else if prev == 0.0 {
+                // First task of the machine, starting at t = 0.
+                rec.machine_busy(u as u32, a.start);
+            }
+            rec.task_dispatch(seq, u as u32, task.release, a.start, task.ptime);
+            prev_done[u] = a.start + task.ptime;
+        }
+        sink.accept(seq, task, a);
+        seq += 1;
+    }
+}
+
+/// [`run_immediate`] collecting the full [`Schedule`] — the batch-shaped
+/// convenience every `eft`/`dispatch` wrapper uses.
+pub fn immediate_schedule<S, D, R>(stream: S, disp: &mut D, rec: &mut R) -> Schedule
+where
+    S: ArrivalStream,
+    D: ImmediateDispatcher + ?Sized,
+    R: Recorder,
+{
+    let mut assignments = Vec::with_capacity(stream.len_hint().unwrap_or(0));
+    run_immediate(stream, disp, rec, &mut assignments);
+    Schedule::new(assignments)
+}
+
+/// A machine-free event in the FIFO heap, ordered by time then machine
+/// index (machines freeing simultaneously pop in index order, matching
+/// the tie-set convention below).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct FreeEvent {
+    time: Time,
+    machine: usize,
+}
+
+impl Eq for FreeEvent {}
+
+impl Ord for FreeEvent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time
+            .partial_cmp(&other.time)
+            .expect("event times are never NaN")
+            .then_with(|| self.machine.cmp(&other.machine))
+    }
+}
+
+impl PartialOrd for FreeEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Drives FIFO (paper Algorithm 1) over an arrival stream.
+///
+/// A single global FIFO queue holds released tasks; whenever machines
+/// are idle, the earliest queued task is pulled by one of them (the
+/// tie-break picks which idle machine runs first). The event heap holds
+/// only machine-free events — arrivals are pulled lazily from the
+/// stream — so memory is O(m + queued tasks): on a stream whose queue
+/// stays short, arbitrarily long runs are constant-memory.
+///
+/// All events at one timestamp are applied before the dispatch loop
+/// (machine frees in index order, then arrivals in stream order), so
+/// machines freeing simultaneously form one tie set, as in the paper.
+/// `rec` sees *actual* transitions: idle at every completion, busy at
+/// every pull, even when both share a timestamp.
+///
+/// # Panics
+/// Panics if any arrival carries a real processing-set restriction —
+/// FIFO's central queue has no notion of eligibility — or if releases
+/// ever decrease.
+pub fn run_fifo<S, R, K>(mut stream: S, policy: TieBreak, rec: &mut R, sink: &mut K)
+where
+    S: ArrivalStream,
+    R: Recorder,
+    K: DispatchSink,
+{
+    let m = stream.machines();
+    assert!(m > 0, "need at least one machine");
+    let mut breaker = policy.breaker();
+    let mut events: BinaryHeap<Reverse<FreeEvent>> = BinaryHeap::new();
+    let mut idle: Vec<bool> = vec![true; m];
+    let mut queue: VecDeque<(u64, Task)> = VecDeque::new();
+
+    let mut next_seq: u64 = 0;
+    let mut last_release = f64::NEG_INFINITY;
+    let mut pull = |stream: &mut S, last_release: &mut f64| -> Option<(u64, Task)> {
+        let (task, set) = stream.next_arrival()?;
+        assert!(
+            set.len() == m,
+            "FIFO requires an unrestricted stream (P | online-ri | Fmax); \
+             use EFT for processing set restrictions"
+        );
+        assert!(
+            task.release >= *last_release,
+            "arrival stream must be in non-decreasing release order \
+             ({} after {last_release})",
+            task.release
+        );
+        *last_release = task.release;
+        let seq = next_seq;
+        next_seq += 1;
+        Some((seq, task))
+    };
+    let mut pending = pull(&mut stream, &mut last_release);
+
+    loop {
+        // The next timestamp with any event: a machine freeing, a task
+        // arriving, or both.
+        let now = match (events.peek(), &pending) {
+            (None, None) => break,
+            (Some(&Reverse(f)), None) => f.time,
+            (None, Some((_, t))) => t.release,
+            (Some(&Reverse(f)), Some((_, t))) => f.time.min(t.release),
+        };
+        // Apply every event at this timestamp before dispatching, so
+        // that machines freeing simultaneously form one tie set (as in
+        // the paper, where ties are "broken when at least 2 machines are
+        // idle at the same time").
+        while let Some(&Reverse(ev)) = events.peek() {
+            if ev.time != now {
+                break;
+            }
+            events.pop();
+            if R::ENABLED {
+                rec.machine_idle(ev.machine as u32, now);
+            }
+            idle[ev.machine] = true;
+        }
+        while let Some(&(seq, task)) = pending.as_ref() {
+            if task.release != now {
+                break;
+            }
+            if R::ENABLED {
+                rec.task_arrival(seq, now);
+            }
+            queue.push_back((seq, task));
+            pending = pull(&mut stream, &mut last_release);
+        }
+        // Dispatch loop: idle machines pull from the queue head.
+        loop {
+            if queue.is_empty() {
+                break;
+            }
+            let idle_set: Vec<usize> = (0..m).filter(|&j| idle[j]).collect();
+            if idle_set.is_empty() {
+                break;
+            }
+            let u = breaker.pick(&idle_set);
+            let (seq, task) = queue.pop_front().unwrap();
+            idle[u] = false;
+            if R::ENABLED {
+                rec.machine_busy(u as u32, now);
+                rec.task_dispatch(seq, u as u32, task.release, now, task.ptime);
+            }
+            events.push(Reverse(FreeEvent {
+                time: now + task.ptime,
+                machine: u,
+            }));
+            sink.accept(seq, task, Assignment::new(MachineId(u), now));
+        }
+    }
+}
+
+/// [`run_fifo`] collecting the full [`Schedule`]. FIFO dispatches the
+/// central queue in arrival order, so assignments reach the sink in
+/// task order and collect directly.
+pub fn fifo_schedule<S, R>(stream: S, policy: TieBreak, rec: &mut R) -> Schedule
+where
+    S: ArrivalStream,
+    R: Recorder,
+{
+    let mut assignments = Vec::with_capacity(stream.len_hint().unwrap_or(0));
+    run_fifo(stream, policy, rec, &mut assignments);
+    Schedule::new(assignments)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eft::EftState;
+    use flowsched_core::instance::InstanceBuilder;
+    use flowsched_core::procset::ProcSet;
+    use flowsched_core::stream::{FnStream, InstanceStream};
+    use flowsched_obs::NoopRecorder;
+
+    #[test]
+    fn immediate_engine_matches_direct_state_dispatch() {
+        let mut b = InstanceBuilder::new(3);
+        for i in 0..30 {
+            b.push_unit(
+                i as f64 * 0.25,
+                ProcSet::interval(i % 3, (i % 3).min(1) + 1),
+            );
+        }
+        let inst = b.build().unwrap();
+        let mut state = EftState::new(3, TieBreak::Min);
+        let via_engine =
+            immediate_schedule(InstanceStream::new(&inst), &mut state, &mut NoopRecorder);
+        let mut direct = EftState::new(3, TieBreak::Min);
+        let expected = Schedule::new(inst.iter().map(|(_, t, s)| direct.dispatch(t, s)).collect());
+        assert_eq!(via_engine, expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing release order")]
+    fn immediate_engine_rejects_time_travel() {
+        let releases = std::cell::Cell::new(2);
+        let stream = FnStream::new(2, move || {
+            let left = releases.get();
+            if left == 0 {
+                return None;
+            }
+            releases.set(left - 1);
+            // Second arrival releases *earlier* than the first.
+            Some((Task::unit(left as f64), ProcSet::full(2)))
+        });
+        let mut state = EftState::new(2, TieBreak::Min);
+        run_immediate(stream, &mut state, &mut NoopRecorder, &mut NullSink);
+    }
+
+    #[test]
+    #[should_panic(expected = "unrestricted")]
+    fn fifo_engine_rejects_restricted_arrivals() {
+        let fired = std::cell::Cell::new(false);
+        let stream = FnStream::new(2, move || {
+            if fired.replace(true) {
+                return None;
+            }
+            Some((Task::unit(0.0), ProcSet::singleton(0)))
+        });
+        run_fifo(stream, TieBreak::Min, &mut NoopRecorder, &mut NullSink);
+    }
+
+    #[test]
+    fn fifo_engine_handles_empty_streams() {
+        let stream = FnStream::new(3, || None);
+        let s = fifo_schedule(stream, TieBreak::Min, &mut NoopRecorder);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn null_sink_runs_discard_nothing_but_still_drive_state() {
+        let mut b = InstanceBuilder::new(2);
+        b.push_unit(0.0, ProcSet::full(2));
+        b.push_unit(0.0, ProcSet::full(2));
+        let inst = b.build().unwrap();
+        let mut state = EftState::new(2, TieBreak::Min);
+        run_immediate(
+            InstanceStream::new(&inst),
+            &mut state,
+            &mut NoopRecorder,
+            &mut NullSink,
+        );
+        assert_eq!(state.completions(), &[1.0, 1.0]);
+    }
+}

@@ -169,7 +169,10 @@ fn search(
 
     let mut complete = true;
     for j in candidates {
-        if tried.iter().any(|&(b, s)| b == busy[j] && s == signature[j]) {
+        if tried
+            .iter()
+            .any(|&(b, s)| b == busy[j] && s == signature[j])
+        {
             continue; // interchangeable with an explored branch
         }
         tried.push((busy[j], signature[j]));
@@ -269,7 +272,10 @@ mod tests {
     fn budget_exhaustion_returns_incumbent() {
         let mut b = InstanceBuilder::new(3);
         for i in 0..12 {
-            b.push(Task::new((i / 4) as f64, 1.0 + 0.25 * (i % 3) as f64), ProcSet::full(3));
+            b.push(
+                Task::new((i / 4) as f64, 1.0 + 0.25 * (i % 3) as f64),
+                ProcSet::full(3),
+            );
         }
         let inst = b.build().unwrap();
         let ex = exact_fmax(&inst, 5);
@@ -329,7 +335,10 @@ mod tests {
         // approximate run completes.
         let mut b = InstanceBuilder::new(3);
         for i in 0..15 {
-            b.push(Task::new(0.0, 1.0 + 0.25 * (i % 4) as f64), ProcSet::full(3));
+            b.push(
+                Task::new(0.0, 1.0 + 0.25 * (i % 4) as f64),
+                ProcSet::full(3),
+            );
         }
         let inst = b.build().unwrap();
         let budget = 4_000;

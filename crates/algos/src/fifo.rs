@@ -8,53 +8,20 @@
 //! set restrictions, so this implementation requires an unrestricted
 //! instance.
 //!
-//! The implementation is a faithful discrete-event simulation (arrival
-//! and machine-free events), deliberately *not* sharing code with
-//! [`crate::eft()`], so the equivalence of Proposition 1 is validated by
-//! running two independent engines.
-
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+//! The implementation — [`crate::engine::run_fifo`] — is a faithful
+//! discrete-event simulation (a machine-free event heap merged with the
+//! lazy arrival stream), deliberately *not* sharing its loop with the
+//! immediate-dispatch engine behind [`crate::eft()`], so the
+//! equivalence of Proposition 1 is validated by running two independent
+//! engines over the same stream.
 
 use flowsched_core::instance::Instance;
-use flowsched_core::machine::MachineId;
-use flowsched_core::schedule::{Assignment, Schedule};
-use flowsched_core::time::Time;
+use flowsched_core::schedule::Schedule;
+use flowsched_core::stream::{ArrivalStream, InstanceStream};
 use flowsched_obs::{NoopRecorder, Recorder};
 
+use crate::engine;
 use crate::tiebreak::TieBreak;
-
-/// Event kinds, ordered so that at equal times machine-free events are
-/// handled before arrivals (either order yields the same schedule; fixing
-/// one keeps the simulation deterministic).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-enum EventKind {
-    MachineFree(usize),
-    Arrival(usize),
-}
-
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct Event {
-    time: Time,
-    kind: EventKind,
-}
-
-impl Eq for Event {}
-
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.time
-            .partial_cmp(&other.time)
-            .expect("event times are never NaN")
-            .then_with(|| self.kind.cmp(&other.kind))
-    }
-}
-
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
 
 /// Runs FIFO (Algorithm 1) over an unrestricted instance.
 ///
@@ -74,97 +41,40 @@ impl PartialOrd for Event {
 /// Panics if any task carries a real processing-set restriction — FIFO's
 /// central queue has no notion of eligibility (see module docs).
 pub fn fifo(inst: &Instance, policy: TieBreak) -> Schedule {
-    fifo_recorded(inst, policy, &mut NoopRecorder)
+    fifo_stream(InstanceStream::new(inst), policy, &mut NoopRecorder)
 }
 
-/// [`fifo`] with instrumentation hooks. Unlike the immediate-dispatch
-/// EFT trace, the FIFO event loop knows transition times exactly, so
-/// `rec` sees *actual* busy/idle transitions: a machine goes busy when
-/// it pulls a task and idle at every completion (even when it re-fills
-/// in the same instant — the pair shares a timestamp and still
-/// alternates). Task sequence numbers are instance `TaskId`s. With
-/// [`NoopRecorder`] this is exactly [`fifo`].
+/// Runs FIFO over an arbitrary unrestricted [`ArrivalStream`] — the
+/// canonical entry point. The central-queue event loop
+/// ([`engine::run_fifo`]) pulls arrivals lazily, so memory is bounded by
+/// the machines plus the live queue, never the stream length. Unlike
+/// the immediate-dispatch trace, the FIFO event loop knows transition
+/// times exactly, so `rec` sees *actual* busy/idle transitions: a
+/// machine goes busy when it pulls a task and idle at every completion
+/// (even when it re-fills in the same instant — the pair shares a
+/// timestamp and still alternates). Task sequence numbers are arrival
+/// ordinals (instance `TaskId`s when replaying an instance).
 ///
 /// # Panics
-/// Panics if any task carries a real processing-set restriction — FIFO's
-/// central queue has no notion of eligibility (see module docs).
+/// Panics if any arrival carries a real processing-set restriction —
+/// FIFO's central queue has no notion of eligibility (see module docs).
+pub fn fifo_stream<S: ArrivalStream, R: Recorder>(
+    stream: S,
+    policy: TieBreak,
+    rec: &mut R,
+) -> Schedule {
+    engine::fifo_schedule(stream, policy, rec)
+}
+
+/// [`fifo`] with instrumentation hooks.
+#[deprecated(
+    since = "0.3.0",
+    note = "use `fifo_stream(InstanceStream::new(inst), policy, rec)` or \
+            `engine::run_fifo`; the plain/`*_recorded` twins were \
+            collapsed into the streaming engine"
+)]
 pub fn fifo_recorded<R: Recorder>(inst: &Instance, policy: TieBreak, rec: &mut R) -> Schedule {
-    assert!(
-        inst.is_unrestricted(),
-        "FIFO requires an unrestricted instance (P | online-ri | Fmax); \
-         use EFT for processing set restrictions"
-    );
-    let m = inst.machines();
-    let mut breaker = policy.breaker();
-    let mut events: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
-    for (id, task, _) in inst.iter() {
-        events.push(Reverse(Event { time: task.release, kind: EventKind::Arrival(id.0) }));
-    }
-    let mut idle: Vec<bool> = vec![true; m];
-    let mut queue: VecDeque<usize> = VecDeque::new();
-    let mut assignments: Vec<Option<Assignment>> = vec![None; inst.len()];
-
-    while let Some(&Reverse(first)) = events.peek() {
-        // Apply every event at this timestamp before dispatching, so that
-        // machines freeing simultaneously form one tie set (as in the
-        // paper, where ties are "broken when at least 2 machines are idle
-        // at the same time").
-        let now = first.time;
-        while let Some(&Reverse(ev)) = events.peek() {
-            if ev.time != now {
-                break;
-            }
-            events.pop();
-            match ev.kind {
-                EventKind::Arrival(i) => {
-                    if R::ENABLED {
-                        rec.task_arrival(i as u64, now);
-                    }
-                    queue.push_back(i);
-                }
-                EventKind::MachineFree(j) => {
-                    if R::ENABLED {
-                        rec.machine_idle(j as u32, now);
-                    }
-                    idle[j] = true;
-                }
-            }
-        }
-        // Dispatch loop: idle machines pull from the queue head.
-        loop {
-            if queue.is_empty() {
-                break;
-            }
-            let idle_set: Vec<usize> =
-                (0..m).filter(|&j| idle[j]).collect();
-            if idle_set.is_empty() {
-                break;
-            }
-            let u = breaker.pick(&idle_set);
-            let i = queue.pop_front().unwrap();
-            idle[u] = false;
-            assignments[i] = Some(Assignment::new(MachineId(u), now));
-            let completion = now + inst.tasks()[i].ptime;
-            if R::ENABLED {
-                rec.machine_busy(u as u32, now);
-                rec.task_dispatch(
-                    i as u64,
-                    u as u32,
-                    inst.tasks()[i].release,
-                    now,
-                    inst.tasks()[i].ptime,
-                );
-            }
-            events.push(Reverse(Event { time: completion, kind: EventKind::MachineFree(u) }));
-        }
-    }
-
-    Schedule::new(
-        assignments
-            .into_iter()
-            .map(|a| a.expect("every task is eventually dispatched"))
-            .collect(),
-    )
+    fifo_stream(InstanceStream::new(inst), policy, rec)
 }
 
 #[cfg(test)]
@@ -172,6 +82,7 @@ mod tests {
     use super::*;
     use crate::eft::eft;
     use flowsched_core::instance::InstanceBuilder;
+    use flowsched_core::machine::MachineId;
     use flowsched_core::procset::ProcSet;
     use flowsched_core::task::{Task, TaskId};
 
@@ -224,7 +135,10 @@ mod tests {
                 let se = eft(&inst, tb);
                 sf.validate(&inst).unwrap();
                 se.validate(&inst).unwrap();
-                assert_eq!(sf, se, "Proposition 1 violated for {tb} (shift {seed_shift})");
+                assert_eq!(
+                    sf, se,
+                    "Proposition 1 violated for {tb} (shift {seed_shift})"
+                );
             }
         }
     }
@@ -262,7 +176,7 @@ mod tests {
         b.push_unrestricted(Task::new(0.0, 1.0));
         let inst = b.build().unwrap();
         let mut rec = MemoryRecorder::with_defaults(2);
-        let recorded = fifo_recorded(&inst, TieBreak::Min, &mut rec);
+        let recorded = fifo_stream(InstanceStream::new(&inst), TieBreak::Min, &mut rec);
         assert_eq!(recorded, fifo(&inst, TieBreak::Min));
         assert_eq!(rec.counters().get(Counter::TasksArrived), 3);
         assert_eq!(rec.counters().get(Counter::TasksDispatched), 3);
@@ -277,5 +191,23 @@ mod tests {
         let inst = Instance::unrestricted(3, vec![]).unwrap();
         let s = fifo(&inst, TieBreak::Min);
         assert!(s.is_empty());
+    }
+
+    #[test]
+    fn deprecated_recorded_wrapper_still_matches() {
+        use flowsched_obs::MemoryRecorder;
+        let inst = Instance::unrestricted(
+            2,
+            vec![
+                Task::new(0.0, 2.0),
+                Task::new(0.5, 1.0),
+                Task::new(0.5, 1.0),
+            ],
+        )
+        .unwrap();
+        let mut rec = MemoryRecorder::with_defaults(2);
+        #[allow(deprecated)]
+        let s = fifo_recorded(&inst, TieBreak::Min, &mut rec);
+        assert_eq!(s, fifo(&inst, TieBreak::Min));
     }
 }

@@ -3,6 +3,12 @@
 //! The paper's scheduling algorithms and the reference solvers used to
 //! measure them:
 //!
+//! - [`engine`]: the streaming scheduler core — one generic
+//!   discrete-event engine per algorithm family (immediate dispatch and
+//!   central-queue FIFO), driving any
+//!   [`ArrivalStream`](flowsched_core::ArrivalStream) under any
+//!   [`Recorder`](flowsched_obs::Recorder) into any
+//!   [`DispatchSink`](engine::DispatchSink).
 //! - [`tiebreak`]: the tie-break policies distinguishing EFT-Min
 //!   (Algorithm 3), EFT-Max, and EFT-Rand (Algorithm 4).
 //! - [`eft`](mod@eft): Earliest Finish Time — the immediate-dispatch scheduler of
@@ -20,6 +26,7 @@
 
 pub mod compose;
 pub mod eft;
+pub mod engine;
 pub mod exact;
 pub mod fifo;
 pub mod localsearch;
@@ -30,21 +37,29 @@ pub mod related;
 pub mod tiebreak;
 
 pub use compose::compose_disjoint;
-pub use eft::{EftState, ImmediateDispatcher, eft, eft_recorded};
-pub use exact::{ExactResult, approx_fmax, exact_fmax};
+#[allow(deprecated)]
+pub use eft::eft_recorded;
+pub use eft::{eft, eft_stream, EftState, ImmediateDispatcher};
+pub use engine::{
+    fifo_schedule, immediate_schedule, run_fifo, run_immediate, DispatchSink, NullSink,
+};
+pub use exact::{approx_fmax, exact_fmax, ExactResult};
+#[allow(deprecated)]
+pub use fifo::fifo_recorded;
+pub use fifo::{fifo, fifo_stream};
 pub use localsearch::{eft_plus_local_search, improve};
-pub use fifo::{fifo, fifo_recorded};
 pub use offline::{brute_force_fmax, fmax_lower_bound, optimal_unit_fmax};
-pub use policies::{DispatchRule, Dispatcher};
+pub use policies::{dispatch_stream, DispatchRule, Dispatcher};
 pub use preemptive::optimal_preemptive_fmax;
-pub use related::{RelatedRule, RelatedState, related_dispatch, related_fmax};
+pub use related::{related_dispatch, related_fmax, RelatedRule, RelatedState};
 pub use tiebreak::TieBreak;
 
 /// Most used items for downstream crates.
 pub mod prelude {
-    pub use crate::eft::{EftState, ImmediateDispatcher, eft};
-    pub use crate::exact::{ExactResult, exact_fmax};
-    pub use crate::fifo::fifo;
+    pub use crate::eft::{eft, eft_stream, EftState, ImmediateDispatcher};
+    pub use crate::engine::{run_fifo, run_immediate};
+    pub use crate::exact::{exact_fmax, ExactResult};
+    pub use crate::fifo::{fifo, fifo_stream};
     pub use crate::offline::{brute_force_fmax, fmax_lower_bound, optimal_unit_fmax};
     pub use crate::policies::{DispatchRule, Dispatcher};
     pub use crate::preemptive::optimal_preemptive_fmax;

@@ -23,7 +23,11 @@ use crate::tiebreak::TieBreak;
 /// # Panics
 /// Panics if `seed` does not match the instance (wrong length).
 pub fn improve(inst: &Instance, seed: &Schedule, max_moves: usize) -> Schedule {
-    assert_eq!(seed.len(), inst.len(), "seed schedule must cover the instance");
+    assert_eq!(
+        seed.len(),
+        inst.len(),
+        "seed schedule must cover the instance"
+    );
     if inst.is_empty() {
         return seed.clone();
     }
@@ -43,7 +47,12 @@ pub fn improve(inst: &Instance, seed: &Schedule, max_moves: usize) -> Schedule {
         // any other task sharing its machine (unblocking the critical
         // path from either end).
         let movers: Vec<TaskId> = std::iter::once(critical)
-            .chain(lanes[critical_machine].iter().copied().filter(|&t| t != critical))
+            .chain(
+                lanes[critical_machine]
+                    .iter()
+                    .copied()
+                    .filter(|&t| t != critical),
+            )
             .collect();
         for mover in movers {
             for &alt in inst.set(mover).as_slice() {
@@ -148,7 +157,11 @@ mod tests {
         let inst = b.build().unwrap();
         let seed = eft(&inst, TieBreak::Min); // both crash on M1 vs split
         let improved = improve(&inst, &seed, 10);
-        assert!(improved.fmax(&inst) <= 4.0 + 1e-12, "{}", improved.fmax(&inst));
+        assert!(
+            improved.fmax(&inst) <= 4.0 + 1e-12,
+            "{}",
+            improved.fmax(&inst)
+        );
         assert!(seed.fmax(&inst) >= 8.0 - 1e-12, "seed was already fine?");
     }
 
@@ -174,7 +187,10 @@ mod tests {
             }
             assert!(improved.fmax(&inst) >= opt - 1e-9, "better than optimal?!");
         }
-        assert!(hits * 2 >= trials, "local search optimal on only {hits}/{trials}");
+        assert!(
+            hits * 2 >= trials,
+            "local search optimal on only {hits}/{trials}"
+        );
     }
 
     #[test]

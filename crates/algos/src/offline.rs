@@ -102,9 +102,7 @@ pub fn unit_budget_feasible(inst: &Instance, budget: usize) -> bool {
     let min_r = inst.tasks().first().map(|t| t.release as i64).unwrap_or(0);
     let max_r = inst.tasks().last().map(|t| t.release as i64).unwrap_or(0);
     let horizon = (max_r - min_r) as usize + budget; // slots per machine
-    let slot_id = |machine: usize, t: i64| -> usize {
-        machine * horizon + (t - min_r) as usize
-    };
+    let slot_id = |machine: usize, t: i64| -> usize { machine * horizon + (t - min_r) as usize };
     let mut g = BipartiteMatcher::new(n, m * horizon);
     for (id, task, set) in inst.iter() {
         let r = task.release as i64;
@@ -153,7 +151,13 @@ fn search(inst: &Instance, i: usize, busy: &mut [f64], fmax_so_far: f64, best: &
         let completion = start + task.ptime;
         let saved = busy[j];
         busy[j] = completion;
-        search(inst, i + 1, busy, fmax_so_far.max(completion - task.release), best);
+        search(
+            inst,
+            i + 1,
+            busy,
+            fmax_so_far.max(completion - task.release),
+            best,
+        );
         busy[j] = saved;
     }
 }

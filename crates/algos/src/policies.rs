@@ -29,8 +29,8 @@ use flowsched_core::schedule::{Assignment, Schedule};
 use flowsched_core::task::Task;
 use flowsched_core::time::Time;
 use flowsched_stats::rng::derive_rng;
-use rand::Rng;
 use rand::rngs::StdRng;
+use rand::Rng;
 
 use crate::eft::{EftState, ImmediateDispatcher};
 use crate::tiebreak::TieBreak;
@@ -100,7 +100,10 @@ impl Dispatcher {
             }
             DispatchRule::RoundRobin => RuleState::RoundRobin(HashMap::new()),
         };
-        Dispatcher { completions: vec![0.0; m], kind }
+        Dispatcher {
+            completions: vec![0.0; m],
+            kind,
+        }
     }
 
     /// Dispatches one task under the configured rule.
@@ -159,8 +162,27 @@ impl ImmediateDispatcher for Dispatcher {
 
 /// Runs a dispatch rule over a whole instance.
 pub fn dispatch(inst: &flowsched_core::Instance, rule: DispatchRule) -> Schedule {
-    let mut state = Dispatcher::new(inst.machines(), rule);
-    Schedule::new(inst.iter().map(|(_, t, s)| state.dispatch(t, s)).collect())
+    use flowsched_core::stream::InstanceStream;
+    dispatch_stream(
+        InstanceStream::new(inst),
+        rule,
+        &mut flowsched_obs::NoopRecorder,
+    )
+}
+
+/// Runs a dispatch rule over an arbitrary [`ArrivalStream`] — the
+/// canonical entry point, shared with EFT via
+/// [`engine::run_immediate`](crate::engine::run_immediate). Because the
+/// engine, not the rule, emits busy/idle transitions, `rec` sees the
+/// same uniform transition convention for every rule (random,
+/// power-of-d, round-robin) that the EFT trace follows.
+pub fn dispatch_stream<S, R>(stream: S, rule: DispatchRule, rec: &mut R) -> Schedule
+where
+    S: flowsched_core::stream::ArrivalStream,
+    R: flowsched_obs::Recorder,
+{
+    let mut state = Dispatcher::new(stream.machines(), rule);
+    crate::engine::immediate_schedule(stream, &mut state, rec)
 }
 
 #[cfg(test)]
@@ -241,7 +263,10 @@ mod tests {
         let inst = burst_instance(4, 4, 30);
         let eft_fmax = dispatch(&inst, DispatchRule::Eft(TieBreak::Min)).fmax(&inst);
         let many = dispatch(&inst, DispatchRule::TwoChoices { d: 16, seed: 9 }).fmax(&inst);
-        assert!(many <= eft_fmax + 2.0, "choices(16) {many} vs EFT {eft_fmax}");
+        assert!(
+            many <= eft_fmax + 2.0,
+            "choices(16) {many} vs EFT {eft_fmax}"
+        );
     }
 
     #[test]
@@ -280,8 +305,14 @@ mod tests {
     #[test]
     fn display_labels() {
         assert_eq!(DispatchRule::Eft(TieBreak::Min).to_string(), "EFT-Min");
-        assert_eq!(DispatchRule::RandomMachine { seed: 0 }.to_string(), "Random");
-        assert_eq!(DispatchRule::TwoChoices { d: 2, seed: 0 }.to_string(), "Choices(2)");
+        assert_eq!(
+            DispatchRule::RandomMachine { seed: 0 }.to_string(),
+            "Random"
+        );
+        assert_eq!(
+            DispatchRule::TwoChoices { d: 2, seed: 0 }.to_string(),
+            "Choices(2)"
+        );
         assert_eq!(DispatchRule::RoundRobin.to_string(), "RoundRobin");
     }
 

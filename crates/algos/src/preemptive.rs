@@ -50,8 +50,11 @@ pub fn preemptive_budget_feasible(inst: &Instance, f: Time) -> bool {
         .collect();
     cuts.sort_by(|a, b| a.partial_cmp(b).unwrap());
     cuts.dedup();
-    let intervals: Vec<(Time, Time)> =
-        cuts.windows(2).map(|w| (w[0], w[1])).filter(|(a, b)| b > a).collect();
+    let intervals: Vec<(Time, Time)> = cuts
+        .windows(2)
+        .map(|w| (w[0], w[1]))
+        .filter(|(a, b)| b > a)
+        .collect();
     let q = intervals.len();
 
     // Node layout.

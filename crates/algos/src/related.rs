@@ -54,7 +54,11 @@ impl RelatedState {
             "speeds must be positive"
         );
         let m = speeds.len();
-        RelatedState { speeds, completions: vec![0.0; m], rule }
+        RelatedState {
+            speeds,
+            completions: vec![0.0; m],
+            rule,
+        }
     }
 
     /// Number of machines.
@@ -164,10 +168,7 @@ mod tests {
         let related = related_dispatch(&inst, vec![1.0; 3], RelatedRule::Greedy);
         let plain = eft(&inst, TieBreak::Min);
         assert_eq!(related, plain);
-        assert_eq!(
-            related_fmax(&related, &inst, &[1.0; 3]),
-            plain.fmax(&inst)
-        );
+        assert_eq!(related_fmax(&related, &inst, &[1.0; 3]), plain.fmax(&inst));
     }
 
     #[test]
@@ -209,18 +210,14 @@ mod tests {
         // machine that still meets the budget.
         let inst = burst(2, 2);
         let speeds = vec![4.0, 1.0];
-        let s = related_dispatch(
-            &inst,
-            speeds.clone(),
-            RelatedRule::SlowFit { budget: 10.0 },
+        let s = related_dispatch(&inst, speeds.clone(), RelatedRule::SlowFit { budget: 10.0 });
+        assert_eq!(
+            s.machine(TaskId(0)).index(),
+            1,
+            "first task on the slow machine"
         );
-        assert_eq!(s.machine(TaskId(0)).index(), 1, "first task on the slow machine");
         // Tight budget: it must fall back toward fast machines.
-        let tight = related_dispatch(
-            &inst,
-            speeds.clone(),
-            RelatedRule::SlowFit { budget: 0.3 },
-        );
+        let tight = related_dispatch(&inst, speeds.clone(), RelatedRule::SlowFit { budget: 0.3 });
         assert_eq!(tight.machine(TaskId(0)).index(), 0);
     }
 

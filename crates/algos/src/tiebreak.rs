@@ -9,8 +9,8 @@
 //! EFT-Max beating EFT-Min under worst-case popularity bias.
 
 use flowsched_stats::rng::derive_rng;
-use rand::Rng;
 use rand::rngs::StdRng;
+use rand::Rng;
 
 /// A tie-break policy (declarative form, used in public APIs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,7 +68,10 @@ impl Breaker {
     /// # Panics
     /// Panics on an empty candidate set.
     pub fn pick(&mut self, candidates: &[usize]) -> usize {
-        assert!(!candidates.is_empty(), "tie-break requires at least one candidate");
+        assert!(
+            !candidates.is_empty(),
+            "tie-break requires at least one candidate"
+        );
         match self {
             Breaker::Min => candidates[0],
             Breaker::Max => *candidates.last().unwrap(),
@@ -112,7 +115,10 @@ mod tests {
         for _ in 0..1000 {
             seen[b.pick(&[0, 1, 2, 3])] = true;
         }
-        assert!(seen.iter().all(|&s| s), "some candidate never chosen: {seen:?}");
+        assert!(
+            seen.iter().all(|&s| s),
+            "some candidate never chosen: {seen:?}"
+        );
     }
 
     #[test]

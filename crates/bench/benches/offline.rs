@@ -2,7 +2,7 @@
 //! preemptive max-flow optimum, local search) and the model substrates
 //! (structure classification, Zipf sampling).
 
-use criterion::{Criterion, criterion_group, criterion_main};
+use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use flowsched_algos::exact::exact_fmax;
@@ -12,7 +12,7 @@ use flowsched_algos::tiebreak::TieBreak;
 use flowsched_core::structure;
 use flowsched_stats::rng::seeded_rng;
 use flowsched_stats::zipf::Zipf;
-use flowsched_workloads::random::{RandomInstanceConfig, StructureKind, random_instance};
+use flowsched_workloads::random::{random_instance, RandomInstanceConfig, StructureKind};
 
 fn bench_exact_solvers(c: &mut Criterion) {
     let inst = random_instance(
@@ -57,5 +57,10 @@ fn bench_zipf_sampling(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_exact_solvers, bench_structure_classification, bench_zipf_sampling);
+criterion_group!(
+    benches,
+    bench_exact_solvers,
+    bench_structure_classification,
+    bench_zipf_sampling
+);
 criterion_main!(benches);

@@ -2,13 +2,13 @@
 //! the workloads the experiments run — EFT with each tie-break, and FIFO
 //! for the Proposition 1 pairing.
 
-use criterion::{Criterion, criterion_group, criterion_main};
+use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use flowsched_algos::tiebreak::TieBreak;
 use flowsched_algos::{eft, fifo};
 use flowsched_workloads::adversary::interval::interval_adversary_instance;
-use flowsched_workloads::random::{RandomInstanceConfig, StructureKind, random_instance};
+use flowsched_workloads::random::{random_instance, RandomInstanceConfig, StructureKind};
 
 fn bench_eft_policies(c: &mut Criterion) {
     let inst = random_instance(
@@ -30,7 +30,9 @@ fn bench_fifo_vs_eft(c: &mut Criterion) {
         2,
     );
     let mut g = c.benchmark_group("fifo_vs_eft_unrestricted_10k");
-    g.bench_function("eft", |b| b.iter(|| black_box(eft(black_box(&inst), TieBreak::Min))));
+    g.bench_function("eft", |b| {
+        b.iter(|| black_box(eft(black_box(&inst), TieBreak::Min)))
+    });
     g.bench_function("fifo_event_sim", |b| {
         b.iter(|| black_box(fifo(black_box(&inst), TieBreak::Min)))
     });
@@ -44,5 +46,10 @@ fn bench_adversary_stream(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_eft_policies, bench_fifo_vs_eft, bench_adversary_stream);
+criterion_group!(
+    benches,
+    bench_eft_policies,
+    bench_fifo_vs_eft,
+    bench_adversary_stream
+);
 criterion_main!(benches);

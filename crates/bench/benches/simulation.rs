@@ -1,13 +1,13 @@
 //! Criterion benchmarks: end-to-end simulation throughput (one Figure 11
 //! point) and the parallel sweep utilities (DESIGN.md ablation 4).
 
-use criterion::{Criterion, criterion_group, criterion_main};
+use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use flowsched_kvstore::cluster::{ClusterConfig, KvCluster};
 use flowsched_kvstore::replication::ReplicationStrategy;
 use flowsched_parallel::par_map;
-use flowsched_sim::driver::{SimConfig, simulate};
+use flowsched_sim::driver::{simulate, SimConfig};
 use flowsched_stats::rng::seeded_rng;
 use flowsched_stats::zipf::BiasCase;
 

@@ -9,12 +9,12 @@
 //! `BENCH_PR1.json`, which is where the flat-tableau / persistent-probe
 //! speedups are judged.
 
-use criterion::{Criterion, criterion_group, criterion_main};
+use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use flowsched_kvstore::replication::ReplicationStrategy;
 use flowsched_solver::loadflow::{
-    MaxLoadProber, max_load_binary_search, max_load_lp, max_load_lp_with,
+    max_load_binary_search, max_load_lp, max_load_lp_with, MaxLoadProber,
 };
 use flowsched_solver::matching::BipartiteMatcher;
 use flowsched_solver::reference;
@@ -44,7 +44,13 @@ fn bench_load_solvers(c: &mut Criterion) {
     {
         let mut scratch = SimplexScratch::new();
         g.bench_function("simplex_lp_overlapping_warm", |b| {
-            b.iter(|| black_box(max_load_lp_with(black_box(&w), black_box(&over), &mut scratch)))
+            b.iter(|| {
+                black_box(max_load_lp_with(
+                    black_box(&w),
+                    black_box(&over),
+                    &mut scratch,
+                ))
+            })
         });
     }
     g.bench_function("seed_simplex_lp_overlapping", |b| {
@@ -59,7 +65,13 @@ fn bench_load_solvers(c: &mut Criterion) {
     // Bisection on λ: persistent prober (built per call / reused) vs the
     // seed's network-rebuild-per-probe search.
     g.bench_function("maxflow_bisect_overlapping", |b| {
-        b.iter(|| black_box(max_load_binary_search(black_box(&w), black_box(&over), 1e-6)))
+        b.iter(|| {
+            black_box(max_load_binary_search(
+                black_box(&w),
+                black_box(&over),
+                1e-6,
+            ))
+        })
     });
     {
         let mut prober = MaxLoadProber::new(&w, &over);
@@ -68,7 +80,13 @@ fn bench_load_solvers(c: &mut Criterion) {
         });
     }
     g.bench_function("seed_maxflow_bisect_overlapping", |b| {
-        b.iter(|| black_box(reference::max_load_binary_search(black_box(&w), black_box(&over), 1e-6)))
+        b.iter(|| {
+            black_box(reference::max_load_binary_search(
+                black_box(&w),
+                black_box(&over),
+                1e-6,
+            ))
+        })
     });
     // A single feasibility probe, the inner-loop unit of the bisection.
     {
@@ -78,7 +96,13 @@ fn bench_load_solvers(c: &mut Criterion) {
         });
     }
     g.bench_function("seed_feasibility_probe", |b| {
-        b.iter(|| black_box(reference::load_is_feasible(black_box(&w), black_box(&over), 10.0)))
+        b.iter(|| {
+            black_box(reference::load_is_feasible(
+                black_box(&w),
+                black_box(&over),
+                10.0,
+            ))
+        })
     });
     g.finish();
 }

@@ -1,0 +1,101 @@
+//! Criterion benchmarks: the streaming engine against the batch path.
+//!
+//! `replay_*` pins the refactor overhead — the batch entry points now
+//! run through `InstanceStream` + the shared engine, so `eft` on a
+//! materialized instance must cost what it did before the streaming
+//! core landed (compare against `BENCH_PR1.json`'s scheduler rows).
+//! `generate_*` measures the end-to-end difference the stream unlocks:
+//! folding a report straight off a `PoissonStream` versus materializing
+//! the same arrivals into an `Instance` first and scheduling that.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use flowsched_algos::eft::eft_stream;
+use flowsched_algos::tiebreak::TieBreak;
+use flowsched_core::stream::collect_stream;
+use flowsched_obs::NoopRecorder;
+use flowsched_sim::driver::{simulate, simulate_stream, SimConfig};
+use flowsched_sim::report::ReportConfig;
+use flowsched_workloads::random::{PoissonStream, PoissonStreamConfig, StructureKind};
+
+fn poisson_config(n: usize) -> PoissonStreamConfig {
+    PoissonStreamConfig {
+        m: 15,
+        n,
+        structure: StructureKind::RingFixed(3),
+        lambda: 7.5,
+        unit: false,
+        ptime_steps: 6,
+    }
+}
+
+fn bench_replay_vs_direct_stream(c: &mut Criterion) {
+    // Same 20k arrivals, two sources: a materialized instance replayed
+    // through the engine vs the generator streamed straight in.
+    let cfg = poisson_config(20_000);
+    let inst = collect_stream(PoissonStream::new(&cfg, 11)).unwrap();
+    let mut g = c.benchmark_group("eft_20k_ring3");
+    g.bench_function("replay_instance", |b| {
+        b.iter(|| black_box(simulate(black_box(&inst), &SimConfig::default())))
+    });
+    g.bench_function("stream_direct", |b| {
+        b.iter(|| {
+            black_box(simulate_stream(
+                PoissonStream::new(black_box(&cfg), 11),
+                TieBreak::Min,
+                &ReportConfig::default(),
+                &mut NoopRecorder,
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn bench_generate_and_schedule_100k(c: &mut Criterion) {
+    // End to end from a cold generator: materialize-then-schedule vs
+    // fold-online. The streaming side never allocates per task.
+    let cfg = poisson_config(100_000);
+    let mut g = c.benchmark_group("poisson_100k_ring3");
+    g.bench_function("materialize_then_simulate", |b| {
+        b.iter(|| {
+            let inst = collect_stream(PoissonStream::new(black_box(&cfg), 29)).unwrap();
+            black_box(simulate(&inst, &SimConfig::default()))
+        })
+    });
+    g.bench_function("simulate_stream", |b| {
+        b.iter(|| {
+            black_box(simulate_stream(
+                PoissonStream::new(black_box(&cfg), 29),
+                TieBreak::Min,
+                &ReportConfig::default(),
+                &mut NoopRecorder,
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn bench_schedule_only_stream(c: &mut Criterion) {
+    // The engine alone (schedule materialized, report skipped): the cost
+    // of `eft_stream` on a generator, the shape `flowsched-parallel`
+    // sweeps shard over seeds.
+    let cfg = poisson_config(20_000);
+    c.bench_function("eft_stream_20k_ring3", |b| {
+        b.iter(|| {
+            black_box(eft_stream(
+                PoissonStream::new(black_box(&cfg), 47),
+                TieBreak::Min,
+                &mut NoopRecorder,
+            ))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_replay_vs_direct_stream,
+    bench_generate_and_schedule_100k,
+    bench_schedule_only_stream
+);
+criterion_main!(benches);

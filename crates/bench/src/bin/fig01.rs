@@ -26,7 +26,11 @@ fn main() {
     let m = 6;
     family(
         "inclusive chain {M1}⊂{M1,M2}⊂M",
-        &[ProcSet::new(vec![0]), ProcSet::new(vec![0, 1]), ProcSet::full(m)],
+        &[
+            ProcSet::new(vec![0]),
+            ProcSet::new(vec![0, 1]),
+            ProcSet::full(m),
+        ],
         m,
     );
     family(
@@ -46,7 +50,9 @@ fn main() {
     );
     family(
         "overlapping ring intervals",
-        &(0..m).map(|u| ProcSet::ring_interval(u, 3, m)).collect::<Vec<_>>(),
+        &(0..m)
+            .map(|u| ProcSet::ring_interval(u, 3, m))
+            .collect::<Vec<_>>(),
         m,
     );
     family(
@@ -64,14 +70,17 @@ fn main() {
         ProcSet::new(vec![1, 2]),
         ProcSet::new(vec![2]),
     ];
-    println!("  before: {:?} (interval family: {})",
+    println!(
+        "  before: {:?} (interval family: {})",
         fam.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
-        structure::is_interval_family(&fam));
-    let perm = structure::nested_to_interval_order(&fam, m)
-        .expect("family is laminar");
+        structure::is_interval_family(&fam)
+    );
+    let perm = structure::nested_to_interval_order(&fam, m).expect("family is laminar");
     let renamed = structure::apply_machine_permutation(&fam, &perm);
     println!("  permutation (old→new): {perm:?}");
-    println!("  after:  {:?} (interval family: {})",
+    println!(
+        "  after:  {:?} (interval family: {})",
         renamed.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
-        structure::is_interval_family(&renamed));
+        structure::is_interval_family(&renamed)
+    );
 }

@@ -5,7 +5,7 @@
 
 use flowsched_algos::eft::EftState;
 use flowsched_algos::tiebreak::TieBreak;
-use flowsched_core::gantt::{GanttOptions, render};
+use flowsched_core::gantt::{render, GanttOptions};
 use flowsched_workloads::adversary::nested::nested_adversary;
 
 fn main() {
@@ -23,7 +23,11 @@ fn main() {
     let art = render(
         &out.schedule,
         &out.instance,
-        &GanttOptions { resolution: 1.0, until: None, numbered: false },
+        &GanttOptions {
+            resolution: 1.0,
+            until: None,
+            numbered: false,
+        },
     );
     println!("{art}");
     println!(

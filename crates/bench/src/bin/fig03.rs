@@ -4,7 +4,7 @@
 
 use flowsched_algos::eft::EftState;
 use flowsched_algos::tiebreak::TieBreak;
-use flowsched_core::gantt::{GanttOptions, render};
+use flowsched_core::gantt::{render, GanttOptions};
 use flowsched_workloads::adversary::interval::run_interval_adversary;
 
 fn main() {
@@ -22,7 +22,11 @@ fn main() {
     let art = render(
         &out.schedule,
         &out.instance,
-        &GanttOptions { resolution: 1.0, until: None, numbered: true },
+        &GanttOptions {
+            resolution: 1.0,
+            until: None,
+            numbered: true,
+        },
     );
     println!("{art}");
     println!("Fmax after {steps} steps: {}", out.fmax());

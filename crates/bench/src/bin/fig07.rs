@@ -5,7 +5,7 @@
 use flowsched_algos::eft::EftState;
 use flowsched_algos::tiebreak::TieBreak;
 use flowsched_workloads::adversary::interval::run_interval_adversary;
-use flowsched_workloads::adversary::padded::{DELTA, EPSILON, padded_interval_adversary};
+use flowsched_workloads::adversary::padded::{padded_interval_adversary, DELTA, EPSILON};
 
 fn main() {
     let (m, k) = (6, 3);
@@ -29,7 +29,11 @@ fn main() {
     }
 
     // The punchline: every tie-break now reaches m − k + 1.
-    println!("\nFmax on the padded stream after {} steps (target m−k+1 = {}):", m * m, m - k + 1);
+    println!(
+        "\nFmax on the padded stream after {} steps (target m−k+1 = {}):",
+        m * m,
+        m - k + 1
+    );
     for tb in [TieBreak::Min, TieBreak::Max, TieBreak::Rand { seed: 99 }] {
         let mut algo = EftState::new(m, tb);
         let padded = padded_interval_adversary(&mut algo, k, m * m);

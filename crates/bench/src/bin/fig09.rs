@@ -7,12 +7,20 @@ use flowsched_kvstore::replication::ReplicationStrategy;
 fn main() {
     let (m, k) = (6usize, 3usize);
     println!("Figure 9 — replication strategies, m = {m}, k = {k}\n");
-    println!("{:<8} {:<18} {:<18}", "owner", "overlapping I_k(u)", "disjoint I_k(u)");
+    println!(
+        "{:<8} {:<18} {:<18}",
+        "owner", "overlapping I_k(u)", "disjoint I_k(u)"
+    );
     println!("{}", "-".repeat(46));
     for u in 0..m {
         let over = ReplicationStrategy::Overlapping.replica_set(u, k, m);
         let disj = ReplicationStrategy::Disjoint.replica_set(u, k, m);
-        println!("M{:<7} {:<18} {:<18}", u + 1, over.to_string(), disj.to_string());
+        println!(
+            "M{:<7} {:<18} {:<18}",
+            u + 1,
+            over.to_string(),
+            disj.to_string()
+        );
     }
     println!(
         "\nExample (paper): a task feasible on M3 only becomes feasible on\n\

@@ -2,7 +2,7 @@
 //! to the usual `SimReport`.
 //!
 //! Runs the Section 7.4 key-value-store workload through
-//! `simulate_recorded` with a `MemoryRecorder`, then probes the
+//! `simulate_with` and a `MemoryRecorder`, then probes the
 //! configuration's theoretical maximum load so the solver probe
 //! aggregates fire too. `--csv` switches the human-readable summary to
 //! the machine-readable JSON snapshot (the flag doubles as the
@@ -14,8 +14,8 @@
 
 use flowsched_kvstore::cluster::{ClusterConfig, KvCluster};
 use flowsched_kvstore::replication::ReplicationStrategy;
-use flowsched_obs::{MemoryRecorder, ObsConfig, render_summary};
-use flowsched_sim::driver::{SimConfig, simulate_recorded};
+use flowsched_obs::{render_summary, MemoryRecorder, ObsConfig};
+use flowsched_sim::driver::{simulate_with, SimConfig};
 use flowsched_solver::loadflow::MaxLoadProber;
 use flowsched_stats::zipf::BiasCase;
 use rand::SeedableRng;
@@ -47,8 +47,10 @@ fn main() {
     let lambda = 0.8 * max_load;
     let inst = cluster.requests(scale.tasks, lambda, &mut rng);
 
-    let (schedule, report) = simulate_recorded(&inst, &SimConfig::default(), &mut rec);
-    schedule.validate(&inst).expect("simulated schedule is valid");
+    let (schedule, report) = simulate_with(&inst, &SimConfig::default(), &mut rec);
+    schedule
+        .validate(&inst)
+        .expect("simulated schedule is valid");
 
     if args.csv {
         println!("{}", rec.snapshot().to_json());
@@ -67,7 +69,11 @@ fn main() {
         report.p95,
         report.p99,
         report.drift,
-        if report.looks_saturated() { "  [saturated]" } else { "" },
+        if report.looks_saturated() {
+            "  [saturated]"
+        } else {
+            ""
+        },
     );
     println!("max load λ* = {max_load:.4} (binary-searched max-flow)");
     print!("{}", render_summary(&rec));

@@ -62,9 +62,7 @@ pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> HarnessArgs {
                     .parse()
                     .unwrap_or_else(|_| panic!("--seed takes a u64, got {v:?}"));
             }
-            other => panic!(
-                "unknown flag {other:?}; supported: --paper, --seed <u64>, --csv"
-            ),
+            other => panic!("unknown flag {other:?}; supported: --paper, --seed <u64>, --csv"),
         }
     }
     HarnessArgs { scale, csv }

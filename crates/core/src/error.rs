@@ -19,7 +19,11 @@ pub enum CoreError {
     /// A processing set is empty: the task could never run.
     EmptyProcessingSet { task: TaskId },
     /// A processing set references a machine index `≥ m`.
-    MachineOutOfRange { task: TaskId, machine: usize, m: usize },
+    MachineOutOfRange {
+        task: TaskId,
+        machine: usize,
+        m: usize,
+    },
     /// The instance has zero machines.
     NoMachines,
     /// A schedule is missing an assignment for a task.
@@ -27,7 +31,11 @@ pub enum CoreError {
     /// A schedule has more assignments than the instance has tasks.
     ExtraAssignments { expected: usize, got: usize },
     /// A task was started before its release time.
-    StartedBeforeRelease { task: TaskId, start: Time, release: Time },
+    StartedBeforeRelease {
+        task: TaskId,
+        start: Time,
+        release: Time,
+    },
     /// A task was placed on a machine outside its processing set.
     OutsideProcessingSet { task: TaskId, machine: MachineId },
     /// Two tasks overlap in time on the same machine.
@@ -67,7 +75,11 @@ impl fmt::Display for CoreError {
                 f,
                 "schedule has {got} assignments but the instance has {expected} tasks"
             ),
-            CoreError::StartedBeforeRelease { task, start, release } => write!(
+            CoreError::StartedBeforeRelease {
+                task,
+                start,
+                release,
+            } => write!(
                 f,
                 "task {task} starts at {start} before its release time {release}"
             ),
@@ -75,7 +87,11 @@ impl fmt::Display for CoreError {
                 f,
                 "task {task} is scheduled on {machine}, outside its processing set"
             ),
-            CoreError::MachineOverlap { machine, first, second } => write!(
+            CoreError::MachineOverlap {
+                machine,
+                first,
+                second,
+            } => write!(
                 f,
                 "tasks {first} and {second} overlap in time on machine {machine}"
             ),

@@ -23,7 +23,11 @@ pub struct GanttOptions {
 
 impl Default for GanttOptions {
     fn default() -> Self {
-        GanttOptions { resolution: 1.0, until: None, numbered: true }
+        GanttOptions {
+            resolution: 1.0,
+            until: None,
+            numbered: true,
+        }
     }
 }
 
@@ -95,7 +99,11 @@ mod tests {
     fn demo() -> (Instance, Schedule) {
         let inst = Instance::unrestricted(
             2,
-            vec![Task::new(0.0, 2.0), Task::new(0.0, 1.0), Task::new(1.0, 1.0)],
+            vec![
+                Task::new(0.0, 2.0),
+                Task::new(0.0, 1.0),
+                Task::new(1.0, 1.0),
+            ],
         )
         .unwrap();
         let s = Schedule::new(vec![
@@ -121,8 +129,7 @@ mod tests {
 
     #[test]
     fn idle_cells_are_dots() {
-        let inst =
-            Instance::unrestricted(1, vec![Task::new(2.0, 1.0)]).unwrap();
+        let inst = Instance::unrestricted(1, vec![Task::new(2.0, 1.0)]).unwrap();
         let s = Schedule::new(vec![Assignment::new(MachineId(0), 2.0)]);
         let art = render(&s, &inst, &GanttOptions::default());
         let row = art.lines().nth(1).unwrap();
@@ -136,7 +143,10 @@ mod tests {
         let art = render(
             &s,
             &inst,
-            &GanttOptions { until: Some(4.0), ..Default::default() },
+            &GanttOptions {
+                until: Some(4.0),
+                ..Default::default()
+            },
         );
         let row = art.lines().nth(1).unwrap();
         // 4 cells after the label.
@@ -149,7 +159,10 @@ mod tests {
         let art = render(
             &s,
             &inst,
-            &GanttOptions { numbered: false, ..Default::default() },
+            &GanttOptions {
+                numbered: false,
+                ..Default::default()
+            },
         );
         assert!(art.contains('#'));
     }

@@ -3,7 +3,7 @@
 use crate::error::CoreError;
 use crate::procset::ProcSet;
 use crate::task::{Task, TaskId};
-use crate::time::{Time, time_cmp};
+use crate::time::{time_cmp, Time};
 
 /// A complete instance of `P | online-rᵢ, Mᵢ | Fmax`.
 ///
@@ -37,13 +37,21 @@ impl Instance {
         );
         for (i, t) in tasks.iter().enumerate() {
             if !t.release.is_finite() || t.release < 0.0 {
-                return Err(CoreError::InvalidReleaseTime { task: TaskId(i), r: t.release });
+                return Err(CoreError::InvalidReleaseTime {
+                    task: TaskId(i),
+                    r: t.release,
+                });
             }
             if !t.ptime.is_finite() || t.ptime <= 0.0 {
-                return Err(CoreError::NonPositiveProcessingTime { task: TaskId(i), p: t.ptime });
+                return Err(CoreError::NonPositiveProcessingTime {
+                    task: TaskId(i),
+                    p: t.ptime,
+                });
             }
             if i > 0 && t.release < tasks[i - 1].release {
-                return Err(CoreError::UnsortedReleases { first_violation: TaskId(i) });
+                return Err(CoreError::UnsortedReleases {
+                    first_violation: TaskId(i),
+                });
             }
         }
         for (i, s) in sets.iter().enumerate() {
@@ -52,7 +60,11 @@ impl Instance {
             }
             if let Some(max) = s.max() {
                 if max >= m {
-                    return Err(CoreError::MachineOutOfRange { task: TaskId(i), machine: max, m });
+                    return Err(CoreError::MachineOutOfRange {
+                        task: TaskId(i),
+                        machine: max,
+                        m,
+                    });
                 }
             }
         }
@@ -198,7 +210,11 @@ pub struct InstanceBuilder {
 impl InstanceBuilder {
     /// Starts a builder for an `m`-machine cluster.
     pub fn new(m: usize) -> Self {
-        InstanceBuilder { m, tasks: Vec::new(), sets: Vec::new() }
+        InstanceBuilder {
+            m,
+            tasks: Vec::new(),
+            sets: Vec::new(),
+        }
     }
 
     /// Adds a task with an explicit processing set.
@@ -260,13 +276,21 @@ mod tests {
 
     #[test]
     fn rejects_zero_machines() {
-        assert_eq!(Instance::unrestricted(0, vec![]).unwrap_err(), CoreError::NoMachines);
+        assert_eq!(
+            Instance::unrestricted(0, vec![]).unwrap_err(),
+            CoreError::NoMachines
+        );
     }
 
     #[test]
     fn rejects_unsorted_releases() {
         let e = Instance::unrestricted(2, vec![t(1.0, 1.0), t(0.5, 1.0)]).unwrap_err();
-        assert_eq!(e, CoreError::UnsortedReleases { first_violation: TaskId(1) });
+        assert_eq!(
+            e,
+            CoreError::UnsortedReleases {
+                first_violation: TaskId(1)
+            }
+        );
     }
 
     #[test]
@@ -290,7 +314,14 @@ mod tests {
     #[test]
     fn rejects_out_of_range_machine() {
         let e = Instance::new(2, vec![t(0.0, 1.0)], vec![ProcSet::singleton(5)]).unwrap_err();
-        assert!(matches!(e, CoreError::MachineOutOfRange { machine: 5, m: 2, .. }));
+        assert!(matches!(
+            e,
+            CoreError::MachineOutOfRange {
+                machine: 5,
+                m: 2,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -311,8 +342,7 @@ mod tests {
 
     #[test]
     fn pmax_prefix_is_running_max() {
-        let inst =
-            Instance::unrestricted(2, vec![t(0.0, 2.0), t(1.0, 1.0), t(2.0, 5.0)]).unwrap();
+        let inst = Instance::unrestricted(2, vec![t(0.0, 2.0), t(1.0, 1.0), t(2.0, 5.0)]).unwrap();
         assert_eq!(inst.pmax_prefix(), vec![2.0, 2.0, 5.0]);
     }
 
@@ -363,12 +393,7 @@ mod tests {
             ProcSet::new(vec![0, 5]),
             ProcSet::new(vec![1, 2]),
         ];
-        let inst = Instance::new(
-            6,
-            vec![t(0.0, 1.0), t(0.0, 1.0), t(0.0, 1.0)],
-            sets,
-        )
-        .unwrap();
+        let inst = Instance::new(6, vec![t(0.0, 1.0), t(0.0, 1.0), t(0.0, 1.0)], sets).unwrap();
         assert!(!structure::is_interval_family(inst.sets()));
         let perm = structure::nested_to_interval_order(inst.sets(), 6).unwrap();
         let renamed = inst.remap_machines(&perm);

@@ -63,10 +63,16 @@ impl TryFrom<InstanceData> for Instance {
     type Error = CoreError;
 
     fn try_from(data: InstanceData) -> Result<Self, CoreError> {
-        let tasks: Vec<Task> =
-            data.tasks.iter().map(|t| Task::new(t.release, t.ptime)).collect();
-        let sets: Vec<ProcSet> =
-            data.tasks.into_iter().map(|t| ProcSet::new(t.set)).collect();
+        let tasks: Vec<Task> = data
+            .tasks
+            .iter()
+            .map(|t| Task::new(t.release, t.ptime))
+            .collect();
+        let sets: Vec<ProcSet> = data
+            .tasks
+            .into_iter()
+            .map(|t| ProcSet::new(t.set))
+            .collect();
         Instance::new(data.machines, tasks, sets)
     }
 }

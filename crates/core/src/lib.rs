@@ -26,6 +26,8 @@
 //!   with full validity checking and flow-time metrics.
 //! - [`profile`]: the *schedule profile* `w_t(j)` (waiting work per machine)
 //!   used throughout the proof of the paper's Theorem 8.
+//! - [`stream`]: the lazy [`ArrivalStream`] contract — tasks revealed one
+//!   release at a time, the genuinely online view the engines consume.
 //! - [`gantt`]: ASCII rendering of schedules, used to regenerate the
 //!   paper's Figure 3.
 //! - [`io`]: validated JSON (de)serialization of instances and schedules.
@@ -38,6 +40,7 @@ pub mod machine;
 pub mod procset;
 pub mod profile;
 pub mod schedule;
+pub mod stream;
 pub mod structure;
 pub mod task;
 pub mod time;
@@ -48,6 +51,7 @@ pub use io::{instance_from_json, instance_to_json, schedule_from_json, schedule_
 pub use machine::MachineId;
 pub use procset::ProcSet;
 pub use schedule::{Assignment, Schedule};
+pub use stream::{collect_stream, ArrivalStream, FnStream, InstanceStream};
 pub use structure::{ProcSetStructure, StructureReport};
 pub use task::{Task, TaskId};
 pub use time::Time;
@@ -58,6 +62,7 @@ pub mod prelude {
     pub use crate::machine::MachineId;
     pub use crate::procset::ProcSet;
     pub use crate::schedule::{Assignment, Schedule};
+    pub use crate::stream::{ArrivalStream, InstanceStream};
     pub use crate::structure::ProcSetStructure;
     pub use crate::task::{Task, TaskId};
     pub use crate::time::Time;

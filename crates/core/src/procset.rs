@@ -55,17 +55,23 @@ impl ProcSet {
     /// The empty set. Invalid in instances (a task must be runnable
     /// somewhere) but useful as an accumulator.
     pub fn empty() -> Self {
-        ProcSet { machines: Vec::new() }
+        ProcSet {
+            machines: Vec::new(),
+        }
     }
 
     /// The full machine set `{0, …, m−1}` — "no restriction".
     pub fn full(m: usize) -> Self {
-        ProcSet { machines: (0..m).collect() }
+        ProcSet {
+            machines: (0..m).collect(),
+        }
     }
 
     /// A single machine, as with unreplicated key-value data.
     pub fn singleton(machine: usize) -> Self {
-        ProcSet { machines: vec![machine] }
+        ProcSet {
+            machines: vec![machine],
+        }
     }
 
     /// The contiguous interval `{lo, …, hi}` (inclusive, zero-based).
@@ -74,7 +80,9 @@ impl ProcSet {
     /// Panics if `lo > hi`.
     pub fn interval(lo: usize, hi: usize) -> Self {
         assert!(lo <= hi, "interval requires lo <= hi, got {lo} > {hi}");
-        ProcSet { machines: (lo..=hi).collect() }
+        ProcSet {
+            machines: (lo..=hi).collect(),
+        }
     }
 
     /// The *circular* interval of length `len` starting at `start` on a
@@ -85,7 +93,10 @@ impl ProcSet {
     /// # Panics
     /// Panics if `len == 0`, `len > m` or `start >= m`.
     pub fn ring_interval(start: usize, len: usize, m: usize) -> Self {
-        assert!(len >= 1 && len <= m, "ring interval length must be in 1..=m");
+        assert!(
+            len >= 1 && len <= m,
+            "ring interval length must be in 1..=m"
+        );
         assert!(start < m, "ring interval start must be < m");
         let mut machines: Vec<usize> = (0..len).map(|o| (start + o) % m).collect();
         machines.sort_unstable();
@@ -150,7 +161,10 @@ impl ProcSet {
 
     /// True when the two sets share no machine.
     pub fn is_disjoint_from(&self, other: &ProcSet) -> bool {
-        let (mut a, mut b) = (self.machines.iter().peekable(), other.machines.iter().peekable());
+        let (mut a, mut b) = (
+            self.machines.iter().peekable(),
+            other.machines.iter().peekable(),
+        );
         while let (Some(&&x), Some(&&y)) = (a.peek(), b.peek()) {
             match x.cmp(&y) {
                 std::cmp::Ordering::Less => {
@@ -167,7 +181,10 @@ impl ProcSet {
 
     /// Set intersection.
     pub fn intersection(&self, other: &ProcSet) -> ProcSet {
-        let (mut a, mut b) = (self.machines.iter().peekable(), other.machines.iter().peekable());
+        let (mut a, mut b) = (
+            self.machines.iter().peekable(),
+            other.machines.iter().peekable(),
+        );
         let mut out = Vec::new();
         while let (Some(&&x), Some(&&y)) = (a.peek(), b.peek()) {
             match x.cmp(&y) {

@@ -10,7 +10,7 @@
 
 use crate::instance::Instance;
 use crate::schedule::Schedule;
-use crate::time::{Time, time_lt};
+use crate::time::{time_lt, Time};
 
 /// Computes the profile `w_t(j)` for all machines, counting tasks with
 /// `rᵢ < t` (strictly: the paper inspects the profile *just before* the
@@ -36,9 +36,7 @@ pub fn profile_at(schedule: &Schedule, inst: &Instance, t: Time) -> Vec<Time> {
 /// on `Mₘ`.
 pub fn stable_profile(m: usize, k: usize) -> Vec<Time> {
     assert!(k >= 1 && k <= m, "need 1 <= k <= m");
-    (1..=m)
-        .map(|j| ((m - j).min(m - k)) as Time)
-        .collect()
+    (1..=m).map(|j| ((m - j).min(m - k)) as Time).collect()
 }
 
 /// Pointwise comparison of two profiles with the paper's Definition 1:
@@ -90,7 +88,9 @@ pub fn weighted_distance(profile: &[Time], m: usize, k: usize) -> f64 {
 /// the invariant of the paper's Lemma 2 for EFT-Min under the
 /// Theorem 8 adversary.
 pub fn is_non_increasing(profile: &[Time]) -> bool {
-    profile.windows(2).all(|w| w[1] <= w[0] + crate::time::TIME_EPS)
+    profile
+        .windows(2)
+        .all(|w| w[1] <= w[0] + crate::time::TIME_EPS)
 }
 
 #[cfg(test)]

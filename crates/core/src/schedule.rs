@@ -10,7 +10,7 @@ use crate::error::CoreError;
 use crate::instance::Instance;
 use crate::machine::MachineId;
 use crate::task::TaskId;
-use crate::time::{Time, time_cmp};
+use crate::time::{time_cmp, Time};
 
 /// One task's placement: machine and start time.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -156,7 +156,9 @@ impl Schedule {
     pub fn validate(&self, inst: &Instance) -> Result<(), CoreError> {
         if self.assignments.len() != inst.len() {
             if self.assignments.len() < inst.len() {
-                return Err(CoreError::UnscheduledTask { task: TaskId(self.assignments.len()) });
+                return Err(CoreError::UnscheduledTask {
+                    task: TaskId(self.assignments.len()),
+                });
             }
             return Err(CoreError::ExtraAssignments {
                 expected: inst.len(),
@@ -173,7 +175,10 @@ impl Schedule {
                 });
             }
             if !set.contains(a.machine.index()) {
-                return Err(CoreError::OutsideProcessingSet { task: id, machine: a.machine });
+                return Err(CoreError::OutsideProcessingSet {
+                    task: id,
+                    machine: a.machine,
+                });
             }
         }
         for (j, lane) in self.machine_timelines(inst).into_iter().enumerate() {
@@ -212,7 +217,11 @@ mod tests {
         // T3 (r=1,p=1) anywhere.
         Instance::new(
             2,
-            vec![Task::new(0.0, 2.0), Task::new(0.0, 1.0), Task::new(1.0, 1.0)],
+            vec![
+                Task::new(0.0, 2.0),
+                Task::new(0.0, 1.0),
+                Task::new(1.0, 1.0),
+            ],
             vec![ProcSet::full(2), ProcSet::singleton(1), ProcSet::full(2)],
         )
         .unwrap()
@@ -261,7 +270,10 @@ mod tests {
         s.assignments[2].start = 0.5; // T3 released at 1.0
         assert!(matches!(
             s.validate(&inst),
-            Err(CoreError::StartedBeforeRelease { task: TaskId(2), .. })
+            Err(CoreError::StartedBeforeRelease {
+                task: TaskId(2),
+                ..
+            })
         ));
     }
 
@@ -272,7 +284,10 @@ mod tests {
         s.assignments[1].machine = MachineId(0); // T2 restricted to M2
         assert!(matches!(
             s.validate(&inst),
-            Err(CoreError::OutsideProcessingSet { task: TaskId(1), .. })
+            Err(CoreError::OutsideProcessingSet {
+                task: TaskId(1),
+                ..
+            })
         ));
     }
 
@@ -281,12 +296,16 @@ mod tests {
         let inst = small_instance();
         let mut s = valid_schedule();
         s.assignments[2] = Assignment::new(MachineId(1), 0.5); // overlaps T2 — and starts before release
-        // move release check out of the way by putting start at exactly 1.0
-        // but on the same machine as the long task on M1:
+                                                               // move release check out of the way by putting start at exactly 1.0
+                                                               // but on the same machine as the long task on M1:
         s.assignments[2] = Assignment::new(MachineId(0), 1.0); // overlaps T1 [0,2)
         assert!(matches!(
             s.validate(&inst),
-            Err(CoreError::MachineOverlap { first: TaskId(0), second: TaskId(2), .. })
+            Err(CoreError::MachineOverlap {
+                first: TaskId(0),
+                second: TaskId(2),
+                ..
+            })
         ));
     }
 
@@ -294,7 +313,10 @@ mod tests {
     fn validate_rejects_missing_assignment() {
         let inst = small_instance();
         let s = Schedule::new(vec![Assignment::new(MachineId(0), 0.0)]);
-        assert!(matches!(s.validate(&inst), Err(CoreError::UnscheduledTask { .. })));
+        assert!(matches!(
+            s.validate(&inst),
+            Err(CoreError::UnscheduledTask { .. })
+        ));
     }
 
     #[test]
@@ -303,14 +325,17 @@ mod tests {
         let mut asg = valid_schedule().assignments().to_vec();
         asg.push(Assignment::new(MachineId(0), 5.0));
         let s = Schedule::new(asg);
-        assert!(matches!(s.validate(&inst), Err(CoreError::ExtraAssignments { .. })));
+        assert!(matches!(
+            s.validate(&inst),
+            Err(CoreError::ExtraAssignments { .. })
+        ));
     }
 
     #[test]
     fn back_to_back_tasks_do_not_overlap() {
         // Completion exactly equals next start: legal.
-        let inst = Instance::unrestricted(1, vec![Task::new(0.0, 1.0), Task::new(0.0, 1.0)])
-            .unwrap();
+        let inst =
+            Instance::unrestricted(1, vec![Task::new(0.0, 1.0), Task::new(0.0, 1.0)]).unwrap();
         let s = Schedule::new(vec![
             Assignment::new(MachineId(0), 0.0),
             Assignment::new(MachineId(0), 1.0),

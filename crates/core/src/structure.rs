@@ -330,7 +330,13 @@ mod tests {
 
     #[test]
     fn nested_laminar_family() {
-        let fam = [ps(&[0, 1, 2, 3]), ps(&[0, 1]), ps(&[2, 3]), ps(&[0]), ps(&[2])];
+        let fam = [
+            ps(&[0, 1, 2, 3]),
+            ps(&[0, 1]),
+            ps(&[2, 3]),
+            ps(&[0]),
+            ps(&[2]),
+        ];
         assert!(is_nested(&fam));
         assert!(!is_inclusive(&fam));
         assert!(!is_disjoint_family(&fam));
@@ -346,7 +352,10 @@ mod tests {
 
     #[test]
     fn ring_family_accepts_wraparound() {
-        let fam = [ProcSet::ring_interval(4, 3, 6), ProcSet::ring_interval(0, 3, 6)];
+        let fam = [
+            ProcSet::ring_interval(4, 3, 6),
+            ProcSet::ring_interval(0, 3, 6),
+        ];
         assert!(is_ring_interval_family(&fam, 6));
         assert!(!is_interval_family(&fam)); // {4,5,0} is not contiguous
     }
@@ -387,7 +396,10 @@ mod tests {
         assert!(!is_interval_family(&fam));
         let perm = nested_to_interval_order(&fam, 6).unwrap();
         let renamed = apply_machine_permutation(&fam, &perm);
-        assert!(is_interval_family(&renamed), "renamed family {renamed:?} not intervals");
+        assert!(
+            is_interval_family(&renamed),
+            "renamed family {renamed:?} not intervals"
+        );
         // The permutation must be a bijection on 0..6.
         let mut seen = [false; 6];
         for &p in &perm {

@@ -57,7 +57,10 @@ impl Task {
     /// A unit task (`pᵢ = 1`), the workhorse of the paper's adversaries
     /// and Section 7 simulations.
     pub fn unit(release: Time) -> Self {
-        Task { release, ptime: 1.0 }
+        Task {
+            release,
+            ptime: 1.0,
+        }
     }
 }
 

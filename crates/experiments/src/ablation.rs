@@ -8,7 +8,7 @@ use flowsched_algos::tiebreak::TieBreak;
 use flowsched_kvstore::cluster::{ClusterConfig, KvCluster};
 use flowsched_kvstore::replication::ReplicationStrategy;
 use flowsched_parallel::par_map;
-use flowsched_sim::driver::{SimConfig, simulate};
+use flowsched_sim::driver::{simulate, SimConfig};
 use flowsched_stats::descriptive::median;
 use flowsched_stats::rng::derive_rng;
 use flowsched_stats::zipf::BiasCase;
@@ -40,7 +40,9 @@ pub fn run(scale: &Scale) -> Vec<AblationRow> {
     let policies = [
         TieBreak::Min,
         TieBreak::Max,
-        TieBreak::Rand { seed: scale.seed ^ 0xAB },
+        TieBreak::Rand {
+            seed: scale.seed ^ 0xAB,
+        },
     ];
     let mut jobs = Vec::new();
     for strategy in ReplicationStrategy::all() {
@@ -66,7 +68,13 @@ pub fn run(scale: &Scale) -> Vec<AblationRow> {
                 &mut rng,
             );
             let inst = cluster.requests(scale.tasks, lambda, &mut rng);
-            let (_, report) = simulate(&inst, &SimConfig { policy, warmup_fraction: 0.1 });
+            let (_, report) = simulate(
+                &inst,
+                &SimConfig {
+                    policy,
+                    warmup_fraction: 0.1,
+                },
+            );
             fmaxes.push(report.fmax);
             means.push(report.mean_flow);
             p99s.push(report.p99);
@@ -111,7 +119,8 @@ mod tests {
         for strategy in ["Overlapping", "Disjoint"] {
             for policy in ["EFT-Min", "EFT-Max", "EFT-Rand"] {
                 assert!(
-                    rows.iter().any(|r| r.strategy == strategy && r.policy == policy),
+                    rows.iter()
+                        .any(|r| r.strategy == strategy && r.policy == policy),
                     "missing {strategy}/{policy}"
                 );
             }
@@ -142,8 +151,7 @@ mod tests {
                 .fmax_median
         };
         let structure_gap = (get("Disjoint", "EFT-Min") - get("Overlapping", "EFT-Min")).abs();
-        let tiebreak_gap =
-            (get("Overlapping", "EFT-Max") - get("Overlapping", "EFT-Min")).abs();
+        let tiebreak_gap = (get("Overlapping", "EFT-Max") - get("Overlapping", "EFT-Min")).abs();
         // Not a strict theorem — but at 50% load with bias the structure
         // gap should not be *smaller* by an order of magnitude.
         assert!(

@@ -7,7 +7,7 @@ use flowsched_stats::rng::derive_rng;
 use flowsched_stats::zipf::BiasCase;
 use serde::Serialize;
 
-use crate::table::{TableBuilder, fnum};
+use crate::table::{fnum, TableBuilder};
 
 /// One bar of Figure 8: the offered load of one machine in one case.
 #[derive(Debug, Clone, Serialize)]
@@ -34,7 +34,11 @@ pub fn run(seed: u64) -> Vec<Fig08Row> {
         let mut rng = derive_rng(seed, idx as u64);
         let pop = machine_popularity(m, s, case, &mut rng);
         for (j, load) in load_distribution(lambda, &pop).into_iter().enumerate() {
-            rows.push(Fig08Row { case: case.to_string(), machine: j + 1, load });
+            rows.push(Fig08Row {
+                case: case.to_string(),
+                machine: j + 1,
+                load,
+            });
         }
     }
     rows

@@ -96,11 +96,20 @@ pub fn run(scale: &Scale) -> Fig10Output {
                     .collect();
                 let med = median(&samples);
                 medians[sti][k] = med;
-                cells.push(Fig10Cell { s, k, strategy: strategy.to_string(), max_load_pct: med });
+                cells.push(Fig10Cell {
+                    s,
+                    k,
+                    strategy: strategy.to_string(),
+                    max_load_pct: med,
+                });
             }
         }
         for k in 1..=m {
-            ratios.push(Fig10Ratio { s, k, ratio: medians[0][k] / medians[1][k] });
+            ratios.push(Fig10Ratio {
+                s,
+                k,
+                ratio: medians[0][k] / medians[1][k],
+            });
         }
     }
     Fig10Output { cells, ratios }
@@ -162,7 +171,15 @@ mod tests {
     use super::*;
 
     fn tiny_scale() -> Scale {
-        Scale { m: 6, k: 3, permutations: 5, repetitions: 1, tasks: 100, bias_step: 1.25, seed: 7 }
+        Scale {
+            m: 6,
+            k: 3,
+            permutations: 5,
+            repetitions: 1,
+            tasks: 100,
+            bias_step: 1.25,
+            seed: 7,
+        }
     }
 
     #[test]
@@ -206,7 +223,11 @@ mod tests {
     #[test]
     fn bias_hurts_disjoint_more() {
         // At moderate bias and mid k, the overlapping gain is strict.
-        let scale = Scale { bias_step: 1.25, permutations: 10, ..tiny_scale() };
+        let scale = Scale {
+            bias_step: 1.25,
+            permutations: 10,
+            ..tiny_scale()
+        };
         let out = run(&scale);
         let gain = out
             .ratios
@@ -214,7 +235,10 @@ mod tests {
             .filter(|r| r.s == 1.25 && r.k > 1 && r.k < scale.m)
             .map(|r| r.ratio)
             .fold(0.0, f64::max);
-        assert!(gain > 1.05, "expected a strict overlapping gain, got {gain}");
+        assert!(
+            gain > 1.05,
+            "expected a strict overlapping gain, got {gain}"
+        );
     }
 
     #[test]

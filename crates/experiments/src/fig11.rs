@@ -11,9 +11,9 @@ use flowsched_algos::tiebreak::TieBreak;
 use flowsched_kvstore::cluster::{ClusterConfig, KvCluster};
 use flowsched_kvstore::replication::ReplicationStrategy;
 use flowsched_parallel::par_map;
+use flowsched_sim::driver::{simulate, SimConfig};
 use flowsched_solver::loadflow::max_load_lp_with;
 use flowsched_solver::simplex::SimplexScratch;
-use flowsched_sim::driver::{SimConfig, simulate};
 use flowsched_stats::descriptive::median;
 use flowsched_stats::rng::derive_rng;
 use flowsched_stats::zipf::{BiasCase, Zipf};
@@ -93,7 +93,13 @@ pub fn run(scale: &Scale) -> Fig11Output {
         for strategy in ReplicationStrategy::all() {
             for policy in policies {
                 for load_pct in load_grid(case) {
-                    jobs.push(Job { case, strategy, policy, load_pct, id });
+                    jobs.push(Job {
+                        case,
+                        strategy,
+                        policy,
+                        load_pct,
+                        id,
+                    });
                     id += 1;
                 }
             }
@@ -116,8 +122,13 @@ pub fn run(scale: &Scale) -> Fig11Output {
                     &mut rng,
                 );
                 let inst = cluster.requests(scale.tasks, lambda, &mut rng);
-                let (_, report) =
-                    simulate(&inst, &SimConfig { policy: job.policy, warmup_fraction: 0.0 });
+                let (_, report) = simulate(
+                    &inst,
+                    &SimConfig {
+                        policy: job.policy,
+                        warmup_fraction: 0.0,
+                    },
+                );
                 report.fmax
             })
             .collect();
@@ -152,8 +163,7 @@ pub fn run(scale: &Scale) -> Fig11Output {
                         .map(|p| {
                             let mut rng = derive_rng(scale.seed, 0xF11 << 32 | p as u64);
                             let w = Zipf::new(scale.m, 1.0).shuffled(&mut rng);
-                            max_load_lp_with(w.probs(), &allowed, &mut scratch)
-                                / scale.m as f64
+                            max_load_lp_with(w.probs(), &allowed, &mut scratch) / scale.m as f64
                                 * 100.0
                         })
                         .collect();
@@ -173,9 +183,8 @@ pub fn run(scale: &Scale) -> Fig11Output {
 
 /// Renders the experiment as one table per case.
 pub fn render(out: &Fig11Output) -> String {
-    let mut text = String::from(
-        "Figure 11 — median Fmax vs average load (m = 15, k = 3, unit tasks)\n\n",
-    );
+    let mut text =
+        String::from("Figure 11 — median Fmax vs average load (m = 15, k = 3, unit tasks)\n\n");
     for case in ["Uniform", "Shuffled", "Worst-case"] {
         let mut t = TableBuilder::new(&[
             "load %",
@@ -236,7 +245,15 @@ mod tests {
     use super::*;
 
     fn tiny() -> Scale {
-        Scale { m: 6, k: 3, permutations: 4, repetitions: 2, tasks: 400, bias_step: 1.0, seed: 3 }
+        Scale {
+            m: 6,
+            k: 3,
+            permutations: 4,
+            repetitions: 2,
+            tasks: 400,
+            bias_step: 1.0,
+            seed: 3,
+        }
     }
 
     #[test]
@@ -297,7 +314,11 @@ mod tests {
     fn overlapping_beats_disjoint_under_high_uniform_load() {
         // The paper's headline simulation observation (90% load, Uniform:
         // Fmax ≈ 5 overlapping vs ≈ 10 disjoint).
-        let scale = Scale { repetitions: 3, tasks: 2000, ..tiny() };
+        let scale = Scale {
+            repetitions: 3,
+            tasks: 2000,
+            ..tiny()
+        };
         let out = run(&scale);
         let get = |strategy: &str| {
             out.points

@@ -9,20 +9,20 @@
 //!    burst streams confined to the strategy's replica sets (OPT exact
 //!    via the unit-task matching solver).
 
+use flowsched_algos::eft;
+use flowsched_algos::eft::EftState;
 use flowsched_algos::offline::optimal_unit_fmax;
 use flowsched_algos::tiebreak::TieBreak;
-use flowsched_algos::eft;
 use flowsched_core::instance::InstanceBuilder;
+use flowsched_core::procset::ProcSet;
 use flowsched_kvstore::cluster::{ClusterConfig, KvCluster};
 use flowsched_kvstore::replication::ReplicationStrategy;
 use flowsched_parallel::par_map;
-use flowsched_sim::driver::{SimConfig, simulate};
+use flowsched_sim::driver::{simulate, SimConfig};
 use flowsched_solver::loadflow::max_load_lp_with;
 use flowsched_solver::simplex::SimplexScratch;
 use flowsched_stats::descriptive::median;
 use flowsched_stats::rng::derive_rng;
-use flowsched_algos::eft::EftState;
-use flowsched_core::procset::ProcSet;
 use flowsched_stats::zipf::{BiasCase, Zipf};
 use flowsched_workloads::adversary::staircase::run_staircase;
 use rand::Rng;
@@ -81,12 +81,23 @@ pub fn run(scale: &Scale) -> Vec<OpenQRow> {
             .map(|rep| {
                 let mut rng = derive_rng(scale.seed, 0x09E1 ^ (rep as u64) << 3);
                 let cluster = KvCluster::new(
-                    ClusterConfig { m, k, strategy, s: 1.0, case: BiasCase::Shuffled },
+                    ClusterConfig {
+                        m,
+                        k,
+                        strategy,
+                        s: 1.0,
+                        case: BiasCase::Shuffled,
+                    },
                     &mut rng,
                 );
                 let inst = cluster.requests(scale.tasks, 0.5 * m as f64, &mut rng);
-                let (_, report) =
-                    simulate(&inst, &SimConfig { policy: TieBreak::Min, warmup_fraction: 0.1 });
+                let (_, report) = simulate(
+                    &inst,
+                    &SimConfig {
+                        policy: TieBreak::Min,
+                        warmup_fraction: 0.1,
+                    },
+                );
                 report.fmax
             })
             .collect();
@@ -179,7 +190,15 @@ mod tests {
     use super::*;
 
     fn tiny() -> Scale {
-        Scale { m: 12, k: 4, permutations: 6, repetitions: 2, tasks: 600, bias_step: 1.0, seed: 5 }
+        Scale {
+            m: 12,
+            k: 4,
+            permutations: 6,
+            repetitions: 2,
+            tasks: 600,
+            bias_step: 1.0,
+            seed: 5,
+        }
     }
 
     #[test]
@@ -218,7 +237,12 @@ mod tests {
     #[test]
     fn staircase_separates_the_extremes() {
         let rows = run(&tiny());
-        let get = |n: &str| rows.iter().find(|r| r.strategy == n).unwrap().staircase_fmax;
+        let get = |n: &str| {
+            rows.iter()
+                .find(|r| r.strategy == n)
+                .unwrap()
+                .staircase_fmax
+        };
         assert!(get("Overlapping") >= get("Staggered"));
         assert!(get("Staggered") >= get("Disjoint"));
     }

@@ -21,11 +21,7 @@ fn heat_color(v: f64) -> String {
     let v = v.clamp(0.0, 1.0);
     let (r, g, b) = if v < 0.5 {
         let t = v * 2.0;
-        (
-            (70.0 + t * 185.0) as u8,
-            (110.0 + t * 145.0) as u8,
-            255u8,
-        )
+        ((70.0 + t * 185.0) as u8, (110.0 + t * 145.0) as u8, 255u8)
     } else {
         let t = (v - 0.5) * 2.0;
         (255u8, (255.0 - t * 145.0) as u8, (255.0 - t * 185.0) as u8)
@@ -194,7 +190,15 @@ mod tests {
     use crate::{fig10, fig11};
 
     fn tiny() -> Scale {
-        Scale { m: 6, k: 3, permutations: 3, repetitions: 1, tasks: 200, bias_step: 2.5, seed: 1 }
+        Scale {
+            m: 6,
+            k: 3,
+            permutations: 3,
+            repetitions: 1,
+            tasks: 200,
+            bias_step: 2.5,
+            seed: 1,
+        }
     }
 
     #[test]

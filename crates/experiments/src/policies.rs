@@ -8,7 +8,7 @@
 //! load-oblivious random dispatch shrugs off the adversary but pays a
 //! heavy average-case price; sampled two-choices sits in between.
 
-use flowsched_algos::policies::{DispatchRule, Dispatcher, dispatch};
+use flowsched_algos::policies::{dispatch, DispatchRule, Dispatcher};
 use flowsched_algos::tiebreak::TieBreak;
 use flowsched_kvstore::cluster::{ClusterConfig, KvCluster};
 use flowsched_kvstore::replication::ReplicationStrategy;
@@ -94,12 +94,7 @@ pub fn run(scale: &Scale) -> Vec<PolicyRow> {
 
 /// Renders the comparison.
 pub fn render(rows: &[PolicyRow], scale: &Scale) -> String {
-    let mut t = TableBuilder::new(&[
-        "rule",
-        "Th.8 stream Fmax",
-        "kv Fmax (50% load)",
-        "kv p99",
-    ]);
+    let mut t = TableBuilder::new(&["rule", "Th.8 stream Fmax", "kv Fmax (50% load)", "kv p99"]);
     for r in rows {
         t.row(vec![
             r.rule.clone(),
@@ -123,14 +118,29 @@ mod tests {
     use super::*;
 
     fn tiny() -> Scale {
-        Scale { m: 8, k: 3, permutations: 4, repetitions: 2, tasks: 600, bias_step: 1.0, seed: 4 }
+        Scale {
+            m: 8,
+            k: 3,
+            permutations: 4,
+            repetitions: 2,
+            tasks: 600,
+            bias_step: 1.0,
+            seed: 4,
+        }
     }
 
     #[test]
     fn all_rules_scored() {
         let rows = run(&tiny());
         assert_eq!(rows.len(), 6);
-        for label in ["EFT-Min", "EFT-Max", "EFT-Rand", "Choices(2)", "Random", "RoundRobin"] {
+        for label in [
+            "EFT-Min",
+            "EFT-Max",
+            "EFT-Rand",
+            "Choices(2)",
+            "Random",
+            "RoundRobin",
+        ] {
             assert!(rows.iter().any(|r| r.rule == label), "missing {label}");
         }
     }

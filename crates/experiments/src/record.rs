@@ -51,7 +51,11 @@ impl From<&crate::Scale> for ScaleRecord {
 /// Panics if serialization fails (all experiment row types are plain
 /// data; failure indicates a programming error).
 pub fn to_json<T: Serialize>(experiment: &str, scale: &crate::Scale, rows: T) -> String {
-    let record = Record { experiment: experiment.to_string(), scale: scale.into(), rows };
+    let record = Record {
+        experiment: experiment.to_string(),
+        scale: scale.into(),
+        rows,
+    };
     serde_json::to_string_pretty(&record).expect("experiment rows serialize")
 }
 

@@ -84,6 +84,9 @@ mod tests {
 
     #[test]
     fn quick_grid_is_coarser() {
-        assert_eq!(Scale::quick().bias_grid(), vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(
+            Scale::quick().bias_grid(),
+            vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0]
+        );
     }
 }

@@ -13,7 +13,7 @@ use flowsched_stats::rng::derive_rng;
 use flowsched_stats::zipf::Zipf;
 use flowsched_workloads::adversary::interval::run_interval_adversary;
 use flowsched_workloads::adversary::padded::padded_interval_adversary;
-use flowsched_workloads::random::{RandomInstanceConfig, StructureKind, random_instance};
+use flowsched_workloads::random::{random_instance, RandomInstanceConfig, StructureKind};
 use serde::Serialize;
 
 use crate::scale::Scale;
@@ -33,7 +33,12 @@ pub struct CheckRow {
 }
 
 fn check(claim: &str, expected: String, measured: String, pass: bool) -> CheckRow {
-    CheckRow { claim: claim.to_string(), expected, measured, pass }
+    CheckRow {
+        claim: claim.to_string(),
+        expected,
+        measured,
+        pass,
+    }
 }
 
 /// Runs every check.
@@ -61,7 +66,12 @@ pub fn run(scale: &Scale) -> Vec<CheckRow> {
         rows.push(check(
             "Prop. 1: FIFO ≡ EFT",
             "identical schedules".into(),
-            if all_equal { "identical on 10/10 instances" } else { "MISMATCH" }.into(),
+            if all_equal {
+                "identical on 10/10 instances"
+            } else {
+                "MISMATCH"
+            }
+            .into(),
             all_equal,
         ));
     }
@@ -87,7 +97,12 @@ pub fn run(scale: &Scale) -> Vec<CheckRow> {
         rows.push(check(
             "Th. 2: FIFO optimal, unit tasks",
             "Fmax == OPT".into(),
-            if optimal { "exact on 6/6 instances" } else { "SUBOPTIMAL" }.into(),
+            if optimal {
+                "exact on 6/6 instances"
+            } else {
+                "SUBOPTIMAL"
+            }
+            .into(),
             optimal,
         ));
     }
@@ -121,8 +136,10 @@ pub fn run(scale: &Scale) -> Vec<CheckRow> {
     // Figure 11 red lines (Worst-case): 59% / 36% at m=15, k=3.
     if (m, k) == (15, 3) {
         let w = Zipf::new(m, 1.0);
-        let over = max_load_lp(w.probs(), &ReplicationStrategy::Overlapping.allowed_sets(k, m))
-            / m as f64
+        let over = max_load_lp(
+            w.probs(),
+            &ReplicationStrategy::Overlapping.allowed_sets(k, m),
+        ) / m as f64
             * 100.0;
         let disj = max_load_lp(w.probs(), &ReplicationStrategy::Disjoint.allowed_sets(k, m))
             / m as f64
@@ -188,14 +205,22 @@ pub fn render(rows: &[CheckRow]) -> String {
             r.claim.clone(),
             r.expected.clone(),
             r.measured.clone(),
-            if r.pass { "✓".into() } else { "✗ FAIL".into() },
+            if r.pass {
+                "✓".into()
+            } else {
+                "✗ FAIL".into()
+            },
         ]);
     }
     let all = rows.iter().all(|r| r.pass);
     format!(
         "Reproduction self-check — headline claims re-derived\n\n{}\n{}\n",
         t.render(),
-        if all { "all checks passed" } else { "SOME CHECKS FAILED" }
+        if all {
+            "all checks passed"
+        } else {
+            "SOME CHECKS FAILED"
+        }
     )
 }
 
@@ -216,7 +241,11 @@ mod tests {
 
     #[test]
     fn conditional_checks_skip_other_sizes() {
-        let scale = Scale { m: 8, k: 3, ..Scale::quick() };
+        let scale = Scale {
+            m: 8,
+            k: 3,
+            ..Scale::quick()
+        };
         let rows = run(&scale);
         assert_eq!(rows.len(), 5);
         for r in &rows {

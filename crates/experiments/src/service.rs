@@ -10,7 +10,7 @@ use flowsched_algos::tiebreak::TieBreak;
 use flowsched_kvstore::cluster::{ClusterConfig, KvCluster};
 use flowsched_kvstore::replication::ReplicationStrategy;
 use flowsched_parallel::par_map;
-use flowsched_sim::driver::{SimConfig, simulate};
+use flowsched_sim::driver::{simulate, SimConfig};
 use flowsched_stats::descriptive::median;
 use flowsched_stats::rng::derive_rng;
 use flowsched_stats::service::ServiceDist;
@@ -82,8 +82,13 @@ pub fn run(scale: &Scale) -> Vec<ServiceRow> {
                 &mut rng,
             );
             let inst = cluster.requests_with_service(scale.tasks, lambda, dist, &mut rng);
-            let (_, report) =
-                simulate(&inst, &SimConfig { policy: TieBreak::Min, warmup_fraction: 0.1 });
+            let (_, report) = simulate(
+                &inst,
+                &SimConfig {
+                    policy: TieBreak::Min,
+                    warmup_fraction: 0.1,
+                },
+            );
             fmaxes.push(report.fmax);
             p99s.push(report.p99);
             stretches.push(report.max_stretch);
@@ -134,7 +139,15 @@ mod tests {
     use super::*;
 
     fn tiny() -> Scale {
-        Scale { m: 8, k: 3, permutations: 4, repetitions: 2, tasks: 800, bias_step: 1.0, seed: 6 }
+        Scale {
+            m: 8,
+            k: 3,
+            permutations: 4,
+            repetitions: 2,
+            tasks: 800,
+            bias_step: 1.0,
+            seed: 6,
+        }
     }
 
     #[test]
@@ -171,9 +184,7 @@ mod tests {
         let rows = run(&tiny());
         let get = |dist: &str| {
             rows.iter()
-                .find(|r| {
-                    r.dist == dist && r.strategy == "Overlapping" && r.load_pct == 50.0
-                })
+                .find(|r| r.dist == dist && r.strategy == "Overlapping" && r.load_pct == 50.0)
                 .unwrap()
                 .p99_median
         };

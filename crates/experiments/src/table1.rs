@@ -18,11 +18,11 @@ use flowsched_algos::offline::{brute_force_fmax, optimal_unit_fmax};
 use flowsched_algos::tiebreak::TieBreak;
 use flowsched_algos::{eft, fifo};
 use flowsched_parallel::par_map;
-use flowsched_workloads::random::{RandomInstanceConfig, StructureKind, random_instance};
+use flowsched_workloads::random::{random_instance, RandomInstanceConfig, StructureKind};
 use serde::Serialize;
 
 use crate::scale::Scale;
-use crate::table::{TableBuilder, fnum};
+use crate::table::{fnum, TableBuilder};
 
 /// One row: the worst observed FIFO ratio on `m` machines.
 #[derive(Debug, Clone, Serialize)]
@@ -60,7 +60,11 @@ fn measure(m: usize, unit: bool, scale: &Scale) -> Table1Row {
         let inst = random_instance(&cfg, scale.seed ^ (seed.wrapping_mul(0x9E37) + m as u64));
         let sf = fifo(&inst, TieBreak::Min);
         let se = eft(&inst, TieBreak::Min);
-        let opt = if unit { optimal_unit_fmax(&inst) } else { brute_force_fmax(&inst) };
+        let opt = if unit {
+            optimal_unit_fmax(&inst)
+        } else {
+            brute_force_fmax(&inst)
+        };
         (sf.fmax(&inst) / opt, sf == se)
     });
     Table1Row {
@@ -77,8 +81,10 @@ fn measure(m: usize, unit: bool, scale: &Scale) -> Table1Row {
 /// (exact OPT by exhaustive search) and Theorem 2 rows for
 /// `m ∈ {2, 4, 8}` (exact OPT by matching).
 pub fn run(scale: &Scale) -> Vec<Table1Row> {
-    let mut rows: Vec<Table1Row> =
-        [2usize, 3, 4].iter().map(|&m| measure(m, false, scale)).collect();
+    let mut rows: Vec<Table1Row> = [2usize, 3, 4]
+        .iter()
+        .map(|&m| measure(m, false, scale))
+        .collect();
     rows.extend([2usize, 4, 8].iter().map(|&m| measure(m, true, scale)));
     rows
 }
@@ -86,12 +92,21 @@ pub fn run(scale: &Scale) -> Vec<Table1Row> {
 /// Renders the Table 1 rows together with the survey context.
 pub fn render(rows: &[Table1Row]) -> String {
     let mut t = TableBuilder::new(&[
-        "m", "tasks", "bound", "worst observed", "trials", "FIFO==EFT",
+        "m",
+        "tasks",
+        "bound",
+        "worst observed",
+        "trials",
+        "FIFO==EFT",
     ]);
     for r in rows {
         t.row(vec![
             r.m.to_string(),
-            if r.unit_tasks { "unit (Th. 2)".into() } else { "general (Th. 1)".into() },
+            if r.unit_tasks {
+                "unit (Th. 2)".into()
+            } else {
+                "general (Th. 1)".into()
+            },
             fnum(r.bound),
             format!("{:.3}", r.worst_ratio),
             r.trials.to_string(),
@@ -150,7 +165,9 @@ mod tests {
         // The Theorem 1 measurement is vacuous if every ratio is 1.0.
         let rows = run(&Scale::quick());
         assert!(
-            rows.iter().filter(|r| !r.unit_tasks).any(|r| r.worst_ratio > 1.0),
+            rows.iter()
+                .filter(|r| !r.unit_tasks)
+                .any(|r| r.worst_ratio > 1.0),
             "no contention observed: {rows:?}"
         );
     }

@@ -3,17 +3,17 @@
 //! is run and the achieved ratio is reported next to the theoretical
 //! bound.
 
+use flowsched_algos::eft;
 use flowsched_algos::eft::EftState;
 use flowsched_algos::offline::optimal_unit_fmax;
 use flowsched_algos::tiebreak::TieBreak;
-use flowsched_algos::eft;
 use flowsched_workloads::adversary::fixed_size::fixed_size_adversary;
 use flowsched_workloads::adversary::inclusive::inclusive_adversary;
 use flowsched_workloads::adversary::interval::run_interval_adversary;
 use flowsched_workloads::adversary::nested::nested_adversary;
 use flowsched_workloads::adversary::padded::padded_interval_adversary;
 use flowsched_workloads::adversary::theorem7::theorem7_adversary;
-use flowsched_workloads::random::{RandomInstanceConfig, StructureKind, random_instance};
+use flowsched_workloads::random::{random_instance, RandomInstanceConfig, StructureKind};
 use serde::Serialize;
 
 use crate::scale::Scale;
@@ -193,7 +193,13 @@ pub fn run(scale: &Scale) -> Vec<Table2Row> {
 /// Renders Table 2.
 pub fn render(rows: &[Table2Row]) -> String {
     let mut t = TableBuilder::new(&[
-        "ref", "structure", "algorithm", "bound", "value", "measured", "params",
+        "ref",
+        "structure",
+        "algorithm",
+        "bound",
+        "value",
+        "measured",
+        "params",
     ]);
     for r in rows {
         t.row(vec![
@@ -245,7 +251,9 @@ mod tests {
     fn all_references_present() {
         let rows = run(&Scale::quick());
         let refs: Vec<&str> = rows.iter().map(|r| r.reference.as_str()).collect();
-        for want in ["Th. 3", "Th. 4", "Th. 5", "Cor. 1", "Th. 7", "Th. 8", "Th. 9", "Th. 10"] {
+        for want in [
+            "Th. 3", "Th. 4", "Th. 5", "Cor. 1", "Th. 7", "Th. 8", "Th. 9", "Th. 10",
+        ] {
             assert!(refs.contains(&want), "missing {want}");
         }
     }

@@ -29,7 +29,13 @@ pub struct ClusterConfig {
 impl ClusterConfig {
     /// The paper's Section 7.4 baseline: `m = 15`, `k = 3`.
     pub fn paper_default(strategy: ReplicationStrategy, s: f64, case: BiasCase) -> Self {
-        ClusterConfig { m: 15, k: 3, strategy, s, case }
+        ClusterConfig {
+            m: 15,
+            k: 3,
+            strategy,
+            s,
+            case,
+        }
     }
 }
 
@@ -68,7 +74,9 @@ impl KvCluster {
 
     /// The replica sets as plain lists (for the max-load solvers).
     pub fn allowed_sets(&self) -> Vec<Vec<usize>> {
-        self.config.strategy.allowed_sets(self.config.k, self.config.m)
+        self.config
+            .strategy
+            .allowed_sets(self.config.k, self.config.m)
     }
 
     /// Generates `n` unit-task requests arriving as a Poisson process of
@@ -114,7 +122,16 @@ mod tests {
 
     fn cluster(strategy: ReplicationStrategy, case: BiasCase) -> KvCluster {
         let mut rng = seeded_rng(1);
-        KvCluster::new(ClusterConfig { m: 15, k: 3, strategy, s: 1.0, case }, &mut rng)
+        KvCluster::new(
+            ClusterConfig {
+                m: 15,
+                k: 3,
+                strategy,
+                s: 1.0,
+                case,
+            },
+            &mut rng,
+        )
     }
 
     #[test]
@@ -168,7 +185,8 @@ mod tests {
 
     #[test]
     fn paper_default_shape() {
-        let cfg = ClusterConfig::paper_default(ReplicationStrategy::Overlapping, 1.0, BiasCase::Uniform);
+        let cfg =
+            ClusterConfig::paper_default(ReplicationStrategy::Overlapping, 1.0, BiasCase::Uniform);
         assert_eq!((cfg.m, cfg.k), (15, 3));
     }
 
@@ -176,12 +194,7 @@ mod tests {
     fn service_distribution_drives_processing_times() {
         let c = cluster(ReplicationStrategy::Overlapping, BiasCase::Uniform);
         let mut rng = seeded_rng(8);
-        let inst = c.requests_with_service(
-            2000,
-            5.0,
-            ServiceDist::mice_and_elephants(),
-            &mut rng,
-        );
+        let inst = c.requests_with_service(2000, 5.0, ServiceDist::mice_and_elephants(), &mut rng);
         assert!(!inst.is_unit());
         let mean_p = inst.total_work() / inst.len() as f64;
         assert!((mean_p - 1.0).abs() < 0.1, "mean service {mean_p}");
@@ -232,7 +245,10 @@ mod tests {
             .iter()
             .filter(|s| s.as_slice() == [0, 1])
             .count();
-        assert!(hot as f64 > 0.95 * inst.len() as f64, "hot fraction {hot}/2000");
+        assert!(
+            hot as f64 > 0.95 * inst.len() as f64,
+            "hot fraction {hot}/2000"
+        );
     }
 
     #[test]
@@ -240,7 +256,13 @@ mod tests {
     fn oversized_replication_rejected() {
         let mut rng = seeded_rng(7);
         let _ = KvCluster::new(
-            ClusterConfig { m: 3, k: 5, strategy: ReplicationStrategy::Overlapping, s: 0.0, case: BiasCase::Uniform },
+            ClusterConfig {
+                m: 3,
+                k: 5,
+                strategy: ReplicationStrategy::Overlapping,
+                s: 0.0,
+                case: BiasCase::Uniform,
+            },
             &mut rng,
         );
     }

@@ -29,9 +29,15 @@ impl Keyspace {
     /// Panics unless `num_keys ≥ 1` and `m ≥ 1`.
     pub fn new(num_keys: usize, m: usize, s: f64) -> Self {
         assert!(num_keys >= 1 && m >= 1);
-        let owners: Vec<usize> =
-            (0..num_keys).map(|x| (splitmix64(x as u64) % m as u64) as usize).collect();
-        Keyspace { num_keys, m, key_popularity: Zipf::new(num_keys, s), owners }
+        let owners: Vec<usize> = (0..num_keys)
+            .map(|x| (splitmix64(x as u64) % m as u64) as usize)
+            .collect();
+        Keyspace {
+            num_keys,
+            m,
+            key_popularity: Zipf::new(num_keys, s),
+            owners,
+        }
     }
 
     /// Number of keys.

@@ -31,7 +31,10 @@ mod tests {
         let pop = machine_popularity(6, 1.0, BiasCase::Uniform, &mut rng);
         let loads = load_distribution(6.0, &pop);
         for &l in &loads {
-            assert!((l - 1.0).abs() < 1e-12, "expected 100% per machine, got {l}");
+            assert!(
+                (l - 1.0).abs() < 1e-12,
+                "expected 100% per machine, got {l}"
+            );
         }
     }
 

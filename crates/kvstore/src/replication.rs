@@ -91,7 +91,10 @@ impl ReplicationStrategy {
 
     /// The paper's two strategies, for sweeps reproducing its figures.
     pub fn all() -> [ReplicationStrategy; 2] {
-        [ReplicationStrategy::Overlapping, ReplicationStrategy::Disjoint]
+        [
+            ReplicationStrategy::Overlapping,
+            ReplicationStrategy::Disjoint,
+        ]
     }
 
     /// The paper's strategies plus this workspace's staggered candidate

@@ -68,7 +68,10 @@ impl Counter {
     }
 
     fn index(self) -> usize {
-        Counter::ALL.iter().position(|&c| c == self).expect("every counter is in ALL")
+        Counter::ALL
+            .iter()
+            .position(|&c| c == self)
+            .expect("every counter is in ALL")
     }
 }
 

@@ -111,8 +111,11 @@ pub enum ProbeKind {
 
 impl ProbeKind {
     /// Every kind, in snapshot order.
-    pub const ALL: [ProbeKind; 3] =
-        [ProbeKind::LoadFeasibility, ProbeKind::SimplexSolve, ProbeKind::MatchingSolve];
+    pub const ALL: [ProbeKind; 3] = [
+        ProbeKind::LoadFeasibility,
+        ProbeKind::SimplexSolve,
+        ProbeKind::MatchingSolve,
+    ];
 
     /// Stable snake_case identifier.
     pub fn name(self) -> &'static str {
@@ -143,7 +146,12 @@ impl EventRing {
     /// Panics when `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "event ring needs a positive capacity");
-        EventRing { buf: Vec::with_capacity(capacity), head: 0, capacity, dropped: 0 }
+        EventRing {
+            buf: Vec::with_capacity(capacity),
+            head: 0,
+            capacity,
+            dropped: 0,
+        }
     }
 
     /// Appends an event, overwriting the oldest when full.
@@ -195,7 +203,10 @@ mod tests {
     use super::*;
 
     fn arrival(task: u64) -> Event {
-        Event::TaskArrival { task, at: task as f64 }
+        Event::TaskArrival {
+            task,
+            at: task as f64,
+        }
     }
 
     #[test]
@@ -254,11 +265,31 @@ mod tests {
     fn kind_names_cover_every_variant() {
         let evs = [
             Event::TaskArrival { task: 0, at: 0.0 },
-            Event::TaskDispatch { task: 0, machine: 0, start: 0.0, ptime: 1.0 },
-            Event::TaskCompletion { task: 0, machine: 0, at: 1.0, flow: 1.0 },
-            Event::MachineBusy { machine: 0, at: 0.0 },
-            Event::MachineIdle { machine: 0, at: 1.0 },
-            Event::SolverProbe { kind: ProbeKind::LoadFeasibility, iterations: 1, value: 2.0 },
+            Event::TaskDispatch {
+                task: 0,
+                machine: 0,
+                start: 0.0,
+                ptime: 1.0,
+            },
+            Event::TaskCompletion {
+                task: 0,
+                machine: 0,
+                at: 1.0,
+                flow: 1.0,
+            },
+            Event::MachineBusy {
+                machine: 0,
+                at: 0.0,
+            },
+            Event::MachineIdle {
+                machine: 0,
+                at: 1.0,
+            },
+            Event::SolverProbe {
+                kind: ProbeKind::LoadFeasibility,
+                iterations: 1,
+                value: 2.0,
+            },
         ];
         let mut names: Vec<&str> = evs.iter().map(|e| e.kind_name()).collect();
         names.sort_unstable();

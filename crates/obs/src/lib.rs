@@ -26,12 +26,16 @@
 //!
 //! ## Hook sites
 //!
-//! - `flowsched_algos::eft::EftState::dispatch_recorded` — arrivals,
-//!   dispatches, projected completions, machine busy/idle transitions.
-//! - `flowsched_algos::fifo::fifo_recorded` — the same events with
-//!   *actual* transition times from the event loop.
-//! - `flowsched_sim::driver::simulate_recorded` and
-//!   `flowsched_sim::stepped::run_stepped_recorded` — whole-run tracing.
+//! - `flowsched_algos::engine::run_immediate` — the shared streaming
+//!   engine behind `eft_stream`, `dispatch_stream`, and
+//!   `run_stepped_stream`: arrivals, dispatches, projected completions,
+//!   machine busy/idle transitions (the engine, not the dispatcher,
+//!   emits transitions — one convention for every immediate rule,
+//!   including the integer stepped fast path).
+//! - `flowsched_algos::engine::run_fifo` (via `fifo_stream`) — the same
+//!   events with *actual* transition times from the event loop.
+//! - `flowsched_sim::driver::{simulate_with, simulate_stream}` —
+//!   whole-run tracing, batch or constant-memory streaming.
 //! - `flowsched_solver::loadflow` (λ-probes and LP solves) and
 //!   `flowsched_solver::matching::BipartiteMatcher::solve_recorded` —
 //!   solver probe events with iteration counts.

@@ -26,7 +26,13 @@ pub struct ObsConfig {
 impl ObsConfig {
     /// Sensible defaults: 4096-event ring, 64 bins over `[0, 64)`.
     pub fn defaults(machines: usize) -> Self {
-        ObsConfig { machines, trace_capacity: 4096, hist_lo: 0.0, hist_hi: 64.0, hist_bins: 64 }
+        ObsConfig {
+            machines,
+            trace_capacity: 4096,
+            hist_lo: 0.0,
+            hist_hi: 64.0,
+            hist_bins: 64,
+        }
     }
 }
 
@@ -112,14 +118,23 @@ impl MemoryRecorder {
     pub fn utilization(&self) -> Vec<f64> {
         self.busy_time
             .iter()
-            .map(|&b| if self.max_completion > 0.0 { b / self.max_completion } else { 0.0 })
+            .map(|&b| {
+                if self.max_completion > 0.0 {
+                    b / self.max_completion
+                } else {
+                    0.0
+                }
+            })
             .collect()
     }
 
     /// `(count, total_iterations, last_value, max_value)` for one probe
     /// kind.
     pub fn probe_stats(&self, kind: ProbeKind) -> (u64, u64, f64, f64) {
-        let idx = ProbeKind::ALL.iter().position(|&k| k == kind).expect("kind in ALL");
+        let idx = ProbeKind::ALL
+            .iter()
+            .position(|&k| k == kind)
+            .expect("kind in ALL");
         let p = &self.probes[idx];
         (p.count, p.total_iterations, p.last_value, p.max_value)
     }
@@ -130,7 +145,10 @@ impl MemoryRecorder {
             counters: self
                 .counters
                 .iter_nonzero()
-                .map(|(c, v)| CounterSnapshot { name: c.name().to_string(), value: v })
+                .map(|(c, v)| CounterSnapshot {
+                    name: c.name().to_string(),
+                    value: v,
+                })
                 .collect(),
             flow_histogram: HistogramSnapshot {
                 lo: self.flow_hist_range().0,
@@ -188,8 +206,18 @@ impl Recorder for MemoryRecorder {
         if completion > self.max_completion {
             self.max_completion = completion;
         }
-        self.trace.push(Event::TaskDispatch { task, machine, start, ptime });
-        self.trace.push(Event::TaskCompletion { task, machine, at: completion, flow });
+        self.trace.push(Event::TaskDispatch {
+            task,
+            machine,
+            start,
+            ptime,
+        });
+        self.trace.push(Event::TaskCompletion {
+            task,
+            machine,
+            at: completion,
+            flow,
+        });
     }
 
     #[inline]
@@ -216,7 +244,10 @@ impl Recorder for MemoryRecorder {
             ProbeKind::SimplexSolve | ProbeKind::MatchingSolve => {}
         }
         self.counters.add(counter, iterations);
-        let idx = ProbeKind::ALL.iter().position(|&k| k == kind).expect("kind in ALL");
+        let idx = ProbeKind::ALL
+            .iter()
+            .position(|&k| k == kind)
+            .expect("kind in ALL");
         let p = &mut self.probes[idx];
         p.count += 1;
         p.total_iterations += iterations;
@@ -224,7 +255,11 @@ impl Recorder for MemoryRecorder {
         if p.count == 1 || value > p.max_value {
             p.max_value = value;
         }
-        self.trace.push(Event::SolverProbe { kind, iterations, value });
+        self.trace.push(Event::SolverProbe {
+            kind,
+            iterations,
+            value,
+        });
     }
 
     #[inline]
@@ -252,7 +287,12 @@ mod tests {
         assert_eq!(events.len(), 3);
         assert_eq!(
             events[2],
-            Event::TaskCompletion { task: 0, machine: 1, at: 4.5, flow: 3.5 }
+            Event::TaskCompletion {
+                task: 0,
+                machine: 1,
+                at: 4.5,
+                flow: 3.5
+            }
         );
     }
 

@@ -54,7 +54,14 @@ impl Recorder for NoopRecorder {
     fn task_arrival(&mut self, _task: u64, _at: f64) {}
 
     #[inline(always)]
-    fn task_dispatch(&mut self, _task: u64, _machine: u32, _release: f64, _start: f64, _ptime: f64) {
+    fn task_dispatch(
+        &mut self,
+        _task: u64,
+        _machine: u32,
+        _release: f64,
+        _start: f64,
+        _ptime: f64,
+    ) {
     }
 
     #[inline(always)]

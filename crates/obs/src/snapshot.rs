@@ -82,21 +82,33 @@ impl ObsSnapshot {
 
 /// Renders one trace event as a JSON object (tag + payload fields).
 fn event_to_value(ev: &Event) -> Value {
-    let mut fields: Vec<(String, Value)> =
-        vec![("kind".to_string(), Value::String(ev.kind_name().to_string()))];
+    let mut fields: Vec<(String, Value)> = vec![(
+        "kind".to_string(),
+        Value::String(ev.kind_name().to_string()),
+    )];
     let num = |name: &str, v: f64| (name.to_string(), Value::Number(v));
     match *ev {
         Event::TaskArrival { task, at } => {
             fields.push(num("task", task as f64));
             fields.push(num("at", at));
         }
-        Event::TaskDispatch { task, machine, start, ptime } => {
+        Event::TaskDispatch {
+            task,
+            machine,
+            start,
+            ptime,
+        } => {
             fields.push(num("task", task as f64));
             fields.push(num("machine", machine as f64));
             fields.push(num("start", start));
             fields.push(num("ptime", ptime));
         }
-        Event::TaskCompletion { task, machine, at, flow } => {
+        Event::TaskCompletion {
+            task,
+            machine,
+            at,
+            flow,
+        } => {
             fields.push(num("task", task as f64));
             fields.push(num("machine", machine as f64));
             fields.push(num("at", at));
@@ -110,7 +122,11 @@ fn event_to_value(ev: &Event) -> Value {
             fields.push(num("machine", machine as f64));
             fields.push(num("at", at));
         }
-        Event::SolverProbe { kind, iterations, value } => {
+        Event::SolverProbe {
+            kind,
+            iterations,
+            value,
+        } => {
             fields.push(("probe".to_string(), Value::String(kind.name().to_string())));
             fields.push(num("iterations", iterations as f64));
             fields.push(num("value", value));
@@ -123,8 +139,7 @@ fn event_to_value(ev: &Event) -> Value {
 /// array of tagged event objects.
 pub fn trace_to_json(rec: &MemoryRecorder) -> String {
     let items: Vec<Value> = rec.trace().iter().map(event_to_value).collect();
-    serde_json::to_string_pretty(&Value::Array(items))
-        .expect("trace serialization is infallible")
+    serde_json::to_string_pretty(&Value::Array(items)).expect("trace serialization is infallible")
 }
 
 /// Renders a compact terminal summary of a recorder: counters, probe
@@ -203,7 +218,13 @@ mod tests {
         assert!(v.get("flow_histogram").is_some());
         let hist = v.get("flow_histogram").unwrap();
         assert!(hist.get("counts").is_some());
-        assert!(v.get("probes").unwrap().get_index(0).unwrap().get("kind").is_some());
+        assert!(v
+            .get("probes")
+            .unwrap()
+            .get_index(0)
+            .unwrap()
+            .get("kind")
+            .is_some());
     }
 
     #[test]
@@ -211,7 +232,10 @@ mod tests {
         let json = trace_to_json(&populated());
         let v: Value = serde_json::from_str(&json).expect("valid JSON");
         let first = v.get_index(0).expect("non-empty trace");
-        assert_eq!(first.get("kind"), Some(&Value::String("task_arrival".to_string())));
+        assert_eq!(
+            first.get("kind"),
+            Some(&Value::String("task_arrival".to_string()))
+        );
         // Dispatch synthesizes a completion: arrival, dispatch,
         // completion, busy, probe.
         assert!(v.get_index(4).is_some());

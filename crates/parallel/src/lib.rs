@@ -127,14 +127,12 @@ where
         for _ in 0..threads {
             let cursor = &cursor;
             let f = &f;
-            s.spawn(move || {
-                loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= items.len() {
-                        break;
-                    }
-                    f(&items[i]);
+            s.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
                 }
+                f(&items[i]);
             });
         }
     });
@@ -197,7 +195,10 @@ mod tests {
 
     #[test]
     fn par_map_range_works() {
-        assert_eq!(par_map_range(100, |i| i * 2), (0..100).map(|i| i * 2).collect::<Vec<_>>());
+        assert_eq!(
+            par_map_range(100, |i| i * 2),
+            (0..100).map(|i| i * 2).collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -50,7 +50,10 @@ impl ThreadPool {
     pub fn new(threads: usize) -> Self {
         assert!(threads >= 1, "pool needs at least one worker");
         let state = Arc::new(PoolState {
-            queue: Mutex::new(Queue { jobs: VecDeque::new(), shutdown: false }),
+            queue: Mutex::new(Queue {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
             job_cv: Condvar::new(),
             pending: AtomicUsize::new(0),
             panicked: AtomicUsize::new(0),
@@ -99,11 +102,7 @@ impl ThreadPool {
     pub fn wait_idle(&self) {
         let mut guard = self.state.idle_lock.lock().expect("idle lock poisoned");
         while self.state.pending.load(Ordering::Acquire) > 0 {
-            guard = self
-                .state
-                .idle_cv
-                .wait(guard)
-                .expect("idle lock poisoned");
+            guard = self.state.idle_cv.wait(guard).expect("idle lock poisoned");
         }
     }
 }

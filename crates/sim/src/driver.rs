@@ -1,13 +1,16 @@
-//! Simulation entry points.
+//! Simulation entry points — batch (`simulate*`, materializing a
+//! [`Schedule`]) and streaming ([`simulate_stream`], folding a report
+//! straight off an [`ArrivalStream`] in O(machines + window) memory).
 
 use flowsched_algos::eft::EftState;
 use flowsched_algos::tiebreak::TieBreak;
 use flowsched_core::instance::Instance;
 use flowsched_core::schedule::Schedule;
+use flowsched_core::stream::{ArrivalStream, InstanceStream};
 use flowsched_core::time::Time;
 use flowsched_obs::{NoopRecorder, Recorder};
 
-use crate::report::SimReport;
+use crate::report::{ReportBuilder, ReportConfig, SimReport};
 
 /// Simulation configuration.
 #[derive(Debug, Clone, Copy)]
@@ -22,7 +25,10 @@ pub struct SimConfig {
 
 impl Default for SimConfig {
     fn default() -> Self {
-        SimConfig { policy: TieBreak::Min, warmup_fraction: 0.0 }
+        SimConfig {
+            policy: TieBreak::Min,
+            warmup_fraction: 0.0,
+        }
     }
 }
 
@@ -31,12 +37,13 @@ impl Default for SimConfig {
 /// # Panics
 /// Panics if `warmup_fraction` is outside `[0, 1)`.
 pub fn simulate(inst: &Instance, config: &SimConfig) -> (Schedule, SimReport) {
-    simulate_recorded(inst, config, &mut NoopRecorder)
+    simulate_with(inst, config, &mut NoopRecorder)
 }
 
-/// [`simulate`] with the run traced into `rec`: every task arrival,
-/// dispatch, projected completion, and machine transition flows through
-/// the recorder (see `flowsched_obs`), alongside the usual
+/// [`simulate`] with the run traced into `rec` — the canonical
+/// recorder-generic batch entry point. Every task arrival, dispatch,
+/// projected completion, and machine transition flows through the
+/// recorder (see `flowsched_obs`), alongside the usual
 /// `(Schedule, SimReport)` result. With [`NoopRecorder`] this is
 /// exactly [`simulate`] — the hooks compile away, which
 /// `tests/obs_invariants.rs` pins by comparing schedules and
@@ -45,7 +52,7 @@ pub fn simulate(inst: &Instance, config: &SimConfig) -> (Schedule, SimReport) {
 ///
 /// # Panics
 /// Panics if `warmup_fraction` is outside `[0, 1)`.
-pub fn simulate_recorded<R: Recorder>(
+pub fn simulate_with<R: Recorder>(
     inst: &Instance,
     config: &SimConfig,
     rec: &mut R,
@@ -54,10 +61,52 @@ pub fn simulate_recorded<R: Recorder>(
         (0.0..1.0).contains(&config.warmup_fraction),
         "warmup fraction must be in [0, 1)"
     );
-    let schedule = flowsched_algos::eft::eft_recorded(inst, config.policy, rec);
+    let schedule = flowsched_algos::eft::eft_stream(InstanceStream::new(inst), config.policy, rec);
     let warmup = (inst.len() as f64 * config.warmup_fraction) as usize;
-    let report = SimReport::from_schedule(&schedule, inst, warmup.min(inst.len().saturating_sub(1)));
+    let report =
+        SimReport::from_schedule(&schedule, inst, warmup.min(inst.len().saturating_sub(1)));
     (schedule, report)
+}
+
+/// [`simulate`] with the run traced into `rec`.
+#[deprecated(
+    since = "0.3.0",
+    note = "use `simulate_with` (batch) or `simulate_stream` (constant \
+            memory); the plain/`*_recorded` twins were collapsed into \
+            the streaming engine"
+)]
+pub fn simulate_recorded<R: Recorder>(
+    inst: &Instance,
+    config: &SimConfig,
+    rec: &mut R,
+) -> (Schedule, SimReport) {
+    simulate_with(inst, config, rec)
+}
+
+/// Runs EFT over an arbitrary [`ArrivalStream`] and folds the report
+/// online — no `Instance`, no `Schedule`, no per-task allocation.
+/// Memory is bounded by machines + histogram bins + drift window (see
+/// [`ReportBuilder`]), so million-task streams run in constant space.
+///
+/// When `report.expected_measured` is `None` and the stream knows its
+/// length, the drift window is sized from `len_hint() − warmup` so a
+/// replayed instance reproduces the batch drift exactly.
+pub fn simulate_stream<S: ArrivalStream, R: Recorder>(
+    stream: S,
+    policy: TieBreak,
+    report: &ReportConfig,
+    rec: &mut R,
+) -> SimReport {
+    let mut cfg = *report;
+    if cfg.expected_measured.is_none() {
+        cfg.expected_measured = stream
+            .len_hint()
+            .map(|n| n.saturating_sub(cfg.warmup_tasks));
+    }
+    let mut state = EftState::new(stream.machines(), policy);
+    let mut builder = ReportBuilder::new(stream.machines(), &cfg);
+    flowsched_algos::engine::run_immediate(stream, &mut state, rec, &mut builder);
+    builder.finish()
 }
 
 /// Replays the instance through an incremental [`EftState`], snapshotting
@@ -65,11 +114,7 @@ pub fn simulate_recorded<R: Recorder>(
 /// times must be sorted ascending; each snapshot reflects all tasks
 /// released strictly before the sample time (matching
 /// [`flowsched_core::profile::profile_at`]).
-pub fn profile_trace(
-    inst: &Instance,
-    policy: TieBreak,
-    sample_times: &[Time],
-) -> Vec<Vec<Time>> {
+pub fn profile_trace(inst: &Instance, policy: TieBreak, sample_times: &[Time]) -> Vec<Vec<Time>> {
     assert!(
         sample_times.windows(2).all(|w| w[0] <= w[1]),
         "sample times must be sorted"
@@ -144,7 +189,10 @@ mod tests {
         let (_, full) = simulate(&inst, &SimConfig::default());
         let (_, trimmed) = simulate(
             &inst,
-            &SimConfig { warmup_fraction: 0.5, ..Default::default() },
+            &SimConfig {
+                warmup_fraction: 0.5,
+                ..Default::default()
+            },
         );
         assert!(trimmed.n_measured < full.n_measured);
     }

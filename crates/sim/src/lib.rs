@@ -3,23 +3,33 @@
 //! Simulation driver for the paper's Section 7.4 experiments and for the
 //! profile-dynamics illustrations of Theorem 8 (Figures 4–6).
 //!
-//! - [`driver`]: runs an online scheduler over an instance, with optional
-//!   warm-up exclusion, and samples the schedule profile `w_t` over time.
+//! - [`driver`]: runs an online scheduler over an instance (batch) or an
+//!   [`ArrivalStream`](flowsched_core::ArrivalStream) (constant memory),
+//!   with optional warm-up exclusion, and samples the schedule profile
+//!   `w_t` over time.
 //! - [`stepped`]: an integer time-stepped fast path for synchronous
-//!   unit-task batch workloads (the adversary streams), pinned to the
-//!   event-driven engine by tests and benchmarked against it.
+//!   unit-task batch workloads (the adversary streams), expressed as a
+//!   specialization of the shared streaming engine and pinned to the
+//!   event-driven `EftState` by tests.
 //! - [`report`]: flow-time metrics (max, mean, tail percentiles),
 //!   per-machine utilization, and a saturation heuristic (when the
 //!   offered load exceeds the cluster's theoretical max load, flow times
 //!   grow without bound and medians stop being meaningful — the paper's
 //!   Figure 11 curves end at the LP max-load line for the same reason).
+//!   Reports come in two shapes: batch from a materialized schedule, or
+//!   folded online by [`ReportBuilder`] while the stream runs.
 
 pub mod driver;
 pub mod report;
 pub mod stepped;
 
-pub use driver::{SimConfig, profile_trace, simulate, simulate_recorded};
-pub use report::SimReport;
+#[allow(deprecated)]
+pub use driver::simulate_recorded;
+pub use driver::{profile_trace, simulate, simulate_stream, simulate_with, SimConfig};
+pub use report::{ReportBuilder, ReportConfig, SimReport};
+#[allow(deprecated)]
+pub use stepped::run_stepped_recorded;
 pub use stepped::{
-    SteppedOutcome, run_stepped, run_stepped_interval_adversary, run_stepped_recorded,
+    run_stepped, run_stepped_interval_adversary, run_stepped_stream, SteppedEftState,
+    SteppedOutcome,
 };

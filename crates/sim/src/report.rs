@@ -1,10 +1,16 @@
-//! Flow-time metrics extracted from simulated schedules.
+//! Flow-time metrics extracted from simulated schedules — batch
+//! ([`SimReport::from_schedule`]) or folded online from a streaming run
+//! ([`ReportBuilder`]) without ever materializing the flows.
 
+use std::collections::VecDeque;
+
+use flowsched_algos::engine::DispatchSink;
 use flowsched_core::instance::Instance;
-use flowsched_core::schedule::Schedule;
-use flowsched_core::task::TaskId;
+use flowsched_core::schedule::{Assignment, Schedule};
+use flowsched_core::task::{Task, TaskId};
 use flowsched_core::time::Time;
 use flowsched_stats::descriptive::{mean, quantile};
+use flowsched_stats::histogram::Histogram;
 
 /// Aggregated metrics of one simulation run.
 #[derive(Debug, Clone, PartialEq)]
@@ -82,7 +88,11 @@ impl SimReport {
         // A degenerate schedule (all-zero or non-finite flows) has no
         // meaningful trend; report the neutral drift of 1.0 rather than
         // NaN/inf so `looks_saturated` stays well-defined.
-        let drift = if head.is_finite() && head > 0.0 { tail / head } else { 1.0 };
+        let drift = if head.is_finite() && head > 0.0 {
+            tail / head
+        } else {
+            1.0
+        };
 
         SimReport {
             n_measured: flows.len(),
@@ -104,10 +114,194 @@ impl SimReport {
     }
 }
 
+/// How a [`ReportBuilder`] folds a stream into a [`SimReport`].
+#[derive(Debug, Clone, Copy)]
+pub struct ReportConfig {
+    /// Tasks excluded from the flow statistics, counted from the front
+    /// of the stream (warmup by prefix count — the streaming analogue
+    /// of [`SimConfig::warmup_fraction`](crate::SimConfig)).
+    pub warmup_tasks: usize,
+    /// Flow histogram range `[lo, hi)` backing the online percentile
+    /// estimates. Flows outside it clamp to the nearest edge.
+    pub hist_range: (f64, f64),
+    /// Number of histogram bins. Percentiles are exact when flows land
+    /// on bin lower edges (e.g. quarter-integer flows with the default
+    /// quarter-width bins) and off by at most a bin width otherwise.
+    pub hist_bins: usize,
+    /// Expected number of *measured* (post-warmup) tasks, when known.
+    /// Sizes the drift quarters so that a hinted run reproduces the
+    /// batch drift exactly; `None` falls back to a fixed 1024-task
+    /// window (drift stays exact up to ~4k measured tasks, then becomes
+    /// a bounded-window approximation).
+    pub expected_measured: Option<usize>,
+}
+
+impl Default for ReportConfig {
+    fn default() -> Self {
+        ReportConfig {
+            warmup_tasks: 0,
+            hist_range: (0.0, 1024.0),
+            hist_bins: 4096,
+            expected_measured: None,
+        }
+    }
+}
+
+/// Streaming [`SimReport`] fold: a [`DispatchSink`] that consumes
+/// `(task, assignment)` pairs straight from an engine and maintains
+/// every report field online. Memory is O(machines + histogram bins +
+/// drift window) — independent of the number of tasks, which is what
+/// lets a million-task stream produce a full report without a schedule
+/// ever existing.
+///
+/// Exactness contract versus [`SimReport::from_schedule`] on the same
+/// run: `n_measured`, `fmax`, `mean_flow`, `max_stretch`,
+/// `mean_stretch`, `utilization` are bit-identical (same fold order);
+/// `drift` is bit-identical while the quarter window fits (see
+/// [`ReportConfig::expected_measured`]); `p50/p95/p99` are bit-identical
+/// whenever flows sit on histogram bin edges, and within one bin width
+/// otherwise. `tests/streaming_equivalence.rs` pins this.
+#[derive(Debug, Clone)]
+pub struct ReportBuilder {
+    warmup: usize,
+    seen: usize,
+    n: usize,
+    sum_flow: f64,
+    fmax: f64,
+    sum_stretch: f64,
+    max_stretch: f64,
+    hist: Histogram,
+    /// First `window` measured flows (head of the drift ratio).
+    head: Vec<f64>,
+    /// Last ≤ `window` measured flows (tail of the drift ratio).
+    tail: VecDeque<f64>,
+    window: usize,
+    busy: Vec<f64>,
+    makespan: f64,
+}
+
+impl ReportBuilder {
+    /// Fresh fold for a run on `m` machines.
+    pub fn new(m: usize, config: &ReportConfig) -> Self {
+        let window = config.expected_measured.map_or(1024, |n| (n / 4).max(1));
+        ReportBuilder {
+            warmup: config.warmup_tasks,
+            seen: 0,
+            n: 0,
+            sum_flow: 0.0,
+            fmax: 0.0,
+            sum_stretch: 0.0,
+            max_stretch: 0.0,
+            hist: Histogram::new(config.hist_range.0, config.hist_range.1, config.hist_bins),
+            head: Vec::new(),
+            tail: VecDeque::new(),
+            window,
+            busy: vec![0.0; m],
+            makespan: 0.0,
+        }
+    }
+
+    /// Tasks folded in so far (including warmup).
+    pub fn seen(&self) -> usize {
+        self.seen
+    }
+
+    /// Finalizes the fold.
+    ///
+    /// # Panics
+    /// Panics if warm-up excluded every task of a non-empty run
+    /// (mirroring [`SimReport::from_schedule`]).
+    pub fn finish(self) -> SimReport {
+        if self.seen == 0 {
+            return SimReport {
+                n_measured: 0,
+                fmax: 0.0,
+                mean_flow: 0.0,
+                p50: 0.0,
+                p95: 0.0,
+                p99: 0.0,
+                max_stretch: 0.0,
+                mean_stretch: 0.0,
+                utilization: vec![0.0; self.busy.len()],
+                drift: 1.0,
+            };
+        }
+        assert!(self.n > 0, "warm-up excludes every task");
+        let utilization = self
+            .busy
+            .iter()
+            .map(|&b| {
+                if self.makespan > 0.0 {
+                    b / self.makespan
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        // The same quarter the batch report uses, clamped to what the
+        // bounded windows retained.
+        let quarter = (self.n / 4).max(1).min(self.window);
+        let head = mean(&self.head[..quarter.min(self.head.len())]);
+        let tail_flows: Vec<f64> = self
+            .tail
+            .iter()
+            .copied()
+            .skip(self.tail.len().saturating_sub(quarter))
+            .collect();
+        let tail = mean(&tail_flows);
+        let drift = if head.is_finite() && head > 0.0 {
+            tail / head
+        } else {
+            1.0
+        };
+        SimReport {
+            n_measured: self.n,
+            fmax: self.fmax,
+            mean_flow: self.sum_flow / self.n as f64,
+            p50: self.hist.quantile(0.5).unwrap_or(0.0),
+            p95: self.hist.quantile(0.95).unwrap_or(0.0),
+            p99: self.hist.quantile(0.99).unwrap_or(0.0),
+            max_stretch: self.max_stretch,
+            mean_stretch: self.sum_stretch / self.n as f64,
+            utilization,
+            drift,
+        }
+    }
+}
+
+impl DispatchSink for ReportBuilder {
+    fn accept(&mut self, _seq: u64, task: Task, assignment: Assignment) {
+        let completion = assignment.start + task.ptime;
+        // Utilization and makespan cover the whole run, warmup included,
+        // exactly as the batch report does.
+        self.busy[assignment.machine.index()] += task.ptime;
+        self.makespan = self.makespan.max(completion);
+        self.seen += 1;
+        if self.seen <= self.warmup {
+            return;
+        }
+        let flow = completion - task.release;
+        let stretch = flow / task.ptime;
+        self.n += 1;
+        self.sum_flow += flow;
+        self.fmax = self.fmax.max(flow);
+        self.sum_stretch += stretch;
+        self.max_stretch = self.max_stretch.max(stretch);
+        self.hist.record(flow);
+        if self.head.len() < self.window {
+            self.head.push(flow);
+        }
+        if self.tail.len() == self.window {
+            self.tail.pop_front();
+        }
+        self.tail.push_back(flow);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use flowsched_algos::{TieBreak, eft};
+    use flowsched_algos::{eft, TieBreak};
     use flowsched_core::instance::InstanceBuilder;
     use flowsched_core::procset::ProcSet;
 
@@ -221,14 +415,9 @@ mod tests {
         // Valid instances always have positive flows (ptime > 0), so the
         // degenerate head == 0.0 case needs a hand-built schedule whose
         // starts pre-date the releases: flow = start + p − r = 0 for all.
-        let inst = Instance::unrestricted(
-            1,
-            (0..8).map(|_| Task::new(1.0, 1.0)).collect(),
-        )
-        .unwrap();
-        let s = Schedule::new(
-            (0..8).map(|_| Assignment::new(MachineId(0), 0.0)).collect(),
-        );
+        let inst =
+            Instance::unrestricted(1, (0..8).map(|_| Task::new(1.0, 1.0)).collect()).unwrap();
+        let s = Schedule::new((0..8).map(|_| Assignment::new(MachineId(0), 0.0)).collect());
         let r = SimReport::from_schedule(&s, &inst, 0);
         assert!(r.drift.is_finite(), "drift must not be NaN/inf");
         assert_eq!(r.drift, 1.0);

@@ -2,16 +2,34 @@
 //!
 //! The adversary streams of Theorems 8–10 (and the saturated regimes of
 //! Figure 11) release batches of unit tasks at integer times. For those,
-//! the general event-driven EFT state is overkill: machine completions
-//! are always `t + w` for an integer backlog `w`, so the whole simulation
-//! can run on a vector of integers — no floats, no per-task `Assignment`
-//! allocation. This module implements that fast path and the tests pin
-//! it to the exact behaviour of [`EftState`](flowsched_algos::eft::EftState);
-//! the Criterion bench
-//! `simulation_stepped` measures the speedup (DESIGN.md ablation 3).
+//! the general float-valued EFT state is overkill: machine completions
+//! are always integers, so the dispatch rule can run entirely on a
+//! vector of `u64`s. This module keeps that integer kernel
+//! ([`SteppedEftState`]) but re-expresses the *loop* as a specialization
+//! of the shared streaming engine
+//! ([`flowsched_algos::engine::run_immediate`]): batches become an
+//! [`ArrivalStream`] holding one round at a time, the outcome is a
+//! [`DispatchSink`] fold, and — because the engine owns the trace — the
+//! fast path now emits the same busy/idle transition convention as
+//! every other immediate-dispatch run (pinned by
+//! `tests/obs_invariants.rs`).
+//!
+//! The integer state mirrors [`EftState`](flowsched_algos::eft::EftState)
+//! decision for decision (Equation (2) on `u64`s), so tie sets — and
+//! therefore RNG consumption under `TieBreak::Rand` — are identical and
+//! the tests pin stepped runs to the event-driven engine exactly. The
+//! Criterion bench `simulation_stepped` measures the speedup (DESIGN.md
+//! ablation 3).
 
+use flowsched_algos::eft::ImmediateDispatcher;
+use flowsched_algos::engine::{run_immediate, DispatchSink};
 use flowsched_algos::tiebreak::{Breaker, TieBreak};
+use flowsched_core::machine::MachineId;
 use flowsched_core::procset::ProcSet;
+use flowsched_core::schedule::Assignment;
+use flowsched_core::stream::ArrivalStream;
+use flowsched_core::task::Task;
+use flowsched_core::time::Time;
 use flowsched_obs::{NoopRecorder, Recorder};
 
 /// Outcome of a stepped run.
@@ -25,88 +43,210 @@ pub struct SteppedOutcome {
     pub tasks: usize,
 }
 
+/// EFT dispatch state on integer time: absolute per-machine completion
+/// times as `u64`s. Implements [`ImmediateDispatcher`] so the shared
+/// engine (and the paper's adaptive adversaries) can drive it; tasks
+/// must be unit-length with integer releases.
+///
+/// Equation (2) on integers: `t'min = max(rᵢ, min_{j∈Mᵢ} C_j)`, tie set
+/// `{j ∈ Mᵢ : C_j ≤ t'min}` — the same comparisons `EftState` makes on
+/// floats, so the two states pick identical machines (and consume
+/// identical tie-break randomness) on any integer unit-task stream.
+#[derive(Debug)]
+pub struct SteppedEftState {
+    completions: Vec<u64>,
+    /// Float mirror of `completions`, updated once per dispatch, so the
+    /// `ImmediateDispatcher::machine_completions` contract (what an
+    /// adaptive adversary may observe) is served without conversion.
+    completions_f: Vec<Time>,
+    breaker: Breaker,
+    ties: Vec<usize>,
+}
+
+impl SteppedEftState {
+    /// Fresh state for `m` idle machines.
+    pub fn new(m: usize, policy: TieBreak) -> Self {
+        assert!(m > 0, "need at least one machine");
+        SteppedEftState {
+            completions: vec![0; m],
+            completions_f: vec![0.0; m],
+            breaker: policy.breaker(),
+            ties: Vec::with_capacity(m),
+        }
+    }
+
+    /// Current integer completion time of each machine.
+    pub fn completions(&self) -> &[u64] {
+        &self.completions
+    }
+
+    /// Remaining backlog `max(0, C_j − t)` per machine at integer time
+    /// `t`.
+    pub fn backlog_at(&self, t: u64) -> Vec<u64> {
+        self.completions
+            .iter()
+            .map(|&c| c.saturating_sub(t))
+            .collect()
+    }
+}
+
+impl ImmediateDispatcher for SteppedEftState {
+    fn machine_count(&self) -> usize {
+        self.completions.len()
+    }
+
+    fn dispatch_task(&mut self, task: Task, set: &ProcSet) -> Assignment {
+        assert!(!set.is_empty(), "task has an empty processing set");
+        debug_assert_eq!(task.ptime, 1.0, "stepped fast path is unit-task only");
+        let r = task.release as u64;
+        debug_assert_eq!(r as f64, task.release, "stepped releases must be integers");
+        let min_completion = set
+            .as_slice()
+            .iter()
+            .map(|&j| self.completions[j])
+            .min()
+            .expect("non-empty set");
+        let t_min = r.max(min_completion);
+        self.ties.clear();
+        for &j in set.as_slice() {
+            if self.completions[j] <= t_min {
+                self.ties.push(j);
+            }
+        }
+        let u = self.breaker.pick(&self.ties);
+        let start = r.max(self.completions[u]);
+        self.completions[u] = start + 1;
+        self.completions_f[u] = self.completions[u] as f64;
+        Assignment::new(MachineId(u), start as f64)
+    }
+
+    fn machine_completions(&self) -> &[Time] {
+        &self.completions_f
+    }
+}
+
+/// Adapts a `batch(t)` closure into an [`ArrivalStream`]: at each
+/// integer step `t < steps` it materializes one round of processing
+/// sets and lends them out as unit tasks released at `t`. Only the
+/// current round is ever held, so an arbitrarily long run needs memory
+/// for one batch.
+struct BatchStream<F> {
+    m: usize,
+    steps: usize,
+    t: usize,
+    batch: F,
+    round: Vec<ProcSet>,
+    i: usize,
+}
+
+impl<F: FnMut(usize) -> Vec<ProcSet>> ArrivalStream for BatchStream<F> {
+    fn machines(&self) -> usize {
+        self.m
+    }
+
+    fn next_arrival(&mut self) -> Option<(Task, &ProcSet)> {
+        while self.i >= self.round.len() {
+            if self.t >= self.steps {
+                return None;
+            }
+            self.round = (self.batch)(self.t);
+            self.i = 0;
+            self.t += 1;
+        }
+        let set = &self.round[self.i];
+        self.i += 1;
+        Some((Task::unit((self.t - 1) as f64), set))
+    }
+}
+
+/// The fold producing [`SteppedOutcome`]'s flow statistics: unit flows
+/// are `start + 1 − release` on integers.
+#[derive(Debug, Default)]
+struct SteppedFold {
+    fmax: u64,
+    tasks: usize,
+}
+
+impl DispatchSink for SteppedFold {
+    fn accept(&mut self, _seq: u64, task: Task, assignment: Assignment) {
+        let flow = (assignment.start - task.release) as u64 + 1;
+        self.fmax = self.fmax.max(flow);
+        self.tasks += 1;
+    }
+}
+
 /// Runs EFT over `steps` synchronized batches. `batch(t)` yields the
 /// processing sets of the unit tasks released at integer time `t`, in
 /// release order.
 ///
 /// # Panics
 /// Panics if a batch contains an empty processing set.
-pub fn run_stepped<F>(
+pub fn run_stepped<F>(m: usize, steps: usize, policy: TieBreak, batch: F) -> SteppedOutcome
+where
+    F: FnMut(usize) -> Vec<ProcSet>,
+{
+    run_stepped_stream(m, steps, policy, batch, &mut NoopRecorder)
+}
+
+/// [`run_stepped`] driven through the shared streaming engine with
+/// instrumentation — the canonical recorder-generic entry point. `rec`
+/// sees each unit task's arrival, dispatch (with its integer start
+/// time), *and* the machine busy/idle transitions, under the same
+/// convention as every other immediate-dispatch engine run (busy/idle
+/// strictly alternate per machine starting with busy; the idle at a
+/// previous completion is emitted lazily; the trailing idle never).
+/// With [`NoopRecorder`] this is exactly [`run_stepped`].
+///
+/// # Panics
+/// Panics if a batch contains an empty processing set.
+pub fn run_stepped_stream<F, R>(
     m: usize,
     steps: usize,
     policy: TieBreak,
     batch: F,
-) -> SteppedOutcome
-where
-    F: FnMut(usize) -> Vec<ProcSet>,
-{
-    run_stepped_recorded(m, steps, policy, batch, &mut NoopRecorder)
-}
-
-/// [`run_stepped`] with instrumentation: `rec` sees each unit task's
-/// arrival and dispatch (with its projected integer start time), so the
-/// flow histogram and counters cover the fast path too. Machine busy /
-/// idle transitions are *not* emitted here — the integer-backlog state
-/// does not retain when a drained machine last completed, and tracking
-/// that would defeat the point of the fast path. With [`NoopRecorder`]
-/// this is exactly [`run_stepped`].
-///
-/// # Panics
-/// Panics if a batch contains an empty processing set.
-pub fn run_stepped_recorded<F, R>(
-    m: usize,
-    steps: usize,
-    policy: TieBreak,
-    mut batch: F,
     rec: &mut R,
 ) -> SteppedOutcome
 where
     F: FnMut(usize) -> Vec<ProcSet>,
     R: Recorder,
 {
-    assert!(m > 0, "need at least one machine");
-    let mut breaker: Breaker = policy.breaker();
-    // backlog[j] = completion_time(j) − t, always ≥ 0 at batch start.
-    let mut backlog = vec![0u64; m];
-    let mut fmax = 0u64;
-    let mut tasks = 0usize;
-    let mut ties: Vec<usize> = Vec::with_capacity(m);
-
-    for _t in 0..steps {
-        for set in batch(_t) {
-            assert!(!set.is_empty(), "task has an empty processing set");
-            let min_backlog = set
-                .as_slice()
-                .iter()
-                .map(|&j| backlog[j])
-                .min()
-                .expect("non-empty set");
-            ties.clear();
-            for &j in set.as_slice() {
-                if backlog[j] <= min_backlog {
-                    ties.push(j);
-                }
-            }
-            let u = breaker.pick(&ties);
-            if R::ENABLED {
-                // The task starts once the machine's current backlog
-                // drains: start = t + w, completion = start + 1,
-                // flow = w + 1 (the post-increment backlog).
-                let now = _t as f64;
-                rec.task_arrival(tasks as u64, now);
-                rec.task_dispatch(tasks as u64, u as u32, now, now + backlog[u] as f64, 1.0);
-            }
-            backlog[u] += 1;
-            fmax = fmax.max(backlog[u]);
-            tasks += 1;
-        }
-        // Advance one time unit: every machine works off one unit.
-        for w in backlog.iter_mut() {
-            *w = w.saturating_sub(1);
-        }
+    let mut state = SteppedEftState::new(m, policy);
+    let mut fold = SteppedFold::default();
+    let stream = BatchStream {
+        m,
+        steps,
+        t: 0,
+        batch,
+        round: Vec::new(),
+        i: 0,
+    };
+    run_immediate(stream, &mut state, rec, &mut fold);
+    SteppedOutcome {
+        fmax: fold.fmax,
+        final_profile: state.backlog_at(steps as u64),
+        tasks: fold.tasks,
     }
+}
 
-    SteppedOutcome { fmax, final_profile: backlog, tasks }
+/// [`run_stepped`] with instrumentation.
+#[deprecated(
+    since = "0.3.0",
+    note = "use `run_stepped_stream`; the plain/`*_recorded` twins were \
+            collapsed into the streaming engine (note: the stepped path \
+            now also emits machine busy/idle transitions)"
+)]
+pub fn run_stepped_recorded<F, R>(
+    m: usize,
+    steps: usize,
+    policy: TieBreak,
+    batch: F,
+    rec: &mut R,
+) -> SteppedOutcome
+where
+    F: FnMut(usize) -> Vec<ProcSet>,
+    R: Recorder,
+{
+    run_stepped_stream(m, steps, policy, batch, rec)
 }
 
 /// Convenience: runs the Theorem 8 adversary stream on the fast path.
@@ -165,13 +305,9 @@ mod tests {
         let stepped = run_stepped_interval_adversary(m, k, rounds, TieBreak::Min);
         let mut algo = EftState::new(m, TieBreak::Min);
         let event = run_interval_adversary(&mut algo, k, rounds);
-        let event_profile = flowsched_core::profile::profile_at(
-            &event.schedule,
-            &event.instance,
-            rounds as f64,
-        );
-        let stepped_profile: Vec<f64> =
-            stepped.final_profile.iter().map(|&w| w as f64).collect();
+        let event_profile =
+            flowsched_core::profile::profile_at(&event.schedule, &event.instance, rounds as f64);
+        let stepped_profile: Vec<f64> = stepped.final_profile.iter().map(|&w| w as f64).collect();
         assert_eq!(stepped_profile, event_profile);
     }
 
@@ -200,6 +336,24 @@ mod tests {
     }
 
     #[test]
+    fn stepped_state_matches_eft_state_dispatch_for_dispatch() {
+        // Drive both states directly with the same unit-task sequence and
+        // compare every assignment, not just aggregates.
+        let mut int_state = SteppedEftState::new(5, TieBreak::Min);
+        let mut f64_state = EftState::new(5, TieBreak::Min);
+        for t in 0..30u64 {
+            for s in 0..3 {
+                let set = ProcSet::interval(s, s + 2);
+                let task = Task::unit(t as f64);
+                let a = int_state.dispatch_task(task, &set);
+                let b = f64_state.dispatch(task, &set);
+                assert_eq!(a, b, "t={t} s={s}");
+            }
+        }
+        assert_eq!(int_state.machine_completions(), f64_state.completions());
+    }
+
+    #[test]
     fn recorded_stepped_matches_plain_and_fills_histogram() {
         use flowsched_obs::{Counter, MemoryRecorder};
         let (m, k, rounds) = (6, 3, 40);
@@ -210,13 +364,7 @@ mod tests {
             .collect();
         let plain = run_stepped(m, rounds, TieBreak::Min, |_| sets.clone());
         let mut rec = MemoryRecorder::with_defaults(m);
-        let recorded = run_stepped_recorded(
-            m,
-            rounds,
-            TieBreak::Min,
-            |_| sets.clone(),
-            &mut rec,
-        );
+        let recorded = run_stepped_stream(m, rounds, TieBreak::Min, |_| sets.clone(), &mut rec);
         assert_eq!(plain, recorded);
         let n = plain.tasks as u64;
         assert_eq!(rec.counters().get(Counter::TasksArrived), n);
@@ -225,8 +373,51 @@ mod tests {
         // Every unit flow lands in the histogram; the max observed flow is
         // exactly the stepped fmax.
         assert_eq!(rec.flow_histogram().total(), n);
-        // The fast path never emits machine transitions (module docs).
-        assert_eq!(rec.counters().get(Counter::MachineBusyTransitions), 0);
-        assert_eq!(rec.counters().get(Counter::MachineIdleTransitions), 0);
+        // The engine emits transitions for the fast path too (uniform
+        // convention): busy count leads idle count by at most m, and at
+        // least one machine went busy on a non-empty run.
+        let busy = rec.counters().get(Counter::MachineBusyTransitions);
+        let idle = rec.counters().get(Counter::MachineIdleTransitions);
+        assert!(busy >= 1, "stepped path must emit busy transitions now");
+        assert!(
+            idle < busy && busy <= idle + m as u64,
+            "busy {busy} vs idle {idle}"
+        );
+    }
+
+    #[test]
+    fn stepped_transitions_match_event_driven_transitions() {
+        use flowsched_obs::{Event, MemoryRecorder};
+        // An under-loaded stream with forced gaps so real idle periods
+        // occur: one unit task every other step on two machines.
+        let batch = |t: usize| {
+            if t % 2 == 0 {
+                vec![ProcSet::full(2)]
+            } else {
+                Vec::new()
+            }
+        };
+        let mut rec_stepped = MemoryRecorder::with_defaults(2);
+        run_stepped_stream(2, 12, TieBreak::Min, batch, &mut rec_stepped);
+        // Same workload through the float engine.
+        let mut b = flowsched_core::instance::InstanceBuilder::new(2);
+        for t in (0..12).step_by(2) {
+            b.push_unit(t as f64, ProcSet::full(2));
+        }
+        let inst = b.build().unwrap();
+        let mut rec_event = MemoryRecorder::with_defaults(2);
+        let _ = flowsched_algos::eft_stream(
+            flowsched_core::stream::InstanceStream::new(&inst),
+            TieBreak::Min,
+            &mut rec_event,
+        );
+        let transitions = |rec: &MemoryRecorder| -> Vec<Event> {
+            rec.trace()
+                .iter()
+                .filter(|e| matches!(e, Event::MachineBusy { .. } | Event::MachineIdle { .. }))
+                .copied()
+                .collect()
+        };
+        assert_eq!(transitions(&rec_stepped), transitions(&rec_event));
     }
 }

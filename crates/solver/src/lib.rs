@@ -21,11 +21,8 @@ pub mod maxflow;
 pub mod reference;
 pub mod simplex;
 
-
-
-
 pub use loadflow::{
-    MaxLoadProber, load_is_feasible, max_load_binary_search, max_load_lp, max_load_lp_with,
+    load_is_feasible, max_load_binary_search, max_load_lp, max_load_lp_with, MaxLoadProber,
 };
 pub use matching::{BipartiteMatcher, Matching};
 pub use maxflow::FlowNetwork;

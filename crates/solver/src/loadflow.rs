@@ -36,10 +36,16 @@ fn validate(weights: &[f64], allowed: &[Vec<usize>]) {
         weights.iter().all(|&w| w.is_finite() && w >= 0.0),
         "weights must be finite and non-negative"
     );
-    assert!(weights.iter().sum::<f64>() > 0.0, "total weight must be positive");
+    assert!(
+        weights.iter().sum::<f64>() > 0.0,
+        "total weight must be positive"
+    );
     for (j, a) in allowed.iter().enumerate() {
         assert!(!a.is_empty(), "origin {j} has an empty replication set");
-        assert!(a.iter().all(|&i| i < m), "replication set of origin {j} out of range");
+        assert!(
+            a.iter().all(|&i| i < m),
+            "replication set of origin {j} out of range"
+        );
     }
 }
 
@@ -261,7 +267,13 @@ impl MaxLoadProber {
         for i in 0..m {
             fixed_edges.push(net.add_edge(machine(i), sink, 1.0));
         }
-        MaxLoadProber { weights: weights.to_vec(), net, source_edges, fixed_edges, sink }
+        MaxLoadProber {
+            weights: weights.to_vec(),
+            net,
+            source_edges,
+            fixed_edges,
+            sink,
+        }
     }
 
     /// Can arrival rate `lambda` be served? (Max flow saturates the
@@ -288,7 +300,11 @@ impl MaxLoadProber {
         }
         let flow = self.net.max_flow(0, self.sink);
         if R::ENABLED {
-            rec.probe(ProbeKind::LoadFeasibility, self.net.last_augmentations(), lambda);
+            rec.probe(
+                ProbeKind::LoadFeasibility,
+                self.net.last_augmentations(),
+                lambda,
+            );
         }
         flow >= demand - 1e-9 * (1.0 + demand)
     }
@@ -362,7 +378,9 @@ mod tests {
 
     /// Overlapping ring intervals of size k (paper Section 7.2).
     fn ring_sets(m: usize, k: usize) -> Vec<Vec<usize>> {
-        (0..m).map(|u| (0..k).map(|o| (u + o) % m).collect()).collect()
+        (0..m)
+            .map(|u| (0..k).map(|o| (u + o) % m).collect())
+            .collect()
     }
 
     #[test]
@@ -396,7 +414,10 @@ mod tests {
             let over = max_load_lp(&w, &ring_sets(m, k));
             let disj = max_load_lp(&w, &disjoint_sets(m, k));
             assert!((over - disj).abs() < 1e-6, "k={k}: {over} vs {disj}");
-            assert!((over - m as f64).abs() < 1e-6, "uniform load should hit 100%");
+            assert!(
+                (over - m as f64).abs() < 1e-6,
+                "uniform load should hit 100%"
+            );
         }
     }
 
@@ -437,7 +458,11 @@ mod tests {
             let m = rng.random_range(2..=8);
             let k = rng.random_range(1..=m);
             let weights: Vec<f64> = (0..m).map(|_| rng.random_range(0.01..1.0)).collect();
-            let allowed = if trial % 2 == 0 { ring_sets(m, k) } else { disjoint_sets(m, k) };
+            let allowed = if trial % 2 == 0 {
+                ring_sets(m, k)
+            } else {
+                disjoint_sets(m, k)
+            };
             let lp = max_load_lp(&weights, &allowed);
             let bs = max_load_binary_search(&weights, &allowed, 1e-9);
             assert!(

@@ -45,7 +45,11 @@ const INF: u32 = u32::MAX;
 impl BipartiteMatcher {
     /// Creates an empty bipartite graph.
     pub fn new(n_left: usize, n_right: usize) -> Self {
-        BipartiteMatcher { n_left, n_right, adj: vec![Vec::new(); n_left] }
+        BipartiteMatcher {
+            n_left,
+            n_right,
+            adj: vec![Vec::new(); n_left],
+        }
     }
 
     /// Adds an edge `left — right`.
@@ -130,7 +134,11 @@ impl BipartiteMatcher {
             rec.probe(ProbeKind::MatchingSolve, phases, size as f64);
             rec.add(Counter::MatchingAugmentations, augmentations);
         }
-        Matching { left_to_right: match_l, right_to_left: match_r, size }
+        Matching {
+            left_to_right: match_l,
+            right_to_left: match_r,
+            size,
+        }
     }
 
     fn try_augment(
@@ -143,10 +151,7 @@ impl BipartiteMatcher {
         for &r in &self.adj[l] {
             let extend = match match_r[r] {
                 None => true,
-                Some(l2) => {
-                    dist[l2] == dist[l] + 1
-                        && self.try_augment(l2, match_l, match_r, dist)
-                }
+                Some(l2) => dist[l2] == dist[l] + 1 && self.try_augment(l2, match_l, match_r, dist),
             };
             if extend {
                 match_l[l] = Some(r);
@@ -468,7 +473,10 @@ mod tests {
         assert!(phases >= 1);
         assert_eq!(size, m.size as f64);
         // A cold solve gains one matched pair per augmenting path.
-        assert_eq!(rec.counters().get(Counter::MatchingAugmentations), m.size as u64);
+        assert_eq!(
+            rec.counters().get(Counter::MatchingAugmentations),
+            m.size as u64
+        );
 
         // Warm-started incremental solve with nothing new: zero phases.
         let mut inc = IncrementalMatcher::new(2, 2);

@@ -80,13 +80,27 @@ impl FlowNetwork {
     /// # Panics
     /// Panics on out-of-range nodes or negative/non-finite capacity.
     pub fn add_edge(&mut self, from: usize, to: usize, cap: f64) -> EdgeHandle {
-        assert!(from < self.graph.len() && to < self.graph.len(), "node out of range");
-        assert!(cap.is_finite() && cap >= 0.0, "capacity must be finite and non-negative");
+        assert!(
+            from < self.graph.len() && to < self.graph.len(),
+            "node out of range"
+        );
+        assert!(
+            cap.is_finite() && cap >= 0.0,
+            "capacity must be finite and non-negative"
+        );
         let fwd = self.graph[from].len();
         let bwd = self.graph[to].len() + usize::from(from == to);
         self.graph[from].push(Edge { to, cap, rev: bwd });
-        self.graph[to].push(Edge { to: from, cap: 0.0, rev: fwd });
-        EdgeHandle { from, index: fwd, original_cap: cap }
+        self.graph[to].push(Edge {
+            to: from,
+            cap: 0.0,
+            rev: fwd,
+        });
+        EdgeHandle {
+            from,
+            index: fwd,
+            original_cap: cap,
+        }
     }
 
     /// Computes the maximum flow from `source` to `sink`, mutating the
@@ -142,7 +156,10 @@ impl FlowNetwork {
     /// # Panics
     /// Panics on negative/non-finite capacity.
     pub fn set_capacity(&mut self, handle: &mut EdgeHandle, cap: f64) {
-        assert!(cap.is_finite() && cap >= 0.0, "capacity must be finite and non-negative");
+        assert!(
+            cap.is_finite() && cap >= 0.0,
+            "capacity must be finite and non-negative"
+        );
         handle.original_cap = cap;
         self.reset_edge(handle);
     }

@@ -70,8 +70,14 @@ impl Tableau {
             }
         }
 
-        let n_slack = relations.iter().filter(|r| !matches!(r, Relation::Eq)).count();
-        let n_art = relations.iter().filter(|r| !matches!(r, Relation::Le)).count();
+        let n_slack = relations
+            .iter()
+            .filter(|r| !matches!(r, Relation::Eq))
+            .count();
+        let n_art = relations
+            .iter()
+            .filter(|r| !matches!(r, Relation::Le))
+            .count();
         let cols = n + n_slack + n_art;
         let artificial_start = n + n_slack;
 
@@ -102,7 +108,13 @@ impl Tableau {
                 }
             }
         }
-        Tableau { t, basis, n_structural: n, artificial_start, cols }
+        Tableau {
+            t,
+            basis,
+            n_structural: n,
+            artificial_start,
+            cols,
+        }
     }
 
     fn solve(&mut self, objective: &[f64]) -> LpOutcome {
@@ -142,7 +154,10 @@ impl Tableau {
             }
         }
         let objective_value: f64 = x.iter().zip(objective).map(|(xi, ci)| xi * ci).sum();
-        LpOutcome::Optimal(LpSolution { objective: objective_value, x })
+        LpOutcome::Optimal(LpSolution {
+            objective: objective_value,
+            x,
+        })
     }
 
     fn reduced_row(&self, cost: &[f64]) -> Vec<f64> {
@@ -240,8 +255,7 @@ impl Tableau {
     fn evict_artificials(&mut self) {
         for row in 0..self.t.len() {
             if self.basis[row] >= self.artificial_start {
-                let target =
-                    (0..self.artificial_start).find(|&j| self.t[row][j].abs() > 1e-7);
+                let target = (0..self.artificial_start).find(|&j| self.t[row][j].abs() > 1e-7);
                 if let Some(j) = target {
                     let piv = self.t[row][j];
                     let inv = 1.0 / piv;

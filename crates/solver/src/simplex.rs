@@ -195,8 +195,18 @@ impl LinearProgram {
     /// # Panics
     /// Panics if the objective length differs from `n_vars`.
     pub fn maximize(n_vars: usize, objective: Vec<f64>) -> Self {
-        assert_eq!(objective.len(), n_vars, "objective length must match variable count");
-        LinearProgram { n_vars, objective, rows: Vec::new(), relations: Vec::new(), rhs: Vec::new() }
+        assert_eq!(
+            objective.len(),
+            n_vars,
+            "objective length must match variable count"
+        );
+        LinearProgram {
+            n_vars,
+            objective,
+            rows: Vec::new(),
+            relations: Vec::new(),
+            rhs: Vec::new(),
+        }
     }
 
     /// Creates a minimization program (internally negated).
@@ -210,7 +220,11 @@ impl LinearProgram {
     /// # Panics
     /// Panics if `coeffs.len() != n_vars` or `rhs` is not finite.
     pub fn constraint(&mut self, coeffs: Vec<f64>, rel: Relation, rhs: f64) -> &mut Self {
-        assert_eq!(coeffs.len(), self.n_vars, "constraint width must match variable count");
+        assert_eq!(
+            coeffs.len(),
+            self.n_vars,
+            "constraint width must match variable count"
+        );
         assert!(rhs.is_finite(), "constraint rhs must be finite");
         self.rows.push(coeffs);
         self.relations.push(rel);
@@ -415,9 +429,11 @@ impl<'s> Tableau<'s> {
                 x[b] = self.t[row * self.stride + self.cols];
             }
         }
-        let objective_value: f64 =
-            x.iter().zip(objective).map(|(xi, ci)| xi * ci).sum();
-        LpOutcome::Optimal(LpSolution { objective: objective_value, x })
+        let objective_value: f64 = x.iter().zip(objective).map(|(xi, ci)| xi * ci).sum();
+        LpOutcome::Optimal(LpSolution {
+            objective: objective_value,
+            x,
+        })
     }
 
     /// Computes the reduced-cost row `z` from the scratch cost vector:
@@ -561,8 +577,8 @@ impl<'s> Tableau<'s> {
         let stride = self.stride;
         for row in 0..self.rows {
             if self.basis[row] >= self.artificial_start {
-                let target = (0..self.artificial_start)
-                    .find(|&j| self.t[row * stride + j].abs() > 1e-7);
+                let target =
+                    (0..self.artificial_start).find(|&j| self.t[row * stride + j].abs() > 1e-7);
                 if let Some(j) = target {
                     // The basic artificial has value 0 (phase 1 succeeded),
                     // so this degenerate pivot keeps feasibility. Pivot
@@ -751,7 +767,10 @@ mod tests {
         small.constraint(vec![1.0, 0.0], Relation::Le, 4.0);
         small.constraint(vec![0.0, 2.0], Relation::Le, 12.0);
         small.constraint(vec![3.0, 2.0], Relation::Le, 18.0);
-        assert_close(small.solve_with(&mut scratch).expect_optimal().objective, 36.0);
+        assert_close(
+            small.solve_with(&mut scratch).expect_optimal().objective,
+            36.0,
+        );
 
         let mut infeasible = LinearProgram::maximize(1, vec![1.0]);
         infeasible.constraint(vec![1.0], Relation::Le, 1.0);
@@ -759,7 +778,10 @@ mod tests {
         assert_eq!(infeasible.solve_with(&mut scratch), LpOutcome::Infeasible);
 
         // And again after an infeasible solve: state fully recycles.
-        assert_close(small.solve_with(&mut scratch).expect_optimal().objective, 36.0);
+        assert_close(
+            small.solve_with(&mut scratch).expect_optimal().objective,
+            36.0,
+        );
     }
 
     #[test]
@@ -768,9 +790,13 @@ mod tests {
         for seed in 0..40u64 {
             // Small pseudo-random LPs from a hand-rolled LCG (keep this
             // test dependency-free).
-            let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let mut state = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let mut next = || {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((state >> 33) as i64 % 9 - 4) as f64
             };
             let n = 2 + (seed as usize % 3);

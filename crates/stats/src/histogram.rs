@@ -21,7 +21,14 @@ impl Histogram {
     pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
         assert!(lo < hi, "histogram range must be non-empty");
         assert!(bins >= 1, "histogram needs at least one bin");
-        Histogram { lo, hi, counts: vec![0; bins], total: 0, underflow: 0, overflow: 0 }
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            total: 0,
+            underflow: 0,
+            overflow: 0,
+        }
     }
 
     /// Records a value.
@@ -71,6 +78,55 @@ impl Histogram {
     pub fn bin_edges(&self, i: usize) -> (f64, f64) {
         let width = (self.hi - self.lo) / self.counts.len() as f64;
         (self.lo + i as f64 * width, self.lo + (i + 1) as f64 * width)
+    }
+
+    /// The `[lo, hi)` range the bins cover.
+    pub fn range(&self) -> (f64, f64) {
+        (self.lo, self.hi)
+    }
+
+    /// The value of the `r`-th order statistic (0-based), approximated
+    /// by the lower edge of the bin it falls in (underflow ↦ `lo`,
+    /// overflow ↦ `hi`). Exact whenever every recorded value sits on a
+    /// bin lower edge — e.g. integer samples in a unit-width histogram.
+    fn value_at_rank(&self, r: u64) -> f64 {
+        debug_assert!(r < self.total);
+        let mut cum = self.underflow;
+        if r < cum {
+            return self.lo;
+        }
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if r < cum {
+                return self.bin_edges(i).0;
+            }
+        }
+        self.hi
+    }
+
+    /// Quantile `q ∈ [0,1]` with linear interpolation between order
+    /// statistics (type-7, mirroring
+    /// [`descriptive::quantile`](crate::descriptive::quantile)), read
+    /// from the bins instead of a sorted sample. Each order statistic is
+    /// approximated by its bin's lower edge, so the result is exact when
+    /// all samples lie on bin edges and within range, and off by at most
+    /// one bin width otherwise (more for out-of-range samples, which
+    /// clamp to the range). Returns `None` when nothing was recorded.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile level must be in [0,1]");
+        if self.total == 0 {
+            return None;
+        }
+        let h = q * (self.total - 1) as f64;
+        let lo = h.floor() as u64;
+        let hi = h.ceil() as u64;
+        let vlo = self.value_at_rank(lo);
+        Some(if lo == hi {
+            vlo
+        } else {
+            let vhi = self.value_at_rank(hi);
+            vlo + (h - lo as f64) * (vhi - vlo)
+        })
     }
 
     /// A terminal sparkline of the histogram (one char per bin).
@@ -143,5 +199,34 @@ mod tests {
     #[should_panic(expected = "non-empty")]
     fn inverted_range_rejected() {
         let _ = Histogram::new(1.0, 0.0, 3);
+    }
+
+    #[test]
+    fn quantile_is_exact_for_edge_aligned_samples() {
+        use crate::descriptive::quantile;
+        // Integer samples in a unit-width histogram sit exactly on bin
+        // lower edges, so the histogram quantile must equal the sorted
+        // sample quantile bit for bit, interpolation included.
+        let samples = [3.0, 1.0, 1.0, 7.0, 2.0, 2.0, 2.0, 5.0];
+        let mut h = Histogram::new(0.0, 16.0, 16);
+        h.record_all(&samples);
+        for q in [0.0, 0.25, 0.5, 0.75, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), Some(quantile(&samples, q)), "q = {q}");
+        }
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_none() {
+        let h = Histogram::new(0.0, 1.0, 4);
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn quantile_clamps_out_of_range_samples() {
+        let mut h = Histogram::new(0.0, 4.0, 4);
+        h.record(-3.0); // ↦ lo
+        h.record(99.0); // ↦ hi
+        assert_eq!(h.quantile(0.0), Some(0.0));
+        assert_eq!(h.quantile(1.0), Some(4.0));
     }
 }

@@ -28,10 +28,10 @@ pub mod rng;
 pub mod service;
 pub mod zipf;
 
-pub use descriptive::{Summary, mean, median, quantile, std_dev, variance};
+pub use descriptive::{mean, median, quantile, std_dev, variance, Summary};
 pub use permutation::{apply_permutation, invert_permutation, random_permutation};
 pub use poisson::PoissonProcess;
 pub use queueing::{erlang_c, md1_mean_response, mm1_mean_response, mmc_mean_response};
 pub use rng::{derive_rng, seeded_rng};
 pub use service::ServiceDist;
-pub use zipf::{BiasCase, Zipf, harmonic_generalized};
+pub use zipf::{harmonic_generalized, BiasCase, Zipf};

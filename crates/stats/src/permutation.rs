@@ -27,7 +27,9 @@ pub fn apply_permutation<T: Clone>(values: &[T], perm: &[usize]) -> Vec<T> {
     for (i, &p) in perm.iter().enumerate() {
         out[p] = Some(values[i].clone());
     }
-    out.into_iter().map(|x| x.expect("perm must be bijective")).collect()
+    out.into_iter()
+        .map(|x| x.expect("perm must be bijective"))
+        .collect()
 }
 
 /// Inverse permutation: `invert(p)[p[i]] == i`.

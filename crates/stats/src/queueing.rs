@@ -15,7 +15,10 @@
 /// Panics unless `c ≥ 1` and `0 ≤ a < c`.
 pub fn erlang_c(c: usize, a: f64) -> f64 {
     assert!(c >= 1, "need at least one server");
-    assert!(a >= 0.0 && a < c as f64, "offered load must satisfy 0 <= a < c");
+    assert!(
+        a >= 0.0 && a < c as f64,
+        "offered load must satisfy 0 <= a < c"
+    );
     if a == 0.0 {
         return 0.0;
     }

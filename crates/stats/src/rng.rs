@@ -6,8 +6,8 @@
 //! SplitMix64 mix of `(root_seed, stream_id)` so streams do not overlap
 //! even for adjacent ids.
 
-use rand::SeedableRng;
 use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 /// SplitMix64 finalizer — a high-quality 64-bit mixing function.
 #[inline]
@@ -27,7 +27,9 @@ pub fn seeded_rng(seed: u64) -> StdRng {
 /// `derive_rng(s, a)` and `derive_rng(s, b)` are statistically independent
 /// for `a ≠ b`.
 pub fn derive_rng(seed: u64, stream: u64) -> StdRng {
-    StdRng::seed_from_u64(splitmix64(splitmix64(seed) ^ splitmix64(stream.wrapping_mul(0xA076_1D64_78BD_642F))))
+    StdRng::seed_from_u64(splitmix64(
+        splitmix64(seed) ^ splitmix64(stream.wrapping_mul(0xA076_1D64_78BD_642F)),
+    ))
 }
 
 #[cfg(test)]
@@ -75,6 +77,9 @@ mod tests {
         let a = splitmix64(0);
         let b = splitmix64(1);
         let flipped = (a ^ b).count_ones();
-        assert!((16..=48).contains(&flipped), "weak avalanche: {flipped} bits");
+        assert!(
+            (16..=48).contains(&flipped),
+            "weak avalanche: {flipped} bits"
+        );
     }
 }

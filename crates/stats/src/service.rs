@@ -53,7 +53,11 @@ impl ServiceDist {
 
     /// A unit-mean mice-and-elephants mix: 90% × 0.5, 10% × 5.5.
     pub fn mice_and_elephants() -> Self {
-        ServiceDist::Bimodal { short: 0.5, long: 5.5, p_long: 0.1 }
+        ServiceDist::Bimodal {
+            short: 0.5,
+            long: 5.5,
+            p_long: 0.1,
+        }
     }
 
     /// The distribution's mean.
@@ -61,9 +65,11 @@ impl ServiceDist {
         match *self {
             ServiceDist::Deterministic(p) => p,
             ServiceDist::Exponential { mean } => mean,
-            ServiceDist::Bimodal { short, long, p_long } => {
-                short * (1.0 - p_long) + long * p_long
-            }
+            ServiceDist::Bimodal {
+                short,
+                long,
+                p_long,
+            } => short * (1.0 - p_long) + long * p_long,
         }
     }
 
@@ -73,7 +79,11 @@ impl ServiceDist {
         match *self {
             ServiceDist::Deterministic(_) => 0.0,
             ServiceDist::Exponential { .. } => 1.0,
-            ServiceDist::Bimodal { short, long, p_long } => {
+            ServiceDist::Bimodal {
+                short,
+                long,
+                p_long,
+            } => {
                 let m = self.mean();
                 let ex2 = short * short * (1.0 - p_long) + long * long * p_long;
                 (ex2 - m * m) / (m * m)
@@ -89,10 +99,14 @@ impl ServiceDist {
         assert!(factor > 0.0, "scale factor must be positive");
         match *self {
             ServiceDist::Deterministic(p) => ServiceDist::Deterministic(p * factor),
-            ServiceDist::Exponential { mean } => {
-                ServiceDist::Exponential { mean: mean * factor }
-            }
-            ServiceDist::Bimodal { short, long, p_long } => ServiceDist::Bimodal {
+            ServiceDist::Exponential { mean } => ServiceDist::Exponential {
+                mean: mean * factor,
+            },
+            ServiceDist::Bimodal {
+                short,
+                long,
+                p_long,
+            } => ServiceDist::Bimodal {
                 short: short * factor,
                 long: long * factor,
                 p_long,
@@ -108,8 +122,16 @@ impl ServiceDist {
                 let u: f64 = rng.random();
                 -(1.0 - u).ln() * mean
             }
-            ServiceDist::Bimodal { short, long, p_long } => {
-                if rng.random::<f64>() < p_long { long } else { short }
+            ServiceDist::Bimodal {
+                short,
+                long,
+                p_long,
+            } => {
+                if rng.random::<f64>() < p_long {
+                    long
+                } else {
+                    short
+                }
             }
         }
     }
@@ -163,7 +185,10 @@ mod tests {
         assert_eq!(d.scv(), 1.0);
         let b = ServiceDist::mice_and_elephants().scaled(2.0);
         assert!((b.mean() - 2.0).abs() < 1e-12);
-        assert!((b.scv() - 2.25).abs() < 1e-12, "scv invariant under scaling");
+        assert!(
+            (b.scv() - 2.25).abs() < 1e-12,
+            "scv invariant under scaling"
+        );
     }
 
     #[test]

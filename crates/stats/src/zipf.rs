@@ -150,7 +150,9 @@ impl Zipf {
     pub fn sample(&self, rng: &mut impl Rng) -> usize {
         let u: f64 = rng.random();
         // partition_point returns the first index with cdf > u.
-        self.cdf.partition_point(|&c| c <= u).min(self.probs.len() - 1)
+        self.cdf
+            .partition_point(|&c| c <= u)
+            .min(self.probs.len() - 1)
     }
 }
 

@@ -47,7 +47,10 @@ pub fn exhaustive_worst_ratio(
     assert!(!sets.is_empty() && batch >= 1 && rounds >= 1);
     let slots = batch * rounds;
     let space = (sets.len() as f64).powi(slots as i32);
-    assert!(space <= (1u64 << 28) as f64, "search space too large: {space}");
+    assert!(
+        space <= (1u64 << 28) as f64,
+        "search space too large: {space}"
+    );
 
     let mut worst_ratio = 0.0_f64;
     let mut witness: Option<Instance> = None;
@@ -100,7 +103,9 @@ pub fn exhaustive_worst_ratio(
 /// (the Theorem 8 building blocks).
 pub fn interval_types(m: usize, k: usize) -> Vec<ProcSet> {
     assert!(k >= 1 && k <= m);
-    (0..=m - k).map(|lo| ProcSet::interval(lo, lo + k - 1)).collect()
+    (0..=m - k)
+        .map(|lo| ProcSet::interval(lo, lo + k - 1))
+        .collect()
 }
 
 /// Greedy adversarial search for larger scales: at each step, try every
@@ -133,8 +138,7 @@ pub fn greedy_adversary_stream(m: usize, k: usize, rounds: usize) -> Instance {
                     .expect("tie set non-empty");
                 let mut after = backlog;
                 after[u] = tmin.max(t as f64).max(after[u]) + 1.0;
-                let w: Vec<f64> =
-                    after.iter().map(|&c| (c - t as f64).max(0.0)).collect();
+                let w: Vec<f64> = after.iter().map(|&c| (c - t as f64).max(0.0)).collect();
                 let phi = weighted_distance(&w, m, k);
                 // Lower Φ = closer to the failure profile.
                 if best.is_none_or(|(bphi, _)| phi < bphi) {

@@ -14,30 +14,45 @@
 //!     every tie-break policy).
 //!
 //!   Adaptive adversaries drive any
-//!   [`ImmediateDispatcher`](flowsched_algos::ImmediateDispatcher) and
-//!   return an [`AdversaryOutcome`] pairing the constructed instance, the
-//!   schedule the algorithm produced, and the offline optimum the paper
-//!   states for that construction.
+//!   [`ImmediateDispatcher`](flowsched_algos::ImmediateDispatcher).
+//!   Each one is a sink-generic `drive_*` core over a
+//!   [`ReleaseSink`](outcome::ReleaseSink): the `run_*` wrappers
+//!   materialize an [`AdversaryOutcome`] (instance + schedule + the
+//!   paper's offline optimum); the `run_*_streaming` wrappers fold only
+//!   the running `Fmax` in O(1) memory. The oblivious constructions
+//!   (Theorem 8's stream, the generalized staircase) double as
+//!   [`ArrivalStream`](flowsched_core::ArrivalStream)s for the shared
+//!   engines.
 //!
-//! - [`random`]: seeded random instances over every structure class, for
-//!   property tests and benchmarks.
+//! - [`random`]: seeded random workloads over every structure class, for
+//!   property tests and benchmarks — materialized ([`random_instance`])
+//!   or as a constant-memory Poisson stream ([`PoissonStream`]).
 //! - [`trace`]: key-level request traces (explicit keyspace, per-key Zipf
 //!   popularity, replication by strategy) — the fine-grained model whose
-//!   aggregation is the paper's machine-level popularity.
+//!   aggregation is the paper's machine-level popularity; batch
+//!   ([`generate_trace`]) or streaming ([`TraceStream`]).
 
 pub mod adversary;
 pub mod outcome;
 pub mod random;
 pub mod trace;
 
-pub use adversary::fixed_size::fixed_size_adversary;
-pub use adversary::inclusive::inclusive_adversary;
-pub use adversary::interval::{interval_adversary_instance, run_interval_adversary};
-pub use adversary::nested::nested_adversary;
-pub use adversary::padded::padded_interval_adversary;
+pub use adversary::fixed_size::{fixed_size_adversary, fixed_size_adversary_streaming};
+pub use adversary::inclusive::{inclusive_adversary, inclusive_adversary_streaming};
+pub use adversary::interval::{
+    interval_adversary_instance, run_interval_adversary, run_interval_adversary_streaming,
+    IntervalAdversaryStream,
+};
+pub use adversary::nested::{nested_adversary, nested_adversary_streaming};
+pub use adversary::padded::{padded_interval_adversary, padded_interval_adversary_streaming};
 pub use adversary::search::{exhaustive_worst_ratio, greedy_adversary_stream, interval_types};
-pub use adversary::staircase::{run_staircase, run_staircase_with_exact_opt, staircase_round};
-pub use adversary::theorem7::theorem7_adversary;
-pub use outcome::AdversaryOutcome;
-pub use random::{RandomInstanceConfig, StructureKind, random_instance};
-pub use trace::{Trace, TraceConfig, generate_trace};
+pub use adversary::staircase::{
+    run_staircase, run_staircase_streaming, run_staircase_with_exact_opt, staircase_round,
+    StaircaseStream,
+};
+pub use adversary::theorem7::{theorem7_adversary, theorem7_adversary_streaming};
+pub use outcome::{AdversaryOutcome, ReleaseLog, ReleaseSink, StreamingLog, StreamingOutcome};
+pub use random::{
+    random_instance, PoissonStream, PoissonStreamConfig, RandomInstanceConfig, StructureKind,
+};
+pub use trace::{generate_trace, Trace, TraceConfig, TraceStream};

@@ -1,10 +1,15 @@
-//! Seeded random instance generation over every structure class, for
-//! property tests and benchmarks.
+//! Seeded random workload generation over every structure class, for
+//! property tests and benchmarks — as materialized instances
+//! ([`random_instance`]) or as a constant-memory Poisson arrival stream
+//! ([`PoissonStream`]).
 
 use flowsched_core::instance::{Instance, InstanceBuilder};
 use flowsched_core::procset::ProcSet;
+use flowsched_core::stream::ArrivalStream;
 use flowsched_core::task::Task;
+use flowsched_stats::poisson::PoissonProcess;
 use flowsched_stats::rng::derive_rng;
+use rand::rngs::StdRng;
 use rand::Rng;
 
 /// Which processing-set structure the generated family follows.
@@ -71,24 +76,7 @@ pub fn random_instance(config: &RandomInstanceConfig, seed: u64) -> Instance {
     assert!(config.m >= 1 && config.n >= 1, "need machines and tasks");
     let m = config.m;
     let mut rng = derive_rng(seed, 0x5EED);
-
-    // Pre-build the structured family skeleton where applicable.
-    let chain: Vec<ProcSet> = match config.structure {
-        StructureKind::InclusiveChain => {
-            // Random nested prefix sizes 1 ≤ s₁ < s₂ < … ≤ m over a random
-            // machine order.
-            let order = flowsched_stats::permutation::random_permutation(m, &mut rng);
-            let mut sizes: Vec<usize> = (1..=m).collect();
-            // Keep a random subset of sizes, always including m.
-            sizes.retain(|&s| s == m || rng.random_bool(0.5));
-            sizes
-                .iter()
-                .map(|&s| ProcSet::new(order[..s].to_vec()))
-                .collect()
-        }
-        StructureKind::NestedLaminar => laminar_family(m, &mut rng),
-        _ => Vec::new(),
-    };
+    let chain = structure_skeleton(config.structure, m, &mut rng);
 
     let mut b = InstanceBuilder::new(m);
     for _ in 0..config.n {
@@ -98,40 +86,178 @@ pub fn random_instance(config: &RandomInstanceConfig, seed: u64) -> Instance {
         } else {
             0.25 * rng.random_range(1..=config.ptime_steps.max(1)) as f64
         };
-        let set = match config.structure {
-            StructureKind::Unrestricted => ProcSet::full(m),
-            StructureKind::IntervalFixed(k) => {
-                assert!((1..=m).contains(&k), "interval size out of range");
-                let lo = rng.random_range(0..=m - k);
-                ProcSet::interval(lo, lo + k - 1)
-            }
-            StructureKind::RingFixed(k) => {
-                assert!((1..=m).contains(&k), "ring size out of range");
-                let start = rng.random_range(0..m);
-                ProcSet::ring_interval(start, k, m)
-            }
-            StructureKind::DisjointBlocks(k) => {
-                assert!((1..=m).contains(&k), "block size out of range");
-                let blocks = m.div_ceil(k);
-                let blk = rng.random_range(0..blocks);
-                let lo = blk * k;
-                ProcSet::interval(lo, (lo + k - 1).min(m - 1))
-            }
-            StructureKind::InclusiveChain | StructureKind::NestedLaminar => {
-                chain[rng.random_range(0..chain.len())].clone()
-            }
-            StructureKind::General => {
-                let mut members: Vec<usize> =
-                    (0..m).filter(|_| rng.random_bool(0.5)).collect();
-                if members.is_empty() {
-                    members.push(rng.random_range(0..m));
-                }
-                ProcSet::new(members)
-            }
-        };
+        let set = sample_set(config.structure, m, &chain, &mut rng);
         b.push(Task::new(release, ptime), set);
     }
-    b.build().expect("random instances are valid by construction")
+    b.build()
+        .expect("random instances are valid by construction")
+}
+
+/// Pre-builds the structured family skeleton a [`StructureKind`] samples
+/// from (the chain / laminar family); empty for memoryless kinds.
+fn structure_skeleton(structure: StructureKind, m: usize, rng: &mut impl Rng) -> Vec<ProcSet> {
+    match structure {
+        StructureKind::InclusiveChain => {
+            // Random nested prefix sizes 1 ≤ s₁ < s₂ < … ≤ m over a random
+            // machine order.
+            let order = flowsched_stats::permutation::random_permutation(m, rng);
+            let mut sizes: Vec<usize> = (1..=m).collect();
+            // Keep a random subset of sizes, always including m.
+            sizes.retain(|&s| s == m || rng.random_bool(0.5));
+            sizes
+                .iter()
+                .map(|&s| ProcSet::new(order[..s].to_vec()))
+                .collect()
+        }
+        StructureKind::NestedLaminar => laminar_family(m, rng),
+        _ => Vec::new(),
+    }
+}
+
+/// Samples one processing set of the given structure. `chain` is the
+/// skeleton from [`structure_skeleton`] (consulted only by the chain and
+/// laminar kinds). Shared by [`random_instance`] and [`PoissonStream`] so
+/// both draw sets with identical per-task RNG consumption.
+fn sample_set(
+    structure: StructureKind,
+    m: usize,
+    chain: &[ProcSet],
+    rng: &mut impl Rng,
+) -> ProcSet {
+    match structure {
+        StructureKind::Unrestricted => ProcSet::full(m),
+        StructureKind::IntervalFixed(k) => {
+            assert!((1..=m).contains(&k), "interval size out of range");
+            let lo = rng.random_range(0..=m - k);
+            ProcSet::interval(lo, lo + k - 1)
+        }
+        StructureKind::RingFixed(k) => {
+            assert!((1..=m).contains(&k), "ring size out of range");
+            let start = rng.random_range(0..m);
+            ProcSet::ring_interval(start, k, m)
+        }
+        StructureKind::DisjointBlocks(k) => {
+            assert!((1..=m).contains(&k), "block size out of range");
+            let blocks = m.div_ceil(k);
+            let blk = rng.random_range(0..blocks);
+            let lo = blk * k;
+            ProcSet::interval(lo, (lo + k - 1).min(m - 1))
+        }
+        StructureKind::InclusiveChain | StructureKind::NestedLaminar => {
+            chain[rng.random_range(0..chain.len())].clone()
+        }
+        StructureKind::General => {
+            let mut members: Vec<usize> = (0..m).filter(|_| rng.random_bool(0.5)).collect();
+            if members.is_empty() {
+                members.push(rng.random_range(0..m));
+            }
+            ProcSet::new(members)
+        }
+    }
+}
+
+/// Configuration for [`PoissonStream`].
+#[derive(Debug, Clone)]
+pub struct PoissonStreamConfig {
+    /// Machine count.
+    pub m: usize,
+    /// Number of tasks the stream emits before ending.
+    pub n: usize,
+    /// Structure family (same sampling as [`random_instance`]).
+    pub structure: StructureKind,
+    /// Poisson arrival rate λ (Section 7.1's release model).
+    pub lambda: f64,
+    /// `true` → all processing times are 1; otherwise uniform in
+    /// `{0.25, 0.5, …, ptime_steps/4}`.
+    pub unit: bool,
+    /// Number of quarter-unit steps for non-unit processing times.
+    pub ptime_steps: u32,
+}
+
+impl PoissonStreamConfig {
+    /// Unit tasks at arrival rate `lambda`.
+    pub fn unit_tasks(m: usize, n: usize, lambda: f64, structure: StructureKind) -> Self {
+        PoissonStreamConfig {
+            m,
+            n,
+            structure,
+            lambda,
+            unit: true,
+            ptime_steps: 4,
+        }
+    }
+}
+
+/// A seeded, constant-memory [`ArrivalStream`] of random tasks: Poisson
+/// releases (cumulative exponential gaps, so arrivals are natively in
+/// non-decreasing order), processing times and sets drawn exactly as in
+/// [`random_instance`]. Live state is the RNG, the structure skeleton
+/// (`O(m)` sets at most), and one scratch set — independent of `n`, which
+/// is what lets million-task runs stream through the engines without an
+/// `Instance` ever existing.
+#[derive(Debug, Clone)]
+pub struct PoissonStream {
+    m: usize,
+    structure: StructureKind,
+    unit: bool,
+    ptime_steps: u32,
+    chain: Vec<ProcSet>,
+    arrivals: PoissonProcess,
+    rng: StdRng,
+    remaining: usize,
+    scratch: ProcSet,
+}
+
+impl PoissonStream {
+    /// Creates the stream; identical `(config, seed)` pairs produce
+    /// identical arrival sequences.
+    ///
+    /// # Panics
+    /// Panics on degenerate configurations (zero machines/tasks,
+    /// non-positive `lambda`, `k` out of `1..=m`).
+    pub fn new(config: &PoissonStreamConfig, seed: u64) -> Self {
+        assert!(config.m >= 1 && config.n >= 1, "need machines and tasks");
+        let mut rng = derive_rng(seed, 0x57EA);
+        let chain = structure_skeleton(config.structure, config.m, &mut rng);
+        PoissonStream {
+            m: config.m,
+            structure: config.structure,
+            unit: config.unit,
+            ptime_steps: config.ptime_steps,
+            chain,
+            arrivals: PoissonProcess::new(config.lambda),
+            rng,
+            remaining: config.n,
+            scratch: ProcSet::full(1),
+        }
+    }
+}
+
+impl ArrivalStream for PoissonStream {
+    fn machines(&self) -> usize {
+        self.m
+    }
+
+    fn next_arrival(&mut self) -> Option<(Task, &ProcSet)> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        // Per-task draw order mirrors `random_instance`:
+        // release, then ptime, then set.
+        let release = self.arrivals.next_arrival(&mut self.rng);
+        let ptime = if self.unit {
+            1.0
+        } else {
+            0.25 * self.rng.random_range(1..=self.ptime_steps.max(1)) as f64
+        };
+        self.scratch = sample_set(self.structure, self.m, &self.chain, &mut self.rng);
+        Some((Task::new(release, ptime), &self.scratch))
+    }
+
+    fn len_hint(&self) -> Option<usize> {
+        Some(self.remaining)
+    }
 }
 
 /// A random laminar family over `m` machines: recursively split the
@@ -239,8 +365,76 @@ mod tests {
     }
 
     #[test]
+    fn poisson_stream_is_sorted_deterministic_and_structured() {
+        use flowsched_core::stream::collect_stream;
+        for kind in [
+            StructureKind::Unrestricted,
+            StructureKind::IntervalFixed(3),
+            StructureKind::RingFixed(3),
+            StructureKind::DisjointBlocks(4),
+            StructureKind::InclusiveChain,
+            StructureKind::NestedLaminar,
+            StructureKind::General,
+        ] {
+            let cfg = PoissonStreamConfig::unit_tasks(8, 200, 4.0, kind);
+            let a = collect_stream(PoissonStream::new(&cfg, 11)).unwrap();
+            let b = collect_stream(PoissonStream::new(&cfg, 11)).unwrap();
+            assert_eq!(a, b, "{kind:?}: not deterministic per seed");
+            assert_eq!(a.len(), 200);
+            let releases: Vec<f64> = a.tasks().iter().map(|t| t.release).collect();
+            assert!(
+                releases.windows(2).all(|w| w[0] <= w[1]),
+                "{kind:?}: arrivals out of order"
+            );
+        }
+    }
+
+    #[test]
+    fn poisson_stream_draws_sets_like_random_instance() {
+        // Interval sets from the stream satisfy the same structural
+        // invariants the batch generator guarantees.
+        let cfg = PoissonStreamConfig::unit_tasks(8, 300, 2.0, StructureKind::IntervalFixed(3));
+        let inst = flowsched_core::stream::collect_stream(PoissonStream::new(&cfg, 7)).unwrap();
+        assert!(structure::is_interval_family(inst.sets()));
+        assert_eq!(structure::fixed_size(inst.sets()), Some(3));
+        let nested = PoissonStreamConfig::unit_tasks(8, 300, 2.0, StructureKind::NestedLaminar);
+        let inst = flowsched_core::stream::collect_stream(PoissonStream::new(&nested, 7)).unwrap();
+        assert!(structure::is_nested(inst.sets()));
+    }
+
+    #[test]
+    fn poisson_stream_len_hint_counts_down() {
+        let cfg = PoissonStreamConfig::unit_tasks(4, 3, 1.0, StructureKind::Unrestricted);
+        let mut s = PoissonStream::new(&cfg, 1);
+        use flowsched_core::stream::ArrivalStream;
+        assert_eq!(s.len_hint(), Some(3));
+        s.next_arrival().unwrap();
+        assert_eq!(s.len_hint(), Some(2));
+        s.next_arrival().unwrap();
+        s.next_arrival().unwrap();
+        assert_eq!(s.len_hint(), Some(0));
+        assert!(s.next_arrival().is_none());
+    }
+
+    #[test]
+    fn poisson_stream_feeds_the_engine_directly() {
+        use flowsched_algos::{eft_stream, TieBreak};
+        use flowsched_obs::NoopRecorder;
+        let cfg = PoissonStreamConfig::unit_tasks(6, 400, 3.0, StructureKind::RingFixed(3));
+        let inst = flowsched_core::stream::collect_stream(PoissonStream::new(&cfg, 21)).unwrap();
+        let streamed = eft_stream(
+            PoissonStream::new(&cfg, 21),
+            TieBreak::Min,
+            &mut NoopRecorder,
+        );
+        let batch = flowsched_algos::eft(&inst, TieBreak::Min);
+        assert_eq!(streamed, batch);
+        streamed.validate(&inst).unwrap();
+    }
+
+    #[test]
     fn instances_are_schedulable_by_eft() {
-        use flowsched_algos::{TieBreak, eft};
+        use flowsched_algos::{eft, TieBreak};
         for kind in [
             StructureKind::Unrestricted,
             StructureKind::IntervalFixed(2),

@@ -9,6 +9,8 @@
 //! [`flowsched_kvstore::cluster`] is the aggregation of this one.
 
 use flowsched_core::instance::{Instance, InstanceBuilder};
+use flowsched_core::procset::ProcSet;
+use flowsched_core::stream::ArrivalStream;
 use flowsched_core::task::Task;
 use flowsched_kvstore::keyspace::Keyspace;
 use flowsched_kvstore::replication::ReplicationStrategy;
@@ -72,6 +74,84 @@ pub fn generate_trace(config: &TraceConfig, n: usize, rng: &mut impl Rng) -> Tra
     }
 }
 
+/// The streaming counterpart of [`generate_trace`]: the same requests,
+/// one at a time, in `O(keys + 1)` live memory. Poisson arrivals are
+/// cumulative, so releases are natively non-decreasing; per-request RNG
+/// draws happen in the exact order of the batch generator (arrival, key,
+/// service), so collecting the stream reproduces [`generate_trace`]'s
+/// instance bit for bit from the same starting RNG.
+#[derive(Debug)]
+pub struct TraceStream<R> {
+    k: usize,
+    m: usize,
+    strategy: ReplicationStrategy,
+    service: ServiceDist,
+    keyspace: Keyspace,
+    arrivals: PoissonProcess,
+    rng: R,
+    remaining: usize,
+    scratch: ProcSet,
+    last_key: usize,
+}
+
+impl<R: Rng> TraceStream<R> {
+    /// Streams `n` requests drawn from `rng`.
+    ///
+    /// # Panics
+    /// Panics on degenerate configurations (zero keys, `k ∉ 1..=m`).
+    pub fn new(config: &TraceConfig, n: usize, rng: R) -> Self {
+        assert!(config.k >= 1 && config.k <= config.m, "k must be in 1..=m");
+        TraceStream {
+            k: config.k,
+            m: config.m,
+            strategy: config.strategy,
+            service: config.service,
+            keyspace: Keyspace::new(config.num_keys, config.m, config.key_bias),
+            arrivals: PoissonProcess::new(config.lambda),
+            rng,
+            remaining: n,
+            scratch: ProcSet::full(1),
+            last_key: 0,
+        }
+    }
+
+    /// The keyspace behind the requests.
+    pub fn keyspace(&self) -> &Keyspace {
+        &self.keyspace
+    }
+
+    /// Key of the most recently emitted request.
+    pub fn last_key(&self) -> usize {
+        self.last_key
+    }
+}
+
+impl<R: Rng> ArrivalStream for TraceStream<R> {
+    fn machines(&self) -> usize {
+        self.m
+    }
+
+    fn next_arrival(&mut self) -> Option<(Task, &ProcSet)> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let t = self.arrivals.next_arrival(&mut self.rng);
+        let key = self.keyspace.sample_key(&mut self.rng);
+        let owner = self.keyspace.owner(key);
+        self.last_key = key;
+        self.scratch = self.strategy.replica_set(owner, self.k, self.m);
+        Some((
+            Task::new(t, self.service.sample(&mut self.rng)),
+            &self.scratch,
+        ))
+    }
+
+    fn len_hint(&self) -> Option<usize> {
+        Some(self.remaining)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -126,7 +206,10 @@ mod tests {
     fn key_bias_induces_machine_bias() {
         // Strong key bias concentrates the induced machine load.
         let mut rng = seeded_rng(3);
-        let hot = TraceConfig { key_bias: 2.5, ..config() };
+        let hot = TraceConfig {
+            key_bias: 2.5,
+            ..config()
+        };
         let trace = generate_trace(&hot, 5000, &mut rng);
         let mut owner_counts = vec![0usize; 9];
         for &key in &trace.keys {
@@ -134,16 +217,44 @@ mod tests {
         }
         let max = *owner_counts.iter().max().unwrap() as f64;
         let expected_uniform = 5000.0 / 9.0;
-        assert!(max > 2.0 * expected_uniform, "no concentration: {owner_counts:?}");
+        assert!(
+            max > 2.0 * expected_uniform,
+            "no concentration: {owner_counts:?}"
+        );
     }
 
     #[test]
     fn trace_is_schedulable() {
-        use flowsched_algos::{TieBreak, eft};
+        use flowsched_algos::{eft, TieBreak};
         let mut rng = seeded_rng(4);
         let trace = generate_trace(&config(), 800, &mut rng);
         let s = eft(&trace.instance, TieBreak::Min);
         s.validate(&trace.instance).unwrap();
+    }
+
+    #[test]
+    fn stream_replays_the_batch_generator_exactly() {
+        // Same starting RNG ⇒ the stream's RNG draw order (arrival, key,
+        // service) reproduces generate_trace bit for bit.
+        let cfg = config();
+        let batch = generate_trace(&cfg, 300, &mut seeded_rng(8));
+        let streamed =
+            flowsched_core::stream::collect_stream(TraceStream::new(&cfg, 300, seeded_rng(8)))
+                .unwrap();
+        assert_eq!(streamed, batch.instance);
+    }
+
+    #[test]
+    fn stream_exposes_keys_as_it_goes() {
+        let cfg = config();
+        let batch = generate_trace(&cfg, 100, &mut seeded_rng(9));
+        let mut s = TraceStream::new(&cfg, 100, seeded_rng(9));
+        let mut keys = Vec::new();
+        while s.next_arrival().is_some() {
+            keys.push(s.last_key());
+        }
+        assert_eq!(keys, batch.keys);
+        assert_eq!(s.len_hint(), Some(0));
     }
 
     #[test]

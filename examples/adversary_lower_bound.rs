@@ -44,7 +44,10 @@ fn main() {
     // The same stream does NOT trap EFT-Max …
     let mut algo = EftState::new(m, TieBreak::Max);
     let escape = run_interval_adversary(&mut algo, k, rounds);
-    println!("EFT-Max on the same stream: Fmax = {} (escapes)", escape.fmax());
+    println!(
+        "EFT-Max on the same stream: Fmax = {} (escapes)",
+        escape.fmax()
+    );
 
     // … but the Theorem 10 padded stream traps every tie-break policy.
     println!("\nTheorem 10 — δ/ε-padded stream (no tie-break escapes):");

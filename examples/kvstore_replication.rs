@@ -9,7 +9,7 @@
 use flowsched::kvstore::cluster::{ClusterConfig, KvCluster};
 use flowsched::kvstore::replication::ReplicationStrategy;
 use flowsched::prelude::*;
-use flowsched::sim::driver::{SimConfig, simulate};
+use flowsched::sim::driver::{simulate, SimConfig};
 use flowsched::solver::loadflow::max_load_lp;
 use flowsched::stats::rng::derive_rng;
 use flowsched::stats::zipf::BiasCase;
@@ -26,14 +26,23 @@ fn main() {
         // machines are hot).
         let mut rng = derive_rng(seed, 1);
         let cluster = KvCluster::new(
-            ClusterConfig { m, k, strategy, s, case: BiasCase::Shuffled },
+            ClusterConfig {
+                m,
+                k,
+                strategy,
+                s,
+                case: BiasCase::Shuffled,
+            },
             &mut rng,
         );
 
         // What load can this replication structure theoretically absorb?
         let max_load =
             max_load_lp(cluster.popularity().probs(), &cluster.allowed_sets()) / m as f64;
-        println!("[{strategy}] theoretical max load: {:.0}%", max_load * 100.0);
+        println!(
+            "[{strategy}] theoretical max load: {:.0}%",
+            max_load * 100.0
+        );
 
         // Simulate EFT at increasing offered loads.
         println!("  load%   Fmax(EFT-Min)  mean flow   p99");
@@ -43,9 +52,16 @@ fn main() {
             let inst = cluster.requests(n_requests, lambda, &mut rng);
             let (_, report) = simulate(
                 &inst,
-                &SimConfig { policy: TieBreak::Min, warmup_fraction: 0.1 },
+                &SimConfig {
+                    policy: TieBreak::Min,
+                    warmup_fraction: 0.1,
+                },
             );
-            let saturated = if report.looks_saturated() { "  (saturated)" } else { "" };
+            let saturated = if report.looks_saturated() {
+                "  (saturated)"
+            } else {
+                ""
+            };
             println!(
                 "  {load_pct:>4.0}    {:>8.1}      {:>6.2}   {:>6.1}{saturated}",
                 report.fmax, report.mean_flow, report.p99

@@ -13,7 +13,10 @@ use flowsched::stats::zipf::Zipf;
 fn main() {
     let (m, k) = (15usize, 3usize);
     println!("Theoretical max cluster load, m = {m}, k = {k}, Worst-case bias\n");
-    println!("{:>5}  {:>12}  {:>12}  {:>7}  {:>10}", "s", "overlapping", "disjoint", "gain", "LP=flow?");
+    println!(
+        "{:>5}  {:>12}  {:>12}  {:>7}  {:>10}",
+        "s", "overlapping", "disjoint", "gain", "LP=flow?"
+    );
 
     for s10 in 0..=20 {
         let s = s10 as f64 * 0.25;

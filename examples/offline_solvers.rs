@@ -10,7 +10,7 @@ use flowsched::algos::localsearch::eft_plus_local_search;
 use flowsched::algos::offline::fmax_lower_bound;
 use flowsched::algos::preemptive::optimal_preemptive_fmax;
 use flowsched::prelude::*;
-use flowsched::workloads::random::{RandomInstanceConfig, StructureKind, random_instance};
+use flowsched::workloads::random::{random_instance, RandomInstanceConfig, StructureKind};
 
 fn main() {
     // A crunchy instance: 16 tasks with varied lengths over 4 machines,

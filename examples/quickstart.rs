@@ -5,7 +5,7 @@
 //! cargo run --example quickstart
 //! ```
 
-use flowsched::core::gantt::{GanttOptions, render};
+use flowsched::core::gantt::{render, GanttOptions};
 use flowsched::prelude::*;
 
 fn main() {
@@ -25,12 +25,21 @@ fn main() {
     // EFT (Earliest Finish Time) is the paper's immediate-dispatch
     // scheduler; the tie-break policy decides among equally good machines.
     let schedule = eft(&instance, TieBreak::Min);
-    schedule.validate(&instance).expect("EFT schedules are feasible");
+    schedule
+        .validate(&instance)
+        .expect("EFT schedules are feasible");
 
     println!("Gantt chart (cells are task numbers, '.' = idle):\n");
     print!(
         "{}",
-        render(&schedule, &instance, &GanttOptions { resolution: 0.5, ..Default::default() })
+        render(
+            &schedule,
+            &instance,
+            &GanttOptions {
+                resolution: 0.5,
+                ..Default::default()
+            }
+        )
     );
 
     println!("\nPer-task flow times (completion − release):");
@@ -45,11 +54,17 @@ fn main() {
             schedule.flow_time(id, &instance),
         );
     }
-    println!("\nFmax (the paper's objective) = {:.1}", schedule.fmax(&instance));
+    println!(
+        "\nFmax (the paper's objective) = {:.1}",
+        schedule.fmax(&instance)
+    );
 
     // Compare against the exact offline optimum (exhaustive — tiny
     // instances only) to see how far the online decision was from ideal.
     let opt = flowsched::algos::offline::brute_force_fmax(&instance);
     println!("offline optimal Fmax        = {opt:.1}");
-    println!("competitive ratio achieved  = {:.2}", schedule.fmax(&instance) / opt);
+    println!(
+        "competitive ratio achieved  = {:.2}",
+        schedule.fmax(&instance) / opt
+    );
 }

@@ -9,7 +9,7 @@
 use flowsched::algos::offline::optimal_unit_fmax;
 use flowsched::core::structure;
 use flowsched::prelude::*;
-use flowsched::workloads::random::{RandomInstanceConfig, StructureKind, random_instance};
+use flowsched::workloads::random::{random_instance, RandomInstanceConfig, StructureKind};
 
 fn main() {
     let m = 8;
@@ -20,13 +20,41 @@ fn main() {
     );
 
     let zoo: Vec<(&str, StructureKind, &str)> = vec![
-        ("unrestricted", StructureKind::Unrestricted, "3 − 2/m (Th. 1)"),
-        ("disjoint blocks k=4", StructureKind::DisjointBlocks(4), "3 − 2/k (Cor. 1)"),
-        ("intervals k=4", StructureKind::IntervalFixed(4), "≥ m − k + 1 worst case (Th. 8)"),
-        ("ring intervals k=4", StructureKind::RingFixed(4), "≥ m − k + 1 worst case (Th. 8)"),
-        ("inclusive chain", StructureKind::InclusiveChain, "≥ ⌊log2 m + 1⌋ worst case (Th. 3)"),
-        ("nested laminar", StructureKind::NestedLaminar, "≥ ⅓⌊log2 m + 2⌋ worst case (Th. 5)"),
-        ("general", StructureKind::General, "≥ Ω(m) worst case [Anand et al.]"),
+        (
+            "unrestricted",
+            StructureKind::Unrestricted,
+            "3 − 2/m (Th. 1)",
+        ),
+        (
+            "disjoint blocks k=4",
+            StructureKind::DisjointBlocks(4),
+            "3 − 2/k (Cor. 1)",
+        ),
+        (
+            "intervals k=4",
+            StructureKind::IntervalFixed(4),
+            "≥ m − k + 1 worst case (Th. 8)",
+        ),
+        (
+            "ring intervals k=4",
+            StructureKind::RingFixed(4),
+            "≥ m − k + 1 worst case (Th. 8)",
+        ),
+        (
+            "inclusive chain",
+            StructureKind::InclusiveChain,
+            "≥ ⌊log2 m + 1⌋ worst case (Th. 3)",
+        ),
+        (
+            "nested laminar",
+            StructureKind::NestedLaminar,
+            "≥ ⅓⌊log2 m + 2⌋ worst case (Th. 5)",
+        ),
+        (
+            "general",
+            StructureKind::General,
+            "≥ Ω(m) worst case [Anand et al.]",
+        ),
     ];
 
     for (label, kind, guarantee) in zoo {
@@ -52,7 +80,14 @@ fn main() {
         }
         // Classify the first instance's family for display.
         let inst = random_instance(
-            &RandomInstanceConfig { m, n: 6 * m, structure: kind, release_span: 5, unit: true, ptime_steps: 4 },
+            &RandomInstanceConfig {
+                m,
+                n: 6 * m,
+                structure: kind,
+                release_span: 5,
+                unit: true,
+                ptime_steps: 4,
+            },
             0,
         );
         let class = structure::classify(inst.sets(), m).most_specific();

@@ -8,12 +8,12 @@
 //! cargo run --release --example tail_latency
 //! ```
 
-use flowsched::prelude::*;
 use flowsched::kvstore::replication::ReplicationStrategy;
+use flowsched::prelude::*;
 use flowsched::sim::report::SimReport;
 use flowsched::stats::rng::derive_rng;
 use flowsched::stats::service::ServiceDist;
-use flowsched::workloads::trace::{TraceConfig, generate_trace};
+use flowsched::workloads::trace::{generate_trace, TraceConfig};
 
 fn main() {
     let m = 12;
@@ -42,7 +42,14 @@ fn main() {
         ("mice & elephants", ServiceDist::mice_and_elephants()),
     ] {
         let mut rng = derive_rng(42, label.len() as u64);
-        let trace = generate_trace(&TraceConfig { service, ..base.clone() }, 8_000, &mut rng);
+        let trace = generate_trace(
+            &TraceConfig {
+                service,
+                ..base.clone()
+            },
+            8_000,
+            &mut rng,
+        );
         let schedule = eft(&trace.instance, TieBreak::Min);
         schedule.validate(&trace.instance).expect("feasible");
         let report = SimReport::from_schedule(&schedule, &trace.instance, 800);
@@ -71,7 +78,11 @@ fn main() {
         let trace = generate_trace(&cfg, 8_000, &mut rng);
         let schedule = eft(&trace.instance, TieBreak::Min);
         let report = SimReport::from_schedule(&schedule, &trace.instance, 800);
-        let saturated = if report.looks_saturated() { " (saturating!)" } else { "" };
+        let saturated = if report.looks_saturated() {
+            " (saturating!)"
+        } else {
+            ""
+        };
         println!(
             "  {strategy:<12} p99 = {:>6.1}  max = {:>7.1}{saturated}",
             report.p99, report.fmax

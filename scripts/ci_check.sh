@@ -1,14 +1,20 @@
 #!/usr/bin/env bash
 # Tier-1 gate: everything that must stay green on every PR.
 #
-#   1. release build of the whole workspace
-#   2. the full test suite (unit + integration + doc tests), which
+#   1. formatting (cargo fmt --check over the whole workspace,
+#      vendored stand-ins included)
+#   2. release build of the whole workspace
+#   3. the full test suite (unit + integration + doc tests), which
 #      includes the observability hardening suites
-#      (tests/obs_invariants.rs, tests/report_consistency.rs)
-#   3. clippy with warnings promoted to errors
+#      (tests/obs_invariants.rs, tests/report_consistency.rs) and the
+#      streaming-core suites (tests/streaming_equivalence.rs,
+#      tests/streaming_memory.rs)
+#   4. clippy with warnings promoted to errors
+#   5. rustdoc with warnings promoted to errors (broken intra-doc
+#      links, missing docs on public items)
 #
 # Usage:
-#   scripts/ci_check.sh            # all three stages
+#   scripts/ci_check.sh            # all five stages
 #   scripts/ci_check.sh --no-clippy   # skip the lint stage (e.g. when the
 #                                     # toolchain lacks clippy)
 set -euo pipefail
@@ -19,6 +25,10 @@ if [ "${1:-}" = "--no-clippy" ]; then
   RUN_CLIPPY=0
 fi
 
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo
 echo "== cargo build --release =="
 cargo build --release
 
@@ -31,6 +41,10 @@ if [ "$RUN_CLIPPY" = 1 ]; then
   echo "== cargo clippy --all-targets -- -D warnings =="
   cargo clippy --all-targets -- -D warnings
 fi
+
+echo
+echo "== RUSTDOCFLAGS=\"-D warnings\" cargo doc --no-deps =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q
 
 echo
 echo "ci_check: all stages passed"

@@ -10,21 +10,41 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use flowsched::experiments::{Scale, ablation, fig08, fig10, fig11, openq, policies, selfcheck, service, table1, table2};
 use flowsched::experiments::record::write_json;
+use flowsched::experiments::{
+    ablation, fig08, fig10, fig11, openq, policies, selfcheck, service, table1, table2, Scale,
+};
 
 const EXPERIMENTS: &[(&str, &str)] = &[
-    ("table1", "FIFO/EFT competitiveness on P | online-ri | Fmax (paper Table 1)"),
-    ("table2", "structured-processing-set bounds, theory vs measured (paper Table 2)"),
+    (
+        "table1",
+        "FIFO/EFT competitiveness on P | online-ri | Fmax (paper Table 1)",
+    ),
+    (
+        "table2",
+        "structured-processing-set bounds, theory vs measured (paper Table 2)",
+    ),
     ("fig08", "load distributions λ·P(E_j) (paper Figure 8)"),
     ("fig10a", "LP (15) max-load sweep (paper Figure 10a)"),
-    ("fig10b", "overlapping/disjoint max-load ratio (paper Figure 10b)"),
+    (
+        "fig10b",
+        "overlapping/disjoint max-load ratio (paper Figure 10b)",
+    ),
     ("fig11", "Fmax vs average load simulation (paper Figure 11)"),
     ("ablation", "tie-break × replication strategy ablation"),
-    ("openq", "open question: staggered replication scored on three axes"),
+    (
+        "openq",
+        "open question: staggered replication scored on three axes",
+    ),
     ("service", "service-time sensitivity beyond unit tasks"),
-    ("policies", "immediate-dispatch rules: adversarial vs average behaviour"),
-    ("selfcheck", "re-derive the headline claims and print a verdict per claim"),
+    (
+        "policies",
+        "immediate-dispatch rules: adversarial vs average behaviour",
+    ),
+    (
+        "selfcheck",
+        "re-derive the headline claims and print a verdict per claim",
+    ),
 ];
 
 struct Cli {
@@ -50,7 +70,11 @@ fn parse(args: &[String]) -> Result<Cli, String> {
     let mut it = args.iter().peekable();
     let command = it.next().cloned().ok_or_else(usage)?;
     let target = if command == "run" {
-        Some(it.next().cloned().ok_or("run requires an experiment name")?)
+        Some(
+            it.next()
+                .cloned()
+                .ok_or("run requires an experiment name")?,
+        )
     } else {
         None
     };
@@ -73,7 +97,13 @@ fn parse(args: &[String]) -> Result<Cli, String> {
             other => return Err(format!("unknown flag {other:?}\n\n{}", usage())),
         }
     }
-    Ok(Cli { command, target, scale, json, out_dir })
+    Ok(Cli {
+        command,
+        target,
+        scale,
+        json,
+        out_dir,
+    })
 }
 
 /// Runs one experiment: prints the table, optionally writes JSON.
@@ -89,11 +119,15 @@ fn run_one(name: &str, scale: &Scale, json: Option<&Path>) -> Result<(), String>
     match name {
         "table1" => {
             let rows = table1::run(scale);
-            maybe_write(table1::render(&rows), &|p| write_json(p, name, scale, &rows))
+            maybe_write(table1::render(&rows), &|p| {
+                write_json(p, name, scale, &rows)
+            })
         }
         "table2" => {
             let rows = table2::run(scale);
-            maybe_write(table2::render(&rows), &|p| write_json(p, name, scale, &rows))
+            maybe_write(table2::render(&rows), &|p| {
+                write_json(p, name, scale, &rows)
+            })
         }
         "fig08" => {
             let rows = fig08::run(scale.seed);
@@ -111,7 +145,9 @@ fn run_one(name: &str, scale: &Scale, json: Option<&Path>) -> Result<(), String>
         }
         "fig10b" => {
             let out = fig10::run(scale);
-            maybe_write(fig10::render_10b(&out, scale), &|p| write_json(p, name, scale, &out))
+            maybe_write(fig10::render_10b(&out, scale), &|p| {
+                write_json(p, name, scale, &out)
+            })
         }
         "fig11" => {
             let out = fig11::run(scale);
@@ -125,7 +161,9 @@ fn run_one(name: &str, scale: &Scale, json: Option<&Path>) -> Result<(), String>
         }
         "ablation" => {
             let rows = ablation::run(scale);
-            maybe_write(ablation::render(&rows), &|p| write_json(p, name, scale, &rows))
+            maybe_write(ablation::render(&rows), &|p| {
+                write_json(p, name, scale, &rows)
+            })
         }
         "openq" => {
             let rows = openq::run(scale);
@@ -133,16 +171,22 @@ fn run_one(name: &str, scale: &Scale, json: Option<&Path>) -> Result<(), String>
         }
         "service" => {
             let rows = service::run(scale);
-            maybe_write(service::render(&rows), &|p| write_json(p, name, scale, &rows))
+            maybe_write(service::render(&rows), &|p| {
+                write_json(p, name, scale, &rows)
+            })
         }
         "policies" => {
             let rows = policies::run(scale);
-            maybe_write(policies::render(&rows, scale), &|p| write_json(p, name, scale, &rows))
+            maybe_write(policies::render(&rows, scale), &|p| {
+                write_json(p, name, scale, &rows)
+            })
         }
         "selfcheck" => {
             let rows = selfcheck::run(scale);
             let all_pass = rows.iter().all(|r| r.pass);
-            maybe_write(selfcheck::render(&rows), &|p| write_json(p, name, scale, &rows))?;
+            maybe_write(selfcheck::render(&rows), &|p| {
+                write_json(p, name, scale, &rows)
+            })?;
             if !all_pass {
                 return Err("self-check failed".into());
             }
@@ -166,7 +210,11 @@ fn main() -> ExitCode {
             print!("{}", usage());
             Ok(())
         }
-        "run" => run_one(cli.target.as_deref().unwrap(), &cli.scale, cli.json.as_deref()),
+        "run" => run_one(
+            cli.target.as_deref().unwrap(),
+            &cli.scale,
+            cli.json.as_deref(),
+        ),
         "all" => {
             let mut err = Ok(());
             for (name, _) in EXPERIMENTS {

@@ -6,7 +6,7 @@ use proptest::prelude::*;
 
 use flowsched::algos::offline::{brute_force_fmax, optimal_unit_fmax};
 use flowsched::prelude::*;
-use flowsched::workloads::random::{RandomInstanceConfig, StructureKind, random_instance};
+use flowsched::workloads::random::{random_instance, RandomInstanceConfig, StructureKind};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(100))]

@@ -4,7 +4,7 @@
 
 use proptest::prelude::*;
 
-use flowsched::core::gantt::{GanttOptions, render};
+use flowsched::core::gantt::{render, GanttOptions};
 use flowsched::core::structure;
 use flowsched::prelude::*;
 

@@ -2,7 +2,7 @@
 //! bit-deterministic given the root seed — the property that makes
 //! EXPERIMENTS.md numbers regenerable.
 
-use flowsched::experiments::{Scale, ablation, fig08, fig10, fig11, table1, table2};
+use flowsched::experiments::{ablation, fig08, fig10, fig11, table1, table2, Scale};
 use flowsched::kvstore::cluster::{ClusterConfig, KvCluster};
 use flowsched::kvstore::replication::ReplicationStrategy;
 use flowsched::prelude::*;
@@ -10,7 +10,15 @@ use flowsched::stats::rng::seeded_rng;
 use flowsched::stats::zipf::BiasCase;
 
 fn tiny() -> Scale {
-    Scale { m: 6, k: 3, permutations: 3, repetitions: 2, tasks: 300, bias_step: 2.5, seed: 99 }
+    Scale {
+        m: 6,
+        k: 3,
+        permutations: 3,
+        repetitions: 2,
+        tasks: 300,
+        bias_step: 2.5,
+        seed: 99,
+    }
 }
 
 #[test]
@@ -38,7 +46,11 @@ fn fig11_is_deterministic() {
     let a = fig11::run(&tiny());
     let b = fig11::run(&tiny());
     for (x, y) in a.points.iter().zip(&b.points) {
-        assert_eq!(x.fmax_median, y.fmax_median, "{}/{}", x.strategy, x.load_pct);
+        assert_eq!(
+            x.fmax_median, y.fmax_median,
+            "{}/{}",
+            x.strategy, x.load_pct
+        );
     }
 }
 
@@ -69,7 +81,10 @@ fn seed_changes_propagate() {
     let a = fig11::run(&tiny());
     let b = fig11::run(&s2);
     assert!(
-        a.points.iter().zip(&b.points).any(|(x, y)| x.fmax_median != y.fmax_median),
+        a.points
+            .iter()
+            .zip(&b.points)
+            .any(|(x, y)| x.fmax_median != y.fmax_median),
         "different seeds must change stochastic outputs"
     );
 }

@@ -7,17 +7,20 @@ use proptest::prelude::*;
 use flowsched::algos::exact::exact_fmax;
 use flowsched::algos::localsearch::improve;
 use flowsched::algos::offline::fmax_lower_bound;
-use flowsched::algos::policies::{DispatchRule, dispatch};
+use flowsched::algos::policies::{dispatch, DispatchRule};
 use flowsched::algos::preemptive::optimal_preemptive_fmax;
 use flowsched::core::io::{
     instance_from_json, instance_to_json, schedule_from_json, schedule_to_json,
 };
 use flowsched::prelude::*;
-use flowsched::workloads::random::{RandomInstanceConfig, StructureKind, random_instance};
+use flowsched::workloads::random::{random_instance, RandomInstanceConfig, StructureKind};
 
 fn small_instances() -> impl Strategy<Value = Instance> {
-    (1usize..4, prop::collection::vec((0u32..4, 1u32..7, 0u32..16), 1..9)).prop_map(
-        |(m, raw)| {
+    (
+        1usize..4,
+        prop::collection::vec((0u32..4, 1u32..7, 0u32..16), 1..9),
+    )
+        .prop_map(|(m, raw)| {
             let mut b = InstanceBuilder::new(m);
             for (r, p, bits) in raw {
                 let lo = bits as usize % m;
@@ -29,8 +32,7 @@ fn small_instances() -> impl Strategy<Value = Instance> {
                 );
             }
             b.build().unwrap()
-        },
-    )
+        })
 }
 
 proptest! {

@@ -14,7 +14,7 @@ use proptest::test_runner::TestCaseError;
 use rand::{Rng, SeedableRng};
 
 use flowsched::prelude::*;
-use flowsched::solver::loadflow::{MaxLoadProber, max_load_lp, max_load_lp_with};
+use flowsched::solver::loadflow::{max_load_lp, max_load_lp_with, MaxLoadProber};
 use flowsched::solver::reference;
 use flowsched::solver::simplex::{LinearProgram, LpOutcome, Relation, SimplexScratch};
 
@@ -28,8 +28,7 @@ fn load_configs() -> impl Strategy<Value = (Vec<f64>, Vec<Vec<usize>>)> {
             ms.into_iter()
                 .enumerate()
                 .map(|(j, mask)| {
-                    let mut set: Vec<usize> =
-                        (0..m).filter(|i| mask & (1 << i) != 0).collect();
+                    let mut set: Vec<usize> = (0..m).filter(|i| mask & (1 << i) != 0).collect();
                     if !set.contains(&j) {
                         set.push(j);
                         set.sort_unstable();
@@ -50,7 +49,10 @@ fn random_lps() -> impl Strategy<Value = (usize, Vec<i32>, LpRows)> {
     (
         1usize..6,
         prop::collection::vec(-4i32..6, 5..=5),
-        prop::collection::vec((prop::collection::vec(-5i32..6, 5), 0u8..3, -10i32..20), 1..7),
+        prop::collection::vec(
+            (prop::collection::vec(-5i32..6, 5), 0u8..3, -10i32..20),
+            1..7,
+        ),
     )
 }
 
@@ -160,8 +162,7 @@ fn shared_scratch_sweep_agrees_with_seed_kernels_on_240_configs() {
         let weights: Vec<f64> = (0..m).map(|_| rng.random_range(0.01..1.0)).collect();
         let allowed: Vec<Vec<usize>> = (0..m)
             .map(|j| {
-                let mut set: Vec<usize> =
-                    (0..m).filter(|_| rng.random_bool(0.4)).collect();
+                let mut set: Vec<usize> = (0..m).filter(|_| rng.random_bool(0.4)).collect();
                 if !set.contains(&j) {
                     set.push(j);
                     set.sort_unstable();
@@ -171,7 +172,10 @@ fn shared_scratch_sweep_agrees_with_seed_kernels_on_240_configs() {
             .collect();
         let reused = max_load_lp_with(&weights, &allowed, &mut scratch);
         let fresh = max_load_lp(&weights, &allowed);
-        assert_eq!(reused, fresh, "trial {trial}: scratch reuse changed the result");
+        assert_eq!(
+            reused, fresh,
+            "trial {trial}: scratch reuse changed the result"
+        );
         let seed = reference::max_load_binary_search(&weights, &allowed, 1e-9);
         assert!(
             (reused - seed).abs() < 1e-6,

@@ -39,20 +39,24 @@ fn figure10_s1_k5_overlapping_hits_100_disjoint_about_70() {
         let mut rng = derive_rng(0xF16, p);
         let w = Zipf::new(m, s).shuffled(&mut rng);
         over_samples.push(
-            max_load_lp(w.probs(), &ReplicationStrategy::Overlapping.allowed_sets(k, m))
-                / m as f64
+            max_load_lp(
+                w.probs(),
+                &ReplicationStrategy::Overlapping.allowed_sets(k, m),
+            ) / m as f64
                 * 100.0,
         );
         disj_samples.push(
-            max_load_lp(w.probs(), &ReplicationStrategy::Disjoint.allowed_sets(k, m))
-                / m as f64
+            max_load_lp(w.probs(), &ReplicationStrategy::Disjoint.allowed_sets(k, m)) / m as f64
                 * 100.0,
         );
     }
     let over = median(&over_samples);
     let disj = median(&disj_samples);
     assert!(over > 97.0, "overlapping median {over} vs paper 100%");
-    assert!((disj - 70.0).abs() < 6.0, "disjoint median {disj} vs paper ≈70%");
+    assert!(
+        (disj - 70.0).abs() < 6.0,
+        "disjoint median {disj} vs paper ≈70%"
+    );
 }
 
 #[test]
@@ -92,13 +96,19 @@ fn no_bias_and_full_replication_neutralize_strategies() {
     for k in 1..=15 {
         let o = max_load_pct(ReplicationStrategy::Overlapping, 15, k, 0.0);
         let d = max_load_pct(ReplicationStrategy::Disjoint, 15, k, 0.0);
-        assert!((o - 100.0).abs() < 1e-6 && (d - 100.0).abs() < 1e-6, "k={k}: {o} {d}");
+        assert!(
+            (o - 100.0).abs() < 1e-6 && (d - 100.0).abs() < 1e-6,
+            "k={k}: {o} {d}"
+        );
     }
     for s10 in 0..=10 {
         let s = s10 as f64 * 0.5;
         let o = max_load_pct(ReplicationStrategy::Overlapping, 15, 15, s);
         let d = max_load_pct(ReplicationStrategy::Disjoint, 15, 15, s);
-        assert!((o - 100.0).abs() < 1e-6 && (d - 100.0).abs() < 1e-6, "s={s}: {o} {d}");
+        assert!(
+            (o - 100.0).abs() < 1e-6 && (d - 100.0).abs() < 1e-6,
+            "s={s}: {o} {d}"
+        );
     }
 }
 
@@ -122,7 +132,12 @@ fn figure11_simulation_shapes_hold_at_reduced_scale() {
     use flowsched::experiments::fig11;
     use flowsched::experiments::Scale;
 
-    let scale = Scale { permutations: 6, repetitions: 3, tasks: 4000, ..Scale::quick() };
+    let scale = Scale {
+        permutations: 6,
+        repetitions: 3,
+        tasks: 4000,
+        ..Scale::quick()
+    };
     let out = fig11::run(&scale);
     let get = |strategy: &str, load: f64| {
         out.points
@@ -138,7 +153,16 @@ fn figure11_simulation_shapes_hold_at_reduced_scale() {
     };
     let over = get("Overlapping", 90.0);
     let disj = get("Disjoint", 90.0);
-    assert!(over < disj, "overlapping {over} must beat disjoint {disj} at 90%");
-    assert!((2.0..=9.0).contains(&over), "overlapping Fmax {over} (paper ≈5)");
-    assert!((5.0..=20.0).contains(&disj), "disjoint Fmax {disj} (paper ≈10)");
+    assert!(
+        over < disj,
+        "overlapping {over} must beat disjoint {disj} at 90%"
+    );
+    assert!(
+        (2.0..=9.0).contains(&over),
+        "overlapping Fmax {over} (paper ≈5)"
+    );
+    assert!(
+        (5.0..=20.0).contains(&disj),
+        "disjoint Fmax {disj} (paper ≈10)"
+    );
 }

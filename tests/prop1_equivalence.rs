@@ -11,13 +11,17 @@ use flowsched::prelude::*;
 /// Random unrestricted instances with dyadic releases/durations so FIFO's
 /// event simulation sees exact time comparisons.
 fn unrestricted_instances() -> impl Strategy<Value = Instance> {
-    (1usize..6, prop::collection::vec((0u32..32, 1u32..12), 1..60)).prop_map(|(m, raw)| {
-        let mut b = InstanceBuilder::new(m);
-        for (r4, p4) in raw {
-            b.push_unrestricted(Task::new(r4 as f64 * 0.25, p4 as f64 * 0.25));
-        }
-        b.build().expect("valid random instance")
-    })
+    (
+        1usize..6,
+        prop::collection::vec((0u32..32, 1u32..12), 1..60),
+    )
+        .prop_map(|(m, raw)| {
+            let mut b = InstanceBuilder::new(m);
+            for (r4, p4) in raw {
+                b.push_unrestricted(Task::new(r4 as f64 * 0.25, p4 as f64 * 0.25));
+            }
+            b.build().expect("valid random instance")
+        })
 }
 
 proptest! {

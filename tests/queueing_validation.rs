@@ -8,7 +8,7 @@
 use flowsched::kvstore::cluster::{ClusterConfig, KvCluster};
 use flowsched::kvstore::replication::ReplicationStrategy;
 use flowsched::prelude::*;
-use flowsched::sim::driver::{SimConfig, simulate};
+use flowsched::sim::driver::{simulate, SimConfig};
 use flowsched::stats::queueing::{md1_mean_response, mm1_mean_response, mmc_mean_response};
 use flowsched::stats::rng::derive_rng;
 use flowsched::stats::service::ServiceDist;
@@ -32,8 +32,13 @@ fn simulated_mean_flow(m: usize, lambda: f64, dist: ServiceDist, seed: u64) -> f
             &mut rng,
         );
         let inst = cluster.requests_with_service(40_000, lambda, dist, &mut rng);
-        let (_, report) =
-            simulate(&inst, &SimConfig { policy: TieBreak::Min, warmup_fraction: 0.1 });
+        let (_, report) = simulate(
+            &inst,
+            &SimConfig {
+                policy: TieBreak::Min,
+                warmup_fraction: 0.1,
+            },
+        );
         acc += report.mean_flow;
     }
     acc / reps as f64
@@ -79,7 +84,10 @@ fn deterministic_service_beats_exponential_at_equal_load() {
     // SCV ordering: D < M at the same utilization (PK formula direction).
     let det = simulated_mean_flow(2, 1.4, ServiceDist::unit(), 14);
     let exp = simulated_mean_flow(2, 1.4, ServiceDist::exp_unit(), 14);
-    assert!(det < exp, "deterministic {det} should beat exponential {exp}");
+    assert!(
+        det < exp,
+        "deterministic {det} should beat exponential {exp}"
+    );
 }
 
 #[test]
@@ -99,8 +107,13 @@ fn bimodal_service_has_the_worst_tail() {
             &mut rng,
         );
         let inst = cluster.requests_with_service(40_000, 2.8, dist, &mut rng);
-        let (_, report) =
-            simulate(&inst, &SimConfig { policy: TieBreak::Min, warmup_fraction: 0.1 });
+        let (_, report) = simulate(
+            &inst,
+            &SimConfig {
+                policy: TieBreak::Min,
+                warmup_fraction: 0.1,
+            },
+        );
         report.p99
     };
     let bimodal = p99(ServiceDist::mice_and_elephants());

@@ -5,8 +5,8 @@
 
 use flowsched::algos::tiebreak::TieBreak;
 use flowsched::obs::{Counter, Event, MemoryRecorder, ObsConfig};
-use flowsched::sim::driver::{SimConfig, simulate_recorded};
-use flowsched::workloads::random::{RandomInstanceConfig, StructureKind, random_instance};
+use flowsched::sim::driver::{simulate_with, SimConfig};
+use flowsched::workloads::random::{random_instance, RandomInstanceConfig, StructureKind};
 
 const STRUCTURES: [StructureKind; 6] = [
     StructureKind::Unrestricted,
@@ -17,8 +17,7 @@ const STRUCTURES: [StructureKind; 6] = [
     StructureKind::General,
 ];
 
-const POLICIES: [TieBreak; 3] =
-    [TieBreak::Min, TieBreak::Max, TieBreak::Rand { seed: 7 }];
+const POLICIES: [TieBreak; 3] = [TieBreak::Min, TieBreak::Max, TieBreak::Rand { seed: 7 }];
 
 /// Flows, per-machine busy time, and the projected makespan, recomputed
 /// from the event trace alone.
@@ -62,8 +61,14 @@ fn report_aggregates_match_the_event_trace_on_randomized_instances() {
                     trace_capacity: 8 * n,
                     ..ObsConfig::defaults(6)
                 });
-                let (_, report) =
-                    simulate_recorded(&inst, &SimConfig { policy, ..Default::default() }, &mut rec);
+                let (_, report) = simulate_with(
+                    &inst,
+                    &SimConfig {
+                        policy,
+                        ..Default::default()
+                    },
+                    &mut rec,
+                );
 
                 assert_eq!(rec.trace().dropped(), 0, "ring sized to be lossless");
                 let (flows, busy, makespan) = recompute(&rec, 6);
@@ -116,11 +121,16 @@ fn warmup_trimmed_report_still_matches_trace_tail() {
         ptime_steps: 4,
     };
     let inst = random_instance(&cfg, 99);
-    let mut rec =
-        MemoryRecorder::new(&ObsConfig { trace_capacity: 8 * 80, ..ObsConfig::defaults(6) });
-    let (_, report) = simulate_recorded(
+    let mut rec = MemoryRecorder::new(&ObsConfig {
+        trace_capacity: 8 * 80,
+        ..ObsConfig::defaults(6)
+    });
+    let (_, report) = simulate_with(
         &inst,
-        &SimConfig { policy: TieBreak::Min, warmup_fraction: 0.25 },
+        &SimConfig {
+            policy: TieBreak::Min,
+            warmup_fraction: 0.25,
+        },
         &mut rec,
     );
     let (flows, _, _) = recompute(&rec, 6);

@@ -5,7 +5,7 @@ use proptest::prelude::*;
 
 use flowsched::core::time::TIME_EPS;
 use flowsched::prelude::*;
-use flowsched::workloads::random::{RandomInstanceConfig, StructureKind, random_instance};
+use flowsched::workloads::random::{random_instance, RandomInstanceConfig, StructureKind};
 
 fn any_structure() -> impl Strategy<Value = StructureKind> {
     prop_oneof![

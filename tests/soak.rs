@@ -6,7 +6,7 @@
 use flowsched::kvstore::cluster::{ClusterConfig, KvCluster};
 use flowsched::kvstore::replication::ReplicationStrategy;
 use flowsched::prelude::*;
-use flowsched::sim::driver::{SimConfig, simulate};
+use flowsched::sim::driver::{simulate, SimConfig};
 use flowsched::stats::rng::seeded_rng;
 use flowsched::stats::zipf::BiasCase;
 
@@ -23,8 +23,13 @@ fn big_run(n: usize) -> f64 {
         &mut rng,
     );
     let inst = cluster.requests(n, 7.5, &mut rng);
-    let (schedule, report) =
-        simulate(&inst, &SimConfig { policy: TieBreak::Min, warmup_fraction: 0.05 });
+    let (schedule, report) = simulate(
+        &inst,
+        &SimConfig {
+            policy: TieBreak::Min,
+            warmup_fraction: 0.05,
+        },
+    );
     schedule.validate(&inst).expect("feasible at scale");
     report.fmax
 }

@@ -18,8 +18,7 @@ fn load_configs() -> impl Strategy<Value = (Vec<f64>, Vec<Vec<usize>>)> {
             ms.into_iter()
                 .enumerate()
                 .map(|(j, mask)| {
-                    let mut set: Vec<usize> =
-                        (0..m).filter(|i| mask & (1 << i) != 0).collect();
+                    let mut set: Vec<usize> = (0..m).filter(|i| mask & (1 << i) != 0).collect();
                     if !set.contains(&j) {
                         set.push(j);
                         set.sort_unstable();

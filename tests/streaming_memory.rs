@@ -1,0 +1,64 @@
+//! The acceptance proof for the streaming core: a 1,000,000-task
+//! Poisson workload runs through the streaming engine without the task
+//! vector ever existing — peak RSS growth stays bounded by machines +
+//! histogram bins + drift window, far below what materializing a
+//! million `(Task, ProcSet)` pairs would commit.
+
+#![cfg(target_os = "linux")]
+
+use flowsched::algos::tiebreak::TieBreak;
+use flowsched::obs::NoopRecorder;
+use flowsched::sim::driver::simulate_stream;
+use flowsched::sim::report::ReportConfig;
+use flowsched::workloads::random::{PoissonStream, PoissonStreamConfig, StructureKind};
+
+/// Peak resident set size of this process, in kibibytes, from
+/// `/proc/self/status` (`VmHWM` is a monotonic high-water mark).
+fn peak_rss_kib() -> u64 {
+    let status = std::fs::read_to_string("/proc/self/status").expect("procfs available on linux");
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|l| l.split_whitespace().next())
+        .and_then(|n| n.parse().ok())
+        .expect("VmHWM line present")
+}
+
+#[test]
+fn million_task_poisson_stream_runs_in_bounded_memory() {
+    let cfg = PoissonStreamConfig {
+        m: 16,
+        n: 1_000_000,
+        structure: StructureKind::RingFixed(3),
+        lambda: 8.0,
+        unit: true,
+        ptime_steps: 4,
+    };
+
+    let before = peak_rss_kib();
+    let report = simulate_stream(
+        PoissonStream::new(&cfg, 404),
+        TieBreak::Min,
+        &ReportConfig::default(),
+        &mut NoopRecorder,
+    );
+    let after = peak_rss_kib();
+
+    // The full report came out of the fold...
+    assert_eq!(report.n_measured, 1_000_000);
+    assert!(report.fmax >= 1.0);
+    assert!(report.utilization.iter().any(|&u| u > 0.0));
+
+    // ...and the run's footprint stayed flat. Live state is the RNG,
+    // one scratch set, 16 machine slots, 4096 histogram bins, and the
+    // 250k-entry drift window (~4 MiB) — materializing the instance
+    // instead would hold 10^6 tasks plus 10^6 three-machine sets
+    // (≳ 80 MiB). 32 MiB of headroom keeps the bound meaningful while
+    // tolerating allocator slack.
+    let grown_kib = after.saturating_sub(before);
+    assert!(
+        grown_kib < 32 * 1024,
+        "streaming run grew peak RSS by {grown_kib} KiB — the task vector \
+         is being materialized somewhere"
+    );
+}

@@ -144,11 +144,12 @@ fn theorem6_disjoint_cluster_loads_match_loadflow_probes() {
     // λ* = min over blocks |block| / w(block) — via both the simplex
     // and the max-flow solver, with their probes landing in the same
     // recorder.
-    use flowsched::algos::eft::eft_recorded;
+    use flowsched::algos::eft::eft_stream;
+    use flowsched::core::stream::InstanceStream;
     use flowsched::obs::{MemoryRecorder, ProbeKind};
-    use flowsched::solver::loadflow::{MaxLoadProber, max_load_lp_recorded};
+    use flowsched::solver::loadflow::{max_load_lp_recorded, MaxLoadProber};
     use flowsched::solver::simplex::SimplexScratch;
-    use flowsched::workloads::random::{RandomInstanceConfig, StructureKind, random_instance};
+    use flowsched::workloads::random::{random_instance, RandomInstanceConfig, StructureKind};
 
     let (m, k) = (6usize, 2usize);
     let blocks = m / k;
@@ -163,7 +164,7 @@ fn theorem6_disjoint_cluster_loads_match_loadflow_probes() {
     let inst = random_instance(&cfg, 42);
 
     let mut rec = MemoryRecorder::with_defaults(m);
-    let schedule = eft_recorded(&inst, TieBreak::Min, &mut rec);
+    let schedule = eft_stream(InstanceStream::new(&inst), TieBreak::Min, &mut rec);
     schedule.validate(&inst).unwrap();
 
     // Ground truth per-cluster work from the instance itself.
@@ -215,8 +216,14 @@ fn theorem6_disjoint_cluster_loads_match_loadflow_probes() {
     let mut prober = MaxLoadProber::new(&weights, &allowed);
     let flow = prober.max_load_recorded(1e-9, &mut rec);
 
-    assert!((lp - closed).abs() < 1e-6, "simplex λ* {lp} vs closed form {closed}");
-    assert!((flow - closed).abs() < 1e-7, "max-flow λ* {flow} vs closed form {closed}");
+    assert!(
+        (lp - closed).abs() < 1e-6,
+        "simplex λ* {lp} vs closed form {closed}"
+    );
+    assert!(
+        (flow - closed).abs() < 1e-7,
+        "max-flow λ* {flow} vs closed form {closed}"
+    );
 
     // Both solver paths reported their probes into the recorder, and the
     // simplex probe carries the λ* it returned.
@@ -225,7 +232,10 @@ fn theorem6_disjoint_cluster_loads_match_loadflow_probes() {
     assert!(lp_pivots > 0, "a non-trivial LP (15) pivots at least once");
     assert_eq!(lp_last, lp);
     let (flow_probes, augmentations, _, flow_max) = rec.probe_stats(ProbeKind::LoadFeasibility);
-    assert!(flow_probes >= 1, "the binary search must log its feasibility probes");
+    assert!(
+        flow_probes >= 1,
+        "the binary search must log its feasibility probes"
+    );
     assert!(augmentations > 0);
     // Probed λ values stay inside the search bracket [0, m / Σw].
     assert!(flow_max <= m as f64 + 1e-9);
@@ -245,7 +255,6 @@ fn optimal_values_match_paper_claims_on_small_instances() {
     let fixed = fixed_size_adversary(&mut algo, 2, 3.0);
     assert_eq!(brute_force_fmax(&fixed.instance), 3.0);
 
-    let interval =
-        flowsched::workloads::adversary::interval::interval_adversary_instance(6, 3, 3);
+    let interval = flowsched::workloads::adversary::interval::interval_adversary_instance(6, 3, 3);
     assert_eq!(optimal_unit_fmax(&interval), 1.0);
 }

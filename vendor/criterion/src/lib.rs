@@ -103,7 +103,10 @@ fn run_measurement<F: FnMut(&mut Bencher)>(mut f: F) -> f64 {
     let mut spent = Duration::ZERO;
     let mut per_iter_ns = f64::MAX;
     while spent < WARMUP {
-        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
         f(&mut b);
         spent += b.elapsed;
         if b.elapsed > Duration::ZERO {
@@ -119,7 +122,10 @@ fn run_measurement<F: FnMut(&mut Bencher)>(mut f: F) -> f64 {
     let batch = ((TARGET_SAMPLE.as_nanos() as f64 / per_iter_ns).ceil() as u64).max(1);
     let mut samples: Vec<f64> = (0..SAMPLES)
         .map(|_| {
-            let mut b = Bencher { iters: batch, elapsed: Duration::ZERO };
+            let mut b = Bencher {
+                iters: batch,
+                elapsed: Duration::ZERO,
+            };
             f(&mut b);
             b.elapsed.as_nanos() as f64 / batch as f64
         })
@@ -198,7 +204,9 @@ mod tests {
         let path_str = path.to_str().unwrap().to_string();
         let _ = std::fs::remove_file(&path);
 
-        let mut c = Criterion { json_path: Some(path_str.clone()) };
+        let mut c = Criterion {
+            json_path: Some(path_str.clone()),
+        };
         {
             let mut g = c.benchmark_group("grp");
             g.bench_function("fast", |b| b.iter(|| std::hint::black_box(1 + 1)));
@@ -212,7 +220,9 @@ mod tests {
         let doc: serde_json::Value = serde_json::from_str(&text).unwrap();
         assert!(doc["grp/fast"].as_f64().is_some());
         assert!(doc["solo"].as_f64().is_some());
-        let serde_json::Value::Object(fields) = &doc else { panic!() };
+        let serde_json::Value::Object(fields) = &doc else {
+            panic!()
+        };
         assert_eq!(fields.iter().filter(|(k, _)| k == "solo").count(), 1);
         let _ = std::fs::remove_file(&path);
     }

@@ -214,7 +214,14 @@ pub mod strategy {
         )+};
     }
 
-    impl_tuple_strategy!((A), (A, B), (A, B, C), (A, B, C, D), (A, B, C, D, E), (A, B, C, D, E, F));
+    impl_tuple_strategy!(
+        (A),
+        (A, B),
+        (A, B, C),
+        (A, B, C, D),
+        (A, B, C, D, E),
+        (A, B, C, D, E, F)
+    );
 }
 
 pub mod arbitrary {
@@ -252,20 +259,29 @@ pub mod collection {
 
     impl From<usize> for SizeRange {
         fn from(n: usize) -> Self {
-            SizeRange { lo: n, hi_inclusive: n }
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
         }
     }
 
     impl From<std::ops::Range<usize>> for SizeRange {
         fn from(r: std::ops::Range<usize>) -> Self {
             assert!(r.start < r.end, "empty vec size range");
-            SizeRange { lo: r.start, hi_inclusive: r.end - 1 }
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
         }
     }
 
     impl From<std::ops::RangeInclusive<usize>> for SizeRange {
         fn from(r: std::ops::RangeInclusive<usize>) -> Self {
-            SizeRange { lo: *r.start(), hi_inclusive: *r.end() }
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
         }
     }
 
@@ -277,7 +293,10 @@ pub mod collection {
 
     /// `prop::collection::vec(element, size)`.
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 
     impl<S: Strategy> Strategy for VecStrategy<S> {
@@ -482,7 +501,12 @@ mod tests {
                 Ok(())
             };
             if let Err(e) = check() {
-                panic!("proptest `fails` failed at case {}/{}: {}", case + 1, cfg.cases, e);
+                panic!(
+                    "proptest `fails` failed at case {}/{}: {}",
+                    case + 1,
+                    cfg.cases,
+                    e
+                );
             }
         }
     }

@@ -318,7 +318,10 @@ mod tests {
     fn indexing_and_comparisons() {
         let v = Value::Object(vec![
             ("name".into(), Value::String("demo".into())),
-            ("xs".into(), Value::Array(vec![Value::Number(1.0), Value::Number(2.5)])),
+            (
+                "xs".into(),
+                Value::Array(vec![Value::Number(1.0), Value::Number(2.5)]),
+            ),
         ]);
         assert_eq!(v["name"], "demo");
         assert_eq!(v["xs"][1], 2.5);
@@ -342,7 +345,11 @@ mod tests {
             label: String,
             tags: Vec<u32>,
         }
-        let p = Point { x: 1.5, label: "a".into(), tags: vec![1, 2] };
+        let p = Point {
+            x: 1.5,
+            label: "a".into(),
+            tags: vec![1, 2],
+        };
         let v = p.to_value();
         assert_eq!(v["x"], 1.5);
         assert_eq!(v["label"], "a");
@@ -356,7 +363,10 @@ mod tests {
         struct Wrap<T: Serialize> {
             inner: T,
         }
-        let v = Wrap { inner: vec![1u32, 2] }.to_value();
+        let v = Wrap {
+            inner: vec![1u32, 2],
+        }
+        .to_value();
         assert_eq!(v["inner"][0], 1);
     }
 }

@@ -46,10 +46,7 @@ pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
     let value = p.parse_value()?;
     p.skip_ws();
     if p.pos != p.bytes.len() {
-        return Err(Error(format!(
-            "trailing characters at offset {}",
-            p.pos
-        )));
+        return Err(Error(format!("trailing characters at offset {}", p.pos)));
     }
     T::from_value(&value).map_err(|e| Error(e.0))
 }
@@ -62,19 +59,26 @@ fn write_value(v: &Value, out: &mut String, indent: Option<usize>, depth: usize)
         Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
         Value::Number(n) => write_number(*n, out),
         Value::String(s) => write_string(s, out),
-        Value::Array(items) => write_seq(items.iter(), out, indent, depth, ('[', ']'), |v, o, d| {
-            write_value(v, o, indent, d)
-        }),
-        Value::Object(fields) => {
-            write_seq(fields.iter(), out, indent, depth, ('{', '}'), |(k, v), o, d| {
+        Value::Array(items) => {
+            write_seq(items.iter(), out, indent, depth, ('[', ']'), |v, o, d| {
+                write_value(v, o, indent, d)
+            })
+        }
+        Value::Object(fields) => write_seq(
+            fields.iter(),
+            out,
+            indent,
+            depth,
+            ('{', '}'),
+            |(k, v), o, d| {
                 write_string(k, o);
                 o.push(':');
                 if indent.is_some() {
                     o.push(' ');
                 }
                 write_value(v, o, indent, d);
-            })
-        }
+            },
+        ),
     }
 }
 
@@ -332,7 +336,12 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                     return Ok(Value::Object(fields));
                 }
-                _ => return Err(Error(format!("expected `,` or `}}` at offset {}", self.pos))),
+                _ => {
+                    return Err(Error(format!(
+                        "expected `,` or `}}` at offset {}",
+                        self.pos
+                    )))
+                }
             }
         }
     }
