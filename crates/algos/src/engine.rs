@@ -40,6 +40,19 @@
 //! (`flowsched_sim::stepped`). [`run_fifo`] knows transition times
 //! exactly and emits *actual* transitions: idle at every completion,
 //! busy at every pull, equal timestamps allowed.
+//!
+//! The telemetry pipeline in `flowsched-obs` is built on this
+//! convention. `task_spans` pairs each `TaskDispatch` with the
+//! *projected* `TaskCompletion` the immediate engines emit at dispatch
+//! time (recovering release, wait, service, and flow per task), and
+//! `machine_spans` folds the alternating busy/idle transitions into
+//! closed busy intervals — the strict alternation plus the
+//! never-emitted trailing idle is exactly what lets it close the last
+//! open span at the observed makespan. Windowed recorders
+//! (`flowsched_obs::WindowedMetrics`) likewise rely on `task_dispatch`
+//! carrying `(release, start, ptime)` so one hook yields arrival,
+//! start, completion, queue-time, and busy-time attribution without a
+//! second pass over the schedule.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};

@@ -1,0 +1,83 @@
+//! Criterion benchmarks: what telemetry costs the streaming engine.
+//!
+//! Three recorders over the same 20k-task Poisson stream:
+//!
+//! - `noop` — the `NoopRecorder` baseline; `const ENABLED = false`
+//!   means every hook folds away, so this must match the uninstrumented
+//!   `stream_direct` row of `benches/streaming.rs` (and the seed
+//!   baselines in `BENCH_PR3.json`) within noise.
+//! - `memory` — the aggregate `MemoryRecorder`: counters, flow
+//!   histogram, busy-time vector, bounded event ring.
+//! - `windowed` — `Tee(MemoryRecorder, WindowedMetrics)`, the full
+//!   telemetry pipeline the `timeline` binary runs.
+//!
+//! The deltas between rows are the advertised overhead of each layer;
+//! `scripts/bench_gate.sh` watches the `noop` row against the recorded
+//! baselines so instrumentation can never tax uninstrumented runs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use flowsched_algos::tiebreak::TieBreak;
+use flowsched_obs::{MemoryRecorder, NoopRecorder, ObsConfig, Tee, WindowConfig, WindowedMetrics};
+use flowsched_sim::driver::simulate_stream;
+use flowsched_sim::report::ReportConfig;
+use flowsched_workloads::random::{PoissonStream, PoissonStreamConfig, StructureKind};
+
+fn poisson_config(n: usize) -> PoissonStreamConfig {
+    PoissonStreamConfig {
+        m: 15,
+        n,
+        structure: StructureKind::RingFixed(3),
+        lambda: 7.5,
+        unit: false,
+        ptime_steps: 6,
+    }
+}
+
+fn bench_recorder_overhead(c: &mut Criterion) {
+    let cfg = poisson_config(20_000);
+    let report = ReportConfig::default();
+    let mut g = c.benchmark_group("telemetry_20k_ring3");
+    g.bench_function("noop", |b| {
+        b.iter(|| {
+            black_box(simulate_stream(
+                PoissonStream::new(black_box(&cfg), 11),
+                TieBreak::Min,
+                &report,
+                &mut NoopRecorder,
+            ))
+        })
+    });
+    g.bench_function("memory", |b| {
+        b.iter(|| {
+            let mut rec = MemoryRecorder::new(&ObsConfig::defaults(cfg.m));
+            black_box(simulate_stream(
+                PoissonStream::new(black_box(&cfg), 11),
+                TieBreak::Min,
+                &report,
+                &mut rec,
+            ));
+            black_box(rec)
+        })
+    });
+    g.bench_function("windowed", |b| {
+        b.iter(|| {
+            let mut rec = Tee(
+                MemoryRecorder::new(&ObsConfig::defaults(cfg.m)),
+                WindowedMetrics::new(WindowConfig::defaults(cfg.m, 16.0)),
+            );
+            black_box(simulate_stream(
+                PoissonStream::new(black_box(&cfg), 11),
+                TieBreak::Min,
+                &report,
+                &mut rec,
+            ));
+            black_box(rec)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_recorder_overhead);
+criterion_main!(benches);

@@ -1,11 +1,31 @@
 //! Open-question exploration: score replication strategies (including the
 //! staggered-blocks candidate) on tolerable load, average flow time and
 //! adversarial exposure.
+//!
+//! With `--timeline <dir>` the half-load axis is additionally re-run
+//! with windowed telemetry, writing one `windows_<strategy>.csv` time
+//! series per strategy — the "when do queues build" view behind the
+//! `Fmax @50%` column.
 
 use flowsched_experiments::openq;
+use flowsched_kvstore::replication::ReplicationStrategy;
+use flowsched_obs::{windows_to_csv, WindowConfig};
 
 fn main() {
     let args = flowsched_bench::parse_args();
     let rows = openq::run(&args.scale);
     print!("{}", openq::render(&rows));
+
+    let Some(dir) = args.timeline else { return };
+    std::fs::create_dir_all(&dir).expect("create timeline output directory");
+    let window = WindowConfig::defaults(args.scale.m, 8.0);
+    for strategy in ReplicationStrategy::extended() {
+        let series = openq::half_load_timeseries(&args.scale, strategy, &window);
+        let path = dir.join(format!(
+            "windows_{}.csv",
+            strategy.to_string().to_lowercase()
+        ));
+        std::fs::write(&path, windows_to_csv(&series)).expect("write timeline export");
+        eprintln!("wrote {}", path.display());
+    }
 }

@@ -34,9 +34,14 @@ pub struct HarnessArgs {
     pub scale: Scale,
     /// Emit CSV instead of aligned tables (where supported).
     pub csv: bool,
+    /// Directory to write telemetry exports into (`--timeline <dir>`):
+    /// the `timeline` binary requires it, and instrumented experiment
+    /// binaries write their time-series CSV there when present.
+    pub timeline: Option<std::path::PathBuf>,
 }
 
-/// Parses `std::env::args()`: `--paper`, `--seed <u64>`, `--csv`.
+/// Parses `std::env::args()`: `--paper`, `--seed <u64>`, `--csv`,
+/// `--timeline <dir>`.
 ///
 /// # Panics
 /// Panics with a usage message on unknown flags, which is the desired
@@ -49,6 +54,7 @@ pub fn parse_args() -> HarnessArgs {
 pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> HarnessArgs {
     let mut scale = Scale::quick();
     let mut csv = false;
+    let mut timeline = None;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -62,10 +68,23 @@ pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> HarnessArgs {
                     .parse()
                     .unwrap_or_else(|_| panic!("--seed takes a u64, got {v:?}"));
             }
-            other => panic!("unknown flag {other:?}; supported: --paper, --seed <u64>, --csv"),
+            "--timeline" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| panic!("--timeline requires a directory"));
+                timeline = Some(std::path::PathBuf::from(v));
+            }
+            other => panic!(
+                "unknown flag {other:?}; supported: --paper, --seed <u64>, --csv, \
+                 --timeline <dir>"
+            ),
         }
     }
-    HarnessArgs { scale, csv }
+    HarnessArgs {
+        scale,
+        csv,
+        timeline,
+    }
 }
 
 #[cfg(test)]
@@ -91,6 +110,13 @@ mod tests {
         let a = parse_from(vec!["--seed".into(), "42".into(), "--csv".into()]);
         assert_eq!(a.scale.seed, 42);
         assert!(a.csv);
+    }
+
+    #[test]
+    fn timeline_takes_a_directory() {
+        let a = parse_from(vec!["--timeline".into(), "out/tl".into()]);
+        assert_eq!(a.timeline.as_deref(), Some(std::path::Path::new("out/tl")));
+        assert!(parse_from(Vec::<String>::new()).timeline.is_none());
     }
 
     #[test]

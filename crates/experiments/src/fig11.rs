@@ -10,8 +10,12 @@
 use flowsched_algos::tiebreak::TieBreak;
 use flowsched_kvstore::cluster::{ClusterConfig, KvCluster};
 use flowsched_kvstore::replication::ReplicationStrategy;
+use flowsched_obs::{
+    merge_windows, MemoryRecorder, NoopRecorder, ObsConfig, Recorder, ShardedRecorder, Tee,
+    WindowConfig, WindowedMetrics,
+};
 use flowsched_parallel::par_map;
-use flowsched_sim::driver::{simulate, SimConfig};
+use flowsched_sim::driver::{simulate_with, SimConfig};
 use flowsched_solver::loadflow::max_load_lp_with;
 use flowsched_solver::simplex::SimplexScratch;
 use flowsched_stats::descriptive::median;
@@ -73,20 +77,22 @@ fn zipf_shape(case: BiasCase) -> f64 {
     }
 }
 
-/// Runs the Figure 11 experiment.
-pub fn run(scale: &Scale) -> Fig11Output {
+/// One (case, strategy, policy, load) curve point to simulate.
+#[derive(Clone, Copy)]
+struct Job {
+    case: BiasCase,
+    strategy: ReplicationStrategy,
+    policy: TieBreak,
+    load_pct: f64,
+    id: u64,
+}
+
+/// Enumerates every curve point, id'd in a fixed order so per-job RNG
+/// derivation (and therefore every sample) is independent of how the
+/// jobs are later distributed over workers.
+fn curve_jobs() -> Vec<Job> {
     let cases = [BiasCase::Uniform, BiasCase::Shuffled, BiasCase::WorstCase];
     let policies = [TieBreak::Min, TieBreak::Max];
-
-    // Enumerate every (case, strategy, policy, load) curve point.
-    #[derive(Clone, Copy)]
-    struct Job {
-        case: BiasCase,
-        strategy: ReplicationStrategy,
-        policy: TieBreak,
-        load_pct: f64,
-        id: u64,
-    }
     let mut jobs = Vec::new();
     let mut id = 0u64;
     for case in cases {
@@ -105,45 +111,52 @@ pub fn run(scale: &Scale) -> Fig11Output {
             }
         }
     }
+    jobs
+}
 
-    let points: Vec<Fig11Point> = par_map(&jobs, |job| {
-        let lambda = job.load_pct / 100.0 * scale.m as f64;
-        let samples: Vec<f64> = (0..scale.repetitions)
-            .map(|rep| {
-                let mut rng = derive_rng(scale.seed, job.id << 8 | rep as u64);
-                let cluster = KvCluster::new(
-                    ClusterConfig {
-                        m: scale.m,
-                        k: scale.k,
-                        strategy: job.strategy,
-                        s: zipf_shape(job.case),
-                        case: job.case,
-                    },
-                    &mut rng,
-                );
-                let inst = cluster.requests(scale.tasks, lambda, &mut rng);
-                let (_, report) = simulate(
-                    &inst,
-                    &SimConfig {
-                        policy: job.policy,
-                        warmup_fraction: 0.0,
-                    },
-                );
-                report.fmax
-            })
-            .collect();
-        Fig11Point {
-            case: job.case.to_string(),
-            strategy: job.strategy.to_string(),
-            policy: job.policy.to_string(),
-            load_pct: job.load_pct,
-            fmax_median: median(&samples),
-        }
-    });
+/// Simulates one curve point (all repetitions), tracing every run into
+/// `rec`.
+fn run_job<R: Recorder>(job: &Job, scale: &Scale, rec: &mut R) -> Fig11Point {
+    let lambda = job.load_pct / 100.0 * scale.m as f64;
+    let samples: Vec<f64> = (0..scale.repetitions)
+        .map(|rep| {
+            let mut rng = derive_rng(scale.seed, job.id << 8 | rep as u64);
+            let cluster = KvCluster::new(
+                ClusterConfig {
+                    m: scale.m,
+                    k: scale.k,
+                    strategy: job.strategy,
+                    s: zipf_shape(job.case),
+                    case: job.case,
+                },
+                &mut rng,
+            );
+            let inst = cluster.requests(scale.tasks, lambda, &mut rng);
+            let (_, report) = simulate_with(
+                &inst,
+                &SimConfig {
+                    policy: job.policy,
+                    warmup_fraction: 0.0,
+                },
+                rec,
+            );
+            report.fmax
+        })
+        .collect();
+    Fig11Point {
+        case: job.case.to_string(),
+        strategy: job.strategy.to_string(),
+        policy: job.policy.to_string(),
+        load_pct: job.load_pct,
+        fmax_median: median(&samples),
+    }
+}
 
-    // Red lines: LP max load per (case, strategy); Shuffled takes the
-    // median over the permutation population. One tableau arena serves
-    // every LP solve in this sequential sweep.
+/// Red lines: LP max load per (case, strategy); Shuffled takes the
+/// median over the permutation population. One tableau arena serves
+/// every LP solve in this sequential sweep.
+fn lp_max_loads(scale: &Scale) -> Vec<Fig11MaxLoad> {
+    let cases = [BiasCase::Uniform, BiasCase::Shuffled, BiasCase::WorstCase];
     let mut scratch = SimplexScratch::new();
     let mut max_loads = Vec::new();
     for case in cases {
@@ -177,8 +190,93 @@ pub fn run(scale: &Scale) -> Fig11Output {
             });
         }
     }
+    max_loads
+}
 
-    Fig11Output { points, max_loads }
+/// Runs the Figure 11 experiment.
+pub fn run(scale: &Scale) -> Fig11Output {
+    let jobs = curve_jobs();
+    let points: Vec<Fig11Point> = par_map(&jobs, |job| run_job(job, scale, &mut NoopRecorder));
+    Fig11Output {
+        points,
+        max_loads: lp_max_loads(scale),
+    }
+}
+
+/// Output of an instrumented Figure 11 sweep: the ordinary result plus
+/// the merged telemetry of every simulated run.
+#[derive(Debug, Clone)]
+pub struct Fig11Telemetry {
+    /// Curve points and LP max-load lines, identical to [`run`]'s.
+    pub output: Fig11Output,
+    /// Aggregate recorder merged across all jobs in job order.
+    pub recorder: MemoryRecorder,
+    /// Tumbling-window time series merged across all jobs.
+    pub windows: WindowedMetrics,
+}
+
+/// [`run`] with full telemetry: each `par_map` job records into its own
+/// shard ([`ShardedRecorder`]), and the shards are merged in job order
+/// — so the merged snapshot is byte-identical to a sequential sweep's
+/// ([`run_instrumented_sequential`]) regardless of worker interleaving,
+/// the acceptance property `fig11` tests pin.
+///
+/// # Panics
+/// Panics when `obs.machines` or `window.machines` disagree with
+/// `scale.m`.
+pub fn run_instrumented(scale: &Scale, obs: &ObsConfig, window: &WindowConfig) -> Fig11Telemetry {
+    run_instrumented_impl(scale, obs, window, true)
+}
+
+/// The sequential reference for [`run_instrumented`]: same jobs, same
+/// shards, no thread pool. Exists so tests (and suspicious users) can
+/// pin parallel == sequential on a fixed seed.
+pub fn run_instrumented_sequential(
+    scale: &Scale,
+    obs: &ObsConfig,
+    window: &WindowConfig,
+) -> Fig11Telemetry {
+    run_instrumented_impl(scale, obs, window, false)
+}
+
+fn run_instrumented_impl(
+    scale: &Scale,
+    obs: &ObsConfig,
+    window: &WindowConfig,
+    parallel: bool,
+) -> Fig11Telemetry {
+    assert_eq!(obs.machines, scale.m, "recorder sized for the cluster");
+    assert_eq!(window.machines, scale.m, "windows sized for the cluster");
+    let jobs = curve_jobs();
+    let sim_job = |job: &Job| {
+        let mut rec = Tee(
+            ShardedRecorder::shard(obs),
+            WindowedMetrics::new(window.clone()),
+        );
+        let point = run_job(job, scale, &mut rec);
+        (point, rec.0, rec.1)
+    };
+    let results: Vec<(Fig11Point, MemoryRecorder, WindowedMetrics)> = if parallel {
+        par_map(&jobs, sim_job)
+    } else {
+        jobs.iter().map(sim_job).collect()
+    };
+    let mut points = Vec::with_capacity(results.len());
+    let mut shards = Vec::with_capacity(results.len());
+    let mut window_shards = Vec::with_capacity(results.len());
+    for (point, shard, wins) in results {
+        points.push(point);
+        shards.push(shard);
+        window_shards.push(wins);
+    }
+    Fig11Telemetry {
+        output: Fig11Output {
+            points,
+            max_loads: lp_max_loads(scale),
+        },
+        recorder: ShardedRecorder::from_shards(shards).merged(obs),
+        windows: merge_windows(window, window_shards.iter()),
+    }
 }
 
 /// Renders the experiment as one table per case.
@@ -338,6 +436,51 @@ mod tests {
             o = get("Overlapping"),
             d = get("Disjoint")
         );
+    }
+
+    #[test]
+    fn instrumented_parallel_merge_matches_sequential() {
+        // The acceptance property: a parallel instrumented sweep merged
+        // in job order is identical (counters, histograms, busy time,
+        // time series) to the sequential sweep on the same seed.
+        let scale = tiny();
+        let obs = ObsConfig::defaults(scale.m);
+        let window = WindowConfig::defaults(scale.m, 8.0);
+        let par = run_instrumented(&scale, &obs, &window);
+        let seq = run_instrumented_sequential(&scale, &obs, &window);
+
+        for (c, v) in seq.recorder.counters().iter() {
+            assert_eq!(par.recorder.counters().get(c), v, "counter {}", c.name());
+        }
+        assert_eq!(
+            par.recorder.flow_histogram().counts(),
+            seq.recorder.flow_histogram().counts()
+        );
+        assert_eq!(
+            par.recorder.flow_histogram().sum(),
+            seq.recorder.flow_histogram().sum()
+        );
+        assert_eq!(par.recorder.busy_time(), seq.recorder.busy_time());
+        assert_eq!(par.recorder.makespan_seen(), seq.recorder.makespan_seen());
+        assert_eq!(par.recorder.trace().to_vec(), seq.recorder.trace().to_vec());
+        assert_eq!(par.windows.windows().len(), seq.windows.windows().len());
+        for (a, b) in par.windows.windows().iter().zip(seq.windows.windows()) {
+            assert_eq!(a.starts, b.starts);
+            assert_eq!(a.completions, b.completions);
+            assert_eq!(a.busy, b.busy);
+        }
+
+        // The curve points are the uninstrumented run's, bit for bit
+        // (recording transparency through the sharded path).
+        let plain = run(&scale);
+        for (a, b) in par.output.points.iter().zip(&plain.points) {
+            assert_eq!(a.fmax_median, b.fmax_median, "{} {}", a.case, a.load_pct);
+        }
+        // Every dispatched task landed in the merged histogram: jobs ×
+        // repetitions × tasks.
+        let expected =
+            par.output.points.len() as u64 * scale.repetitions as u64 * scale.tasks as u64;
+        assert_eq!(par.recorder.flow_histogram().total(), expected);
     }
 
     #[test]

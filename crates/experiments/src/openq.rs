@@ -17,8 +17,9 @@ use flowsched_core::instance::InstanceBuilder;
 use flowsched_core::procset::ProcSet;
 use flowsched_kvstore::cluster::{ClusterConfig, KvCluster};
 use flowsched_kvstore::replication::ReplicationStrategy;
+use flowsched_obs::{WindowConfig, WindowedMetrics};
 use flowsched_parallel::par_map;
-use flowsched_sim::driver::{simulate, SimConfig};
+use flowsched_sim::driver::{simulate, simulate_with, SimConfig};
 use flowsched_solver::loadflow::max_load_lp_with;
 use flowsched_solver::simplex::SimplexScratch;
 use flowsched_stats::descriptive::median;
@@ -158,6 +159,45 @@ pub fn run(scale: &Scale) -> Vec<OpenQRow> {
     })
 }
 
+/// Re-runs axis 2 (EFT-Min at 50% offered load) for one strategy with
+/// windowed telemetry, merging the tumbling-window series across the
+/// repetitions. Same RNG derivation as [`run`], so the time series
+/// describes exactly the runs behind the `fmax_at_half_load` column —
+/// this is the "when do queues build" view of the open-question score.
+pub fn half_load_timeseries(
+    scale: &Scale,
+    strategy: ReplicationStrategy,
+    window: &WindowConfig,
+) -> WindowedMetrics {
+    assert_eq!(window.machines, scale.m, "windows sized for the cluster");
+    let mut series = WindowedMetrics::new(window.clone());
+    for rep in 0..scale.repetitions {
+        let mut rng = derive_rng(scale.seed, 0x09E1 ^ (rep as u64) << 3);
+        let cluster = KvCluster::new(
+            ClusterConfig {
+                m: scale.m,
+                k: scale.k,
+                strategy,
+                s: 1.0,
+                case: BiasCase::Shuffled,
+            },
+            &mut rng,
+        );
+        let inst = cluster.requests(scale.tasks, 0.5 * scale.m as f64, &mut rng);
+        let mut shard = WindowedMetrics::new(window.clone());
+        let (_, _report) = simulate_with(
+            &inst,
+            &SimConfig {
+                policy: TieBreak::Min,
+                warmup_fraction: 0.1,
+            },
+            &mut shard,
+        );
+        series.merge(&shard);
+    }
+    series
+}
+
 /// Renders the comparison table.
 pub fn render(rows: &[OpenQRow]) -> String {
     let mut t = TableBuilder::new(&[
@@ -252,6 +292,24 @@ mod tests {
         for r in run(&tiny()) {
             assert!(r.worst_ratio >= 1.0 - 1e-9, "{r:?}");
         }
+    }
+
+    #[test]
+    fn half_load_timeseries_conserves_task_counts() {
+        let scale = tiny();
+        let window = WindowConfig::defaults(scale.m, 4.0);
+        let series = half_load_timeseries(&scale, ReplicationStrategy::Overlapping, &window);
+        let starts: u64 = series.windows().iter().map(|w| w.starts).sum();
+        let completions: u64 = series.windows().iter().map(|w| w.completions).sum();
+        let expected = (scale.repetitions * scale.tasks) as u64;
+        assert_eq!(starts, expected, "every task starts exactly once");
+        assert_eq!(completions, expected);
+        // At 50% load the cluster is stable: mean utilization should sit
+        // well below saturation in every window that saw work.
+        assert!(series
+            .windows()
+            .iter()
+            .any(|w| w.mean_utilization(4.0) > 0.0));
     }
 
     #[test]

@@ -154,16 +154,37 @@ impl EventRing {
         }
     }
 
-    /// Appends an event, overwriting the oldest when full.
+    /// Appends an event, overwriting the oldest when full. Returns
+    /// `true` when an old event was overwritten (dropped), so callers
+    /// that keep a loss counter (e.g. `Counter::TraceEventsDropped`)
+    /// can bump it without re-reading [`EventRing::dropped`].
     #[inline]
-    pub fn push(&mut self, ev: Event) {
+    pub fn push(&mut self, ev: Event) -> bool {
         if self.buf.len() < self.capacity {
             self.buf.push(ev);
+            false
         } else {
             self.buf[self.head] = ev;
             self.head = (self.head + 1) % self.capacity;
             self.dropped += 1;
+            true
         }
+    }
+
+    /// Appends every event `other` retained (oldest → newest) and folds
+    /// `other`'s already-dropped count into this ring's, so the merged
+    /// ring reports the union's total loss. Returns how many events were
+    /// *freshly* overwritten by the appends themselves (the carried
+    /// losses are `other.dropped()`).
+    pub fn extend_from(&mut self, other: &EventRing) -> u64 {
+        let mut fresh = 0;
+        for &ev in other.iter() {
+            if self.push(ev) {
+                fresh += 1;
+            }
+        }
+        self.dropped += other.dropped;
+        fresh
     }
 
     /// Number of retained events.
@@ -301,5 +322,35 @@ mod tests {
     #[should_panic(expected = "positive capacity")]
     fn zero_capacity_rejected() {
         let _ = EventRing::new(0);
+    }
+
+    #[test]
+    fn push_reports_overwrites() {
+        let mut r = EventRing::new(2);
+        assert!(!r.push(arrival(0)));
+        assert!(!r.push(arrival(1)));
+        assert!(r.push(arrival(2)));
+    }
+
+    #[test]
+    fn extend_from_concatenates_and_carries_losses() {
+        let mut a = EventRing::new(8);
+        a.push(arrival(0));
+        let mut b = EventRing::new(2);
+        for i in 10..15 {
+            b.push(arrival(i)); // retains 13, 14; drops 3
+        }
+        let fresh = a.extend_from(&b);
+        assert_eq!(fresh, 0, "capacity 8 absorbs both retained events");
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.dropped(), 3, "b's losses carry over");
+        let tasks: Vec<u64> = a
+            .iter()
+            .map(|e| match e {
+                Event::TaskArrival { task, .. } => *task,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(tasks, vec![0, 13, 14]);
     }
 }

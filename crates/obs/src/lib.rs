@@ -24,6 +24,24 @@
 //!   [`render_summary`] prints the terminal summary that
 //!   `flowsched-bench --bin obs` shows next to `SimReport`.
 //!
+//! On top of the recorders sits the telemetry pipeline:
+//!
+//! - **[`window`]** — [`WindowedMetrics`], a tumbling-window time-series
+//!   recorder (queue depth, per-machine utilization, arrival/completion
+//!   rates, windowed flow percentiles) whose memory scales with windows,
+//!   not tasks.
+//! - **[`span`]** — task lifecycle spans (release→start→finish) and
+//!   machine busy intervals reconstructed from the event trace.
+//! - **[`export`]** — Chrome trace-event JSON (Perfetto), Prometheus
+//!   text exposition, and CSV time series; driven end-to-end by
+//!   `flowsched-bench --bin timeline`.
+//! - **[`shard`]** — per-job recorder shards for
+//!   `flowsched_parallel::par_map` sweeps, merged in job order into a
+//!   snapshot identical to a single-threaded run's.
+//!
+//! [`Tee`] fans one hook stream into two recorders (aggregates + time
+//! series in one pass) and preserves the zero-cost contract.
+//!
 //! ## Hook sites
 //!
 //! - `flowsched_algos::engine::run_immediate` — the shared streaming
@@ -53,20 +71,30 @@
 
 pub mod counters;
 pub mod event;
+pub mod export;
 pub mod memory;
 pub mod recorder;
+pub mod shard;
 pub mod snapshot;
+pub mod span;
+pub mod window;
 
 pub use counters::{Counter, Counters};
 pub use event::{Event, EventRing, ProbeKind};
+pub use export::{chrome_trace, prometheus_text, windows_to_csv};
 pub use memory::{MemoryRecorder, ObsConfig};
-pub use recorder::{NoopRecorder, Recorder};
+pub use recorder::{NoopRecorder, Recorder, Tee};
+pub use shard::{merge_windows, ShardedRecorder};
 pub use snapshot::{render_summary, trace_to_json, ObsSnapshot};
+pub use span::{machine_spans, task_spans, MachineSpan, TaskSpan};
+pub use window::{WindowConfig, WindowStats, WindowedMetrics};
 
 /// Convenience re-exports for instrumented engines and tests.
 pub mod prelude {
     pub use crate::counters::Counter;
     pub use crate::event::{Event, ProbeKind};
     pub use crate::memory::{MemoryRecorder, ObsConfig};
-    pub use crate::recorder::{NoopRecorder, Recorder};
+    pub use crate::recorder::{NoopRecorder, Recorder, Tee};
+    pub use crate::shard::ShardedRecorder;
+    pub use crate::window::{WindowConfig, WindowedMetrics};
 }

@@ -139,6 +139,60 @@ impl MemoryRecorder {
         (p.count, p.total_iterations, p.last_value, p.max_value)
     }
 
+    /// Folds another recorder's state into this one: counters add,
+    /// histograms and busy time add, probe aggregates combine, the
+    /// makespan takes the max, and `other`'s retained trace is appended
+    /// to this ring (its already-dropped count carries over, and any
+    /// events the append itself overwrites are counted too — the merged
+    /// `trace_events_dropped` counter always equals the merged ring's
+    /// [`EventRing::dropped`]).
+    ///
+    /// Merging shard recorders in any fixed order reproduces the
+    /// counters and histogram of a single recorder that saw every hook —
+    /// the property `tests/obs_invariants.rs` pins for `par_map` sweeps.
+    ///
+    /// # Panics
+    /// Panics when the flow histograms disagree on shape (different
+    /// `ObsConfig` ranges) or the machine counts differ.
+    pub fn merge(&mut self, other: &MemoryRecorder) {
+        assert_eq!(
+            self.busy_time.len(),
+            other.busy_time.len(),
+            "recorder merge requires identical machine counts"
+        );
+        for (c, v) in other.counters.iter_nonzero() {
+            self.counters.add(c, v);
+        }
+        let fresh = self.trace.extend_from(&other.trace);
+        self.counters.add(Counter::TraceEventsDropped, fresh);
+        self.flow_hist.merge(&other.flow_hist);
+        for (b, o) in self.busy_time.iter_mut().zip(&other.busy_time) {
+            *b += o;
+        }
+        for (p, o) in self.probes.iter_mut().zip(&other.probes) {
+            if o.count > 0 {
+                if p.count == 0 || o.max_value > p.max_value {
+                    p.max_value = o.max_value;
+                }
+                p.count += o.count;
+                p.total_iterations += o.total_iterations;
+                p.last_value = o.last_value;
+            }
+        }
+        if other.max_completion > self.max_completion {
+            self.max_completion = other.max_completion;
+        }
+    }
+
+    /// Pushes onto the trace ring, counting overwrites so the
+    /// `trace_events_dropped` counter surfaces truncation in snapshots.
+    #[inline]
+    fn push_event(&mut self, ev: Event) {
+        if self.trace.push(ev) {
+            self.counters.add(Counter::TraceEventsDropped, 1);
+        }
+    }
+
     /// Freezes the recorder's state into a serializable snapshot.
     pub fn snapshot(&self) -> ObsSnapshot {
         ObsSnapshot {
@@ -156,6 +210,7 @@ impl MemoryRecorder {
                 counts: self.flow_hist.counts().to_vec(),
                 underflow: self.flow_hist.underflow(),
                 overflow: self.flow_hist.overflow(),
+                sum: self.flow_hist.sum(),
                 total: self.flow_hist.total(),
             },
             probes: ProbeKind::ALL
@@ -190,7 +245,7 @@ impl Recorder for MemoryRecorder {
     #[inline]
     fn task_arrival(&mut self, task: u64, at: f64) {
         self.counters.add(Counter::TasksArrived, 1);
-        self.trace.push(Event::TaskArrival { task, at });
+        self.push_event(Event::TaskArrival { task, at });
     }
 
     #[inline]
@@ -206,13 +261,13 @@ impl Recorder for MemoryRecorder {
         if completion > self.max_completion {
             self.max_completion = completion;
         }
-        self.trace.push(Event::TaskDispatch {
+        self.push_event(Event::TaskDispatch {
             task,
             machine,
             start,
             ptime,
         });
-        self.trace.push(Event::TaskCompletion {
+        self.push_event(Event::TaskCompletion {
             task,
             machine,
             at: completion,
@@ -223,13 +278,13 @@ impl Recorder for MemoryRecorder {
     #[inline]
     fn machine_busy(&mut self, machine: u32, at: f64) {
         self.counters.add(Counter::MachineBusyTransitions, 1);
-        self.trace.push(Event::MachineBusy { machine, at });
+        self.push_event(Event::MachineBusy { machine, at });
     }
 
     #[inline]
     fn machine_idle(&mut self, machine: u32, at: f64) {
         self.counters.add(Counter::MachineIdleTransitions, 1);
-        self.trace.push(Event::MachineIdle { machine, at });
+        self.push_event(Event::MachineIdle { machine, at });
     }
 
     #[inline]
@@ -255,7 +310,7 @@ impl Recorder for MemoryRecorder {
         if p.count == 1 || value > p.max_value {
             p.max_value = value;
         }
-        self.trace.push(Event::SolverProbe {
+        self.push_event(Event::SolverProbe {
             kind,
             iterations,
             value,
@@ -335,6 +390,68 @@ mod tests {
         assert_eq!(s.makespan, 0.0);
         assert_eq!(s.utilization, vec![0.0; 3]);
         assert_eq!(s.flow_histogram.total, 0);
+    }
+
+    #[test]
+    fn ring_overwrites_surface_in_the_dropped_counter() {
+        let mut cfg = ObsConfig::defaults(1);
+        cfg.trace_capacity = 2;
+        let mut r = MemoryRecorder::new(&cfg);
+        for i in 0..5 {
+            r.task_arrival(i, i as f64);
+        }
+        assert_eq!(r.counters().get(Counter::TraceEventsDropped), 3);
+        assert_eq!(r.trace().dropped(), 3, "counter mirrors the ring");
+        let snap = r.snapshot();
+        assert_eq!(snap.trace_dropped, 3);
+        assert!(snap
+            .counters
+            .iter()
+            .any(|c| c.name == "trace_events_dropped" && c.value == 3));
+    }
+
+    #[test]
+    fn merge_equals_one_recorder_that_saw_every_hook() {
+        let drive_a = |r: &mut MemoryRecorder| {
+            r.task_arrival(0, 0.0);
+            r.task_dispatch(0, 0, 0.0, 0.5, 2.0);
+            r.machine_busy(0, 0.5);
+            r.probe(ProbeKind::LoadFeasibility, 4, 2.0);
+        };
+        let drive_b = |r: &mut MemoryRecorder| {
+            r.task_arrival(1, 1.0);
+            r.task_dispatch(1, 1, 1.0, 1.0, 5.0);
+            r.probe(ProbeKind::LoadFeasibility, 2, 3.5);
+            r.probe(ProbeKind::SimplexSolve, 7, 1.0);
+        };
+        let mut a = MemoryRecorder::with_defaults(2);
+        drive_a(&mut a);
+        let mut b = MemoryRecorder::with_defaults(2);
+        drive_b(&mut b);
+        a.merge(&b);
+
+        let mut whole = MemoryRecorder::with_defaults(2);
+        drive_a(&mut whole);
+        drive_b(&mut whole);
+
+        for (c, v) in whole.counters().iter() {
+            assert_eq!(a.counters().get(c), v, "counter {}", c.name());
+        }
+        assert_eq!(a.flow_histogram().counts(), whole.flow_histogram().counts());
+        assert_eq!(a.busy_time(), whole.busy_time());
+        assert_eq!(a.makespan_seen(), whole.makespan_seen());
+        for k in ProbeKind::ALL {
+            assert_eq!(a.probe_stats(k), whole.probe_stats(k), "{}", k.name());
+        }
+        assert_eq!(a.trace().to_vec(), whole.trace().to_vec());
+    }
+
+    #[test]
+    #[should_panic(expected = "identical machine counts")]
+    fn merge_rejects_mismatched_machine_counts() {
+        let mut a = MemoryRecorder::with_defaults(2);
+        let b = MemoryRecorder::with_defaults(3);
+        a.merge(&b);
     }
 
     #[test]

@@ -77,6 +77,61 @@ impl Recorder for NoopRecorder {
     fn add(&mut self, _c: Counter, _delta: u64) {}
 }
 
+/// Fans every hook out to two recorders, so one instrumented run can
+/// feed e.g. a [`MemoryRecorder`](crate::memory::MemoryRecorder)
+/// (aggregates + trace) and a
+/// [`WindowedMetrics`](crate::window::WindowedMetrics) (time series)
+/// simultaneously. `ENABLED` is the OR of the halves, so
+/// `Tee<NoopRecorder, NoopRecorder>` keeps the zero-cost contract and a
+/// half that is a no-op costs nothing beyond the other half.
+#[derive(Debug, Clone, Default)]
+pub struct Tee<A, B>(
+    /// First recorder; hooks reach it before the second.
+    pub A,
+    /// Second recorder.
+    pub B,
+);
+
+impl<A: Recorder, B: Recorder> Recorder for Tee<A, B> {
+    const ENABLED: bool = A::ENABLED || B::ENABLED;
+
+    #[inline]
+    fn task_arrival(&mut self, task: u64, at: f64) {
+        self.0.task_arrival(task, at);
+        self.1.task_arrival(task, at);
+    }
+
+    #[inline]
+    fn task_dispatch(&mut self, task: u64, machine: u32, release: f64, start: f64, ptime: f64) {
+        self.0.task_dispatch(task, machine, release, start, ptime);
+        self.1.task_dispatch(task, machine, release, start, ptime);
+    }
+
+    #[inline]
+    fn machine_busy(&mut self, machine: u32, at: f64) {
+        self.0.machine_busy(machine, at);
+        self.1.machine_busy(machine, at);
+    }
+
+    #[inline]
+    fn machine_idle(&mut self, machine: u32, at: f64) {
+        self.0.machine_idle(machine, at);
+        self.1.machine_idle(machine, at);
+    }
+
+    #[inline]
+    fn probe(&mut self, kind: ProbeKind, iterations: u64, value: f64) {
+        self.0.probe(kind, iterations, value);
+        self.1.probe(kind, iterations, value);
+    }
+
+    #[inline]
+    fn add(&mut self, c: Counter, delta: u64) {
+        self.0.add(c, delta);
+        self.1.add(c, delta);
+    }
+}
+
 /// Forwarding through `&mut R` so engines can take `rec: &mut R` and
 /// hand it down to helpers without re-borrow gymnastics. `ENABLED`
 /// propagates, so `&mut NoopRecorder` is just as free as `NoopRecorder`.
@@ -133,6 +188,17 @@ mod tests {
         r.machine_idle(0, 1.0);
         r.probe(ProbeKind::SimplexSolve, 3, 1.5);
         r.add(Counter::TasksArrived, 1);
+    }
+
+    #[test]
+    fn tee_reaches_both_recorders_and_ors_enabled() {
+        use crate::memory::MemoryRecorder;
+        let mut tee = Tee(MemoryRecorder::with_defaults(1), NoopRecorder);
+        assert!(enabled_of(&tee));
+        assert!(!enabled_of(&Tee(NoopRecorder, NoopRecorder)));
+        tee.task_arrival(0, 0.0);
+        tee.add(Counter::TasksArrived, 4);
+        assert_eq!(tee.0.counters().get(Counter::TasksArrived), 5);
     }
 
     #[test]

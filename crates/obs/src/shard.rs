@@ -1,0 +1,150 @@
+//! Sharded recording for parallel sweeps.
+//!
+//! `Recorder` hooks take `&mut self`, so one recorder cannot be shared
+//! across `flowsched_parallel::par_map` workers. The sharded scheme
+//! sidesteps locks entirely: every *job* (not thread) gets its own
+//! recorder, the job returns it alongside its result, and the shards
+//! are merged **in job order** afterwards. Because every merged
+//! quantity is a commutative, associative fold (counter sums, histogram
+//! bin sums, busy-time sums, max makespan), the merged snapshot is
+//! *identical* to a single-threaded run's — independent of how the
+//! work-stealing cursor interleaved the jobs — which
+//! `tests/obs_invariants.rs` pins across thread counts. The one
+//! order-sensitive piece, the event trace, is concatenated in job
+//! order, making it a valid (and deterministic) interleaving of the
+//! per-job traces.
+
+use crate::memory::{MemoryRecorder, ObsConfig};
+use crate::window::{WindowConfig, WindowedMetrics};
+
+/// A bank of per-job [`MemoryRecorder`] shards and their merge.
+///
+/// Typical `par_map` usage:
+///
+/// ```
+/// use flowsched_obs::{ObsConfig, ShardedRecorder};
+/// use flowsched_obs::prelude::*;
+///
+/// let cfg = ObsConfig::defaults(4);
+/// let results: Vec<(u64, MemoryRecorder)> = (0..8u64)
+///     .map(|job| {
+///         let mut rec = ShardedRecorder::shard(&cfg); // inside par_map
+///         rec.task_arrival(job, job as f64);
+///         (job, rec)
+///     })
+///     .collect();
+/// let merged = ShardedRecorder::from_shards(results.into_iter().map(|(_, r)| r))
+///     .merged(&cfg);
+/// assert_eq!(merged.counters().get(Counter::TasksArrived), 8);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ShardedRecorder {
+    shards: Vec<MemoryRecorder>,
+}
+
+impl ShardedRecorder {
+    /// A fresh shard for one job. A plain constructor (rather than a
+    /// method on a shared bank) so `par_map` closures, which only get
+    /// `&self` captures, can mint shards without synchronization.
+    pub fn shard(cfg: &ObsConfig) -> MemoryRecorder {
+        MemoryRecorder::new(cfg)
+    }
+
+    /// Collects job shards back into a bank. `par_map` preserves input
+    /// order, so collecting its output restores job order regardless of
+    /// which worker ran which job.
+    pub fn from_shards(shards: impl IntoIterator<Item = MemoryRecorder>) -> Self {
+        ShardedRecorder {
+            shards: shards.into_iter().collect(),
+        }
+    }
+
+    /// The shards in job order.
+    pub fn shards(&self) -> &[MemoryRecorder] {
+        &self.shards
+    }
+
+    /// Merges all shards (in job order) into one recorder. `cfg` seeds
+    /// the empty accumulator, so zero shards still yield a well-formed
+    /// recorder.
+    pub fn merged(&self, cfg: &ObsConfig) -> MemoryRecorder {
+        let mut acc = MemoryRecorder::new(cfg);
+        for shard in &self.shards {
+            acc.merge(shard);
+        }
+        acc
+    }
+}
+
+/// Merges per-job windowed time series (in job order) into one. The
+/// windowed counterpart of [`ShardedRecorder::merged`]; window-cell
+/// sums are commutative, so the result matches a single-threaded
+/// series exactly.
+pub fn merge_windows<'a>(
+    cfg: &WindowConfig,
+    shards: impl IntoIterator<Item = &'a WindowedMetrics>,
+) -> WindowedMetrics {
+    let mut acc = WindowedMetrics::new(cfg.clone());
+    for shard in shards {
+        acc.merge(shard);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counters::Counter;
+    use crate::recorder::Recorder;
+
+    #[test]
+    fn merged_shards_equal_one_sequential_recorder() {
+        let cfg = ObsConfig::defaults(3);
+        let jobs: Vec<(u64, f64)> = (0..20).map(|i| (i, i as f64 * 0.3)).collect();
+
+        let mut sequential = MemoryRecorder::new(&cfg);
+        let mut shards = Vec::new();
+        for &(task, at) in &jobs {
+            let mut shard = ShardedRecorder::shard(&cfg);
+            for r in [&mut sequential, &mut shard] {
+                r.task_arrival(task, at);
+                r.task_dispatch(task, (task % 3) as u32, at, at + 0.1, 1.0);
+            }
+            shards.push(shard);
+        }
+        let merged = ShardedRecorder::from_shards(shards).merged(&cfg);
+        assert_eq!(
+            merged.counters().get(Counter::TasksDispatched),
+            sequential.counters().get(Counter::TasksDispatched)
+        );
+        assert_eq!(
+            merged.flow_histogram().counts(),
+            sequential.flow_histogram().counts()
+        );
+        assert_eq!(merged.busy_time(), sequential.busy_time());
+        assert_eq!(merged.trace().to_vec(), sequential.trace().to_vec());
+    }
+
+    #[test]
+    fn zero_shards_merge_to_an_empty_recorder() {
+        let cfg = ObsConfig::defaults(2);
+        let merged = ShardedRecorder::from_shards(std::iter::empty()).merged(&cfg);
+        assert_eq!(merged.counters().get(Counter::TasksArrived), 0);
+        assert_eq!(merged.busy_time(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn windowed_shards_merge_in_job_order() {
+        let cfg = WindowConfig::defaults(1, 1.0);
+        let mut a = WindowedMetrics::new(cfg.clone());
+        a.task_dispatch(0, 0, 0.0, 0.0, 0.5);
+        let mut b = WindowedMetrics::new(cfg.clone());
+        b.task_dispatch(1, 0, 0.2, 0.5, 0.5);
+        let merged = merge_windows(&cfg, [&a, &b]);
+        // b's completion at exactly 1.0 opens window 1.
+        assert_eq!(merged.windows().len(), 2);
+        assert_eq!(merged.windows()[0].starts, 2);
+        assert_eq!(merged.windows()[1].completions, 1);
+        assert!((merged.windows()[0].busy[0] - 1.0).abs() < 1e-12);
+    }
+}

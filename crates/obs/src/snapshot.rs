@@ -35,6 +35,9 @@ pub struct HistogramSnapshot {
     pub overflow: u64,
     /// Total observations (bins + underflow + overflow).
     pub total: u64,
+    /// Sum of every observation (what a Prometheus histogram calls
+    /// `_sum`).
+    pub sum: f64,
 }
 
 /// Aggregated probe statistics for one probe kind.
@@ -192,6 +195,13 @@ pub fn render_summary(rec: &MemoryRecorder) -> String {
         rec.trace().len(),
         rec.trace().dropped()
     ));
+    if rec.trace().dropped() > 0 {
+        out.push_str(&format!(
+            "  WARNING: trace truncated — the ring (capacity {}) overwrote \
+             the oldest events; span exports cover the retained tail only\n",
+            rec.trace().capacity()
+        ));
+    }
     out
 }
 

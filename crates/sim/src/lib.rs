@@ -18,10 +18,15 @@
 //!   Figure 11 curves end at the LP max-load line for the same reason).
 //!   Reports come in two shapes: batch from a materialized schedule, or
 //!   folded online by [`ReportBuilder`] while the stream runs.
+//! - [`telemetry`]: the full-telemetry convenience — one streaming pass
+//!   that produces the report, the aggregate recorder, and the
+//!   tumbling-window time series together (the engine behind
+//!   `flowsched-bench --bin timeline`).
 
 pub mod driver;
 pub mod report;
 pub mod stepped;
+pub mod telemetry;
 
 #[allow(deprecated)]
 pub use driver::simulate_recorded;
@@ -33,3 +38,4 @@ pub use stepped::{
     run_stepped, run_stepped_interval_adversary, run_stepped_stream, SteppedEftState,
     SteppedOutcome,
 };
+pub use telemetry::{simulate_stream_telemetry, Telemetry, TelemetryConfig};

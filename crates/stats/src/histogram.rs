@@ -3,14 +3,32 @@
 
 /// A histogram over `[lo, hi)` with equal-width bins. Values outside the
 //  range are counted in saturating edge bins.
+///
+/// Beyond plain counts, every bin (and both edge bins) tracks the
+/// minimum and maximum value it received, and the histogram keeps the
+/// running sum of all recorded values. That is what lets
+/// [`Histogram::quantile`] interpolate *within* a bin — the r-th order
+/// statistic in a bin of known `[min, max]` spread is pinned exactly
+/// whenever the bin holds ≤ 2 samples or all-equal samples — and what a
+/// Prometheus-style exporter needs (`_sum` next to the cumulative
+/// buckets).
 #[derive(Debug, Clone)]
 pub struct Histogram {
     lo: f64,
     hi: f64,
     counts: Vec<u64>,
+    /// Smallest value recorded in each bin (meaningless where count 0).
+    mins: Vec<f64>,
+    /// Largest value recorded in each bin (meaningless where count 0).
+    maxs: Vec<f64>,
     total: u64,
+    sum: f64,
     underflow: u64,
     overflow: u64,
+    /// `[min, max]` of the underflow mass (meaningless when empty).
+    under_range: (f64, f64),
+    /// `[min, max]` of the overflow mass (meaningless when empty).
+    over_range: (f64, f64),
 }
 
 impl Histogram {
@@ -25,26 +43,36 @@ impl Histogram {
             lo,
             hi,
             counts: vec![0; bins],
+            mins: vec![f64::INFINITY; bins],
+            maxs: vec![f64::NEG_INFINITY; bins],
             total: 0,
+            sum: 0.0,
             underflow: 0,
             overflow: 0,
+            under_range: (f64::INFINITY, f64::NEG_INFINITY),
+            over_range: (f64::INFINITY, f64::NEG_INFINITY),
         }
     }
 
     /// Records a value.
     pub fn record(&mut self, x: f64) {
         self.total += 1;
+        self.sum += x;
         if x < self.lo {
             self.underflow += 1;
+            self.under_range = (self.under_range.0.min(x), self.under_range.1.max(x));
             return;
         }
         if x >= self.hi {
             self.overflow += 1;
+            self.over_range = (self.over_range.0.min(x), self.over_range.1.max(x));
             return;
         }
         let width = (self.hi - self.lo) / self.counts.len() as f64;
         let idx = (((x - self.lo) / width) as usize).min(self.counts.len() - 1);
         self.counts[idx] += 1;
+        self.mins[idx] = self.mins[idx].min(x);
+        self.maxs[idx] = self.maxs[idx].max(x);
     }
 
     /// Records many values.
@@ -52,6 +80,38 @@ impl Histogram {
         for &x in xs {
             self.record(x);
         }
+    }
+
+    /// Folds another histogram into this one. Counts add, per-bin ranges
+    /// widen, the sum accumulates — merging shard histograms in any
+    /// grouping yields the same result as recording every value into one
+    /// histogram (up to float summation order in [`Histogram::sum`]).
+    ///
+    /// # Panics
+    /// Panics if the two histograms disagree on range or bin count.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            (self.lo, self.hi, self.counts.len()),
+            (other.lo, other.hi, other.counts.len()),
+            "histogram merge requires identical ranges and bin counts"
+        );
+        for i in 0..self.counts.len() {
+            self.counts[i] += other.counts[i];
+            self.mins[i] = self.mins[i].min(other.mins[i]);
+            self.maxs[i] = self.maxs[i].max(other.maxs[i]);
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+        self.under_range = (
+            self.under_range.0.min(other.under_range.0),
+            self.under_range.1.max(other.under_range.1),
+        );
+        self.over_range = (
+            self.over_range.0.min(other.over_range.0),
+            self.over_range.1.max(other.over_range.1),
+        );
     }
 
     /// Per-bin counts.
@@ -62,6 +122,11 @@ impl Histogram {
     /// Total recorded values (including out-of-range).
     pub fn total(&self) -> u64 {
         self.total
+    }
+
+    /// Sum of every recorded value (out-of-range included).
+    pub fn sum(&self) -> f64 {
+        self.sum
     }
 
     /// Count of values below the range.
@@ -80,38 +145,91 @@ impl Histogram {
         (self.lo + i as f64 * width, self.lo + (i + 1) as f64 * width)
     }
 
+    /// `(min, max)` of the values recorded in bin `i`, `None` when the
+    /// bin is empty.
+    pub fn bin_range(&self, i: usize) -> Option<(f64, f64)> {
+        (self.counts[i] > 0).then(|| (self.mins[i], self.maxs[i]))
+    }
+
     /// The `[lo, hi)` range the bins cover.
     pub fn range(&self) -> (f64, f64) {
         (self.lo, self.hi)
     }
 
-    /// The value of the `r`-th order statistic (0-based), approximated
-    /// by the lower edge of the bin it falls in (underflow ↦ `lo`,
-    /// overflow ↦ `hi`). Exact whenever every recorded value sits on a
-    /// bin lower edge — e.g. integer samples in a unit-width histogram.
+    /// Smallest value recorded, `None` when empty.
+    pub fn min_value(&self) -> Option<f64> {
+        if self.total == 0 {
+            return None;
+        }
+        if self.underflow > 0 {
+            return Some(self.under_range.0);
+        }
+        self.mins
+            .iter()
+            .zip(&self.counts)
+            .find(|&(_, &c)| c > 0)
+            .map(|(&v, _)| v)
+            .or(Some(self.over_range.0))
+    }
+
+    /// Largest value recorded, `None` when empty.
+    pub fn max_value(&self) -> Option<f64> {
+        if self.total == 0 {
+            return None;
+        }
+        if self.overflow > 0 {
+            return Some(self.over_range.1);
+        }
+        self.maxs
+            .iter()
+            .zip(&self.counts)
+            .rev()
+            .find(|&(_, &c)| c > 0)
+            .map(|(&v, _)| v)
+            .or(Some(self.under_range.1))
+    }
+
+    /// The value of the `r`-th order statistic (0-based), interpolated
+    /// linearly within the bin it falls in between the bin's recorded
+    /// minimum and maximum. Exact whenever the bin holds one sample, two
+    /// samples (the min and the max *are* the order statistics), or
+    /// all-equal samples — which covers edge-aligned integer workloads
+    /// and sparse continuous ones alike; off by at most the bin's
+    /// observed spread (≤ one bin width) otherwise. Underflow and
+    /// overflow interpolate within their own recorded `[min, max]`, so
+    /// the extreme ranks (e.g. `quantile(1.0)` = the true maximum) are
+    /// exact even out of range.
     fn value_at_rank(&self, r: u64) -> f64 {
         debug_assert!(r < self.total);
+        let interp = |pos: u64, count: u64, min: f64, max: f64| -> f64 {
+            if count <= 1 || max <= min {
+                min
+            } else {
+                min + (max - min) * pos as f64 / (count - 1) as f64
+            }
+        };
         let mut cum = self.underflow;
         if r < cum {
-            return self.lo;
+            return interp(r, self.underflow, self.under_range.0, self.under_range.1);
         }
         for (i, &c) in self.counts.iter().enumerate() {
-            cum += c;
-            if r < cum {
-                return self.bin_edges(i).0;
+            if r < cum + c {
+                return interp(r - cum, c, self.mins[i], self.maxs[i]);
             }
+            cum += c;
         }
-        self.hi
+        interp(r - cum, self.overflow, self.over_range.0, self.over_range.1)
     }
 
     /// Quantile `q ∈ [0,1]` with linear interpolation between order
     /// statistics (type-7, mirroring
     /// [`descriptive::quantile`](crate::descriptive::quantile)), read
     /// from the bins instead of a sorted sample. Each order statistic is
-    /// approximated by its bin's lower edge, so the result is exact when
-    /// all samples lie on bin edges and within range, and off by at most
-    /// one bin width otherwise (more for out-of-range samples, which
-    /// clamp to the range). Returns `None` when nothing was recorded.
+    /// resolved by [within-bin interpolation](Self::value_at_rank): the
+    /// result is bit-exact against the sorted-sample quantile whenever
+    /// every bin the ranks touch holds ≤ 2 samples or all-equal samples,
+    /// and within the touched bins' observed spread (≤ one bin width)
+    /// otherwise. Returns `None` when nothing was recorded.
     pub fn quantile(&self, q: f64) -> Option<f64> {
         assert!((0.0..=1.0).contains(&q), "quantile level must be in [0,1]");
         if self.total == 0 {
@@ -160,6 +278,9 @@ mod tests {
         assert_eq!(h.counts()[9], 1);
         assert_eq!(h.counts()[5], 1);
         assert_eq!(h.total(), 3);
+        assert_eq!(h.sum(), 0.5 + 9.99 + 5.0);
+        assert_eq!(h.bin_range(5), Some((5.0, 5.0)));
+        assert_eq!(h.bin_range(1), None);
     }
 
     #[test]
@@ -172,6 +293,8 @@ mod tests {
         assert_eq!(h.overflow(), 2);
         assert_eq!(h.counts().iter().sum::<u64>(), 0);
         assert_eq!(h.total(), 3);
+        assert_eq!(h.min_value(), Some(-5.0));
+        assert_eq!(h.max_value(), Some(99.0));
     }
 
     #[test]
@@ -216,17 +339,92 @@ mod tests {
     }
 
     #[test]
+    fn quantile_is_exact_when_bins_hold_at_most_two_samples() {
+        use crate::descriptive::quantile;
+        // Continuous samples, no two more than a pair per bin: within-bin
+        // interpolation recovers every order statistic exactly, so the
+        // histogram quantile matches the sorted-sample quantile bit for
+        // bit even though nothing sits on a bin edge.
+        let samples = [0.31, 0.37, 1.62, 2.85, 2.91, 5.44, 7.03, 9.76];
+        let mut h = Histogram::new(0.0, 16.0, 16);
+        h.record_all(&samples);
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), Some(quantile(&samples, q)), "q = {q}");
+        }
+    }
+
+    #[test]
+    fn crowded_bin_quantile_stays_within_the_bin_spread() {
+        use crate::descriptive::quantile;
+        // Five samples crowd one bin: interior ranks interpolate between
+        // the bin's min and max, so the error is bounded by the observed
+        // spread, not the full bin width.
+        let samples = [1.1, 1.15, 1.2, 1.3, 1.45, 6.5];
+        let mut h = Histogram::new(0.0, 8.0, 8);
+        h.record_all(&samples);
+        for q in [0.2, 0.4, 0.6, 0.8] {
+            let est = h.quantile(q).unwrap();
+            let exact = quantile(&samples, q);
+            assert!(
+                (est - exact).abs() <= 1.45 - 1.1 + 1e-12,
+                "q = {q}: {est} vs {exact}"
+            );
+        }
+        // Bin boundaries of the crowd are exact (rank min / rank max).
+        assert_eq!(h.quantile(0.0), Some(1.1));
+        assert_eq!(h.quantile(1.0), Some(6.5));
+    }
+
+    #[test]
     fn quantile_of_empty_histogram_is_none() {
         let h = Histogram::new(0.0, 1.0, 4);
         assert_eq!(h.quantile(0.5), None);
     }
 
     #[test]
-    fn quantile_clamps_out_of_range_samples() {
+    fn quantile_of_out_of_range_samples_is_exact() {
         let mut h = Histogram::new(0.0, 4.0, 4);
-        h.record(-3.0); // ↦ lo
-        h.record(99.0); // ↦ hi
-        assert_eq!(h.quantile(0.0), Some(0.0));
-        assert_eq!(h.quantile(1.0), Some(4.0));
+        h.record(-3.0);
+        h.record(99.0);
+        // Out-of-range mass keeps its observed [min, max]: the extreme
+        // ranks report the true values instead of clamping to the range.
+        assert_eq!(h.quantile(0.0), Some(-3.0));
+        assert_eq!(h.quantile(1.0), Some(99.0));
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_into_one() {
+        let samples_a = [0.5, 1.5, 1.6, 3.25, -1.0];
+        let samples_b = [0.75, 9.0, 12.0, 1.55];
+        let mut merged = Histogram::new(0.0, 8.0, 8);
+        merged.record_all(&samples_a);
+        let mut other = Histogram::new(0.0, 8.0, 8);
+        other.record_all(&samples_b);
+        merged.merge(&other);
+
+        let mut whole = Histogram::new(0.0, 8.0, 8);
+        whole.record_all(&samples_a);
+        whole.record_all(&samples_b);
+
+        assert_eq!(merged.counts(), whole.counts());
+        assert_eq!(merged.total(), whole.total());
+        assert_eq!(merged.underflow(), whole.underflow());
+        assert_eq!(merged.overflow(), whole.overflow());
+        for i in 0..8 {
+            assert_eq!(merged.bin_range(i), whole.bin_range(i), "bin {i}");
+        }
+        assert_eq!(merged.min_value(), whole.min_value());
+        assert_eq!(merged.max_value(), whole.max_value());
+        for q in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            assert_eq!(merged.quantile(q), whole.quantile(q), "q = {q}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "identical ranges")]
+    fn merge_rejects_mismatched_shapes() {
+        let mut a = Histogram::new(0.0, 8.0, 8);
+        let b = Histogram::new(0.0, 8.0, 4);
+        a.merge(&b);
     }
 }

@@ -1,0 +1,113 @@
+#!/usr/bin/env bash
+# Bench regression gate: re-run the criterion benches behind a recorded
+# baseline and compare medians, with a noise tolerance.
+#
+# Baselines are the flat {bench_name: median_ns} JSON files the vendored
+# criterion harness writes via FLOWSCHED_BENCH_JSON (see
+# scripts/bench_baseline.sh):
+#
+#   BENCH_PR1.json — solvers / schedulers / simulation kernels
+#   BENCH_PR3.json — streaming engine vs batch replay
+#   BENCH_PR4.json — telemetry recorder overhead (noop / memory / windowed)
+#
+# A row regresses when current > baseline * (1 + FLOWSCHED_BENCH_TOL);
+# the default tolerance is 0.30 — wall-clock medians on shared machines
+# drift by 10–15% between sessions, so the gate is deliberately loose
+# and exists to catch step-function regressions, not percent creep.
+#
+# WARN-ONLY by default: regressions are reported but the exit status
+# stays 0, which is how ci_check.sh runs it. Pass --strict to turn
+# regressions into a non-zero exit (for local perf work).
+#
+# Usage:
+#   scripts/bench_gate.sh                    # every baseline present
+#   scripts/bench_gate.sh BENCH_PR3.json     # one baseline
+#   scripts/bench_gate.sh --strict           # fail on regression
+#   FLOWSCHED_BENCH_TOL=0.10 scripts/bench_gate.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TOL="${FLOWSCHED_BENCH_TOL:-0.30}"
+STRICT=0
+BASELINES=()
+for arg in "$@"; do
+  case "$arg" in
+    --strict) STRICT=1 ;;
+    *) BASELINES+=("$arg") ;;
+  esac
+done
+if [ "${#BASELINES[@]}" -eq 0 ]; then
+  for b in BENCH_PR1.json BENCH_PR3.json BENCH_PR4.json; do
+    [ -f "$b" ] && BASELINES+=("$b")
+  done
+fi
+if [ "${#BASELINES[@]}" -eq 0 ]; then
+  echo "bench_gate: no baseline JSON files found — nothing to compare"
+  exit 0
+fi
+
+# Which bench binaries feed which baseline.
+benches_for() {
+  case "$(basename "$1")" in
+    BENCH_PR1.json) echo "solvers schedulers simulation" ;;
+    BENCH_PR3.json) echo "streaming" ;;
+    BENCH_PR4.json) echo "telemetry" ;;
+    *) echo "" ;;
+  esac
+}
+
+# Flat {name: number} JSON -> "name value" lines.
+flatten() {
+  sed -n 's/^[[:space:]]*"\([^"]*\)":[[:space:]]*\([0-9.eE+-]*\),\{0,1\}[[:space:]]*$/\1 \2/p' "$1"
+}
+
+CURRENT="$(mktemp /tmp/bench_gate.XXXXXX.json)"
+trap 'rm -f "$CURRENT"' EXIT
+
+FAILED=0
+for baseline in "${BASELINES[@]}"; do
+  benches="$(benches_for "$baseline")"
+  if [ -z "$benches" ]; then
+    echo "bench_gate: $baseline — unknown baseline, skipping (name the bench binaries in benches_for)"
+    continue
+  fi
+  echo "== $baseline (benches: $benches; tolerance +$(awk -v t="$TOL" 'BEGIN{printf "%.0f%%", t*100}')) =="
+  : > "$CURRENT"
+  for bench in $benches; do
+    FLOWSCHED_BENCH_JSON="$CURRENT" \
+      cargo bench -q -p flowsched-bench --bench "$bench" >/dev/null
+  done
+  # Join on bench name; only rows present in both files are gated.
+  if ! flatten "$baseline" | sort >"$CURRENT.base"; then
+    echo "bench_gate: cannot parse $baseline, skipping"
+    continue
+  fi
+  flatten "$CURRENT" | sort >"$CURRENT.now"
+  result="$(join "$CURRENT.base" "$CURRENT.now" | awk -v tol="$TOL" '
+    {
+      base = $2 + 0; now = $3 + 0;
+      ratio = (base > 0) ? now / base : 1;
+      verdict = (ratio > 1 + tol) ? "REGRESSED" : "ok";
+      if (verdict == "REGRESSED") bad++;
+      printf "  %-55s %12.0f -> %12.0f  x%.2f  %s\n", $1, base, now, ratio, verdict;
+    }
+    END { exit bad > 0 ? 1 : 0 }
+  ')" && rc=0 || rc=$?
+  echo "$result"
+  rm -f "$CURRENT.base" "$CURRENT.now"
+  if [ "$rc" -ne 0 ]; then
+    FAILED=1
+    echo "  WARNING: medians above drifted past the tolerance vs $baseline"
+  fi
+  echo
+done
+
+if [ "$FAILED" -ne 0 ]; then
+  if [ "$STRICT" -eq 1 ]; then
+    echo "bench_gate: regressions found (strict mode)"
+    exit 1
+  fi
+  echo "bench_gate: regressions found — warn-only, not failing the build"
+else
+  echo "bench_gate: all compared medians within tolerance"
+fi

@@ -12,18 +12,27 @@
 #   4. clippy with warnings promoted to errors
 #   5. rustdoc with warnings promoted to errors (broken intra-doc
 #      links, missing docs on public items)
+#   6. bench gate (warn-only): scripts/bench_gate.sh re-runs the benches
+#      behind BENCH_PR1/PR3/PR4.json and reports medians that drifted
+#      past the noise tolerance — it never fails the build
 #
 # Usage:
-#   scripts/ci_check.sh            # all five stages
-#   scripts/ci_check.sh --no-clippy   # skip the lint stage (e.g. when the
-#                                     # toolchain lacks clippy)
+#   scripts/ci_check.sh                 # all six stages
+#   scripts/ci_check.sh --no-clippy     # skip the lint stage (e.g. when
+#                                       # the toolchain lacks clippy)
+#   scripts/ci_check.sh --no-bench-gate # skip the (slow) bench stage
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 RUN_CLIPPY=1
-if [ "${1:-}" = "--no-clippy" ]; then
-  RUN_CLIPPY=0
-fi
+RUN_BENCH_GATE=1
+for arg in "$@"; do
+  case "$arg" in
+    --no-clippy) RUN_CLIPPY=0 ;;
+    --no-bench-gate) RUN_BENCH_GATE=0 ;;
+    *) echo "ci_check: unknown flag $arg" >&2; exit 2 ;;
+  esac
+done
 
 echo "== cargo fmt --check =="
 cargo fmt --check
@@ -45,6 +54,12 @@ fi
 echo
 echo "== RUSTDOCFLAGS=\"-D warnings\" cargo doc --no-deps =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q
+
+if [ "$RUN_BENCH_GATE" = 1 ]; then
+  echo
+  echo "== scripts/bench_gate.sh (warn-only) =="
+  scripts/bench_gate.sh
+fi
 
 echo
 echo "ci_check: all stages passed"

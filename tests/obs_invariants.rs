@@ -4,13 +4,19 @@
 
 use proptest::prelude::*;
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
 use flowsched::algos::eft::{eft, eft_stream, EftState};
 use flowsched::algos::fifo::{fifo, fifo_stream};
 use flowsched::algos::tiebreak::TieBreak;
 use flowsched::core::stream::InstanceStream;
 use flowsched::core::task::TaskId;
 use flowsched::core::ProcSet;
-use flowsched::obs::{Counter, Event, MemoryRecorder, NoopRecorder, ObsConfig};
+use flowsched::obs::{
+    merge_windows, Counter, Event, MemoryRecorder, NoopRecorder, ObsConfig, ShardedRecorder, Tee,
+    WindowConfig, WindowedMetrics,
+};
 use flowsched::sim::driver::{simulate, simulate_with, SimConfig};
 use flowsched::sim::stepped::run_stepped_stream;
 use flowsched::workloads::random::{random_instance, RandomInstanceConfig, StructureKind};
@@ -281,5 +287,118 @@ proptest! {
             // Empty instance: no transitions expected either.
             prop_assert!(stepped_transitions.is_empty());
         }
+    }
+
+    /// Sharded telemetry is independent of worker interleaving: running
+    /// a batch of simulation jobs with per-job recorder shards and
+    /// merging the shards in job order yields *the same* snapshot for
+    /// every thread count — counters exact, histogram (counts, sum,
+    /// per-bin extremes via the quantiles they feed) exact, busy time
+    /// and makespan exact, and the merged trace equal to the
+    /// single-recorder sequential trace (job-order concatenation is a
+    /// valid deterministic interleaving).
+    #[test]
+    fn sharded_telemetry_is_thread_count_invariant(
+        kind in any_structure(),
+        tb in any_tiebreak(),
+        jobs in 1usize..9,
+        threads in 2usize..5,
+        unit in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let instances: Vec<_> = (0..jobs)
+            .map(|j| instance_of(kind, 10 + 7 * j, unit, seed ^ (j as u64) << 4))
+            .collect();
+        let per_job = |inst: &flowsched::core::instance::Instance| {
+            let cfg = ObsConfig {
+                trace_capacity: 8 * inst.len().max(1),
+                ..ObsConfig::defaults(6)
+            };
+            let mut rec = Tee(
+                ShardedRecorder::shard(&cfg),
+                WindowedMetrics::new(WindowConfig::defaults(6, 4.0)),
+            );
+            let _ = simulate_with(inst, &SimConfig { policy: tb, ..Default::default() }, &mut rec);
+            (rec.0, rec.1)
+        };
+
+        // Single-threaded sharded run: jobs in order, one shard each.
+        let seq: Vec<_> = instances.iter().map(per_job).collect();
+
+        // Parallel sharded run, `par_map`'s exact work-stealing shape:
+        // workers claim job indices off a shared cursor, results land
+        // back in job order.
+        let par: Vec<_> = {
+            let mut slots: Vec<Mutex<Option<(MemoryRecorder, WindowedMetrics)>>> =
+                Vec::with_capacity(jobs);
+            slots.resize_with(jobs, || Mutex::new(None));
+            let cursor = AtomicUsize::new(0);
+            std::thread::scope(|s| {
+                for _ in 0..threads {
+                    s.spawn(|| loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(inst) = instances.get(i) else { break };
+                        *slots[i].lock().unwrap() = Some(per_job(inst));
+                    });
+                }
+            });
+            slots
+                .into_iter()
+                .map(|s| s.into_inner().unwrap().expect("every job ran"))
+                .collect()
+        };
+
+        // Merge both shard sets in job order; a big enough target ring
+        // keeps the concatenated trace lossless.
+        let total: usize = instances.iter().map(|i| i.len()).sum();
+        let merge_cfg = ObsConfig {
+            trace_capacity: 8 * total.max(1),
+            ..ObsConfig::defaults(6)
+        };
+        let window_cfg = WindowConfig::defaults(6, 4.0);
+        let merge = |shards: Vec<(MemoryRecorder, WindowedMetrics)>| {
+            let (recs, wins): (Vec<_>, Vec<_>) = shards.into_iter().unzip();
+            let merged = ShardedRecorder::from_shards(recs).merged(&merge_cfg);
+            (merged, merge_windows(&window_cfg, wins.iter()))
+        };
+        let (seq_rec, seq_win) = merge(seq);
+        let (par_rec, par_win) = merge(par);
+
+        // The merged snapshots are identical — bitwise, not approximately:
+        // per-job shards are deterministic, so thread count cannot leak in.
+        for c in Counter::ALL {
+            prop_assert_eq!(seq_rec.counters().get(c), par_rec.counters().get(c), "{}", c.name());
+        }
+        prop_assert_eq!(seq_rec.flow_histogram().counts(), par_rec.flow_histogram().counts());
+        prop_assert_eq!(seq_rec.flow_histogram().sum(), par_rec.flow_histogram().sum());
+        prop_assert_eq!(seq_rec.flow_histogram().quantile(0.95), par_rec.flow_histogram().quantile(0.95));
+        prop_assert_eq!(seq_rec.busy_time(), par_rec.busy_time());
+        prop_assert_eq!(seq_rec.makespan_seen(), par_rec.makespan_seen());
+        let seq_trace: Vec<Event> = seq_rec.trace().iter().copied().collect();
+        let par_trace: Vec<Event> = par_rec.trace().iter().copied().collect();
+        prop_assert_eq!(&seq_trace, &par_trace);
+        for (a, b) in seq_win.windows().iter().zip(par_win.windows().iter()) {
+            prop_assert_eq!(a.arrivals, b.arrivals);
+            prop_assert_eq!(a.starts, b.starts);
+            prop_assert_eq!(a.completions, b.completions);
+            prop_assert_eq!(a.queue_time, b.queue_time);
+            prop_assert_eq!(&a.busy, &b.busy);
+        }
+        prop_assert_eq!(seq_win.windows().len(), par_win.windows().len());
+
+        // And the merged shards agree with one recorder that saw every
+        // job sequentially: the trace is the job-order concatenation
+        // (so the merge is a *valid* interleaving), counters and
+        // histogram mass are conserved.
+        let mut single = MemoryRecorder::new(&merge_cfg);
+        for inst in &instances {
+            let _ = simulate_with(inst, &SimConfig { policy: tb, ..Default::default() }, &mut single);
+        }
+        for c in Counter::ALL {
+            prop_assert_eq!(single.counters().get(c), seq_rec.counters().get(c), "{}", c.name());
+        }
+        prop_assert_eq!(single.flow_histogram().counts(), seq_rec.flow_histogram().counts());
+        let single_trace: Vec<Event> = single.trace().iter().copied().collect();
+        prop_assert_eq!(&single_trace, &seq_trace);
     }
 }

@@ -165,7 +165,7 @@ proptest! {
         let k = structure_bound(structure, m);
         let cfg = stream_config(m, n, k, lambda, unit);
         let inst = collect_stream(PoissonStream::new(&cfg, seed)).unwrap();
-        let (_, batch) =
+        let (schedule, batch) =
             simulate(&inst, &SimConfig { policy: tb, warmup_fraction });
         // The batch warmup count, replicated by prefix count.
         let warmup = ((n as f64 * warmup_fraction) as usize).min(n - 1);
@@ -182,21 +182,67 @@ proptest! {
         prop_assert_eq!(streamed.mean_stretch, batch.mean_stretch);
         prop_assert_eq!(&streamed.utilization, &batch.utilization);
         prop_assert_eq!(streamed.drift, batch.drift);
-        // Online percentiles come from the histogram: exact on bin
-        // edges, off by at most one bin width (0.25 by default) else.
-        let bin = 1024.0 / 4096.0;
-        for (p_s, p_b) in [
-            (streamed.p50, batch.p50),
-            (streamed.p95, batch.p95),
-            (streamed.p99, batch.p99),
+        // Online percentiles come from the histogram, which tracks
+        // per-bin sample extremes and interpolates the rank within the
+        // bin. That makes the streaming estimate *exact* whenever the
+        // bins holding the relevant order statistics contain at most
+        // two samples (or all-equal ones), and otherwise pins it within
+        // the spread of the samples sharing that bin — strictly tighter
+        // than the old one-bin-width bound.
+        let mut flows: Vec<f64> = schedule.flow_times(&inst);
+        let warm = inst.len() - batch.n_measured;
+        flows.drain(..warm);
+        flows.sort_by(f64::total_cmp);
+        for (q, p_s, p_b) in [
+            (0.50, streamed.p50, batch.p50),
+            (0.95, streamed.p95, batch.p95),
+            (0.99, streamed.p99, batch.p99),
         ] {
+            let h = (flows.len() - 1) as f64 * q;
+            let tol = [h.floor() as usize, h.ceil() as usize]
+                .into_iter()
+                .map(|r| bin_slack(&flows, flows[r]))
+                .fold(0.0, f64::max);
             prop_assert!(
-                (p_s - p_b).abs() <= bin + 1e-9,
-                "percentile drifted past a bin width: {} vs {}",
+                (p_s - p_b).abs() <= tol + 1e-9,
+                "percentile q={} drifted past the in-bin spread {}: {} vs {}",
+                q,
+                tol,
                 p_s,
                 p_b
             );
         }
+    }
+}
+
+/// Worst-case streaming error for recovering the order statistic `x`
+/// from the default report histogram ([0, 1024), 4096 bins): zero when
+/// `x`'s bin holds ≤ 2 samples (the per-bin extremes recover them
+/// exactly), else the spread of the samples sharing the bin.
+fn bin_slack(sorted: &[f64], x: f64) -> f64 {
+    const LO: f64 = 0.0;
+    const HI: f64 = 1024.0;
+    const BINS: f64 = 4096.0;
+    let width = (HI - LO) / BINS;
+    // Out-of-range samples land in the under/overflow buckets, which
+    // track their own extremes; same spread rule applies.
+    let (lo, hi) = if x < LO {
+        (f64::NEG_INFINITY, LO)
+    } else if x >= HI {
+        (HI, f64::INFINITY)
+    } else {
+        let i = ((x - LO) / width).floor();
+        (LO + i * width, LO + (i + 1.0) * width)
+    };
+    let in_bin: Vec<f64> = sorted
+        .iter()
+        .copied()
+        .filter(|v| *v >= lo && *v < hi)
+        .collect();
+    if in_bin.len() <= 2 {
+        0.0
+    } else {
+        in_bin[in_bin.len() - 1] - in_bin[0]
     }
 }
 

@@ -10,6 +10,7 @@ use flowsched::algos::tiebreak::TieBreak;
 use flowsched::obs::NoopRecorder;
 use flowsched::sim::driver::simulate_stream;
 use flowsched::sim::report::ReportConfig;
+use flowsched::sim::telemetry::{simulate_stream_telemetry, TelemetryConfig};
 use flowsched::workloads::random::{PoissonStream, PoissonStreamConfig, StructureKind};
 
 /// Peak resident set size of this process, in kibibytes, from
@@ -60,5 +61,51 @@ fn million_task_poisson_stream_runs_in_bounded_memory() {
         grown_kib < 32 * 1024,
         "streaming run grew peak RSS by {grown_kib} KiB — the task vector \
          is being materialized somewhere"
+    );
+}
+
+#[test]
+fn million_task_stream_with_windowed_telemetry_stays_bounded() {
+    // The full telemetry pipeline rides the same stream: aggregate
+    // recorder (bounded ring, 64-bin histogram) plus the tumbling-window
+    // time series. At λ = 8 the horizon is ≈ 125k time units, so
+    // 16-unit windows give ≈ 7.8k WindowStats (~1 KiB each with 16
+    // machines and a 32-bin flow histogram) — telemetry must stay
+    // O(#windows × #machines), far under the same 32 MiB bound the
+    // uninstrumented run honours, not O(tasks).
+    let cfg = PoissonStreamConfig {
+        m: 16,
+        n: 1_000_000,
+        structure: StructureKind::RingFixed(3),
+        lambda: 8.0,
+        unit: true,
+        ptime_steps: 4,
+    };
+
+    let before = peak_rss_kib();
+    let telemetry = simulate_stream_telemetry(
+        PoissonStream::new(&cfg, 404),
+        TieBreak::Min,
+        &ReportConfig::default(),
+        &TelemetryConfig::defaults(16, 16.0),
+    );
+    let after = peak_rss_kib();
+
+    assert_eq!(telemetry.report.n_measured, 1_000_000);
+    let starts: u64 = telemetry.windows.windows().iter().map(|w| w.starts).sum();
+    assert_eq!(starts, 1_000_000, "every dispatch lands in some window");
+    assert_eq!(
+        telemetry
+            .recorder
+            .counters()
+            .get(flowsched::obs::Counter::TasksDispatched),
+        1_000_000
+    );
+
+    let grown_kib = after.saturating_sub(before);
+    assert!(
+        grown_kib < 32 * 1024,
+        "windowed telemetry grew peak RSS by {grown_kib} KiB — per-task \
+         state is leaking into the window layer"
     );
 }

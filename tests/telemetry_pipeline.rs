@@ -1,0 +1,213 @@
+//! End-to-end acceptance for the telemetry pipeline: one instrumented
+//! streaming run produces a structurally valid Chrome trace (what the
+//! `timeline` binary writes), a well-formed Prometheus exposition, and
+//! a windowed CSV time series — and all three agree with the recorder
+//! they were derived from.
+
+use flowsched::algos::tiebreak::TieBreak;
+use flowsched::obs::{
+    chrome_trace, machine_spans, prometheus_text, task_spans, windows_to_csv, Counter,
+};
+use flowsched::sim::report::ReportConfig;
+use flowsched::sim::telemetry::{simulate_stream_telemetry, Telemetry, TelemetryConfig};
+use flowsched::workloads::random::{PoissonStream, PoissonStreamConfig, StructureKind};
+use serde_json::Value;
+
+const M: usize = 8;
+const N: usize = 400;
+
+/// One deterministic instrumented run shared by every check below.
+fn pipeline_run() -> Telemetry {
+    let cfg = PoissonStreamConfig {
+        m: M,
+        n: N,
+        structure: StructureKind::RingFixed(3),
+        lambda: 0.6 * M as f64,
+        unit: false,
+        ptime_steps: 5,
+    };
+    let mut telemetry_cfg = TelemetryConfig::defaults(M, 2.0);
+    telemetry_cfg.obs.trace_capacity = 8 * N; // lossless, like `timeline`
+    simulate_stream_telemetry(
+        PoissonStream::new(&cfg, 1234),
+        TieBreak::Min,
+        &ReportConfig::default(),
+        &telemetry_cfg,
+    )
+}
+
+fn as_array(v: &Value) -> &[Value] {
+    match v {
+        Value::Array(items) => items,
+        other => panic!("expected JSON array, got {other:?}"),
+    }
+}
+
+#[test]
+fn chrome_trace_is_structurally_valid_and_complete() {
+    let t = pipeline_run();
+    assert_eq!(t.recorder.trace().dropped(), 0, "ring sized to be lossless");
+    let tasks = task_spans(t.recorder.trace().iter());
+    let machines = machine_spans(t.recorder.trace().iter(), t.recorder.makespan_seen());
+    assert_eq!(tasks.len(), N, "one lifecycle span per task");
+
+    let json = chrome_trace(&tasks, &machines);
+    let root: Value = serde_json::from_str(&json).expect("trace is valid JSON");
+    assert_eq!(
+        root.get("displayTimeUnit").and_then(Value::as_str),
+        Some("ms")
+    );
+    let events = as_array(root.get("traceEvents").expect("traceEvents key"));
+
+    let mut machine_tracks = Vec::new();
+    let mut process_names = Vec::new();
+    let mut x_count = 0usize;
+    let mut last_ts = f64::NEG_INFINITY;
+    for ev in events {
+        match ev.get("ph").and_then(Value::as_str) {
+            Some("M") => {
+                let name = ev
+                    .get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Value::as_str)
+                    .expect("metadata events carry a name");
+                match ev.get("name").and_then(Value::as_str) {
+                    Some("process_name") => process_names.push(name.to_string()),
+                    Some("thread_name") => machine_tracks.push(name.to_string()),
+                    other => panic!("unexpected metadata record {other:?}"),
+                }
+            }
+            Some("X") => {
+                // Complete events only (no unbalanced B/E pairs), sorted
+                // by timestamp with non-negative durations.
+                let ts = ev.get("ts").and_then(Value::as_f64).expect("ts");
+                let dur = ev.get("dur").and_then(Value::as_f64).expect("dur");
+                assert!(ts >= last_ts, "trace not sorted: {ts} after {last_ts}");
+                assert!(dur >= 0.0);
+                last_ts = ts;
+                x_count += 1;
+            }
+            other => panic!("unexpected phase {other:?}"),
+        }
+    }
+    // Machine and task process tracks, one named thread per machine per
+    // process.
+    assert!(process_names.contains(&"machines".to_string()));
+    assert!(process_names.contains(&"tasks".to_string()));
+    for m in 0..M {
+        let label = format!("machine {m}");
+        assert_eq!(
+            machine_tracks.iter().filter(|t| **t == label).count(),
+            2,
+            "one {label} track in each process"
+        );
+    }
+    assert_eq!(x_count, tasks.len() + machines.len());
+
+    // Task spans carry the flow decomposition Perfetto shows on click.
+    let any_task = events
+        .iter()
+        .find(|e| {
+            e.get("ph").and_then(Value::as_str) == Some("X")
+                && e.get("pid").and_then(Value::as_f64) == Some(2.0)
+        })
+        .expect("at least one task event");
+    for key in ["release", "wait", "flow"] {
+        assert!(
+            any_task.get("args").and_then(|a| a.get(key)).is_some(),
+            "task args missing {key}"
+        );
+    }
+}
+
+#[test]
+fn prometheus_exposition_matches_the_recorder() {
+    let t = pipeline_run();
+    let text = prometheus_text(&t.recorder);
+
+    // Every counter appears with its exact value.
+    for (c, v) in [
+        (Counter::TasksArrived, N as u64),
+        (Counter::TasksDispatched, N as u64),
+        (Counter::TasksCompleted, N as u64),
+    ] {
+        assert_eq!(t.recorder.counters().get(c), v);
+        let line = format!("flowsched_{}_total {v}", c.name());
+        assert!(text.contains(&line), "missing {line:?} in exposition");
+    }
+
+    // One utilization gauge per machine, histogram count equal to the
+    // recorded mass, cumulative buckets ending in +Inf.
+    for m in 0..M {
+        assert!(text.contains(&format!("flowsched_machine_utilization{{machine=\"{m}\"}}")));
+    }
+    let count_line = format!(
+        "flowsched_flow_time_count {}",
+        t.recorder.flow_histogram().total()
+    );
+    assert!(text.contains(&count_line), "missing {count_line:?}");
+    let buckets: Vec<f64> = text
+        .lines()
+        .filter(|l| l.starts_with("flowsched_flow_time_bucket"))
+        .map(|l| l.split_whitespace().last().unwrap().parse().unwrap())
+        .collect();
+    assert!(!buckets.is_empty());
+    assert!(
+        buckets.windows(2).all(|w| w[0] <= w[1]),
+        "buckets must be cumulative"
+    );
+    assert!(text.contains("le=\"+Inf\""));
+    assert_eq!(
+        *buckets.last().unwrap() as u64,
+        t.recorder.flow_histogram().total()
+    );
+}
+
+#[test]
+fn csv_time_series_conserves_the_run() {
+    let t = pipeline_run();
+    let csv = windows_to_csv(&t.windows);
+    let mut lines = csv.lines();
+    let header = lines.next().expect("header row");
+    assert!(header.starts_with(
+        "window,t_start,t_end,arrivals,starts,completions,arrival_rate,completion_rate"
+    ));
+    let cols = header.split(',').count();
+    assert_eq!(cols, 13 + M, "13 fixed columns plus one per machine");
+
+    let mut arrivals = 0u64;
+    let mut completions = 0u64;
+    let mut rows = 0usize;
+    for line in lines {
+        let fields: Vec<&str> = line.split(',').collect();
+        assert_eq!(fields.len(), cols, "ragged CSV row: {line:?}");
+        arrivals += fields[3].parse::<u64>().expect("arrivals column");
+        completions += fields[5].parse::<u64>().expect("completions column");
+        rows += 1;
+    }
+    assert_eq!(rows, t.windows.windows().len());
+    assert_eq!(
+        arrivals, N as u64,
+        "every arrival lands in exactly one window"
+    );
+    assert_eq!(completions, N as u64);
+}
+
+#[test]
+fn spans_agree_with_the_aggregate_recorder() {
+    let t = pipeline_run();
+    let tasks = task_spans(t.recorder.trace().iter());
+    let machines = machine_spans(t.recorder.trace().iter(), t.recorder.makespan_seen());
+
+    // Total busy time from machine spans == the recorder's busy vector.
+    let span_busy: f64 = machines.iter().map(|s| s.end - s.start).sum();
+    let rec_busy: f64 = t.recorder.busy_time().iter().sum();
+    assert!(
+        (span_busy - rec_busy).abs() < 1e-6,
+        "busy spans {span_busy} vs recorder {rec_busy}"
+    );
+
+    // Flow recomputed from spans matches the report's maximum exactly.
+    let span_fmax = tasks.iter().map(|s| s.flow()).fold(0.0, f64::max);
+    assert!((span_fmax - t.report.fmax).abs() < 1e-9);
+}
