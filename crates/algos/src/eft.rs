@@ -11,6 +11,7 @@
 //! intervals its competitive ratio degrades to at least `m − k + 1`
 //! (Theorems 8–10).
 
+use flowsched_core::compact::ProcSetRef;
 use flowsched_core::instance::Instance;
 use flowsched_core::machine::MachineId;
 use flowsched_core::procset::ProcSet;
@@ -21,7 +22,47 @@ use flowsched_core::time::Time;
 use flowsched_obs::{NoopRecorder, Recorder};
 
 use crate::engine;
+use crate::indexed::{DispatchKernel, EftKernelState};
 use crate::tiebreak::{Breaker, TieBreak};
+
+/// Equation (2) in one pass: computes the tie set
+/// `U'ᵢ = {j ∈ Mᵢ : C_j ≤ t'min}` with `t'min = max(rᵢ, min_j C_j)` while
+/// folding the minimum, instead of a min-fold followed by a collection
+/// scan. The pass starts in argmin mode (all completions seen so far
+/// exceed the release, so the tie set is the running argmin set) and
+/// switches permanently to release mode the first time some
+/// `C_j ≤ rᵢ` — from then on `t'min = rᵢ` and every machine with
+/// `C_j ≤ rᵢ` qualifies. Members must arrive in increasing machine
+/// order; `ties` comes back in that same order, as `Breaker::pick`
+/// requires.
+pub(crate) fn scan_ties(
+    completions: &[Time],
+    members: impl Iterator<Item = usize>,
+    release: Time,
+    ties: &mut Vec<usize>,
+) {
+    ties.clear();
+    let mut released = false;
+    let mut min_c = f64::INFINITY;
+    for j in members {
+        let c = completions[j];
+        if released {
+            if c <= release {
+                ties.push(j);
+            }
+        } else if c <= release {
+            released = true;
+            ties.clear();
+            ties.push(j);
+        } else if c < min_c {
+            min_c = c;
+            ties.clear();
+            ties.push(j);
+        } else if c == min_c {
+            ties.push(j);
+        }
+    }
+}
 
 /// Incremental EFT state: per-machine completion times plus the tie-break
 /// policy. Dispatch tasks in release order; the state is what a real
@@ -73,6 +114,13 @@ impl EftState {
         self.dispatch_recorded(task, set, &mut NoopRecorder)
     }
 
+    /// [`dispatch`](Self::dispatch) over a compact [`ProcSetRef`] view —
+    /// what the streaming engine feeds. Identical semantics; the view's
+    /// ascending member iterator replaces the slice walk.
+    pub fn dispatch_ref(&mut self, task: Task, set: ProcSetRef<'_>) -> Assignment {
+        self.dispatch_ref_recorded(task, set, &mut NoopRecorder)
+    }
+
     /// [`dispatch`](Self::dispatch) with instrumentation hooks: emits the
     /// task arrival, the dispatch (with its projected completion), and
     /// the machine's idle/busy transitions into `rec`. With
@@ -95,20 +143,23 @@ impl EftState {
         set: &ProcSet,
         rec: &mut R,
     ) -> Assignment {
-        assert!(!set.is_empty(), "task has an empty processing set");
-        let min_completion = set
-            .as_slice()
-            .iter()
-            .map(|&j| self.completions[j])
-            .fold(f64::INFINITY, f64::min);
-        let t_min = task.release.max(min_completion);
+        self.dispatch_ref_recorded(task, set.view(), rec)
+    }
 
-        self.ties.clear();
-        for &j in set.as_slice() {
-            if self.completions[j] <= t_min {
-                self.ties.push(j);
-            }
-        }
+    /// [`dispatch_ref`](Self::dispatch_ref) with instrumentation hooks —
+    /// the recorded core both plain entry points delegate to.
+    ///
+    /// # Panics
+    /// Panics if the processing set is empty or references a machine out
+    /// of range.
+    pub fn dispatch_ref_recorded<R: Recorder>(
+        &mut self,
+        task: Task,
+        set: ProcSetRef<'_>,
+        rec: &mut R,
+    ) -> Assignment {
+        assert!(!set.is_empty(), "task has an empty processing set");
+        scan_ties(&self.completions, set.iter(), task.release, &mut self.ties);
         let u = self.breaker.pick(&self.ties);
         let prev = self.completions[u];
         let start = task.release.max(prev);
@@ -157,7 +208,7 @@ pub trait ImmediateDispatcher {
     /// Number of machines.
     fn machine_count(&self) -> usize;
     /// Irrevocably dispatches one released task.
-    fn dispatch_task(&mut self, task: Task, set: &ProcSet) -> Assignment;
+    fn dispatch_task(&mut self, task: Task, set: ProcSetRef<'_>) -> Assignment;
     /// Current completion time of each machine under the commitments made
     /// so far (what an adaptive adversary may observe).
     fn machine_completions(&self) -> &[Time];
@@ -168,8 +219,8 @@ impl ImmediateDispatcher for EftState {
         self.machines()
     }
 
-    fn dispatch_task(&mut self, task: Task, set: &ProcSet) -> Assignment {
-        self.dispatch(task, set)
+    fn dispatch_task(&mut self, task: Task, set: ProcSetRef<'_>) -> Assignment {
+        self.dispatch_ref(task, set)
     }
 
     fn machine_completions(&self) -> &[Time] {
@@ -208,7 +259,21 @@ pub fn eft_stream<S: ArrivalStream, R: Recorder>(
     policy: TieBreak,
     rec: &mut R,
 ) -> Schedule {
-    let mut state = EftState::new(stream.machines(), policy);
+    eft_stream_with_kernel(stream, policy, DispatchKernel::Auto, rec)
+}
+
+/// [`eft_stream`] with the dispatch kernel forced: `Scalar` is the
+/// member-scan oracle, `Indexed` the segment-tree/cluster-heap kernel,
+/// `Auto` (what [`eft_stream`] uses) selects by machine count. All
+/// three produce bitwise-identical schedules and recorder traces
+/// (pinned by `tests/kernel_equivalence.rs`).
+pub fn eft_stream_with_kernel<S: ArrivalStream, R: Recorder>(
+    stream: S,
+    policy: TieBreak,
+    kernel: DispatchKernel,
+    rec: &mut R,
+) -> Schedule {
+    let mut state = EftKernelState::new(stream.machines(), policy, kernel);
     engine::immediate_schedule(stream, &mut state, rec)
 }
 

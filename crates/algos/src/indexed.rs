@@ -1,0 +1,801 @@
+//! Indexed EFT dispatch: O(log m) machine selection over compact
+//! processing sets.
+//!
+//! The scalar [`EftState`] evaluates Equation (2) by scanning every
+//! member of `Mᵢ` — O(|Mᵢ|) per task, which on the paper's structured
+//! families (interval, inclusive, disjoint; Th. 3–10) is exactly the
+//! cost the structure makes avoidable. [`IndexedEftState`] exploits the
+//! compact [`ProcSetRef`] shapes arrival streams now lend:
+//!
+//! - **Interval / prefix / ring sets** are one or two index ranges, so a
+//!   *leftmost-argmin segment tree* ([`MinTree`]) over the machine
+//!   completion times answers `min_{j∈Mᵢ} C_j` with a range-min query
+//!   and finds the picked machine by bound-pruned descent — O(log m)
+//!   per task for `Min`/`Max` tie-breaks, O(|U'ᵢ| log m) for `Rand`
+//!   (which must enumerate the whole tie set to reproduce the
+//!   `Breaker::pick` RNG contract: one `random_range(0..|U'ᵢ|)` draw).
+//! - **Explicit sets** go through a cluster index: the first time a
+//!   member slice is seen, its machines are claimed and a per-cluster
+//!   binary min-heap of completions is built (the disjoint-family case,
+//!   Cor. 1 workloads); later tasks on the same set run in
+//!   O(|U'ᵢ| log k). Sets that overlap a claimed cluster fall back to
+//!   the fused scalar scan — correctness never depends on detection.
+//!
+//! Every path computes the exact tie set `U'ᵢ` in ascending machine
+//! order and feeds it through the same [`Breaker`], so schedules (and,
+//! via the engine's recorder convention, event traces) are
+//! bitwise-identical to the scalar kernel — pinned by
+//! `tests/kernel_equivalence.rs`.
+//!
+//! Staleness discipline: machine completions only ever *increase*, so a
+//! heap entry is allowed to understate its machine's completion. Both
+//! lazy structures rely on this — the segment tree is updated eagerly
+//! on every commit, while cluster heap entries self-heal on peek
+//! (a stale top is re-keyed and re-sifted; an accurate top is the true
+//! minimum because every other entry understates or equals its own,
+//! later, completion).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use flowsched_core::compact::ProcSetRef;
+use flowsched_core::machine::MachineId;
+use flowsched_core::schedule::Assignment;
+use flowsched_core::structure::StructureReport;
+use flowsched_core::task::Task;
+use flowsched_core::time::Time;
+
+use crate::eft::{scan_ties, EftState, ImmediateDispatcher};
+use crate::tiebreak::{Breaker, TieBreak};
+
+/// Machine count at which [`DispatchKernel::Auto`] switches to the
+/// indexed kernel. Below it the scalar scan's cache-friendly sweep wins;
+/// above it the O(log m) tree pays off even for moderate set widths.
+pub const AUTO_INDEXED_MIN_MACHINES: usize = 64;
+
+/// Which EFT dispatch kernel to run. Both produce bitwise-identical
+/// schedules; the choice is purely a performance decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DispatchKernel {
+    /// Pick by machine count ([`AUTO_INDEXED_MIN_MACHINES`]).
+    #[default]
+    Auto,
+    /// Force the member-scan oracle ([`EftState`]).
+    Scalar,
+    /// Force the segment-tree / cluster-heap kernel
+    /// ([`IndexedEftState`]).
+    Indexed,
+}
+
+impl DispatchKernel {
+    /// Resolves `Auto` for `m` machines.
+    pub fn resolve(self, m: usize) -> DispatchKernel {
+        match self {
+            DispatchKernel::Auto => {
+                if m >= AUTO_INDEXED_MIN_MACHINES {
+                    DispatchKernel::Indexed
+                } else {
+                    DispatchKernel::Scalar
+                }
+            }
+            other => other,
+        }
+    }
+
+    /// Kernel suggested by a family classification
+    /// ([`flowsched_core::structure::classify`]): structured families
+    /// (interval, ring, inclusive, nested, disjoint) benefit from the
+    /// index once `m` crosses the auto threshold; an unstructured family
+    /// of wide explicit sets stays on the scalar scan.
+    pub fn for_structure(report: &StructureReport, m: usize) -> DispatchKernel {
+        let structured = report.interval
+            || report.ring_interval
+            || report.inclusive
+            || report.nested
+            || report.disjoint;
+        if structured && m >= AUTO_INDEXED_MIN_MACHINES {
+            DispatchKernel::Indexed
+        } else {
+            DispatchKernel::Scalar
+        }
+    }
+}
+
+/// A segment tree over machine completion times supporting point
+/// update, range minimum, and bound-pruned leftmost/rightmost/collect
+/// descent — the index behind [`IndexedEftState`].
+///
+/// Leaves are padded to a power of two with `+∞` so every internal node
+/// has two children; leaf `j` lives at `leaves + j`.
+#[derive(Debug, Clone)]
+struct MinTree {
+    leaves: usize,
+    vals: Vec<Time>,
+}
+
+impl MinTree {
+    /// Tree over `m` machines, all completions 0.
+    fn new(m: usize) -> Self {
+        let leaves = m.next_power_of_two();
+        let mut vals = vec![f64::INFINITY; 2 * leaves];
+        for v in &mut vals[leaves..leaves + m] {
+            *v = 0.0;
+        }
+        for i in (1..leaves).rev() {
+            vals[i] = vals[2 * i].min(vals[2 * i + 1]);
+        }
+        MinTree { leaves, vals }
+    }
+
+    /// Sets machine `j`'s completion to `v` and refreshes its ancestors.
+    fn update(&mut self, j: usize, v: Time) {
+        let mut i = self.leaves + j;
+        self.vals[i] = v;
+        while i > 1 {
+            i /= 2;
+            self.vals[i] = self.vals[2 * i].min(self.vals[2 * i + 1]);
+        }
+    }
+
+    /// `min_{lo ≤ j ≤ hi} C_j` (inclusive bounds).
+    fn range_min(&self, lo: usize, hi: usize) -> Time {
+        let (mut l, mut r) = (self.leaves + lo, self.leaves + hi + 1);
+        let mut best = f64::INFINITY;
+        while l < r {
+            if l & 1 == 1 {
+                best = best.min(self.vals[l]);
+                l += 1;
+            }
+            if r & 1 == 1 {
+                r -= 1;
+                best = best.min(self.vals[r]);
+            }
+            l /= 2;
+            r /= 2;
+        }
+        best
+    }
+
+    /// Smallest `j ∈ [lo, hi]` with `C_j ≤ bound`, by descent that
+    /// prunes every subtree whose minimum exceeds the bound.
+    fn leftmost_le(&self, lo: usize, hi: usize, bound: Time) -> Option<usize> {
+        self.descend_left(1, 0, self.leaves - 1, lo, hi, bound)
+    }
+
+    fn descend_left(
+        &self,
+        node: usize,
+        nlo: usize,
+        nhi: usize,
+        lo: usize,
+        hi: usize,
+        bound: Time,
+    ) -> Option<usize> {
+        if nhi < lo || nlo > hi || self.vals[node] > bound {
+            return None;
+        }
+        if node >= self.leaves {
+            return Some(node - self.leaves);
+        }
+        let mid = (nlo + nhi) / 2;
+        self.descend_left(2 * node, nlo, mid, lo, hi, bound)
+            .or_else(|| self.descend_left(2 * node + 1, mid + 1, nhi, lo, hi, bound))
+    }
+
+    /// Largest `j ∈ [lo, hi]` with `C_j ≤ bound`.
+    fn rightmost_le(&self, lo: usize, hi: usize, bound: Time) -> Option<usize> {
+        self.descend_right(1, 0, self.leaves - 1, lo, hi, bound)
+    }
+
+    fn descend_right(
+        &self,
+        node: usize,
+        nlo: usize,
+        nhi: usize,
+        lo: usize,
+        hi: usize,
+        bound: Time,
+    ) -> Option<usize> {
+        if nhi < lo || nlo > hi || self.vals[node] > bound {
+            return None;
+        }
+        if node >= self.leaves {
+            return Some(node - self.leaves);
+        }
+        let mid = (nlo + nhi) / 2;
+        self.descend_right(2 * node + 1, mid + 1, nhi, lo, hi, bound)
+            .or_else(|| self.descend_right(2 * node, nlo, mid, lo, hi, bound))
+    }
+
+    /// Appends every `j ∈ [lo, hi]` with `C_j ≤ bound` to `out`, in
+    /// increasing order — O(|result| log m) by the same pruning.
+    fn collect_le(&self, lo: usize, hi: usize, bound: Time, out: &mut Vec<usize>) {
+        self.collect_rec(1, 0, self.leaves - 1, lo, hi, bound, out);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn collect_rec(
+        &self,
+        node: usize,
+        nlo: usize,
+        nhi: usize,
+        lo: usize,
+        hi: usize,
+        bound: Time,
+        out: &mut Vec<usize>,
+    ) {
+        if nhi < lo || nlo > hi || self.vals[node] > bound {
+            return;
+        }
+        if node >= self.leaves {
+            out.push(node - self.leaves);
+            return;
+        }
+        let mid = (nlo + nhi) / 2;
+        self.collect_rec(2 * node, nlo, mid, lo, hi, bound, out);
+        self.collect_rec(2 * node + 1, mid + 1, nhi, lo, hi, bound, out);
+    }
+}
+
+/// A cluster-heap entry: `(completion, machine)`, min-ordered. The
+/// stored completion may *understate* the machine's current completion
+/// (never overstate) — see the module docs' staleness discipline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Entry {
+    completion: Time,
+    machine: usize,
+}
+
+impl Eq for Entry {}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.completion
+            .partial_cmp(&other.completion)
+            .expect("completion times are never NaN")
+            .then_with(|| self.machine.cmp(&other.machine))
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// One detected explicit-set cluster: the member slice it was registered
+/// for and a min-heap with exactly one entry per member machine.
+#[derive(Debug)]
+struct Cluster {
+    members: Vec<usize>,
+    heap: BinaryHeap<Reverse<Entry>>,
+}
+
+const UNOWNED: u32 = u32::MAX;
+
+/// The indexed EFT kernel. Maintains the same per-machine completion
+/// vector as [`EftState`] plus a [`MinTree`] over it and lazily-built
+/// per-cluster heaps for recurring explicit sets.
+#[derive(Debug)]
+pub struct IndexedEftState {
+    completions: Vec<Time>,
+    tree: MinTree,
+    breaker: Breaker,
+    /// Scratch buffer for the tie set, reused across dispatches.
+    ties: Vec<usize>,
+    /// Machine → cluster id claiming it, or [`UNOWNED`].
+    owner: Vec<u32>,
+    clusters: Vec<Cluster>,
+}
+
+/// How the configured tie-break consumes the tie set — decides whether
+/// the kernel may shortcut to one descent or must enumerate `U'ᵢ`.
+enum Pick {
+    Leftmost,
+    Rightmost,
+    Enumerate,
+}
+
+impl IndexedEftState {
+    /// Fresh state for `m` idle machines.
+    pub fn new(m: usize, policy: TieBreak) -> Self {
+        assert!(m > 0, "need at least one machine");
+        IndexedEftState {
+            completions: vec![0.0; m],
+            tree: MinTree::new(m),
+            breaker: policy.breaker(),
+            ties: Vec::new(),
+            owner: vec![UNOWNED; m],
+            clusters: Vec::new(),
+        }
+    }
+
+    /// Number of machines.
+    pub fn machines(&self) -> usize {
+        self.completions.len()
+    }
+
+    /// Current completion time `C_{j,i−1}` of each machine.
+    pub fn completions(&self) -> &[Time] {
+        &self.completions
+    }
+
+    /// Dispatches one task (Equation (2)) over a compact set view —
+    /// the indexed counterpart of [`EftState::dispatch_ref`].
+    ///
+    /// # Panics
+    /// Panics if the processing set is empty or references a machine out
+    /// of range.
+    pub fn dispatch_ref(&mut self, task: Task, set: ProcSetRef<'_>) -> Assignment {
+        assert!(!set.is_empty(), "task has an empty processing set");
+        let m = self.completions.len();
+        assert!(
+            set.max().is_some_and(|j| j < m),
+            "processing set references a machine out of range"
+        );
+        let u = match set {
+            ProcSetRef::Interval { lo, hi } => self.pick_in_range(task.release, lo, hi),
+            ProcSetRef::Prefix { len } => self.pick_in_range(task.release, 0, len - 1),
+            ProcSetRef::Ring { start, len, m } => {
+                // Wrapping segment: ascending members are the wrapped low
+                // run [0, start+len−m−1] then the high run [start, m−1].
+                self.pick_in_two_ranges(task.release, (0, start + len - m - 1), (start, m - 1))
+            }
+            ProcSetRef::Explicit(slice) => self.pick_in_cluster(task.release, slice),
+        };
+        let start = task.release.max(self.completions[u]);
+        let done = start + task.ptime;
+        self.completions[u] = done;
+        self.tree.update(u, done);
+        Assignment::new(MachineId(u), start)
+    }
+
+    /// Tie-break over one contiguous range via the tree.
+    fn pick_in_range(&mut self, release: Time, lo: usize, hi: usize) -> usize {
+        let t_min = release.max(self.tree.range_min(lo, hi));
+        match pick_mode(&self.breaker) {
+            Pick::Leftmost => self
+                .tree
+                .leftmost_le(lo, hi, t_min)
+                .expect("tie set is nonempty by construction"),
+            Pick::Rightmost => self
+                .tree
+                .rightmost_le(lo, hi, t_min)
+                .expect("tie set is nonempty by construction"),
+            Pick::Enumerate => {
+                self.ties.clear();
+                self.tree.collect_le(lo, hi, t_min, &mut self.ties);
+                self.breaker.pick(&self.ties)
+            }
+        }
+    }
+
+    /// Tie-break over a wrapping ring segment: two contiguous runs,
+    /// `low` preceding `high` in machine order.
+    fn pick_in_two_ranges(
+        &mut self,
+        release: Time,
+        low: (usize, usize),
+        high: (usize, usize),
+    ) -> usize {
+        let min_c = self
+            .tree
+            .range_min(low.0, low.1)
+            .min(self.tree.range_min(high.0, high.1));
+        let t_min = release.max(min_c);
+        match pick_mode(&self.breaker) {
+            Pick::Leftmost => self
+                .tree
+                .leftmost_le(low.0, low.1, t_min)
+                .or_else(|| self.tree.leftmost_le(high.0, high.1, t_min))
+                .expect("tie set is nonempty by construction"),
+            Pick::Rightmost => self
+                .tree
+                .rightmost_le(high.0, high.1, t_min)
+                .or_else(|| self.tree.rightmost_le(low.0, low.1, t_min))
+                .expect("tie set is nonempty by construction"),
+            Pick::Enumerate => {
+                self.ties.clear();
+                self.tree.collect_le(low.0, low.1, t_min, &mut self.ties);
+                self.tree.collect_le(high.0, high.1, t_min, &mut self.ties);
+                self.breaker.pick(&self.ties)
+            }
+        }
+    }
+
+    /// Tie-break over an explicit member slice: cluster heap when the
+    /// slice matches (or can claim) a cluster, fused scalar scan
+    /// otherwise.
+    fn pick_in_cluster(&mut self, release: Time, slice: &[usize]) -> usize {
+        let cid = match self.cluster_for(slice) {
+            Some(cid) => cid,
+            None => {
+                // Overlaps another cluster's machines — the scalar scan
+                // is the always-correct fallback.
+                scan_ties(
+                    &self.completions,
+                    slice.iter().copied(),
+                    release,
+                    &mut self.ties,
+                );
+                return self.breaker.pick(&self.ties);
+            }
+        };
+        let cluster = &mut self.clusters[cid];
+        // Phase 1 — surface the true minimum completion: an accurate top
+        // entry is the minimum (all others understate-or-match their own
+        // completions, which are ≥ the top's); a stale top is re-keyed.
+        let min_c = loop {
+            let &Reverse(top) = cluster.heap.peek().expect("cluster heaps are never empty");
+            let actual = self.completions[top.machine];
+            if top.completion == actual {
+                break actual;
+            }
+            cluster.heap.pop();
+            cluster.heap.push(Reverse(Entry {
+                completion: actual,
+                machine: top.machine,
+            }));
+        };
+        let t_min = release.max(min_c);
+        // Phase 2 — pop the exact tie set {j : C_j ≤ t'min}. Once the
+        // (corrected) top exceeds t'min, so does every remaining entry.
+        self.ties.clear();
+        while let Some(&Reverse(top)) = cluster.heap.peek() {
+            let actual = self.completions[top.machine];
+            if top.completion < actual {
+                cluster.heap.pop();
+                cluster.heap.push(Reverse(Entry {
+                    completion: actual,
+                    machine: top.machine,
+                }));
+                continue;
+            }
+            if top.completion > t_min {
+                break;
+            }
+            cluster.heap.pop();
+            self.ties.push(top.machine);
+        }
+        // One entry per machine, so the popped machines are distinct;
+        // sort restores the ascending order Breaker::pick expects.
+        self.ties.sort_unstable();
+        let u = self.breaker.pick(&self.ties);
+        // Phase 3 — restore the invariant. The picked machine's entry
+        // goes back with its pre-commit completion and self-heals as a
+        // stale (understating) entry on a later peek.
+        for &j in &self.ties {
+            cluster.heap.push(Reverse(Entry {
+                completion: self.completions[j],
+                machine: j,
+            }));
+        }
+        u
+    }
+
+    /// The cluster id serving `slice`, registering a new cluster when
+    /// its machines are all unclaimed. `None` means the slice conflicts
+    /// with an existing cluster (different membership or partial
+    /// overlap) and must be served by the scalar scan.
+    fn cluster_for(&mut self, slice: &[usize]) -> Option<usize> {
+        let cid = self.owner[slice[0]];
+        if cid != UNOWNED {
+            let cid = cid as usize;
+            return (self.clusters[cid].members == slice).then_some(cid);
+        }
+        if slice.iter().any(|&j| self.owner[j] != UNOWNED) {
+            return None;
+        }
+        let cid = self.clusters.len();
+        if cid >= UNOWNED as usize {
+            return None;
+        }
+        let heap = slice
+            .iter()
+            .map(|&j| {
+                Reverse(Entry {
+                    completion: self.completions[j],
+                    machine: j,
+                })
+            })
+            .collect();
+        for &j in slice {
+            self.owner[j] = cid as u32;
+        }
+        self.clusters.push(Cluster {
+            members: slice.to_vec(),
+            heap,
+        });
+        Some(cid)
+    }
+}
+
+/// See [`Pick`] — `Min`/`Max` consume no randomness and take the
+/// extreme tie machine, so a single descent suffices; `Rand` draws
+/// `random_range(0..|U'ᵢ|)` and needs the full enumeration.
+fn pick_mode(breaker: &Breaker) -> Pick {
+    match breaker {
+        Breaker::Min => Pick::Leftmost,
+        Breaker::Max => Pick::Rightmost,
+        Breaker::Rand(_) => Pick::Enumerate,
+    }
+}
+
+impl ImmediateDispatcher for IndexedEftState {
+    fn machine_count(&self) -> usize {
+        self.machines()
+    }
+
+    fn dispatch_task(&mut self, task: Task, set: ProcSetRef<'_>) -> Assignment {
+        self.dispatch_ref(task, set)
+    }
+
+    fn machine_completions(&self) -> &[Time] {
+        self.completions()
+    }
+}
+
+/// An EFT dispatcher with the kernel chosen at construction — what the
+/// streaming entries (`eft_stream`, `dispatch_stream`,
+/// `simulate_stream`) instantiate.
+#[derive(Debug)]
+pub enum EftKernelState {
+    /// The member-scan oracle.
+    Scalar(EftState),
+    /// The segment-tree / cluster-heap kernel.
+    Indexed(IndexedEftState),
+}
+
+impl EftKernelState {
+    /// Fresh state for `m` idle machines under `kernel`.
+    pub fn new(m: usize, policy: TieBreak, kernel: DispatchKernel) -> Self {
+        match kernel.resolve(m) {
+            DispatchKernel::Indexed => EftKernelState::Indexed(IndexedEftState::new(m, policy)),
+            _ => EftKernelState::Scalar(EftState::new(m, policy)),
+        }
+    }
+
+    /// Current completion time of each machine.
+    pub fn completions(&self) -> &[Time] {
+        match self {
+            EftKernelState::Scalar(s) => s.completions(),
+            EftKernelState::Indexed(s) => s.completions(),
+        }
+    }
+}
+
+impl ImmediateDispatcher for EftKernelState {
+    fn machine_count(&self) -> usize {
+        match self {
+            EftKernelState::Scalar(s) => s.machine_count(),
+            EftKernelState::Indexed(s) => s.machine_count(),
+        }
+    }
+
+    fn dispatch_task(&mut self, task: Task, set: ProcSetRef<'_>) -> Assignment {
+        match self {
+            EftKernelState::Scalar(s) => s.dispatch_task(task, set),
+            EftKernelState::Indexed(s) => s.dispatch_task(task, set),
+        }
+    }
+
+    fn machine_completions(&self) -> &[Time] {
+        self.completions()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn tree_of(vals: &[Time]) -> MinTree {
+        let mut t = MinTree::new(vals.len());
+        for (j, &v) in vals.iter().enumerate() {
+            t.update(j, v);
+        }
+        t
+    }
+
+    #[test]
+    fn tree_range_min_matches_scan_on_random_data() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for m in [1usize, 2, 3, 5, 8, 13, 64, 100] {
+            let vals: Vec<Time> = (0..m).map(|_| rng.random_range(0..50) as f64).collect();
+            let t = tree_of(&vals);
+            for _ in 0..40 {
+                let lo = rng.random_range(0..m);
+                let hi = rng.random_range(lo..m);
+                let expect = vals[lo..=hi].iter().cloned().fold(f64::INFINITY, f64::min);
+                assert_eq!(t.range_min(lo, hi), expect, "m={m} [{lo},{hi}]");
+            }
+        }
+    }
+
+    #[test]
+    fn tree_descents_match_scans_on_random_data() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        for m in [1usize, 3, 7, 16, 33, 90] {
+            let vals: Vec<Time> = (0..m).map(|_| rng.random_range(0..8) as f64).collect();
+            let t = tree_of(&vals);
+            for _ in 0..60 {
+                let lo = rng.random_range(0..m);
+                let hi = rng.random_range(lo..m);
+                let bound = rng.random_range(0..9) as f64 - 0.5;
+                let expect: Vec<usize> = (lo..=hi).filter(|&j| vals[j] <= bound).collect();
+                assert_eq!(
+                    t.leftmost_le(lo, hi, bound),
+                    expect.first().copied(),
+                    "leftmost m={m} [{lo},{hi}] ≤{bound}"
+                );
+                assert_eq!(
+                    t.rightmost_le(lo, hi, bound),
+                    expect.last().copied(),
+                    "rightmost m={m} [{lo},{hi}] ≤{bound}"
+                );
+                let mut got = Vec::new();
+                t.collect_le(lo, hi, bound, &mut got);
+                assert_eq!(got, expect, "collect m={m} [{lo},{hi}] ≤{bound}");
+            }
+        }
+    }
+
+    /// Random mixed-shape dispatch sequences: the indexed kernel must
+    /// agree with the scalar oracle assignment-for-assignment. (The
+    /// public streaming suites re-pin this through the engine; this is
+    /// the direct state-level check.)
+    #[test]
+    fn indexed_matches_scalar_on_mixed_shapes() {
+        for policy in [TieBreak::Min, TieBreak::Max, TieBreak::Rand { seed: 21 }] {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(0xD15);
+            let m = 24;
+            let mut scalar = EftState::new(m, policy);
+            let mut indexed = IndexedEftState::new(m, policy);
+            let mut release = 0.0;
+            let blocks: Vec<Vec<usize>> = (0..4).map(|b| (6 * b..6 * b + 6).collect()).collect();
+            for i in 0..600 {
+                release += rng.random_range(0..3) as f64 * 0.25;
+                let task = Task::new(release, 0.25 * rng.random_range(1..5) as f64);
+                let pick = rng.random_range(0..4);
+                let (a, b) = match pick {
+                    0 => {
+                        let lo = rng.random_range(0..m);
+                        let hi = rng.random_range(lo..m);
+                        let set = ProcSetRef::interval(lo, hi);
+                        (
+                            scalar.dispatch_ref(task, set),
+                            indexed.dispatch_ref(task, set),
+                        )
+                    }
+                    1 => {
+                        let len = rng.random_range(1..=m);
+                        let set = ProcSetRef::prefix(len);
+                        (
+                            scalar.dispatch_ref(task, set),
+                            indexed.dispatch_ref(task, set),
+                        )
+                    }
+                    2 => {
+                        let start = rng.random_range(0..m);
+                        let len = rng.random_range(1..=m);
+                        let set = ProcSetRef::ring(start, len, m);
+                        (
+                            scalar.dispatch_ref(task, set),
+                            indexed.dispatch_ref(task, set),
+                        )
+                    }
+                    _ => {
+                        let set = ProcSetRef::Explicit(&blocks[rng.random_range(0..4)]);
+                        (
+                            scalar.dispatch_ref(task, set),
+                            indexed.dispatch_ref(task, set),
+                        )
+                    }
+                };
+                assert_eq!(a, b, "{policy:?} dispatch {i} diverged");
+                assert_eq!(scalar.completions(), indexed.completions(), "after {i}");
+            }
+        }
+    }
+
+    /// Explicit sets that overlap a registered cluster must fall back to
+    /// the scalar scan and still agree exactly.
+    #[test]
+    fn overlapping_explicit_sets_fall_back_correctly() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0xFA11);
+        let m = 10;
+        let mut scalar = EftState::new(m, TieBreak::Min);
+        let mut indexed = IndexedEftState::new(m, TieBreak::Min);
+        let cluster: Vec<usize> = vec![0, 2, 4, 6];
+        let overlapping: Vec<usize> = vec![2, 3, 4];
+        let mut release = 0.0;
+        for i in 0..200 {
+            release += 0.25 * rng.random_range(0..2) as f64;
+            let task = Task::new(release, 1.0);
+            let set = if rng.random_bool(0.5) {
+                ProcSetRef::Explicit(&cluster)
+            } else {
+                ProcSetRef::Explicit(&overlapping)
+            };
+            assert_eq!(
+                scalar.dispatch_ref(task, set),
+                indexed.dispatch_ref(task, set),
+                "dispatch {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn cluster_heaps_self_heal_after_tree_path_commits() {
+        // Interleave interval dispatches (which bump completions behind
+        // the cluster heap's back) with cluster dispatches.
+        let m = 8;
+        let mut scalar = EftState::new(m, TieBreak::Max);
+        let mut indexed = IndexedEftState::new(m, TieBreak::Max);
+        let members: Vec<usize> = vec![1, 3, 5];
+        for i in 0..60 {
+            let task = Task::new(i as f64 * 0.125, 0.5);
+            let set = if i % 2 == 0 {
+                ProcSetRef::interval(0, 5)
+            } else {
+                ProcSetRef::Explicit(&members)
+            };
+            assert_eq!(
+                scalar.dispatch_ref(task, set),
+                indexed.dispatch_ref(task, set),
+                "dispatch {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn kernel_state_resolves_auto_by_machine_count() {
+        assert!(matches!(
+            EftKernelState::new(4, TieBreak::Min, DispatchKernel::Auto),
+            EftKernelState::Scalar(_)
+        ));
+        assert!(matches!(
+            EftKernelState::new(
+                AUTO_INDEXED_MIN_MACHINES,
+                TieBreak::Min,
+                DispatchKernel::Auto
+            ),
+            EftKernelState::Indexed(_)
+        ));
+        assert!(matches!(
+            EftKernelState::new(4, TieBreak::Min, DispatchKernel::Indexed),
+            EftKernelState::Indexed(_)
+        ));
+    }
+
+    #[test]
+    fn for_structure_prefers_the_index_on_structured_families() {
+        use flowsched_core::procset::ProcSet;
+        use flowsched_core::structure::classify;
+        let m = 128;
+        let intervals: Vec<ProcSet> = (0..8).map(|i| ProcSet::interval(i, i + 16)).collect();
+        let rep = classify(&intervals, m);
+        assert_eq!(
+            DispatchKernel::for_structure(&rep, m),
+            DispatchKernel::Indexed
+        );
+        assert_eq!(
+            DispatchKernel::for_structure(&rep, 8),
+            DispatchKernel::Scalar
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty processing set")]
+    fn indexed_rejects_empty_sets() {
+        let mut s = IndexedEftState::new(2, TieBreak::Min);
+        s.dispatch_ref(Task::unit(0.0), ProcSetRef::Explicit(&[]));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn indexed_rejects_out_of_range_sets() {
+        let mut s = IndexedEftState::new(2, TieBreak::Min);
+        s.dispatch_ref(Task::unit(0.0), ProcSetRef::interval(1, 4));
+    }
+}

@@ -15,6 +15,11 @@
 //!   Algorithm 2, with processing-set support (Equation (2)), both as a
 //!   whole-instance driver and as an incremental [`eft::EftState`] for
 //!   discrete-event simulation.
+//! - [`indexed`]: the structure-aware dispatch kernels — a
+//!   leftmost-argmin segment tree plus cluster heaps answering
+//!   Equation (2) in O(log m) per task over compact
+//!   [`ProcSetRef`](flowsched_core::ProcSetRef) views, bitwise-identical
+//!   to the scalar path.
 //! - [`fifo`](mod@fifo): the centralized-queue FIFO scheduler of Algorithm 1,
 //!   implemented as a genuine event simulation so that Proposition 1
 //!   (FIFO ≡ EFT on `P | online-rᵢ | Fmax`) is *tested*, not assumed.
@@ -29,6 +34,7 @@ pub mod eft;
 pub mod engine;
 pub mod exact;
 pub mod fifo;
+pub mod indexed;
 pub mod localsearch;
 pub mod offline;
 pub mod policies;
@@ -39,7 +45,7 @@ pub mod tiebreak;
 pub use compose::compose_disjoint;
 #[allow(deprecated)]
 pub use eft::eft_recorded;
-pub use eft::{eft, eft_stream, EftState, ImmediateDispatcher};
+pub use eft::{eft, eft_stream, eft_stream_with_kernel, EftState, ImmediateDispatcher};
 pub use engine::{
     fifo_schedule, immediate_schedule, run_fifo, run_immediate, DispatchSink, NullSink,
 };
@@ -47,19 +53,21 @@ pub use exact::{approx_fmax, exact_fmax, ExactResult};
 #[allow(deprecated)]
 pub use fifo::fifo_recorded;
 pub use fifo::{fifo, fifo_stream};
+pub use indexed::{DispatchKernel, EftKernelState, IndexedEftState, AUTO_INDEXED_MIN_MACHINES};
 pub use localsearch::{eft_plus_local_search, improve};
 pub use offline::{brute_force_fmax, fmax_lower_bound, optimal_unit_fmax};
-pub use policies::{dispatch_stream, DispatchRule, Dispatcher};
+pub use policies::{dispatch_stream, dispatch_stream_with_kernel, DispatchRule, Dispatcher};
 pub use preemptive::optimal_preemptive_fmax;
 pub use related::{related_dispatch, related_fmax, RelatedRule, RelatedState};
 pub use tiebreak::TieBreak;
 
 /// Most used items for downstream crates.
 pub mod prelude {
-    pub use crate::eft::{eft, eft_stream, EftState, ImmediateDispatcher};
+    pub use crate::eft::{eft, eft_stream, eft_stream_with_kernel, EftState, ImmediateDispatcher};
     pub use crate::engine::{run_fifo, run_immediate};
     pub use crate::exact::{exact_fmax, ExactResult};
     pub use crate::fifo::{fifo, fifo_stream};
+    pub use crate::indexed::{DispatchKernel, EftKernelState, IndexedEftState};
     pub use crate::offline::{brute_force_fmax, fmax_lower_bound, optimal_unit_fmax};
     pub use crate::policies::{DispatchRule, Dispatcher};
     pub use crate::preemptive::optimal_preemptive_fmax;

@@ -23,6 +23,7 @@
 
 use std::collections::HashMap;
 
+use flowsched_core::compact::ProcSetRef;
 use flowsched_core::machine::MachineId;
 use flowsched_core::procset::ProcSet;
 use flowsched_core::schedule::{Assignment, Schedule};
@@ -32,7 +33,8 @@ use flowsched_stats::rng::derive_rng;
 use rand::rngs::StdRng;
 use rand::Rng;
 
-use crate::eft::{EftState, ImmediateDispatcher};
+use crate::eft::ImmediateDispatcher;
+use crate::indexed::{DispatchKernel, EftKernelState};
 use crate::tiebreak::TieBreak;
 
 /// Which immediate-dispatch rule to run.
@@ -79,18 +81,25 @@ pub struct Dispatcher {
 
 #[derive(Debug)]
 enum RuleState {
-    Eft(EftState),
+    Eft(EftKernelState),
     Random(Box<StdRng>),
     Choices(usize, Box<StdRng>),
     RoundRobin(HashMap<ProcSet, usize>),
 }
 
 impl Dispatcher {
-    /// Fresh state for `m` idle machines.
+    /// Fresh state for `m` idle machines; EFT rules use the
+    /// automatically-selected dispatch kernel.
     pub fn new(m: usize, rule: DispatchRule) -> Self {
+        Dispatcher::with_kernel(m, rule, DispatchKernel::Auto)
+    }
+
+    /// [`new`](Dispatcher::new) with the EFT dispatch kernel forced
+    /// (ignored by the non-EFT rules, which have no index to select).
+    pub fn with_kernel(m: usize, rule: DispatchRule, kernel: DispatchKernel) -> Self {
         assert!(m > 0, "need at least one machine");
         let kind = match rule {
-            DispatchRule::Eft(tb) => RuleState::Eft(EftState::new(m, tb)),
+            DispatchRule::Eft(tb) => RuleState::Eft(EftKernelState::new(m, tb, kernel)),
             DispatchRule::RandomMachine { seed } => {
                 RuleState::Random(Box::new(derive_rng(seed, 0x7A11)))
             }
@@ -108,22 +117,28 @@ impl Dispatcher {
 
     /// Dispatches one task under the configured rule.
     pub fn dispatch(&mut self, task: Task, set: &ProcSet) -> Assignment {
+        self.dispatch_ref(task, set.view())
+    }
+
+    /// [`dispatch`](Dispatcher::dispatch) over a compact set view —
+    /// what the streaming engine feeds. `ProcSetRef::nth` gives every
+    /// rule O(1) member sampling regardless of representation.
+    pub fn dispatch_ref(&mut self, task: Task, set: ProcSetRef<'_>) -> Assignment {
         assert!(!set.is_empty(), "task has an empty processing set");
         match &mut self.kind {
             RuleState::Eft(state) => {
-                let a = state.dispatch(task, set);
+                let a = state.dispatch_task(task, set);
                 self.completions[a.machine.index()] = a.start + task.ptime;
                 a
             }
             RuleState::Random(rng) => {
-                let pick = set.as_slice()[rng.random_range(0..set.len())];
+                let pick = set.nth(rng.random_range(0..set.len()));
                 self.commit(task, pick)
             }
             RuleState::Choices(d, rng) => {
-                let slice = set.as_slice();
-                let mut best = slice[rng.random_range(0..slice.len())];
+                let mut best = set.nth(rng.random_range(0..set.len()));
                 for _ in 1..*d {
-                    let cand = slice[rng.random_range(0..slice.len())];
+                    let cand = set.nth(rng.random_range(0..set.len()));
                     if self.completions[cand] < self.completions[best] {
                         best = cand;
                     }
@@ -131,8 +146,8 @@ impl Dispatcher {
                 self.commit(task, best)
             }
             RuleState::RoundRobin(cursors) => {
-                let cursor = cursors.entry(set.clone()).or_insert(0);
-                let pick = set.as_slice()[*cursor % set.len()];
+                let cursor = cursors.entry(set.to_procset()).or_insert(0);
+                let pick = set.nth(*cursor % set.len());
                 *cursor += 1;
                 self.commit(task, pick)
             }
@@ -151,8 +166,8 @@ impl ImmediateDispatcher for Dispatcher {
         self.completions.len()
     }
 
-    fn dispatch_task(&mut self, task: Task, set: &ProcSet) -> Assignment {
-        self.dispatch(task, set)
+    fn dispatch_task(&mut self, task: Task, set: ProcSetRef<'_>) -> Assignment {
+        self.dispatch_ref(task, set)
     }
 
     fn machine_completions(&self) -> &[Time] {
@@ -181,7 +196,21 @@ where
     S: flowsched_core::stream::ArrivalStream,
     R: flowsched_obs::Recorder,
 {
-    let mut state = Dispatcher::new(stream.machines(), rule);
+    dispatch_stream_with_kernel(stream, rule, DispatchKernel::Auto, rec)
+}
+
+/// [`dispatch_stream`] with the EFT dispatch kernel forced.
+pub fn dispatch_stream_with_kernel<S, R>(
+    stream: S,
+    rule: DispatchRule,
+    kernel: DispatchKernel,
+    rec: &mut R,
+) -> Schedule
+where
+    S: flowsched_core::stream::ArrivalStream,
+    R: flowsched_obs::Recorder,
+{
+    let mut state = Dispatcher::with_kernel(stream.machines(), rule, kernel);
     crate::engine::immediate_schedule(stream, &mut state, rec)
 }
 
@@ -323,7 +352,7 @@ mod tests {
         // question the experiments explore; here we just check plumbing.)
         let mut d = Dispatcher::new(6, DispatchRule::RoundRobin);
         let set = ProcSet::interval(0, 2);
-        let a = d.dispatch_task(Task::unit(0.0), &set);
+        let a = d.dispatch_task(Task::unit(0.0), set.view());
         assert!(a.machine.index() <= 2);
         assert_eq!(d.machine_count(), 6);
         assert!(d.machine_completions()[a.machine.index()] > 0.0);

@@ -19,6 +19,9 @@
 //!   as the paper assumes `i < j ⇒ rᵢ ≤ rⱼ`).
 //! - [`ProcSet`]: a processing set over machine indices, with interval and
 //!   circular-interval detection.
+//! - [`ProcSetRef`]: compact borrowed views of processing sets (interval,
+//!   ring segment, prefix, explicit slice) — what arrival streams lend so
+//!   structured workloads never materialize per-task machine vectors.
 //! - [`structure`]: predicates and classification for the structured
 //!   families of the paper (inclusive ⊂ nested ⊂ interval, disjoint ⊂
 //!   nested — Figure 1 of the paper).
@@ -32,6 +35,7 @@
 //!   paper's Figure 3.
 //! - [`io`]: validated JSON (de)serialization of instances and schedules.
 
+pub mod compact;
 pub mod error;
 pub mod gantt;
 pub mod instance;
@@ -45,6 +49,7 @@ pub mod structure;
 pub mod task;
 pub mod time;
 
+pub use compact::{ProcSetRef, ProcSetRefIter};
 pub use error::CoreError;
 pub use instance::{Instance, InstanceBuilder};
 pub use io::{instance_from_json, instance_to_json, schedule_from_json, schedule_to_json};
@@ -58,6 +63,7 @@ pub use time::Time;
 
 /// Convenience prelude re-exporting the most used types.
 pub mod prelude {
+    pub use crate::compact::ProcSetRef;
     pub use crate::instance::{Instance, InstanceBuilder};
     pub use crate::machine::MachineId;
     pub use crate::procset::ProcSet;

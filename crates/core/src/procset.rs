@@ -9,6 +9,7 @@
 
 use std::fmt;
 
+use crate::compact::ProcSetRef;
 use crate::machine::MachineId;
 
 /// A set of machine indices, stored sorted and deduplicated.
@@ -33,9 +34,14 @@ pub struct ProcSet {
 impl ProcSet {
     /// Builds a processing set from arbitrary machine indices
     /// (duplicates are removed, order is normalized).
+    ///
+    /// Input that is already strictly increasing — the common case from
+    /// generators — is taken as-is without the sort/dedup pass.
     pub fn new(mut machines: Vec<usize>) -> Self {
-        machines.sort_unstable();
-        machines.dedup();
+        if !machines.windows(2).all(|w| w[0] < w[1]) {
+            machines.sort_unstable();
+            machines.dedup();
+        }
         ProcSet { machines }
     }
 
@@ -234,6 +240,32 @@ impl ProcSet {
         }
     }
 
+    /// Alias of [`as_contiguous_interval`](ProcSet::as_contiguous_interval),
+    /// named for kernel selection: a `Some` answer means the indexed
+    /// dispatch kernel can serve this set with one range-min query.
+    #[inline]
+    pub fn as_contiguous(&self) -> Option<(usize, usize)> {
+        self.as_contiguous_interval()
+    }
+
+    /// Borrows the set as an explicit [`ProcSetRef`] view (no shape
+    /// detection — see [`compact_view`](ProcSet::compact_view)).
+    #[inline]
+    pub fn view(&self) -> ProcSetRef<'_> {
+        ProcSetRef::Explicit(&self.machines)
+    }
+
+    /// Borrows the set as the most compact [`ProcSetRef`] detectable in
+    /// O(1): an `Interval` when the members are contiguous, otherwise
+    /// the explicit slice.
+    #[inline]
+    pub fn compact_view(&self) -> ProcSetRef<'_> {
+        match self.as_contiguous_interval() {
+            Some((lo, hi)) => ProcSetRef::Interval { lo, hi },
+            None => ProcSetRef::Explicit(&self.machines),
+        }
+    }
+
     /// If the set is a *circular* interval on a ring of `m` machines —
     /// either contiguous or of the wrap-around form
     /// `{j : j ≤ a} ∪ {j : j ≥ b}` from the paper's interval definition —
@@ -305,6 +337,31 @@ mod tests {
         let s = ProcSet::new(vec![3, 1, 3, 2]);
         assert_eq!(s.as_slice(), &[1, 2, 3]);
         assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn new_keeps_already_sorted_input_verbatim() {
+        let s = ProcSet::new(vec![0, 3, 7]);
+        assert_eq!(s.as_slice(), &[0, 3, 7]);
+        // Non-strict (duplicate) input still goes through the slow path.
+        let d = ProcSet::new(vec![0, 3, 3, 7]);
+        assert_eq!(d.as_slice(), &[0, 3, 7]);
+    }
+
+    #[test]
+    fn views_borrow_compact_shapes() {
+        let iv = ProcSet::interval(2, 4);
+        assert_eq!(iv.as_contiguous(), Some((2, 4)));
+        assert!(matches!(
+            iv.compact_view(),
+            ProcSetRef::Interval { lo: 2, hi: 4 }
+        ));
+        assert_eq!(iv.view(), iv.compact_view());
+
+        let gap = ProcSet::new(vec![0, 2, 4]);
+        assert_eq!(gap.as_contiguous(), None);
+        assert!(matches!(gap.compact_view(), ProcSetRef::Explicit(_)));
+        assert_eq!(gap.compact_view(), gap);
     }
 
     #[test]

@@ -10,12 +10,15 @@
 //! constant-memory runs.
 //!
 //! The trait is *lending*: [`next_arrival`](ArrivalStream::next_arrival)
-//! returns the processing set by reference, valid until the next pull.
-//! Generators keep one scratch [`ProcSet`] and overwrite it per arrival;
-//! the [`InstanceStream`] adapter hands out references straight into the
+//! returns the processing set as a borrowed [`ProcSetRef`] view, valid
+//! until the next pull. Structured generators (interval, ring, prefix
+//! sets) describe the set in O(1) without materializing members at all;
+//! fallback generators keep one scratch [`ProcSet`] and lend its view,
+//! and the [`InstanceStream`] adapter hands out views straight into the
 //! backing [`Instance`], so replaying a materialized instance through a
-//! streaming engine costs no per-task allocation at all.
+//! streaming engine costs no per-task allocation.
 
+use crate::compact::ProcSetRef;
 use crate::error::CoreError;
 use crate::instance::Instance;
 use crate::procset::ProcSet;
@@ -27,13 +30,14 @@ use crate::task::{Task, TaskId};
 /// decrease from one pull to the next; engines assert this (it is the
 /// online arrival order the whole paper assumes, `i < j ⇒ rᵢ ≤ rⱼ`).
 /// The returned set borrow ends at the next call, which lets generators
-/// reuse a single scratch set instead of allocating per task.
+/// reuse a single scratch set — or lend a compact O(1) shape
+/// description — instead of allocating per task.
 pub trait ArrivalStream {
     /// Number of machines the arrivals' processing sets refer to.
     fn machines(&self) -> usize;
 
     /// Pulls the next arrival, or `None` when the stream is exhausted.
-    fn next_arrival(&mut self) -> Option<(Task, &ProcSet)>;
+    fn next_arrival(&mut self) -> Option<(Task, ProcSetRef<'_>)>;
 
     /// Exact number of arrivals remaining, when the source knows it
     /// (bounded generators and instance adapters do; adaptive adversary
@@ -50,7 +54,7 @@ impl<S: ArrivalStream + ?Sized> ArrivalStream for &mut S {
         (**self).machines()
     }
 
-    fn next_arrival(&mut self) -> Option<(Task, &ProcSet)> {
+    fn next_arrival(&mut self) -> Option<(Task, ProcSetRef<'_>)> {
         (**self).next_arrival()
     }
 
@@ -64,7 +68,8 @@ impl<S: ArrivalStream + ?Sized> ArrivalStream for &mut S {
 /// This is the backward-compatibility adapter: every batch entry point
 /// (`eft(&inst, …)`, `fifo(&inst, …)`, `simulate(&inst, …)`) is now a
 /// thin wrapper that wires an `InstanceStream` into the shared engine.
-/// Sets are lent straight from the instance — no clones, no allocation.
+/// Sets are lent straight from the instance (as their compact views) —
+/// no clones, no allocation.
 #[derive(Debug, Clone)]
 pub struct InstanceStream<'a> {
     inst: &'a Instance,
@@ -83,13 +88,13 @@ impl ArrivalStream for InstanceStream<'_> {
         self.inst.machines()
     }
 
-    fn next_arrival(&mut self) -> Option<(Task, &ProcSet)> {
+    fn next_arrival(&mut self) -> Option<(Task, ProcSetRef<'_>)> {
         if self.next >= self.inst.len() {
             return None;
         }
         let id = TaskId(self.next);
         self.next += 1;
-        Some((self.inst.task(id), self.inst.set(id)))
+        Some((self.inst.task(id), self.inst.set(id).compact_view()))
     }
 
     fn len_hint(&self) -> Option<usize> {
@@ -131,10 +136,10 @@ where
         self.m
     }
 
-    fn next_arrival(&mut self) -> Option<(Task, &ProcSet)> {
+    fn next_arrival(&mut self) -> Option<(Task, ProcSetRef<'_>)> {
         let (task, set) = (self.gen)()?;
         self.scratch = set;
-        Some((task, &self.scratch))
+        Some((task, self.scratch.compact_view()))
     }
 }
 
@@ -151,7 +156,7 @@ pub fn collect_stream<S: ArrivalStream>(mut stream: S) -> Result<Instance, CoreE
     let mut sets = Vec::new();
     while let Some((task, set)) = stream.next_arrival() {
         tasks.push(task);
-        sets.push(set.clone());
+        sets.push(set.to_procset());
     }
     Instance::new(m, tasks, sets)
 }

@@ -12,6 +12,7 @@
 //!   `(3 − 2/k)`-competitive (Corollary 1), but hot blocks cannot shed
 //!   load.
 
+use flowsched_core::compact::ProcSetRef;
 use flowsched_core::procset::ProcSet;
 
 /// The two replication shapes compared throughout Section 7, plus one
@@ -77,6 +78,32 @@ impl ReplicationStrategy {
                 let pos = (owner + m - offset % m) % m;
                 let start = (offset + k * (pos / k)) % m;
                 ProcSet::ring_interval(start, k, m)
+            }
+        }
+    }
+
+    /// The replica set `I_k(u)` as a compact [`ProcSetRef`] — every
+    /// strategy is a (possibly wrapping) interval on the ring, so the
+    /// member vector never needs to exist. Semantically equal to
+    /// [`ReplicationStrategy::replica_set`] for the same arguments;
+    /// streams lend this to the engines at O(1) per request.
+    ///
+    /// # Panics
+    /// Panics unless `u < m` and `1 ≤ k ≤ m`.
+    pub fn replica_ref(self, owner: usize, k: usize, m: usize) -> ProcSetRef<'static> {
+        assert!(owner < m, "owner machine out of range");
+        assert!(k >= 1 && k <= m, "replication factor must be in 1..=m");
+        match self {
+            ReplicationStrategy::Overlapping => ProcSetRef::ring(owner, k, m),
+            ReplicationStrategy::Disjoint => {
+                let base = k * (owner / k);
+                ProcSetRef::interval(base, (base + k - 1).min(m - 1))
+            }
+            ReplicationStrategy::Staggered => {
+                let offset = if owner.is_multiple_of(2) { 0 } else { k / 2 };
+                let pos = (owner + m - offset % m) % m;
+                let start = (offset + k * (pos / k)) % m;
+                ProcSetRef::ring(start, k, m)
             }
         }
     }
@@ -255,6 +282,24 @@ mod tests {
                 structure::is_ring_interval_family(&sets, m),
                 "m={m} k={k}: {sets:?}"
             );
+        }
+    }
+
+    #[test]
+    fn replica_ref_matches_replica_set_everywhere() {
+        for strategy in ReplicationStrategy::extended() {
+            for m in [1usize, 2, 5, 6, 7, 12, 15] {
+                for k in 1..=m {
+                    for u in 0..m {
+                        let owned = strategy.replica_set(u, k, m);
+                        let compact = strategy.replica_ref(u, k, m);
+                        assert_eq!(
+                            compact, owned,
+                            "{strategy} m={m} k={k} u={u}: {compact} vs {owned}"
+                        );
+                    }
+                }
+            }
         }
     }
 

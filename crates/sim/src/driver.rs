@@ -3,6 +3,7 @@
 //! straight off an [`ArrivalStream`] in O(machines + window) memory).
 
 use flowsched_algos::eft::EftState;
+use flowsched_algos::indexed::{DispatchKernel, EftKernelState};
 use flowsched_algos::tiebreak::TieBreak;
 use flowsched_core::instance::Instance;
 use flowsched_core::schedule::Schedule;
@@ -91,9 +92,28 @@ pub fn simulate_recorded<R: Recorder>(
 /// When `report.expected_measured` is `None` and the stream knows its
 /// length, the drift window is sized from `len_hint() − warmup` so a
 /// replayed instance reproduces the batch drift exactly.
+///
+/// Dispatch runs on [`DispatchKernel::Auto`]: large-`m` runs get the
+/// indexed O(log m) kernel, which produces bitwise-identical schedules
+/// (see `flowsched_algos::indexed`). Use
+/// [`simulate_stream_with_kernel`] to force either path.
 pub fn simulate_stream<S: ArrivalStream, R: Recorder>(
     stream: S,
     policy: TieBreak,
+    report: &ReportConfig,
+    rec: &mut R,
+) -> SimReport {
+    simulate_stream_with_kernel(stream, policy, DispatchKernel::Auto, report, rec)
+}
+
+/// [`simulate_stream`] with an explicit dispatch-kernel choice —
+/// `Scalar` forces the linear-scan oracle, `Indexed` forces the
+/// segment-tree kernel regardless of machine count (the scaling benches
+/// compare the two this way).
+pub fn simulate_stream_with_kernel<S: ArrivalStream, R: Recorder>(
+    stream: S,
+    policy: TieBreak,
+    kernel: DispatchKernel,
     report: &ReportConfig,
     rec: &mut R,
 ) -> SimReport {
@@ -103,7 +123,7 @@ pub fn simulate_stream<S: ArrivalStream, R: Recorder>(
             .len_hint()
             .map(|n| n.saturating_sub(cfg.warmup_tasks));
     }
-    let mut state = EftState::new(stream.machines(), policy);
+    let mut state = EftKernelState::new(stream.machines(), policy, kernel);
     let mut builder = ReportBuilder::new(stream.machines(), &cfg);
     flowsched_algos::engine::run_immediate(stream, &mut state, rec, &mut builder);
     builder.finish()

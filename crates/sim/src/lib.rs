@@ -30,7 +30,9 @@ pub mod telemetry;
 
 #[allow(deprecated)]
 pub use driver::simulate_recorded;
-pub use driver::{profile_trace, simulate, simulate_stream, simulate_with, SimConfig};
+pub use driver::{
+    profile_trace, simulate, simulate_stream, simulate_stream_with_kernel, simulate_with, SimConfig,
+};
 pub use report::{ReportBuilder, ReportConfig, SimReport};
 #[allow(deprecated)]
 pub use stepped::run_stepped_recorded;

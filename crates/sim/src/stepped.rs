@@ -24,6 +24,7 @@
 use flowsched_algos::eft::ImmediateDispatcher;
 use flowsched_algos::engine::{run_immediate, DispatchSink};
 use flowsched_algos::tiebreak::{Breaker, TieBreak};
+use flowsched_core::compact::ProcSetRef;
 use flowsched_core::machine::MachineId;
 use flowsched_core::procset::ProcSet;
 use flowsched_core::schedule::Assignment;
@@ -95,21 +96,34 @@ impl ImmediateDispatcher for SteppedEftState {
         self.completions.len()
     }
 
-    fn dispatch_task(&mut self, task: Task, set: &ProcSet) -> Assignment {
+    fn dispatch_task(&mut self, task: Task, set: ProcSetRef<'_>) -> Assignment {
         assert!(!set.is_empty(), "task has an empty processing set");
         debug_assert_eq!(task.ptime, 1.0, "stepped fast path is unit-task only");
         let r = task.release as u64;
         debug_assert_eq!(r as f64, task.release, "stepped releases must be integers");
-        let min_completion = set
-            .as_slice()
-            .iter()
-            .map(|&j| self.completions[j])
-            .min()
-            .expect("non-empty set");
-        let t_min = r.max(min_completion);
+        // Fused single-pass tie scan, the integer analog of the scalar
+        // EFT scan: run an argmin until some machine is free at or before
+        // the release, then collect exactly the released machines. Both
+        // modes end with `ties = {j : C_j ≤ max(r, min C)}` in ascending
+        // order, matching Equation (2).
         self.ties.clear();
-        for &j in set.as_slice() {
-            if self.completions[j] <= t_min {
+        let mut released = false;
+        let mut min_c = u64::MAX;
+        for j in set.iter() {
+            let c = self.completions[j];
+            if released {
+                if c <= r {
+                    self.ties.push(j);
+                }
+            } else if c <= r {
+                released = true;
+                self.ties.clear();
+                self.ties.push(j);
+            } else if c < min_c {
+                min_c = c;
+                self.ties.clear();
+                self.ties.push(j);
+            } else if c == min_c {
                 self.ties.push(j);
             }
         }
@@ -144,7 +158,7 @@ impl<F: FnMut(usize) -> Vec<ProcSet>> ArrivalStream for BatchStream<F> {
         self.m
     }
 
-    fn next_arrival(&mut self) -> Option<(Task, &ProcSet)> {
+    fn next_arrival(&mut self) -> Option<(Task, ProcSetRef<'_>)> {
         while self.i >= self.round.len() {
             if self.t >= self.steps {
                 return None;
@@ -153,7 +167,7 @@ impl<F: FnMut(usize) -> Vec<ProcSet>> ArrivalStream for BatchStream<F> {
             self.i = 0;
             self.t += 1;
         }
-        let set = &self.round[self.i];
+        let set = self.round[self.i].compact_view();
         self.i += 1;
         Some((Task::unit((self.t - 1) as f64), set))
     }
@@ -345,7 +359,7 @@ mod tests {
             for s in 0..3 {
                 let set = ProcSet::interval(s, s + 2);
                 let task = Task::unit(t as f64);
-                let a = int_state.dispatch_task(task, &set);
+                let a = int_state.dispatch_task(task, set.view());
                 let b = f64_state.dispatch(task, &set);
                 assert_eq!(a, b, "t={t} s={s}");
             }

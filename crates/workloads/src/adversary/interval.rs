@@ -19,6 +19,7 @@
 //! *last* machine of its interval, keeping all flows at 1.
 
 use flowsched_algos::eft::ImmediateDispatcher;
+use flowsched_core::compact::ProcSetRef;
 use flowsched_core::instance::{Instance, InstanceBuilder};
 use flowsched_core::procset::ProcSet;
 use flowsched_core::stream::ArrivalStream;
@@ -125,7 +126,9 @@ pub fn drive_interval_adversary<D: ImmediateDispatcher, K: ReleaseSink>(
 /// The oblivious Theorem 8 stream as an [`ArrivalStream`]: the same
 /// arrivals as [`interval_adversary_instance`], generated lazily in
 /// `O(m)` memory (the construction does not depend on the algorithm's
-/// choices, so it streams without feedback).
+/// choices, so it streams without feedback). Each typed interval is
+/// emitted as a two-word [`ProcSetRef::Interval`] — nothing per-task is
+/// allocated no matter how large `m` or `k` grow.
 #[derive(Debug, Clone)]
 pub struct IntervalAdversaryStream {
     m: usize,
@@ -134,7 +137,6 @@ pub struct IntervalAdversaryStream {
     rounds: usize,
     t: usize,
     i: usize,
-    scratch: ProcSet,
 }
 
 impl IntervalAdversaryStream {
@@ -151,7 +153,6 @@ impl IntervalAdversaryStream {
             rounds,
             t: 0,
             i: 0,
-            scratch: ProcSet::full(1),
         }
     }
 }
@@ -161,7 +162,7 @@ impl ArrivalStream for IntervalAdversaryStream {
         self.m
     }
 
-    fn next_arrival(&mut self) -> Option<(Task, &ProcSet)> {
+    fn next_arrival(&mut self) -> Option<(Task, ProcSetRef<'_>)> {
         if self.t >= self.rounds {
             return None;
         }
@@ -172,8 +173,8 @@ impl ArrivalStream for IntervalAdversaryStream {
             self.i = 0;
             self.t += 1;
         }
-        self.scratch = type_interval(lambda, self.k, self.m);
-        Some((task, &self.scratch))
+        // Same machines as `type_interval(lambda, k, m)`, without the Vec.
+        Some((task, ProcSetRef::interval(lambda - 1, lambda + self.k - 2)))
     }
 
     fn len_hint(&self) -> Option<usize> {

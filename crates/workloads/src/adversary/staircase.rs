@@ -132,7 +132,7 @@ impl ArrivalStream for StaircaseStream {
         self.m
     }
 
-    fn next_arrival(&mut self) -> Option<(Task, &ProcSet)> {
+    fn next_arrival(&mut self) -> Option<(Task, flowsched_core::compact::ProcSetRef<'_>)> {
         if self.t >= self.rounds {
             return None;
         }
@@ -143,7 +143,7 @@ impl ArrivalStream for StaircaseStream {
             self.i = 0;
             self.t += 1;
         }
-        Some((task, &self.round[i]))
+        Some((task, self.round[i].compact_view()))
     }
 
     fn len_hint(&self) -> Option<usize> {

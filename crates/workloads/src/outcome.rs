@@ -96,7 +96,7 @@ impl ReleaseLog {
             "adversary must release tasks in non-decreasing time order"
         );
         self.last_release = task.release;
-        let a = algo.dispatch_task(task, &set);
+        let a = algo.dispatch_task(task, set.view());
         self.tasks.push(task);
         self.sets.push(set);
         self.assignments.push(a);
@@ -190,7 +190,7 @@ impl ReleaseSink for StreamingLog {
             "adversary must release tasks in non-decreasing time order"
         );
         self.last_release = task.release;
-        let a = algo.dispatch_task(task, &set);
+        let a = algo.dispatch_task(task, set.view());
         self.tasks += 1;
         let flow = a.start + task.ptime - task.release;
         if flow > self.fmax {

@@ -3,6 +3,7 @@
 //! ([`random_instance`]) or as a constant-memory Poisson arrival stream
 //! ([`PoissonStream`]).
 
+use flowsched_core::compact::ProcSetRef;
 use flowsched_core::instance::{Instance, InstanceBuilder};
 use flowsched_core::procset::ProcSet;
 use flowsched_core::stream::ArrivalStream;
@@ -27,6 +28,11 @@ pub enum StructureKind {
     DisjointBlocks(usize),
     /// A random chain `S₁ ⊆ S₂ ⊆ … ⊆ M`; each task picks a chain element.
     InclusiveChain,
+    /// Inclusive prefixes `{0, …, len−1}` with a fresh random `len` per
+    /// task — the canonical inclusive shape without the `O(m²)` chain
+    /// skeleton, so it scales to very large `m` (and wide sets stream as
+    /// O(1) [`ProcSetRef::Prefix`] views).
+    InclusivePrefix,
     /// A random laminar family; each task picks one node.
     NestedLaminar,
     /// Arbitrary random non-empty subsets.
@@ -143,6 +149,10 @@ fn sample_set(
             let lo = blk * k;
             ProcSet::interval(lo, (lo + k - 1).min(m - 1))
         }
+        StructureKind::InclusivePrefix => {
+            let len = rng.random_range(1..=m);
+            ProcSet::interval(0, len - 1)
+        }
         StructureKind::InclusiveChain | StructureKind::NestedLaminar => {
             chain[rng.random_range(0..chain.len())].clone()
         }
@@ -195,6 +205,12 @@ impl PoissonStreamConfig {
 /// (`O(m)` sets at most), and one scratch set — independent of `n`, which
 /// is what lets million-task runs stream through the engines without an
 /// `Instance` ever existing.
+///
+/// Structured kinds (interval, ring, disjoint blocks, prefix,
+/// unrestricted) emit compact [`ProcSetRef`] views natively — the member
+/// vector is never built, so even `m`-wide sets cost O(1) per arrival.
+/// The per-task RNG draws are byte-identical to [`sample_set`]'s, so the
+/// emitted sets equal the batch generator's for the same RNG state.
 #[derive(Debug, Clone)]
 pub struct PoissonStream {
     m: usize,
@@ -238,7 +254,7 @@ impl ArrivalStream for PoissonStream {
         self.m
     }
 
-    fn next_arrival(&mut self) -> Option<(Task, &ProcSet)> {
+    fn next_arrival(&mut self) -> Option<(Task, ProcSetRef<'_>)> {
         if self.remaining == 0 {
             return None;
         }
@@ -251,8 +267,44 @@ impl ArrivalStream for PoissonStream {
         } else {
             0.25 * self.rng.random_range(1..=self.ptime_steps.max(1)) as f64
         };
-        self.scratch = sample_set(self.structure, self.m, &self.chain, &mut self.rng);
-        Some((Task::new(release, ptime), &self.scratch))
+        // Structured kinds describe the set compactly with the same RNG
+        // draws `sample_set` would make; only the chain kinds (which lend
+        // a skeleton element) and General (which needs the member vector
+        // anyway) touch owned sets.
+        let m = self.m;
+        let set = match self.structure {
+            StructureKind::Unrestricted => ProcSetRef::full(m),
+            StructureKind::IntervalFixed(k) => {
+                assert!((1..=m).contains(&k), "interval size out of range");
+                let lo = self.rng.random_range(0..=m - k);
+                ProcSetRef::interval(lo, lo + k - 1)
+            }
+            StructureKind::RingFixed(k) => {
+                assert!((1..=m).contains(&k), "ring size out of range");
+                let start = self.rng.random_range(0..m);
+                ProcSetRef::ring(start, k, m)
+            }
+            StructureKind::DisjointBlocks(k) => {
+                assert!((1..=m).contains(&k), "block size out of range");
+                let blocks = m.div_ceil(k);
+                let blk = self.rng.random_range(0..blocks);
+                let lo = blk * k;
+                ProcSetRef::interval(lo, (lo + k - 1).min(m - 1))
+            }
+            StructureKind::InclusivePrefix => {
+                let len = self.rng.random_range(1..=m);
+                ProcSetRef::prefix(len)
+            }
+            StructureKind::InclusiveChain | StructureKind::NestedLaminar => {
+                let i = self.rng.random_range(0..self.chain.len());
+                self.chain[i].compact_view()
+            }
+            StructureKind::General => {
+                self.scratch = sample_set(StructureKind::General, m, &self.chain, &mut self.rng);
+                self.scratch.compact_view()
+            }
+        };
+        Some((Task::new(release, ptime), set))
     }
 
     fn len_hint(&self) -> Option<usize> {
@@ -334,6 +386,18 @@ mod tests {
     }
 
     #[test]
+    fn inclusive_prefix_structure_holds() {
+        for seed in 0..10 {
+            let inst = gen(StructureKind::InclusivePrefix, seed);
+            assert!(structure::is_inclusive(inst.sets()), "seed {seed}");
+            for set in inst.sets() {
+                assert_eq!(set.min(), Some(0), "seed {seed}: not a prefix");
+                assert!(set.as_contiguous().is_some(), "seed {seed}: not a prefix");
+            }
+        }
+    }
+
+    #[test]
     fn nested_structure_holds() {
         for seed in 0..10 {
             let inst = gen(StructureKind::NestedLaminar, seed);
@@ -373,6 +437,7 @@ mod tests {
             StructureKind::RingFixed(3),
             StructureKind::DisjointBlocks(4),
             StructureKind::InclusiveChain,
+            StructureKind::InclusivePrefix,
             StructureKind::NestedLaminar,
             StructureKind::General,
         ] {
@@ -441,6 +506,7 @@ mod tests {
             StructureKind::RingFixed(3),
             StructureKind::DisjointBlocks(2),
             StructureKind::InclusiveChain,
+            StructureKind::InclusivePrefix,
             StructureKind::NestedLaminar,
             StructureKind::General,
         ] {

@@ -8,8 +8,8 @@
 //! [`ReplicationStrategy`]. The machine-level model of
 //! [`flowsched_kvstore::cluster`] is the aggregation of this one.
 
+use flowsched_core::compact::ProcSetRef;
 use flowsched_core::instance::{Instance, InstanceBuilder};
-use flowsched_core::procset::ProcSet;
 use flowsched_core::stream::ArrivalStream;
 use flowsched_core::task::Task;
 use flowsched_kvstore::keyspace::Keyspace;
@@ -79,7 +79,10 @@ pub fn generate_trace(config: &TraceConfig, n: usize, rng: &mut impl Rng) -> Tra
 /// cumulative, so releases are natively non-decreasing; per-request RNG
 /// draws happen in the exact order of the batch generator (arrival, key,
 /// service), so collecting the stream reproduces [`generate_trace`]'s
-/// instance bit for bit from the same starting RNG.
+/// instance bit for bit from the same starting RNG. Replica sets are
+/// lent as compact [`ProcSetRef`] ring/interval views
+/// ([`ReplicationStrategy::replica_ref`]) — no per-request machine
+/// vector is ever built, regardless of the replication factor.
 #[derive(Debug)]
 pub struct TraceStream<R> {
     k: usize,
@@ -90,7 +93,6 @@ pub struct TraceStream<R> {
     arrivals: PoissonProcess,
     rng: R,
     remaining: usize,
-    scratch: ProcSet,
     last_key: usize,
 }
 
@@ -110,7 +112,6 @@ impl<R: Rng> TraceStream<R> {
             arrivals: PoissonProcess::new(config.lambda),
             rng,
             remaining: n,
-            scratch: ProcSet::full(1),
             last_key: 0,
         }
     }
@@ -131,7 +132,7 @@ impl<R: Rng> ArrivalStream for TraceStream<R> {
         self.m
     }
 
-    fn next_arrival(&mut self) -> Option<(Task, &ProcSet)> {
+    fn next_arrival(&mut self) -> Option<(Task, ProcSetRef<'_>)> {
         if self.remaining == 0 {
             return None;
         }
@@ -140,11 +141,8 @@ impl<R: Rng> ArrivalStream for TraceStream<R> {
         let key = self.keyspace.sample_key(&mut self.rng);
         let owner = self.keyspace.owner(key);
         self.last_key = key;
-        self.scratch = self.strategy.replica_set(owner, self.k, self.m);
-        Some((
-            Task::new(t, self.service.sample(&mut self.rng)),
-            &self.scratch,
-        ))
+        let set = self.strategy.replica_ref(owner, self.k, self.m);
+        Some((Task::new(t, self.service.sample(&mut self.rng)), set))
     }
 
     fn len_hint(&self) -> Option<usize> {

@@ -12,12 +12,15 @@
 #   4. clippy with warnings promoted to errors
 #   5. rustdoc with warnings promoted to errors (broken intra-doc
 #      links, missing docs on public items)
-#   6. bench gate (warn-only): scripts/bench_gate.sh re-runs the benches
-#      behind BENCH_PR1/PR3/PR4.json and reports medians that drifted
-#      past the noise tolerance — it never fails the build
+#   6. large-m smoke run: 100k-machine streams through the indexed
+#      dispatch kernel (cargo run --release -p flowsched-bench --bin
+#      smoke_scale), panicking on any degenerate report
+#   7. bench gate (warn-only): scripts/bench_gate.sh re-runs the benches
+#      behind BENCH_PR1/PR3/PR4/PR5.json and reports medians that
+#      drifted past the noise tolerance — it never fails the build
 #
 # Usage:
-#   scripts/ci_check.sh                 # all six stages
+#   scripts/ci_check.sh                 # all seven stages
 #   scripts/ci_check.sh --no-clippy     # skip the lint stage (e.g. when
 #                                       # the toolchain lacks clippy)
 #   scripts/ci_check.sh --no-bench-gate # skip the (slow) bench stage
@@ -54,6 +57,10 @@ fi
 echo
 echo "== RUSTDOCFLAGS=\"-D warnings\" cargo doc --no-deps =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q
+
+echo
+echo "== 100k-machine smoke run (indexed dispatch) =="
+cargo run -q --release -p flowsched-bench --bin smoke_scale
 
 if [ "$RUN_BENCH_GATE" = 1 ]; then
   echo

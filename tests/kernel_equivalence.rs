@@ -231,3 +231,160 @@ fn warm_started_unit_fmax_matches_seed_binary_search_on_200_instances() {
         assert_eq!(warm, seed, "trial {trial}: warm {warm} vs seed {seed}");
     }
 }
+
+// ---------------------------------------------------------------------------
+// Dispatch kernels: the indexed (segment-tree / cluster-heap) EFT state
+// against the scalar linear-scan oracle.
+// ---------------------------------------------------------------------------
+
+use flowsched::algos::eft::{eft_stream_with_kernel, EftState, ImmediateDispatcher};
+use flowsched::algos::indexed::{DispatchKernel, EftKernelState};
+use flowsched::algos::tiebreak::TieBreak;
+use flowsched::obs::MemoryRecorder;
+use flowsched::workloads::random::{random_instance, RandomInstanceConfig, StructureKind};
+
+/// The structured families of the paper (plus General, which exercises
+/// the explicit-slice and overlapping-cluster fallbacks).
+fn kind_for(idx: usize, k: usize) -> StructureKind {
+    match idx {
+        0 => StructureKind::IntervalFixed(k),
+        1 => StructureKind::RingFixed(k),
+        2 => StructureKind::DisjointBlocks(k),
+        3 => StructureKind::InclusivePrefix,
+        4 => StructureKind::InclusiveChain,
+        5 => StructureKind::NestedLaminar,
+        _ => StructureKind::General,
+    }
+}
+
+fn tiebreak_for(idx: usize, seed: u64) -> TieBreak {
+    match idx {
+        0 => TieBreak::Min,
+        1 => TieBreak::Max,
+        _ => TieBreak::Rand { seed },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Dispatch-for-dispatch equivalence: the indexed kernel must pick
+    /// the same machine at the same start time as the scalar oracle on
+    /// every task, across all structured families × all tie-breaks —
+    /// including `Rand`, whose agreement hinges on both kernels
+    /// enumerating identical tie sets (same RNG draw per dispatch).
+    #[test]
+    fn indexed_dispatch_matches_scalar_oracle(
+        family in 0usize..7,
+        tb_idx in 0usize..3,
+        m in 2usize..48,
+        n in 1usize..160,
+        k_raw in 1usize..48,
+        unit in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let k = 1 + k_raw % m;
+        let mut config = RandomInstanceConfig::unit_tasks(m, n, kind_for(family, k));
+        config.unit = unit;
+        let inst = random_instance(&config, seed);
+        let tb = tiebreak_for(tb_idx, seed ^ 0x7ea5);
+
+        let mut scalar = EftState::new(m, tb);
+        let mut indexed = EftKernelState::new(m, tb, DispatchKernel::Indexed);
+        for (id, task, set) in inst.iter() {
+            let a = scalar.dispatch(task, set);
+            let b = indexed.dispatch_task(task, set.view());
+            prop_assert_eq!(a, b, "task {} diverged ({:?})", id.0, tb);
+        }
+        prop_assert_eq!(scalar.completions(), indexed.machine_completions());
+
+        // RNG-consumption contract: if the kernels had drawn a different
+        // number of randoms (only possible under Rand), a shared tail of
+        // all-machines tasks would desynchronize immediately.
+        let tail_release = inst.iter().map(|(_, t, _)| t.release).fold(0.0, f64::max);
+        let everyone = ProcSet::full(m);
+        for _ in 0..32 {
+            let task = Task::unit(tail_release);
+            prop_assert_eq!(
+                scalar.dispatch(task, &everyone),
+                indexed.dispatch_task(task, everyone.view()),
+                "RNG streams desynchronized after the structured prefix"
+            );
+        }
+    }
+}
+
+/// Full-pipeline equivalence: `eft_stream_with_kernel` forced to
+/// `Scalar` vs forced to `Indexed` must produce the same [`Schedule`]
+/// *and* the same recorder event trace — the engine derives busy/idle
+/// transitions from assignments, so identical schedules must leave
+/// identical observability behind.
+#[test]
+fn stream_kernels_produce_identical_schedules_and_traces() {
+    use flowsched::core::stream::InstanceStream;
+    for (family, k) in [
+        (0usize, 5usize),
+        (1, 7),
+        (2, 4),
+        (3, 1),
+        (4, 1),
+        (5, 1),
+        (6, 1),
+    ] {
+        for tb in [TieBreak::Min, TieBreak::Max, TieBreak::Rand { seed: 42 }] {
+            let m = 24;
+            let mut config = RandomInstanceConfig::unit_tasks(m, 400, kind_for(family, k));
+            config.unit = false;
+            let inst = random_instance(&config, 0xD15);
+
+            let mut rec_scalar = MemoryRecorder::with_defaults(m);
+            let scalar = eft_stream_with_kernel(
+                InstanceStream::new(&inst),
+                tb,
+                DispatchKernel::Scalar,
+                &mut rec_scalar,
+            );
+            let mut rec_indexed = MemoryRecorder::with_defaults(m);
+            let indexed = eft_stream_with_kernel(
+                InstanceStream::new(&inst),
+                tb,
+                DispatchKernel::Indexed,
+                &mut rec_indexed,
+            );
+
+            assert_eq!(scalar, indexed, "family {family} {tb:?}: schedules differ");
+            scalar.validate(&inst).unwrap();
+            assert_eq!(
+                rec_scalar.trace().to_vec(),
+                rec_indexed.trace().to_vec(),
+                "family {family} {tb:?}: recorder traces differ"
+            );
+        }
+    }
+}
+
+/// `Auto` must agree with both forced kernels on either side of the
+/// machine-count threshold (it is a selection rule, not a third
+/// algorithm).
+#[test]
+fn auto_kernel_is_always_one_of_the_two_paths() {
+    use flowsched::algos::indexed::AUTO_INDEXED_MIN_MACHINES;
+    use flowsched::core::stream::InstanceStream;
+    for m in [AUTO_INDEXED_MIN_MACHINES / 2, 2 * AUTO_INDEXED_MIN_MACHINES] {
+        let config = RandomInstanceConfig::unit_tasks(m, 300, StructureKind::IntervalFixed(m / 3));
+        let inst = random_instance(&config, 9);
+        let auto = eft_stream_with_kernel(
+            InstanceStream::new(&inst),
+            TieBreak::Min,
+            DispatchKernel::Auto,
+            &mut flowsched::obs::NoopRecorder,
+        );
+        let forced = eft_stream_with_kernel(
+            InstanceStream::new(&inst),
+            TieBreak::Min,
+            DispatchKernel::Scalar,
+            &mut flowsched::obs::NoopRecorder,
+        );
+        assert_eq!(auto, forced, "m = {m}");
+    }
+}

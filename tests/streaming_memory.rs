@@ -109,3 +109,46 @@ fn million_task_stream_with_windowed_telemetry_stays_bounded() {
          state is leaking into the window layer"
     );
 }
+
+#[test]
+fn million_wide_inclusive_tasks_never_materialize_machine_vectors() {
+    // The PR-5 regime: m = 10,000 machines with inclusive-prefix sets
+    // averaging m/2 ≈ 5,000 machines per task. The stream lends each set
+    // as an O(1) `ProcSetRef::Prefix` and the auto-selected indexed
+    // kernel dispatches through the segment tree, so a million such
+    // tasks must not allocate a single per-task machine vector —
+    // materializing them would commit ≈ 1M × 5k × 8 B ≈ 40 GiB.
+    let m = 10_000;
+    let cfg = PoissonStreamConfig {
+        m,
+        n: 1_000_000,
+        structure: StructureKind::InclusivePrefix,
+        lambda: m as f64 / 2.0,
+        unit: true,
+        ptime_steps: 4,
+    };
+
+    let before = peak_rss_kib();
+    let report = simulate_stream(
+        PoissonStream::new(&cfg, 1105),
+        TieBreak::Min,
+        &ReportConfig::default(),
+        &mut NoopRecorder,
+    );
+    let after = peak_rss_kib();
+
+    assert_eq!(report.n_measured, 1_000_000);
+    assert!(report.fmax >= 1.0);
+
+    // Live state: the RNG, 10k machine completions, the ~2·16k-slot
+    // segment tree (≈ 256 KiB), the report fold (10k utilization slots,
+    // 4096 histogram bins, 250k-entry drift window ≈ 4 MiB). The same
+    // 32 MiB headroom as the narrow-set runs keeps the bound meaningful:
+    // even one wide set retained per thousand tasks would blow it.
+    let grown_kib = after.saturating_sub(before);
+    assert!(
+        grown_kib < 32 * 1024,
+        "wide-inclusive streaming run grew peak RSS by {grown_kib} KiB — \
+         per-task machine vectors are being materialized somewhere"
+    );
+}
