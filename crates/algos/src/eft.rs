@@ -264,7 +264,10 @@ pub fn eft_stream<S: ArrivalStream, R: Recorder>(
 
 /// [`eft_stream`] with the dispatch kernel forced: `Scalar` is the
 /// member-scan oracle, `Indexed` the segment-tree/cluster-heap kernel,
-/// `Auto` (what [`eft_stream`] uses) selects by machine count. All
+/// `Auto` (what [`eft_stream`] uses) selects from the stream's
+/// structure hint — set width as well as machine count, per the
+/// crossover model of
+/// [`indexed_min_width`](crate::indexed::indexed_min_width). All
 /// three produce bitwise-identical schedules and recorder traces
 /// (pinned by `tests/kernel_equivalence.rs`).
 pub fn eft_stream_with_kernel<S: ArrivalStream, R: Recorder>(
@@ -273,6 +276,7 @@ pub fn eft_stream_with_kernel<S: ArrivalStream, R: Recorder>(
     kernel: DispatchKernel,
     rec: &mut R,
 ) -> Schedule {
+    let kernel = kernel.resolve_for_stream(&stream);
     let mut state = EftKernelState::new(stream.machines(), policy, kernel);
     engine::immediate_schedule(stream, &mut state, rec)
 }

@@ -28,6 +28,16 @@
 //! so Proposition 1 (FIFO ≡ EFT on unrestricted instances) is still
 //! validated by two separate mechanisms consuming the same stream.
 //!
+//! [`run_immediate_sharded`] is the parallel form of EFT dispatch:
+//! when the stream's processing sets partition the machines into
+//! clusters ([`ArrivalStream::shard_plan`]), each cluster runs its own
+//! EFT kernel on a worker thread
+//! ([`run_sharded`](flowsched_parallel::sharded::run_sharded)) while
+//! the calling thread routes arrivals and replays the decisions in
+//! arrival order through the same `CommitTracker` commit path —
+//! bitwise-identical output for deterministic tie-breaks at any thread
+//! count. See `DESIGN.md`, "Sharded engine".
+//!
 //! # Transition convention
 //!
 //! [`run_immediate`] emits the busy/idle transitions itself, from the
@@ -57,14 +67,19 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
+use flowsched_core::compact::ProcSetRef;
 use flowsched_core::machine::MachineId;
 use flowsched_core::schedule::{Assignment, Schedule};
+use flowsched_core::shard::ShardPlan;
 use flowsched_core::stream::ArrivalStream;
 use flowsched_core::task::Task;
 use flowsched_core::time::Time;
 use flowsched_obs::Recorder;
+use flowsched_parallel::sharded::run_sharded;
+pub use flowsched_parallel::sharded::ShardedConfig;
 
 use crate::eft::ImmediateDispatcher;
+use crate::indexed::{DispatchKernel, EftKernelState};
 use crate::tiebreak::TieBreak;
 
 /// Consumer of committed assignments, called in task (sequence) order.
@@ -98,6 +113,56 @@ impl DispatchSink for NullSink {
     fn accept(&mut self, _seq: u64, _task: Task, _assignment: Assignment) {}
 }
 
+/// The engine's commitment bookkeeping: turns each `(seq, task,
+/// assignment)` into the recorder events of the module-level transition
+/// convention, then hands the assignment to the sink.
+///
+/// This is the *single* definition of that convention — the sequential
+/// [`run_immediate`] and the parallel [`run_immediate_sharded`] both
+/// commit through it, which is what makes their recorder traces (and
+/// order-sensitive sink folds) bitwise-identical rather than merely
+/// equivalent.
+struct CommitTracker {
+    /// Per-machine completion before the current dispatch — only needed
+    /// to reconstruct idle gaps for the trace.
+    prev_done: Vec<Time>,
+}
+
+impl CommitTracker {
+    fn new(enabled: bool, m: usize) -> Self {
+        CommitTracker {
+            prev_done: if enabled { vec![0.0; m] } else { Vec::new() },
+        }
+    }
+
+    #[inline]
+    fn commit<R, K>(&mut self, seq: u64, task: Task, a: Assignment, rec: &mut R, sink: &mut K)
+    where
+        R: Recorder,
+        K: DispatchSink,
+    {
+        if R::ENABLED {
+            rec.task_arrival(seq, task.release);
+            let u = a.machine.index();
+            let prev = self.prev_done[u];
+            if a.start > prev {
+                // The gap [prev, start) was idle; a machine that never
+                // ran (prev == 0) is idle implicitly, not via an event.
+                if prev > 0.0 {
+                    rec.machine_idle(u as u32, prev);
+                }
+                rec.machine_busy(u as u32, a.start);
+            } else if prev == 0.0 {
+                // First task of the machine, starting at t = 0.
+                rec.machine_busy(u as u32, a.start);
+            }
+            rec.task_dispatch(seq, u as u32, task.release, a.start, task.ptime);
+            self.prev_done[u] = a.start + task.ptime;
+        }
+        sink.accept(seq, task, a);
+    }
+}
+
 /// Drives an immediate-dispatch scheduler over an arrival stream.
 ///
 /// Pulls arrivals one at a time (asserting non-decreasing releases),
@@ -122,9 +187,7 @@ where
         disp.machine_count(),
         "stream and dispatcher disagree on machine count"
     );
-    // Per-machine completion before the current dispatch — only needed
-    // to reconstruct idle gaps for the trace.
-    let mut prev_done: Vec<Time> = if R::ENABLED { vec![0.0; m] } else { Vec::new() };
+    let mut tracker = CommitTracker::new(R::ENABLED, m);
     let mut last_release = f64::NEG_INFINITY;
     let mut seq: u64 = 0;
     while let Some((task, set)) = stream.next_arrival() {
@@ -136,25 +199,7 @@ where
         );
         last_release = task.release;
         let a = disp.dispatch_task(task, set);
-        let u = a.machine.index();
-        if R::ENABLED {
-            rec.task_arrival(seq, task.release);
-            let prev = prev_done[u];
-            if a.start > prev {
-                // The gap [prev, start) was idle; a machine that never
-                // ran (prev == 0) is idle implicitly, not via an event.
-                if prev > 0.0 {
-                    rec.machine_idle(u as u32, prev);
-                }
-                rec.machine_busy(u as u32, a.start);
-            } else if prev == 0.0 {
-                // First task of the machine, starting at t = 0.
-                rec.machine_busy(u as u32, a.start);
-            }
-            rec.task_dispatch(seq, u as u32, task.release, a.start, task.ptime);
-            prev_done[u] = a.start + task.ptime;
-        }
-        sink.accept(seq, task, a);
+        tracker.commit(seq, task, a, rec, sink);
         seq += 1;
     }
 }
@@ -169,6 +214,78 @@ where
 {
     let mut assignments = Vec::with_capacity(stream.len_hint().unwrap_or(0));
     run_immediate(stream, disp, rec, &mut assignments);
+    Schedule::new(assignments)
+}
+
+/// The parallel counterpart of [`run_immediate`] for EFT: dispatches
+/// each shard of `plan` on its own worker
+/// ([`run_sharded`](flowsched_parallel::sharded::run_sharded)) with an
+/// [`EftKernelState`] per shard, and commits results on the calling
+/// thread in strict arrival order through the same `CommitTracker`
+/// path as the sequential engine.
+///
+/// **Equivalence.** For `Min`/`Max` tie-breaks (and `Rand` on a
+/// single-shard plan) the schedule, recorder trace, and every
+/// order-sensitive sink fold are bitwise-identical to
+/// `run_immediate(stream, EftKernelState::new(m, policy, kernel), …)`,
+/// at every thread count: EFT's decision for a task reads only its own
+/// shard's completions, each shard sees its sequential subsequence, and
+/// commits replay in global arrival order. A multi-shard `Rand` run is
+/// deterministic and thread-count invariant but draws per-shard streams
+/// ([`TieBreak::for_shard`]), so it differs from the sequential
+/// single-stream schedule.
+///
+/// `DispatchKernel::Auto` resolves *per shard* on the shard's width, so
+/// a plan of narrow shards runs scalar kernels where the sequential
+/// engine would have picked the index — the outputs are still identical
+/// because the kernels are (pinned by `tests/kernel_equivalence.rs`).
+///
+/// # Panics
+/// Panics if the stream and plan disagree on the machine count, if an
+/// arrival's set straddles a shard boundary, if releases decrease, or
+/// if a worker dies.
+pub fn run_immediate_sharded<S, R, K>(
+    stream: S,
+    policy: TieBreak,
+    kernel: DispatchKernel,
+    plan: &ShardPlan,
+    cfg: &ShardedConfig,
+    rec: &mut R,
+    sink: &mut K,
+) where
+    S: ArrivalStream,
+    R: Recorder,
+    K: DispatchSink,
+{
+    let mut tracker = CommitTracker::new(R::ENABLED, stream.machines());
+    run_sharded(
+        stream,
+        plan,
+        cfg,
+        |s| {
+            let mut state = EftKernelState::new(plan.len_of(s), policy.for_shard(s), kernel);
+            move |task: Task, set: ProcSetRef<'_>| state.dispatch_task(task, set)
+        },
+        |seq, task, a| tracker.commit(seq, task, a, rec, sink),
+    );
+}
+
+/// [`run_immediate_sharded`] collecting the full [`Schedule`] — the
+/// sharded twin of [`immediate_schedule`].
+pub fn immediate_schedule_sharded<S, R>(
+    stream: S,
+    policy: TieBreak,
+    kernel: DispatchKernel,
+    plan: &ShardPlan,
+    cfg: &ShardedConfig,
+    rec: &mut R,
+) -> Schedule
+where
+    S: ArrivalStream,
+    R: Recorder,
+{
+    let mut assignments = Vec::with_capacity(stream.len_hint().unwrap_or(0));
+    run_immediate_sharded(stream, policy, kernel, plan, cfg, rec, &mut assignments);
     Schedule::new(assignments)
 }
 

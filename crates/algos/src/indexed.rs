@@ -85,20 +85,65 @@ impl DispatchKernel {
     /// Kernel suggested by a family classification
     /// ([`flowsched_core::structure::classify`]): structured families
     /// (interval, ring, inclusive, nested, disjoint) benefit from the
-    /// index once `m` crosses the auto threshold; an unstructured family
-    /// of wide explicit sets stays on the scalar scan.
+    /// index once `m` crosses the auto threshold **and** the sets are
+    /// wide enough for O(log m) descents to beat the scalar sweep.
+    ///
+    /// The width test is what fixes the BENCH_PR5 small-set regression:
+    /// on `disjoint` blocks of width `m/16` the indexed kernel *lost*
+    /// below the crossover (m = 64: 614 µs indexed vs 348 µs scalar for
+    /// k = 4; m = 256: 761 µs vs 575 µs for k = 16) and won above it
+    /// (m = 1024: 1.11 ms vs 1.45 ms for k = 64) — scanning a handful
+    /// of members is cheaper than a tree descent, however large `m` is.
+    /// [`indexed_min_width`] places the cut between those measured
+    /// points; families with no fixed width (mixed or unknown set
+    /// sizes, `fixed_size == None`) keep the index, matching the
+    /// measured interval/inclusive sweeps where it wins at every `m`.
     pub fn for_structure(report: &StructureReport, m: usize) -> DispatchKernel {
         let structured = report.interval
             || report.ring_interval
             || report.inclusive
             || report.nested
             || report.disjoint;
-        if structured && m >= AUTO_INDEXED_MIN_MACHINES {
-            DispatchKernel::Indexed
-        } else {
-            DispatchKernel::Scalar
+        if !structured || m < AUTO_INDEXED_MIN_MACHINES {
+            return DispatchKernel::Scalar;
+        }
+        match report.fixed_size {
+            Some(k) if k < indexed_min_width(m) => DispatchKernel::Scalar,
+            _ => DispatchKernel::Indexed,
         }
     }
+
+    /// Resolves this kernel choice for a concrete stream: `Auto`
+    /// consults the stream's
+    /// [`structure_hint`](flowsched_core::stream::ArrivalStream::structure_hint)
+    /// through [`for_structure`](DispatchKernel::for_structure) when one
+    /// is available, and falls back to the machine-count rule
+    /// ([`resolve`](DispatchKernel::resolve)) when the source promises
+    /// nothing. Explicit choices pass through untouched.
+    pub fn resolve_for_stream<S>(self, stream: &S) -> DispatchKernel
+    where
+        S: flowsched_core::stream::ArrivalStream + ?Sized,
+    {
+        match self {
+            DispatchKernel::Auto => match stream.structure_hint() {
+                Some(report) => DispatchKernel::for_structure(&report, stream.machines()),
+                None => self.resolve(stream.machines()),
+            },
+            other => other,
+        }
+    }
+}
+
+/// Minimum fixed set width for which the indexed kernel is expected to
+/// beat the scalar scan on `m` machines: `2·⌈log₂ m⌉`-ish (two tree
+/// descents' worth of nodes). A scalar dispatch touches `k` completion
+/// slots sequentially; an indexed one touches O(log m) scattered tree
+/// nodes for the query plus log m for the commit — so narrow sets on
+/// huge machine counts still favor the sweep. The constant is pinned by
+/// the BENCH_PR5 medians quoted at
+/// [`for_structure`](DispatchKernel::for_structure).
+pub fn indexed_min_width(m: usize) -> usize {
+    2 * (usize::BITS - m.leading_zeros()) as usize
 }
 
 /// A segment tree over machine completion times supporting point
@@ -781,6 +826,86 @@ mod tests {
         );
         assert_eq!(
             DispatchKernel::for_structure(&rep, 8),
+            DispatchKernel::Scalar
+        );
+    }
+
+    /// Pins the width-aware crossover against the recorded BENCH_PR5
+    /// medians (`dispatch_disjoint`, blocks of width m/16): the scalar
+    /// scan measured faster at (m=64, k=4) [348 µs vs 614 µs] and
+    /// (m=256, k=16) [575 µs vs 761 µs], the indexed kernel faster at
+    /// (m=1024, k=64) [1.11 ms vs 1.45 ms] and every larger point —
+    /// `for_structure` must land on the measured winner at each.
+    #[test]
+    fn width_threshold_matches_bench_pr5_crossover() {
+        use flowsched_core::procset::ProcSet;
+        use flowsched_core::structure::classify;
+        let disjoint = |m: usize, k: usize| {
+            let sets: Vec<ProcSet> = (0..m / k)
+                .map(|b| ProcSet::interval(b * k, b * k + k - 1))
+                .collect();
+            classify(&sets, m)
+        };
+        for (m, winner) in [
+            (64, DispatchKernel::Scalar),
+            (256, DispatchKernel::Scalar),
+            (1024, DispatchKernel::Indexed),
+            (4096, DispatchKernel::Indexed),
+        ] {
+            let rep = disjoint(m, m / 16);
+            assert_eq!(rep.fixed_size, Some(m / 16));
+            assert_eq!(
+                DispatchKernel::for_structure(&rep, m),
+                winner,
+                "disjoint m={m} k={}",
+                m / 16
+            );
+        }
+        // Interval/inclusive sweeps (widths ~m/2 or mixed) measured the
+        // index ahead at every m ≥ 64 — wide or unknown widths keep it.
+        let wide = classify(
+            &(0..4)
+                .map(|i| ProcSet::interval(i, i + 31))
+                .collect::<Vec<_>>(),
+            64,
+        );
+        assert_eq!(
+            DispatchKernel::for_structure(&wide, 64),
+            DispatchKernel::Indexed
+        );
+        assert!(indexed_min_width(64) <= 32 && indexed_min_width(64) > 4);
+    }
+
+    #[test]
+    fn resolve_for_stream_uses_the_hint_when_present() {
+        use flowsched_core::instance::InstanceBuilder;
+        use flowsched_core::procset::ProcSet;
+        use flowsched_core::stream::{FnStream, InstanceStream};
+        // Narrow disjoint blocks on many machines: the flat m-rule said
+        // Indexed, the structure-aware rule must say Scalar.
+        let m = 256;
+        let mut b = InstanceBuilder::new(m);
+        for i in 0..32 {
+            let blk = (i * 5) % (m / 4);
+            b.push(
+                Task::new(i as f64, 1.0),
+                ProcSet::interval(blk * 4, blk * 4 + 3),
+            );
+        }
+        let inst = b.build().unwrap();
+        assert_eq!(
+            DispatchKernel::Auto.resolve_for_stream(&InstanceStream::new(&inst)),
+            DispatchKernel::Scalar
+        );
+        // Hint-less sources keep the machine-count rule…
+        let hintless = FnStream::new(m, || None);
+        assert_eq!(
+            DispatchKernel::Auto.resolve_for_stream(&hintless),
+            DispatchKernel::Indexed
+        );
+        // …and explicit choices always pass through.
+        assert_eq!(
+            DispatchKernel::Scalar.resolve_for_stream(&InstanceStream::new(&inst)),
             DispatchKernel::Scalar
         );
     }

@@ -8,7 +8,11 @@
 //!   central-queue FIFO), driving any
 //!   [`ArrivalStream`](flowsched_core::ArrivalStream) under any
 //!   [`Recorder`](flowsched_obs::Recorder) into any
-//!   [`DispatchSink`](engine::DispatchSink).
+//!   [`DispatchSink`](engine::DispatchSink). Includes the sharded
+//!   engine ([`engine::run_immediate_sharded`]): when the stream's
+//!   processing sets partition the machines into clusters, each cluster
+//!   dispatches on its own worker thread and the decisions merge back
+//!   in arrival order, bitwise-identical to the sequential run.
 //! - [`tiebreak`]: the tie-break policies distinguishing EFT-Min
 //!   (Algorithm 3), EFT-Max, and EFT-Rand (Algorithm 4).
 //! - [`eft`](mod@eft): Earliest Finish Time — the immediate-dispatch scheduler of
@@ -47,13 +51,16 @@ pub use compose::compose_disjoint;
 pub use eft::eft_recorded;
 pub use eft::{eft, eft_stream, eft_stream_with_kernel, EftState, ImmediateDispatcher};
 pub use engine::{
-    fifo_schedule, immediate_schedule, run_fifo, run_immediate, DispatchSink, NullSink,
+    fifo_schedule, immediate_schedule, immediate_schedule_sharded, run_fifo, run_immediate,
+    run_immediate_sharded, DispatchSink, NullSink, ShardedConfig,
 };
 pub use exact::{approx_fmax, exact_fmax, ExactResult};
 #[allow(deprecated)]
 pub use fifo::fifo_recorded;
 pub use fifo::{fifo, fifo_stream};
-pub use indexed::{DispatchKernel, EftKernelState, IndexedEftState, AUTO_INDEXED_MIN_MACHINES};
+pub use indexed::{
+    indexed_min_width, DispatchKernel, EftKernelState, IndexedEftState, AUTO_INDEXED_MIN_MACHINES,
+};
 pub use localsearch::{eft_plus_local_search, improve};
 pub use offline::{brute_force_fmax, fmax_lower_bound, optimal_unit_fmax};
 pub use policies::{dispatch_stream, dispatch_stream_with_kernel, DispatchRule, Dispatcher};
@@ -64,7 +71,7 @@ pub use tiebreak::TieBreak;
 /// Most used items for downstream crates.
 pub mod prelude {
     pub use crate::eft::{eft, eft_stream, eft_stream_with_kernel, EftState, ImmediateDispatcher};
-    pub use crate::engine::{run_fifo, run_immediate};
+    pub use crate::engine::{run_fifo, run_immediate, run_immediate_sharded, ShardedConfig};
     pub use crate::exact::{exact_fmax, ExactResult};
     pub use crate::fifo::{fifo, fifo_stream};
     pub use crate::indexed::{DispatchKernel, EftKernelState, IndexedEftState};

@@ -210,6 +210,7 @@ where
     S: flowsched_core::stream::ArrivalStream,
     R: flowsched_obs::Recorder,
 {
+    let kernel = kernel.resolve_for_stream(&stream);
     let mut state = Dispatcher::with_kernel(stream.machines(), rule, kernel);
     crate::engine::immediate_schedule(stream, &mut state, rec)
 }

@@ -37,6 +37,28 @@ impl TieBreak {
             TieBreak::Rand { seed } => Breaker::Rand(Box::new(derive_rng(seed, 0xBEEF))),
         }
     }
+
+    /// The policy a sharded engine's shard `s` dispatcher runs.
+    ///
+    /// `Min`/`Max` are stateless and pass through. `Rand` keeps its seed
+    /// on shard 0 — so a single-shard sharded run consumes the *same*
+    /// random stream as a sequential run and reproduces it exactly — and
+    /// mixes the shard index into the seed elsewhere, giving every shard
+    /// an independent stream that depends only on `(seed, s)`, never on
+    /// thread count. (A multi-shard `Rand` run therefore differs from
+    /// the sequential schedule — the sequential engine draws one global
+    /// stream across shards — but is itself fully deterministic and
+    /// thread-count invariant.)
+    pub fn for_shard(self, shard: usize) -> TieBreak {
+        match self {
+            TieBreak::Rand { seed } if shard > 0 => TieBreak::Rand {
+                // SplitMix64's golden-ratio increment decorrelates
+                // consecutive shard indices.
+                seed: seed ^ (shard as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            },
+            other => other,
+        }
+    }
 }
 
 impl std::fmt::Display for TieBreak {
@@ -132,6 +154,20 @@ mod tests {
     #[should_panic(expected = "at least one candidate")]
     fn empty_candidates_rejected() {
         TieBreak::Min.breaker().pick(&[]);
+    }
+
+    #[test]
+    fn for_shard_keeps_shard_zero_and_decorrelates_the_rest() {
+        assert_eq!(TieBreak::Min.for_shard(3), TieBreak::Min);
+        assert_eq!(TieBreak::Max.for_shard(1), TieBreak::Max);
+        let base = TieBreak::Rand { seed: 42 };
+        assert_eq!(base.for_shard(0), base);
+        let one = base.for_shard(1);
+        let two = base.for_shard(2);
+        assert_ne!(one, base);
+        assert_ne!(one, two);
+        // Deterministic: same (seed, shard) → same derived policy.
+        assert_eq!(base.for_shard(1), one);
     }
 
     #[test]

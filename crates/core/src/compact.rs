@@ -240,6 +240,75 @@ impl<'a> ProcSetRef<'a> {
     }
 }
 
+/// An owned [`ProcSetRef`]: the same four compact shapes, with the
+/// explicit fallback owning its member slice.
+///
+/// `ProcSetRef` borrows from its stream and dies at the next pull,
+/// which is exactly right on the hot dispatch path but useless for
+/// handing a set to another thread. `CompactProcSet` is the `Send`
+/// counterpart the sharded engine puts in its routing messages: compact
+/// shapes stay allocation-free `Copy`-sized payloads, and only explicit
+/// sets pay for a boxed slice. Equality is semantic, matching
+/// [`ProcSetRef`].
+#[derive(Debug, Clone)]
+pub enum CompactProcSet {
+    /// The contiguous interval `{lo, …, hi}` (inclusive, `lo ≤ hi`).
+    Interval {
+        /// Smallest member.
+        lo: usize,
+        /// Largest member.
+        hi: usize,
+    },
+    /// A wrapping ring segment — same invariants as
+    /// [`ProcSetRef::Ring`].
+    Ring {
+        /// First machine of the segment (before wrapping).
+        start: usize,
+        /// Number of machines in the segment.
+        len: usize,
+        /// Ring size.
+        m: usize,
+    },
+    /// The prefix `{0, …, len−1}` (`len ≥ 1`).
+    Prefix {
+        /// Number of machines in the prefix.
+        len: usize,
+    },
+    /// Fallback: an owned sorted, strictly-increasing member slice.
+    Explicit(Box<[usize]>),
+}
+
+impl CompactProcSet {
+    /// Lends the set back as a borrowed view.
+    pub fn as_view(&self) -> ProcSetRef<'_> {
+        match *self {
+            CompactProcSet::Interval { lo, hi } => ProcSetRef::Interval { lo, hi },
+            CompactProcSet::Ring { start, len, m } => ProcSetRef::Ring { start, len, m },
+            CompactProcSet::Prefix { len } => ProcSetRef::Prefix { len },
+            CompactProcSet::Explicit(ref s) => ProcSetRef::Explicit(s),
+        }
+    }
+}
+
+impl From<ProcSetRef<'_>> for CompactProcSet {
+    fn from(v: ProcSetRef<'_>) -> Self {
+        match v {
+            ProcSetRef::Interval { lo, hi } => CompactProcSet::Interval { lo, hi },
+            ProcSetRef::Ring { start, len, m } => CompactProcSet::Ring { start, len, m },
+            ProcSetRef::Prefix { len } => CompactProcSet::Prefix { len },
+            ProcSetRef::Explicit(s) => CompactProcSet::Explicit(s.into()),
+        }
+    }
+}
+
+impl PartialEq for CompactProcSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_view() == other.as_view()
+    }
+}
+
+impl Eq for CompactProcSet {}
+
 /// Iterator over a [`ProcSetRef`]'s members in increasing order.
 #[derive(Debug, Clone)]
 pub enum ProcSetRefIter<'a> {
@@ -436,5 +505,31 @@ mod tests {
     #[should_panic(expected = "lo <= hi")]
     fn interval_rejects_inverted_bounds() {
         let _ = ProcSetRef::interval(3, 2);
+    }
+
+    #[test]
+    fn compact_procset_round_trips_every_variant() {
+        for v in [
+            ProcSetRef::interval(3, 7),
+            ProcSetRef::ring(5, 4, 7),
+            ProcSetRef::prefix(5),
+            ProcSetRef::Explicit(&[0, 2, 9]),
+        ] {
+            let owned = CompactProcSet::from(v);
+            assert_eq!(owned.as_view(), v, "{v:?}");
+            assert_eq!(owned, CompactProcSet::from(owned.as_view()));
+        }
+    }
+
+    #[test]
+    fn compact_procset_equality_is_semantic() {
+        assert_eq!(
+            CompactProcSet::Prefix { len: 3 },
+            CompactProcSet::from(ProcSetRef::interval(0, 2))
+        );
+        assert_ne!(
+            CompactProcSet::Prefix { len: 3 },
+            CompactProcSet::Interval { lo: 0, hi: 3 }
+        );
     }
 }

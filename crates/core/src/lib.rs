@@ -31,6 +31,9 @@
 //!   used throughout the proof of the paper's Theorem 8.
 //! - [`stream`]: the lazy [`ArrivalStream`] contract — tasks revealed one
 //!   release at a time, the genuinely online view the engines consume.
+//! - [`shard`]: contiguous machine-ownership partitions ([`ShardPlan`])
+//!   that the structured families induce, the routing contract of the
+//!   parallel sharded engine.
 //! - [`gantt`]: ASCII rendering of schedules, used to regenerate the
 //!   paper's Figure 3.
 //! - [`io`]: validated JSON (de)serialization of instances and schedules.
@@ -44,18 +47,20 @@ pub mod machine;
 pub mod procset;
 pub mod profile;
 pub mod schedule;
+pub mod shard;
 pub mod stream;
 pub mod structure;
 pub mod task;
 pub mod time;
 
-pub use compact::{ProcSetRef, ProcSetRefIter};
+pub use compact::{CompactProcSet, ProcSetRef, ProcSetRefIter};
 pub use error::CoreError;
 pub use instance::{Instance, InstanceBuilder};
 pub use io::{instance_from_json, instance_to_json, schedule_from_json, schedule_to_json};
 pub use machine::MachineId;
 pub use procset::ProcSet;
 pub use schedule::{Assignment, Schedule};
+pub use shard::{ShardPlan, DEFAULT_MAX_SHARDS};
 pub use stream::{collect_stream, ArrivalStream, FnStream, InstanceStream};
 pub use structure::{ProcSetStructure, StructureReport};
 pub use task::{Task, TaskId};

@@ -1,0 +1,313 @@
+//! Machine sharding: contiguous ownership partitions for parallel
+//! dispatch.
+//!
+//! The paper's structured families make the machine set *decomposable*:
+//! a disjoint family (Cor. 1), a blocked interval family, or any family
+//! whose interval hulls do not straddle a boundary splits the cluster
+//! into segments that never exchange work — every processing set lies
+//! entirely inside one segment, so EFT's dispatch decision for a task
+//! (Equation (2)) reads and writes only that segment's completion
+//! times. A [`ShardPlan`] captures such a decomposition as a sorted
+//! list of cut points; the sharded engine
+//! (`flowsched_parallel::sharded`) runs one dispatcher per shard and
+//! merges results in arrival order, reproducing the sequential engine
+//! bit for bit.
+//!
+//! Plans are built either analytically (a generator that knows its
+//! block layout calls [`ShardPlan::blocks`]) or from observed interval
+//! hulls ([`ShardPlan::from_hulls`] — the union of overlapping hulls is
+//! itself an interval, so hull-connected components are always
+//! contiguous and every set, whatever its internal shape, stays within
+//! its component). Families that do not decompose — overlapping
+//! random-position intervals, wrap-around rings, inclusive chains —
+//! collapse to [`ShardPlan::single`], which the engine runs inline.
+//!
+//! Determinism contract: a plan depends only on the family (and the
+//! requested shard cap), never on the thread count, so the same plan
+//! replayed under any number of workers routes every task identically.
+
+use crate::compact::ProcSetRef;
+
+/// Default cap on logical shards. Per-shard dispatcher state is O(shard
+/// width), so the cap bounds total state at ~one extra completion
+/// vector; 16 comfortably covers the core counts this crate targets
+/// while keeping single-digit-machine shards (which would thrash the
+/// routing queues) merged away.
+pub const DEFAULT_MAX_SHARDS: usize = 16;
+
+/// A partition of machines `{0, …, m−1}` into contiguous shards.
+///
+/// Shard `s` owns the half-open machine range
+/// `[starts[s], starts[s+1])` (the last shard ends at `m`). Every
+/// processing set routed through the plan must lie entirely inside one
+/// shard — [`route`](ShardPlan::route) enforces this and panics on a
+/// straddling set, because silently mis-routing would corrupt the
+/// bitwise-equivalence guarantee rather than merely slow things down.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    m: usize,
+    /// Ascending shard start indices; `starts[0] == 0`.
+    starts: Vec<usize>,
+}
+
+impl ShardPlan {
+    /// The trivial plan: one shard owning every machine. Always valid;
+    /// the sharded engine runs it inline with zero threading overhead.
+    ///
+    /// # Panics
+    /// Panics if `m == 0`.
+    pub fn single(m: usize) -> Self {
+        assert!(m > 0, "need at least one machine");
+        ShardPlan { m, starts: vec![0] }
+    }
+
+    /// A plan with explicit cut points. `starts` must begin with 0 and
+    /// be strictly increasing below `m`.
+    ///
+    /// # Panics
+    /// Panics on an empty, unsorted, or out-of-range cut list.
+    pub fn from_cuts(m: usize, starts: Vec<usize>) -> Self {
+        assert!(m > 0, "need at least one machine");
+        assert_eq!(starts.first(), Some(&0), "first shard must start at 0");
+        assert!(
+            starts.windows(2).all(|w| w[0] < w[1]),
+            "shard starts must be strictly increasing"
+        );
+        assert!(
+            *starts.last().unwrap() < m,
+            "shard starts must stay below m"
+        );
+        ShardPlan { m, starts }
+    }
+
+    /// The blocked plan for a disjoint family of `block`-wide sets
+    /// (`DisjointBlocks(k)` workloads): cut at every block boundary,
+    /// then coalesce adjacent blocks down to at most `max_shards`.
+    ///
+    /// # Panics
+    /// Panics if `m == 0`, `block == 0` or `max_shards == 0`.
+    pub fn blocks(m: usize, block: usize, max_shards: usize) -> Self {
+        assert!(block > 0, "block width must be positive");
+        let starts = (0..m).step_by(block).collect();
+        ShardPlan::from_cuts(m, starts).coalesced(max_shards)
+    }
+
+    /// Builds the finest valid plan from the interval hulls
+    /// `(min, max)` of a family's sets, coalesced to at most
+    /// `max_shards`: a machine boundary is a valid cut iff no hull
+    /// spans it. Overlapping sets have overlapping hulls, so
+    /// hull-connected sets always land in one shard — the plan is
+    /// conservative and correct for *any* set shapes, holes included.
+    ///
+    /// # Panics
+    /// Panics if `m == 0`, `max_shards == 0`, or a hull is inverted or
+    /// out of range.
+    pub fn from_hulls(
+        m: usize,
+        hulls: impl IntoIterator<Item = (usize, usize)>,
+        max_shards: usize,
+    ) -> Self {
+        assert!(m > 0, "need at least one machine");
+        // cuttable[c] ⇔ no hull spans the boundary between machines
+        // c−1 and c (boundary 0 is the plan start, always kept).
+        let mut cuttable = vec![true; m];
+        for (lo, hi) in hulls {
+            assert!(
+                lo <= hi && hi < m,
+                "hull ({lo}, {hi}) out of range for m = {m}"
+            );
+            for c in &mut cuttable[lo + 1..=hi] {
+                *c = false;
+            }
+        }
+        let starts = (0..m).filter(|&c| c == 0 || cuttable[c]).collect();
+        ShardPlan::from_cuts(m, starts).coalesced(max_shards)
+    }
+
+    /// Merges adjacent shards until at most `max_shards` remain,
+    /// keeping shard widths balanced (greedy `⌈m/max⌉` target). The
+    /// result depends only on the input plan and the cap — not on any
+    /// runtime property — so it preserves the determinism contract.
+    ///
+    /// # Panics
+    /// Panics if `max_shards == 0`.
+    pub fn coalesced(&self, max_shards: usize) -> Self {
+        assert!(max_shards > 0, "need at least one shard");
+        if self.shards() <= max_shards {
+            return self.clone();
+        }
+        let target = self.m.div_ceil(max_shards);
+        let mut starts = vec![0usize];
+        for &c in &self.starts[1..] {
+            if c - starts.last().unwrap() >= target {
+                starts.push(c);
+            }
+        }
+        ShardPlan { m: self.m, starts }
+    }
+
+    /// Number of machines the plan covers.
+    pub fn machines(&self) -> usize {
+        self.m
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.starts.len()
+    }
+
+    /// True when the plan has exactly one shard (the inline path).
+    pub fn is_single(&self) -> bool {
+        self.starts.len() == 1
+    }
+
+    /// First machine owned by shard `s`.
+    pub fn start_of(&self, s: usize) -> usize {
+        self.starts[s]
+    }
+
+    /// Number of machines owned by shard `s`.
+    pub fn len_of(&self, s: usize) -> usize {
+        let end = self.starts.get(s + 1).copied().unwrap_or(self.m);
+        end - self.starts[s]
+    }
+
+    /// The shard owning machine `j`.
+    ///
+    /// # Panics
+    /// Panics if `j >= m`.
+    pub fn shard_of(&self, j: usize) -> usize {
+        assert!(j < self.m, "machine {j} out of range for m = {}", self.m);
+        match self.starts.binary_search(&j) {
+            Ok(s) => s,
+            Err(ins) => ins - 1,
+        }
+    }
+
+    /// Routes a processing set to its owning shard.
+    ///
+    /// # Panics
+    /// Panics if the set is empty, references a machine out of range,
+    /// or straddles a shard boundary — a straddling set means the plan
+    /// does not match the family, and dispatching it anyway would break
+    /// the sequential-equivalence guarantee.
+    pub fn route(&self, set: &ProcSetRef<'_>) -> usize {
+        let lo = set.min().expect("cannot route an empty processing set");
+        let hi = set.max().expect("cannot route an empty processing set");
+        let s = self.shard_of(lo);
+        let end = self.starts.get(s + 1).copied().unwrap_or(self.m);
+        assert!(
+            hi < end,
+            "processing set [{lo}, {hi}] straddles the shard boundary at \
+             {end} — the shard plan does not cover this family"
+        );
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_plan_owns_everything() {
+        let p = ShardPlan::single(7);
+        assert_eq!(p.shards(), 1);
+        assert!(p.is_single());
+        assert_eq!(p.len_of(0), 7);
+        assert_eq!(p.route(&ProcSetRef::interval(0, 6)), 0);
+        assert_eq!(p.route(&ProcSetRef::ring(5, 3, 7)), 0);
+    }
+
+    #[test]
+    fn blocks_cut_on_block_boundaries() {
+        let p = ShardPlan::blocks(12, 4, 16);
+        assert_eq!(p.shards(), 3);
+        assert_eq!(
+            (0..3)
+                .map(|s| (p.start_of(s), p.len_of(s)))
+                .collect::<Vec<_>>(),
+            vec![(0, 4), (4, 4), (8, 4)]
+        );
+        assert_eq!(p.route(&ProcSetRef::interval(4, 7)), 1);
+        assert_eq!(p.route(&ProcSetRef::interval(8, 8)), 2);
+    }
+
+    #[test]
+    fn blocks_coalesce_to_the_cap() {
+        let p = ShardPlan::blocks(64, 4, 4);
+        assert_eq!(p.shards(), 4);
+        // Every original 4-block must still sit inside one shard.
+        for b in 0..16 {
+            let set = ProcSetRef::interval(4 * b, 4 * b + 3);
+            let s = p.route(&set);
+            assert!(p.start_of(s) <= 4 * b && 4 * b + 3 < p.start_of(s) + p.len_of(s));
+        }
+    }
+
+    #[test]
+    fn from_hulls_respects_overlap() {
+        // {0..2} and {2..4} overlap (share machine 2) → one component;
+        // {5..7} is separate.
+        let p = ShardPlan::from_hulls(8, [(0, 2), (2, 4), (5, 7)], 16);
+        assert_eq!(
+            p.route(&ProcSetRef::interval(0, 2)),
+            p.route(&ProcSetRef::interval(2, 4))
+        );
+        assert_ne!(
+            p.route(&ProcSetRef::interval(0, 2)),
+            p.route(&ProcSetRef::interval(5, 7))
+        );
+    }
+
+    #[test]
+    fn from_hulls_keeps_holey_sets_whole() {
+        // An explicit set {1, 5} has hull (1, 5): no cut may fall in
+        // (1, 5] even though machines 2–4 are untouched.
+        let p = ShardPlan::from_hulls(8, [(1, 5), (6, 7)], 16);
+        let holey = [1usize, 5];
+        let s = p.route(&ProcSetRef::Explicit(&holey));
+        assert_eq!(s, p.shard_of(1));
+        assert_eq!(s, p.shard_of(5), "hull (1,5) must not be split");
+        assert_ne!(s, p.route(&ProcSetRef::interval(6, 7)));
+    }
+
+    #[test]
+    fn wrapping_hull_forces_single_component() {
+        // A wrap-around ring set has hull (0, m−1): nothing can be cut.
+        let ring = ProcSetRef::ring(6, 3, 8);
+        let p = ShardPlan::from_hulls(8, [(ring.min().unwrap(), ring.max().unwrap()), (2, 3)], 16);
+        assert!(p.is_single());
+    }
+
+    #[test]
+    fn shard_of_agrees_with_ranges() {
+        let p = ShardPlan::from_cuts(10, vec![0, 3, 7]);
+        for j in 0..10 {
+            let s = p.shard_of(j);
+            assert!(
+                p.start_of(s) <= j && j < p.start_of(s) + p.len_of(s),
+                "machine {j}"
+            );
+        }
+    }
+
+    #[test]
+    fn coalesce_is_idempotent_below_cap() {
+        let p = ShardPlan::from_cuts(10, vec![0, 3, 7]);
+        assert_eq!(p.coalesced(8), p);
+    }
+
+    #[test]
+    #[should_panic(expected = "straddles")]
+    fn straddling_set_is_rejected() {
+        let p = ShardPlan::from_cuts(8, vec![0, 4]);
+        p.route(&ProcSetRef::interval(2, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_cuts_rejected() {
+        let _ = ShardPlan::from_cuts(8, vec![0, 4, 4]);
+    }
+}

@@ -22,6 +22,8 @@ use crate::compact::ProcSetRef;
 use crate::error::CoreError;
 use crate::instance::Instance;
 use crate::procset::ProcSet;
+use crate::shard::ShardPlan;
+use crate::structure::{classify, StructureReport};
 use crate::task::{Task, TaskId};
 
 /// A pull-based source of task arrivals in non-decreasing release order.
@@ -45,6 +47,27 @@ pub trait ArrivalStream {
     fn len_hint(&self) -> Option<usize> {
         None
     }
+
+    /// What the source knows *a priori* about the structure of every
+    /// set it will ever yield (the paper's families — Figure 1), or
+    /// `None` when it cannot promise anything. Kernels use this to pick
+    /// a dispatch strategy before the first arrival; the hint must hold
+    /// for the whole stream, so adaptive sources should stay with the
+    /// default.
+    fn structure_hint(&self) -> Option<StructureReport> {
+        None
+    }
+
+    /// A machine partition (at most `max_shards` shards) that every
+    /// future arrival's processing set fits inside — the contract the
+    /// sharded engine routes by. The default is the always-valid
+    /// single-shard plan; sources that know their family decomposes
+    /// (disjoint blocks, bounded-hull intervals) override this to
+    /// unlock parallel dispatch.
+    fn shard_plan(&self, max_shards: usize) -> ShardPlan {
+        let _ = max_shards;
+        ShardPlan::single(self.machines())
+    }
 }
 
 /// Forwarding impl so engines can take streams by value while callers
@@ -60,6 +83,14 @@ impl<S: ArrivalStream + ?Sized> ArrivalStream for &mut S {
 
     fn len_hint(&self) -> Option<usize> {
         (**self).len_hint()
+    }
+
+    fn structure_hint(&self) -> Option<StructureReport> {
+        (**self).structure_hint()
+    }
+
+    fn shard_plan(&self, max_shards: usize) -> ShardPlan {
+        (**self).shard_plan(max_shards)
     }
 }
 
@@ -99,6 +130,29 @@ impl ArrivalStream for InstanceStream<'_> {
 
     fn len_hint(&self) -> Option<usize> {
         Some(self.inst.len() - self.next)
+    }
+
+    fn structure_hint(&self) -> Option<StructureReport> {
+        // The whole instance is in hand, so the classifier's verdict is
+        // exact — and O(total set size), paid once per stream, which the
+        // batch wrappers can afford.
+        Some(classify(self.inst.sets(), self.inst.machines()))
+    }
+
+    fn shard_plan(&self, max_shards: usize) -> ShardPlan {
+        // Hull-connected components over the materialized family: valid
+        // for any set shapes (an empty-set instance cannot exist, so
+        // every hull is well-formed).
+        ShardPlan::from_hulls(
+            self.inst.machines(),
+            self.inst.sets().iter().map(|s| {
+                (
+                    s.min().expect("instance sets are nonempty"),
+                    s.max().unwrap(),
+                )
+            }),
+            max_shards,
+        )
     }
 }
 
@@ -215,6 +269,40 @@ mod tests {
             n += 1;
         }
         assert_eq!(n, 4);
+    }
+
+    #[test]
+    fn instance_stream_hints_reflect_the_family() {
+        // Two disjoint blocks {0,1} and {2}: disjoint + interval, and
+        // the hull plan cuts between machines 1 and 2.
+        let mut b = InstanceBuilder::new(3);
+        b.push(Task::new(0.0, 1.0), ProcSet::interval(0, 1));
+        b.push(Task::new(1.0, 1.0), ProcSet::singleton(2));
+        let inst = b.build().unwrap();
+        let s = InstanceStream::new(&inst);
+        let hint = s
+            .structure_hint()
+            .expect("instance streams always classify");
+        assert!(hint.disjoint && hint.interval);
+        let plan = s.shard_plan(16);
+        assert_eq!(plan.shards(), 2);
+        assert_eq!(plan.shard_of(1), 0);
+        assert_eq!(plan.shard_of(2), 1);
+
+        // The overlapping sample() family collapses to a single shard,
+        // matching the trait default for sources with no knowledge.
+        let inst = sample();
+        assert!(InstanceStream::new(&inst).shard_plan(16).is_single());
+        let mut left = 1;
+        let f = FnStream::new(2, move || {
+            if left == 0 {
+                return None;
+            }
+            left -= 1;
+            Some((Task::unit(0.0), ProcSet::singleton(0)))
+        });
+        assert!(f.structure_hint().is_none());
+        assert!(f.shard_plan(16).is_single());
     }
 
     #[test]

@@ -59,7 +59,7 @@ impl std::fmt::Display for ProcSetStructure {
 /// Several predicates can hold simultaneously (e.g. a family of identical
 /// sets is inclusive *and* disjoint *and* nested). [`StructureReport::most_specific`]
 /// picks the strongest label for display.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct StructureReport {
     /// All sets pairwise comparable by inclusion.
     pub inclusive: bool,

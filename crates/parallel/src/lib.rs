@@ -12,13 +12,21 @@
 //! - [`par_map`]: order-preserving parallel map with atomic work stealing.
 //! - [`par_for_each`]: parallel side-effecting iteration.
 //! - [`ThreadPool`]: a persistent pool for heterogeneous jobs.
+//! - [`spsc`]: bounded single-producer single-consumer channels.
+//! - [`sharded`]: the sharded dispatch runtime — routes an arrival
+//!   stream to per-shard dispatchers over bounded queues and merges the
+//!   decisions back in strict arrival order, bitwise-identical to a
+//!   sequential run.
 //!
 //! All primitives propagate panics from worker closures to the caller and
 //! fall back to sequential execution for tiny inputs (grain control).
 
 pub mod pool;
+pub mod sharded;
+pub mod spsc;
 
 pub use pool::ThreadPool;
+pub use sharded::{run_sharded, ShardedConfig};
 
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};

@@ -1,0 +1,620 @@
+//! The sharded dispatch runtime: route arrivals to per-shard
+//! dispatchers over bounded queues, merge results in arrival order.
+//!
+//! [`run_sharded`] is the transport layer of the parallel streaming
+//! engine. It owns everything concurrent — routing, batching,
+//! backpressure, the in-order merge — and nothing algorithmic: the
+//! caller supplies one dispatcher closure per shard (in practice an EFT
+//! kernel from `flowsched-algos`, which this crate must not depend on)
+//! and a merge closure that sees `(seq, task, assignment)` in **strict
+//! arrival order**, exactly as the sequential engine's sink does.
+//!
+//! # Ownership protocol
+//!
+//! A [`ShardPlan`] fixes a contiguous machine range per shard; shard
+//! `s` runs on worker `s % workers` and its dispatcher sees machines
+//! renumbered to `0..len_of(s)` (sets are rebased on the way in, the
+//! chosen machine is rebased back on the way out). Because the plan
+//! guarantees every processing set fits inside one shard, no two
+//! workers ever touch the same machine's state and no cross-shard
+//! synchronization exists at all.
+//!
+//! # Why the merged run is bitwise-identical to sequential
+//!
+//! - The plan is a function of the *family*, never of the thread count,
+//!   so routing is deterministic.
+//! - Each worker processes its batches in send order, so shard `s`'s
+//!   dispatcher sees exactly the subsequence of arrivals it would see
+//!   sequentially, in the same order — and EFT's decision for a task
+//!   depends only on its own shard's completion state (the paper's
+//!   Equation (2) restricted to `Mᵢ`).
+//! - The merge closure runs on the calling thread in global `seq`
+//!   order, gated by a reorder buffer, so order-sensitive folds
+//!   (float summation in `SimReport`, recorder traces) observe the
+//!   sequential event order.
+//!
+//! # Backpressure and deadlock-freedom
+//!
+//! All links are bounded [`spsc`](crate::spsc) queues moving
+//! `Vec`-batches. The router only ever *blocks* on a worker that
+//! provably has work in flight (its input queue is full, or the
+//! merge head was already flushed to it), so every blocking wait is
+//! matched by a worker that will produce; a worker that dies mid-run
+//! drops its result sender on unwind and the router panics instead of
+//! hanging. In-flight state is capped at O(workers × queue × batch) —
+//! the constant-memory property of the streaming core survives.
+
+use std::collections::VecDeque;
+
+use flowsched_core::compact::{CompactProcSet, ProcSetRef};
+use flowsched_core::machine::MachineId;
+use flowsched_core::schedule::Assignment;
+use flowsched_core::shard::ShardPlan;
+use flowsched_core::stream::ArrivalStream;
+use flowsched_core::task::Task;
+
+use crate::pool::ThreadPool;
+use crate::spsc::{self, TrySendError};
+
+/// Tuning knobs for [`run_sharded`].
+#[derive(Debug, Clone)]
+pub struct ShardedConfig {
+    /// Worker thread budget; the engine uses `min(threads, shards)`
+    /// and runs inline (no threads at all) when that is ≤ 1.
+    pub threads: usize,
+    /// Tasks per routed batch. Batching amortizes the per-message lock
+    /// traffic; dispatch per task is ~100 ns, so 256 keeps queue
+    /// overhead a small fraction without hurting pipelining.
+    pub batch: usize,
+    /// Batches each bounded queue holds before its producer blocks.
+    pub queue_cap: usize,
+}
+
+impl Default for ShardedConfig {
+    fn default() -> Self {
+        ShardedConfig {
+            threads: crate::default_threads(),
+            batch: 256,
+            queue_cap: 4,
+        }
+    }
+}
+
+impl ShardedConfig {
+    /// The default configuration with an explicit thread budget.
+    pub fn with_threads(threads: usize) -> Self {
+        ShardedConfig {
+            threads,
+            ..ShardedConfig::default()
+        }
+    }
+}
+
+/// One routed arrival: the set is pre-rebased to the shard's local
+/// machine numbering so the worker does no plan arithmetic.
+struct TaskMsg {
+    seq: u64,
+    shard: u32,
+    task: Task,
+    set: CompactProcSet,
+}
+
+/// One dispatch decision, already rebased back to global machine ids.
+struct ResultMsg {
+    seq: u64,
+    task: Task,
+    assignment: Assignment,
+}
+
+/// Rebases a shard-local assignment to global machine numbering.
+fn globalize(a: Assignment, base: usize) -> Assignment {
+    Assignment::new(MachineId(a.machine.index() + base), a.start)
+}
+
+/// Owned copy of `set` renumbered to the shard starting at `base`.
+///
+/// Only intervals and explicit sets can live in a shard with
+/// `base > 0`: prefixes and wrapping rings both contain machine 0, so
+/// they always route to the first shard.
+fn rebase_owned(set: &ProcSetRef<'_>, base: usize) -> CompactProcSet {
+    if base == 0 {
+        return CompactProcSet::from(*set);
+    }
+    match *set {
+        ProcSetRef::Interval { lo, hi } => CompactProcSet::Interval {
+            lo: lo - base,
+            hi: hi - base,
+        },
+        ProcSetRef::Explicit(s) => CompactProcSet::Explicit(s.iter().map(|&j| j - base).collect()),
+        ProcSetRef::Prefix { .. } | ProcSetRef::Ring { .. } => {
+            unreachable!("prefix/ring sets contain machine 0 and route to the base-0 shard")
+        }
+    }
+}
+
+/// Borrowed counterpart of [`rebase_owned`] for the inline path, using
+/// `scratch` to renumber explicit sets without allocating per task.
+fn rebase_view<'a>(
+    set: ProcSetRef<'a>,
+    base: usize,
+    scratch: &'a mut Vec<usize>,
+) -> ProcSetRef<'a> {
+    if base == 0 {
+        return set;
+    }
+    match set {
+        ProcSetRef::Interval { lo, hi } => ProcSetRef::Interval {
+            lo: lo - base,
+            hi: hi - base,
+        },
+        ProcSetRef::Explicit(s) => {
+            scratch.clear();
+            scratch.extend(s.iter().map(|&j| j - base));
+            ProcSetRef::Explicit(scratch)
+        }
+        ProcSetRef::Prefix { .. } | ProcSetRef::Ring { .. } => {
+            unreachable!("prefix/ring sets contain machine 0 and route to the base-0 shard")
+        }
+    }
+}
+
+/// Routes every arrival of `stream` to its shard's dispatcher and
+/// replays the decisions to `merge` in strict arrival order.
+///
+/// `make_dispatcher(s)` is called once per shard, in shard order,
+/// whatever the thread budget — so dispatcher construction (including
+/// any per-shard RNG seeding) is deterministic. The dispatcher for
+/// shard `s` works in local machine numbering `0..plan.len_of(s)`;
+/// `merge` sees global machine ids.
+///
+/// With one worker (or a single-shard plan) everything runs inline on
+/// the calling thread — same dispatchers, same per-shard subsequences,
+/// same merge order, so the output is identical at every thread count,
+/// including zero extra threads.
+///
+/// # Panics
+/// Panics if the stream and plan disagree on the machine count, if
+/// releases decrease, if an arrival's set straddles a shard boundary
+/// (the plan does not cover the family), or if a worker thread panics.
+pub fn run_sharded<S, D, F, M>(
+    mut stream: S,
+    plan: &ShardPlan,
+    cfg: &ShardedConfig,
+    mut make_dispatcher: F,
+    mut merge: M,
+) where
+    S: ArrivalStream,
+    D: FnMut(Task, ProcSetRef<'_>) -> Assignment + Send + 'static,
+    F: FnMut(usize) -> D,
+    M: FnMut(u64, Task, Assignment),
+{
+    assert_eq!(
+        stream.machines(),
+        plan.machines(),
+        "stream and shard plan disagree on machine count"
+    );
+    assert!(cfg.batch >= 1, "batch size must be positive");
+    assert!(cfg.queue_cap >= 1, "queue capacity must be positive");
+    let shards = plan.shards();
+    let workers = cfg.threads.min(shards);
+
+    if workers <= 1 {
+        // Inline path: no threads, no copies — but the exact same
+        // dispatchers, routing, and merge order as the threaded path.
+        let mut dispatchers: Vec<D> = (0..shards).map(&mut make_dispatcher).collect();
+        let mut scratch: Vec<usize> = Vec::new();
+        let mut last_release = f64::NEG_INFINITY;
+        let mut seq: u64 = 0;
+        while let Some((task, set)) = stream.next_arrival() {
+            assert!(
+                task.release >= last_release,
+                "arrival stream must be in non-decreasing release order \
+                 ({} after {last_release})",
+                task.release
+            );
+            last_release = task.release;
+            let s = plan.route(&set);
+            let base = plan.start_of(s);
+            let local = rebase_view(set, base, &mut scratch);
+            let a = dispatchers[s](task, local);
+            merge(seq, task, globalize(a, base));
+            seq += 1;
+        }
+        return;
+    }
+
+    // Threaded path. The pool is declared first so its Drop (which
+    // joins workers) runs *after* the channel endpoints below are gone:
+    // closed channels are what unblock the workers, even on unwind.
+    let pool = ThreadPool::new(workers);
+
+    // Dispatchers are created in shard order (determinism), then dealt
+    // round-robin: worker w owns shards {w, w+workers, …}, so a shard's
+    // local index on its worker is s / workers.
+    let mut per_worker: Vec<Vec<(usize, D)>> = (0..workers).map(|_| Vec::new()).collect();
+    for s in 0..shards {
+        per_worker[s % workers].push((plan.start_of(s), make_dispatcher(s)));
+    }
+
+    let mut in_txs: Vec<spsc::Sender<Vec<TaskMsg>>> = Vec::with_capacity(workers);
+    let mut out_rxs: Vec<spsc::Receiver<Vec<ResultMsg>>> = Vec::with_capacity(workers);
+    for mut dispatchers in per_worker {
+        let (in_tx, in_rx) = spsc::channel::<Vec<TaskMsg>>(cfg.queue_cap);
+        let (out_tx, out_rx) = spsc::channel::<Vec<ResultMsg>>(cfg.queue_cap);
+        in_txs.push(in_tx);
+        out_rxs.push(out_rx);
+        pool.execute(move || {
+            while let Some(batch) = in_rx.recv() {
+                let mut out = Vec::with_capacity(batch.len());
+                for msg in batch {
+                    let (base, disp) = &mut dispatchers[msg.shard as usize / workers];
+                    let a = disp(msg.task, msg.set.as_view());
+                    out.push(ResultMsg {
+                        seq: msg.seq,
+                        task: msg.task,
+                        assignment: globalize(a, *base),
+                    });
+                }
+                if out_tx.send(out).is_err() {
+                    // Router gone (it panicked and dropped the
+                    // receiver) — abandon quietly so its unwind can
+                    // join us.
+                    return;
+                }
+            }
+        });
+    }
+
+    // Router + merger state, all on the calling thread. `pending`
+    // remembers which worker owns each in-flight seq, in seq order;
+    // `rbuf[w]` holds worker w's results not yet old enough to merge
+    // (each worker's results arrive in that worker's seq order).
+    let mut obuf: Vec<Vec<TaskMsg>> = (0..workers)
+        .map(|_| Vec::with_capacity(cfg.batch))
+        .collect();
+    let mut pending: VecDeque<u32> = VecDeque::new();
+    let mut rbuf: Vec<VecDeque<ResultMsg>> = (0..workers).map(|_| VecDeque::new()).collect();
+    let mut next_merge: u64 = 0;
+
+    // Merges every result that is next in seq order and already here.
+    let merge_ready = |pending: &mut VecDeque<u32>,
+                       rbuf: &mut [VecDeque<ResultMsg>],
+                       next_merge: &mut u64,
+                       merge: &mut M| {
+        while let Some(&w) = pending.front() {
+            match rbuf[w as usize].pop_front() {
+                Some(r) => {
+                    debug_assert_eq!(r.seq, *next_merge, "per-worker results arrive in seq order");
+                    merge(r.seq, r.task, r.assignment);
+                    *next_merge += 1;
+                    pending.pop_front();
+                }
+                None => break,
+            }
+        }
+    };
+    // Blocking receive of worker w's next result batch; `None` means
+    // the worker died mid-run.
+    let recv_from =
+        |out_rxs: &[spsc::Receiver<Vec<ResultMsg>>], rbuf: &mut [VecDeque<ResultMsg>], w: usize| {
+            match out_rxs[w].recv() {
+                Some(results) => rbuf[w].extend(results),
+                None => panic!("sharded worker {w} terminated before finishing its tasks"),
+            }
+        };
+    // Sends worker w's buffered batch, draining w's results while the
+    // queue is full. Blocking here is safe: a full input queue proves w
+    // has unprocessed batches, so w will produce results.
+    let flush = |obuf: &mut [Vec<TaskMsg>],
+                 in_txs: &[spsc::Sender<Vec<TaskMsg>>],
+                 out_rxs: &[spsc::Receiver<Vec<ResultMsg>>],
+                 rbuf: &mut [VecDeque<ResultMsg>],
+                 w: usize| {
+        if obuf[w].is_empty() {
+            return;
+        }
+        let mut batch = std::mem::take(&mut obuf[w]);
+        loop {
+            match in_txs[w].try_send(batch) {
+                Ok(()) => return,
+                Err(TrySendError::Full(b)) => {
+                    batch = b;
+                    recv_from(out_rxs, rbuf, w);
+                }
+                Err(TrySendError::Closed(_)) => {
+                    panic!("sharded worker {w} terminated before finishing its tasks")
+                }
+            }
+        }
+    };
+
+    // If `pending` ever reaches this, the merge head is stuck behind a
+    // not-yet-flushed batch (e.g. one hot worker racing ahead while the
+    // head's owner trickles); force the head through to keep in-flight
+    // state bounded.
+    let high_water = (cfg.queue_cap + 2) * cfg.batch * workers;
+
+    let mut last_release = f64::NEG_INFINITY;
+    let mut seq: u64 = 0;
+    while let Some((task, set)) = stream.next_arrival() {
+        assert!(
+            task.release >= last_release,
+            "arrival stream must be in non-decreasing release order \
+             ({} after {last_release})",
+            task.release
+        );
+        last_release = task.release;
+        let s = plan.route(&set);
+        let w = s % workers;
+        obuf[w].push(TaskMsg {
+            seq,
+            shard: s as u32,
+            task,
+            set: rebase_owned(&set, plan.start_of(s)),
+        });
+        pending.push_back(w as u32);
+        seq += 1;
+        if obuf[w].len() >= cfg.batch {
+            flush(&mut obuf, &in_txs, &out_rxs, &mut rbuf, w);
+        }
+        // Opportunistically pull whatever results are ready and merge
+        // the in-order prefix — keeps the reorder buffer short without
+        // ever blocking on the fast path.
+        for w in 0..workers {
+            while let Some(results) = out_rxs[w].try_recv() {
+                rbuf[w].extend(results);
+            }
+        }
+        merge_ready(&mut pending, &mut rbuf, &mut next_merge, &mut merge);
+        while pending.len() >= high_water {
+            let head = *pending.front().unwrap() as usize;
+            flush(&mut obuf, &in_txs, &out_rxs, &mut rbuf, head);
+            if rbuf[head].is_empty() {
+                recv_from(&out_rxs, &mut rbuf, head);
+            }
+            merge_ready(&mut pending, &mut rbuf, &mut next_merge, &mut merge);
+        }
+    }
+
+    // End of stream: push out the partial batches, close the input
+    // side so workers drain and exit, then merge the tail in order.
+    for w in 0..workers {
+        flush(&mut obuf, &in_txs, &out_rxs, &mut rbuf, w);
+    }
+    drop(in_txs);
+    while !pending.is_empty() {
+        let head = *pending.front().unwrap() as usize;
+        if rbuf[head].is_empty() {
+            recv_from(&out_rxs, &mut rbuf, head);
+        }
+        merge_ready(&mut pending, &mut rbuf, &mut next_merge, &mut merge);
+    }
+    drop(out_rxs);
+    drop(pool); // joins workers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A miniature EFT: earliest completion over the set, lowest index
+    /// wins — enough to make results depend on the full per-shard
+    /// dispatch history, which is what the equivalence tests need.
+    fn mini_eft(machines: usize) -> impl FnMut(Task, ProcSetRef<'_>) -> Assignment + Send {
+        let mut done = vec![0.0f64; machines];
+        move |task, set| {
+            let u = set
+                .iter()
+                .min_by(|&a, &b| done[a].partial_cmp(&done[b]).unwrap())
+                .expect("nonempty set");
+            let start = done[u].max(task.release);
+            done[u] = start + task.ptime;
+            Assignment::new(MachineId(u), start)
+        }
+    }
+
+    /// A deterministic blocked workload: `n` tasks round-robining over
+    /// `m / block` disjoint blocks with drifting releases and varied
+    /// processing times.
+    fn blocked_stream(m: usize, block: usize, n: usize) -> impl ArrivalStream + use<> {
+        struct Blocked {
+            m: usize,
+            block: usize,
+            n: usize,
+            next: usize,
+        }
+        impl ArrivalStream for Blocked {
+            fn machines(&self) -> usize {
+                self.m
+            }
+            fn next_arrival(&mut self) -> Option<(Task, ProcSetRef<'_>)> {
+                if self.next >= self.n {
+                    return None;
+                }
+                let i = self.next;
+                self.next += 1;
+                let blocks = self.m / self.block;
+                let b = (i * 7 + i / 3) % blocks;
+                let task = Task::new(i as f64 * 0.25, 1.0 + (i % 5) as f64 * 0.5);
+                let lo = b * self.block;
+                Some((task, ProcSetRef::interval(lo, lo + self.block - 1)))
+            }
+            fn len_hint(&self) -> Option<usize> {
+                Some(self.n - self.next)
+            }
+        }
+        Blocked {
+            m,
+            block,
+            n,
+            next: 0,
+        }
+    }
+
+    fn run_collect(
+        plan: &ShardPlan,
+        cfg: &ShardedConfig,
+        m: usize,
+        block: usize,
+        n: usize,
+    ) -> Vec<Assignment> {
+        let mut out: Vec<(u64, Assignment)> = Vec::new();
+        run_sharded(
+            blocked_stream(m, block, n),
+            plan,
+            cfg,
+            |s| mini_eft(plan.len_of(s)),
+            |seq, _task, a| out.push((seq, a)),
+        );
+        assert!(out.windows(2).all(|w| w[0].0 + 1 == w[1].0), "merge order");
+        out.into_iter().map(|(_, a)| a).collect()
+    }
+
+    #[test]
+    fn threaded_matches_inline_at_every_thread_count() {
+        let (m, block, n) = (16, 4, 4000);
+        let plan = ShardPlan::blocks(m, block, 16);
+        assert_eq!(plan.shards(), 4);
+        let baseline = run_collect(&plan, &ShardedConfig::with_threads(1), m, block, n);
+        assert_eq!(baseline.len(), n);
+        for threads in [2, 3, 4, 7] {
+            let cfg = ShardedConfig::with_threads(threads);
+            assert_eq!(
+                run_collect(&plan, &cfg, m, block, n),
+                baseline,
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn tiny_batches_exercise_backpressure_without_reordering() {
+        let (m, block, n) = (8, 2, 2000);
+        let plan = ShardPlan::blocks(m, block, 16);
+        let baseline = run_collect(&plan, &ShardedConfig::with_threads(1), m, block, n);
+        let cfg = ShardedConfig {
+            threads: 4,
+            batch: 3,
+            queue_cap: 1,
+        };
+        assert_eq!(run_collect(&plan, &cfg, m, block, n), baseline);
+    }
+
+    #[test]
+    fn skewed_load_hits_the_high_water_path() {
+        // Everything lands in shard 0 except one final task for shard 1,
+        // so the merge head starves until the flow-control flush kicks in.
+        struct Skew {
+            next: usize,
+        }
+        impl ArrivalStream for Skew {
+            fn machines(&self) -> usize {
+                4
+            }
+            fn next_arrival(&mut self) -> Option<(Task, ProcSetRef<'_>)> {
+                if self.next >= 5000 {
+                    return None;
+                }
+                let i = self.next;
+                self.next += 1;
+                // Task 0 goes to shard 1 and then sits unflushed in the
+                // router buffer while shard 0 floods.
+                let lo = if i == 0 { 2 } else { 0 };
+                Some((Task::new(i as f64, 1.0), ProcSetRef::interval(lo, lo + 1)))
+            }
+        }
+        let plan = ShardPlan::from_cuts(4, vec![0, 2]);
+        let cfg = ShardedConfig {
+            threads: 2,
+            batch: 4,
+            queue_cap: 1,
+        };
+        let mut seen: u64 = 0;
+        run_sharded(
+            Skew { next: 0 },
+            &plan,
+            &cfg,
+            |s| mini_eft(plan.len_of(s)),
+            |seq, _t, _a| {
+                assert_eq!(seq, seen);
+                seen += 1;
+            },
+        );
+        assert_eq!(seen, 5000);
+    }
+
+    #[test]
+    #[should_panic(expected = "straddles")]
+    fn straddling_set_panics_not_hangs() {
+        struct Bad {
+            fired: bool,
+        }
+        impl ArrivalStream for Bad {
+            fn machines(&self) -> usize {
+                4
+            }
+            fn next_arrival(&mut self) -> Option<(Task, ProcSetRef<'_>)> {
+                if self.fired {
+                    return None;
+                }
+                self.fired = true;
+                Some((Task::unit(0.0), ProcSetRef::interval(1, 2)))
+            }
+        }
+        let plan = ShardPlan::from_cuts(4, vec![0, 2]);
+        run_sharded(
+            Bad { fired: false },
+            &plan,
+            &ShardedConfig::with_threads(2),
+            |s| mini_eft(plan.len_of(s)),
+            |_, _, _| {},
+        );
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_the_router() {
+        let plan = ShardPlan::from_cuts(4, vec![0, 2]);
+        let cfg = ShardedConfig {
+            threads: 2,
+            batch: 1,
+            queue_cap: 1,
+        };
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_sharded(
+                blocked_stream(4, 2, 1000),
+                &plan,
+                &cfg,
+                |_s| {
+                    let mut count = 0usize;
+                    move |task: Task, set: ProcSetRef<'_>| {
+                        count += 1;
+                        if count > 3 {
+                            panic!("injected dispatcher failure");
+                        }
+                        Assignment::new(MachineId(set.min().unwrap()), task.release)
+                    }
+                },
+                |_, _, _| {},
+            )
+        }));
+        assert!(result.is_err(), "router must notice the dead worker");
+    }
+
+    #[test]
+    fn single_shard_plan_runs_inline() {
+        let plan = ShardPlan::single(4);
+        // threads > 1 but one shard → workers = 1 → inline path.
+        let mut n = 0u64;
+        run_sharded(
+            blocked_stream(4, 4, 100),
+            &plan,
+            &ShardedConfig::with_threads(8),
+            |s| mini_eft(plan.len_of(s)),
+            |seq, _, _| {
+                assert_eq!(seq, n);
+                n += 1;
+            },
+        );
+        assert_eq!(n, 100);
+    }
+}

@@ -3,6 +3,7 @@
 //! straight off an [`ArrivalStream`] in O(machines + window) memory).
 
 use flowsched_algos::eft::EftState;
+use flowsched_algos::engine::ShardedConfig;
 use flowsched_algos::indexed::{DispatchKernel, EftKernelState};
 use flowsched_algos::tiebreak::TieBreak;
 use flowsched_core::instance::Instance;
@@ -109,7 +110,9 @@ pub fn simulate_stream<S: ArrivalStream, R: Recorder>(
 /// [`simulate_stream`] with an explicit dispatch-kernel choice —
 /// `Scalar` forces the linear-scan oracle, `Indexed` forces the
 /// segment-tree kernel regardless of machine count (the scaling benches
-/// compare the two this way).
+/// compare the two this way); `Auto` consults the stream's
+/// [`structure_hint`](ArrivalStream::structure_hint) so narrow sets on
+/// moderate machine counts stay on the scalar path.
 pub fn simulate_stream_with_kernel<S: ArrivalStream, R: Recorder>(
     stream: S,
     policy: TieBreak,
@@ -117,6 +120,7 @@ pub fn simulate_stream_with_kernel<S: ArrivalStream, R: Recorder>(
     report: &ReportConfig,
     rec: &mut R,
 ) -> SimReport {
+    let kernel = kernel.resolve_for_stream(&stream);
     let mut cfg = *report;
     if cfg.expected_measured.is_none() {
         cfg.expected_measured = stream
@@ -126,6 +130,65 @@ pub fn simulate_stream_with_kernel<S: ArrivalStream, R: Recorder>(
     let mut state = EftKernelState::new(stream.machines(), policy, kernel);
     let mut builder = ReportBuilder::new(stream.machines(), &cfg);
     flowsched_algos::engine::run_immediate(stream, &mut state, rec, &mut builder);
+    builder.finish()
+}
+
+/// [`simulate_stream`] on the sharded engine: the stream's own
+/// [`shard_plan`](ArrivalStream::shard_plan) partitions the machines
+/// into clusters, each cluster dispatches on its own worker thread
+/// ([`flowsched_algos::engine::run_immediate_sharded`]), and the report
+/// folds on the calling thread in arrival order — so for `Min`/`Max`
+/// tie-breaks the result is bitwise-identical to [`simulate_stream`]
+/// at every thread count (pinned by `tests/sharded_equivalence.rs`).
+/// Streams without cluster structure collapse to a single shard and run
+/// inline, costing nothing over the sequential path.
+pub fn simulate_stream_sharded<S: ArrivalStream, R: Recorder>(
+    stream: S,
+    policy: TieBreak,
+    report: &ReportConfig,
+    rec: &mut R,
+) -> SimReport {
+    let plan = stream.shard_plan(flowsched_core::shard::DEFAULT_MAX_SHARDS);
+    simulate_stream_sharded_with(
+        stream,
+        policy,
+        DispatchKernel::Auto,
+        &plan,
+        &ShardedConfig::default(),
+        report,
+        rec,
+    )
+}
+
+/// [`simulate_stream_sharded`] with every knob exposed: an explicit
+/// kernel choice, shard plan, and [`ShardedConfig`] (thread count,
+/// batch size, queue depth). `Auto` resolves per shard on the shard's
+/// width inside the engine.
+pub fn simulate_stream_sharded_with<S: ArrivalStream, R: Recorder>(
+    stream: S,
+    policy: TieBreak,
+    kernel: DispatchKernel,
+    plan: &flowsched_core::shard::ShardPlan,
+    cfg: &ShardedConfig,
+    report: &ReportConfig,
+    rec: &mut R,
+) -> SimReport {
+    let mut rcfg = *report;
+    if rcfg.expected_measured.is_none() {
+        rcfg.expected_measured = stream
+            .len_hint()
+            .map(|n| n.saturating_sub(rcfg.warmup_tasks));
+    }
+    let mut builder = ReportBuilder::new(stream.machines(), &rcfg);
+    flowsched_algos::engine::run_immediate_sharded(
+        stream,
+        policy,
+        kernel,
+        plan,
+        cfg,
+        rec,
+        &mut builder,
+    );
     builder.finish()
 }
 

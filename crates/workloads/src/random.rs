@@ -6,7 +6,9 @@
 use flowsched_core::compact::ProcSetRef;
 use flowsched_core::instance::{Instance, InstanceBuilder};
 use flowsched_core::procset::ProcSet;
+use flowsched_core::shard::ShardPlan;
 use flowsched_core::stream::ArrivalStream;
+use flowsched_core::structure::StructureReport;
 use flowsched_core::task::Task;
 use flowsched_stats::poisson::PoissonProcess;
 use flowsched_stats::rng::derive_rng;
@@ -310,6 +312,87 @@ impl ArrivalStream for PoissonStream {
     fn len_hint(&self) -> Option<usize> {
         Some(self.remaining)
     }
+
+    /// Analytic structure report — the generator knows its family by
+    /// construction, so no sampling or classification pass is needed
+    /// (the stream is lazy; there is nothing to classify yet).
+    fn structure_hint(&self) -> Option<StructureReport> {
+        let m = self.m;
+        let mut r = StructureReport::default();
+        match self.structure {
+            StructureKind::Unrestricted => {
+                r.inclusive = true;
+                r.disjoint = true;
+                r.nested = true;
+                r.interval = true;
+                r.ring_interval = true;
+                r.fixed_size = Some(m);
+            }
+            StructureKind::IntervalFixed(k) => {
+                r.interval = true;
+                r.ring_interval = true;
+                r.fixed_size = Some(k);
+                if k == m {
+                    r.inclusive = true;
+                    r.disjoint = true;
+                    r.nested = true;
+                }
+            }
+            StructureKind::RingFixed(k) => {
+                r.ring_interval = true;
+                r.fixed_size = Some(k);
+                // Width-m rings degenerate to the full set; width-1 rings
+                // never wrap. Either way every set is a plain interval.
+                if k == m || k == 1 {
+                    r.interval = true;
+                }
+                if k == m {
+                    r.inclusive = true;
+                    r.disjoint = true;
+                    r.nested = true;
+                }
+            }
+            StructureKind::DisjointBlocks(k) => {
+                r.disjoint = true;
+                r.nested = true;
+                r.interval = true;
+                r.ring_interval = true;
+                // The last block is short when k ∤ m, so the family has a
+                // fixed size only for exact divisions.
+                r.fixed_size = if m.is_multiple_of(k) { Some(k) } else { None };
+            }
+            StructureKind::InclusiveChain | StructureKind::InclusivePrefix => {
+                r.inclusive = true;
+                r.nested = true;
+                // Prefixes are intervals anchored at 0; a random chain
+                // permutes machines, so it is not interval in general.
+                if matches!(self.structure, StructureKind::InclusivePrefix) {
+                    r.interval = true;
+                    r.ring_interval = true;
+                }
+            }
+            StructureKind::NestedLaminar => {
+                r.nested = true;
+                // Laminar nodes are machine-range intervals by
+                // construction ([`laminar_family`]).
+                r.interval = true;
+                r.ring_interval = true;
+            }
+            StructureKind::General => {}
+        }
+        Some(r)
+    }
+
+    /// [`StructureKind::DisjointBlocks`] is the one family whose sets
+    /// partition the machines by construction, so it shards at the block
+    /// boundaries; every other kind draws sets that may span the whole
+    /// range and stays on a single shard.
+    fn shard_plan(&self, max_shards: usize) -> ShardPlan {
+        match self.structure {
+            StructureKind::DisjointBlocks(k) => ShardPlan::blocks(self.m, k, max_shards),
+            _ => ShardPlan::single(self.m),
+        }
+    }
 }
 
 /// A random laminar family over `m` machines: recursively split the
@@ -495,6 +578,66 @@ mod tests {
         let batch = flowsched_algos::eft(&inst, TieBreak::Min);
         assert_eq!(streamed, batch);
         streamed.validate(&inst).unwrap();
+    }
+
+    #[test]
+    fn structure_hint_is_sound_against_the_classifier() {
+        // The analytic hint may under-claim (a random draw can be
+        // accidentally more structured than the family guarantees) but
+        // must never over-claim: every predicate the hint asserts must
+        // hold on a collected sample, and a claimed fixed size must be
+        // the classifier's.
+        for (kind, m) in [
+            (StructureKind::Unrestricted, 8),
+            (StructureKind::IntervalFixed(3), 8),
+            (StructureKind::RingFixed(3), 8),
+            (StructureKind::RingFixed(1), 8),
+            (StructureKind::DisjointBlocks(4), 8),
+            (StructureKind::DisjointBlocks(3), 8), // 3 ∤ 8: ragged tail
+            (StructureKind::InclusiveChain, 8),
+            (StructureKind::InclusivePrefix, 8),
+            (StructureKind::NestedLaminar, 8),
+            (StructureKind::General, 8),
+        ] {
+            let cfg = PoissonStreamConfig::unit_tasks(m, 300, 4.0, kind);
+            let stream = PoissonStream::new(&cfg, 13);
+            let hint = stream.structure_hint().expect("generator knows its family");
+            let inst = flowsched_core::stream::collect_stream(stream).unwrap();
+            let actual = structure::classify(inst.sets(), m);
+            let claims = [
+                ("inclusive", hint.inclusive, actual.inclusive),
+                ("disjoint", hint.disjoint, actual.disjoint),
+                ("nested", hint.nested, actual.nested),
+                ("interval", hint.interval, actual.interval),
+                ("ring_interval", hint.ring_interval, actual.ring_interval),
+            ];
+            for (name, claimed, holds) in claims {
+                assert!(!claimed || holds, "{kind:?}: hint claims {name} falsely");
+            }
+            if let Some(k) = hint.fixed_size {
+                assert_eq!(actual.fixed_size, Some(k), "{kind:?}: fixed size");
+            }
+        }
+    }
+
+    #[test]
+    fn shard_plan_splits_disjoint_blocks_only() {
+        let blocks = PoissonStreamConfig::unit_tasks(16, 10, 4.0, StructureKind::DisjointBlocks(4));
+        let plan = PoissonStream::new(&blocks, 1).shard_plan(16);
+        assert_eq!(plan.shards(), 4);
+        assert_eq!(plan.len_of(0), 4);
+        for kind in [
+            StructureKind::Unrestricted,
+            StructureKind::IntervalFixed(4),
+            StructureKind::RingFixed(4),
+            StructureKind::General,
+        ] {
+            let cfg = PoissonStreamConfig::unit_tasks(16, 10, 4.0, kind);
+            assert!(
+                PoissonStream::new(&cfg, 1).shard_plan(16).is_single(),
+                "{kind:?} must not shard"
+            );
+        }
     }
 
     #[test]

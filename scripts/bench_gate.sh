@@ -10,6 +10,7 @@
 #   BENCH_PR3.json — streaming engine vs batch replay
 #   BENCH_PR4.json — telemetry recorder overhead (noop / memory / windowed)
 #   BENCH_PR5.json — scalar vs indexed dispatch kernels across machine counts
+#   BENCH_PR6.json — sequential vs sharded dispatch thread ladder
 #
 # A row regresses when current > baseline * (1 + FLOWSCHED_BENCH_TOL);
 # the default tolerance is 0.30 — wall-clock medians on shared machines
@@ -38,7 +39,7 @@ for arg in "$@"; do
   esac
 done
 if [ "${#BASELINES[@]}" -eq 0 ]; then
-  for b in BENCH_PR1.json BENCH_PR3.json BENCH_PR4.json BENCH_PR5.json; do
+  for b in BENCH_PR1.json BENCH_PR3.json BENCH_PR4.json BENCH_PR5.json BENCH_PR6.json; do
     [ -f "$b" ] && BASELINES+=("$b")
   done
 fi
@@ -54,6 +55,7 @@ benches_for() {
     BENCH_PR3.json) echo "streaming" ;;
     BENCH_PR4.json) echo "telemetry" ;;
     BENCH_PR5.json) echo "dispatch" ;;
+    BENCH_PR6.json) echo "sharded" ;;
     *) echo "" ;;
   esac
 }

@@ -15,12 +15,15 @@
 #   6. large-m smoke run: 100k-machine streams through the indexed
 #      dispatch kernel (cargo run --release -p flowsched-bench --bin
 #      smoke_scale), panicking on any degenerate report
-#   7. bench gate (warn-only): scripts/bench_gate.sh re-runs the benches
-#      behind BENCH_PR1/PR3/PR4/PR5.json and reports medians that
+#   7. sharded determinism smoke: the sharded_smoke bin runs under
+#      FLOWSCHED_THREADS=1 and =4 and the printed schedule hashes must
+#      be identical (thread-count invariance, end to end)
+#   8. bench gate (warn-only): scripts/bench_gate.sh re-runs the benches
+#      behind BENCH_PR1/PR3/PR4/PR5/PR6.json and reports medians that
 #      drifted past the noise tolerance — it never fails the build
 #
 # Usage:
-#   scripts/ci_check.sh                 # all seven stages
+#   scripts/ci_check.sh                 # all eight stages
 #   scripts/ci_check.sh --no-clippy     # skip the lint stage (e.g. when
 #                                       # the toolchain lacks clippy)
 #   scripts/ci_check.sh --no-bench-gate # skip the (slow) bench stage
@@ -61,6 +64,19 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q
 echo
 echo "== 100k-machine smoke run (indexed dispatch) =="
 cargo run -q --release -p flowsched-bench --bin smoke_scale
+
+echo
+echo "== sharded determinism smoke (1 vs 4 threads) =="
+HASH1="$(FLOWSCHED_THREADS=1 cargo run -q --release -p flowsched-bench --bin sharded_smoke \
+  | sed -n 's/^schedule_hash=//p')"
+HASH4="$(FLOWSCHED_THREADS=4 cargo run -q --release -p flowsched-bench --bin sharded_smoke \
+  | sed -n 's/^schedule_hash=//p')"
+echo "  threads=1: $HASH1"
+echo "  threads=4: $HASH4"
+if [ -z "$HASH1" ] || [ "$HASH1" != "$HASH4" ]; then
+  echo "ci_check: sharded schedule hash diverges across thread counts" >&2
+  exit 1
+fi
 
 if [ "$RUN_BENCH_GATE" = 1 ]; then
   echo

@@ -111,6 +111,66 @@ fn million_task_stream_with_windowed_telemetry_stays_bounded() {
 }
 
 #[test]
+fn ten_million_task_sharded_run_stays_bounded() {
+    // The PR-6 regime: the 10M-task cluster-partitioned trace from
+    // BENCH_PR6 runs through the sharded engine with real worker
+    // threads and bounded SPSC queues. Memory must stay O(machines +
+    // queues + report fold): in-flight tasks are capped at
+    // (queue_cap + 2) × batch × workers messages (≈ 6k × ~50 B), so a
+    // 10× longer trace than the sequential tests still fits the same
+    // 32 MiB envelope — if the router buffered the stream (or a worker
+    // stopped draining), 10M × ~50 B ≈ 500 MiB would blow it instantly.
+    // The drift window is pinned to the fixed 1024-task fallback
+    // (`expected_measured: None` is overridden below): auto-sizing it
+    // from the 10M-task hint would alone hold n/4-entry head and tail
+    // buffers (~64 MiB), drowning the engine bound this test is about.
+    use flowsched::algos::engine::ShardedConfig;
+    use flowsched::algos::indexed::DispatchKernel;
+    use flowsched::core::shard::DEFAULT_MAX_SHARDS;
+    use flowsched::core::stream::ArrivalStream;
+    use flowsched::sim::driver::simulate_stream_sharded_with;
+
+    let cfg = PoissonStreamConfig {
+        m: 256,
+        n: 10_000_000,
+        structure: StructureKind::DisjointBlocks(16),
+        lambda: 128.0,
+        unit: true,
+        ptime_steps: 4,
+    };
+
+    let before = peak_rss_kib();
+    let stream = PoissonStream::new(&cfg, 2026);
+    let plan = stream.shard_plan(DEFAULT_MAX_SHARDS);
+    assert!(plan.shards() > 1, "the disjoint trace must actually shard");
+    let report_cfg = ReportConfig {
+        expected_measured: Some(4096), // 1024-entry drift quarters
+        ..ReportConfig::default()
+    };
+    let report = simulate_stream_sharded_with(
+        stream,
+        TieBreak::Min,
+        DispatchKernel::Auto,
+        &plan,
+        &ShardedConfig::with_threads(4),
+        &report_cfg,
+        &mut NoopRecorder,
+    );
+    let after = peak_rss_kib();
+
+    assert_eq!(report.n_measured, 10_000_000);
+    assert!(report.fmax >= 1.0);
+    assert!(report.utilization.iter().any(|&u| u > 0.0));
+
+    let grown_kib = after.saturating_sub(before);
+    assert!(
+        grown_kib < 32 * 1024,
+        "sharded 10M-task run grew peak RSS by {grown_kib} KiB — the \
+         router or a queue is accumulating in-flight tasks"
+    );
+}
+
+#[test]
 fn million_wide_inclusive_tasks_never_materialize_machine_vectors() {
     // The PR-5 regime: m = 10,000 machines with inclusive-prefix sets
     // averaging m/2 ≈ 5,000 machines per task. The stream lends each set
