@@ -122,22 +122,28 @@ impl DispatchSink for NullSink {
 /// commit through it, which is what makes their recorder traces (and
 /// order-sensitive sink folds) bitwise-identical rather than merely
 /// equivalent.
-struct CommitTracker {
+pub(crate) struct CommitTracker {
     /// Per-machine completion before the current dispatch — only needed
     /// to reconstruct idle gaps for the trace.
     prev_done: Vec<Time>,
 }
 
 impl CommitTracker {
-    fn new(enabled: bool, m: usize) -> Self {
+    pub(crate) fn new(enabled: bool, m: usize) -> Self {
         CommitTracker {
             prev_done: if enabled { vec![0.0; m] } else { Vec::new() },
         }
     }
 
     #[inline]
-    fn commit<R, K>(&mut self, seq: u64, task: Task, a: Assignment, rec: &mut R, sink: &mut K)
-    where
+    pub(crate) fn commit<R, K>(
+        &mut self,
+        seq: u64,
+        task: Task,
+        a: Assignment,
+        rec: &mut R,
+        sink: &mut K,
+    ) where
         R: Recorder,
         K: DispatchSink,
     {

@@ -24,6 +24,11 @@
 //!   Equation (2) in O(log m) per task over compact
 //!   [`ProcSetRef`](flowsched_core::ProcSetRef) views, bitwise-identical
 //!   to the scalar path.
+//! - [`faulty`]: availability-aware EFT over a
+//!   [`FaultPlan`](flowsched_core::FaultPlan) — candidate starts skip
+//!   outage windows, stranded tasks re-queue on recovery, and a
+//!   fault-free plan reproduces the plain engine bitwise
+//!   ([`run_immediate_faulty`], [`run_immediate_faulty_sharded`]).
 //! - [`fifo`](mod@fifo): the centralized-queue FIFO scheduler of Algorithm 1,
 //!   implemented as a genuine event simulation so that Proposition 1
 //!   (FIFO ≡ EFT on `P | online-rᵢ | Fmax`) is *tested*, not assumed.
@@ -37,6 +42,7 @@ pub mod compose;
 pub mod eft;
 pub mod engine;
 pub mod exact;
+pub mod faulty;
 pub mod fifo;
 pub mod indexed;
 pub mod localsearch;
@@ -55,6 +61,10 @@ pub use engine::{
     run_immediate_sharded, DispatchSink, NullSink, ShardedConfig,
 };
 pub use exact::{approx_fmax, exact_fmax, ExactResult};
+pub use faulty::{
+    faulty_schedule, faulty_schedule_sharded, run_immediate_faulty, run_immediate_faulty_sharded,
+    FaultyEftState,
+};
 #[allow(deprecated)]
 pub use fifo::fifo_recorded;
 pub use fifo::{fifo, fifo_stream};
@@ -73,6 +83,7 @@ pub mod prelude {
     pub use crate::eft::{eft, eft_stream, eft_stream_with_kernel, EftState, ImmediateDispatcher};
     pub use crate::engine::{run_fifo, run_immediate, run_immediate_sharded, ShardedConfig};
     pub use crate::exact::{exact_fmax, ExactResult};
+    pub use crate::faulty::{faulty_schedule, run_immediate_faulty, FaultyEftState};
     pub use crate::fifo::{fifo, fifo_stream};
     pub use crate::indexed::{DispatchKernel, EftKernelState, IndexedEftState};
     pub use crate::offline::{brute_force_fmax, fmax_lower_bound, optimal_unit_fmax};

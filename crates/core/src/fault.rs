@@ -1,0 +1,710 @@
+//! Fault injection: deterministic machine failure plans and the
+//! [`FaultyStream`] arrival adapter.
+//!
+//! The paper proves its guarantees (Prop. 1, Th. 6 / Cor. 1) for perfect,
+//! static machines. The motivating key-value-store deployment has
+//! replicas that crash, recover, and degrade — which changes `Mᵢ` under
+//! the scheduler. This module models that as a *trace-driven* fault
+//! layer: a [`FaultPlan`] fixes, ahead of time and deterministically,
+//! each machine's outage intervals `[down, up)`, a per-machine speed
+//! factor in `(0, 1]`, and a constant dispatcher→machine dispatch
+//! latency. Determinism is the point — the same plan and the same
+//! arrival stream reproduce the same faulty schedule bit for bit, across
+//! thread counts, which is what makes the fault layer testable.
+//!
+//! The injection itself is a stream adapter, not a sim fork:
+//! [`FaultyStream`] wraps any [`ArrivalStream`] and
+//!
+//! * shifts every release by the dispatch latency,
+//! * stretches every processing time by the slowest alive member of the
+//!   task's (rewritten) processing set,
+//! * rewrites each arrival's [`ProcSetRef`] against the machines alive
+//!   at its (shifted) release, and
+//! * re-queues tasks stranded by a crash (no member alive) at the
+//!   earliest instant a member recovers, merged back in arrival order.
+//!
+//! Downstream, availability-aware dispatchers (see
+//! `flowsched_algos::faulty`) consult the same plan so no task ever
+//! *starts* — or runs — inside an outage window: service must fit in a
+//! single alive window (a checkpoint-free model; a crash never kills an
+//! in-flight task because the dispatcher schedules around the outage it
+//! already knows about).
+//!
+//! A plan with no outages, all speeds `1.0`, and zero latency is
+//! *fault-free*: [`FaultyStream`] then forwards the inner stream
+//! untouched (zero-copy), which is what makes the "fault-free plan ≡
+//! existing engine, bitwise" property in `tests/fault_injection.rs`
+//! possible.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::compact::{CompactProcSet, ProcSetRef};
+use crate::shard::ShardPlan;
+use crate::stream::ArrivalStream;
+use crate::structure::StructureReport;
+use crate::task::Task;
+use crate::time::Time;
+
+/// A closed-open unavailability interval `[down, up)` of one machine.
+///
+/// The machine is dead at `down` and alive again exactly at `up`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Outage {
+    /// Instant the machine crashes (inclusive).
+    pub down: Time,
+    /// Instant the machine recovers (exclusive end of the outage).
+    pub up: Time,
+}
+
+impl Outage {
+    /// Creates an outage, panicking unless `0 ≤ down < up` and both are
+    /// finite.
+    pub fn new(down: Time, up: Time) -> Self {
+        assert!(
+            down.is_finite() && up.is_finite() && down >= 0.0 && down < up,
+            "outage requires 0 <= down < up (got [{down}, {up}))"
+        );
+        Outage { down, up }
+    }
+
+    /// Whether `t` falls inside the outage (`down ≤ t < up`).
+    #[inline]
+    pub fn covers(&self, t: Time) -> bool {
+        self.down <= t && t < self.up
+    }
+}
+
+/// Per-machine fault state: sorted disjoint outages plus a speed factor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineFaults {
+    /// Outage intervals, sorted by `down`, pairwise disjoint
+    /// (`outages[i].up ≤ outages[i+1].down`).
+    outages: Vec<Outage>,
+    /// Relative speed in `(0, 1]`; a task of processing time `p` takes
+    /// `p / speed` wall-clock time on this machine.
+    speed: f64,
+}
+
+impl MachineFaults {
+    /// A healthy machine: no outages, full speed.
+    pub fn healthy() -> Self {
+        MachineFaults {
+            outages: Vec::new(),
+            speed: 1.0,
+        }
+    }
+
+    /// The machine's outage intervals, sorted and disjoint.
+    #[inline]
+    pub fn outages(&self) -> &[Outage] {
+        &self.outages
+    }
+
+    /// The machine's speed factor in `(0, 1]`.
+    #[inline]
+    pub fn speed(&self) -> f64 {
+        self.speed
+    }
+}
+
+/// The kind of a machine lifecycle transition in a [`FaultPlan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultEventKind {
+    /// The machine goes down.
+    Crash,
+    /// The machine comes back up.
+    Recover,
+}
+
+/// One machine lifecycle transition, for recorder/trace wiring.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// Instant of the transition.
+    pub at: Time,
+    /// Machine index.
+    pub machine: usize,
+    /// Crash or recover.
+    pub kind: FaultEventKind,
+}
+
+/// A deterministic, ahead-of-time fault trace for `m` machines.
+///
+/// Construct with [`FaultPlan::none`] and grow via [`with_outage`],
+/// [`with_speed`], and [`with_latency`] (each validates its invariant),
+/// or generate seeded random plans with
+/// `flowsched_workloads::faults::random_fault_plan`.
+///
+/// [`with_outage`]: FaultPlan::with_outage
+/// [`with_speed`]: FaultPlan::with_speed
+/// [`with_latency`]: FaultPlan::with_latency
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    machines: Vec<MachineFaults>,
+    dispatch_latency: Time,
+}
+
+impl FaultPlan {
+    /// The fault-free plan for `m` machines: no outages, unit speeds,
+    /// zero dispatch latency.
+    pub fn none(m: usize) -> Self {
+        FaultPlan {
+            machines: vec![MachineFaults::healthy(); m],
+            dispatch_latency: 0.0,
+        }
+    }
+
+    /// Adds the outage `[down, up)` to machine `j` (builder style).
+    ///
+    /// Panics if `j` is out of range or the interval overlaps an
+    /// existing outage of `j` (touching endpoints are allowed — the
+    /// machine is then down contiguously).
+    pub fn with_outage(mut self, j: usize, down: Time, up: Time) -> Self {
+        let o = Outage::new(down, up);
+        let list = &mut self.machines[j].outages;
+        let pos = list.partition_point(|e| e.down < o.down);
+        if pos > 0 {
+            assert!(
+                list[pos - 1].up <= o.down,
+                "outage [{down}, {up}) of machine {j} overlaps [{}, {})",
+                list[pos - 1].down,
+                list[pos - 1].up
+            );
+        }
+        if pos < list.len() {
+            assert!(
+                o.up <= list[pos].down,
+                "outage [{down}, {up}) of machine {j} overlaps [{}, {})",
+                list[pos].down,
+                list[pos].up
+            );
+        }
+        list.insert(pos, o);
+        self
+    }
+
+    /// Sets machine `j`'s speed factor (builder style). Panics unless
+    /// `0 < speed ≤ 1`.
+    pub fn with_speed(mut self, j: usize, speed: f64) -> Self {
+        assert!(
+            speed.is_finite() && speed > 0.0 && speed <= 1.0,
+            "speed factor must be in (0, 1] (got {speed})"
+        );
+        self.machines[j].speed = speed;
+        self
+    }
+
+    /// Sets the constant dispatcher→machine dispatch latency (builder
+    /// style). Panics unless `latency ≥ 0` and finite.
+    pub fn with_latency(mut self, latency: Time) -> Self {
+        assert!(
+            latency.is_finite() && latency >= 0.0,
+            "dispatch latency must be finite and >= 0 (got {latency})"
+        );
+        self.dispatch_latency = latency;
+        self
+    }
+
+    /// Number of machines the plan covers.
+    #[inline]
+    pub fn machines(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// Per-machine fault state of machine `j`.
+    #[inline]
+    pub fn faults(&self, j: usize) -> &MachineFaults {
+        &self.machines[j]
+    }
+
+    /// Machine `j`'s speed factor in `(0, 1]`.
+    #[inline]
+    pub fn speed(&self, j: usize) -> f64 {
+        self.machines[j].speed
+    }
+
+    /// The constant dispatcher→machine dispatch latency.
+    #[inline]
+    pub fn latency(&self) -> Time {
+        self.dispatch_latency
+    }
+
+    /// `true` when the plan changes nothing: no outages, all speeds
+    /// `1.0`, zero latency. [`FaultyStream`] forwards the inner stream
+    /// untouched for such plans.
+    pub fn is_fault_free(&self) -> bool {
+        self.dispatch_latency == 0.0
+            && self
+                .machines
+                .iter()
+                .all(|f| f.outages.is_empty() && f.speed == 1.0)
+    }
+
+    /// Whether machine `j` is alive at instant `t` (outages are
+    /// closed-open: dead at `down`, alive at `up`).
+    #[inline]
+    pub fn is_alive(&self, j: usize, t: Time) -> bool {
+        let list = &self.machines[j].outages;
+        let pos = list.partition_point(|o| o.down <= t);
+        pos == 0 || list[pos - 1].up <= t
+    }
+
+    /// The earliest instant `≥ t` at which machine `j` is alive (`t`
+    /// itself when alive, else the end of the covering outage).
+    #[inline]
+    pub fn next_alive(&self, j: usize, t: Time) -> Time {
+        let list = &self.machines[j].outages;
+        let pos = list.partition_point(|o| o.down <= t);
+        if pos == 0 || list[pos - 1].up <= t {
+            t
+        } else {
+            list[pos - 1].up
+        }
+    }
+
+    /// The earliest start `s ≥ t` such that machine `j` is alive for
+    /// the whole service window `[s, s + duration)` — the
+    /// checkpoint-free fit used by availability-aware dispatchers.
+    ///
+    /// Always terminates with a finite answer: the outage list is
+    /// finite, so the machine is alive forever after its last outage.
+    pub fn earliest_fit(&self, j: usize, t: Time, duration: Time) -> Time {
+        let list = &self.machines[j].outages;
+        let mut s = self.next_alive(j, t);
+        let mut pos = list.partition_point(|o| o.down <= s);
+        while pos < list.len() && list[pos].down < s + duration {
+            s = list[pos].up;
+            pos += 1;
+        }
+        s
+    }
+
+    /// The earliest instant `≥ t` at which *some* member of `set` is
+    /// alive, or `None` for an empty set. Used to re-queue stranded
+    /// tasks: at the returned instant the restriction of `set` to alive
+    /// machines is guaranteed non-empty.
+    pub fn next_alive_in(&self, set: ProcSetRef<'_>, t: Time) -> Option<Time> {
+        set.iter()
+            .map(|j| self.next_alive(j, t))
+            .min_by(|a, b| a.total_cmp(b))
+    }
+
+    /// The minimum speed factor over the members of `set` (the
+    /// conservative stretch applied to a task that may land on any of
+    /// them), or `None` for an empty set.
+    pub fn min_speed_in(&self, set: ProcSetRef<'_>) -> Option<f64> {
+        set.iter()
+            .map(|j| self.machines[j].speed)
+            .min_by(|a, b| a.total_cmp(b))
+    }
+
+    /// Restricts `set` to the machines alive at `t`.
+    ///
+    /// Returns the original view unchanged when every member is alive
+    /// (the common fast path, preserving compact shapes); otherwise
+    /// fills `scratch` with the alive members in ascending order and
+    /// returns an [`ProcSetRef::Explicit`] view of it — possibly empty,
+    /// meaning the task is stranded.
+    pub fn restrict_alive<'a>(
+        &self,
+        set: ProcSetRef<'a>,
+        t: Time,
+        scratch: &'a mut Vec<usize>,
+    ) -> ProcSetRef<'a> {
+        if set.iter().all(|j| self.is_alive(j, t)) {
+            return set;
+        }
+        scratch.clear();
+        scratch.extend(set.iter().filter(|&j| self.is_alive(j, t)));
+        ProcSetRef::Explicit(scratch)
+    }
+
+    /// All crash/recover transitions of the plan, sorted by time (ties
+    /// broken by machine index, crash before recover). Feed these to a
+    /// recorder up front so outage spans appear in exported traces.
+    pub fn events(&self) -> Vec<FaultEvent> {
+        let mut evs = Vec::new();
+        for (j, f) in self.machines.iter().enumerate() {
+            for o in &f.outages {
+                evs.push(FaultEvent {
+                    at: o.down,
+                    machine: j,
+                    kind: FaultEventKind::Crash,
+                });
+                evs.push(FaultEvent {
+                    at: o.up,
+                    machine: j,
+                    kind: FaultEventKind::Recover,
+                });
+            }
+        }
+        evs.sort_by(|a, b| {
+            a.at.total_cmp(&b.at)
+                .then(a.machine.cmp(&b.machine))
+                .then((a.kind == FaultEventKind::Recover).cmp(&(b.kind == FaultEventKind::Recover)))
+        });
+        evs
+    }
+
+    /// The sub-plan covering machines `[start, start + len)`, re-indexed
+    /// to local indices `0..len`. Dispatch latency is preserved. Used by
+    /// the sharded engine to hand each shard its own machine block.
+    pub fn slice(&self, start: usize, len: usize) -> FaultPlan {
+        FaultPlan {
+            machines: self.machines[start..start + len].to_vec(),
+            dispatch_latency: self.dispatch_latency,
+        }
+    }
+}
+
+/// A stranded task parked until a member of its set recovers.
+#[derive(Debug)]
+struct Deferred {
+    /// Re-entry instant: earliest time some member of `set` is alive.
+    ready: Time,
+    /// Original arrival rank — ties at `ready` re-enter in this order.
+    seq: u64,
+    /// Original (unstretched) processing time.
+    ptime: Time,
+    /// The task's *original* processing set (restriction happens again
+    /// at re-entry).
+    set: CompactProcSet,
+}
+
+impl PartialEq for Deferred {
+    fn eq(&self, other: &Self) -> bool {
+        self.ready == other.ready && self.seq == other.seq
+    }
+}
+impl Eq for Deferred {}
+impl PartialOrd for Deferred {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Deferred {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest
+        // (ready, seq) on top.
+        other
+            .ready
+            .total_cmp(&self.ready)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// Wraps an [`ArrivalStream`], injecting the faults of a [`FaultPlan`].
+///
+/// For fault-free plans every call forwards to the inner stream
+/// untouched. Otherwise each arrival's release is shifted by the
+/// dispatch latency, its set is restricted to the machines alive at the
+/// shifted release, and its processing time is stretched by the slowest
+/// alive member's speed factor. Arrivals whose whole set is dead are
+/// deferred to the earliest recovery of any member and merged back in
+/// `(release, arrival rank)` order, so displaced tasks re-enter under
+/// the engine's existing arrival-order convention. Releases remain
+/// non-decreasing (the engines assert this).
+pub struct FaultyStream<'p, S> {
+    inner: S,
+    plan: &'p FaultPlan,
+    fault_free: bool,
+    /// Next inner arrival (already latency-shifted), not yet emitted.
+    lookahead: Option<(Task, CompactProcSet)>,
+    inner_done: bool,
+    deferred: BinaryHeap<Deferred>,
+    next_seq: u64,
+    /// Owned copy of the set being emitted this pull (lent to the caller).
+    current: CompactProcSet,
+    /// Alive members when the original set is partially dead.
+    scratch: Vec<usize>,
+}
+
+impl<'p, S: ArrivalStream> FaultyStream<'p, S> {
+    /// Wraps `inner`, injecting the faults of `plan`. Panics unless the
+    /// plan covers exactly the stream's machines.
+    pub fn new(inner: S, plan: &'p FaultPlan) -> Self {
+        assert_eq!(
+            inner.machines(),
+            plan.machines(),
+            "fault plan covers {} machines but the stream has {}",
+            plan.machines(),
+            inner.machines()
+        );
+        FaultyStream {
+            fault_free: plan.is_fault_free(),
+            inner,
+            plan,
+            lookahead: None,
+            inner_done: false,
+            deferred: BinaryHeap::new(),
+            next_seq: 0,
+            current: CompactProcSet::Prefix { len: 1 },
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Pulls the next inner arrival into `lookahead` (latency-shifted).
+    fn refill(&mut self) {
+        if self.lookahead.is_none() && !self.inner_done {
+            match self.inner.next_arrival() {
+                Some((t, set)) => {
+                    let shifted = Task::new(t.release + self.plan.dispatch_latency, t.ptime);
+                    self.lookahead = Some((shifted, CompactProcSet::from(set)));
+                }
+                None => self.inner_done = true,
+            }
+        }
+    }
+}
+
+impl<S: ArrivalStream> ArrivalStream for FaultyStream<'_, S> {
+    fn machines(&self) -> usize {
+        self.inner.machines()
+    }
+
+    fn next_arrival(&mut self) -> Option<(Task, ProcSetRef<'_>)> {
+        if self.fault_free {
+            return self.inner.next_arrival();
+        }
+        loop {
+            self.refill();
+            // Merge deferred re-entries with fresh arrivals in
+            // (release, arrival rank) order. A deferred task always has
+            // a smaller rank than any fresh one (it was pulled from the
+            // inner stream earlier), so deferred-first on release ties
+            // is exactly arrival order.
+            let take_deferred = match (self.deferred.peek(), &self.lookahead) {
+                (Some(d), Some((t, _))) => d.ready <= t.release,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => return None,
+            };
+            let (task, seq) = if take_deferred {
+                let d = self.deferred.pop().expect("peeked above");
+                self.current = d.set;
+                (Task::new(d.ready, d.ptime), d.seq)
+            } else {
+                let (t, set) = self.lookahead.take().expect("peeked above");
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                self.current = set;
+                (t, seq)
+            };
+            // Restrict to the machines alive at the (shifted) release.
+            let all_alive = {
+                let plan = self.plan;
+                let view = self.current.as_view();
+                if view.iter().all(|j| plan.is_alive(j, task.release)) {
+                    true
+                } else {
+                    self.scratch.clear();
+                    self.scratch
+                        .extend(view.iter().filter(|&j| plan.is_alive(j, task.release)));
+                    false
+                }
+            };
+            if !all_alive && self.scratch.is_empty() {
+                // Stranded: every member is down. Park until the first
+                // recovery of any member; at that instant the
+                // restriction is non-empty by construction, so a
+                // deferred task is never re-deferred.
+                let ready = self
+                    .plan
+                    .next_alive_in(self.current.as_view(), task.release)
+                    .expect("processing sets are non-empty");
+                let set = std::mem::replace(&mut self.current, CompactProcSet::Prefix { len: 1 });
+                self.deferred.push(Deferred {
+                    ready,
+                    seq,
+                    ptime: task.ptime,
+                    set,
+                });
+                continue;
+            }
+            let view = if all_alive {
+                self.current.as_view()
+            } else {
+                ProcSetRef::Explicit(&self.scratch)
+            };
+            let speed = self
+                .plan
+                .min_speed_in(view)
+                .expect("restricted set is non-empty");
+            let stretched = Task::new(task.release, task.ptime / speed);
+            return Some((stretched, view));
+        }
+    }
+
+    fn len_hint(&self) -> Option<usize> {
+        // Nothing is ever dropped: deferred and lookahead tasks are all
+        // eventually emitted.
+        self.inner
+            .len_hint()
+            .map(|n| n + self.deferred.len() + usize::from(self.lookahead.is_some()))
+    }
+
+    fn structure_hint(&self) -> Option<StructureReport> {
+        // Restriction to alive machines breaks the inner stream's
+        // family promises (an interval with a dead middle machine is no
+        // longer an interval), so a faulty stream advertises nothing.
+        if self.fault_free {
+            self.inner.structure_hint()
+        } else {
+            None
+        }
+    }
+
+    fn shard_plan(&self, max_shards: usize) -> ShardPlan {
+        // Restricted sets are subsets of the originals, so any plan
+        // whose shard hulls cover the inner stream's sets also covers
+        // the faulty stream's.
+        self.inner.shard_plan(max_shards)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::procset::ProcSet;
+    use crate::stream::FnStream;
+
+    fn plan3() -> FaultPlan {
+        FaultPlan::none(3)
+            .with_outage(1, 2.0, 5.0)
+            .with_outage(1, 8.0, 9.0)
+            .with_speed(2, 0.5)
+    }
+
+    #[test]
+    fn alive_queries_respect_closed_open_intervals() {
+        let p = plan3();
+        assert!(p.is_alive(1, 1.9));
+        assert!(!p.is_alive(1, 2.0));
+        assert!(!p.is_alive(1, 4.9));
+        assert!(p.is_alive(1, 5.0));
+        assert!(p.is_alive(0, 2.0));
+        assert_eq!(p.next_alive(1, 3.0), 5.0);
+        assert_eq!(p.next_alive(1, 5.0), 5.0);
+        assert_eq!(p.next_alive(1, 8.5), 9.0);
+    }
+
+    #[test]
+    fn earliest_fit_skips_windows_too_small() {
+        let p = FaultPlan::none(1)
+            .with_outage(0, 2.0, 3.0)
+            .with_outage(0, 4.0, 10.0);
+        // [3, 4) is a 1-wide alive window: a 1-long task fits at 3…
+        assert_eq!(p.earliest_fit(0, 0.0, 1.0), 0.0);
+        assert_eq!(p.earliest_fit(0, 2.5, 1.0), 3.0);
+        // …but a 2-long task must wait for the recovery at 10.
+        assert_eq!(p.earliest_fit(0, 2.5, 2.0), 10.0);
+        assert_eq!(p.earliest_fit(0, 11.0, 100.0), 11.0);
+    }
+
+    #[test]
+    fn overlapping_outages_panic() {
+        let r = std::panic::catch_unwind(|| {
+            let _ = FaultPlan::none(1)
+                .with_outage(0, 2.0, 5.0)
+                .with_outage(0, 4.0, 6.0);
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn fault_free_detection() {
+        assert!(FaultPlan::none(4).is_fault_free());
+        assert!(!FaultPlan::none(4).with_speed(0, 0.9).is_fault_free());
+        assert!(!FaultPlan::none(4).with_latency(0.1).is_fault_free());
+        assert!(!FaultPlan::none(4).with_outage(2, 1.0, 2.0).is_fault_free());
+    }
+
+    #[test]
+    fn restrict_alive_keeps_view_when_all_alive() {
+        let p = plan3();
+        let mut scratch = Vec::new();
+        let set = ProcSetRef::interval(0, 2);
+        let restricted = p.restrict_alive(set, 1.0, &mut scratch);
+        assert!(matches!(restricted, ProcSetRef::Interval { .. }));
+        let restricted = p.restrict_alive(set, 3.0, &mut scratch);
+        assert_eq!(restricted.iter().collect::<Vec<_>>(), vec![0, 2]);
+    }
+
+    #[test]
+    fn events_are_time_sorted_pairs() {
+        let evs = plan3().events();
+        assert_eq!(evs.len(), 4);
+        assert!(evs.windows(2).all(|w| w[0].at <= w[1].at));
+        assert_eq!(evs[0].kind, FaultEventKind::Crash);
+        assert_eq!(evs[1].kind, FaultEventKind::Recover);
+    }
+
+    #[test]
+    fn slice_reindexes_machines() {
+        let p = plan3();
+        let s = p.slice(1, 2);
+        assert_eq!(s.machines(), 2);
+        assert!(!s.is_alive(0, 3.0)); // global machine 1
+        assert_eq!(s.speed(1), 0.5); // global machine 2
+    }
+
+    fn three_task_stream() -> impl ArrivalStream {
+        let tasks = vec![
+            (Task::new(0.0, 1.0), ProcSet::new(vec![0, 1])),
+            (Task::new(2.5, 1.0), ProcSet::new(vec![1])),
+            (Task::new(3.0, 1.0), ProcSet::new(vec![0, 2])),
+        ];
+        let mut it = tasks.into_iter();
+        FnStream::new(3, move || it.next())
+    }
+
+    #[test]
+    fn faulty_stream_defers_stranded_tasks_in_arrival_order() {
+        let plan = plan3();
+        let mut s = FaultyStream::new(three_task_stream(), &plan);
+        // Task 0 at 0.0 on {0,1}: both alive.
+        let (t, set) = s.next_arrival().unwrap();
+        assert_eq!(t.release, 0.0);
+        assert_eq!(set.iter().collect::<Vec<_>>(), vec![0, 1]);
+        // Task 1 at 2.5 on {1}: machine 1 is down [2,5) → deferred to 5.
+        // Task 2 at 3.0 on {0,2}: alive, stretched by machine 2's 0.5.
+        let (t, set) = s.next_arrival().unwrap();
+        assert_eq!(t.release, 3.0);
+        assert_eq!(t.ptime, 2.0);
+        assert_eq!(set.iter().collect::<Vec<_>>(), vec![0, 2]);
+        // Deferred task re-enters at the recovery instant.
+        let (t, set) = s.next_arrival().unwrap();
+        assert_eq!(t.release, 5.0);
+        assert_eq!(t.ptime, 1.0);
+        assert_eq!(set.iter().collect::<Vec<_>>(), vec![1]);
+        assert!(s.next_arrival().is_none());
+    }
+
+    #[test]
+    fn faulty_stream_shifts_releases_by_latency() {
+        let plan = FaultPlan::none(3).with_latency(0.75);
+        let mut s = FaultyStream::new(three_task_stream(), &plan);
+        let mut releases = Vec::new();
+        while let Some((t, _)) = s.next_arrival() {
+            releases.push(t.release);
+        }
+        assert_eq!(releases, vec![0.75, 3.25, 3.75]);
+    }
+
+    #[test]
+    fn fault_free_plan_forwards_inner_stream() {
+        let plan = FaultPlan::none(3);
+        let mut faulty = FaultyStream::new(three_task_stream(), &plan);
+        let mut plain = three_task_stream();
+        loop {
+            match (faulty.next_arrival(), plain.next_arrival()) {
+                (Some((a, sa)), Some((b, sb))) => {
+                    assert_eq!(a, b);
+                    assert!(sa.iter().eq(sb.iter()));
+                }
+                (None, None) => break,
+                _ => panic!("stream lengths differ"),
+            }
+        }
+    }
+}

@@ -34,12 +34,16 @@
 //! - [`shard`]: contiguous machine-ownership partitions ([`ShardPlan`])
 //!   that the structured families induce, the routing contract of the
 //!   parallel sharded engine.
+//! - [`fault`]: deterministic fault injection — [`FaultPlan`] outage /
+//!   speed / latency traces and the [`FaultyStream`] adapter that rewrites
+//!   arrivals against the currently-alive machine set.
 //! - [`gantt`]: ASCII rendering of schedules, used to regenerate the
 //!   paper's Figure 3.
 //! - [`io`]: validated JSON (de)serialization of instances and schedules.
 
 pub mod compact;
 pub mod error;
+pub mod fault;
 pub mod gantt;
 pub mod instance;
 pub mod io;
@@ -55,6 +59,7 @@ pub mod time;
 
 pub use compact::{CompactProcSet, ProcSetRef, ProcSetRefIter};
 pub use error::CoreError;
+pub use fault::{FaultEvent, FaultEventKind, FaultPlan, FaultyStream, MachineFaults, Outage};
 pub use instance::{Instance, InstanceBuilder};
 pub use io::{instance_from_json, instance_to_json, schedule_from_json, schedule_to_json};
 pub use machine::MachineId;

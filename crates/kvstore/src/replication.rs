@@ -13,6 +13,7 @@
 //!   load.
 
 use flowsched_core::compact::ProcSetRef;
+use flowsched_core::fault::FaultPlan;
 use flowsched_core::procset::ProcSet;
 
 /// The two replication shapes compared throughout Section 7, plus one
@@ -105,6 +106,56 @@ impl ReplicationStrategy {
                 let start = (offset + k * (pos / k)) % m;
                 ProcSetRef::ring(start, k, m)
             }
+        }
+    }
+
+    /// The replica set `I_k(u)` shrunk to the replicas alive at time
+    /// `at` under `plan` — the kv-store view of machine failure: a
+    /// request for `u`'s data can only be served by replicas whose
+    /// machines are up, so crashes temporarily shrink the effective
+    /// replication factor. Returns `None` when *every* replica is down
+    /// (the request must wait for a recovery; see
+    /// [`FaultPlan::next_alive_in`]).
+    ///
+    /// ```
+    /// use flowsched_core::fault::FaultPlan;
+    /// use flowsched_core::procset::ProcSet;
+    /// use flowsched_kvstore::replication::ReplicationStrategy;
+    ///
+    /// // Owner M3's disjoint block {0, 1, 2} with machine 1 down over
+    /// // [2, 5): requests at t = 3 fall back to the surviving pair.
+    /// let plan = FaultPlan::none(6).with_outage(1, 2.0, 5.0);
+    /// let s = ReplicationStrategy::Disjoint.alive_replica_set(2, 3, 6, &plan, 3.0);
+    /// assert_eq!(s, Some(ProcSet::new(vec![0, 2])));
+    /// ```
+    ///
+    /// # Panics
+    /// Panics unless `u < m`, `1 ≤ k ≤ m`, and `plan` covers `m`
+    /// machines.
+    pub fn alive_replica_set(
+        self,
+        owner: usize,
+        k: usize,
+        m: usize,
+        plan: &FaultPlan,
+        at: f64,
+    ) -> Option<ProcSet> {
+        assert!(
+            plan.machines() >= m,
+            "fault plan covers {} machines, replica sets need {m}",
+            plan.machines()
+        );
+        let full = self.replica_set(owner, k, m);
+        let alive: Vec<usize> = full
+            .as_slice()
+            .iter()
+            .copied()
+            .filter(|&j| plan.is_alive(j, at))
+            .collect();
+        if alive.is_empty() {
+            None
+        } else {
+            Some(ProcSet::new(alive))
         }
     }
 
@@ -301,6 +352,40 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn alive_replica_set_shrinks_and_recovers() {
+        use flowsched_core::fault::FaultPlan;
+        let plan = FaultPlan::none(6)
+            .with_outage(1, 2.0, 5.0)
+            .with_outage(0, 2.0, 4.0);
+        let s = ReplicationStrategy::Disjoint;
+        // Fault-free instant: the full block.
+        assert_eq!(
+            s.alive_replica_set(2, 3, 6, &plan, 0.0),
+            Some(ProcSet::new(vec![0, 1, 2]))
+        );
+        // Two of three replicas down.
+        assert_eq!(
+            s.alive_replica_set(2, 3, 6, &plan, 3.0),
+            Some(ProcSet::singleton(2))
+        );
+        // Recovery restores membership (outages are closed-open).
+        assert_eq!(
+            s.alive_replica_set(2, 3, 6, &plan, 5.0),
+            Some(ProcSet::new(vec![0, 1, 2]))
+        );
+        // A block that is entirely down yields None.
+        let dark = FaultPlan::none(3)
+            .with_outage(0, 0.0, 1.0)
+            .with_outage(1, 0.0, 1.0)
+            .with_outage(2, 0.0, 1.0);
+        assert_eq!(s.alive_replica_set(0, 3, 3, &dark, 0.5), None);
+        assert_eq!(
+            s.alive_replica_set(0, 3, 3, &dark, 1.0),
+            Some(ProcSet::full(3))
+        );
     }
 
     #[test]

@@ -20,6 +20,10 @@ pub enum Counter {
     MachineBusyTransitions,
     /// Busy→idle machine transitions.
     MachineIdleTransitions,
+    /// Machine crashes injected by a fault plan.
+    MachineCrashes,
+    /// Machine recoveries injected by a fault plan.
+    MachineRecoveries,
     /// λ-feasibility probes answered by the max-flow oracle.
     LoadProbes,
     /// Dinic augmenting-path searches across all load probes.
@@ -36,12 +40,14 @@ pub enum Counter {
 
 impl Counter {
     /// Every counter, in snapshot order.
-    pub const ALL: [Counter; 11] = [
+    pub const ALL: [Counter; 13] = [
         Counter::TasksArrived,
         Counter::TasksDispatched,
         Counter::TasksCompleted,
         Counter::MachineBusyTransitions,
         Counter::MachineIdleTransitions,
+        Counter::MachineCrashes,
+        Counter::MachineRecoveries,
         Counter::LoadProbes,
         Counter::FlowAugmentations,
         Counter::SimplexPivots,
@@ -58,6 +64,8 @@ impl Counter {
             Counter::TasksCompleted => "tasks_completed",
             Counter::MachineBusyTransitions => "machine_busy_transitions",
             Counter::MachineIdleTransitions => "machine_idle_transitions",
+            Counter::MachineCrashes => "machine_crashes",
+            Counter::MachineRecoveries => "machine_recoveries",
             Counter::LoadProbes => "load_probes",
             Counter::FlowAugmentations => "flow_augmentations",
             Counter::SimplexPivots => "simplex_pivots",

@@ -59,6 +59,21 @@ pub enum Event {
         /// Transition time.
         at: f64,
     },
+    /// A machine crashed (fault injection): it leaves every processing
+    /// set until the matching [`Event::MachineRecover`].
+    MachineCrash {
+        /// Machine index.
+        machine: u32,
+        /// Crash time.
+        at: f64,
+    },
+    /// A machine recovered from a crash (fault injection).
+    MachineRecover {
+        /// Machine index.
+        machine: u32,
+        /// Recovery time.
+        at: f64,
+    },
     /// A solver probe ran (λ-feasibility check, LP solve, matching solve).
     SolverProbe {
         /// What kind of probe.
@@ -80,6 +95,8 @@ impl Event {
             Event::TaskCompletion { .. } => "task_completion",
             Event::MachineBusy { .. } => "machine_busy",
             Event::MachineIdle { .. } => "machine_idle",
+            Event::MachineCrash { .. } => "machine_crash",
+            Event::MachineRecover { .. } => "machine_recover",
             Event::SolverProbe { .. } => "solver_probe",
         }
     }
@@ -91,7 +108,9 @@ impl Event {
             Event::TaskArrival { at, .. }
             | Event::TaskCompletion { at, .. }
             | Event::MachineBusy { at, .. }
-            | Event::MachineIdle { at, .. } => at,
+            | Event::MachineIdle { at, .. }
+            | Event::MachineCrash { at, .. }
+            | Event::MachineRecover { at, .. } => at,
             Event::TaskDispatch { start, .. } => start,
             Event::SolverProbe { .. } => 0.0,
         }
@@ -305,6 +324,14 @@ mod tests {
             Event::MachineIdle {
                 machine: 0,
                 at: 1.0,
+            },
+            Event::MachineCrash {
+                machine: 0,
+                at: 2.0,
+            },
+            Event::MachineRecover {
+                machine: 0,
+                at: 3.0,
             },
             Event::SolverProbe {
                 kind: ProbeKind::LoadFeasibility,

@@ -25,7 +25,7 @@
 use serde::Value;
 
 use crate::memory::MemoryRecorder;
-use crate::span::{MachineSpan, TaskSpan};
+use crate::span::{MachineSpan, OutageSpan, TaskSpan};
 use crate::window::WindowedMetrics;
 
 /// Seconds of engine time → microseconds of trace time.
@@ -52,6 +52,18 @@ fn s(v: &str) -> Value {
 /// module docs for the track layout). Events are sorted by timestamp as
 /// Perfetto's JSON importer expects.
 pub fn chrome_trace(tasks: &[TaskSpan], machines: &[MachineSpan]) -> String {
+    chrome_trace_with_outages(tasks, machines, &[])
+}
+
+/// [`chrome_trace`] plus fault-injection outages: each [`OutageSpan`]
+/// renders as a `"down"` complete event on the machine's pid-1 row,
+/// so crash windows appear inline with the busy intervals they
+/// interrupt.
+pub fn chrome_trace_with_outages(
+    tasks: &[TaskSpan],
+    machines: &[MachineSpan],
+    outages: &[OutageSpan],
+) -> String {
     let mut events: Vec<Value> = Vec::new();
     // Track-naming metadata first (ph "M" events are position-free).
     for (pid, name) in [(1.0, "machines"), (2.0, "tasks")] {
@@ -67,6 +79,7 @@ pub fn chrome_trace(tasks: &[TaskSpan], machines: &[MachineSpan]) -> String {
         .iter()
         .map(|t| t.machine)
         .chain(machines.iter().map(|m| m.machine))
+        .chain(outages.iter().map(|o| o.machine))
         .collect();
     seen_machines.sort_unstable();
     seen_machines.dedup();
@@ -91,6 +104,16 @@ pub fn chrome_trace(tasks: &[TaskSpan], machines: &[MachineSpan]) -> String {
             ("name", s("busy")),
             ("ts", num(m.start * TRACE_US)),
             ("dur", num((m.end - m.start) * TRACE_US)),
+        ]));
+    }
+    for o in outages {
+        spans.push(obj(vec![
+            ("ph", s("X")),
+            ("pid", num(1.0)),
+            ("tid", num(o.machine as f64)),
+            ("name", s("down")),
+            ("ts", num(o.start * TRACE_US)),
+            ("dur", num((o.end - o.start) * TRACE_US)),
         ]));
     }
     for t in tasks {
@@ -278,6 +301,35 @@ mod tests {
             }
         }
         assert_eq!(xs, tasks.len() + machines.len());
+    }
+
+    #[test]
+    fn outage_spans_render_as_down_events_on_machine_rows() {
+        let rec = populated();
+        let tasks = task_spans(rec.trace().iter());
+        let machines = machine_spans(rec.trace().iter(), rec.makespan_seen());
+        let outages = [OutageSpan {
+            machine: 1,
+            start: 0.25,
+            end: 0.75,
+        }];
+        let json = chrome_trace_with_outages(&tasks, &machines, &outages);
+        let v: Value = serde_json::from_str(&json).expect("valid JSON");
+        let events = match v.get("traceEvents").expect("traceEvents key") {
+            Value::Array(items) => items.clone(),
+            _ => panic!("traceEvents is an array"),
+        };
+        let down: Vec<&Value> = events
+            .iter()
+            .filter(|e| e.get("name").and_then(|n| n.as_str()) == Some("down"))
+            .collect();
+        assert_eq!(down.len(), 1);
+        assert_eq!(down[0].get("pid").and_then(Value::as_f64), Some(1.0));
+        assert_eq!(down[0].get("tid").and_then(Value::as_f64), Some(1.0));
+        assert_eq!(
+            down[0].get("dur").and_then(Value::as_f64),
+            Some(0.5 * TRACE_US)
+        );
     }
 
     #[test]

@@ -81,12 +81,12 @@ pub mod window;
 
 pub use counters::{Counter, Counters};
 pub use event::{Event, EventRing, ProbeKind};
-pub use export::{chrome_trace, prometheus_text, windows_to_csv};
+pub use export::{chrome_trace, chrome_trace_with_outages, prometheus_text, windows_to_csv};
 pub use memory::{MemoryRecorder, ObsConfig};
 pub use recorder::{NoopRecorder, Recorder, Tee};
 pub use shard::{merge_windows, ShardedRecorder};
 pub use snapshot::{render_summary, trace_to_json, ObsSnapshot};
-pub use span::{machine_spans, task_spans, MachineSpan, TaskSpan};
+pub use span::{machine_spans, outage_spans, task_spans, MachineSpan, OutageSpan, TaskSpan};
 pub use window::{WindowConfig, WindowStats, WindowedMetrics};
 
 /// Convenience re-exports for instrumented engines and tests.

@@ -288,6 +288,18 @@ impl Recorder for MemoryRecorder {
     }
 
     #[inline]
+    fn machine_crash(&mut self, machine: u32, at: f64) {
+        self.counters.add(Counter::MachineCrashes, 1);
+        self.push_event(Event::MachineCrash { machine, at });
+    }
+
+    #[inline]
+    fn machine_recover(&mut self, machine: u32, at: f64) {
+        self.counters.add(Counter::MachineRecoveries, 1);
+        self.push_event(Event::MachineRecover { machine, at });
+    }
+
+    #[inline]
     fn probe(&mut self, kind: ProbeKind, iterations: u64, value: f64) {
         let counter = match kind {
             ProbeKind::LoadFeasibility => Counter::FlowAugmentations,
@@ -444,6 +456,29 @@ mod tests {
             assert_eq!(a.probe_stats(k), whole.probe_stats(k), "{}", k.name());
         }
         assert_eq!(a.trace().to_vec(), whole.trace().to_vec());
+    }
+
+    #[test]
+    fn lifecycle_hooks_count_and_trace() {
+        let mut r = MemoryRecorder::with_defaults(2);
+        r.machine_crash(1, 2.0);
+        r.machine_recover(1, 5.0);
+        assert_eq!(r.counters().get(Counter::MachineCrashes), 1);
+        assert_eq!(r.counters().get(Counter::MachineRecoveries), 1);
+        let evs = r.trace().to_vec();
+        assert_eq!(
+            evs,
+            vec![
+                Event::MachineCrash {
+                    machine: 1,
+                    at: 2.0
+                },
+                Event::MachineRecover {
+                    machine: 1,
+                    at: 5.0
+                },
+            ]
+        );
     }
 
     #[test]

@@ -35,6 +35,21 @@ pub trait Recorder {
     /// `machine` transitioned busy→idle at `at`.
     fn machine_idle(&mut self, machine: u32, at: f64);
 
+    /// `machine` crashed at `at` (fault injection). Defaulted to a no-op
+    /// so recorders that predate the fault layer keep compiling; trace
+    /// recorders override it to emit lifecycle events.
+    #[inline(always)]
+    fn machine_crash(&mut self, machine: u32, at: f64) {
+        let _ = (machine, at);
+    }
+
+    /// `machine` recovered at `at` (fault injection). Defaulted like
+    /// [`machine_crash`](Recorder::machine_crash).
+    #[inline(always)]
+    fn machine_recover(&mut self, machine: u32, at: f64) {
+        let _ = (machine, at);
+    }
+
     /// A solver probe finished after `iterations` units of work with
     /// result/argument `value`.
     fn probe(&mut self, kind: ProbeKind, iterations: u64, value: f64);
@@ -120,6 +135,18 @@ impl<A: Recorder, B: Recorder> Recorder for Tee<A, B> {
     }
 
     #[inline]
+    fn machine_crash(&mut self, machine: u32, at: f64) {
+        self.0.machine_crash(machine, at);
+        self.1.machine_crash(machine, at);
+    }
+
+    #[inline]
+    fn machine_recover(&mut self, machine: u32, at: f64) {
+        self.0.machine_recover(machine, at);
+        self.1.machine_recover(machine, at);
+    }
+
+    #[inline]
     fn probe(&mut self, kind: ProbeKind, iterations: u64, value: f64) {
         self.0.probe(kind, iterations, value);
         self.1.probe(kind, iterations, value);
@@ -156,6 +183,16 @@ impl<R: Recorder> Recorder for &mut R {
     #[inline(always)]
     fn machine_idle(&mut self, machine: u32, at: f64) {
         (**self).machine_idle(machine, at);
+    }
+
+    #[inline(always)]
+    fn machine_crash(&mut self, machine: u32, at: f64) {
+        (**self).machine_crash(machine, at);
+    }
+
+    #[inline(always)]
+    fn machine_recover(&mut self, machine: u32, at: f64) {
+        (**self).machine_recover(machine, at);
     }
 
     #[inline(always)]

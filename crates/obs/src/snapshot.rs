@@ -121,7 +121,9 @@ fn event_to_value(ev: &Event) -> Value {
             fields.push(num("machine", machine as f64));
             fields.push(num("at", at));
         }
-        Event::MachineIdle { machine, at } => {
+        Event::MachineIdle { machine, at }
+        | Event::MachineCrash { machine, at }
+        | Event::MachineRecover { machine, at } => {
             fields.push(num("machine", machine as f64));
             fields.push(num("at", at));
         }

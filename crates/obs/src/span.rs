@@ -70,6 +70,19 @@ pub struct MachineSpan {
     pub end: f64,
 }
 
+/// One outage interval of a machine (fault injection), paired from
+/// `MachineCrash`/`MachineRecover` lifecycle events.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OutageSpan {
+    /// Machine index.
+    pub machine: u32,
+    /// Crash time.
+    pub start: f64,
+    /// Recovery time (the horizon for a crash with no recovery in the
+    /// trace).
+    pub end: f64,
+}
+
 /// Pairs `TaskDispatch` and `TaskCompletion` events into [`TaskSpan`]s,
 /// sorted by `(start, task)`. Tasks missing either event (overwritten
 /// in a truncated ring) are skipped.
@@ -163,6 +176,49 @@ pub fn machine_spans<'a>(
             machine,
             start,
             end,
+        });
+    }
+    spans.sort_by(|a, b| {
+        a.machine
+            .cmp(&b.machine)
+            .then_with(|| a.start.total_cmp(&b.start))
+    });
+    spans
+}
+
+/// Pairs crash/recover lifecycle events into [`OutageSpan`]s, sorted by
+/// `(machine, start)`. A crash with no matching recovery (the machine
+/// stays down) closes at `horizon`; a headless recovery (its crash was
+/// overwritten in a truncated ring) is dropped, mirroring
+/// [`machine_spans`]'s degradation contract.
+pub fn outage_spans<'a>(
+    events: impl IntoIterator<Item = &'a Event>,
+    horizon: f64,
+) -> Vec<OutageSpan> {
+    let mut open: HashMap<u32, f64> = HashMap::new();
+    let mut spans = Vec::new();
+    for ev in events {
+        match *ev {
+            Event::MachineCrash { machine, at } => {
+                open.insert(machine, at);
+            }
+            Event::MachineRecover { machine, at } => {
+                if let Some(start) = open.remove(&machine) {
+                    spans.push(OutageSpan {
+                        machine,
+                        start,
+                        end: at,
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    for (machine, start) in open {
+        spans.push(OutageSpan {
+            machine,
+            start,
+            end: horizon.max(start),
         });
     }
     spans.sort_by(|a, b| {
@@ -278,6 +334,45 @@ mod tests {
                 start: 3.0,
                 end: 6.0
             }]
+        );
+    }
+
+    #[test]
+    fn outage_spans_pair_crash_and_recover() {
+        let events = [
+            Event::MachineCrash {
+                machine: 1,
+                at: 2.0,
+            },
+            Event::MachineRecover {
+                machine: 1,
+                at: 5.0,
+            },
+            Event::MachineCrash {
+                machine: 0,
+                at: 4.0,
+            },
+            // Headless recovery: crash overwritten, must be dropped.
+            Event::MachineRecover {
+                machine: 2,
+                at: 6.0,
+            },
+        ];
+        let spans = outage_spans(events.iter(), 9.0);
+        assert_eq!(
+            spans,
+            vec![
+                OutageSpan {
+                    machine: 0,
+                    start: 4.0,
+                    end: 9.0
+                },
+                OutageSpan {
+                    machine: 1,
+                    start: 2.0,
+                    end: 5.0
+                },
+            ]
         );
     }
 

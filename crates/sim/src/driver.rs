@@ -6,6 +6,7 @@ use flowsched_algos::eft::EftState;
 use flowsched_algos::engine::ShardedConfig;
 use flowsched_algos::indexed::{DispatchKernel, EftKernelState};
 use flowsched_algos::tiebreak::TieBreak;
+use flowsched_core::fault::FaultPlan;
 use flowsched_core::instance::Instance;
 use flowsched_core::schedule::Schedule;
 use flowsched_core::stream::{ArrivalStream, InstanceStream};
@@ -186,6 +187,68 @@ pub fn simulate_stream_sharded_with<S: ArrivalStream, R: Recorder>(
         kernel,
         plan,
         cfg,
+        rec,
+        &mut builder,
+    );
+    builder.finish()
+}
+
+/// [`simulate_stream`] under fault injection: runs availability-aware
+/// EFT ([`flowsched_algos::faulty`]) over the stream with `plan`'s
+/// outages, speed factors, and dispatch latency applied, folding the
+/// report online. The plan's crash/recover transitions are replayed
+/// into `rec` first, so outage spans reach exported traces. A
+/// fault-free plan reproduces [`simulate_stream`] with the scalar
+/// kernel bitwise (report and trace).
+///
+/// The drift window is sized from the stream's `len_hint` exactly as in
+/// [`simulate_stream`] — the faulty adapter never drops tasks, so the
+/// hint still counts every eventual arrival.
+pub fn simulate_stream_faulty<S: ArrivalStream, R: Recorder>(
+    stream: S,
+    plan: &FaultPlan,
+    policy: TieBreak,
+    report: &ReportConfig,
+    rec: &mut R,
+) -> SimReport {
+    let mut cfg = *report;
+    if cfg.expected_measured.is_none() {
+        cfg.expected_measured = stream
+            .len_hint()
+            .map(|n| n.saturating_sub(cfg.warmup_tasks));
+    }
+    let mut builder = ReportBuilder::new(stream.machines(), &cfg);
+    flowsched_algos::faulty::run_immediate_faulty(stream, plan, policy, rec, &mut builder);
+    builder.finish()
+}
+
+/// [`simulate_stream_faulty`] on the sharded engine: the faulty stream
+/// (restriction, stretching, re-queueing) runs on the calling thread as
+/// part of routing, each machine cluster dispatches availability-aware
+/// EFT over its [`FaultPlan::slice`] on a worker thread, and the report
+/// folds in arrival order — bitwise-identical to the sequential faulty
+/// run for `Min`/`Max` tie-breaks at every thread count.
+pub fn simulate_stream_faulty_sharded<S: ArrivalStream, R: Recorder>(
+    stream: S,
+    plan: &FaultPlan,
+    policy: TieBreak,
+    report: &ReportConfig,
+    rec: &mut R,
+) -> SimReport {
+    let shard_plan = stream.shard_plan(flowsched_core::shard::DEFAULT_MAX_SHARDS);
+    let mut cfg = *report;
+    if cfg.expected_measured.is_none() {
+        cfg.expected_measured = stream
+            .len_hint()
+            .map(|n| n.saturating_sub(cfg.warmup_tasks));
+    }
+    let mut builder = ReportBuilder::new(stream.machines(), &cfg);
+    flowsched_algos::faulty::run_immediate_faulty_sharded(
+        stream,
+        plan,
+        policy,
+        &shard_plan,
+        &ShardedConfig::default(),
         rec,
         &mut builder,
     );

@@ -31,8 +31,9 @@ pub mod telemetry;
 #[allow(deprecated)]
 pub use driver::simulate_recorded;
 pub use driver::{
-    profile_trace, simulate, simulate_stream, simulate_stream_sharded,
-    simulate_stream_sharded_with, simulate_stream_with_kernel, simulate_with, SimConfig,
+    profile_trace, simulate, simulate_stream, simulate_stream_faulty,
+    simulate_stream_faulty_sharded, simulate_stream_sharded, simulate_stream_sharded_with,
+    simulate_stream_with_kernel, simulate_with, SimConfig,
 };
 pub use report::{ReportBuilder, ReportConfig, SimReport};
 #[allow(deprecated)]

@@ -1,0 +1,158 @@
+//! Seeded random fault-plan generation.
+//!
+//! [`FaultPlan`]s are deterministic traces; this module samples them.
+//! Per machine, crashes follow a Poisson process of rate
+//! [`FaultPlanConfig::crash_rate`] over `[0, horizon)` with
+//! exponentially distributed downtimes (mean
+//! [`FaultPlanConfig::mean_downtime`]) — sequential sampling makes the
+//! outages naturally sorted and disjoint. Independently, each machine
+//! is degraded with probability [`FaultPlanConfig::degraded_fraction`]
+//! to a speed drawn uniformly from `[min_speed, 1)`. The whole plan is
+//! a pure function of `(m, config, seed)` via the workspace's
+//! [`derive_rng`] convention, so fault scenarios replay exactly across
+//! runs and thread counts.
+
+use flowsched_core::fault::FaultPlan;
+use flowsched_stats::rng::derive_rng;
+use rand::Rng;
+
+/// Parameters for [`random_fault_plan`].
+#[derive(Debug, Clone, Copy)]
+pub struct FaultPlanConfig {
+    /// Time horizon crashes are sampled over (outages may extend past
+    /// it; tasks released later see healthy machines).
+    pub horizon: f64,
+    /// Expected crashes per machine per unit time (0 disables crashes).
+    pub crash_rate: f64,
+    /// Mean outage duration (exponentially distributed).
+    pub mean_downtime: f64,
+    /// Probability that a machine runs degraded (0 disables).
+    pub degraded_fraction: f64,
+    /// Lower bound of the degraded speed range `[min_speed, 1)`.
+    pub min_speed: f64,
+    /// Constant dispatcher→machine dispatch latency.
+    pub dispatch_latency: f64,
+}
+
+impl FaultPlanConfig {
+    /// A crash-only configuration: rate `crash_rate`, mean downtime
+    /// `mean_downtime`, no degradation, no latency.
+    pub fn crashes(horizon: f64, crash_rate: f64, mean_downtime: f64) -> Self {
+        FaultPlanConfig {
+            horizon,
+            crash_rate,
+            mean_downtime,
+            degraded_fraction: 0.0,
+            min_speed: 1.0,
+            dispatch_latency: 0.0,
+        }
+    }
+}
+
+/// Samples one exponential variate with the given mean. Uses `1 − u`
+/// so the argument to `ln` is in `(0, 1]` — never zero.
+fn sample_exp<R: Rng>(rng: &mut R, mean: f64) -> f64 {
+    let u: f64 = rng.random();
+    -(1.0 - u).ln() * mean
+}
+
+/// Samples a [`FaultPlan`] for `m` machines (see the module docs for
+/// the process). Deterministic in `(m, cfg, seed)`.
+///
+/// # Panics
+/// Panics on non-finite or negative rates/durations, a horizon `< 0`,
+/// `degraded_fraction` outside `[0, 1]`, or `min_speed` outside
+/// `(0, 1]` (forwarded from the plan builders).
+pub fn random_fault_plan(m: usize, cfg: &FaultPlanConfig, seed: u64) -> FaultPlan {
+    assert!(
+        cfg.crash_rate.is_finite() && cfg.crash_rate >= 0.0,
+        "crash rate must be finite and >= 0"
+    );
+    assert!(
+        cfg.horizon.is_finite() && cfg.horizon >= 0.0,
+        "horizon must be finite and >= 0"
+    );
+    assert!(
+        cfg.mean_downtime.is_finite() && cfg.mean_downtime >= 0.0,
+        "mean downtime must be finite and >= 0"
+    );
+    assert!(
+        (0.0..=1.0).contains(&cfg.degraded_fraction),
+        "degraded fraction must be in [0, 1]"
+    );
+    let mut rng = derive_rng(seed, 0xFA17);
+    let mut plan = FaultPlan::none(m).with_latency(cfg.dispatch_latency);
+    for j in 0..m {
+        if cfg.crash_rate > 0.0 {
+            let mut t = 0.0;
+            loop {
+                t += sample_exp(&mut rng, 1.0 / cfg.crash_rate);
+                if t >= cfg.horizon {
+                    break;
+                }
+                // Clamp vanishing downtimes so `down < up` always holds.
+                let d = sample_exp(&mut rng, cfg.mean_downtime).max(1e-9);
+                plan = plan.with_outage(j, t, t + d);
+                t += d;
+            }
+        }
+        if cfg.degraded_fraction > 0.0 && rng.random::<f64>() < cfg.degraded_fraction {
+            let speed = cfg.min_speed + rng.random::<f64>() * (1.0 - cfg.min_speed);
+            plan = plan.with_speed(j, speed.min(1.0));
+        }
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn busy_cfg() -> FaultPlanConfig {
+        FaultPlanConfig {
+            horizon: 100.0,
+            crash_rate: 0.1,
+            mean_downtime: 2.0,
+            degraded_fraction: 0.5,
+            min_speed: 0.25,
+            dispatch_latency: 0.5,
+        }
+    }
+
+    #[test]
+    fn same_seed_reproduces_the_plan() {
+        let a = random_fault_plan(8, &busy_cfg(), 42);
+        let b = random_fault_plan(8, &busy_cfg(), 42);
+        assert_eq!(a, b);
+        let c = random_fault_plan(8, &busy_cfg(), 43);
+        assert_ne!(a, c, "different seeds give different plans");
+    }
+
+    #[test]
+    fn outages_are_sorted_disjoint_and_rates_plausible() {
+        let plan = random_fault_plan(16, &busy_cfg(), 7);
+        let mut total = 0usize;
+        for j in 0..16 {
+            let outs = plan.faults(j).outages();
+            total += outs.len();
+            for w in outs.windows(2) {
+                assert!(w[0].up <= w[1].down);
+            }
+            for o in outs {
+                assert!(o.down < o.up && o.down >= 0.0);
+            }
+            let s = plan.speed(j);
+            assert!(s > 0.0 && s <= 1.0);
+        }
+        // 16 machines × rate 0.1 × horizon 100 ≈ 160 expected crashes
+        // (downtime eats some of the horizon); just pin a sane band.
+        assert!(total > 30 && total < 400, "got {total} outages");
+    }
+
+    #[test]
+    fn zero_rate_gives_no_outages() {
+        let cfg = FaultPlanConfig::crashes(100.0, 0.0, 2.0);
+        let plan = random_fault_plan(4, &cfg, 1);
+        assert!(plan.is_fault_free());
+    }
+}

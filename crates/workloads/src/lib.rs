@@ -24,6 +24,9 @@
 //!   [`ArrivalStream`](flowsched_core::ArrivalStream)s for the shared
 //!   engines.
 //!
+//! - [`faults`]: seeded random [`FaultPlan`](flowsched_core::FaultPlan)
+//!   generation — per-machine Poisson crash/recover processes, degraded
+//!   speeds, dispatch latency — for the fault-injection layer.
 //! - [`random`]: seeded random workloads over every structure class, for
 //!   property tests and benchmarks — materialized ([`random_instance`])
 //!   or as a constant-memory Poisson stream ([`PoissonStream`]).
@@ -33,6 +36,7 @@
 //!   ([`generate_trace`]) or streaming ([`TraceStream`]).
 
 pub mod adversary;
+pub mod faults;
 pub mod outcome;
 pub mod random;
 pub mod trace;
@@ -51,6 +55,7 @@ pub use adversary::staircase::{
     StaircaseStream,
 };
 pub use adversary::theorem7::{theorem7_adversary, theorem7_adversary_streaming};
+pub use faults::{random_fault_plan, FaultPlanConfig};
 pub use outcome::{AdversaryOutcome, ReleaseLog, ReleaseSink, StreamingLog, StreamingOutcome};
 pub use random::{
     random_instance, PoissonStream, PoissonStreamConfig, RandomInstanceConfig, StructureKind,

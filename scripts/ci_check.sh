@@ -18,12 +18,17 @@
 #   7. sharded determinism smoke: the sharded_smoke bin runs under
 #      FLOWSCHED_THREADS=1 and =4 and the printed schedule hashes must
 #      be identical (thread-count invariance, end to end)
-#   8. bench gate (warn-only): scripts/bench_gate.sh re-runs the benches
+#   8. fault-injection soak: the fault_soak bin dispatches a 1M-task
+#      Poisson stream under a 1% crash-rate fault plan, asserting
+#      bounded memory (VmHWM growth < 32 MiB) in-process; the stage
+#      asserts the schedule hash is identical under FLOWSCHED_THREADS=1
+#      and =4 (the faulty engine is thread-count invariant too)
+#   9. bench gate (warn-only): scripts/bench_gate.sh re-runs the benches
 #      behind BENCH_PR1/PR3/PR4/PR5/PR6.json and reports medians that
 #      drifted past the noise tolerance — it never fails the build
 #
 # Usage:
-#   scripts/ci_check.sh                 # all eight stages
+#   scripts/ci_check.sh                 # all nine stages
 #   scripts/ci_check.sh --no-clippy     # skip the lint stage (e.g. when
 #                                       # the toolchain lacks clippy)
 #   scripts/ci_check.sh --no-bench-gate # skip the (slow) bench stage
@@ -75,6 +80,19 @@ echo "  threads=1: $HASH1"
 echo "  threads=4: $HASH4"
 if [ -z "$HASH1" ] || [ "$HASH1" != "$HASH4" ]; then
   echo "ci_check: sharded schedule hash diverges across thread counts" >&2
+  exit 1
+fi
+
+echo
+echo "== fault-injection soak (1 vs 4 threads) =="
+FHASH1="$(FLOWSCHED_THREADS=1 cargo run -q --release -p flowsched-bench --bin fault_soak \
+  | sed -n 's/^schedule_hash=//p')"
+FHASH4="$(FLOWSCHED_THREADS=4 cargo run -q --release -p flowsched-bench --bin fault_soak \
+  | sed -n 's/^schedule_hash=//p')"
+echo "  threads=1: $FHASH1"
+echo "  threads=4: $FHASH4"
+if [ -z "$FHASH1" ] || [ "$FHASH1" != "$FHASH4" ]; then
+  echo "ci_check: faulty schedule hash diverges across thread counts" >&2
   exit 1
 fi
 

@@ -1,0 +1,452 @@
+//! Fault-injection guarantees, end to end (ISSUE 7's headline suite).
+//!
+//! The faulty engine (`flowsched_algos::faulty` over a
+//! `flowsched_core::fault::FaultPlan`) must keep every structural
+//! contract of the fault-free engine while machines crash, recover, run
+//! degraded, and dispatch decisions arrive late. Four properties are
+//! pinned by proptest over randomly sampled fault plans:
+//!
+//! 1. **Schedule validity under any plan** — every task dispatches
+//!    exactly once, never before its (latency-shifted) release, and no
+//!    two tasks overlap on a machine.
+//! 2. **No task touches a dead machine** — each task's whole service
+//!    window `[start, start + p)` fits inside one alive window of its
+//!    machine (`earliest_fit` is a fixed point at the chosen start).
+//! 3. **Determinism** — the sharded faulty engine is bitwise
+//!    thread-count invariant under a fixed seed, for every tie-break.
+//! 4. **Fault-free plans are free** — `FaultPlan::none` reproduces the
+//!    plain engine bitwise, schedule *and* recorder trace.
+//!
+//! On top of those, `guarantee_degradation_envelope` sweeps crash rates
+//! on a disjoint-cluster workload and asserts the measured `Fmax/OPT`
+//! stays inside a recorded envelope of the paper's `3 − 2/k` guarantee
+//! (Corollary 1): faults inflate flow times, but boundedly so at low
+//! crash rates, and the inflation is *measured and pinned* rather than
+//! assumed. Flow is measured from each task's first dispatchable
+//! instant (its latency-shifted, recovery-deferred release): the
+//! envelope tracks scheduling-induced inflation on the work that *can*
+//! run, not the unavoidable wait while every eligible machine is down —
+//! which no online algorithm can beat either.
+//!
+//! The suite also carries ISSUE 7's satellite tests: the
+//! `restrict_alive` compact-view oracle equivalence, the re-queue
+//! arrival-order regression, and the report-balance invariant.
+
+use proptest::prelude::*;
+
+use flowsched::algos::eft::eft_stream;
+use flowsched::algos::engine::{DispatchSink, ShardedConfig};
+use flowsched::algos::faulty::{faulty_schedule, faulty_schedule_sharded, run_immediate_faulty};
+use flowsched::algos::offline::optimal_unit_fmax;
+use flowsched::algos::tiebreak::TieBreak;
+use flowsched::core::compact::ProcSetRef;
+use flowsched::core::fault::FaultPlan;
+use flowsched::core::procset::ProcSet;
+use flowsched::core::schedule::Assignment;
+use flowsched::core::shard::DEFAULT_MAX_SHARDS;
+use flowsched::core::stream::{ArrivalStream, FnStream, InstanceStream};
+use flowsched::core::task::Task;
+use flowsched::obs::{MemoryRecorder, NoopRecorder};
+use flowsched::sim::driver::simulate_stream_faulty;
+use flowsched::sim::report::ReportConfig;
+use flowsched::workloads::faults::{random_fault_plan, FaultPlanConfig};
+use flowsched::workloads::random::{
+    random_instance, PoissonStream, PoissonStreamConfig, RandomInstanceConfig, StructureKind,
+};
+
+/// Collects the dispatched `(task, assignment)` pairs in commit order —
+/// the ground truth the properties below inspect (the emitted task
+/// carries the latency-shifted release and speed-stretched ptime the
+/// engine actually scheduled).
+#[derive(Default)]
+struct PairSink {
+    pairs: Vec<(Task, Assignment)>,
+}
+
+impl DispatchSink for PairSink {
+    fn accept(&mut self, _seq: u64, task: Task, a: Assignment) {
+        self.pairs.push((task, a));
+    }
+}
+
+fn kind_for(idx: usize, k: usize) -> StructureKind {
+    match idx {
+        0 => StructureKind::DisjointBlocks(k),
+        1 => StructureKind::RingFixed(k),
+        2 => StructureKind::InclusivePrefix,
+        _ => StructureKind::Unrestricted,
+    }
+}
+
+fn stream_for(kind: StructureKind, m: usize, n: usize, seed: u64) -> PoissonStream {
+    let cfg = PoissonStreamConfig::unit_tasks(m, n, m as f64 / 2.0, kind);
+    PoissonStream::new(&cfg, seed)
+}
+
+/// A busy plan: crashes, degraded machines, and dispatch latency all on.
+fn plan_for(m: usize, crash_rate: f64, latency: f64, degraded: bool, seed: u64) -> FaultPlan {
+    let cfg = FaultPlanConfig {
+        horizon: 50.0,
+        crash_rate,
+        mean_downtime: 2.0,
+        degraded_fraction: if degraded { 0.5 } else { 0.0 },
+        min_speed: 0.25,
+        dispatch_latency: latency,
+    };
+    random_fault_plan(m, &cfg, seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Property 1: under *any* fault plan the dispatch stream is a valid
+    /// schedule — nothing lost, nothing early, nothing overlapping.
+    #[test]
+    fn any_fault_plan_yields_a_valid_schedule(
+        family in 0usize..4,
+        m in 2usize..14,
+        n in 1usize..150,
+        k_raw in 1usize..6,
+        rate in 0.0f64..0.3,
+        latency_idx in 0usize..3,
+        degraded in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let k = 1 + k_raw % m;
+        let latency = [0.0, 0.25, 1.0][latency_idx];
+        let plan = plan_for(m, rate, latency, degraded, seed);
+        let mut sink = PairSink::default();
+        run_immediate_faulty(
+            stream_for(kind_for(family, k), m, n, seed),
+            &plan,
+            TieBreak::Min,
+            &mut NoopRecorder,
+            &mut sink,
+        );
+        prop_assert_eq!(sink.pairs.len(), n, "tasks lost or duplicated");
+
+        let mut per_machine: Vec<Vec<(f64, f64)>> = vec![Vec::new(); m];
+        for (task, a) in &sink.pairs {
+            prop_assert!(
+                a.start >= task.release - 1e-9,
+                "task released {} started {}", task.release, a.start
+            );
+            per_machine[a.machine.index()].push((a.start, task.ptime));
+        }
+        for (j, slots) in per_machine.iter_mut().enumerate() {
+            slots.sort_by(|a, b| a.0.total_cmp(&b.0));
+            for w in slots.windows(2) {
+                prop_assert!(
+                    w[1].0 >= w[0].0 + w[0].1 - 1e-9,
+                    "machine {j}: [{} + {}) overlaps next start {}",
+                    w[0].0, w[0].1, w[1].0
+                );
+            }
+        }
+    }
+
+    /// Property 2: the full service window of every task avoids every
+    /// outage of its machine — `earliest_fit` at the committed start is
+    /// a fixed point, so the task neither starts on a dead machine nor
+    /// runs across a crash.
+    #[test]
+    fn no_task_starts_or_runs_inside_an_outage(
+        family in 0usize..4,
+        m in 2usize..14,
+        n in 1usize..150,
+        k_raw in 1usize..6,
+        rate in 0.01f64..0.4,
+        seed in any::<u64>(),
+    ) {
+        let k = 1 + k_raw % m;
+        let plan = plan_for(m, rate, 0.0, false, seed);
+        let mut sink = PairSink::default();
+        run_immediate_faulty(
+            stream_for(kind_for(family, k), m, n, seed),
+            &plan,
+            TieBreak::Min,
+            &mut NoopRecorder,
+            &mut sink,
+        );
+        for (task, a) in &sink.pairs {
+            let j = a.machine.index();
+            prop_assert!(plan.is_alive(j, a.start), "start {} on dead machine {j}", a.start);
+            prop_assert_eq!(
+                plan.earliest_fit(j, a.start, task.ptime),
+                a.start,
+                "service [{} + {}) crosses an outage of machine {j}",
+                a.start, task.ptime
+            );
+        }
+    }
+
+    /// Property 3: the sharded faulty engine is bitwise thread-count
+    /// invariant under a fixed seed — including `Rand`, whose per-shard
+    /// RNGs are seeded by shard index, not by worker.
+    #[test]
+    fn faulty_schedule_is_thread_count_invariant(
+        m_raw in 2usize..20,
+        n in 1usize..200,
+        k_raw in 1usize..6,
+        rate in 0.0f64..0.3,
+        tb_idx in 0usize..3,
+        seed in any::<u64>(),
+    ) {
+        let k = 1 + k_raw % m_raw;
+        let m = (m_raw / k).max(1) * k; // k | m: genuine multi-shard plans
+        let tb = [TieBreak::Min, TieBreak::Max, TieBreak::Rand { seed: 7 }][tb_idx];
+        let plan = plan_for(m, rate, 0.0, true, seed);
+        let kind = StructureKind::DisjointBlocks(k);
+
+        let run = |threads: usize| {
+            let stream = stream_for(kind, m, n, seed);
+            let shard_plan = stream.shard_plan(DEFAULT_MAX_SHARDS);
+            faulty_schedule_sharded(
+                stream,
+                &plan,
+                tb,
+                &shard_plan,
+                &ShardedConfig::with_threads(threads),
+                &mut NoopRecorder,
+            )
+        };
+        let one = run(1);
+        let four = run(4);
+        prop_assert_eq!(&one, &four, "{:?}: schedules differ across thread counts", tb);
+    }
+
+    /// Property 4: a fault-free plan reproduces the plain engine bitwise
+    /// — same schedule, same recorder trace, same RNG draws.
+    #[test]
+    fn fault_free_plan_reproduces_plain_engine_bitwise(
+        family in 0usize..4,
+        m in 2usize..14,
+        n in 1usize..150,
+        k_raw in 1usize..6,
+        tb_idx in 0usize..3,
+        seed in any::<u64>(),
+    ) {
+        let k = 1 + k_raw % m;
+        let kind = kind_for(family, k);
+        let tb = [TieBreak::Min, TieBreak::Max, TieBreak::Rand { seed: 11 }][tb_idx];
+
+        let mut plain_rec = MemoryRecorder::with_defaults(m);
+        let plain = eft_stream(stream_for(kind, m, n, seed), tb, &mut plain_rec);
+
+        let plan = FaultPlan::none(m);
+        let mut faulty_rec = MemoryRecorder::with_defaults(m);
+        let faulty = faulty_schedule(
+            stream_for(kind, m, n, seed),
+            &plan,
+            tb,
+            &mut faulty_rec,
+        );
+
+        prop_assert_eq!(&plain, &faulty, "{:?} {:?}: schedules differ", kind, tb);
+        prop_assert_eq!(
+            plain_rec.trace().to_vec(),
+            faulty_rec.trace().to_vec(),
+            "{:?} {:?}: recorder traces differ", kind, tb
+        );
+    }
+
+    /// Satellite: `FaultPlan::restrict_alive` over every compact view
+    /// shape agrees with the explicit-set oracle, and the restricted
+    /// view honours the O(1) `contains`/`nth`/`len` contracts.
+    #[test]
+    fn restrict_alive_matches_explicit_oracle(
+        m in 1usize..40,
+        shape in 0usize..5,
+        a64 in any::<u64>(),
+        b64 in any::<u64>(),
+        down_mask in any::<u64>(),
+        probe_dead in any::<bool>(),
+    ) {
+        let (a_raw, b_raw) = (a64 as usize, b64 as usize);
+        // A plan where machine j is down over [0, 2) iff bit j is set.
+        let mut plan = FaultPlan::none(m);
+        for j in 0..m.min(64) {
+            if down_mask >> j & 1 == 1 {
+                plan = plan.with_outage(j, 0.0, 2.0);
+            }
+        }
+        let t = if probe_dead { 1.0 } else { 2.0 };
+
+        let explicit: Vec<usize>;
+        let view = match shape {
+            0 => {
+                let lo = a_raw % m;
+                ProcSetRef::interval(lo, lo + b_raw % (m - lo))
+            }
+            1 => ProcSetRef::ring(a_raw % m, 1 + b_raw % m, m),
+            2 => ProcSetRef::prefix(1 + a_raw % m),
+            3 => ProcSetRef::full(m),
+            _ => {
+                // Arbitrary sorted subset of 0..m (never empty).
+                let mut v: Vec<usize> =
+                    (0..m).filter(|j| (a_raw ^ (b_raw >> j)) >> (j % 17) & 1 == 1).collect();
+                if v.is_empty() {
+                    v.push(a_raw % m);
+                }
+                explicit = v;
+                ProcSetRef::Explicit(&explicit)
+            }
+        };
+
+        let oracle: Vec<usize> = view.iter().filter(|&j| plan.is_alive(j, t)).collect();
+        let mut scratch = Vec::new();
+        let restricted = plan.restrict_alive(view, t, &mut scratch);
+
+        prop_assert_eq!(restricted.len(), oracle.len());
+        prop_assert_eq!(restricted.iter().collect::<Vec<_>>(), oracle.clone());
+        for j in 0..m {
+            prop_assert_eq!(
+                restricted.contains(j),
+                oracle.binary_search(&j).is_ok(),
+                "contains({j}) disagrees with the oracle"
+            );
+        }
+        for (i, &want) in oracle.iter().enumerate() {
+            prop_assert_eq!(restricted.nth(i), want, "nth({i})");
+        }
+    }
+
+    /// Satellite: the online report balances under every fault plan —
+    /// every arrival folds into the report exactly once (no task is
+    /// dropped in the deferral heap, none counted twice on re-entry).
+    #[test]
+    fn report_totals_balance_under_any_fault_plan(
+        m in 2usize..12,
+        n in 1usize..200,
+        k_raw in 1usize..6,
+        rate in 0.0f64..0.3,
+        degraded in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let k = 1 + k_raw % m;
+        let plan = plan_for(m, rate, 0.0, degraded, seed);
+        let report = simulate_stream_faulty(
+            stream_for(StructureKind::DisjointBlocks(k), m, n, seed),
+            &plan,
+            TieBreak::Min,
+            &ReportConfig::default(),
+            &mut NoopRecorder,
+        );
+        prop_assert_eq!(report.n_measured, n, "arrivals != completions");
+        prop_assert!(report.fmax.is_finite() && report.fmax >= 0.0);
+    }
+}
+
+/// Satellite regression: crash-displaced tasks re-enter in arrival
+/// order — on a release tie at the recovery instant, deferred tasks go
+/// first (they arrived earlier), among themselves oldest-first, and a
+/// fresh arrival at the same instant goes last.
+#[test]
+fn displaced_tasks_reenter_in_arrival_order() {
+    // Machine 0 down over [0, 10); machine 1 healthy. Tasks are tagged
+    // by distinct ptimes so the emission order is observable.
+    let plan = FaultPlan::none(2).with_outage(0, 0.0, 10.0);
+    let tasks = vec![
+        (Task::new(0.0, 1.0), ProcSet::singleton(0)), // deferred (seq 0)
+        (Task::new(0.5, 5.0), ProcSet::singleton(1)), // sails through
+        (Task::new(1.0, 2.0), ProcSet::singleton(0)), // deferred (seq 2)
+        (Task::new(2.0, 3.0), ProcSet::singleton(0)), // deferred (seq 3)
+        (Task::new(10.0, 4.0), ProcSet::singleton(0)), // fresh tie at 10
+    ];
+    let mut it = tasks.into_iter();
+    let mut sink = PairSink::default();
+    run_immediate_faulty(
+        FnStream::new(2, move || it.next()),
+        &plan,
+        TieBreak::Min,
+        &mut NoopRecorder,
+        &mut sink,
+    );
+
+    let ptimes: Vec<f64> = sink.pairs.iter().map(|(t, _)| t.ptime).collect();
+    assert_eq!(
+        ptimes,
+        vec![5.0, 1.0, 2.0, 3.0, 4.0],
+        "re-entry order is not arrival order"
+    );
+    // Displaced tasks surface at the recovery instant and FIFO through
+    // the recovered machine: 10, 11, 13, then the fresh task at 16.
+    let starts: Vec<f64> = sink.pairs[1..].iter().map(|(_, a)| a.start).collect();
+    assert_eq!(starts, vec![10.0, 11.0, 13.0, 16.0]);
+}
+
+/// The empirical guarantee-degradation envelope (the headline sweep).
+///
+/// On a disjoint-cluster unit-task workload (`m = 8`, `k = 4`), EFT is
+/// `(3 − 2/k)`-competitive fault-free (Corollary 1 — on unit tasks it
+/// is in fact optimal, Theorems 2 + 6). Crashes void the theorem's
+/// premises, so instead of a proof we pin *measurements*: the max over
+/// seeds of `Fmax / OPT(fault-free)` at each crash rate, with ~2×
+/// headroom against sampling noise. The envelope constants below were
+/// recorded on this workload; a regression that inflates flow times
+/// under faults (lost re-queues, pessimal fit scans) trips them long
+/// before correctness tests notice.
+#[test]
+fn guarantee_degradation_envelope() {
+    const M: usize = 8;
+    const K: usize = 4;
+    const N: usize = 2_000;
+    const SPAN: u64 = 400;
+    let bound = 3.0 - 2.0 / K as f64; // 2.5
+
+    // (crash rate per machine per unit time, envelope on max Fmax/OPT).
+    // Measured on this exact seeded workload: 1.000 / 2.000 / 3.500 /
+    // 9.718 — fault-free EFT is optimal here (Th. 2 + 6), and the
+    // degradation grows smoothly with the crash rate.
+    let envelope = [(0.0, bound), (0.01, 4.0), (0.03, 6.0), (0.1, 14.0)];
+
+    // The fault-free instances and their exact optima, shared by every
+    // rate of the sweep.
+    let cases: Vec<_> = (0..5u64)
+        .map(|seed| {
+            let inst = random_instance(
+                &RandomInstanceConfig {
+                    m: M,
+                    n: N,
+                    structure: StructureKind::DisjointBlocks(K),
+                    release_span: SPAN,
+                    unit: true,
+                    ptime_steps: 1,
+                },
+                seed,
+            );
+            let opt = optimal_unit_fmax(&inst);
+            assert!(opt >= 1.0, "unit tasks have OPT >= 1");
+            (seed, inst, opt)
+        })
+        .collect();
+
+    for &(rate, ceiling) in &envelope {
+        let mut worst = 0.0f64;
+        for (seed, inst, opt) in &cases {
+            let fcfg = FaultPlanConfig::crashes(SPAN as f64 + 20.0, rate, 2.0);
+            let plan = random_fault_plan(M, &fcfg, seed ^ 0xFA17);
+            let mut sink = PairSink::default();
+            run_immediate_faulty(
+                InstanceStream::new(inst),
+                &plan,
+                TieBreak::Min,
+                &mut NoopRecorder,
+                &mut sink,
+            );
+            assert_eq!(sink.pairs.len(), N);
+            let fmax = sink
+                .pairs
+                .iter()
+                .map(|(t, a)| a.start + t.ptime - t.release)
+                .fold(0.0f64, f64::max);
+            worst = worst.max(fmax / opt);
+        }
+        eprintln!("crash rate {rate}: worst Fmax/OPT = {worst:.3} (envelope {ceiling})");
+        assert!(
+            worst <= ceiling + 1e-9,
+            "crash rate {rate}: measured Fmax/OPT {worst} escapes the \
+             recorded envelope {ceiling}"
+        );
+    }
+}
