@@ -250,16 +250,26 @@ impl FaultPlan {
     }
 
     /// The earliest instant `≥ t` at which machine `j` is alive (`t`
-    /// itself when alive, else the end of the covering outage).
+    /// itself when alive, else the end of the outage chain covering it).
+    ///
+    /// [`with_outage`](FaultPlan::with_outage) permits exactly-touching
+    /// outages (`[a, b) + [b, c)` = contiguously down), so reaching the
+    /// end of the covering outage is not enough: the scan keeps skipping
+    /// while the next outage begins exactly where the previous one ended.
+    /// The returned instant always satisfies `is_alive`.
     #[inline]
     pub fn next_alive(&self, j: usize, t: Time) -> Time {
         let list = &self.machines[j].outages;
-        let pos = list.partition_point(|o| o.down <= t);
+        let mut pos = list.partition_point(|o| o.down <= t);
         if pos == 0 || list[pos - 1].up <= t {
-            t
-        } else {
-            list[pos - 1].up
+            return t;
         }
+        let mut candidate = list[pos - 1].up;
+        while pos < list.len() && list[pos].down <= candidate {
+            candidate = list[pos].up;
+            pos += 1;
+        }
+        candidate
     }
 
     /// The earliest start `s ≥ t` such that machine `j` is alive for
@@ -273,8 +283,15 @@ impl FaultPlan {
         let mut s = self.next_alive(j, t);
         let mut pos = list.partition_point(|o| o.down <= s);
         while pos < list.len() && list[pos].down < s + duration {
+            // Advance past the blocking outage and any chain of
+            // exactly-touching outages after it, so `s` is always a
+            // truly alive instant (even for zero durations).
             s = list[pos].up;
             pos += 1;
+            while pos < list.len() && list[pos].down <= s {
+                s = list[pos].up;
+                pos += 1;
+            }
         }
         s
     }
@@ -320,8 +337,10 @@ impl FaultPlan {
     }
 
     /// All crash/recover transitions of the plan, sorted by time (ties
-    /// broken by machine index, crash before recover). Feed these to a
-    /// recorder up front so outage spans appear in exported traces.
+    /// broken by machine index, recover before crash — so exactly-
+    /// touching outages `[a, b) + [b, c)` replay as a well-nested
+    /// `recover@b, crash@b` and span pairing stays balanced). Feed these
+    /// to a recorder up front so outage spans appear in exported traces.
     pub fn events(&self) -> Vec<FaultEvent> {
         let mut evs = Vec::new();
         for (j, f) in self.machines.iter().enumerate() {
@@ -341,7 +360,7 @@ impl FaultPlan {
         evs.sort_by(|a, b| {
             a.at.total_cmp(&b.at)
                 .then(a.machine.cmp(&b.machine))
-                .then((a.kind == FaultEventKind::Recover).cmp(&(b.kind == FaultEventKind::Recover)))
+                .then((a.kind == FaultEventKind::Crash).cmp(&(b.kind == FaultEventKind::Crash)))
         });
         evs
     }
@@ -599,6 +618,72 @@ mod tests {
         // …but a 2-long task must wait for the recovery at 10.
         assert_eq!(p.earliest_fit(0, 2.5, 2.0), 10.0);
         assert_eq!(p.earliest_fit(0, 11.0, 100.0), 11.0);
+    }
+
+    #[test]
+    fn touching_outages_are_contiguously_down() {
+        // [1,2) + [2,3) + [3,4): down through [1,4), alive exactly at 4
+        // (insertion order shuffled to exercise the sorted insert).
+        let p = FaultPlan::none(1)
+            .with_outage(0, 2.0, 3.0)
+            .with_outage(0, 1.0, 2.0)
+            .with_outage(0, 3.0, 4.0);
+        assert!(!p.is_alive(0, 2.0));
+        assert!(!p.is_alive(0, 3.0));
+        assert!(p.is_alive(0, 4.0));
+        for t in [1.0, 1.5, 2.0, 2.5, 3.0, 3.9] {
+            let s = p.next_alive(0, t);
+            assert_eq!(s, 4.0, "next_alive(0, {t})");
+            assert!(
+                p.is_alive(0, s),
+                "next_alive(0, {t}) returned a dead instant"
+            );
+        }
+        // earliest_fit must clear the whole chain, not stop at a shared
+        // endpoint…
+        assert_eq!(p.earliest_fit(0, 1.5, 0.5), 4.0);
+        assert_eq!(p.earliest_fit(0, 0.5, 1.0), 4.0);
+        // …while a service window ending exactly at the chain still fits.
+        assert_eq!(p.earliest_fit(0, 0.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn events_order_recover_before_crash_on_ties() {
+        let evs = FaultPlan::none(1)
+            .with_outage(0, 1.0, 2.0)
+            .with_outage(0, 2.0, 3.0)
+            .events();
+        let kinds: Vec<_> = evs.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                FaultEventKind::Crash,
+                FaultEventKind::Recover,
+                FaultEventKind::Crash,
+                FaultEventKind::Recover,
+            ],
+            "touching outages must replay well-nested"
+        );
+        assert_eq!(evs[1].at, 2.0);
+        assert_eq!(evs[2].at, 2.0);
+    }
+
+    #[test]
+    fn deferred_task_skips_touching_outage_chain() {
+        // Machine 0 is down over [0,2)+[2,5): the stranded task re-enters
+        // at 5, never at the dead shared endpoint 2 (which would
+        // re-defer it).
+        let plan = FaultPlan::none(1)
+            .with_outage(0, 0.0, 2.0)
+            .with_outage(0, 2.0, 5.0);
+        let tasks = vec![(Task::new(0.0, 1.0), ProcSet::singleton(0))];
+        let mut it = tasks.into_iter();
+        let mut s = FaultyStream::new(FnStream::new(1, move || it.next()), &plan);
+        let (t, set) = s.next_arrival().unwrap();
+        assert_eq!(t.release, 5.0);
+        assert!(plan.is_alive(0, t.release));
+        assert_eq!(set.iter().collect::<Vec<_>>(), vec![0]);
+        assert!(s.next_arrival().is_none());
     }
 
     #[test]

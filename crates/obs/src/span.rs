@@ -190,7 +190,12 @@ pub fn machine_spans<'a>(
 /// `(machine, start)`. A crash with no matching recovery (the machine
 /// stays down) closes at `horizon`; a headless recovery (its crash was
 /// overwritten in a truncated ring) is dropped, mirroring
-/// [`machine_spans`]'s degradation contract.
+/// [`machine_spans`]'s degradation contract. Well-formed traces
+/// alternate per machine (`FaultPlan::events` orders recover before
+/// crash on ties, so even exactly-touching outages replay well-nested);
+/// should a second crash still arrive while one is open (a truncated
+/// ring), the earlier outage is closed at the new crash instant rather
+/// than silently lost.
 pub fn outage_spans<'a>(
     events: impl IntoIterator<Item = &'a Event>,
     horizon: f64,
@@ -200,7 +205,15 @@ pub fn outage_spans<'a>(
     for ev in events {
         match *ev {
             Event::MachineCrash { machine, at } => {
-                open.insert(machine, at);
+                if let Some(start) = open.insert(machine, at) {
+                    if start < at {
+                        spans.push(OutageSpan {
+                            machine,
+                            start,
+                            end: at,
+                        });
+                    }
+                }
             }
             Event::MachineRecover { machine, at } => {
                 if let Some(start) = open.remove(&machine) {
@@ -371,6 +384,82 @@ mod tests {
                     machine: 1,
                     start: 2.0,
                     end: 5.0
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn touching_outages_pair_into_two_spans() {
+        // FaultPlan::events() replays [1,2)+[2,3) as crash@1, recover@2,
+        // crash@2, recover@3 (recover-before-crash on ties).
+        let events = [
+            Event::MachineCrash {
+                machine: 0,
+                at: 1.0,
+            },
+            Event::MachineRecover {
+                machine: 0,
+                at: 2.0,
+            },
+            Event::MachineCrash {
+                machine: 0,
+                at: 2.0,
+            },
+            Event::MachineRecover {
+                machine: 0,
+                at: 3.0,
+            },
+        ];
+        let spans = outage_spans(events.iter(), 9.0);
+        assert_eq!(
+            spans,
+            vec![
+                OutageSpan {
+                    machine: 0,
+                    start: 1.0,
+                    end: 2.0
+                },
+                OutageSpan {
+                    machine: 0,
+                    start: 2.0,
+                    end: 3.0
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn crash_while_open_closes_the_earlier_outage() {
+        // A truncated ring can drop the recover between two crashes; the
+        // earlier outage closes at the second crash instead of vanishing.
+        let events = [
+            Event::MachineCrash {
+                machine: 0,
+                at: 1.0,
+            },
+            Event::MachineCrash {
+                machine: 0,
+                at: 4.0,
+            },
+            Event::MachineRecover {
+                machine: 0,
+                at: 6.0,
+            },
+        ];
+        let spans = outage_spans(events.iter(), 9.0);
+        assert_eq!(
+            spans,
+            vec![
+                OutageSpan {
+                    machine: 0,
+                    start: 1.0,
+                    end: 4.0
+                },
+                OutageSpan {
+                    machine: 0,
+                    start: 4.0,
+                    end: 6.0
                 },
             ]
         );

@@ -5,7 +5,12 @@
 //! [`FaultPlanConfig::crash_rate`] over `[0, horizon)` with
 //! exponentially distributed downtimes (mean
 //! [`FaultPlanConfig::mean_downtime`]) — sequential sampling makes the
-//! outages naturally sorted and disjoint. Independently, each machine
+//! outages naturally sorted and disjoint. After each outage, with
+//! probability [`ZERO_GAP_PROB`] the next crash lands *exactly* at the
+//! recovery instant, producing the touching chains (`[a, b) + [b, c)`)
+//! that [`FaultPlan::with_outage`] permits — so property tests exercise
+//! the contiguously-down edge case, not just strictly-gapped outages.
+//! Independently, each machine
 //! is degraded with probability [`FaultPlanConfig::degraded_fraction`]
 //! to a speed drawn uniformly from `[min_speed, 1)`. The whole plan is
 //! a pure function of `(m, config, seed)` via the workspace's
@@ -49,6 +54,10 @@ impl FaultPlanConfig {
     }
 }
 
+/// Probability that the crash following an outage lands exactly at the
+/// recovery instant (a zero-gap, exactly-touching outage chain).
+pub const ZERO_GAP_PROB: f64 = 0.1;
+
 /// Samples one exponential variate with the given mean. Uses `1 − u`
 /// so the argument to `ln` is in `(0, 1]` — never zero.
 fn sample_exp<R: Rng>(rng: &mut R, mean: f64) -> f64 {
@@ -85,8 +94,11 @@ pub fn random_fault_plan(m: usize, cfg: &FaultPlanConfig, seed: u64) -> FaultPla
     for j in 0..m {
         if cfg.crash_rate > 0.0 {
             let mut t = 0.0;
+            let mut touching = false;
             loop {
-                t += sample_exp(&mut rng, 1.0 / cfg.crash_rate);
+                if !touching {
+                    t += sample_exp(&mut rng, 1.0 / cfg.crash_rate);
+                }
                 if t >= cfg.horizon {
                     break;
                 }
@@ -94,6 +106,10 @@ pub fn random_fault_plan(m: usize, cfg: &FaultPlanConfig, seed: u64) -> FaultPla
                 let d = sample_exp(&mut rng, cfg.mean_downtime).max(1e-9);
                 plan = plan.with_outage(j, t, t + d);
                 t += d;
+                // Occasionally crash again the instant the machine
+                // recovers — the exactly-touching chain with_outage
+                // allows and next_alive/earliest_fit must skip through.
+                touching = rng.random::<f64>() < ZERO_GAP_PROB;
             }
         }
         if cfg.degraded_fraction > 0.0 && rng.random::<f64>() < cfg.degraded_fraction {
@@ -147,6 +163,24 @@ mod tests {
         // 16 machines × rate 0.1 × horizon 100 ≈ 160 expected crashes
         // (downtime eats some of the horizon); just pin a sane band.
         assert!(total > 30 && total < 400, "got {total} outages");
+    }
+
+    #[test]
+    fn generator_emits_exactly_touching_outages() {
+        // ~10% of outages are followed by a zero-gap crash; over 16
+        // machines × horizon 100 at rate 0.1 that's a double-digit
+        // expected count, so a fixed seed reliably produces some.
+        let plan = random_fault_plan(16, &busy_cfg(), 7);
+        let touching: usize = (0..16)
+            .map(|j| {
+                plan.faults(j)
+                    .outages()
+                    .windows(2)
+                    .filter(|w| w[0].up == w[1].down)
+                    .count()
+            })
+            .sum();
+        assert!(touching > 0, "no exactly-touching outage chains sampled");
     }
 
     #[test]

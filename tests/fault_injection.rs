@@ -395,8 +395,8 @@ fn guarantee_degradation_envelope() {
     let bound = 3.0 - 2.0 / K as f64; // 2.5
 
     // (crash rate per machine per unit time, envelope on max Fmax/OPT).
-    // Measured on this exact seeded workload: 1.000 / 2.000 / 3.500 /
-    // 9.718 — fault-free EFT is optimal here (Th. 2 + 6), and the
+    // Measured on this exact seeded workload: 1.000 / 2.000 / 2.500 /
+    // 9.668 — fault-free EFT is optimal here (Th. 2 + 6), and the
     // degradation grows smoothly with the crash rate.
     let envelope = [(0.0, bound), (0.01, 4.0), (0.03, 6.0), (0.1, 14.0)];
 
