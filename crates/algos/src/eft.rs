@@ -22,7 +22,8 @@ use flowsched_core::time::Time;
 use flowsched_obs::{NoopRecorder, Recorder};
 
 use crate::engine;
-use crate::indexed::{DispatchKernel, EftKernelState};
+use crate::indexed::DispatchKernel;
+use crate::registry::PolicySpec;
 use crate::tiebreak::{Breaker, TieBreak};
 
 /// Equation (2) in one pass: computes the tie set
@@ -276,20 +277,7 @@ pub fn eft_stream_with_kernel<S: ArrivalStream, R: Recorder>(
     kernel: DispatchKernel,
     rec: &mut R,
 ) -> Schedule {
-    let kernel = kernel.resolve_for_stream(&stream);
-    let mut state = EftKernelState::new(stream.machines(), policy, kernel);
-    engine::immediate_schedule(stream, &mut state, rec)
-}
-
-/// [`eft`] with instrumentation.
-#[deprecated(
-    since = "0.3.0",
-    note = "use `eft_stream(InstanceStream::new(inst), policy, rec)` or \
-            `engine::run_immediate`; the plain/`*_recorded` twins were \
-            collapsed into the streaming engine"
-)]
-pub fn eft_recorded<R: Recorder>(inst: &Instance, policy: TieBreak, rec: &mut R) -> Schedule {
-    eft_stream(InstanceStream::new(inst), policy, rec)
+    engine::policy_schedule(stream, &PolicySpec::eft(policy, kernel), rec)
 }
 
 #[cfg(test)]
@@ -477,20 +465,6 @@ mod tests {
             eft_stream(InstanceStream::new(&inst), tb, &mut rec),
             eft(&inst, tb)
         );
-    }
-
-    #[test]
-    fn deprecated_recorded_wrapper_still_matches() {
-        use flowsched_obs::MemoryRecorder;
-        let mut b = InstanceBuilder::new(3);
-        for i in 0..12 {
-            b.push_unit(i as f64 * 0.5, ProcSet::full(3));
-        }
-        let inst = b.build().unwrap();
-        let mut rec = MemoryRecorder::with_defaults(3);
-        #[allow(deprecated)]
-        let s = eft_recorded(&inst, TieBreak::Min, &mut rec);
-        assert_eq!(s, eft(&inst, TieBreak::Min));
     }
 
     #[test]

@@ -79,7 +79,8 @@ use flowsched_parallel::sharded::run_sharded;
 pub use flowsched_parallel::sharded::ShardedConfig;
 
 use crate::eft::ImmediateDispatcher;
-use crate::indexed::{DispatchKernel, EftKernelState};
+use crate::indexed::DispatchKernel;
+use crate::registry::PolicySpec;
 use crate::tiebreak::TieBreak;
 
 /// Consumer of committed assignments, called in task (sequence) order.
@@ -223,6 +224,87 @@ where
     Schedule::new(assignments)
 }
 
+/// Drives a registry-addressed policy over an arrival stream: builds
+/// the dispatcher through [`PolicySpec::build_for_stream`] (resolving
+/// `Auto` kernels against the stream's structure hint, exactly as the
+/// per-family entry points always did) and runs [`run_immediate`].
+/// This is the name-addressable front door — `"eft:min:indexed"`,
+/// `"weft@4"`, `"setup@0.5"` — that every bench bin and the sim driver
+/// construct through.
+pub fn run_policy<S, R, K>(stream: S, spec: &PolicySpec, rec: &mut R, sink: &mut K)
+where
+    S: ArrivalStream,
+    R: Recorder,
+    K: DispatchSink,
+{
+    let mut state = spec.build_for_stream(&stream);
+    run_immediate(stream, &mut state, rec, sink);
+}
+
+/// [`run_policy`] collecting the full [`Schedule`].
+pub fn policy_schedule<S, R>(stream: S, spec: &PolicySpec, rec: &mut R) -> Schedule
+where
+    S: ArrivalStream,
+    R: Recorder,
+{
+    let mut assignments = Vec::with_capacity(stream.len_hint().unwrap_or(0));
+    run_policy(stream, spec, rec, &mut assignments);
+    Schedule::new(assignments)
+}
+
+/// The parallel counterpart of [`run_policy`]: each shard's worker
+/// builds its dispatcher through [`PolicySpec::for_shard`] +
+/// [`PolicySpec::build`], so shard-local seeds and per-shard `Auto`
+/// kernel resolution follow the registry's resolution invariants —
+/// byte-for-byte what [`run_immediate_sharded`] always constructed for
+/// the EFT family, now available for every registered policy.
+///
+/// # Panics
+/// Panics if the stream and plan disagree on the machine count, if an
+/// arrival's set straddles a shard boundary, if releases decrease, or
+/// if a worker dies.
+pub fn run_policy_sharded<S, R, K>(
+    stream: S,
+    spec: &PolicySpec,
+    plan: &ShardPlan,
+    cfg: &ShardedConfig,
+    rec: &mut R,
+    sink: &mut K,
+) where
+    S: ArrivalStream,
+    R: Recorder,
+    K: DispatchSink,
+{
+    let mut tracker = CommitTracker::new(R::ENABLED, stream.machines());
+    run_sharded(
+        stream,
+        plan,
+        cfg,
+        |s| {
+            let mut state = spec.for_shard(s).build(plan.len_of(s));
+            move |task: Task, set: ProcSetRef<'_>| state.dispatch_task(task, set)
+        },
+        |seq, task, a| tracker.commit(seq, task, a, rec, sink),
+    );
+}
+
+/// [`run_policy_sharded`] collecting the full [`Schedule`].
+pub fn policy_schedule_sharded<S, R>(
+    stream: S,
+    spec: &PolicySpec,
+    plan: &ShardPlan,
+    cfg: &ShardedConfig,
+    rec: &mut R,
+) -> Schedule
+where
+    S: ArrivalStream,
+    R: Recorder,
+{
+    let mut assignments = Vec::with_capacity(stream.len_hint().unwrap_or(0));
+    run_policy_sharded(stream, spec, plan, cfg, rec, &mut assignments);
+    Schedule::new(assignments)
+}
+
 /// The parallel counterpart of [`run_immediate`] for EFT: dispatches
 /// each shard of `plan` on its own worker
 /// ([`run_sharded`](flowsched_parallel::sharded::run_sharded)) with an
@@ -263,16 +345,13 @@ pub fn run_immediate_sharded<S, R, K>(
     R: Recorder,
     K: DispatchSink,
 {
-    let mut tracker = CommitTracker::new(R::ENABLED, stream.machines());
-    run_sharded(
+    run_policy_sharded(
         stream,
+        &PolicySpec::eft(policy, kernel),
         plan,
         cfg,
-        |s| {
-            let mut state = EftKernelState::new(plan.len_of(s), policy.for_shard(s), kernel);
-            move |task: Task, set: ProcSetRef<'_>| state.dispatch_task(task, set)
-        },
-        |seq, task, a| tracker.commit(seq, task, a, rec, sink),
+        rec,
+        sink,
     );
 }
 

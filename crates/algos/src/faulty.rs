@@ -49,6 +49,7 @@ use flowsched_parallel::sharded::run_sharded;
 
 use crate::eft::ImmediateDispatcher;
 use crate::engine::{run_immediate, CommitTracker, DispatchSink, ShardedConfig};
+use crate::registry::{PolicyId, PolicySpec};
 use crate::tiebreak::{Breaker, TieBreak};
 
 /// Replays the plan's crash/recover transitions into the recorder, so
@@ -179,7 +180,7 @@ pub fn run_immediate_faulty<S, R, K>(
         "stream and fault plan disagree on machine count"
     );
     record_lifecycle(plan, rec);
-    let mut disp = FaultyEftState::new(plan.clone(), policy);
+    let mut disp = PolicySpec::new(PolicyId::Eft { tie: policy }).build_faulty(plan.clone());
     run_immediate(FaultyStream::new(stream, plan), &mut disp, rec, sink);
 }
 
@@ -234,7 +235,9 @@ pub fn run_immediate_faulty_sharded<S, R, K>(
         cfg,
         |s| {
             let local = plan.slice(shard_plan.start_of(s), shard_plan.len_of(s));
-            let mut state = FaultyEftState::new(local, policy.for_shard(s));
+            let mut state = PolicySpec::new(PolicyId::Eft { tie: policy })
+                .for_shard(s)
+                .build_faulty(local);
             move |task: Task, set: ProcSetRef<'_>| state.dispatch_task(task, set)
         },
         |seq, task, a| tracker.commit(seq, task, a, rec, sink),

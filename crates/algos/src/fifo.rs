@@ -66,17 +66,6 @@ pub fn fifo_stream<S: ArrivalStream, R: Recorder>(
     engine::fifo_schedule(stream, policy, rec)
 }
 
-/// [`fifo`] with instrumentation hooks.
-#[deprecated(
-    since = "0.3.0",
-    note = "use `fifo_stream(InstanceStream::new(inst), policy, rec)` or \
-            `engine::run_fifo`; the plain/`*_recorded` twins were \
-            collapsed into the streaming engine"
-)]
-pub fn fifo_recorded<R: Recorder>(inst: &Instance, policy: TieBreak, rec: &mut R) -> Schedule {
-    fifo_stream(InstanceStream::new(inst), policy, rec)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -191,23 +180,5 @@ mod tests {
         let inst = Instance::unrestricted(3, vec![]).unwrap();
         let s = fifo(&inst, TieBreak::Min);
         assert!(s.is_empty());
-    }
-
-    #[test]
-    fn deprecated_recorded_wrapper_still_matches() {
-        use flowsched_obs::MemoryRecorder;
-        let inst = Instance::unrestricted(
-            2,
-            vec![
-                Task::new(0.0, 2.0),
-                Task::new(0.5, 1.0),
-                Task::new(0.5, 1.0),
-            ],
-        )
-        .unwrap();
-        let mut rec = MemoryRecorder::with_defaults(2);
-        #[allow(deprecated)]
-        let s = fifo_recorded(&inst, TieBreak::Min, &mut rec);
-        assert_eq!(s, fifo(&inst, TieBreak::Min));
     }
 }

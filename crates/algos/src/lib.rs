@@ -29,6 +29,18 @@
 //!   outage windows, stranded tasks re-queue on recovery, and a
 //!   fault-free plan reproduces the plain engine bitwise
 //!   ([`run_immediate_faulty`], [`run_immediate_faulty_sharded`]).
+//! - [`registry`]: the name-addressable policy registry — a
+//!   [`PolicySpec`](registry::PolicySpec) parseable from strings like
+//!   `eft:min:indexed`, resolving kernels and shard-local seeds through
+//!   one construction path that every engine entry point, sim driver,
+//!   and bench bin shares.
+//! - [`weighted`]: weighted-EFT packing for the weighted max flow time
+//!   objective `max wᵢ·Fᵢ` (Azar–Touitou), with `weft@0` reproducing
+//!   plain EFT bitwise.
+//! - [`setup`]: setup-aware dispatch for batch-by-key serving (Mäcker
+//!   et al.) — per-machine key-cluster state, a setup cost charged on
+//!   switches, and a setup-oblivious baseline; `setup@0` reproduces
+//!   plain EFT bitwise.
 //! - [`fifo`](mod@fifo): the centralized-queue FIFO scheduler of Algorithm 1,
 //!   implemented as a genuine event simulation so that Proposition 1
 //!   (FIFO ≡ EFT on `P | online-rᵢ | Fmax`) is *tested*, not assumed.
@@ -49,45 +61,58 @@ pub mod localsearch;
 pub mod offline;
 pub mod policies;
 pub mod preemptive;
+pub mod registry;
 pub mod related;
+pub mod setup;
 pub mod tiebreak;
+pub mod weighted;
 
 pub use compose::compose_disjoint;
-#[allow(deprecated)]
-pub use eft::eft_recorded;
 pub use eft::{eft, eft_stream, eft_stream_with_kernel, EftState, ImmediateDispatcher};
 pub use engine::{
-    fifo_schedule, immediate_schedule, immediate_schedule_sharded, run_fifo, run_immediate,
-    run_immediate_sharded, DispatchSink, NullSink, ShardedConfig,
+    fifo_schedule, immediate_schedule, immediate_schedule_sharded, policy_schedule,
+    policy_schedule_sharded, run_fifo, run_immediate, run_immediate_sharded, run_policy,
+    run_policy_sharded, DispatchSink, NullSink, ShardedConfig,
 };
 pub use exact::{approx_fmax, exact_fmax, ExactResult};
 pub use faulty::{
     faulty_schedule, faulty_schedule_sharded, run_immediate_faulty, run_immediate_faulty_sharded,
     FaultyEftState,
 };
-#[allow(deprecated)]
-pub use fifo::fifo_recorded;
 pub use fifo::{fifo, fifo_stream};
 pub use indexed::{
     indexed_min_width, DispatchKernel, EftKernelState, IndexedEftState, AUTO_INDEXED_MIN_MACHINES,
 };
 pub use localsearch::{eft_plus_local_search, improve};
-pub use offline::{brute_force_fmax, fmax_lower_bound, optimal_unit_fmax};
+pub use offline::{
+    brute_force_fmax, fmax_lower_bound, optimal_unit_fmax, optimal_unit_weighted_fmax,
+};
 pub use policies::{dispatch_stream, dispatch_stream_with_kernel, DispatchRule, Dispatcher};
 pub use preemptive::optimal_preemptive_fmax;
+pub use registry::{ParsePolicyError, PolicyId, PolicySpec, PolicyState};
 pub use related::{related_dispatch, related_fmax, RelatedRule, RelatedState};
+pub use setup::{cluster_fingerprint, SetupEftState};
 pub use tiebreak::TieBreak;
+pub use weighted::WeightedEftState;
 
 /// Most used items for downstream crates.
 pub mod prelude {
     pub use crate::eft::{eft, eft_stream, eft_stream_with_kernel, EftState, ImmediateDispatcher};
-    pub use crate::engine::{run_fifo, run_immediate, run_immediate_sharded, ShardedConfig};
+    pub use crate::engine::{
+        run_fifo, run_immediate, run_immediate_sharded, run_policy, run_policy_sharded,
+        ShardedConfig,
+    };
     pub use crate::exact::{exact_fmax, ExactResult};
     pub use crate::faulty::{faulty_schedule, run_immediate_faulty, FaultyEftState};
     pub use crate::fifo::{fifo, fifo_stream};
     pub use crate::indexed::{DispatchKernel, EftKernelState, IndexedEftState};
-    pub use crate::offline::{brute_force_fmax, fmax_lower_bound, optimal_unit_fmax};
+    pub use crate::offline::{
+        brute_force_fmax, fmax_lower_bound, optimal_unit_fmax, optimal_unit_weighted_fmax,
+    };
     pub use crate::policies::{DispatchRule, Dispatcher};
     pub use crate::preemptive::optimal_preemptive_fmax;
+    pub use crate::registry::{PolicyId, PolicySpec, PolicyState};
+    pub use crate::setup::SetupEftState;
     pub use crate::tiebreak::TieBreak;
+    pub use crate::weighted::WeightedEftState;
 }

@@ -92,6 +92,159 @@ pub fn optimal_unit_fmax(inst: &Instance) -> Time {
     }
 }
 
+/// Exact offline optimum of the **weighted** max flow time
+/// `max wᵢ·Fᵢ` for a unit-task instance with integer releases — the
+/// reference the Azar–Touitou-style weighted dispatchers are measured
+/// against.
+///
+/// Feasibility of a weighted budget `F`: task `Tᵢ` may occupy slot `t`
+/// iff `wᵢ·(t + 1 − rᵢ) ≤ F`, i.e. its allowance is
+/// `dᵢ = ⌊F/wᵢ⌋` slots from `rᵢ` — so raising `F` only *adds* edges and
+/// one [`IncrementalMatcher`] carries the matching across probes,
+/// exactly as [`optimal_unit_fmax`] walks the unweighted budget. The
+/// optimum is attained at some `F = wᵢ·d` (an integral per-task
+/// slot-flow scaled by its weight), so the search walks the sorted
+/// distinct candidates `{wᵢ·d : d ≤ cap}` upward and returns the first
+/// feasible one. With all weights 1 the candidate ladder is `1, 2, …`
+/// and this reduces to [`optimal_unit_fmax`] (pinned in tests).
+///
+/// # Panics
+/// Panics if the instance is not unit-task, a release is not an
+/// integer, or any weight is non-positive.
+pub fn optimal_unit_weighted_fmax(inst: &Instance) -> Time {
+    assert!(
+        inst.is_unit(),
+        "optimal_unit_weighted_fmax requires unit tasks"
+    );
+    assert!(
+        inst.tasks().iter().all(|t| t.release.fract() == 0.0),
+        "optimal_unit_weighted_fmax requires integer release times"
+    );
+    assert!(
+        inst.tasks().iter().all(|t| t.weight > 0.0),
+        "optimal_unit_weighted_fmax requires positive weights"
+    );
+    if inst.is_empty() {
+        return 0.0;
+    }
+    let n = inst.len();
+    let m = inst.machines();
+    let min_r = inst.tasks().first().map(|t| t.release as i64).unwrap_or(0);
+    let max_r = inst.tasks().last().map(|t| t.release as i64).unwrap_or(0);
+    // Any list schedule completes each unit task within n slots of its
+    // release, so every per-task slot-flow in the optimum is ≤ n; keep
+    // the unweighted oracle's slack as a tripwire.
+    let budget_cap = 2 * n + 2;
+    let horizon = (max_r - min_r) as usize + budget_cap;
+    let slot_id = |machine: usize, t: i64| -> usize { machine * horizon + (t - min_r) as usize };
+
+    let mut weights: Vec<Time> = inst.tasks().iter().map(|t| t.weight).collect();
+    weights.sort_by(|a, b| flowsched_core::time::time_cmp(*a, *b));
+    weights.dedup();
+    let mut candidates: Vec<Time> = weights
+        .iter()
+        .flat_map(|&w| (1..=budget_cap).map(move |d| w * d as Time))
+        .collect();
+    candidates.sort_by(|a, b| flowsched_core::time::time_cmp(*a, *b));
+    candidates.dedup();
+
+    let mut matcher = IncrementalMatcher::new(n, m * horizon);
+    // Slots granted to each task so far — allowances only ever grow.
+    let mut allowance = vec![0usize; n];
+    for f in candidates {
+        for (id, task, set) in inst.iter() {
+            let d = ((f / task.weight + 1e-9).floor() as usize).min(budget_cap);
+            while allowance[id.0] < d {
+                let t = task.release as i64 + allowance[id.0] as i64;
+                for &j in set.as_slice() {
+                    matcher.add_edge(id.0, slot_id(j, t));
+                }
+                allowance[id.0] += 1;
+            }
+        }
+        if matcher.solve() == n {
+            return f;
+        }
+    }
+    panic!("weighted budget search exceeded the n-task upper bound — oracle bug");
+}
+
+/// Exhaustive weighted optimum (`max wᵢ·Fᵢ`) for small general
+/// instances — the weighted twin of [`brute_force_fmax`], used to
+/// validate [`optimal_unit_weighted_fmax`] in tests.
+///
+/// Unlike the unweighted brute force, release order per machine is
+/// *not* WLOG optimal here (a heavy late arrival may need to jump a
+/// light queue), so this search branches over the processing *order*
+/// as well as the machine assignment — `n! · mⁿ` leaves, hence the
+/// tighter [`WEIGHTED_BRUTE_FORCE_LIMIT`]. Greedy starts remain WLOG:
+/// for a fixed assignment and per-machine order, delaying a task only
+/// raises its own flow.
+///
+/// # Panics
+/// Panics when the instance has more than
+/// [`WEIGHTED_BRUTE_FORCE_LIMIT`] tasks.
+pub fn brute_force_weighted_fmax(inst: &Instance) -> Time {
+    assert!(
+        inst.len() <= WEIGHTED_BRUTE_FORCE_LIMIT,
+        "weighted brute force limited to {WEIGHTED_BRUTE_FORCE_LIMIT} tasks"
+    );
+    if inst.is_empty() {
+        return 0.0;
+    }
+    let mut busy = vec![0.0_f64; inst.machines()];
+    let mut done = vec![false; inst.len()];
+    let mut best = f64::INFINITY;
+    search_weighted(inst, 0, &mut done, &mut busy, 0.0, &mut best);
+    best
+}
+
+/// Task-count ceiling for [`brute_force_weighted_fmax`] — lower than
+/// [`BRUTE_FORCE_LIMIT`] because the weighted search also permutes the
+/// processing order.
+pub const WEIGHTED_BRUTE_FORCE_LIMIT: usize = 8;
+
+fn search_weighted(
+    inst: &Instance,
+    scheduled: usize,
+    done: &mut [bool],
+    busy: &mut [f64],
+    so_far: f64,
+    best: &mut f64,
+) {
+    if so_far >= *best {
+        return; // prune
+    }
+    if scheduled == inst.len() {
+        *best = so_far;
+        return;
+    }
+    for i in 0..inst.len() {
+        if done[i] {
+            continue;
+        }
+        let task = inst.tasks()[i];
+        let set = &inst.sets()[i];
+        done[i] = true;
+        for &j in set.as_slice() {
+            let start = task.release.max(busy[j]);
+            let completion = start + task.ptime;
+            let saved = busy[j];
+            busy[j] = completion;
+            search_weighted(
+                inst,
+                scheduled + 1,
+                done,
+                busy,
+                so_far.max(task.weight * (completion - task.release)),
+                best,
+            );
+            busy[j] = saved;
+        }
+        done[i] = false;
+    }
+}
+
 /// Matching oracle: can all unit tasks complete with flow ≤ `budget`?
 pub fn unit_budget_feasible(inst: &Instance, budget: usize) -> bool {
     if budget == 0 {
@@ -237,6 +390,77 @@ mod tests {
         }
         let inst = b.build().unwrap();
         assert_eq!(optimal_unit_fmax(&inst), 3.0);
+    }
+
+    #[test]
+    fn weighted_opt_reduces_to_unweighted_at_unit_weight() {
+        for seed in 0..6u64 {
+            let mut b = InstanceBuilder::new(3);
+            for i in 0..14u64 {
+                let x = flowsched_stats::rng::splitmix64(i + 100 * seed);
+                let release = (x % 6) as f64;
+                let machine = ((x >> 16) % 3) as usize;
+                let set = if x & 1 == 0 {
+                    ProcSet::full(3)
+                } else {
+                    ProcSet::singleton(machine)
+                };
+                b.push_unit(release, set);
+            }
+            let inst = b.build().unwrap();
+            assert_eq!(
+                optimal_unit_weighted_fmax(&inst),
+                optimal_unit_fmax(&inst),
+                "weighted oracle diverged at weight 1 (seed {seed})"
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_opt_hand_computed_case() {
+        // One machine, two simultaneous unit tasks: one must wait (F=2).
+        // With weights (4, 1) the heavy task goes first: max(4·1, 1·2) = 4.
+        // Serving the light one first would cost max(1·1, 4·2) = 8.
+        let mut b = InstanceBuilder::new(1);
+        b.push(Task::unit(0.0).with_weight(4.0), ProcSet::full(1));
+        b.push(Task::unit(0.0), ProcSet::full(1));
+        let inst = b.build().unwrap();
+        assert_eq!(optimal_unit_weighted_fmax(&inst), 4.0);
+        assert_eq!(brute_force_weighted_fmax(&inst), 4.0);
+    }
+
+    #[test]
+    fn weighted_opt_matches_brute_force_on_small_instances() {
+        for seed in 0..8u64 {
+            let mut b = InstanceBuilder::new(2);
+            for i in 0..7u64 {
+                let x = flowsched_stats::rng::splitmix64(7 * i + 31 * seed + 1);
+                let release = (x % 4) as f64;
+                let weight = 1.0 + ((x >> 8) % 4) as f64;
+                let machine = ((x >> 24) % 2) as usize;
+                let set = if x & 2 == 0 {
+                    ProcSet::full(2)
+                } else {
+                    ProcSet::singleton(machine)
+                };
+                b.push(Task::unit(release).with_weight(weight), set);
+            }
+            let inst = b.build().unwrap();
+            assert_eq!(
+                optimal_unit_weighted_fmax(&inst),
+                brute_force_weighted_fmax(&inst),
+                "weighted oracle diverged from brute force (seed {seed})"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive weights")]
+    fn weighted_opt_rejects_non_positive_weights() {
+        let mut b = InstanceBuilder::new(1);
+        b.push(Task::unit(0.0).with_weight(0.0), ProcSet::full(1));
+        let inst = b.build().unwrap();
+        let _ = optimal_unit_weighted_fmax(&inst);
     }
 
     #[test]

@@ -210,9 +210,8 @@ where
     S: flowsched_core::stream::ArrivalStream,
     R: flowsched_obs::Recorder,
 {
-    let kernel = kernel.resolve_for_stream(&stream);
-    let mut state = Dispatcher::with_kernel(stream.machines(), rule, kernel);
-    crate::engine::immediate_schedule(stream, &mut state, rec)
+    let spec = crate::registry::PolicySpec::from(rule).with_kernel(kernel);
+    crate::engine::policy_schedule(stream, &spec, rec)
 }
 
 #[cfg(test)]

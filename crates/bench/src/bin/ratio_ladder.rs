@@ -1,0 +1,58 @@
+//! Competitive-ratio ladder (CI stage): runs every registry policy of
+//! the ladder over its adversarial stream, prints the table, and
+//! asserts each measured ratio stays inside the envelope recorded in
+//! `EXPERIMENTS.md` §"Competitive-ratio ladder". Any drift in a
+//! dispatcher, oracle, or stream moves a ratio and fails the run.
+
+use flowsched_experiments::ratio;
+
+/// `(family, policy, envelope)` — the recorded upper envelopes. The
+/// measured values are deterministic (6.0 / 3.0 / 1.0 / 4.0 / 3.0 at
+/// every scale), so the margin only absorbs float noise.
+const ENVELOPES: &[(&str, &str, f64)] = &[
+    ("interval-adversary", "eft:min", 6.05),
+    ("weighted-burst", "eft:min", 3.05),
+    ("weighted-burst", "weft@8:min", 1.05),
+    ("setup-thrash", "setup-obl@2:min", 4.05),
+    ("setup-thrash", "setup@2:min", 3.05),
+];
+
+fn main() {
+    let args = flowsched_bench::parse_args();
+    let rows = ratio::run(&args.scale);
+    print!("{}", ratio::render(&rows));
+
+    let mut checked = 0usize;
+    for &(family, policy, envelope) in ENVELOPES {
+        let row = rows
+            .iter()
+            .find(|r| r.family == family && r.policy == policy)
+            .unwrap_or_else(|| panic!("ladder lost its {family}/{policy} rung"));
+        assert!(
+            row.ratio <= envelope,
+            "{family}/{policy}: measured ratio {} escaped the envelope {envelope}",
+            row.ratio
+        );
+        checked += 1;
+    }
+    assert_eq!(checked, rows.len(), "an unenveloped rung joined the ladder");
+
+    // The frontier policies must actually beat their oblivious
+    // baselines — the envelopes alone would accept regressions to
+    // equality.
+    let ratio_of = |family: &str, policy: &str| {
+        rows.iter()
+            .find(|r| r.family == family && r.policy == policy)
+            .expect("checked above")
+            .ratio
+    };
+    assert!(
+        ratio_of("weighted-burst", "weft@8:min") < ratio_of("weighted-burst", "eft:min"),
+        "weighted-EFT stopped beating weight-oblivious EFT"
+    );
+    assert!(
+        ratio_of("setup-thrash", "setup@2:min") < ratio_of("setup-thrash", "setup-obl@2:min"),
+        "setup-aware dispatch stopped beating the oblivious baseline"
+    );
+    println!("\nratio_ladder: all {checked} rungs inside their envelopes");
+}

@@ -8,10 +8,14 @@
 //! proptests in `tests/sharded_equivalence.rs` pin it on small shapes).
 //! The hash folds every bit of every assignment, so any reordering,
 //! dropped task, or perturbed start time changes the output.
+//!
+//! The dispatch policy is the registry string in `FLOWSCHED_POLICY`
+//! (default `eft:min`), built through
+//! [`flowsched_algos::registry::PolicySpec`] — so the smoke also covers
+//! registry parsing and the one shared construction path end-to-end.
 
-use flowsched_algos::engine::{run_immediate_sharded, DispatchSink, ShardedConfig};
-use flowsched_algos::indexed::DispatchKernel;
-use flowsched_algos::tiebreak::TieBreak;
+use flowsched_algos::engine::{run_policy_sharded, DispatchSink, ShardedConfig};
+use flowsched_algos::registry::PolicySpec;
 use flowsched_core::schedule::Assignment;
 use flowsched_core::stream::ArrivalStream;
 use flowsched_core::task::Task;
@@ -66,11 +70,14 @@ fn main() {
     let stream = PoissonStream::new(&cfg, 0x5AAD);
     let plan = stream.shard_plan(flowsched_core::shard::DEFAULT_MAX_SHARDS);
     let threads = flowsched_parallel::default_threads();
+    let policy = std::env::var("FLOWSCHED_POLICY").unwrap_or_else(|_| "eft:min".into());
+    let spec: PolicySpec = policy
+        .parse()
+        .unwrap_or_else(|e| panic!("FLOWSCHED_POLICY: {e}"));
     let mut sink = HashSink::new();
-    run_immediate_sharded(
+    run_policy_sharded(
         stream,
-        TieBreak::Min,
-        DispatchKernel::Auto,
+        &spec,
         &plan,
         &ShardedConfig::with_threads(threads),
         &mut NoopRecorder,
@@ -78,7 +85,7 @@ fn main() {
     );
     assert_eq!(sink.count, TASKS as u64, "tasks went missing");
     println!(
-        "sharded_smoke: m = {MACHINES}, n = {TASKS}, shards = {}, threads = {threads}",
+        "sharded_smoke: m = {MACHINES}, n = {TASKS}, shards = {}, threads = {threads}, policy = {spec}",
         plan.shards()
     );
     println!("schedule_hash=0x{:016x}", sink.hash);

@@ -111,6 +111,16 @@ impl Schedule {
             .unwrap_or(0.0)
     }
 
+    /// Weighted maximum flow time `maxᵢ wᵢ·Fᵢ` — the Azar–Touitou
+    /// objective. Equal to [`fmax`](Schedule::fmax) when every task has
+    /// the default weight 1. Returns 0 for empty schedules.
+    pub fn weighted_fmax(&self, inst: &Instance) -> Time {
+        (0..self.len())
+            .map(|i| inst.task(TaskId(i)).weight * self.flow_time(TaskId(i), inst))
+            .max_by(|a, b| time_cmp(*a, *b))
+            .unwrap_or(0.0)
+    }
+
     /// The task attaining `Fmax`, if any.
     pub fn argmax_flow(&self, inst: &Instance) -> Option<TaskId> {
         (0..self.len())
@@ -247,6 +257,25 @@ mod tests {
         assert_eq!(s.makespan(&inst), 2.0);
         assert_eq!(s.argmax_flow(&inst), Some(TaskId(0)));
         assert!((s.mean_flow(&inst) - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_fmax_reduces_to_fmax_at_unit_weight() {
+        let inst = small_instance();
+        let s = valid_schedule();
+        assert_eq!(s.weighted_fmax(&inst), s.fmax(&inst));
+        // Boost T3 (flow 1) to weight 5: it now dominates T1 (flow 2).
+        let weighted = Instance::new(
+            2,
+            vec![
+                Task::new(0.0, 2.0),
+                Task::new(0.0, 1.0),
+                Task::weighted(1.0, 1.0, 5.0),
+            ],
+            vec![ProcSet::full(2), ProcSet::singleton(1), ProcSet::full(2)],
+        )
+        .unwrap();
+        assert_eq!(s.weighted_fmax(&weighted), 5.0);
     }
 
     #[test]

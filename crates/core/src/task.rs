@@ -34,24 +34,37 @@ impl From<usize> for TaskId {
     }
 }
 
-/// A task: release time `r ≥ 0` and processing time `p > 0`.
+/// A task: release time `r ≥ 0`, processing time `p > 0`, and an
+/// optional importance weight `w > 0` (defaulting to 1).
 ///
 /// The processing set lives alongside the task inside
 /// [`Instance`](crate::Instance) (tasks sharing a key in a key-value store
 /// share the same processing set, so the instance may deduplicate storage
 /// in the future; keeping the set out of `Task` keeps this type `Copy`).
+///
+/// The weight only matters to *weighted* objectives (weighted max flow
+/// time, `max wᵢ·Fᵢ`, after Azar–Touitou): every unweighted code path
+/// ignores it, and all constructors except [`Task::weighted`] /
+/// [`Task::with_weight`] leave it at 1, so weight-1 instances behave
+/// bitwise-identically to the pre-weight system.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Task {
     /// Release time `rᵢ`: the scheduler learns of the task at this instant.
     pub release: Time,
     /// Processing time `pᵢ > 0`.
     pub ptime: Time,
+    /// Importance weight `wᵢ > 0` for weighted flow-time objectives.
+    pub weight: Time,
 }
 
 impl Task {
-    /// Creates a task.
+    /// Creates a (unit-weight) task.
     pub fn new(release: Time, ptime: Time) -> Self {
-        Task { release, ptime }
+        Task {
+            release,
+            ptime,
+            weight: 1.0,
+        }
     }
 
     /// A unit task (`pᵢ = 1`), the workhorse of the paper's adversaries
@@ -60,7 +73,22 @@ impl Task {
         Task {
             release,
             ptime: 1.0,
+            weight: 1.0,
         }
+    }
+
+    /// Creates a weighted task.
+    pub fn weighted(release: Time, ptime: Time, weight: Time) -> Self {
+        Task {
+            release,
+            ptime,
+            weight,
+        }
+    }
+
+    /// Returns this task with its weight replaced.
+    pub fn with_weight(self, weight: Time) -> Self {
+        Task { weight, ..self }
     }
 }
 
@@ -79,6 +107,16 @@ mod tests {
         let t = Task::unit(3.5);
         assert_eq!(t.release, 3.5);
         assert_eq!(t.ptime, 1.0);
+        assert_eq!(t.weight, 1.0);
+    }
+
+    #[test]
+    fn default_weight_is_one_and_weighted_constructors_set_it() {
+        assert_eq!(Task::new(0.0, 2.0).weight, 1.0);
+        let w = Task::weighted(1.0, 2.0, 8.0);
+        assert_eq!((w.release, w.ptime, w.weight), (1.0, 2.0, 8.0));
+        let v = Task::new(1.0, 2.0).with_weight(8.0);
+        assert_eq!(w, v);
     }
 
     #[test]

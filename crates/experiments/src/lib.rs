@@ -15,6 +15,7 @@
 //! | [`fig11`] | Figure 11 — `Fmax` vs average load, EFT-Min/Max × strategies |
 //! | [`ablation`] | tie-break × strategy ablation beyond the paper's pairs |
 //! | [`openq`] | the conclusion's open question: a third replication strategy scored on load, average flow and adversarial exposure |
+//! | [`ratio`] | competitive-ratio ladder — registry policies vs exact/lower-bound offline references |
 //!
 //! All experiments are deterministic given a root seed; [`Scale`] selects
 //! quick (CI-friendly) or paper-scale parameters.
@@ -26,6 +27,7 @@ pub mod fig11;
 pub mod openq;
 pub mod plot;
 pub mod policies;
+pub mod ratio;
 pub mod record;
 pub mod scale;
 pub mod selfcheck;

@@ -4,7 +4,8 @@
 
 use flowsched_algos::eft::EftState;
 use flowsched_algos::engine::ShardedConfig;
-use flowsched_algos::indexed::{DispatchKernel, EftKernelState};
+use flowsched_algos::indexed::DispatchKernel;
+use flowsched_algos::registry::PolicySpec;
 use flowsched_algos::tiebreak::TieBreak;
 use flowsched_core::fault::FaultPlan;
 use flowsched_core::instance::Instance;
@@ -71,21 +72,6 @@ pub fn simulate_with<R: Recorder>(
     (schedule, report)
 }
 
-/// [`simulate`] with the run traced into `rec`.
-#[deprecated(
-    since = "0.3.0",
-    note = "use `simulate_with` (batch) or `simulate_stream` (constant \
-            memory); the plain/`*_recorded` twins were collapsed into \
-            the streaming engine"
-)]
-pub fn simulate_recorded<R: Recorder>(
-    inst: &Instance,
-    config: &SimConfig,
-    rec: &mut R,
-) -> (Schedule, SimReport) {
-    simulate_with(inst, config, rec)
-}
-
 /// Runs EFT over an arbitrary [`ArrivalStream`] and folds the report
 /// online — no `Instance`, no `Schedule`, no per-task allocation.
 /// Memory is bounded by machines + histogram bins + drift window (see
@@ -121,16 +107,30 @@ pub fn simulate_stream_with_kernel<S: ArrivalStream, R: Recorder>(
     report: &ReportConfig,
     rec: &mut R,
 ) -> SimReport {
-    let kernel = kernel.resolve_for_stream(&stream);
+    simulate_stream_policy(stream, &PolicySpec::eft(policy, kernel), report, rec)
+}
+
+/// [`simulate_stream`] for an arbitrary registry policy: the
+/// [`PolicySpec`] (typically parsed from a string like
+/// `eft:min:indexed` or `weft@2:rand@7`) is built through the one
+/// registry construction path — kernel resolution consults the
+/// stream's [`structure_hint`](ArrivalStream::structure_hint) exactly
+/// as the EFT entry points do — and the report folds online. This is
+/// what the competitive-ratio harness and the bench bins drive.
+pub fn simulate_stream_policy<S: ArrivalStream, R: Recorder>(
+    stream: S,
+    spec: &PolicySpec,
+    report: &ReportConfig,
+    rec: &mut R,
+) -> SimReport {
     let mut cfg = *report;
     if cfg.expected_measured.is_none() {
         cfg.expected_measured = stream
             .len_hint()
             .map(|n| n.saturating_sub(cfg.warmup_tasks));
     }
-    let mut state = EftKernelState::new(stream.machines(), policy, kernel);
     let mut builder = ReportBuilder::new(stream.machines(), &cfg);
-    flowsched_algos::engine::run_immediate(stream, &mut state, rec, &mut builder);
+    flowsched_algos::engine::run_policy(stream, spec, rec, &mut builder);
     builder.finish()
 }
 
@@ -174,6 +174,29 @@ pub fn simulate_stream_sharded_with<S: ArrivalStream, R: Recorder>(
     report: &ReportConfig,
     rec: &mut R,
 ) -> SimReport {
+    simulate_stream_policy_sharded(
+        stream,
+        &PolicySpec::eft(policy, kernel),
+        plan,
+        cfg,
+        report,
+        rec,
+    )
+}
+
+/// [`simulate_stream_policy`] on the sharded engine: each machine
+/// cluster runs a shard-local policy built via
+/// [`PolicySpec::for_shard`] (seeded tie-breaks re-seed per shard
+/// exactly as the sequential-vs-sharded equivalence expects) and the
+/// report folds on the calling thread in arrival order.
+pub fn simulate_stream_policy_sharded<S: ArrivalStream, R: Recorder>(
+    stream: S,
+    spec: &PolicySpec,
+    plan: &flowsched_core::shard::ShardPlan,
+    cfg: &ShardedConfig,
+    report: &ReportConfig,
+    rec: &mut R,
+) -> SimReport {
     let mut rcfg = *report;
     if rcfg.expected_measured.is_none() {
         rcfg.expected_measured = stream
@@ -181,15 +204,7 @@ pub fn simulate_stream_sharded_with<S: ArrivalStream, R: Recorder>(
             .map(|n| n.saturating_sub(rcfg.warmup_tasks));
     }
     let mut builder = ReportBuilder::new(stream.machines(), &rcfg);
-    flowsched_algos::engine::run_immediate_sharded(
-        stream,
-        policy,
-        kernel,
-        plan,
-        cfg,
-        rec,
-        &mut builder,
-    );
+    flowsched_algos::engine::run_policy_sharded(stream, spec, plan, cfg, rec, &mut builder);
     builder.finish()
 }
 

@@ -28,16 +28,13 @@ pub mod report;
 pub mod stepped;
 pub mod telemetry;
 
-#[allow(deprecated)]
-pub use driver::simulate_recorded;
 pub use driver::{
     profile_trace, simulate, simulate_stream, simulate_stream_faulty,
-    simulate_stream_faulty_sharded, simulate_stream_sharded, simulate_stream_sharded_with,
-    simulate_stream_with_kernel, simulate_with, SimConfig,
+    simulate_stream_faulty_sharded, simulate_stream_policy, simulate_stream_policy_sharded,
+    simulate_stream_sharded, simulate_stream_sharded_with, simulate_stream_with_kernel,
+    simulate_with, SimConfig,
 };
 pub use report::{ReportBuilder, ReportConfig, SimReport};
-#[allow(deprecated)]
-pub use stepped::run_stepped_recorded;
 pub use stepped::{
     run_stepped, run_stepped_interval_adversary, run_stepped_stream, SteppedEftState,
     SteppedOutcome,

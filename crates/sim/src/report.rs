@@ -19,6 +19,9 @@ pub struct SimReport {
     pub n_measured: usize,
     /// Maximum flow time (the paper's objective).
     pub fmax: Time,
+    /// Maximum *weighted* flow time `max wᵢ·Fᵢ` (Azar–Touitou's
+    /// objective); equals [`fmax`](Self::fmax) when every weight is 1.
+    pub weighted_fmax: Time,
     /// Mean flow time.
     pub mean_flow: Time,
     /// Median flow time.
@@ -54,6 +57,7 @@ impl SimReport {
             return SimReport {
                 n_measured: 0,
                 fmax: 0.0,
+                weighted_fmax: 0.0,
                 mean_flow: 0.0,
                 p50: 0.0,
                 p95: 0.0,
@@ -68,6 +72,9 @@ impl SimReport {
         let flows: Vec<Time> = (warmup_tasks..n)
             .map(|i| schedule.flow_time(TaskId(i), inst))
             .collect();
+        let weighted_fmax = (warmup_tasks..n)
+            .map(|i| inst.task(TaskId(i)).weight * schedule.flow_time(TaskId(i), inst))
+            .fold(0.0, f64::max);
         let stretches: Vec<Time> = (warmup_tasks..n)
             .map(|i| schedule.stretch(TaskId(i), inst))
             .collect();
@@ -97,6 +104,7 @@ impl SimReport {
         SimReport {
             n_measured: flows.len(),
             fmax: flows.iter().cloned().fold(0.0, f64::max),
+            weighted_fmax,
             mean_flow: mean(&flows),
             p50: quantile(&flows, 0.5),
             p95: quantile(&flows, 0.95),
@@ -155,7 +163,7 @@ impl Default for ReportConfig {
 /// ever existing.
 ///
 /// Exactness contract versus [`SimReport::from_schedule`] on the same
-/// run: `n_measured`, `fmax`, `mean_flow`, `max_stretch`,
+/// run: `n_measured`, `fmax`, `weighted_fmax`, `mean_flow`, `max_stretch`,
 /// `mean_stretch`, `utilization` are bit-identical (same fold order);
 /// `drift` is bit-identical while the quarter window fits (see
 /// [`ReportConfig::expected_measured`]); `p50/p95/p99` are bit-identical
@@ -168,6 +176,7 @@ pub struct ReportBuilder {
     n: usize,
     sum_flow: f64,
     fmax: f64,
+    weighted_fmax: f64,
     sum_stretch: f64,
     max_stretch: f64,
     hist: Histogram,
@@ -190,6 +199,7 @@ impl ReportBuilder {
             n: 0,
             sum_flow: 0.0,
             fmax: 0.0,
+            weighted_fmax: 0.0,
             sum_stretch: 0.0,
             max_stretch: 0.0,
             hist: Histogram::new(config.hist_range.0, config.hist_range.1, config.hist_bins),
@@ -216,6 +226,7 @@ impl ReportBuilder {
             return SimReport {
                 n_measured: 0,
                 fmax: 0.0,
+                weighted_fmax: 0.0,
                 mean_flow: 0.0,
                 p50: 0.0,
                 p95: 0.0,
@@ -257,6 +268,7 @@ impl ReportBuilder {
         SimReport {
             n_measured: self.n,
             fmax: self.fmax,
+            weighted_fmax: self.weighted_fmax,
             mean_flow: self.sum_flow / self.n as f64,
             p50: self.hist.quantile(0.5).unwrap_or(0.0),
             p95: self.hist.quantile(0.95).unwrap_or(0.0),
@@ -285,6 +297,7 @@ impl DispatchSink for ReportBuilder {
         self.n += 1;
         self.sum_flow += flow;
         self.fmax = self.fmax.max(flow);
+        self.weighted_fmax = self.weighted_fmax.max(task.weight * flow);
         self.sum_stretch += stretch;
         self.max_stretch = self.max_stretch.max(stretch);
         self.hist.record(flow);
@@ -324,6 +337,27 @@ mod tests {
         assert_eq!(r.p50, 1.0);
         assert!((r.drift - 1.0).abs() < 1e-9);
         assert!(!r.looks_saturated());
+    }
+
+    #[test]
+    fn weighted_fmax_tracks_weights() {
+        use flowsched_core::task::Task;
+        let inst = light_instance();
+        let s = eft(&inst, TieBreak::Min);
+        let r = SimReport::from_schedule(&s, &inst, 0);
+        // All weights default to 1 → the two maxima coincide.
+        assert_eq!(r.weighted_fmax, r.fmax);
+
+        // A weighted task dominates even with a modest flow.
+        let mut b = InstanceBuilder::new(1);
+        b.push(Task::new(0.0, 2.0), ProcSet::full(1));
+        b.push(Task::unit(0.0).with_weight(10.0), ProcSet::full(1));
+        let inst = b.build().unwrap();
+        let s = eft(&inst, TieBreak::Min);
+        let r = SimReport::from_schedule(&s, &inst, 0);
+        // Weighted task completes at 3 (flow 3, weight 10).
+        assert_eq!(r.fmax, 3.0);
+        assert_eq!(r.weighted_fmax, 30.0);
     }
 
     #[test]

@@ -242,27 +242,6 @@ where
     }
 }
 
-/// [`run_stepped`] with instrumentation.
-#[deprecated(
-    since = "0.3.0",
-    note = "use `run_stepped_stream`; the plain/`*_recorded` twins were \
-            collapsed into the streaming engine (note: the stepped path \
-            now also emits machine busy/idle transitions)"
-)]
-pub fn run_stepped_recorded<F, R>(
-    m: usize,
-    steps: usize,
-    policy: TieBreak,
-    batch: F,
-    rec: &mut R,
-) -> SteppedOutcome
-where
-    F: FnMut(usize) -> Vec<ProcSet>,
-    R: Recorder,
-{
-    run_stepped_stream(m, steps, policy, batch, rec)
-}
-
 /// Convenience: runs the Theorem 8 adversary stream on the fast path.
 pub fn run_stepped_interval_adversary(
     m: usize,

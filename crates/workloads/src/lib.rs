@@ -34,12 +34,20 @@
 //!   popularity, replication by strategy) — the fine-grained model whose
 //!   aggregation is the paper's machine-level popularity; batch
 //!   ([`generate_trace`]) or streaming ([`TraceStream`]).
+//! - [`weighted`]: the light-burst-then-heavy stream punishing
+//!   weight-oblivious dispatch under the weighted max flow objective
+//!   ([`WeightedBurstStream`]).
+//! - [`setup_thrash`]: interleaved overlapping key clusters forcing a
+//!   setup-oblivious dispatcher to pay the switch cost on nearly every
+//!   task ([`SetupThrashStream`]).
 
 pub mod adversary;
 pub mod faults;
 pub mod outcome;
 pub mod random;
+pub mod setup_thrash;
 pub mod trace;
+pub mod weighted;
 
 pub use adversary::fixed_size::{fixed_size_adversary, fixed_size_adversary_streaming};
 pub use adversary::inclusive::{inclusive_adversary, inclusive_adversary_streaming};
@@ -60,4 +68,6 @@ pub use outcome::{AdversaryOutcome, ReleaseLog, ReleaseSink, StreamingLog, Strea
 pub use random::{
     random_instance, PoissonStream, PoissonStreamConfig, RandomInstanceConfig, StructureKind,
 };
+pub use setup_thrash::SetupThrashStream;
 pub use trace::{generate_trace, Trace, TraceConfig, TraceStream};
+pub use weighted::WeightedBurstStream;

@@ -37,6 +37,19 @@ for bench in "${BENCHES[@]}"; do
     cargo bench -q -p flowsched-bench --bench "$bench"
 done
 
+# Stamp the recording environment into the baseline so a drift report
+# can be read next to where its numbers came from. The `_meta` object is
+# non-numeric, so bench_gate.sh's flatten step ignores it by design.
+if command -v jq >/dev/null 2>&1; then
+  jq --arg nproc "$(nproc)" \
+     --arg rev "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
+     --arg date "$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+     '. + {_meta: {nproc: $nproc, git_rev: $rev, recorded_at: $date}}' \
+     "$JSON_PATH" > "$JSON_PATH.tmp" && mv "$JSON_PATH.tmp" "$JSON_PATH"
+else
+  echo "bench_baseline: jq not found, skipping _meta stamp" >&2
+fi
+
 echo
 echo "== $JSON_PATH =="
 cat "$JSON_PATH"

@@ -23,12 +23,16 @@
 #      bounded memory (VmHWM growth < 32 MiB) in-process; the stage
 #      asserts the schedule hash is identical under FLOWSCHED_THREADS=1
 #      and =4 (the faulty engine is thread-count invariant too)
-#   9. bench gate (warn-only): scripts/bench_gate.sh re-runs the benches
+#   9. competitive-ratio ladder: the ratio_ladder bin runs every
+#      registry policy (eft / weft / setup variants) over its
+#      adversarial stream and asserts the measured ratios stay inside
+#      the envelopes recorded in EXPERIMENTS.md
+#  10. bench gate (warn-only): scripts/bench_gate.sh re-runs the benches
 #      behind BENCH_PR1/PR3/PR4/PR5/PR6.json and reports medians that
 #      drifted past the noise tolerance — it never fails the build
 #
 # Usage:
-#   scripts/ci_check.sh                 # all nine stages
+#   scripts/ci_check.sh                 # all ten stages
 #   scripts/ci_check.sh --no-clippy     # skip the lint stage (e.g. when
 #                                       # the toolchain lacks clippy)
 #   scripts/ci_check.sh --no-bench-gate # skip the (slow) bench stage
@@ -95,6 +99,10 @@ if [ -z "$FHASH1" ] || [ "$FHASH1" != "$FHASH4" ]; then
   echo "ci_check: faulty schedule hash diverges across thread counts" >&2
   exit 1
 fi
+
+echo
+echo "== competitive-ratio ladder (envelope gate) =="
+cargo run -q --release -p flowsched-bench --bin ratio_ladder
 
 if [ "$RUN_BENCH_GATE" = 1 ]; then
   echo
