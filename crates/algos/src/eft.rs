@@ -213,6 +213,14 @@ pub trait ImmediateDispatcher {
     /// Current completion time of each machine under the commitments made
     /// so far (what an adaptive adversary may observe).
     fn machine_completions(&self) -> &[Time];
+    /// Decision counters for index-backed kernels
+    /// ([`KernelStats`](crate::indexed::KernelStats)); `None` for
+    /// dispatchers with no index. The engine flushes `Some` stats into
+    /// the recorder's kernel counters at the end of sequential runs.
+    #[inline(always)]
+    fn kernel_stats(&self) -> Option<crate::indexed::KernelStats> {
+        None
+    }
 }
 
 impl ImmediateDispatcher for EftState {

@@ -74,8 +74,9 @@ use flowsched_core::shard::ShardPlan;
 use flowsched_core::stream::ArrivalStream;
 use flowsched_core::task::Task;
 use flowsched_core::time::Time;
-use flowsched_obs::Recorder;
-use flowsched_parallel::sharded::run_sharded;
+use flowsched_obs::pipeline::{NoopPipeline, PipelineProbe};
+use flowsched_obs::{Counter, Recorder};
+use flowsched_parallel::sharded::run_sharded_probed;
 pub use flowsched_parallel::sharded::ShardedConfig;
 
 use crate::eft::ImmediateDispatcher;
@@ -209,6 +210,13 @@ where
         tracker.commit(seq, task, a, rec, sink);
         seq += 1;
     }
+    if R::ENABLED {
+        if let Some(ks) = disp.kernel_stats() {
+            rec.add(Counter::IndexedDescents, ks.indexed_descents);
+            rec.add(Counter::ScalarFallbackScans, ks.scalar_fallback_scans);
+            rec.add(Counter::HeapSelfHeals, ks.heap_self_heals);
+        }
+    }
 }
 
 /// [`run_immediate`] collecting the full [`Schedule`] — the batch-shaped
@@ -275,8 +283,33 @@ pub fn run_policy_sharded<S, R, K>(
     R: Recorder,
     K: DispatchSink,
 {
+    run_policy_sharded_probed(stream, spec, plan, cfg, rec, sink, NoopPipeline);
+}
+
+/// [`run_policy_sharded`] with a wall-clock
+/// [`PipelineProbe`](flowsched_obs::pipeline::PipelineProbe) observing
+/// the transport (see
+/// [`run_sharded_probed`](flowsched_parallel::sharded::run_sharded_probed)
+/// for the stage map). The probe watches the pipeline only — routing,
+/// dispatch, and merge order are untouched, so schedules, recorder
+/// traces, and sink folds are identical to the unprobed run.
+#[allow(clippy::too_many_arguments)]
+pub fn run_policy_sharded_probed<S, R, K, P>(
+    stream: S,
+    spec: &PolicySpec,
+    plan: &ShardPlan,
+    cfg: &ShardedConfig,
+    rec: &mut R,
+    sink: &mut K,
+    probe: P,
+) where
+    S: ArrivalStream,
+    R: Recorder,
+    K: DispatchSink,
+    P: PipelineProbe,
+{
     let mut tracker = CommitTracker::new(R::ENABLED, stream.machines());
-    run_sharded(
+    run_sharded_probed(
         stream,
         plan,
         cfg,
@@ -285,6 +318,7 @@ pub fn run_policy_sharded<S, R, K>(
             move |task: Task, set: ProcSetRef<'_>| state.dispatch_task(task, set)
         },
         |seq, task, a| tracker.commit(seq, task, a, rec, sink),
+        probe,
     );
 }
 
@@ -587,6 +621,28 @@ mod tests {
         let stream = FnStream::new(3, || None);
         let s = fifo_schedule(stream, TieBreak::Min, &mut NoopRecorder);
         assert!(s.is_empty());
+    }
+
+    #[test]
+    fn kernel_counters_flush_into_the_recorder() {
+        use crate::indexed::IndexedEftState;
+        use flowsched_obs::{Counter, MemoryRecorder};
+        let mut b = InstanceBuilder::new(4);
+        for i in 0..10 {
+            b.push_unit(i as f64, ProcSet::interval(0, 3));
+        }
+        let inst = b.build().unwrap();
+        let mut state = IndexedEftState::new(4, TieBreak::Min);
+        let mut rec = MemoryRecorder::with_defaults(4);
+        run_immediate(
+            InstanceStream::new(&inst),
+            &mut state,
+            &mut rec,
+            &mut NullSink,
+        );
+        assert_eq!(rec.counters().get(Counter::IndexedDescents), 10);
+        assert_eq!(rec.counters().get(Counter::ScalarFallbackScans), 0);
+        assert_eq!(rec.counters().get(Counter::HeapSelfHeals), 0);
     }
 
     #[test]

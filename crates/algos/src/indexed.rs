@@ -48,6 +48,26 @@ use flowsched_core::time::Time;
 use crate::eft::{scan_ties, EftState, ImmediateDispatcher};
 use crate::tiebreak::{Breaker, TieBreak};
 
+/// Decision counters of the indexed kernel — which path served each
+/// dispatch and how often the lazy structures had to repair themselves.
+///
+/// Monotone over a run; the engine flushes them into the recorder's
+/// `IndexedDescents` / `ScalarFallbackScans` / `HeapSelfHeals` counters
+/// after sequential runs (sharded workers consume their dispatchers on
+/// other threads, so their stats stay thread-local). A high
+/// `scalar_fallback_scans` share means the workload's explicit sets
+/// overlap and defeat the cluster index; a high `heap_self_heals` rate
+/// means interval and explicit traffic interleave on the same machines.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Dispatches answered by the segment tree or a cluster heap.
+    pub indexed_descents: u64,
+    /// Explicit-set dispatches that fell back to the scalar tie scan.
+    pub scalar_fallback_scans: u64,
+    /// Stale cluster-heap entries re-keyed and re-sifted on peek.
+    pub heap_self_heals: u64,
+}
+
 /// Machine count at which [`DispatchKernel::Auto`] switches to the
 /// indexed kernel. Below it the scalar scan's cache-friendly sweep wins;
 /// above it the O(log m) tree pays off even for moderate set widths.
@@ -331,6 +351,7 @@ pub struct IndexedEftState {
     /// Machine → cluster id claiming it, or [`UNOWNED`].
     owner: Vec<u32>,
     clusters: Vec<Cluster>,
+    stats: KernelStats,
 }
 
 /// How the configured tie-break consumes the tie set — decides whether
@@ -352,7 +373,13 @@ impl IndexedEftState {
             ties: Vec::new(),
             owner: vec![UNOWNED; m],
             clusters: Vec::new(),
+            stats: KernelStats::default(),
         }
+    }
+
+    /// Decision counters accumulated so far (see [`KernelStats`]).
+    pub fn kernel_stats(&self) -> KernelStats {
+        self.stats
     }
 
     /// Number of machines.
@@ -397,6 +424,7 @@ impl IndexedEftState {
 
     /// Tie-break over one contiguous range via the tree.
     fn pick_in_range(&mut self, release: Time, lo: usize, hi: usize) -> usize {
+        self.stats.indexed_descents += 1;
         let t_min = release.max(self.tree.range_min(lo, hi));
         match pick_mode(&self.breaker) {
             Pick::Leftmost => self
@@ -423,6 +451,7 @@ impl IndexedEftState {
         low: (usize, usize),
         high: (usize, usize),
     ) -> usize {
+        self.stats.indexed_descents += 1;
         let min_c = self
             .tree
             .range_min(low.0, low.1)
@@ -457,6 +486,7 @@ impl IndexedEftState {
             None => {
                 // Overlaps another cluster's machines — the scalar scan
                 // is the always-correct fallback.
+                self.stats.scalar_fallback_scans += 1;
                 scan_ties(
                     &self.completions,
                     slice.iter().copied(),
@@ -466,6 +496,7 @@ impl IndexedEftState {
                 return self.breaker.pick(&self.ties);
             }
         };
+        self.stats.indexed_descents += 1;
         let cluster = &mut self.clusters[cid];
         // Phase 1 — surface the true minimum completion: an accurate top
         // entry is the minimum (all others understate-or-match their own
@@ -476,6 +507,7 @@ impl IndexedEftState {
             if top.completion == actual {
                 break actual;
             }
+            self.stats.heap_self_heals += 1;
             cluster.heap.pop();
             cluster.heap.push(Reverse(Entry {
                 completion: actual,
@@ -489,6 +521,7 @@ impl IndexedEftState {
         while let Some(&Reverse(top)) = cluster.heap.peek() {
             let actual = self.completions[top.machine];
             if top.completion < actual {
+                self.stats.heap_self_heals += 1;
                 cluster.heap.pop();
                 cluster.heap.push(Reverse(Entry {
                     completion: actual,
@@ -578,6 +611,10 @@ impl ImmediateDispatcher for IndexedEftState {
     fn machine_completions(&self) -> &[Time] {
         self.completions()
     }
+
+    fn kernel_stats(&self) -> Option<KernelStats> {
+        Some(self.stats)
+    }
 }
 
 /// An EFT dispatcher with the kernel chosen at construction — what the
@@ -626,6 +663,13 @@ impl ImmediateDispatcher for EftKernelState {
 
     fn machine_completions(&self) -> &[Time] {
         self.completions()
+    }
+
+    fn kernel_stats(&self) -> Option<KernelStats> {
+        match self {
+            EftKernelState::Scalar(s) => s.kernel_stats(),
+            EftKernelState::Indexed(s) => Some(s.kernel_stats()),
+        }
     }
 }
 
@@ -791,6 +835,24 @@ mod tests {
                 "dispatch {i}"
             );
         }
+        let ks = indexed.kernel_stats();
+        assert!(
+            ks.heap_self_heals > 0,
+            "interleaved interval/cluster traffic must exercise self-healing"
+        );
+    }
+
+    #[test]
+    fn kernel_stats_track_decision_paths() {
+        let mut s = IndexedEftState::new(10, TieBreak::Min);
+        let cluster: Vec<usize> = vec![0, 2, 4];
+        let overlapping: Vec<usize> = vec![2, 3];
+        s.dispatch_ref(Task::unit(0.0), ProcSetRef::interval(0, 9));
+        s.dispatch_ref(Task::unit(0.0), ProcSetRef::Explicit(&cluster));
+        s.dispatch_ref(Task::unit(0.0), ProcSetRef::Explicit(&overlapping));
+        let ks = s.kernel_stats();
+        assert_eq!(ks.indexed_descents, 2, "interval + claimed cluster");
+        assert_eq!(ks.scalar_fallback_scans, 1, "overlapping explicit set");
     }
 
     #[test]

@@ -72,7 +72,7 @@ pub use eft::{eft, eft_stream, eft_stream_with_kernel, EftState, ImmediateDispat
 pub use engine::{
     fifo_schedule, immediate_schedule, immediate_schedule_sharded, policy_schedule,
     policy_schedule_sharded, run_fifo, run_immediate, run_immediate_sharded, run_policy,
-    run_policy_sharded, DispatchSink, NullSink, ShardedConfig,
+    run_policy_sharded, run_policy_sharded_probed, DispatchSink, NullSink, ShardedConfig,
 };
 pub use exact::{approx_fmax, exact_fmax, ExactResult};
 pub use faulty::{
@@ -81,7 +81,8 @@ pub use faulty::{
 };
 pub use fifo::{fifo, fifo_stream};
 pub use indexed::{
-    indexed_min_width, DispatchKernel, EftKernelState, IndexedEftState, AUTO_INDEXED_MIN_MACHINES,
+    indexed_min_width, DispatchKernel, EftKernelState, IndexedEftState, KernelStats,
+    AUTO_INDEXED_MIN_MACHINES,
 };
 pub use localsearch::{eft_plus_local_search, improve};
 pub use offline::{

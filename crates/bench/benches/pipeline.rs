@@ -1,0 +1,98 @@
+//! Criterion benchmarks: pipeline-probe overhead on the sharded engine
+//! (recorded into `BENCH_PR9.json`).
+//!
+//! Same cluster-partitioned Poisson trace as `benches/sharded.rs`
+//! (m = 256, 16 disjoint blocks, λ = m/2, unit service). Four points:
+//!
+//! - `noop_t4` / `probed_t4` — the 4-worker sharded engine with the
+//!   disabled [`NoopPipeline`] vs a live [`PipelineMetrics`] probe;
+//! - `noop_inline` / `probed_inline` — the inline (single-worker) path,
+//!   where spans are recorded per task instead of per batch and the
+//!   probe is therefore at its most expensive relative to the work.
+//!
+//! The zero-cost contract says `noop_*` must match the pre-PR-9 engine:
+//! `NoopPipeline::ENABLED = false` folds every `Instant::now()` away,
+//! so the probed signature costs nothing unless a live probe is passed.
+//! `scripts/bench_gate.sh` holds `noop_*` to the committed baseline;
+//! `probed_*` quantifies the opt-in cost of profiling (clock reads are
+//! per *batch* on the threaded path, so it stays small there).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use flowsched_algos::engine::{
+    run_policy_sharded, run_policy_sharded_probed, NullSink, ShardedConfig,
+};
+use flowsched_algos::registry::PolicySpec;
+use flowsched_core::stream::ArrivalStream;
+use flowsched_obs::{NoopRecorder, PipelineMetrics};
+use flowsched_workloads::random::{PoissonStream, PoissonStreamConfig, StructureKind};
+
+const MACHINES: usize = 256;
+const BLOCK: usize = 16;
+
+/// Trace length: 1M tasks by default; `FLOWSCHED_BENCH_TASKS` overrides
+/// for quick local runs — medians from a shortened run are not
+/// comparable to the committed baseline.
+fn tasks() -> usize {
+    std::env::var("FLOWSCHED_BENCH_TASKS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(1_000_000)
+}
+
+fn trace(n: usize) -> PoissonStream {
+    let cfg = PoissonStreamConfig::unit_tasks(
+        MACHINES,
+        n,
+        MACHINES as f64 / 2.0,
+        StructureKind::DisjointBlocks(BLOCK),
+    );
+    PoissonStream::new(&cfg, 7)
+}
+
+fn bench_pipeline_overhead(c: &mut Criterion) {
+    let n = tasks();
+    let spec: PolicySpec = "eft:min".parse().unwrap();
+    let mut g = c.benchmark_group("pipeline");
+
+    for (suffix, threads) in [("t4", 4usize), ("inline", 1)] {
+        let cfg = ShardedConfig::with_threads(threads);
+        g.bench_function(format!("disjoint_1m/noop_{suffix}"), |b| {
+            b.iter(|| {
+                let stream = trace(n);
+                let plan = stream.shard_plan(flowsched_core::shard::DEFAULT_MAX_SHARDS);
+                run_policy_sharded(
+                    stream,
+                    &spec,
+                    &plan,
+                    &cfg,
+                    &mut NoopRecorder,
+                    &mut black_box(NullSink),
+                )
+            })
+        });
+        g.bench_function(format!("disjoint_1m/probed_{suffix}"), |b| {
+            b.iter(|| {
+                let stream = trace(n);
+                let plan = stream.shard_plan(flowsched_core::shard::DEFAULT_MAX_SHARDS);
+                let metrics = PipelineMetrics::new();
+                run_policy_sharded_probed(
+                    stream,
+                    &spec,
+                    &plan,
+                    &cfg,
+                    &mut NoopRecorder,
+                    &mut black_box(NullSink),
+                    metrics.clone(),
+                );
+                black_box(metrics.stage(flowsched_obs::Stage::Dispatch).spans)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipeline_overhead);
+criterion_main!(benches);

@@ -25,12 +25,15 @@
 
 use std::path::PathBuf;
 
+use flowsched_algos::indexed::DispatchKernel;
+use flowsched_algos::registry::PolicySpec;
 use flowsched_algos::tiebreak::TieBreak;
 use flowsched_core::stream::InstanceStream;
 use flowsched_kvstore::cluster::{ClusterConfig, KvCluster};
 use flowsched_kvstore::replication::ReplicationStrategy;
 use flowsched_obs::{
-    chrome_trace, machine_spans, prometheus_text, render_summary, task_spans, windows_to_csv,
+    chrome_trace, machine_spans, prometheus_text_with, render_summary, task_spans, windows_to_csv,
+    ExtraGauge, PromOptions,
 };
 use flowsched_sim::report::ReportConfig;
 use flowsched_sim::telemetry::{simulate_stream_telemetry, Telemetry, TelemetryConfig};
@@ -141,8 +144,20 @@ fn main() {
         std::fs::write(&path, contents).expect("write timeline export");
         println!("wrote {}", path.display());
     };
+    // Label every Prometheus series with the registry form of the policy
+    // this run dispatched under, and export the report-level weighted
+    // objective next to the recorder aggregates.
+    let policy_id = PolicySpec::eft(policy, DispatchKernel::Auto).to_string();
+    let prom_opts = PromOptions {
+        policy: Some(&policy_id),
+        extra_gauges: vec![ExtraGauge {
+            name: "weighted_fmax",
+            help: "Maximum weighted flow time max w_i*F_i of the run",
+            value: telemetry.report.weighted_fmax,
+        }],
+    };
     write("trace.json", chrome_trace(&tasks, &machines));
-    write("metrics.prom", prometheus_text(rec));
+    write("metrics.prom", prometheus_text_with(rec, &prom_opts));
     write("windows.csv", windows_to_csv(&telemetry.windows));
     write("snapshot.json", rec.snapshot().to_json());
 

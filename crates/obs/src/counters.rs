@@ -36,11 +36,22 @@ pub enum Counter {
     MatchingAugmentations,
     /// Trace events overwritten because the ring buffer was full.
     TraceEventsDropped,
+    /// Index-tree descents taken by the indexed EFT kernel
+    /// (`leftmost_le`/`rightmost_le`/`collect_le` walks).
+    IndexedDescents,
+    /// Dispatches where the indexed kernel fell back to a scalar scan
+    /// (explicit sets that straddle cluster boundaries).
+    ScalarFallbackScans,
+    /// Lazy-heap repairs in the clustered kernel: stale entries re-keyed
+    /// or discarded while picking a minimum.
+    HeapSelfHeals,
+    /// SLO envelope breaches flagged by the [`slo`](crate::slo) monitor.
+    SloBreaches,
 }
 
 impl Counter {
     /// Every counter, in snapshot order.
-    pub const ALL: [Counter; 13] = [
+    pub const ALL: [Counter; 17] = [
         Counter::TasksArrived,
         Counter::TasksDispatched,
         Counter::TasksCompleted,
@@ -54,6 +65,10 @@ impl Counter {
         Counter::MatchingPhases,
         Counter::MatchingAugmentations,
         Counter::TraceEventsDropped,
+        Counter::IndexedDescents,
+        Counter::ScalarFallbackScans,
+        Counter::HeapSelfHeals,
+        Counter::SloBreaches,
     ];
 
     /// Stable snake_case identifier used in snapshots and summaries.
@@ -72,6 +87,43 @@ impl Counter {
             Counter::MatchingPhases => "matching_phases",
             Counter::MatchingAugmentations => "matching_augmentations",
             Counter::TraceEventsDropped => "trace_events_dropped",
+            Counter::IndexedDescents => "indexed_descents",
+            Counter::ScalarFallbackScans => "scalar_fallback_scans",
+            Counter::HeapSelfHeals => "heap_self_heals",
+            Counter::SloBreaches => "slo_breaches",
+        }
+    }
+
+    /// One-line Prometheus `# HELP` text for the exposition format.
+    pub fn help(self) -> &'static str {
+        match self {
+            Counter::TasksArrived => "Tasks released to a scheduling engine.",
+            Counter::TasksDispatched => "Tasks irrevocably placed on a machine.",
+            Counter::TasksCompleted => {
+                "Task completions (projected at dispatch for immediate-dispatch engines)."
+            }
+            Counter::MachineBusyTransitions => "Idle-to-busy machine transitions.",
+            Counter::MachineIdleTransitions => "Busy-to-idle machine transitions.",
+            Counter::MachineCrashes => "Machine crashes injected by a fault plan.",
+            Counter::MachineRecoveries => "Machine recoveries injected by a fault plan.",
+            Counter::LoadProbes => "Lambda-feasibility probes answered by the max-flow oracle.",
+            Counter::FlowAugmentations => "Dinic augmenting-path searches across all load probes.",
+            Counter::SimplexPivots => "Simplex pivots across all LP solves.",
+            Counter::MatchingPhases => "Hopcroft-Karp BFS phases across all matching solves.",
+            Counter::MatchingAugmentations => {
+                "Successful augmenting paths across all matching solves."
+            }
+            Counter::TraceEventsDropped => {
+                "Trace events overwritten because the ring buffer was full."
+            }
+            Counter::IndexedDescents => "Index-tree descents taken by the indexed EFT kernel.",
+            Counter::ScalarFallbackScans => {
+                "Dispatches where the indexed kernel fell back to a scalar scan."
+            }
+            Counter::HeapSelfHeals => {
+                "Stale heap entries re-keyed or discarded by the clustered kernel."
+            }
+            Counter::SloBreaches => "SLO envelope breaches flagged by the slo monitor.",
         }
     }
 

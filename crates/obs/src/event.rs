@@ -74,6 +74,16 @@ pub enum Event {
         /// Recovery time.
         at: f64,
     },
+    /// The live Fmax/OPT-proxy ratio crossed a paper envelope (see
+    /// [`slo`](crate::slo)).
+    SloBreach {
+        /// Sim-time at which the breach was evaluated (window end).
+        at: f64,
+        /// Observed Fmax/OPT-proxy ratio.
+        ratio: f64,
+        /// The envelope that was crossed (e.g. `3 − 2/k`).
+        bound: f64,
+    },
     /// A solver probe ran (λ-feasibility check, LP solve, matching solve).
     SolverProbe {
         /// What kind of probe.
@@ -97,6 +107,7 @@ impl Event {
             Event::MachineIdle { .. } => "machine_idle",
             Event::MachineCrash { .. } => "machine_crash",
             Event::MachineRecover { .. } => "machine_recover",
+            Event::SloBreach { .. } => "slo_breach",
             Event::SolverProbe { .. } => "solver_probe",
         }
     }
@@ -110,7 +121,8 @@ impl Event {
             | Event::MachineBusy { at, .. }
             | Event::MachineIdle { at, .. }
             | Event::MachineCrash { at, .. }
-            | Event::MachineRecover { at, .. } => at,
+            | Event::MachineRecover { at, .. }
+            | Event::SloBreach { at, .. } => at,
             Event::TaskDispatch { start, .. } => start,
             Event::SolverProbe { .. } => 0.0,
         }
@@ -332,6 +344,11 @@ mod tests {
             Event::MachineRecover {
                 machine: 0,
                 at: 3.0,
+            },
+            Event::SloBreach {
+                at: 4.0,
+                ratio: 3.1,
+                bound: 3.0,
             },
             Event::SolverProbe {
                 kind: ProbeKind::LoadFeasibility,

@@ -14,18 +14,24 @@
 //! - [`prometheus_text`] — the aggregate recorder in Prometheus text
 //!   exposition: every counter as a `_total`, busy time / utilization as
 //!   per-machine labelled gauges, and the flow histogram as cumulative
-//!   `le` buckets with `_sum` and `_count`. Bucket lines are emitted
-//!   only where the cumulative count changes (plus `+Inf`), keeping a
-//!   4096-bin dump readable; scrape semantics are unaffected because
-//!   cumulative buckets are monotone.
+//!   `le` buckets with `_sum` and `_count`. Every series carries proper
+//!   `# HELP` / `# TYPE` lines. Bucket lines are emitted only where the
+//!   cumulative count changes (plus `+Inf`), keeping a 4096-bin dump
+//!   readable; scrape semantics are unaffected because cumulative
+//!   buckets are monotone. [`prometheus_text_with`] additionally labels
+//!   every series with the `PolicySpec` registry string (e.g.
+//!   `policy="eft:min:indexed"`) and appends caller-supplied gauges
+//!   (e.g. `weighted_fmax` out of a `SimReport`), so scraped runs stay
+//!   distinguishable.
 //! - [`windows_to_csv`] — the windowed time series as one CSV row per
 //!   window: counts, rates, time-averaged queue depth, windowed flow
 //!   percentiles, and per-machine utilization columns.
 
 use serde::Value;
 
+use crate::counters::Counter;
 use crate::memory::MemoryRecorder;
-use crate::span::{MachineSpan, OutageSpan, TaskSpan};
+use crate::span::{BreachMark, MachineSpan, OutageSpan, TaskSpan};
 use crate::window::WindowedMetrics;
 
 /// Seconds of engine time → microseconds of trace time.
@@ -63,6 +69,19 @@ pub fn chrome_trace_with_outages(
     tasks: &[TaskSpan],
     machines: &[MachineSpan],
     outages: &[OutageSpan],
+) -> String {
+    chrome_trace_full(tasks, machines, outages, &[])
+}
+
+/// [`chrome_trace_with_outages`] plus SLO breach marks: each
+/// [`BreachMark`] renders as a global `"ph": "i"` instant event named
+/// `"slo_breach"` carrying the ratio and the crossed bound in its args,
+/// so breaches show up as flagpoles across the whole Perfetto timeline.
+pub fn chrome_trace_full(
+    tasks: &[TaskSpan],
+    machines: &[MachineSpan],
+    outages: &[OutageSpan],
+    breaches: &[BreachMark],
 ) -> String {
     let mut events: Vec<Value> = Vec::new();
     // Track-naming metadata first (ph "M" events are position-free).
@@ -134,6 +153,20 @@ pub fn chrome_trace_with_outages(
             ),
         ]));
     }
+    for b in breaches {
+        spans.push(obj(vec![
+            ("ph", s("i")),
+            ("pid", num(1.0)),
+            ("tid", num(0.0)),
+            ("name", s("slo_breach")),
+            ("ts", num(b.at * TRACE_US)),
+            ("s", s("g")),
+            (
+                "args",
+                obj(vec![("ratio", num(b.ratio)), ("bound", num(b.bound))]),
+            ),
+        ]));
+    }
     spans.sort_by(|a, b| {
         let ts = |v: &Value| v.get("ts").and_then(Value::as_f64).unwrap_or(0.0);
         ts(a).total_cmp(&ts(b))
@@ -155,37 +188,105 @@ fn fmt_value(v: f64) -> String {
     }
 }
 
+/// One caller-supplied gauge appended to the exposition — how run-level
+/// metrics that live outside the recorder (e.g. a `SimReport`'s
+/// `weighted_fmax`) join the scrape.
+#[derive(Debug, Clone)]
+pub struct ExtraGauge<'a> {
+    /// Series name without the `flowsched_` prefix (snake_case).
+    pub name: &'a str,
+    /// `# HELP` text.
+    pub help: &'a str,
+    /// Gauge value.
+    pub value: f64,
+}
+
+/// Options for [`prometheus_text_with`].
+#[derive(Debug, Clone, Default)]
+pub struct PromOptions<'a> {
+    /// When set, every series carries a `policy="<spec>"` label (the
+    /// `PolicySpec` registry string, e.g. `eft:min:indexed`).
+    pub policy: Option<&'a str>,
+    /// Extra gauges appended after the recorder's own families.
+    pub extra_gauges: Vec<ExtraGauge<'a>>,
+}
+
 /// Renders the recorder's aggregates in Prometheus text exposition
 /// format, `flowsched_`-prefixed (see the module docs for the families).
+/// Every series gets `# HELP` and `# TYPE` lines.
 pub fn prometheus_text(rec: &MemoryRecorder) -> String {
+    prometheus_text_with(rec, &PromOptions::default())
+}
+
+/// `{policy="…",extra…}` / `{extra…}` / `` label rendering.
+fn label_set(policy: Option<&str>, extra: &str) -> String {
+    match (policy, extra.is_empty()) {
+        (None, true) => String::new(),
+        (None, false) => format!("{{{extra}}}"),
+        (Some(p), true) => format!("{{policy=\"{p}\"}}"),
+        (Some(p), false) => format!("{{policy=\"{p}\",{extra}}}"),
+    }
+}
+
+/// [`prometheus_text`] with a policy label and extra gauges (see
+/// [`PromOptions`]). The `trace_events_dropped` counter is sourced from
+/// the event ring itself ([`EventRing::dropped`](crate::EventRing)), the
+/// authoritative overwrite count, so silent trace truncation is always
+/// observable in a scrape even when the counter bank missed a bump.
+pub fn prometheus_text_with(rec: &MemoryRecorder, opts: &PromOptions<'_>) -> String {
     let mut out = String::new();
+    let lbl = |extra: &str| label_set(opts.policy, extra);
 
     for (c, v) in rec.counters().iter() {
         let name = format!("flowsched_{}_total", c.name());
-        out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+        // The ring knows its own losses better than the counter bank
+        // (events can be pushed by paths that never touch the bank).
+        let v = if c == Counter::TraceEventsDropped {
+            v.max(rec.trace().dropped())
+        } else {
+            v
+        };
+        out.push_str(&format!(
+            "# HELP {name} {}\n# TYPE {name} counter\n{name}{} {v}\n",
+            c.help(),
+            lbl("")
+        ));
     }
 
-    out.push_str("# TYPE flowsched_machine_busy_time gauge\n");
+    out.push_str(
+        "# HELP flowsched_machine_busy_time Accumulated busy time per machine.\n\
+         # TYPE flowsched_machine_busy_time gauge\n",
+    );
     for (m, b) in rec.busy_time().iter().enumerate() {
         out.push_str(&format!(
-            "flowsched_machine_busy_time{{machine=\"{m}\"}} {}\n",
+            "flowsched_machine_busy_time{} {}\n",
+            lbl(&format!("machine=\"{m}\"")),
             fmt_value(*b)
         ));
     }
-    out.push_str("# TYPE flowsched_machine_utilization gauge\n");
+    out.push_str(
+        "# HELP flowsched_machine_utilization Busy time over recorded makespan per machine.\n\
+         # TYPE flowsched_machine_utilization gauge\n",
+    );
     for (m, u) in rec.utilization().iter().enumerate() {
         out.push_str(&format!(
-            "flowsched_machine_utilization{{machine=\"{m}\"}} {}\n",
+            "flowsched_machine_utilization{} {}\n",
+            lbl(&format!("machine=\"{m}\"")),
             fmt_value(*u)
         ));
     }
     out.push_str(&format!(
-        "# TYPE flowsched_makespan gauge\nflowsched_makespan {}\n",
+        "# HELP flowsched_makespan Largest completion timestamp recorded.\n\
+         # TYPE flowsched_makespan gauge\nflowsched_makespan{} {}\n",
+        lbl(""),
         fmt_value(rec.makespan_seen())
     ));
 
     let h = rec.flow_histogram();
-    out.push_str("# TYPE flowsched_flow_time histogram\n");
+    out.push_str(
+        "# HELP flowsched_flow_time Flow time (completion minus release) of dispatched tasks.\n\
+         # TYPE flowsched_flow_time histogram\n",
+    );
     // Values below the range are ≤ every finite bucket bound, so the
     // underflow mass seeds the cumulative count.
     let mut cum = h.underflow();
@@ -195,18 +296,37 @@ pub fn prometheus_text(rec: &MemoryRecorder) -> String {
         if cum != last_emitted && (c > 0 || i + 1 == h.counts().len()) {
             let (_, upper) = h.bin_edges(i);
             out.push_str(&format!(
-                "flowsched_flow_time_bucket{{le=\"{}\"}} {cum}\n",
-                fmt_value(upper)
+                "flowsched_flow_time_bucket{} {cum}\n",
+                lbl(&format!("le=\"{}\"", fmt_value(upper)))
             ));
             last_emitted = cum;
         }
     }
     out.push_str(&format!(
-        "flowsched_flow_time_bucket{{le=\"+Inf\"}} {}\n",
+        "flowsched_flow_time_bucket{} {}\n",
+        lbl("le=\"+Inf\""),
         h.total()
     ));
-    out.push_str(&format!("flowsched_flow_time_sum {}\n", fmt_value(h.sum())));
-    out.push_str(&format!("flowsched_flow_time_count {}\n", h.total()));
+    out.push_str(&format!(
+        "flowsched_flow_time_sum{} {}\n",
+        lbl(""),
+        fmt_value(h.sum())
+    ));
+    out.push_str(&format!(
+        "flowsched_flow_time_count{} {}\n",
+        lbl(""),
+        h.total()
+    ));
+
+    for g in &opts.extra_gauges {
+        let name = format!("flowsched_{}", g.name);
+        out.push_str(&format!(
+            "# HELP {name} {}\n# TYPE {name} gauge\n{name}{} {}\n",
+            g.help,
+            lbl(""),
+            fmt_value(g.value)
+        ));
+    }
     out
 }
 
@@ -356,6 +476,130 @@ mod tests {
             }
         }
         assert_eq!(last, 2);
+    }
+
+    #[test]
+    fn every_prometheus_series_has_help_and_type() {
+        let text = prometheus_text(&populated());
+        let mut typed: Vec<&str> = Vec::new();
+        let mut helped: Vec<&str> = Vec::new();
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                typed.push(rest.split_whitespace().next().unwrap());
+            } else if let Some(rest) = line.strip_prefix("# HELP ") {
+                helped.push(rest.split_whitespace().next().unwrap());
+            } else if !line.is_empty() {
+                let name = line.split(['{', ' ']).next().unwrap();
+                let family = name
+                    .strip_suffix("_bucket")
+                    .or_else(|| name.strip_suffix("_sum"))
+                    .or_else(|| name.strip_suffix("_count"))
+                    .filter(|f| typed.contains(f))
+                    .unwrap_or(name);
+                assert!(typed.contains(&family), "{name} has no # TYPE");
+                assert!(helped.contains(&family), "{name} has no # HELP");
+            }
+        }
+    }
+
+    #[test]
+    fn policy_label_lands_on_every_series() {
+        let opts = PromOptions {
+            policy: Some("eft:min:indexed"),
+            extra_gauges: vec![],
+        };
+        let text = prometheus_text_with(&populated(), &opts);
+        for line in text.lines() {
+            if line.starts_with('#') || line.is_empty() {
+                continue;
+            }
+            assert!(
+                line.contains("policy=\"eft:min:indexed\""),
+                "unlabelled series line: {line}"
+            );
+        }
+        assert!(text.contains("flowsched_tasks_dispatched_total{policy=\"eft:min:indexed\"} 2"));
+        assert!(text
+            .contains("flowsched_machine_utilization{policy=\"eft:min:indexed\",machine=\"1\"}"));
+        assert!(text.contains("flowsched_flow_time_bucket{policy=\"eft:min:indexed\",le=\"+Inf\"}"));
+    }
+
+    #[test]
+    fn extra_gauges_are_appended_with_help_and_type() {
+        let opts = PromOptions {
+            policy: None,
+            extra_gauges: vec![ExtraGauge {
+                name: "weighted_fmax",
+                help: "Maximum weighted flow time of the run.",
+                value: 12.5,
+            }],
+        };
+        let text = prometheus_text_with(&populated(), &opts);
+        assert!(text.contains("# HELP flowsched_weighted_fmax Maximum weighted flow time"));
+        assert!(text.contains("# TYPE flowsched_weighted_fmax gauge"));
+        assert!(text.contains("flowsched_weighted_fmax 12.5"));
+    }
+
+    #[test]
+    fn lifecycle_counters_and_slo_breaches_are_exported() {
+        let mut rec = populated();
+        rec.machine_crash(0, 0.5);
+        rec.machine_recover(0, 0.75);
+        rec.slo_breach(4.0, 2.5, 2.0);
+        let text = prometheus_text(&rec);
+        assert!(text.contains("# HELP flowsched_machine_crashes_total"));
+        assert!(text.contains("flowsched_machine_crashes_total 1"));
+        assert!(text.contains("flowsched_machine_recoveries_total 1"));
+        assert!(text.contains("# TYPE flowsched_slo_breaches_total counter"));
+        assert!(text.contains("flowsched_slo_breaches_total 1"));
+    }
+
+    #[test]
+    fn ring_overwrites_reach_the_prometheus_counter() {
+        let mut cfg = crate::memory::ObsConfig::defaults(1);
+        cfg.trace_capacity = 2;
+        let mut rec = MemoryRecorder::new(&cfg);
+        for i in 0..6 {
+            rec.task_arrival(i, i as f64);
+        }
+        assert_eq!(rec.trace().dropped(), 4);
+        let text = prometheus_text(&rec);
+        assert!(text.contains("flowsched_trace_events_dropped_total 4"));
+    }
+
+    #[test]
+    fn breach_marks_render_as_instant_events() {
+        let rec = populated();
+        let tasks = task_spans(rec.trace().iter());
+        let machines = machine_spans(rec.trace().iter(), rec.makespan_seen());
+        let marks = [BreachMark {
+            at: 1.5,
+            ratio: 2.5,
+            bound: 2.0,
+        }];
+        let json = chrome_trace_full(&tasks, &machines, &[], &marks);
+        let v: Value = serde_json::from_str(&json).expect("valid JSON");
+        let events = match v.get("traceEvents").expect("traceEvents key") {
+            Value::Array(items) => items.clone(),
+            _ => panic!("traceEvents is an array"),
+        };
+        let instants: Vec<&Value> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("i"))
+            .collect();
+        assert_eq!(instants.len(), 1);
+        assert_eq!(
+            instants[0].get("name").and_then(|n| n.as_str()),
+            Some("slo_breach")
+        );
+        assert_eq!(
+            instants[0].get("ts").and_then(Value::as_f64),
+            Some(1.5 * TRACE_US)
+        );
+        assert_eq!(instants[0].get("s").and_then(|x| x.as_str()), Some("g"));
+        let args = instants[0].get("args").unwrap();
+        assert_eq!(args.get("ratio").and_then(Value::as_f64), Some(2.5));
+        assert_eq!(args.get("bound").and_then(Value::as_f64), Some(2.0));
     }
 
     #[test]

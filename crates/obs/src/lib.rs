@@ -38,6 +38,15 @@
 //! - **[`shard`]** — per-job recorder shards for
 //!   `flowsched_parallel::par_map` sweeps, merged in job order into a
 //!   snapshot identical to a single-threaded run's.
+//! - **[`pipeline`]** — *wall-clock* stage spans, nanosecond histograms,
+//!   and backpressure gauges for the sharded dispatch pipeline
+//!   ([`PipelineMetrics`] / [`NoopPipeline`], same zero-cost contract as
+//!   the recorders but over `std::time::Instant`).
+//! - **[`slo`]** — the theory-aware [`SloMonitor`]: live `Fmax`/OPT-proxy
+//!   ratios per tumbling window, alarmed against the paper envelopes
+//!   (`3 − 2/k` per Corollary 1, `m − k + 1` for interval adversaries)
+//!   and emitted as [`Event::SloBreach`] rows through the normal
+//!   recorder machinery.
 //!
 //! [`Tee`] fans one hook stream into two recorders (aggregates + time
 //! series in one pass) and preserves the zero-cost contract.
@@ -73,20 +82,30 @@ pub mod counters;
 pub mod event;
 pub mod export;
 pub mod memory;
+pub mod pipeline;
 pub mod recorder;
 pub mod shard;
+pub mod slo;
 pub mod snapshot;
 pub mod span;
 pub mod window;
 
 pub use counters::{Counter, Counters};
 pub use event::{Event, EventRing, ProbeKind};
-pub use export::{chrome_trace, chrome_trace_with_outages, prometheus_text, windows_to_csv};
+pub use export::{
+    chrome_trace, chrome_trace_full, chrome_trace_with_outages, prometheus_text,
+    prometheus_text_with, windows_to_csv, ExtraGauge, PromOptions,
+};
 pub use memory::{MemoryRecorder, ObsConfig};
+pub use pipeline::{NoopPipeline, PipelineMetrics, PipelineProbe, Stage, StageStats, StageTimer};
 pub use recorder::{NoopRecorder, Recorder, Tee};
 pub use shard::{merge_windows, ShardedRecorder};
+pub use slo::{SloBreach, SloEnvelope, SloMonitor};
 pub use snapshot::{render_summary, trace_to_json, ObsSnapshot};
-pub use span::{machine_spans, outage_spans, task_spans, MachineSpan, OutageSpan, TaskSpan};
+pub use span::{
+    breach_marks, machine_spans, outage_spans, task_spans, BreachMark, MachineSpan, OutageSpan,
+    TaskSpan,
+};
 pub use window::{WindowConfig, WindowStats, WindowedMetrics};
 
 /// Convenience re-exports for instrumented engines and tests.
@@ -94,7 +113,9 @@ pub mod prelude {
     pub use crate::counters::Counter;
     pub use crate::event::{Event, ProbeKind};
     pub use crate::memory::{MemoryRecorder, ObsConfig};
+    pub use crate::pipeline::{NoopPipeline, PipelineMetrics, PipelineProbe, Stage, StageTimer};
     pub use crate::recorder::{NoopRecorder, Recorder, Tee};
     pub use crate::shard::ShardedRecorder;
+    pub use crate::slo::{SloEnvelope, SloMonitor};
     pub use crate::window::{WindowConfig, WindowedMetrics};
 }

@@ -300,6 +300,12 @@ impl Recorder for MemoryRecorder {
     }
 
     #[inline]
+    fn slo_breach(&mut self, at: f64, ratio: f64, bound: f64) {
+        self.counters.add(Counter::SloBreaches, 1);
+        self.push_event(Event::SloBreach { at, ratio, bound });
+    }
+
+    #[inline]
     fn probe(&mut self, kind: ProbeKind, iterations: u64, value: f64) {
         let counter = match kind {
             ProbeKind::LoadFeasibility => Counter::FlowAugmentations,
@@ -478,6 +484,21 @@ mod tests {
                     at: 5.0
                 },
             ]
+        );
+    }
+
+    #[test]
+    fn slo_breach_counts_and_traces() {
+        let mut r = MemoryRecorder::with_defaults(2);
+        r.slo_breach(8.0, 3.4, 3.0);
+        assert_eq!(r.counters().get(Counter::SloBreaches), 1);
+        assert_eq!(
+            r.trace().to_vec(),
+            vec![Event::SloBreach {
+                at: 8.0,
+                ratio: 3.4,
+                bound: 3.0
+            }]
         );
     }
 

@@ -50,6 +50,15 @@ pub trait Recorder {
         let _ = (machine, at);
     }
 
+    /// The live Fmax/OPT-proxy `ratio` crossed the paper envelope
+    /// `bound` at sim-time `at` (see [`slo`](crate::slo)). Defaulted to
+    /// a no-op like [`machine_crash`](Recorder::machine_crash); trace
+    /// recorders override it to count the breach and emit an event.
+    #[inline(always)]
+    fn slo_breach(&mut self, at: f64, ratio: f64, bound: f64) {
+        let _ = (at, ratio, bound);
+    }
+
     /// A solver probe finished after `iterations` units of work with
     /// result/argument `value`.
     fn probe(&mut self, kind: ProbeKind, iterations: u64, value: f64);
@@ -147,6 +156,12 @@ impl<A: Recorder, B: Recorder> Recorder for Tee<A, B> {
     }
 
     #[inline]
+    fn slo_breach(&mut self, at: f64, ratio: f64, bound: f64) {
+        self.0.slo_breach(at, ratio, bound);
+        self.1.slo_breach(at, ratio, bound);
+    }
+
+    #[inline]
     fn probe(&mut self, kind: ProbeKind, iterations: u64, value: f64) {
         self.0.probe(kind, iterations, value);
         self.1.probe(kind, iterations, value);
@@ -193,6 +208,11 @@ impl<R: Recorder> Recorder for &mut R {
     #[inline(always)]
     fn machine_recover(&mut self, machine: u32, at: f64) {
         (**self).machine_recover(machine, at);
+    }
+
+    #[inline(always)]
+    fn slo_breach(&mut self, at: f64, ratio: f64, bound: f64) {
+        (**self).slo_breach(at, ratio, bound);
     }
 
     #[inline(always)]

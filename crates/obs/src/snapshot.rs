@@ -127,6 +127,11 @@ fn event_to_value(ev: &Event) -> Value {
             fields.push(num("machine", machine as f64));
             fields.push(num("at", at));
         }
+        Event::SloBreach { at, ratio, bound } => {
+            fields.push(num("at", at));
+            fields.push(num("ratio", ratio));
+            fields.push(num("bound", bound));
+        }
         Event::SolverProbe {
             kind,
             iterations,

@@ -83,6 +83,29 @@ pub struct OutageSpan {
     pub end: f64,
 }
 
+/// One SLO breach instant extracted from the trace, ready to render as
+/// a Perfetto instant event (see `export::chrome_trace_full`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreachMark {
+    /// When the breach was evaluated (window end).
+    pub at: f64,
+    /// Observed Fmax/OPT-proxy ratio.
+    pub ratio: f64,
+    /// The envelope that was crossed.
+    pub bound: f64,
+}
+
+/// Extracts every `SloBreach` event as a [`BreachMark`], in trace order.
+pub fn breach_marks<'a>(events: impl IntoIterator<Item = &'a Event>) -> Vec<BreachMark> {
+    events
+        .into_iter()
+        .filter_map(|ev| match *ev {
+            Event::SloBreach { at, ratio, bound } => Some(BreachMark { at, ratio, bound }),
+            _ => None,
+        })
+        .collect()
+}
+
 /// Pairs `TaskDispatch` and `TaskCompletion` events into [`TaskSpan`]s,
 /// sorted by `(start, task)`. Tasks missing either event (overwritten
 /// in a truncated ring) are skipped.
@@ -462,6 +485,33 @@ mod tests {
                     end: 6.0
                 },
             ]
+        );
+    }
+
+    #[test]
+    fn breach_marks_extract_slo_events_only() {
+        let events = [
+            Event::TaskArrival { task: 0, at: 0.0 },
+            Event::SloBreach {
+                at: 4.0,
+                ratio: 2.5,
+                bound: 2.0,
+            },
+            Event::SloBreach {
+                at: 8.0,
+                ratio: 3.0,
+                bound: 2.0,
+            },
+        ];
+        let marks = breach_marks(events.iter());
+        assert_eq!(marks.len(), 2);
+        assert_eq!(
+            marks[0],
+            BreachMark {
+                at: 4.0,
+                ratio: 2.5,
+                bound: 2.0
+            }
         );
     }
 

@@ -43,6 +43,22 @@
 //! drops its result sender on unwind and the router panics instead of
 //! hanging. In-flight state is capped at O(workers × queue × batch) —
 //! the constant-memory property of the streaming core survives.
+//!
+//! # Wall-clock observability
+//!
+//! [`run_sharded_probed`] is the same engine with a
+//! [`PipelineProbe`](flowsched_obs::pipeline::PipelineProbe) threaded
+//! through every stage: router batch assembly ([`Stage::Route`]),
+//! blocking on a full SPSC queue ([`Stage::EnqueueWait`], which also
+//! covers the result-draining done while waiting), worker blocking on
+//! an empty input queue ([`Stage::DequeueWait`]), per-batch kernel
+//! execution ([`Stage::Dispatch`]), and the in-order merge
+//! ([`Stage::Merge`]) — plus reorder-buffer depth, backpressure-stall,
+//! and forced-flush gauges. [`run_sharded`] passes
+//! [`NoopPipeline`](flowsched_obs::pipeline::NoopPipeline), whose
+//! `ENABLED = false` folds every probe (including the clock reads)
+//! away, so the unprobed engine is byte-for-byte the pre-observability
+//! engine and schedules are never perturbed.
 
 use std::collections::VecDeque;
 
@@ -52,6 +68,8 @@ use flowsched_core::schedule::Assignment;
 use flowsched_core::shard::ShardPlan;
 use flowsched_core::stream::ArrivalStream;
 use flowsched_core::task::Task;
+
+use flowsched_obs::pipeline::{NoopPipeline, PipelineProbe, Stage, StageTimer};
 
 use crate::pool::ThreadPool;
 use crate::spsc::{self, TrySendError};
@@ -177,16 +195,44 @@ fn rebase_view<'a>(
 /// releases decrease, if an arrival's set straddles a shard boundary
 /// (the plan does not cover the family), or if a worker thread panics.
 pub fn run_sharded<S, D, F, M>(
-    mut stream: S,
+    stream: S,
     plan: &ShardPlan,
     cfg: &ShardedConfig,
-    mut make_dispatcher: F,
-    mut merge: M,
+    make_dispatcher: F,
+    merge: M,
 ) where
     S: ArrivalStream,
     D: FnMut(Task, ProcSetRef<'_>) -> Assignment + Send + 'static,
     F: FnMut(usize) -> D,
     M: FnMut(u64, Task, Assignment),
+{
+    run_sharded_probed(stream, plan, cfg, make_dispatcher, merge, NoopPipeline);
+}
+
+/// [`run_sharded`] with a wall-clock [`PipelineProbe`] observing every
+/// stage of the transport (see the module docs for the stage map).
+///
+/// The probe never influences routing, batching, or merge order: a
+/// probed run produces the identical assignment sequence, and with
+/// [`NoopPipeline`] the whole function monomorphizes to the unprobed
+/// engine — every `Instant::now()` sits behind `P::ENABLED`.
+///
+/// The probe is cloned once per worker; implementations share state
+/// through the clones (e.g. `PipelineMetrics` is an `Arc` of atomics),
+/// so one handle retained by the caller sees all threads' spans.
+pub fn run_sharded_probed<S, D, F, M, P>(
+    mut stream: S,
+    plan: &ShardPlan,
+    cfg: &ShardedConfig,
+    mut make_dispatcher: F,
+    mut merge: M,
+    probe: P,
+) where
+    S: ArrivalStream,
+    D: FnMut(Task, ProcSetRef<'_>) -> Assignment + Send + 'static,
+    F: FnMut(usize) -> D,
+    M: FnMut(u64, Task, Assignment),
+    P: PipelineProbe,
 {
     assert_eq!(
         stream.machines(),
@@ -213,11 +259,17 @@ pub fn run_sharded<S, D, F, M>(
                 task.release
             );
             last_release = task.release;
+            let t = StageTimer::start(&probe);
             let s = plan.route(&set);
             let base = plan.start_of(s);
             let local = rebase_view(set, base, &mut scratch);
+            t.stop(&probe, Stage::Route, 1);
+            let t = StageTimer::start(&probe);
             let a = dispatchers[s](task, local);
+            t.stop(&probe, Stage::Dispatch, 1);
+            let t = StageTimer::start(&probe);
             merge(seq, task, globalize(a, base));
+            t.stop(&probe, Stage::Merge, 1);
             seq += 1;
         }
         return;
@@ -243,8 +295,14 @@ pub fn run_sharded<S, D, F, M>(
         let (out_tx, out_rx) = spsc::channel::<Vec<ResultMsg>>(cfg.queue_cap);
         in_txs.push(in_tx);
         out_rxs.push(out_rx);
+        let wprobe = probe.clone();
         pool.execute(move || {
-            while let Some(batch) = in_rx.recv() {
+            loop {
+                let t = StageTimer::start(&wprobe);
+                let Some(batch) = in_rx.recv() else { break };
+                t.stop(&wprobe, Stage::DequeueWait, 0);
+                let t = StageTimer::start(&wprobe);
+                let items = batch.len() as u64;
                 let mut out = Vec::with_capacity(batch.len());
                 for msg in batch {
                     let (base, disp) = &mut dispatchers[msg.shard as usize / workers];
@@ -255,6 +313,7 @@ pub fn run_sharded<S, D, F, M>(
                         assignment: globalize(a, *base),
                     });
                 }
+                t.stop(&wprobe, Stage::Dispatch, items);
                 if out_tx.send(out).is_err() {
                     // Router gone (it panicked and dropped the
                     // receiver) — abandon quietly so its unwind can
@@ -281,6 +340,8 @@ pub fn run_sharded<S, D, F, M>(
                        rbuf: &mut [VecDeque<ResultMsg>],
                        next_merge: &mut u64,
                        merge: &mut M| {
+        let t = StageTimer::start(&probe);
+        let before = *next_merge;
         while let Some(&w) = pending.front() {
             match rbuf[w as usize].pop_front() {
                 Some(r) => {
@@ -291,6 +352,10 @@ pub fn run_sharded<S, D, F, M>(
                 }
                 None => break,
             }
+        }
+        let merged = *next_merge - before;
+        if merged > 0 {
+            t.stop(&probe, Stage::Merge, merged);
         }
     };
     // Blocking receive of worker w's next result batch; `None` means
@@ -314,18 +379,28 @@ pub fn run_sharded<S, D, F, M>(
             return;
         }
         let mut batch = std::mem::take(&mut obuf[w]);
+        match in_txs[w].try_send(batch) {
+            Ok(()) => return,
+            Err(TrySendError::Full(b)) => batch = b,
+            Err(TrySendError::Closed(_)) => {
+                panic!("sharded worker {w} terminated before finishing its tasks")
+            }
+        }
+        // Queue full: the span covers the whole retry loop, including
+        // the result-draining we do while waiting for capacity.
+        let t = StageTimer::start(&probe);
         loop {
+            probe.backpressure_stall();
+            recv_from(out_rxs, rbuf, w);
             match in_txs[w].try_send(batch) {
-                Ok(()) => return,
-                Err(TrySendError::Full(b)) => {
-                    batch = b;
-                    recv_from(out_rxs, rbuf, w);
-                }
+                Ok(()) => break,
+                Err(TrySendError::Full(b)) => batch = b,
                 Err(TrySendError::Closed(_)) => {
                     panic!("sharded worker {w} terminated before finishing its tasks")
                 }
             }
         }
+        t.stop(&probe, Stage::EnqueueWait, 0);
     };
 
     // If `pending` ever reaches this, the merge head is stuck behind a
@@ -344,6 +419,7 @@ pub fn run_sharded<S, D, F, M>(
             task.release
         );
         last_release = task.release;
+        let t = StageTimer::start(&probe);
         let s = plan.route(&set);
         let w = s % workers;
         obuf[w].push(TaskMsg {
@@ -352,8 +428,12 @@ pub fn run_sharded<S, D, F, M>(
             task,
             set: rebase_owned(&set, plan.start_of(s)),
         });
+        t.stop(&probe, Stage::Route, 1);
         pending.push_back(w as u32);
         seq += 1;
+        if P::ENABLED {
+            probe.queue_depth(pending.len() as u64);
+        }
         if obuf[w].len() >= cfg.batch {
             flush(&mut obuf, &in_txs, &out_rxs, &mut rbuf, w);
         }
@@ -367,6 +447,7 @@ pub fn run_sharded<S, D, F, M>(
         }
         merge_ready(&mut pending, &mut rbuf, &mut next_merge, &mut merge);
         while pending.len() >= high_water {
+            probe.forced_flush();
             let head = *pending.front().unwrap() as usize;
             flush(&mut obuf, &in_txs, &out_rxs, &mut rbuf, head);
             if rbuf[head].is_empty() {
@@ -598,6 +679,55 @@ mod tests {
             )
         }));
         assert!(result.is_err(), "router must notice the dead worker");
+    }
+
+    #[test]
+    fn probed_run_matches_unprobed_and_records_spans() {
+        use flowsched_obs::pipeline::PipelineMetrics;
+        let (m, block, n) = (16, 4, 4000);
+        let plan = ShardPlan::blocks(m, block, 16);
+        let baseline = run_collect(&plan, &ShardedConfig::with_threads(4), m, block, n);
+        let metrics = PipelineMetrics::new();
+        let mut probed: Vec<Assignment> = Vec::new();
+        run_sharded_probed(
+            blocked_stream(m, block, n),
+            &plan,
+            &ShardedConfig::with_threads(4),
+            |s| mini_eft(plan.len_of(s)),
+            |_seq, _t, a| probed.push(a),
+            metrics.clone(),
+        );
+        assert_eq!(probed, baseline, "the probe must not perturb the schedule");
+        let nu = n as u64;
+        assert_eq!(metrics.stage(Stage::Route).total_items, nu);
+        assert_eq!(metrics.stage(Stage::Dispatch).total_items, nu);
+        assert_eq!(metrics.stage(Stage::Merge).total_items, nu);
+        assert!(metrics.stage(Stage::DequeueWait).spans > 0);
+        assert!(metrics.depth_high_water() >= 1);
+    }
+
+    #[test]
+    fn probed_inline_path_records_per_task_spans() {
+        use flowsched_obs::pipeline::PipelineMetrics;
+        let plan = ShardPlan::single(4);
+        let metrics = PipelineMetrics::new();
+        let mut n = 0u64;
+        run_sharded_probed(
+            blocked_stream(4, 4, 100),
+            &plan,
+            &ShardedConfig::with_threads(1),
+            |s| mini_eft(plan.len_of(s)),
+            |_, _, _| n += 1,
+            metrics.clone(),
+        );
+        assert_eq!(n, 100);
+        for stage in [Stage::Route, Stage::Dispatch, Stage::Merge] {
+            let s = metrics.stage(stage);
+            assert_eq!(s.spans, 100, "inline {} spans", stage.name());
+            assert_eq!(s.total_items, 100);
+        }
+        assert_eq!(metrics.stage(Stage::EnqueueWait).spans, 0);
+        assert_eq!(metrics.stage(Stage::DequeueWait).spans, 0);
     }
 
     #[test]

@@ -208,6 +208,46 @@ pub fn simulate_stream_policy_sharded<S: ArrivalStream, R: Recorder>(
     builder.finish()
 }
 
+/// [`simulate_stream_policy_sharded`] with a wall-clock
+/// [`PipelineProbe`](flowsched_obs::pipeline::PipelineProbe) observing
+/// the transport stages (see `flowsched_parallel::sharded`). The probe
+/// watches only the pipeline — the report is bit-identical to the
+/// unprobed run; pass a
+/// [`PipelineMetrics`](flowsched_obs::pipeline::PipelineMetrics) handle
+/// and read the stage table off it afterwards.
+pub fn simulate_stream_policy_sharded_probed<S, R, P>(
+    stream: S,
+    spec: &PolicySpec,
+    plan: &flowsched_core::shard::ShardPlan,
+    cfg: &ShardedConfig,
+    report: &ReportConfig,
+    rec: &mut R,
+    probe: P,
+) -> SimReport
+where
+    S: ArrivalStream,
+    R: Recorder,
+    P: flowsched_obs::pipeline::PipelineProbe,
+{
+    let mut rcfg = *report;
+    if rcfg.expected_measured.is_none() {
+        rcfg.expected_measured = stream
+            .len_hint()
+            .map(|n| n.saturating_sub(rcfg.warmup_tasks));
+    }
+    let mut builder = ReportBuilder::new(stream.machines(), &rcfg);
+    flowsched_algos::engine::run_policy_sharded_probed(
+        stream,
+        spec,
+        plan,
+        cfg,
+        rec,
+        &mut builder,
+        probe,
+    );
+    builder.finish()
+}
+
 /// [`simulate_stream`] under fault injection: runs availability-aware
 /// EFT ([`flowsched_algos::faulty`]) over the stream with `plan`'s
 /// outages, speed factors, and dispatch latency applied, folding the

@@ -11,6 +11,7 @@
 #   BENCH_PR4.json — telemetry recorder overhead (noop / memory / windowed)
 #   BENCH_PR5.json — scalar vs indexed dispatch kernels across machine counts
 #   BENCH_PR6.json — sequential vs sharded dispatch thread ladder
+#   BENCH_PR9.json — pipeline-probe overhead (noop vs live PipelineMetrics)
 #
 # A row regresses when current > baseline * (1 + FLOWSCHED_BENCH_TOL);
 # the default tolerance is 0.30 — wall-clock medians on shared machines
@@ -39,7 +40,7 @@ for arg in "$@"; do
   esac
 done
 if [ "${#BASELINES[@]}" -eq 0 ]; then
-  for b in BENCH_PR1.json BENCH_PR3.json BENCH_PR4.json BENCH_PR5.json BENCH_PR6.json; do
+  for b in BENCH_PR1.json BENCH_PR3.json BENCH_PR4.json BENCH_PR5.json BENCH_PR6.json BENCH_PR9.json; do
     [ -f "$b" ] && BASELINES+=("$b")
   done
 fi
@@ -56,6 +57,7 @@ benches_for() {
     BENCH_PR4.json) echo "telemetry" ;;
     BENCH_PR5.json) echo "dispatch" ;;
     BENCH_PR6.json) echo "sharded" ;;
+    BENCH_PR9.json) echo "pipeline" ;;
     *) echo "" ;;
   esac
 }

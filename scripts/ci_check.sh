@@ -6,9 +6,9 @@
 #   2. release build of the whole workspace
 #   3. the full test suite (unit + integration + doc tests), which
 #      includes the observability hardening suites
-#      (tests/obs_invariants.rs, tests/report_consistency.rs) and the
-#      streaming-core suites (tests/streaming_equivalence.rs,
-#      tests/streaming_memory.rs)
+#      (tests/obs_invariants.rs, tests/report_consistency.rs,
+#      tests/prometheus_lint.rs) and the streaming-core suites
+#      (tests/streaming_equivalence.rs, tests/streaming_memory.rs)
 #   4. clippy with warnings promoted to errors
 #   5. rustdoc with warnings promoted to errors (broken intra-doc
 #      links, missing docs on public items)
@@ -27,12 +27,17 @@
 #      registry policy (eft / weft / setup variants) over its
 #      adversarial stream and asserts the measured ratios stay inside
 #      the envelopes recorded in EXPERIMENTS.md
-#  10. bench gate (warn-only): scripts/bench_gate.sh re-runs the benches
-#      behind BENCH_PR1/PR3/PR4/PR5/PR6.json and reports medians that
-#      drifted past the noise tolerance — it never fails the build
+#  10. pipeline-profile smoke: the pipeline_profile bin runs a bounded
+#      trace through the sequential and the probe-instrumented sharded
+#      engine, asserting in-process that the two schedules hash
+#      identically (the wall-clock probe must never perturb dispatch)
+#      and printing the per-stage ns/task table
+#  11. bench gate (warn-only): scripts/bench_gate.sh re-runs the benches
+#      behind BENCH_PR1/PR3/PR4/PR5/PR6/PR9.json and reports medians
+#      that drifted past the noise tolerance — it never fails the build
 #
 # Usage:
-#   scripts/ci_check.sh                 # all ten stages
+#   scripts/ci_check.sh                 # all eleven stages
 #   scripts/ci_check.sh --no-clippy     # skip the lint stage (e.g. when
 #                                       # the toolchain lacks clippy)
 #   scripts/ci_check.sh --no-bench-gate # skip the (slow) bench stage
@@ -103,6 +108,10 @@ fi
 echo
 echo "== competitive-ratio ladder (envelope gate) =="
 cargo run -q --release -p flowsched-bench --bin ratio_ladder
+
+echo
+echo "== pipeline-profile smoke (probe transparency + stage table) =="
+cargo run -q --release -p flowsched-bench --bin pipeline_profile -- --tasks 20000 --threads 4
 
 if [ "$RUN_BENCH_GATE" = 1 ]; then
   echo

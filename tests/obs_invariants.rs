@@ -8,9 +8,13 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use flowsched::algos::eft::{eft, eft_stream, EftState};
+use flowsched::algos::engine::{NullSink, ShardedConfig};
+use flowsched::algos::faulty::{run_immediate_faulty, run_immediate_faulty_sharded};
 use flowsched::algos::fifo::{fifo, fifo_stream};
 use flowsched::algos::tiebreak::TieBreak;
-use flowsched::core::stream::InstanceStream;
+use flowsched::core::fault::FaultEventKind;
+use flowsched::core::shard::DEFAULT_MAX_SHARDS;
+use flowsched::core::stream::{ArrivalStream, InstanceStream};
 use flowsched::core::task::TaskId;
 use flowsched::core::ProcSet;
 use flowsched::obs::{
@@ -19,7 +23,10 @@ use flowsched::obs::{
 };
 use flowsched::sim::driver::{simulate, simulate_with, SimConfig};
 use flowsched::sim::stepped::run_stepped_stream;
-use flowsched::workloads::random::{random_instance, RandomInstanceConfig, StructureKind};
+use flowsched::workloads::faults::{random_fault_plan, FaultPlanConfig};
+use flowsched::workloads::random::{
+    random_instance, PoissonStream, PoissonStreamConfig, RandomInstanceConfig, StructureKind,
+};
 
 fn any_structure() -> impl Strategy<Value = StructureKind> {
     prop_oneof![
@@ -400,5 +407,124 @@ proptest! {
         prop_assert_eq!(single.flow_histogram().counts(), seq_rec.flow_histogram().counts());
         let single_trace: Vec<Event> = single.trace().iter().copied().collect();
         prop_assert_eq!(&single_trace, &seq_trace);
+    }
+
+    /// Crash/recover lifecycle events survive the sharded-recorder
+    /// merge at every thread count: each job runs the faulty sharded
+    /// engine into its own recorder shard; merging the shards in job
+    /// order yields the same `MachineCrashes`/`MachineRecoveries`
+    /// counters (exactly the plans' event totals), the same full trace,
+    /// and a crash/recover subsequence identical to the sequential
+    /// faulty engine's — lifecycle replay happens before any dispatch,
+    /// so worker interleaving cannot reorder or drop it.
+    #[test]
+    fn faulty_sharded_lifecycle_is_thread_count_invariant(
+        jobs in 1usize..4,
+        k_idx in 0usize..3,
+        n in 1usize..60,
+        rate in 0.02f64..0.4,
+        tb in any_tiebreak(),
+        seed in any::<u64>(),
+    ) {
+        let m = 6usize;
+        let k = [1usize, 2, 3][k_idx]; // k | m: genuine multi-shard plans
+        let fault_cfg = FaultPlanConfig {
+            horizon: 30.0,
+            crash_rate: rate,
+            mean_downtime: 2.0,
+            degraded_fraction: 0.0,
+            min_speed: 0.25,
+            dispatch_latency: 0.0,
+        };
+        let plans: Vec<_> = (0..jobs)
+            .map(|j| random_fault_plan(m, &fault_cfg, seed ^ ((j as u64) << 7)))
+            .collect();
+        let stream_of = |j: usize| {
+            let cfg = PoissonStreamConfig::unit_tasks(
+                m,
+                n + 5 * j,
+                m as f64 / 2.0,
+                StructureKind::DisjointBlocks(k),
+            );
+            PoissonStream::new(&cfg, seed ^ (j as u64))
+        };
+
+        // One ring big enough for every job's dispatch events plus the
+        // injected lifecycle, so the merged trace stays lossless.
+        let total_events: usize = plans.iter().map(|p| p.events().len()).sum();
+        let total_tasks: usize = (0..jobs).map(|j| n + 5 * j).sum();
+        let cfg = ObsConfig {
+            trace_capacity: 8 * (total_tasks + total_events).max(1),
+            ..ObsConfig::defaults(m)
+        };
+
+        let run_merged = |threads: usize| {
+            let shards: Vec<MemoryRecorder> = (0..jobs)
+                .map(|j| {
+                    let mut rec = ShardedRecorder::shard(&cfg);
+                    let stream = stream_of(j);
+                    let shard_plan = stream.shard_plan(DEFAULT_MAX_SHARDS);
+                    run_immediate_faulty_sharded(
+                        stream,
+                        &plans[j],
+                        tb,
+                        &shard_plan,
+                        &ShardedConfig::with_threads(threads),
+                        &mut rec,
+                        &mut NullSink,
+                    );
+                    rec
+                })
+                .collect();
+            ShardedRecorder::from_shards(shards).merged(&cfg)
+        };
+        let one = run_merged(1); // inline path
+        let four = run_merged(4); // threaded path
+
+        // Lifecycle counters are exactly the plans' event totals.
+        let count_kind = |kind: FaultEventKind| -> u64 {
+            plans
+                .iter()
+                .flat_map(|p| p.events())
+                .filter(|e| e.kind == kind)
+                .count() as u64
+        };
+        let crashes = count_kind(FaultEventKind::Crash);
+        let recoveries = count_kind(FaultEventKind::Recover);
+        for rec in [&one, &four] {
+            prop_assert_eq!(rec.trace().dropped(), 0, "lossless ring must not drop");
+            prop_assert_eq!(rec.counters().get(Counter::MachineCrashes), crashes);
+            prop_assert_eq!(rec.counters().get(Counter::MachineRecoveries), recoveries);
+        }
+
+        // Bitwise thread-count invariance of the merged snapshot.
+        for c in Counter::ALL {
+            prop_assert_eq!(one.counters().get(c), four.counters().get(c), "{}", c.name());
+        }
+        let trace_one: Vec<Event> = one.trace().iter().copied().collect();
+        let trace_four: Vec<Event> = four.trace().iter().copied().collect();
+        prop_assert_eq!(&trace_one, &trace_four);
+
+        // The crash/recover subsequence matches the sequential faulty
+        // engine job for job (the full trace already matches for
+        // Min/Max; Rand shards draw per-shard RNG streams, but the
+        // lifecycle replay is dispatch-independent).
+        let lifecycle = |trace: &[Event]| -> Vec<Event> {
+            trace
+                .iter()
+                .filter(|e| {
+                    matches!(e, Event::MachineCrash { .. } | Event::MachineRecover { .. })
+                })
+                .copied()
+                .collect()
+        };
+        let mut seq_lifecycle = Vec::new();
+        for (j, plan) in plans.iter().enumerate() {
+            let mut rec = MemoryRecorder::new(&cfg);
+            run_immediate_faulty(stream_of(j), plan, tb, &mut rec, &mut NullSink);
+            let trace: Vec<Event> = rec.trace().iter().copied().collect();
+            seq_lifecycle.extend(lifecycle(&trace));
+        }
+        prop_assert_eq!(lifecycle(&trace_one), seq_lifecycle);
     }
 }
