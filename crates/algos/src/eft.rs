@@ -24,6 +24,7 @@ use flowsched_obs::{NoopRecorder, Recorder};
 use crate::engine;
 use crate::indexed::DispatchKernel;
 use crate::registry::PolicySpec;
+use crate::soa::{scan_ties_simd, CompletionBank, ScanImpl};
 use crate::tiebreak::{Breaker, TieBreak};
 
 /// Equation (2) in one pass: computes the tie set
@@ -36,7 +37,13 @@ use crate::tiebreak::{Breaker, TieBreak};
 /// `C_j ≤ rᵢ` qualifies. Members must arrive in increasing machine
 /// order; `ties` comes back in that same order, as `Breaker::pick`
 /// requires.
-pub(crate) fn scan_ties(
+///
+/// This is the scalar oracle behind [`ScanImpl::Scalar`]; the default
+/// [`ScanImpl::Simd`] path runs the two-pass vectorized
+/// [`scan_ties_simd`](crate::soa::scan_ties_simd) over the padded SoA
+/// bank, which produces the bitwise-identical tie set (proof sketch in
+/// the [`soa`](crate::soa) module docs, pinned by `tests/simd_scan.rs`).
+pub fn scan_ties(
     completions: &[Time],
     members: impl Iterator<Item = usize>,
     release: Time,
@@ -70,8 +77,10 @@ pub(crate) fn scan_ties(
 /// immediate-dispatch load balancer would keep.
 #[derive(Debug)]
 pub struct EftState {
-    completions: Vec<Time>,
+    completions: CompletionBank,
     breaker: Breaker,
+    /// Which tie-scan implementation runs (bitwise-equivalent choices).
+    scan: ScanImpl,
     /// Scratch buffer for the tie set, reused across dispatches.
     ties: Vec<usize>,
     /// Tasks dispatched so far (the trace sequence number; equals the
@@ -80,12 +89,19 @@ pub struct EftState {
 }
 
 impl EftState {
-    /// Fresh state for `m` idle machines.
+    /// Fresh state for `m` idle machines, on the default (SIMD) scan.
     pub fn new(m: usize, policy: TieBreak) -> Self {
+        EftState::with_scan(m, policy, ScanImpl::default())
+    }
+
+    /// Fresh state with the tie-scan implementation forced — `Scalar`
+    /// keeps the one-pass member scan reachable as the oracle.
+    pub fn with_scan(m: usize, policy: TieBreak, scan: ScanImpl) -> Self {
         assert!(m > 0, "need at least one machine");
         EftState {
-            completions: vec![0.0; m],
+            completions: CompletionBank::new(m),
             breaker: policy.breaker(),
+            scan,
             ties: Vec::new(),
             seq: 0,
         }
@@ -98,7 +114,32 @@ impl EftState {
 
     /// Current completion time `C_{j,i−1}` of each machine.
     pub fn completions(&self) -> &[Time] {
-        &self.completions
+        self.completions.values()
+    }
+
+    /// Decomposes the state into the parts a mid-stream kernel switch
+    /// must carry over: the completion bank, the breaker (with its RNG
+    /// state — rebuilt breakers would replay draws and break bitwise
+    /// transparency), and the trace sequence number.
+    pub(crate) fn into_parts(self) -> (CompletionBank, Breaker, u64) {
+        (self.completions, self.breaker, self.seq)
+    }
+
+    /// Rebuilds a state from carried-over parts (inverse of
+    /// [`into_parts`](Self::into_parts)).
+    pub(crate) fn from_parts(
+        completions: CompletionBank,
+        breaker: Breaker,
+        scan: ScanImpl,
+        seq: u64,
+    ) -> Self {
+        EftState {
+            completions,
+            breaker,
+            scan,
+            ties: Vec::new(),
+            seq,
+        }
     }
 
     /// Dispatches one task (Equation (2)): computes
@@ -160,9 +201,26 @@ impl EftState {
         rec: &mut R,
     ) -> Assignment {
         assert!(!set.is_empty(), "task has an empty processing set");
-        scan_ties(&self.completions, set.iter(), task.release, &mut self.ties);
+        // The padded bank holds +∞ past the live machines, which would
+        // silently swallow out-of-range members under min — reject them
+        // up front instead (matching the indexed kernel's guard).
+        assert!(
+            set.max().is_some_and(|j| j < self.completions.len()),
+            "processing set references a machine out of range"
+        );
+        match self.scan {
+            ScanImpl::Simd => {
+                scan_ties_simd(self.completions.padded(), set, task.release, &mut self.ties)
+            }
+            ScanImpl::Scalar => scan_ties(
+                self.completions.values(),
+                set.iter(),
+                task.release,
+                &mut self.ties,
+            ),
+        }
         let u = self.breaker.pick(&self.ties);
-        let prev = self.completions[u];
+        let prev = self.completions.get(u);
         let start = task.release.max(prev);
         if R::ENABLED {
             rec.task_arrival(self.seq, task.release);
@@ -180,7 +238,7 @@ impl EftState {
             rec.task_dispatch(self.seq, u as u32, task.release, start, task.ptime);
         }
         self.seq += 1;
-        self.completions[u] = start + task.ptime;
+        self.completions.set(u, start + task.ptime);
         Assignment::new(MachineId(u), start)
     }
 
@@ -197,7 +255,17 @@ impl EftState {
     /// keep one buffer instead of allocating a fresh `Vec` per sample.
     pub fn backlog_into(&self, t: Time, out: &mut Vec<Time>) {
         out.clear();
-        out.extend(self.completions.iter().map(|&c| (c - t).max(0.0)));
+        out.extend(self.completions.values().iter().map(|&c| (c - t).max(0.0)));
+    }
+
+    /// Signed slack `t − C_j` per machine into a caller-provided buffer
+    /// (cleared first): positive means the machine has been idle since
+    /// `C_j`, negative means `−slack` units of backlog remain. The
+    /// allocation-free companion of [`backlog_into`](Self::backlog_into)
+    /// for trace loops that need the idle side too.
+    pub fn slack_into(&self, t: Time, out: &mut Vec<Time>) {
+        out.clear();
+        out.extend(self.completions.values().iter().map(|&c| t - c));
     }
 }
 
@@ -381,6 +449,45 @@ mod tests {
             st.backlog_into(t, &mut buf);
             assert_eq!(buf, st.backlog_at(t), "t = {t}");
         }
+    }
+
+    #[test]
+    fn slack_into_reports_signed_idle_and_backlog() {
+        let mut st = EftState::new(2, TieBreak::Min);
+        st.dispatch(Task::new(0.0, 3.0), &ProcSet::full(2));
+        st.dispatch(Task::new(0.0, 1.0), &ProcSet::full(2));
+        let mut buf = vec![42.0; 5]; // stale contents must be cleared
+        st.slack_into(2.0, &mut buf);
+        assert_eq!(buf, vec![-1.0, 1.0]);
+        st.slack_into(0.0, &mut buf);
+        assert_eq!(buf, vec![-3.0, -1.0]);
+    }
+
+    #[test]
+    fn scalar_scan_matches_default_simd_scan() {
+        let mut b = InstanceBuilder::new(6);
+        for i in 0..60 {
+            b.push_unit(i as f64 * 0.3, ProcSet::interval(i % 4, (i % 4) + 2));
+        }
+        let inst = b.build().unwrap();
+        for tb in [TieBreak::Min, TieBreak::Max, TieBreak::Rand { seed: 5 }] {
+            let mut simd = EftState::with_scan(6, tb, ScanImpl::Simd);
+            let mut scalar = EftState::with_scan(6, tb, ScanImpl::Scalar);
+            for (_, task, set) in inst.iter() {
+                assert_eq!(
+                    simd.dispatch(task, set),
+                    scalar.dispatch(task, set),
+                    "tb {tb:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn dispatch_rejects_out_of_range_sets() {
+        let mut st = EftState::new(2, TieBreak::Min);
+        st.dispatch_ref(Task::new(0.0, 1.0), ProcSetRef::interval(1, 2));
     }
 
     #[test]

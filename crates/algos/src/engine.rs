@@ -66,6 +66,8 @@
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use flowsched_core::compact::ProcSetRef;
 use flowsched_core::machine::MachineId;
@@ -80,8 +82,8 @@ use flowsched_parallel::sharded::run_sharded_probed;
 pub use flowsched_parallel::sharded::ShardedConfig;
 
 use crate::eft::ImmediateDispatcher;
-use crate::indexed::DispatchKernel;
-use crate::registry::PolicySpec;
+use crate::indexed::{DispatchKernel, KernelStats};
+use crate::registry::{PolicySpec, PolicyState};
 use crate::tiebreak::TieBreak;
 
 /// Consumer of committed assignments, called in task (sequence) order.
@@ -286,6 +288,58 @@ pub fn run_policy_sharded<S, R, K>(
     run_policy_sharded_probed(stream, spec, plan, cfg, rec, sink, NoopPipeline);
 }
 
+/// Shared accumulator for per-shard [`KernelStats`]: each worker's
+/// dispatcher flushes into it on drop, and the calling thread reads the
+/// totals after the transport returns. `reporters` distinguishes "no
+/// shard had kernel counters" from "every counter happened to be zero",
+/// so the recorder sees counter adds exactly when the sequential engine
+/// would.
+#[derive(Debug, Default)]
+struct ShardStatsAcc {
+    reporters: AtomicU64,
+    indexed_descents: AtomicU64,
+    scalar_fallback_scans: AtomicU64,
+    heap_self_heals: AtomicU64,
+}
+
+impl ShardStatsAcc {
+    fn record(&self, ks: KernelStats) {
+        self.reporters.fetch_add(1, Ordering::Relaxed);
+        self.indexed_descents
+            .fetch_add(ks.indexed_descents, Ordering::Relaxed);
+        self.scalar_fallback_scans
+            .fetch_add(ks.scalar_fallback_scans, Ordering::Relaxed);
+        self.heap_self_heals
+            .fetch_add(ks.heap_self_heals, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> Option<KernelStats> {
+        (self.reporters.load(Ordering::Relaxed) > 0).then(|| KernelStats {
+            indexed_descents: self.indexed_descents.load(Ordering::Relaxed),
+            scalar_fallback_scans: self.scalar_fallback_scans.load(Ordering::Relaxed),
+            heap_self_heals: self.heap_self_heals.load(Ordering::Relaxed),
+        })
+    }
+}
+
+/// Drop-guard pairing a shard's dispatcher with the shared accumulator:
+/// the worker closure owns it, and `run_sharded_probed` guarantees every
+/// dispatcher closure is dropped (workers joined) before it returns —
+/// on both the inline and the threaded path — so the flush always lands
+/// before the caller reads the snapshot.
+struct ShardStatsFlush {
+    state: PolicyState,
+    acc: Arc<ShardStatsAcc>,
+}
+
+impl Drop for ShardStatsFlush {
+    fn drop(&mut self) {
+        if let Some(ks) = self.state.kernel_stats() {
+            self.acc.record(ks);
+        }
+    }
+}
+
 /// [`run_policy_sharded`] with a wall-clock
 /// [`PipelineProbe`](flowsched_obs::pipeline::PipelineProbe) observing
 /// the transport (see
@@ -293,6 +347,10 @@ pub fn run_policy_sharded<S, R, K>(
 /// for the stage map). The probe watches the pipeline only — routing,
 /// dispatch, and merge order are untouched, so schedules, recorder
 /// traces, and sink folds are identical to the unprobed run.
+///
+/// Like [`run_immediate`], kernel decision counters flush into `rec`
+/// after the run — summed across shards, since each worker's dispatcher
+/// keeps its own [`KernelStats`].
 #[allow(clippy::too_many_arguments)]
 pub fn run_policy_sharded_probed<S, R, K, P>(
     stream: S,
@@ -309,17 +367,28 @@ pub fn run_policy_sharded_probed<S, R, K, P>(
     P: PipelineProbe,
 {
     let mut tracker = CommitTracker::new(R::ENABLED, stream.machines());
+    let stats = Arc::new(ShardStatsAcc::default());
     run_sharded_probed(
         stream,
         plan,
         cfg,
         |s| {
-            let mut state = spec.for_shard(s).build(plan.len_of(s));
-            move |task: Task, set: ProcSetRef<'_>| state.dispatch_task(task, set)
+            let mut guard = ShardStatsFlush {
+                state: spec.for_shard(s).build(plan.len_of(s)),
+                acc: Arc::clone(&stats),
+            };
+            move |task: Task, set: ProcSetRef<'_>| guard.state.dispatch_task(task, set)
         },
         |seq, task, a| tracker.commit(seq, task, a, rec, sink),
         probe,
     );
+    if R::ENABLED {
+        if let Some(ks) = stats.snapshot() {
+            rec.add(Counter::IndexedDescents, ks.indexed_descents);
+            rec.add(Counter::ScalarFallbackScans, ks.scalar_fallback_scans);
+            rec.add(Counter::HeapSelfHeals, ks.heap_self_heals);
+        }
+    }
 }
 
 /// [`run_policy_sharded`] collecting the full [`Schedule`].
@@ -643,6 +712,33 @@ mod tests {
         assert_eq!(rec.counters().get(Counter::IndexedDescents), 10);
         assert_eq!(rec.counters().get(Counter::ScalarFallbackScans), 0);
         assert_eq!(rec.counters().get(Counter::HeapSelfHeals), 0);
+    }
+
+    #[test]
+    fn sharded_runs_flush_kernel_counters_from_workers() {
+        use flowsched_obs::{Counter, MemoryRecorder};
+        let m = 8;
+        let mut b = InstanceBuilder::new(m);
+        for i in 0..40 {
+            let lo = if i % 2 == 0 { 0 } else { 4 };
+            b.push_unit(i as f64 * 0.5, ProcSet::interval(lo, lo + 3));
+        }
+        let inst = b.build().unwrap();
+        let spec = PolicySpec::eft(TieBreak::Min, DispatchKernel::Indexed);
+        let plan = ShardPlan::blocks(m, 4, 16);
+        assert_eq!(plan.shards(), 2);
+        let mut rec = MemoryRecorder::with_defaults(m);
+        run_policy_sharded(
+            InstanceStream::new(&inst),
+            &spec,
+            &plan,
+            &ShardedConfig::with_threads(2),
+            &mut rec,
+            &mut NullSink,
+        );
+        // Both workers' indexed kernels flush on drop; the counters sum
+        // across shards exactly as the sequential engine reports them.
+        assert_eq!(rec.counters().get(Counter::IndexedDescents), 40);
     }
 
     #[test]

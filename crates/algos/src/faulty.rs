@@ -50,6 +50,7 @@ use flowsched_parallel::sharded::run_sharded;
 use crate::eft::ImmediateDispatcher;
 use crate::engine::{run_immediate, CommitTracker, DispatchSink, ShardedConfig};
 use crate::registry::{PolicyId, PolicySpec};
+use crate::soa::CompletionBank;
 use crate::tiebreak::{Breaker, TieBreak};
 
 /// Replays the plan's crash/recover transitions into the recorder, so
@@ -74,7 +75,7 @@ fn record_lifecycle<R: Recorder>(plan: &FaultPlan, rec: &mut R) {
 #[derive(Debug)]
 pub struct FaultyEftState {
     plan: FaultPlan,
-    completions: Vec<Time>,
+    completions: CompletionBank,
     breaker: Breaker,
     /// Scratch buffer for the tie set, reused across dispatches.
     ties: Vec<usize>,
@@ -90,7 +91,7 @@ impl FaultyEftState {
         assert!(m > 0, "need at least one machine");
         FaultyEftState {
             plan,
-            completions: vec![0.0; m],
+            completions: CompletionBank::new(m),
             breaker: policy.breaker(),
             ties: Vec::new(),
         }
@@ -104,7 +105,7 @@ impl FaultyEftState {
     /// Current completion time of each machine under the commitments
     /// made so far.
     pub fn completions(&self) -> &[Time] {
-        &self.completions
+        self.completions.values()
     }
 
     /// Dispatches one task: for each member `j` the candidate start is
@@ -118,11 +119,12 @@ impl FaultyEftState {
         assert!(!set.is_empty(), "processing sets are non-empty");
         self.ties.clear();
         let mut best = Time::INFINITY;
+        let completions = self.completions.values();
         for j in set.iter() {
-            let ready = if task.release > self.completions[j] {
+            let ready = if task.release > completions[j] {
                 task.release
             } else {
-                self.completions[j]
+                completions[j]
             };
             let s = self.plan.earliest_fit(j, ready, task.ptime);
             if s < best {
@@ -134,7 +136,7 @@ impl FaultyEftState {
             }
         }
         let u = self.breaker.pick(&self.ties);
-        self.completions[u] = best + task.ptime;
+        self.completions.set(u, best + task.ptime);
         Assignment::new(MachineId(u), best)
     }
 }

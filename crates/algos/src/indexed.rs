@@ -35,9 +35,6 @@
 //! minimum because every other entry understates or equals its own,
 //! later, completion).
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
 use flowsched_core::compact::ProcSetRef;
 use flowsched_core::machine::MachineId;
 use flowsched_core::schedule::Assignment;
@@ -45,7 +42,9 @@ use flowsched_core::structure::StructureReport;
 use flowsched_core::task::Task;
 use flowsched_core::time::Time;
 
+use crate::adaptive::AdaptiveEftState;
 use crate::eft::{scan_ties, EftState, ImmediateDispatcher};
+use crate::soa::{scan_ties_simd, CompletionBank, ScanImpl, SoaMinHeap};
 use crate::tiebreak::{Breaker, TieBreak};
 
 /// Decision counters of the indexed kernel — which path served each
@@ -68,16 +67,37 @@ pub struct KernelStats {
     pub heap_self_heals: u64,
 }
 
+impl KernelStats {
+    /// Accumulates another counter snapshot into this one — how the
+    /// engine merges per-shard stats and how the adaptive kernel carries
+    /// counters across mid-stream kernel switches.
+    pub fn merge(&mut self, other: KernelStats) {
+        self.indexed_descents += other.indexed_descents;
+        self.scalar_fallback_scans += other.scalar_fallback_scans;
+        self.heap_self_heals += other.heap_self_heals;
+    }
+}
+
 /// Machine count at which [`DispatchKernel::Auto`] switches to the
 /// indexed kernel. Below it the scalar scan's cache-friendly sweep wins;
 /// above it the O(log m) tree pays off even for moderate set widths.
 pub const AUTO_INDEXED_MIN_MACHINES: usize = 64;
 
-/// Which EFT dispatch kernel to run. Both produce bitwise-identical
-/// schedules; the choice is purely a performance decision.
+/// Which EFT dispatch kernel to run. All choices produce
+/// bitwise-identical schedules; the choice is purely a performance
+/// decision.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum DispatchKernel {
-    /// Pick by machine count ([`AUTO_INDEXED_MIN_MACHINES`]).
+    /// Adapt live: start from the machine-count rule
+    /// ([`AUTO_INDEXED_MIN_MACHINES`]), classify the arriving sets
+    /// incrementally, and re-resolve through
+    /// [`for_structure`](DispatchKernel::for_structure) after a warmup
+    /// window and on classification changes
+    /// ([`AdaptiveEftState`](crate::adaptive::AdaptiveEftState)).
+    /// When the stream offers a
+    /// [`structure_hint`](flowsched_core::stream::ArrivalStream::structure_hint),
+    /// [`resolve_for_stream`](DispatchKernel::resolve_for_stream)
+    /// settles the choice up front instead.
     #[default]
     Auto,
     /// Force the member-scan oracle ([`EftState`]).
@@ -137,9 +157,10 @@ impl DispatchKernel {
     /// consults the stream's
     /// [`structure_hint`](flowsched_core::stream::ArrivalStream::structure_hint)
     /// through [`for_structure`](DispatchKernel::for_structure) when one
-    /// is available, and falls back to the machine-count rule
-    /// ([`resolve`](DispatchKernel::resolve)) when the source promises
-    /// nothing. Explicit choices pass through untouched.
+    /// is available (the hint covers the whole stream, so the choice is
+    /// settled up front), and stays `Auto` — the live-reclassifying
+    /// adaptive kernel — when the source promises nothing. Explicit
+    /// choices pass through untouched.
     pub fn resolve_for_stream<S>(self, stream: &S) -> DispatchKernel
     where
         S: flowsched_core::stream::ArrivalStream + ?Sized,
@@ -147,7 +168,7 @@ impl DispatchKernel {
         match self {
             DispatchKernel::Auto => match stream.structure_hint() {
                 Some(report) => DispatchKernel::for_structure(&report, stream.machines()),
-                None => self.resolve(stream.machines()),
+                None => DispatchKernel::Auto,
             },
             other => other,
         }
@@ -166,12 +187,26 @@ pub fn indexed_min_width(m: usize) -> usize {
     2 * (usize::BITS - m.leading_zeros()) as usize
 }
 
+/// Upper bound on segment-tree depth (and canonical-decomposition node
+/// count per side): `leaves ≤ 2^63` on a 64-bit target, so fixed
+/// stack-allocated node buffers of this size never overflow.
+const MAX_TREE_DEPTH: usize = 64;
+
 /// A segment tree over machine completion times supporting point
 /// update, range minimum, and bound-pruned leftmost/rightmost/collect
 /// descent — the index behind [`IndexedEftState`].
 ///
 /// Leaves are padded to a power of two with `+∞` so every internal node
-/// has two children; leaf `j` lives at `leaves + j`.
+/// has two children; leaf `j` lives at `leaves + j` in the flattened
+/// 1-based array (parent `i`, children `2i`/`2i+1` — the
+/// prefetch-friendly Eytzinger layout, no pointers).
+///
+/// The descents are *branchless*: a query range `[lo, hi]` is first
+/// decomposed bottom-up into its O(log m) canonical nodes (pure index
+/// arithmetic, no value-dependent branches), and the in-subtree walk to
+/// a qualifying leaf is an arithmetic child-select —
+/// `node = 2·node + (vals[2·node] > bound)` — with no data-dependent
+/// branch for the hardware to mispredict on random completion data.
 #[derive(Debug, Clone)]
 struct MinTree {
     leaves: usize,
@@ -190,6 +225,75 @@ impl MinTree {
             vals[i] = vals[2 * i].min(vals[2 * i + 1]);
         }
         MinTree { leaves, vals }
+    }
+
+    /// Tree seeded from an existing completion slice (what a mid-stream
+    /// kernel switch rebuilds the index from).
+    fn from_values(completions: &[Time]) -> Self {
+        let mut t = MinTree::new(completions.len());
+        for (j, &v) in completions.iter().enumerate() {
+            t.vals[t.leaves + j] = v;
+        }
+        for i in (1..t.leaves).rev() {
+            t.vals[i] = t.vals[2 * i].min(t.vals[2 * i + 1]);
+        }
+        t
+    }
+
+    /// Canonical-node decomposition of `[lo, hi]` (inclusive): the
+    /// disjoint maximal subtrees covering the range, written into
+    /// `nodes` in ascending leaf-position order. Pure index arithmetic —
+    /// the value-dependent work happens only after, on the O(log m)
+    /// canonical roots.
+    fn decompose(&self, lo: usize, hi: usize, nodes: &mut [usize; MAX_TREE_DEPTH]) -> usize {
+        let (mut l, mut r) = (self.leaves + lo, self.leaves + hi + 1);
+        let mut left = [0usize; MAX_TREE_DEPTH];
+        let mut right = [0usize; MAX_TREE_DEPTH];
+        let (mut ln, mut rn) = (0, 0);
+        // Standard bottom-up sweep: left-edge nodes come out in
+        // ascending position order, right-edge nodes in descending.
+        while l < r {
+            if l & 1 == 1 {
+                left[ln] = l;
+                ln += 1;
+                l += 1;
+            }
+            if r & 1 == 1 {
+                r -= 1;
+                right[rn] = r;
+                rn += 1;
+            }
+            l /= 2;
+            r /= 2;
+        }
+        nodes[..ln].copy_from_slice(&left[..ln]);
+        for i in 0..rn {
+            nodes[ln + i] = right[rn - 1 - i];
+        }
+        ln + rn
+    }
+
+    /// Leftmost qualifying leaf inside the subtree rooted at `node`
+    /// (whose min is known `≤ bound`): arithmetic child-select, no
+    /// data-dependent branches.
+    #[inline]
+    fn descend_leftmost(&self, mut node: usize, bound: Time) -> usize {
+        while node < self.leaves {
+            let l = 2 * node;
+            node = l + (self.vals[l] > bound) as usize;
+        }
+        node - self.leaves
+    }
+
+    /// Rightmost counterpart of
+    /// [`descend_leftmost`](Self::descend_leftmost).
+    #[inline]
+    fn descend_rightmost(&self, mut node: usize, bound: Time) -> usize {
+        while node < self.leaves {
+            let r = 2 * node + 1;
+            node = r - (self.vals[r] > bound) as usize;
+        }
+        node - self.leaves
     }
 
     /// Sets machine `j`'s completion to `v` and refreshes its ancestors.
@@ -221,131 +325,82 @@ impl MinTree {
         best
     }
 
-    /// Smallest `j ∈ [lo, hi]` with `C_j ≤ bound`, by descent that
-    /// prunes every subtree whose minimum exceeds the bound.
+    /// Smallest `j ∈ [lo, hi]` with `C_j ≤ bound`: scan the canonical
+    /// nodes in ascending order for the first whose min qualifies, then
+    /// descend branchlessly inside it.
     fn leftmost_le(&self, lo: usize, hi: usize, bound: Time) -> Option<usize> {
-        self.descend_left(1, 0, self.leaves - 1, lo, hi, bound)
-    }
-
-    fn descend_left(
-        &self,
-        node: usize,
-        nlo: usize,
-        nhi: usize,
-        lo: usize,
-        hi: usize,
-        bound: Time,
-    ) -> Option<usize> {
-        if nhi < lo || nlo > hi || self.vals[node] > bound {
-            return None;
-        }
-        if node >= self.leaves {
-            return Some(node - self.leaves);
-        }
-        let mid = (nlo + nhi) / 2;
-        self.descend_left(2 * node, nlo, mid, lo, hi, bound)
-            .or_else(|| self.descend_left(2 * node + 1, mid + 1, nhi, lo, hi, bound))
+        let mut nodes = [0usize; MAX_TREE_DEPTH];
+        let n = self.decompose(lo, hi, &mut nodes);
+        nodes[..n]
+            .iter()
+            .find(|&&node| self.vals[node] <= bound)
+            .map(|&node| self.descend_leftmost(node, bound))
     }
 
     /// Largest `j ∈ [lo, hi]` with `C_j ≤ bound`.
     fn rightmost_le(&self, lo: usize, hi: usize, bound: Time) -> Option<usize> {
-        self.descend_right(1, 0, self.leaves - 1, lo, hi, bound)
-    }
-
-    fn descend_right(
-        &self,
-        node: usize,
-        nlo: usize,
-        nhi: usize,
-        lo: usize,
-        hi: usize,
-        bound: Time,
-    ) -> Option<usize> {
-        if nhi < lo || nlo > hi || self.vals[node] > bound {
-            return None;
-        }
-        if node >= self.leaves {
-            return Some(node - self.leaves);
-        }
-        let mid = (nlo + nhi) / 2;
-        self.descend_right(2 * node + 1, mid + 1, nhi, lo, hi, bound)
-            .or_else(|| self.descend_right(2 * node, nlo, mid, lo, hi, bound))
+        let mut nodes = [0usize; MAX_TREE_DEPTH];
+        let n = self.decompose(lo, hi, &mut nodes);
+        nodes[..n]
+            .iter()
+            .rev()
+            .find(|&&node| self.vals[node] <= bound)
+            .map(|&node| self.descend_rightmost(node, bound))
     }
 
     /// Appends every `j ∈ [lo, hi]` with `C_j ≤ bound` to `out`, in
-    /// increasing order — O(|result| log m) by the same pruning.
+    /// increasing order — O(|result| log m): an iterative bound-pruned
+    /// DFS (right child pushed first so leaves pop in ascending order)
+    /// over each canonical node, on an explicit stack whose depth is
+    /// bounded by the tree height.
     fn collect_le(&self, lo: usize, hi: usize, bound: Time, out: &mut Vec<usize>) {
-        self.collect_rec(1, 0, self.leaves - 1, lo, hi, bound, out);
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn collect_rec(
-        &self,
-        node: usize,
-        nlo: usize,
-        nhi: usize,
-        lo: usize,
-        hi: usize,
-        bound: Time,
-        out: &mut Vec<usize>,
-    ) {
-        if nhi < lo || nlo > hi || self.vals[node] > bound {
-            return;
+        let mut nodes = [0usize; MAX_TREE_DEPTH];
+        let n = self.decompose(lo, hi, &mut nodes);
+        let mut stack = [0usize; MAX_TREE_DEPTH + 1];
+        for &root in &nodes[..n] {
+            stack[0] = root;
+            let mut sp = 1;
+            while sp > 0 {
+                sp -= 1;
+                let node = stack[sp];
+                if self.vals[node] > bound {
+                    continue;
+                }
+                if node >= self.leaves {
+                    out.push(node - self.leaves);
+                    continue;
+                }
+                stack[sp] = 2 * node + 1;
+                stack[sp + 1] = 2 * node;
+                sp += 2;
+            }
         }
-        if node >= self.leaves {
-            out.push(node - self.leaves);
-            return;
-        }
-        let mid = (nlo + nhi) / 2;
-        self.collect_rec(2 * node, nlo, mid, lo, hi, bound, out);
-        self.collect_rec(2 * node + 1, mid + 1, nhi, lo, hi, bound, out);
-    }
-}
-
-/// A cluster-heap entry: `(completion, machine)`, min-ordered. The
-/// stored completion may *understate* the machine's current completion
-/// (never overstate) — see the module docs' staleness discipline.
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct Entry {
-    completion: Time,
-    machine: usize,
-}
-
-impl Eq for Entry {}
-
-impl Ord for Entry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.completion
-            .partial_cmp(&other.completion)
-            .expect("completion times are never NaN")
-            .then_with(|| self.machine.cmp(&other.machine))
-    }
-}
-
-impl PartialOrd for Entry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
     }
 }
 
 /// One detected explicit-set cluster: the member slice it was registered
-/// for and a min-heap with exactly one entry per member machine.
+/// for and a SoA min-heap ([`SoaMinHeap`]) with exactly one
+/// `(completion, machine)` entry per member machine. A stored completion
+/// may *understate* the machine's current completion (never overstate) —
+/// see the module docs' staleness discipline.
 #[derive(Debug)]
 struct Cluster {
     members: Vec<usize>,
-    heap: BinaryHeap<Reverse<Entry>>,
+    heap: SoaMinHeap,
 }
 
 const UNOWNED: u32 = u32::MAX;
 
 /// The indexed EFT kernel. Maintains the same per-machine completion
-/// vector as [`EftState`] plus a [`MinTree`] over it and lazily-built
-/// per-cluster heaps for recurring explicit sets.
+/// bank ([`CompletionBank`]) as [`EftState`] plus a [`MinTree`] over it
+/// and lazily-built per-cluster heaps for recurring explicit sets.
 #[derive(Debug)]
 pub struct IndexedEftState {
-    completions: Vec<Time>,
+    completions: CompletionBank,
     tree: MinTree,
     breaker: Breaker,
+    /// Which tie-scan implementation the overlap fallback runs.
+    scan: ScanImpl,
     /// Scratch buffer for the tie set, reused across dispatches.
     ties: Vec<usize>,
     /// Machine → cluster id claiming it, or [`UNOWNED`].
@@ -363,18 +418,46 @@ enum Pick {
 }
 
 impl IndexedEftState {
-    /// Fresh state for `m` idle machines.
+    /// Fresh state for `m` idle machines, on the default (SIMD) fallback
+    /// scan.
     pub fn new(m: usize, policy: TieBreak) -> Self {
+        IndexedEftState::with_scan(m, policy, ScanImpl::default())
+    }
+
+    /// Fresh state with the overlap-fallback scan implementation forced.
+    pub fn with_scan(m: usize, policy: TieBreak, scan: ScanImpl) -> Self {
         assert!(m > 0, "need at least one machine");
+        IndexedEftState::from_parts(CompletionBank::new(m), policy.breaker(), scan)
+    }
+
+    /// Rebuilds a kernel around carried-over machine state — what a
+    /// mid-stream switch to the indexed kernel does. The tree is rebuilt
+    /// from the bank; clusters re-register lazily (they are a cache, not
+    /// state — rebuilding them empty changes no dispatch decision).
+    pub(crate) fn from_parts(
+        completions: CompletionBank,
+        breaker: Breaker,
+        scan: ScanImpl,
+    ) -> Self {
+        let m = completions.len();
         IndexedEftState {
-            completions: vec![0.0; m],
-            tree: MinTree::new(m),
-            breaker: policy.breaker(),
+            tree: MinTree::from_values(completions.values()),
+            completions,
+            breaker,
+            scan,
             ties: Vec::new(),
             owner: vec![UNOWNED; m],
             clusters: Vec::new(),
             stats: KernelStats::default(),
         }
+    }
+
+    /// Decomposes the state into the parts a mid-stream kernel switch
+    /// must carry over: the completion bank and the breaker (with its
+    /// RNG state). The index structures stay behind — they are derived
+    /// state.
+    pub(crate) fn into_parts(self) -> (CompletionBank, Breaker, KernelStats) {
+        (self.completions, self.breaker, self.stats)
     }
 
     /// Decision counters accumulated so far (see [`KernelStats`]).
@@ -389,7 +472,7 @@ impl IndexedEftState {
 
     /// Current completion time `C_{j,i−1}` of each machine.
     pub fn completions(&self) -> &[Time] {
-        &self.completions
+        self.completions.values()
     }
 
     /// Dispatches one task (Equation (2)) over a compact set view —
@@ -415,9 +498,9 @@ impl IndexedEftState {
             }
             ProcSetRef::Explicit(slice) => self.pick_in_cluster(task.release, slice),
         };
-        let start = task.release.max(self.completions[u]);
+        let start = task.release.max(self.completions.get(u));
         let done = start + task.ptime;
-        self.completions[u] = done;
+        self.completions.set(u, done);
         self.tree.update(u, done);
         Assignment::new(MachineId(u), start)
     }
@@ -484,15 +567,26 @@ impl IndexedEftState {
         let cid = match self.cluster_for(slice) {
             Some(cid) => cid,
             None => {
-                // Overlaps another cluster's machines — the scalar scan
-                // is the always-correct fallback.
+                // Overlaps another cluster's machines — the flat tie
+                // scan is the always-correct fallback (both scan
+                // implementations are bitwise-equivalent; the counter
+                // name predates the SIMD path and counts fallbacks of
+                // either flavor).
                 self.stats.scalar_fallback_scans += 1;
-                scan_ties(
-                    &self.completions,
-                    slice.iter().copied(),
-                    release,
-                    &mut self.ties,
-                );
+                match self.scan {
+                    ScanImpl::Simd => scan_ties_simd(
+                        self.completions.padded(),
+                        ProcSetRef::Explicit(slice),
+                        release,
+                        &mut self.ties,
+                    ),
+                    ScanImpl::Scalar => scan_ties(
+                        self.completions.values(),
+                        slice.iter().copied(),
+                        release,
+                        &mut self.ties,
+                    ),
+                }
                 return self.breaker.pick(&self.ties);
             }
         };
@@ -500,40 +594,34 @@ impl IndexedEftState {
         let cluster = &mut self.clusters[cid];
         // Phase 1 — surface the true minimum completion: an accurate top
         // entry is the minimum (all others understate-or-match their own
-        // completions, which are ≥ the top's); a stale top is re-keyed.
+        // completions, which are ≥ the top's); a stale top is re-keyed
+        // in place (one sift-down — behaviorally identical to pop+push
+        // under the heap's strict (key, machine) total order).
         let min_c = loop {
-            let &Reverse(top) = cluster.heap.peek().expect("cluster heaps are never empty");
-            let actual = self.completions[top.machine];
-            if top.completion == actual {
+            let (key, machine) = cluster.heap.peek().expect("cluster heaps are never empty");
+            let actual = self.completions.get(machine);
+            if key == actual {
                 break actual;
             }
             self.stats.heap_self_heals += 1;
-            cluster.heap.pop();
-            cluster.heap.push(Reverse(Entry {
-                completion: actual,
-                machine: top.machine,
-            }));
+            cluster.heap.rekey_top(actual);
         };
         let t_min = release.max(min_c);
         // Phase 2 — pop the exact tie set {j : C_j ≤ t'min}. Once the
         // (corrected) top exceeds t'min, so does every remaining entry.
         self.ties.clear();
-        while let Some(&Reverse(top)) = cluster.heap.peek() {
-            let actual = self.completions[top.machine];
-            if top.completion < actual {
+        while let Some((key, machine)) = cluster.heap.peek() {
+            let actual = self.completions.get(machine);
+            if key < actual {
                 self.stats.heap_self_heals += 1;
-                cluster.heap.pop();
-                cluster.heap.push(Reverse(Entry {
-                    completion: actual,
-                    machine: top.machine,
-                }));
+                cluster.heap.rekey_top(actual);
                 continue;
             }
-            if top.completion > t_min {
+            if key > t_min {
                 break;
             }
             cluster.heap.pop();
-            self.ties.push(top.machine);
+            self.ties.push(machine);
         }
         // One entry per machine, so the popped machines are distinct;
         // sort restores the ascending order Breaker::pick expects.
@@ -543,10 +631,7 @@ impl IndexedEftState {
         // goes back with its pre-commit completion and self-heals as a
         // stale (understating) entry on a later peek.
         for &j in &self.ties {
-            cluster.heap.push(Reverse(Entry {
-                completion: self.completions[j],
-                machine: j,
-            }));
+            cluster.heap.push(self.completions.get(j), j);
         }
         u
     }
@@ -568,15 +653,7 @@ impl IndexedEftState {
         if cid >= UNOWNED as usize {
             return None;
         }
-        let heap = slice
-            .iter()
-            .map(|&j| {
-                Reverse(Entry {
-                    completion: self.completions[j],
-                    machine: j,
-                })
-            })
-            .collect();
+        let heap = SoaMinHeap::from_entries(slice.iter().map(|&j| (self.completions.get(j), j)));
         for &j in slice {
             self.owner[j] = cid as u32;
         }
@@ -619,21 +696,36 @@ impl ImmediateDispatcher for IndexedEftState {
 
 /// An EFT dispatcher with the kernel chosen at construction — what the
 /// streaming entries (`eft_stream`, `dispatch_stream`,
-/// `simulate_stream`) instantiate.
+/// `simulate_stream`) instantiate. A [`DispatchKernel::Auto`] that
+/// reaches construction unresolved (no structure hint settled it)
+/// becomes the live-reclassifying [`AdaptiveEftState`].
 #[derive(Debug)]
 pub enum EftKernelState {
     /// The member-scan oracle.
     Scalar(EftState),
     /// The segment-tree / cluster-heap kernel.
     Indexed(IndexedEftState),
+    /// The self-reclassifying wrapper around both.
+    Adaptive(AdaptiveEftState),
 }
 
 impl EftKernelState {
-    /// Fresh state for `m` idle machines under `kernel`.
+    /// Fresh state for `m` idle machines under `kernel`, on the default
+    /// (SIMD) tie scan.
     pub fn new(m: usize, policy: TieBreak, kernel: DispatchKernel) -> Self {
-        match kernel.resolve(m) {
-            DispatchKernel::Indexed => EftKernelState::Indexed(IndexedEftState::new(m, policy)),
-            _ => EftKernelState::Scalar(EftState::new(m, policy)),
+        EftKernelState::with_scan(m, policy, kernel, ScanImpl::default())
+    }
+
+    /// Fresh state with the tie-scan implementation forced.
+    pub fn with_scan(m: usize, policy: TieBreak, kernel: DispatchKernel, scan: ScanImpl) -> Self {
+        match kernel {
+            DispatchKernel::Auto => {
+                EftKernelState::Adaptive(AdaptiveEftState::with_scan(m, policy, scan))
+            }
+            DispatchKernel::Indexed => {
+                EftKernelState::Indexed(IndexedEftState::with_scan(m, policy, scan))
+            }
+            DispatchKernel::Scalar => EftKernelState::Scalar(EftState::with_scan(m, policy, scan)),
         }
     }
 
@@ -642,6 +734,7 @@ impl EftKernelState {
         match self {
             EftKernelState::Scalar(s) => s.completions(),
             EftKernelState::Indexed(s) => s.completions(),
+            EftKernelState::Adaptive(s) => s.completions(),
         }
     }
 }
@@ -651,6 +744,7 @@ impl ImmediateDispatcher for EftKernelState {
         match self {
             EftKernelState::Scalar(s) => s.machine_count(),
             EftKernelState::Indexed(s) => s.machine_count(),
+            EftKernelState::Adaptive(s) => s.machine_count(),
         }
     }
 
@@ -658,6 +752,7 @@ impl ImmediateDispatcher for EftKernelState {
         match self {
             EftKernelState::Scalar(s) => s.dispatch_task(task, set),
             EftKernelState::Indexed(s) => s.dispatch_task(task, set),
+            EftKernelState::Adaptive(s) => s.dispatch_task(task, set),
         }
     }
 
@@ -669,6 +764,7 @@ impl ImmediateDispatcher for EftKernelState {
         match self {
             EftKernelState::Scalar(s) => s.kernel_stats(),
             EftKernelState::Indexed(s) => Some(s.kernel_stats()),
+            EftKernelState::Adaptive(s) => s.kernel_stats(),
         }
     }
 }
@@ -856,22 +952,28 @@ mod tests {
     }
 
     #[test]
-    fn kernel_state_resolves_auto_by_machine_count() {
+    fn kernel_state_resolves_auto_to_the_adaptive_wrapper() {
+        // Auto builds the adaptive wrapper, whose *initial* core follows
+        // the machine-count rule; forced kernels stay direct.
         assert!(matches!(
-            EftKernelState::new(4, TieBreak::Min, DispatchKernel::Auto),
-            EftKernelState::Scalar(_)
+            &EftKernelState::new(4, TieBreak::Min, DispatchKernel::Auto),
+            EftKernelState::Adaptive(s) if s.current_kernel() == DispatchKernel::Scalar
         ));
         assert!(matches!(
-            EftKernelState::new(
+            &EftKernelState::new(
                 AUTO_INDEXED_MIN_MACHINES,
                 TieBreak::Min,
                 DispatchKernel::Auto
             ),
-            EftKernelState::Indexed(_)
+            EftKernelState::Adaptive(s) if s.current_kernel() == DispatchKernel::Indexed
         ));
         assert!(matches!(
             EftKernelState::new(4, TieBreak::Min, DispatchKernel::Indexed),
             EftKernelState::Indexed(_)
+        ));
+        assert!(matches!(
+            EftKernelState::new(256, TieBreak::Min, DispatchKernel::Scalar),
+            EftKernelState::Scalar(_)
         ));
     }
 
@@ -959,11 +1061,12 @@ mod tests {
             DispatchKernel::Auto.resolve_for_stream(&InstanceStream::new(&inst)),
             DispatchKernel::Scalar
         );
-        // Hint-less sources keep the machine-count rule…
+        // Hint-less sources stay Auto — the adaptive kernel classifies
+        // the arriving sets live instead of trusting a blind m-rule…
         let hintless = FnStream::new(m, || None);
         assert_eq!(
             DispatchKernel::Auto.resolve_for_stream(&hintless),
-            DispatchKernel::Indexed
+            DispatchKernel::Auto
         );
         // …and explicit choices always pass through.
         assert_eq!(

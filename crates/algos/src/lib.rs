@@ -50,6 +50,7 @@
 //!   general instances, and polynomial lower bounds on `F*max` used to
 //!   report competitive ratios when the exact optimum is out of reach.
 
+pub mod adaptive;
 pub mod compose;
 pub mod eft;
 pub mod engine;
@@ -64,8 +65,11 @@ pub mod preemptive;
 pub mod registry;
 pub mod related;
 pub mod setup;
+pub mod soa;
 pub mod tiebreak;
 pub mod weighted;
+
+pub use adaptive::{AdaptiveEftState, ADAPTIVE_WARMUP_ARRIVALS};
 
 pub use compose::compose_disjoint;
 pub use eft::{eft, eft_stream, eft_stream_with_kernel, EftState, ImmediateDispatcher};
@@ -93,6 +97,7 @@ pub use preemptive::optimal_preemptive_fmax;
 pub use registry::{ParsePolicyError, PolicyId, PolicySpec, PolicyState};
 pub use related::{related_dispatch, related_fmax, RelatedRule, RelatedState};
 pub use setup::{cluster_fingerprint, SetupEftState};
+pub use soa::{CompletionBank, ScanImpl, SoaMinHeap};
 pub use tiebreak::TieBreak;
 pub use weighted::WeightedEftState;
 
@@ -114,6 +119,7 @@ pub mod prelude {
     pub use crate::preemptive::optimal_preemptive_fmax;
     pub use crate::registry::{PolicyId, PolicySpec, PolicyState};
     pub use crate::setup::SetupEftState;
+    pub use crate::soa::{CompletionBank, ScanImpl};
     pub use crate::tiebreak::TieBreak;
     pub use crate::weighted::WeightedEftState;
 }

@@ -81,7 +81,7 @@ pub struct Dispatcher {
 
 #[derive(Debug)]
 enum RuleState {
-    Eft(EftKernelState),
+    Eft(Box<EftKernelState>),
     Random(Box<StdRng>),
     Choices(usize, Box<StdRng>),
     RoundRobin(HashMap<ProcSet, usize>),
@@ -99,7 +99,7 @@ impl Dispatcher {
     pub fn with_kernel(m: usize, rule: DispatchRule, kernel: DispatchKernel) -> Self {
         assert!(m > 0, "need at least one machine");
         let kind = match rule {
-            DispatchRule::Eft(tb) => RuleState::Eft(EftKernelState::new(m, tb, kernel)),
+            DispatchRule::Eft(tb) => RuleState::Eft(Box::new(EftKernelState::new(m, tb, kernel))),
             DispatchRule::RandomMachine { seed } => {
                 RuleState::Random(Box::new(derive_rng(seed, 0x7A11)))
             }
@@ -172,6 +172,13 @@ impl ImmediateDispatcher for Dispatcher {
 
     fn machine_completions(&self) -> &[Time] {
         &self.completions
+    }
+
+    fn kernel_stats(&self) -> Option<crate::indexed::KernelStats> {
+        match &self.kind {
+            RuleState::Eft(state) => state.kernel_stats(),
+            _ => None,
+        }
     }
 }
 

@@ -11,10 +11,11 @@
 //! - [`PolicyId`]: *which algorithm* — EFT under a tie-break, random,
 //!   power-of-d choices, round-robin, weighted-EFT
 //!   ([`WeightedEftState`]), setup-aware EFT ([`SetupEftState`]);
-//! - [`PolicySpec`]: a `PolicyId` plus the [`DispatchKernel`] choice,
-//!   parseable from and printable to a stable string form
-//!   (`eft:min:indexed`, `weft@4:max`, `setup@0.5`, `random@7`…) so
-//!   bench bins and CI address policies by name;
+//! - [`PolicySpec`]: a `PolicyId` plus the [`DispatchKernel`] and
+//!   [`ScanImpl`] choices, parseable from and printable to a stable
+//!   string form (`eft:min:indexed`, `eft:scalar-scan`, `weft@4:max`,
+//!   `setup@0.5`, `random@7`…) so bench bins and CI address policies by
+//!   name;
 //! - [`PolicyState`]: the built dispatcher, a plain
 //!   [`ImmediateDispatcher`] the engines drive like any other.
 //!
@@ -40,11 +41,13 @@
 //! The string grammar, `:`-separated:
 //!
 //! ```text
-//! spec     := family [":" tie] [":" kernel]      (either order)
+//! spec     := family [":" tie] [":" kernel] [":" scan]   (any order)
 //! family   := "eft" | "rr" | "random@SEED" | "choices@D,SEED"
 //!           | "weft@SLACK" | "setup@COST" | "setup-obl@COST"
 //! tie      := "min" | "max" | "rand@SEED"        (eft/weft/setup only)
 //! kernel   := "auto" | "scalar" | "indexed"
+//! scan     := "simd" | "scalar-scan"             (tie-scan impl; simd
+//!                                                 is the default)
 //! ```
 
 use std::fmt;
@@ -59,6 +62,7 @@ use crate::faulty::FaultyEftState;
 use crate::indexed::{DispatchKernel, EftKernelState};
 use crate::policies::{DispatchRule, Dispatcher};
 use crate::setup::SetupEftState;
+use crate::soa::ScanImpl;
 use crate::tiebreak::TieBreak;
 use crate::weighted::WeightedEftState;
 
@@ -156,24 +160,29 @@ impl From<DispatchRule> for PolicyId {
     }
 }
 
-/// A fully-specified dispatch policy: algorithm plus kernel choice.
-/// Only the EFT family consults the kernel (the others have no index to
-/// select); it is carried — and round-tripped — for all of them so a
-/// spec string names one construction unambiguously.
+/// A fully-specified dispatch policy: algorithm plus kernel and
+/// tie-scan choices. Only the EFT family consults the kernel and scan
+/// (the others have no index or tie set to select); they are carried —
+/// and round-tripped — for all of them so a spec string names one
+/// construction unambiguously.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PolicySpec {
     /// Which algorithm.
     pub id: PolicyId,
     /// Which EFT dispatch kernel ([`DispatchKernel::Auto`] by default).
     pub kernel: DispatchKernel,
+    /// Which tie-scan implementation ([`ScanImpl::Simd`] by default;
+    /// `scalar-scan` keeps the one-pass oracle for A/B runs).
+    pub scan: ScanImpl,
 }
 
 impl PolicySpec {
-    /// A spec with the automatic kernel.
+    /// A spec with the automatic kernel and default scan.
     pub fn new(id: PolicyId) -> Self {
         PolicySpec {
             id,
             kernel: DispatchKernel::Auto,
+            scan: ScanImpl::default(),
         }
     }
 
@@ -182,6 +191,7 @@ impl PolicySpec {
         PolicySpec {
             id: PolicyId::Eft { tie },
             kernel,
+            scan: ScanImpl::default(),
         }
     }
 
@@ -190,13 +200,19 @@ impl PolicySpec {
         PolicySpec { kernel, ..self }
     }
 
+    /// This spec with the tie-scan implementation replaced.
+    pub fn with_scan(self, scan: ScanImpl) -> Self {
+        PolicySpec { scan, ..self }
+    }
+
     /// Shard-local spec — applies [`PolicyId::for_shard`], keeping the
     /// kernel choice (Auto then re-resolves on the shard's width, as
-    /// the sharded engine always did).
+    /// the sharded engine always did) and the scan choice.
     pub fn for_shard(self, shard: usize) -> PolicySpec {
         PolicySpec {
             id: self.id.for_shard(shard),
             kernel: self.kernel,
+            scan: self.scan,
         }
     }
 
@@ -209,7 +225,12 @@ impl PolicySpec {
     /// (`d == 0`, negative slack/cost).
     pub fn build(&self, m: usize) -> PolicyState {
         match self.id {
-            PolicyId::Eft { tie } => PolicyState::Eft(EftKernelState::new(m, tie, self.kernel)),
+            PolicyId::Eft { tie } => PolicyState::Eft(Box::new(EftKernelState::with_scan(
+                m,
+                tie,
+                self.kernel,
+                self.scan,
+            ))),
             PolicyId::Random { seed } => PolicyState::Rule(Dispatcher::with_kernel(
                 m,
                 DispatchRule::RandomMachine { seed },
@@ -276,6 +297,7 @@ impl PolicySpec {
             for tie in [TieBreak::Min, TieBreak::Max, TieBreak::Rand { seed: 42 }] {
                 out.push(PolicySpec::eft(tie, kernel));
             }
+            out.push(PolicySpec::eft(TieBreak::Min, kernel).with_scan(ScanImpl::Scalar));
         }
         out.push(PolicySpec::new(PolicyId::Random { seed: 7 }));
         out.push(PolicySpec::new(PolicyId::Choices { d: 2, seed: 7 }));
@@ -317,8 +339,9 @@ impl From<DispatchRule> for PolicySpec {
 /// the engines like any other [`ImmediateDispatcher`].
 #[derive(Debug)]
 pub enum PolicyState {
-    /// EFT under the resolved kernel.
-    Eft(EftKernelState),
+    /// EFT under the resolved kernel (boxed: the adaptive wrapper
+    /// carries classifier + kernel state, far larger than its peers).
+    Eft(Box<EftKernelState>),
     /// Random / power-of-d / round-robin (the `policies` grab-bag).
     Rule(Dispatcher),
     /// Weighted-EFT packing.
@@ -356,6 +379,14 @@ impl ImmediateDispatcher for PolicyState {
             PolicyState::Rule(s) => s.machine_completions(),
             PolicyState::Weighted(s) => s.machine_completions(),
             PolicyState::Setup(s) => s.machine_completions(),
+        }
+    }
+
+    fn kernel_stats(&self) -> Option<crate::indexed::KernelStats> {
+        match self {
+            PolicyState::Eft(s) => s.kernel_stats(),
+            PolicyState::Rule(s) => s.kernel_stats(),
+            PolicyState::Weighted(_) | PolicyState::Setup(_) => None,
         }
     }
 }
@@ -411,9 +442,13 @@ impl fmt::Display for PolicySpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}", self.id)?;
         match self.kernel {
-            DispatchKernel::Auto => Ok(()),
-            DispatchKernel::Scalar => write!(f, ":scalar"),
-            DispatchKernel::Indexed => write!(f, ":indexed"),
+            DispatchKernel::Auto => {}
+            DispatchKernel::Scalar => write!(f, ":scalar")?,
+            DispatchKernel::Indexed => write!(f, ":indexed")?,
+        }
+        match self.scan {
+            ScanImpl::Simd => Ok(()),
+            ScanImpl::Scalar => write!(f, ":scalar-scan"),
         }
     }
 }
@@ -449,6 +484,7 @@ impl FromStr for PolicySpec {
 
         let mut tie: Option<TieBreak> = None;
         let mut kernel: Option<DispatchKernel> = None;
+        let mut scan: Option<ScanImpl> = None;
         for seg in parts {
             let parsed_tie = match seg {
                 "min" => Some(TieBreak::Min),
@@ -472,10 +508,21 @@ impl FromStr for PolicySpec {
                 "indexed" => Some(DispatchKernel::Indexed),
                 _ => None,
             };
-            match parsed_kernel {
-                Some(k) => {
-                    if kernel.replace(k).is_some() {
-                        return Err(err(format!("duplicate kernel in `{s}`")));
+            if let Some(k) = parsed_kernel {
+                if kernel.replace(k).is_some() {
+                    return Err(err(format!("duplicate kernel in `{s}`")));
+                }
+                continue;
+            }
+            let parsed_scan = match seg {
+                "simd" => Some(ScanImpl::Simd),
+                "scalar-scan" => Some(ScanImpl::Scalar),
+                _ => None,
+            };
+            match parsed_scan {
+                Some(v) => {
+                    if scan.replace(v).is_some() {
+                        return Err(err(format!("duplicate scan in `{s}`")));
                     }
                 }
                 None => return Err(err(format!("unknown segment `{seg}` in `{s}`"))),
@@ -553,6 +600,7 @@ impl FromStr for PolicySpec {
         Ok(PolicySpec {
             id,
             kernel: kernel.unwrap_or(DispatchKernel::Auto),
+            scan: scan.unwrap_or_default(),
         })
     }
 }
@@ -616,6 +664,19 @@ mod tests {
                 })
                 .with_kernel(DispatchKernel::Scalar),
             ),
+            (
+                "eft:scalar-scan",
+                PolicySpec::eft(TieBreak::Min, DispatchKernel::Auto).with_scan(ScanImpl::Scalar),
+            ),
+            (
+                "eft:scalar-scan:indexed:max",
+                PolicySpec::eft(TieBreak::Max, DispatchKernel::Indexed).with_scan(ScanImpl::Scalar),
+            ),
+            (
+                // Explicit `simd` parses and is the silent default.
+                "eft:min:simd",
+                PolicySpec::eft(TieBreak::Min, DispatchKernel::Auto),
+            ),
         ];
         for (s, want) in cases {
             assert_eq!(s.parse::<PolicySpec>().unwrap(), want, "`{s}`");
@@ -630,6 +691,8 @@ mod tests {
             "eft@3",
             "eft:min:min",
             "eft:scalar:indexed",
+            "eft:simd:scalar-scan",
+            "eft:scalar-scan:scalar-scan",
             "eft:bogus",
             "random",
             "random@x",
@@ -673,18 +736,24 @@ mod tests {
     fn build_resolves_kernels_like_the_direct_path() {
         use crate::indexed::AUTO_INDEXED_MIN_MACHINES;
         let spec = PolicySpec::eft(TieBreak::Min, DispatchKernel::Auto);
-        assert!(matches!(
-            spec.build(4),
-            PolicyState::Eft(EftKernelState::Scalar(_))
-        ));
-        assert!(matches!(
-            spec.build(AUTO_INDEXED_MIN_MACHINES),
-            PolicyState::Eft(EftKernelState::Indexed(_))
-        ));
-        assert!(matches!(
-            spec.with_kernel(DispatchKernel::Indexed).build(4),
-            PolicyState::Eft(EftKernelState::Indexed(_))
-        ));
+        // Auto now builds the adaptive wrapper; its initial core follows
+        // the machine-count rule the direct path always applied.
+        let adaptive_kernel = |state: PolicyState| match state {
+            PolicyState::Eft(k) => match *k {
+                EftKernelState::Adaptive(s) => s.current_kernel(),
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(adaptive_kernel(spec.build(4)), DispatchKernel::Scalar);
+        assert_eq!(
+            adaptive_kernel(spec.build(AUTO_INDEXED_MIN_MACHINES)),
+            DispatchKernel::Indexed
+        );
+        match spec.with_kernel(DispatchKernel::Indexed).build(4) {
+            PolicyState::Eft(k) => assert!(matches!(*k, EftKernelState::Indexed(_))),
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

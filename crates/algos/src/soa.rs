@@ -1,0 +1,545 @@
+//! Structure-of-arrays machine state for the hot dispatch path.
+//!
+//! The per-arrival argmin of the paper's Equation (2) is a pure sweep
+//! over machine completion times, and its throughput is bounded by how
+//! fast those times stream out of the cache. This module owns the
+//! layout that feeds the sweep:
+//!
+//! - [`CompletionBank`]: the per-machine completion times in a
+//!   cache-line-aligned, `+∞`-padded lane array. Each [`LANE`]-wide
+//!   block occupies exactly one 64-byte cache line, the flat view is a
+//!   plain `&[f64]` whose length is a multiple of [`LANE`], and the
+//!   padding is `+∞` — neutral under `min` — so vectorized reductions
+//!   never need a tail guard when they run over whole lanes.
+//! - The 8-wide scan kernels ([`min_in`], [`collect_le`],
+//!   [`gather_min`], [`gather_collect_le`]) and the fused
+//!   [`scan_ties_simd`] built from them. These are *portable* SIMD:
+//!   explicit 8-element chunks with independent accumulators that LLVM
+//!   autovectorizes to `vminpd`-class code on stable Rust — no nightly
+//!   `std::simd`, no intrinsics, no target-feature gates. The scalar
+//!   one-pass scan (`eft::scan_ties`) stays behind as the proptest
+//!   oracle; [`ScanImpl`] is the seam that selects between them.
+//! - [`SoaMinHeap`]: the cluster-heap of the indexed kernel with its
+//!   keys split into a dense `f64` array — sift comparisons touch the
+//!   key lane only, instead of dragging `(f64, usize)` pairs through
+//!   the cache.
+//!
+//! **Tie-order equivalence** (why the two-pass vectorized scan is
+//! bitwise-identical to the one-pass scalar scan): Equation (2)'s tie
+//! set is `U'ᵢ = {j ∈ Mᵢ : C_j ≤ t'min}` with
+//! `t'min = max(rᵢ, min_j C_j)`. The scalar scan folds the minimum and
+//! the collection into one pass with a "released-mode" switch; but in
+//! *either* mode its final contents are exactly the members with
+//! `C_j ≤ t'min`, in ascending member order (argmin mode: `t'min` is
+//! the running minimum; release mode: `t'min = rᵢ`). So computing
+//! `min_j C_j` first (vectorized, order-free — `min` is associative and
+//! commutative over non-NaN floats, and `+∞` padding is neutral) and
+//! then collecting `C_j ≤ max(rᵢ, min)` in member order reproduces the
+//! identical tie vector, hence identical `Breaker::pick` behavior and
+//! RNG draw counts. `tests/simd_scan.rs` pins this property.
+
+use flowsched_core::compact::ProcSetRef;
+use flowsched_core::time::Time;
+
+/// Lane width of the SoA layout: 8 × `f64` = one 64-byte cache line.
+pub const LANE: usize = 8;
+
+/// Which tie-scan implementation [`EftState`](crate::eft::EftState) and
+/// the indexed kernel's fallback path run. Both produce bitwise-identical
+/// tie sets (see the module docs); the choice is purely a performance
+/// seam, kept so the scalar oracle stays reachable from benches and
+/// property tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScanImpl {
+    /// The 8-wide two-pass scan over the padded lane array.
+    #[default]
+    Simd,
+    /// The one-pass scalar member scan (`eft::scan_ties`) — the oracle.
+    Scalar,
+}
+
+/// One cache line of completion times. `repr(C)` over `[f64; LANE]`
+/// (no padding: 8 × 8 bytes fills the 64-byte alignment exactly), so a
+/// slice of lanes reinterprets as a flat `f64` slice.
+#[derive(Debug, Clone, Copy)]
+#[repr(C, align(64))]
+struct Lane([Time; LANE]);
+
+/// Machine completion times `C_j` in structure-of-arrays form: a
+/// cache-line-aligned `f64` array padded to a multiple of [`LANE`] with
+/// `+∞` (neutral under `min`). The first [`len`](CompletionBank::len)
+/// entries are the live machines.
+#[derive(Debug, Clone)]
+pub struct CompletionBank {
+    lanes: Vec<Lane>,
+    len: usize,
+}
+
+impl CompletionBank {
+    /// Bank for `m` idle machines (all completions 0), padding `+∞`.
+    ///
+    /// # Panics
+    /// Panics if `m == 0`.
+    pub fn new(m: usize) -> Self {
+        assert!(m > 0, "need at least one machine");
+        let lanes = m.div_ceil(LANE);
+        let mut bank = CompletionBank {
+            lanes: vec![Lane([f64::INFINITY; LANE]); lanes],
+            len: m,
+        };
+        for v in &mut bank.padded_mut()[..m] {
+            *v = 0.0;
+        }
+        bank
+    }
+
+    /// Bank seeded from an existing completion slice (used by tests and
+    /// benches to drive the scan kernels on arbitrary data).
+    pub fn from_completions(vals: &[Time]) -> Self {
+        let mut bank = CompletionBank::new(vals.len());
+        bank.padded_mut()[..vals.len()].copy_from_slice(vals);
+        bank
+    }
+
+    /// Number of live machines.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the bank covers zero machines (never, by construction).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The live completion times — first `len` entries of the flat view.
+    #[inline]
+    pub fn values(&self) -> &[Time] {
+        &self.padded()[..self.len]
+    }
+
+    /// The full padded flat view: length a multiple of [`LANE`], tail
+    /// filled with `+∞`, start 64-byte aligned.
+    #[inline]
+    pub fn padded(&self) -> &[Time] {
+        // SAFETY: `Lane` is `repr(C)` over `[Time; LANE]` with size
+        // LANE * 8 = 64 bytes (the alignment raises only the start
+        // address, not the stride), so `self.lanes` is layout-compatible
+        // with `lanes.len() * LANE` contiguous `Time`s.
+        unsafe {
+            std::slice::from_raw_parts(self.lanes.as_ptr().cast::<Time>(), self.lanes.len() * LANE)
+        }
+    }
+
+    /// Mutable counterpart of [`padded`](CompletionBank::padded).
+    #[inline]
+    fn padded_mut(&mut self) -> &mut [Time] {
+        // SAFETY: as in `padded`.
+        unsafe {
+            std::slice::from_raw_parts_mut(
+                self.lanes.as_mut_ptr().cast::<Time>(),
+                self.lanes.len() * LANE,
+            )
+        }
+    }
+
+    /// Completion time of machine `j`.
+    ///
+    /// # Panics
+    /// Panics if `j >= len`.
+    #[inline]
+    pub fn get(&self, j: usize) -> Time {
+        self.values()[j]
+    }
+
+    /// Sets machine `j`'s completion time.
+    ///
+    /// # Panics
+    /// Panics if `j >= len`.
+    #[inline]
+    pub fn set(&mut self, j: usize, v: Time) {
+        let len = self.len;
+        assert!(j < len, "machine index {j} out of range for {len} machines");
+        self.padded_mut()[j] = v;
+    }
+}
+
+/// `min` over a completion slice, 8-wide: independent per-position
+/// accumulators over exact chunks (LLVM lowers the inner loop to packed
+/// `min`), scalar tail. `+∞` on an empty slice.
+#[inline]
+pub fn min_in(vals: &[Time]) -> Time {
+    let mut acc = [f64::INFINITY; LANE];
+    let mut chunks = vals.chunks_exact(LANE);
+    for c in &mut chunks {
+        for (a, &v) in acc.iter_mut().zip(c) {
+            *a = a.min(v);
+        }
+    }
+    let mut best = chunks
+        .remainder()
+        .iter()
+        .fold(f64::INFINITY, |b, &v| b.min(v));
+    for a in acc {
+        best = best.min(a);
+    }
+    best
+}
+
+/// Appends `base + offset` for every `vals[offset] ≤ bound`, in
+/// ascending order — the collection half of the two-pass tie scan.
+///
+/// Branchless compaction: every candidate index is stored
+/// unconditionally and the write cursor advances by the predicate, so
+/// the loop carries no data-dependent branch (the `C_j ≤ bound` hit
+/// pattern is effectively random in tie-heavy workloads, and a
+/// mispredicting `push` loop costs more than the stores it saves).
+#[inline]
+pub fn collect_le(vals: &[Time], base: usize, bound: Time, out: &mut Vec<usize>) {
+    let start = out.len();
+    out.reserve(vals.len());
+    // SAFETY: `reserve` guarantees capacity for `start + vals.len()`
+    // entries; the cursor `k` never exceeds `start + offset + 1`, every
+    // slot below `k` is initialized by the unconditional store before
+    // the cursor can move past it, and `set_len(k)` only exposes those
+    // initialized slots.
+    unsafe {
+        let ptr = out.as_mut_ptr();
+        let mut k = start;
+        for (offset, &v) in vals.iter().enumerate() {
+            *ptr.add(k) = base + offset;
+            k += (v <= bound) as usize;
+        }
+        out.set_len(k);
+    }
+}
+
+/// `min` over the gathered completions of an explicit member slice,
+/// 8-wide unrolled so the loads pipeline.
+#[inline]
+pub fn gather_min(vals: &[Time], members: &[usize]) -> Time {
+    let mut acc = [f64::INFINITY; LANE];
+    let mut chunks = members.chunks_exact(LANE);
+    for c in &mut chunks {
+        for (a, &j) in acc.iter_mut().zip(c) {
+            *a = a.min(vals[j]);
+        }
+    }
+    let mut best = chunks
+        .remainder()
+        .iter()
+        .fold(f64::INFINITY, |b, &j| b.min(vals[j]));
+    for a in acc {
+        best = best.min(a);
+    }
+    best
+}
+
+/// Appends every member `j` with `vals[j] ≤ bound`, in slice (=
+/// ascending) order. Branchless compaction as in [`collect_le`].
+#[inline]
+pub fn gather_collect_le(vals: &[Time], members: &[usize], bound: Time, out: &mut Vec<usize>) {
+    let start = out.len();
+    out.reserve(members.len());
+    // SAFETY: as in `collect_le` — capacity reserved up front, the
+    // cursor trails the unconditional stores, `set_len` exposes only
+    // initialized slots.
+    unsafe {
+        let ptr = out.as_mut_ptr();
+        let mut k = start;
+        for &j in members {
+            *ptr.add(k) = j;
+            k += (vals[j] <= bound) as usize;
+        }
+        out.set_len(k);
+    }
+}
+
+/// The vectorized tie scan: Equation (2) as two passes over the padded
+/// lane array — an 8-wide min reduction, then an ascending collection
+/// of `{j ∈ Mᵢ : C_j ≤ max(release, min)}`. Bitwise-identical to the
+/// scalar `eft::scan_ties` (module docs sketch the proof; the proptest
+/// in `tests/simd_scan.rs` pins it).
+///
+/// `padded` is the bank's [`CompletionBank::padded`] view; members of
+/// `set` must lie below the bank's live length.
+pub fn scan_ties_simd(padded: &[Time], set: ProcSetRef<'_>, release: Time, ties: &mut Vec<usize>) {
+    ties.clear();
+    match set {
+        ProcSetRef::Interval { lo, hi } => {
+            let vals = &padded[lo..=hi];
+            let bound = release.max(min_in(vals));
+            collect_le(vals, lo, bound, ties);
+        }
+        ProcSetRef::Prefix { len } => {
+            let vals = &padded[..len];
+            let bound = release.max(min_in(vals));
+            collect_le(vals, 0, bound, ties);
+        }
+        ProcSetRef::Ring { start, len, m } => {
+            // Ascending members: the wrapped low run [0, start+len−m−1],
+            // then the high run [start, m−1].
+            let low = &padded[..start + len - m];
+            let high = &padded[start..m];
+            let bound = release.max(min_in(low).min(min_in(high)));
+            collect_le(low, 0, bound, ties);
+            collect_le(high, start, bound, ties);
+        }
+        ProcSetRef::Explicit(members) => {
+            let bound = release.max(gather_min(padded, members));
+            gather_collect_le(padded, members, bound, ties);
+        }
+    }
+}
+
+/// A binary min-heap of `(completion, machine)` entries in
+/// structure-of-arrays form: the `f64` keys in one dense array (what
+/// every sift comparison reads), the machine ids in a parallel `u32`
+/// array. Strict total order `(key, machine)` — machine ids are unique
+/// within a heap — so the sequence of peeks and pops is
+/// layout-independent, which is what lets this replace the AoS
+/// `BinaryHeap<Reverse<Entry>>` without disturbing the indexed kernel's
+/// bitwise equivalence.
+#[derive(Debug, Clone, Default)]
+pub struct SoaMinHeap {
+    keys: Vec<Time>,
+    machines: Vec<u32>,
+}
+
+impl SoaMinHeap {
+    /// Empty heap.
+    pub fn new() -> Self {
+        SoaMinHeap::default()
+    }
+
+    /// Heap over `(key, machine)` pairs, heapified in O(n).
+    pub fn from_entries(entries: impl IntoIterator<Item = (Time, usize)>) -> Self {
+        let mut heap = SoaMinHeap::new();
+        for (k, j) in entries {
+            heap.keys.push(k);
+            heap.machines.push(j as u32);
+        }
+        let n = heap.keys.len();
+        for i in (0..n / 2).rev() {
+            heap.sift_down(i);
+        }
+        heap
+    }
+
+    /// Number of entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True when the heap holds no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// The minimum `(key, machine)` entry, if any.
+    #[inline]
+    pub fn peek(&self) -> Option<(Time, usize)> {
+        (!self.keys.is_empty()).then(|| (self.keys[0], self.machines[0] as usize))
+    }
+
+    /// Inserts an entry.
+    pub fn push(&mut self, key: Time, machine: usize) {
+        self.keys.push(key);
+        self.machines.push(machine as u32);
+        self.sift_up(self.keys.len() - 1);
+    }
+
+    /// Removes and returns the minimum entry.
+    pub fn pop(&mut self) -> Option<(Time, usize)> {
+        let top = self.peek()?;
+        let last = self.keys.len() - 1;
+        self.keys.swap(0, last);
+        self.machines.swap(0, last);
+        self.keys.pop();
+        self.machines.pop();
+        if !self.keys.is_empty() {
+            self.sift_down(0);
+        }
+        Some(top)
+    }
+
+    /// Replaces the top entry's key (the machine stays) and restores
+    /// heap order — the one-sift form of pop-then-push that the indexed
+    /// kernel's self-healing protocol uses to re-key a stale top.
+    ///
+    /// # Panics
+    /// Panics on an empty heap.
+    pub fn rekey_top(&mut self, key: Time) {
+        assert!(!self.keys.is_empty(), "rekey_top on an empty heap");
+        self.keys[0] = key;
+        self.sift_down(0);
+    }
+
+    /// Strict `(key, machine)` order.
+    #[inline]
+    fn less(&self, a: usize, b: usize) -> bool {
+        let (ka, kb) = (self.keys[a], self.keys[b]);
+        ka < kb || (ka == kb && self.machines[a] < self.machines[b])
+    }
+
+    #[inline]
+    fn swap(&mut self, a: usize, b: usize) {
+        self.keys.swap(a, b);
+        self.machines.swap(a, b);
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if !self.less(i, parent) {
+                break;
+            }
+            self.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let n = self.keys.len();
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut smallest = i;
+            if l < n && self.less(l, smallest) {
+                smallest = l;
+            }
+            if r < n && self.less(r, smallest) {
+                smallest = r;
+            }
+            if smallest == i {
+                return;
+            }
+            self.swap(i, smallest);
+            i = smallest;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn bank_is_lane_aligned_and_padded_with_infinity() {
+        for m in [1usize, 7, 8, 9, 63, 64, 100] {
+            let bank = CompletionBank::new(m);
+            assert_eq!(bank.len(), m);
+            assert_eq!(bank.padded().len() % LANE, 0);
+            assert_eq!(bank.padded().as_ptr() as usize % 64, 0, "m={m}");
+            assert!(bank.values().iter().all(|&v| v == 0.0));
+            assert!(bank.padded()[m..].iter().all(|&v| v == f64::INFINITY));
+        }
+    }
+
+    #[test]
+    fn bank_get_set_round_trip() {
+        let mut bank = CompletionBank::new(5);
+        bank.set(3, 2.5);
+        assert_eq!(bank.get(3), 2.5);
+        assert_eq!(bank.values(), &[0.0, 0.0, 0.0, 2.5, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bank_set_rejects_out_of_range() {
+        CompletionBank::new(3).set(3, 1.0);
+    }
+
+    #[test]
+    fn lane_min_matches_scalar_fold_on_random_data() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        for n in [0usize, 1, 7, 8, 9, 64, 100, 1000] {
+            let vals: Vec<Time> = (0..n)
+                .map(|_| rng.random_range(0..40) as f64 * 0.5)
+                .collect();
+            let expect = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+            assert_eq!(min_in(&vals), expect, "n={n}");
+        }
+    }
+
+    #[test]
+    fn gather_min_matches_scalar_fold_on_random_subsets() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(32);
+        let vals: Vec<Time> = (0..200).map(|_| rng.random_range(0..30) as f64).collect();
+        for k in [1usize, 3, 8, 17, 100] {
+            let members: Vec<usize> = (0..k).map(|i| i * 200 / k).collect();
+            let expect = members
+                .iter()
+                .map(|&j| vals[j])
+                .fold(f64::INFINITY, f64::min);
+            assert_eq!(gather_min(&vals, &members), expect, "k={k}");
+        }
+    }
+
+    #[test]
+    fn soa_heap_pops_in_total_order() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(33);
+        let entries: Vec<(Time, usize)> = (0..64)
+            .map(|j| (rng.random_range(0..6) as f64, j))
+            .collect();
+        let mut heap = SoaMinHeap::from_entries(entries.iter().copied());
+        let mut expect = entries.clone();
+        expect.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut got = Vec::new();
+        while let Some(e) = heap.pop() {
+            got.push(e);
+        }
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn soa_heap_rekey_top_matches_pop_push() {
+        // The heaps' observable behavior (pop order) must agree whether
+        // the top is re-keyed in place or popped and re-pushed.
+        let entries = [(1.0, 4), (2.0, 1), (2.0, 7), (3.0, 2)];
+        let mut a = SoaMinHeap::from_entries(entries);
+        let mut b = SoaMinHeap::from_entries(entries);
+        a.rekey_top(2.5);
+        let (_, j) = b.pop().unwrap();
+        b.push(2.5, j);
+        let drain = |mut h: SoaMinHeap| {
+            let mut out = Vec::new();
+            while let Some(e) = h.pop() {
+                out.push(e);
+            }
+            out
+        };
+        assert_eq!(drain(a), drain(b));
+    }
+
+    #[test]
+    fn simd_scan_matches_scalar_oracle_on_every_shape() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(34);
+        let m = 50;
+        for _ in 0..200 {
+            let vals: Vec<Time> = (0..m).map(|_| rng.random_range(0..5) as f64).collect();
+            let bank = CompletionBank::from_completions(&vals);
+            let release = rng.random_range(0..5) as f64 - 0.5;
+            let members: Vec<usize> = (0..m).filter(|_| rng.random_bool(0.4)).collect();
+            let sets = [
+                ProcSetRef::interval(10, 39),
+                ProcSetRef::prefix(17),
+                ProcSetRef::ring(40, 20, m),
+                ProcSetRef::Explicit(&members),
+            ];
+            for set in sets {
+                if set.is_empty() {
+                    continue;
+                }
+                let mut simd = Vec::new();
+                scan_ties_simd(bank.padded(), set, release, &mut simd);
+                let mut scalar = Vec::new();
+                crate::eft::scan_ties(&vals, set.iter(), release, &mut scalar);
+                assert_eq!(simd, scalar, "set {set:?} release {release}");
+            }
+        }
+    }
+}

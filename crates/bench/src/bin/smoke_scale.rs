@@ -10,6 +10,11 @@
 //! completes in seconds and constant memory where the scalar scan would
 //! need ~10¹⁰ machine visits. Prints one line per family and fails
 //! loudly (panics) if any report comes back degenerate.
+//!
+//! `FLOWSCHED_SMOKE_M` / `FLOWSCHED_SMOKE_N` override the machine and
+//! task counts — the ISSUE 10 CI stage runs the same binary at
+//! m = 2²⁰ to smoke the SoA bank and branchless descent at the
+//! hardware-limit scale.
 
 use std::time::Instant;
 
@@ -22,20 +27,38 @@ use flowsched_workloads::random::{PoissonStream, PoissonStreamConfig, StructureK
 const M: usize = 100_000;
 const N: usize = 200_000;
 
+/// Reads a positive usize override from the environment, falling back
+/// to `default`; rejects malformed values loudly rather than silently
+/// smoking the wrong scale.
+fn env_scale(var: &str, default: usize) -> usize {
+    match std::env::var(var) {
+        Ok(s) => {
+            let v: usize = s
+                .parse()
+                .unwrap_or_else(|_| panic!("{var} must be a positive integer, got `{s}`"));
+            assert!(v > 0, "{var} must be positive");
+            v
+        }
+        Err(_) => default,
+    }
+}
+
 fn main() {
+    let m = env_scale("FLOWSCHED_SMOKE_M", M);
+    let n = env_scale("FLOWSCHED_SMOKE_N", N);
     let families = [
-        ("interval_m/2", StructureKind::IntervalFixed(M / 2)),
+        ("interval_m/2", StructureKind::IntervalFixed(m / 2)),
         ("inclusive_prefix", StructureKind::InclusivePrefix),
-        ("disjoint_blocks", StructureKind::DisjointBlocks(M / 100)),
+        ("disjoint_blocks", StructureKind::DisjointBlocks(m / 100)),
         ("ring_k3", StructureKind::RingFixed(3)),
     ];
-    println!("smoke_scale: m = {M}, n = {N} tasks per family");
+    println!("smoke_scale: m = {m}, n = {n} tasks per family");
     for (name, structure) in families {
         let cfg = PoissonStreamConfig {
-            m: M,
-            n: N,
+            m,
+            n,
             structure,
-            lambda: M as f64 / 2.0,
+            lambda: m as f64 / 2.0,
             unit: true,
             ptime_steps: 4,
         };
@@ -47,7 +70,7 @@ fn main() {
             &mut NoopRecorder,
         );
         let elapsed = start.elapsed();
-        assert_eq!(report.n_measured, N, "{name}: tasks went missing");
+        assert_eq!(report.n_measured, n, "{name}: tasks went missing");
         assert!(
             report.fmax >= 1.0,
             "{name}: degenerate Fmax {}",
@@ -57,7 +80,7 @@ fn main() {
             "  {name:<18} fmax {:>8.1}  mean flow {:>8.3}  {:>7.0} tasks/ms",
             report.fmax,
             report.mean_flow,
-            N as f64 / elapsed.as_secs_f64() / 1e3,
+            n as f64 / elapsed.as_secs_f64() / 1e3,
         );
     }
     println!("smoke_scale: ok");

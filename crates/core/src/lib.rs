@@ -67,7 +67,9 @@ pub use procset::ProcSet;
 pub use schedule::{Assignment, Schedule};
 pub use shard::{ShardPlan, DEFAULT_MAX_SHARDS};
 pub use stream::{collect_stream, ArrivalStream, FnStream, InstanceStream};
-pub use structure::{ProcSetStructure, StructureReport};
+pub use structure::{
+    ProcSetStructure, StructureClassifier, StructureReport, CLASSIFIER_DISTINCT_CAP,
+};
 pub use task::{Task, TaskId};
 pub use time::Time;
 

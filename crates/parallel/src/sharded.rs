@@ -190,6 +190,13 @@ fn rebase_view<'a>(
 /// same merge order, so the output is identical at every thread count,
 /// including zero extra threads.
 ///
+/// **Drop contract:** every dispatcher closure is dropped before this
+/// function returns, on both the inline path (scope exit) and the
+/// threaded path (the pool join at the end waits for each worker to
+/// finish and release its job). Callers may therefore use drop-guards
+/// inside the closures to flush per-shard state — e.g. kernel decision
+/// counters — into shared accumulators read after the call.
+///
 /// # Panics
 /// Panics if the stream and plan disagree on the machine count, if
 /// releases decrease, if an arrival's set straddles a shard boundary

@@ -12,6 +12,7 @@
 #   BENCH_PR5.json — scalar vs indexed dispatch kernels across machine counts
 #   BENCH_PR6.json — sequential vs sharded dispatch thread ladder
 #   BENCH_PR9.json — pipeline-probe overhead (noop vs live PipelineMetrics)
+#   BENCH_PR10.json — scalar vs SIMD tie scan + the m = 2^20 dispatch sweep
 #
 # A row regresses when current > baseline * (1 + FLOWSCHED_BENCH_TOL);
 # the default tolerance is 0.30 — wall-clock medians on shared machines
@@ -40,7 +41,7 @@ for arg in "$@"; do
   esac
 done
 if [ "${#BASELINES[@]}" -eq 0 ]; then
-  for b in BENCH_PR1.json BENCH_PR3.json BENCH_PR4.json BENCH_PR5.json BENCH_PR6.json BENCH_PR9.json; do
+  for b in BENCH_PR1.json BENCH_PR3.json BENCH_PR4.json BENCH_PR5.json BENCH_PR6.json BENCH_PR9.json BENCH_PR10.json; do
     [ -f "$b" ] && BASELINES+=("$b")
   done
 fi
@@ -58,6 +59,7 @@ benches_for() {
     BENCH_PR5.json) echo "dispatch" ;;
     BENCH_PR6.json) echo "sharded" ;;
     BENCH_PR9.json) echo "pipeline" ;;
+    BENCH_PR10.json) echo "scan" ;;
     *) echo "" ;;
   esac
 }

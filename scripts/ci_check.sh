@@ -32,12 +32,17 @@
 #      engine, asserting in-process that the two schedules hash
 #      identically (the wall-clock probe must never perturb dispatch)
 #      and printing the per-stage ns/task table
-#  11. bench gate (warn-only): scripts/bench_gate.sh re-runs the benches
-#      behind BENCH_PR1/PR3/PR4/PR5/PR6/PR9.json and reports medians
-#      that drifted past the noise tolerance — it never fails the build
+#  11. hardware-limit smoke: the same smoke_scale bin re-run at
+#      m = 2^20 via FLOWSCHED_SMOKE_M/N — the SoA completion bank,
+#      SIMD tie scan, and branchless segment-tree descent at the
+#      million-machine scale (ISSUE 10)
+#  12. bench gate (warn-only): scripts/bench_gate.sh re-runs the benches
+#      behind BENCH_PR1/PR3/PR4/PR5/PR6/PR9/PR10.json and reports
+#      medians that drifted past the noise tolerance — it never fails
+#      the build
 #
 # Usage:
-#   scripts/ci_check.sh                 # all eleven stages
+#   scripts/ci_check.sh                 # all twelve stages
 #   scripts/ci_check.sh --no-clippy     # skip the lint stage (e.g. when
 #                                       # the toolchain lacks clippy)
 #   scripts/ci_check.sh --no-bench-gate # skip the (slow) bench stage
@@ -112,6 +117,11 @@ cargo run -q --release -p flowsched-bench --bin ratio_ladder
 echo
 echo "== pipeline-profile smoke (probe transparency + stage table) =="
 cargo run -q --release -p flowsched-bench --bin pipeline_profile -- --tasks 20000 --threads 4
+
+echo
+echo "== 2^20-machine smoke run (SoA bank + branchless descent) =="
+FLOWSCHED_SMOKE_M=1048576 FLOWSCHED_SMOKE_N=200000 \
+  cargo run -q --release -p flowsched-bench --bin smoke_scale
 
 if [ "$RUN_BENCH_GATE" = 1 ]; then
   echo

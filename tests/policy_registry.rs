@@ -20,6 +20,7 @@ use flowsched::algos::indexed::{DispatchKernel, EftKernelState};
 use flowsched::algos::policies::{DispatchRule, Dispatcher};
 use flowsched::algos::registry::{PolicyId, PolicySpec};
 use flowsched::algos::setup::SetupEftState;
+use flowsched::algos::soa::ScanImpl;
 use flowsched::algos::tiebreak::TieBreak;
 use flowsched::algos::weighted::WeightedEftState;
 use flowsched::core::schedule::Schedule;
@@ -78,8 +79,16 @@ fn arb_id() -> impl Strategy<Value = PolicyId> {
     ]
 }
 
+fn arb_scan() -> impl Strategy<Value = ScanImpl> {
+    prop_oneof![Just(ScanImpl::Simd), Just(ScanImpl::Scalar)]
+}
+
 fn arb_spec() -> impl Strategy<Value = PolicySpec> {
-    (arb_id(), arb_kernel()).prop_map(|(id, kernel)| PolicySpec { id, kernel })
+    (arb_id(), arb_kernel(), arb_scan()).prop_map(|(id, kernel, scan)| PolicySpec {
+        id,
+        kernel,
+        scan,
+    })
 }
 
 /// The pre-registry construction path, reproduced literally: resolve
@@ -94,7 +103,7 @@ fn direct_schedule<S: ArrivalStream, R: Recorder>(
     let m = stream.machines();
     match spec.id {
         PolicyId::Eft { tie } => {
-            let mut state = EftKernelState::new(m, tie, kernel);
+            let mut state = EftKernelState::with_scan(m, tie, kernel, spec.scan);
             immediate_schedule(stream, &mut state, rec)
         }
         PolicyId::Random { seed } => {
